@@ -1,0 +1,167 @@
+// Benchmark harness: one benchmark per paper table and figure, plus kernel
+// micro-benchmarks. Table benchmarks run the full experiment generator
+// (training included) at a reduced scale; cost columns inside them are
+// computed at paper scale regardless, so each run re-derives the paper's
+// muls/adds/ops/model-size numbers. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/exp"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/speechcmd"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// benchScale keeps full-table benchmarks in the tens of seconds.
+var benchScale = exp.Scale{WidthMult: 0.12, SamplesPerCls: 16, Epochs: 6, Seed: 1}
+
+func benchTable(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := exp.NewContext(benchScale, nil)
+		tab, err := exp.Generate(c, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchTable(b, 1) }
+func BenchmarkTable2(b *testing.B) { benchTable(b, 2) }
+func BenchmarkTable3(b *testing.B) { benchTable(b, 3) }
+func BenchmarkTable4(b *testing.B) { benchTable(b, 4) }
+func BenchmarkTable5(b *testing.B) { benchTable(b, 5) }
+func BenchmarkTable6(b *testing.B) { benchTable(b, 6) }
+func BenchmarkTable7(b *testing.B) { benchTable(b, 7) }
+func BenchmarkTable8(b *testing.B) { benchTable(b, 8) }
+
+func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := exp.NewContext(benchScale, nil)
+		if tabs := exp.Ablations(c); len(tabs) != 3 {
+			b.Fatal("expected 3 ablation tables")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := exp.Figure1(); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// --- kernel micro-benchmarks ---
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(128, 128).Rand(rng, 1)
+	y := tensor.New(128, 128).Rand(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.New(64, 25, 5).Rand(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2Col(img, 3, 3, 1, 1, 1)
+	}
+}
+
+func BenchmarkMFCC(b *testing.B) {
+	m := dsp.NewMFCC(dsp.DefaultMFCCConfig(4000))
+	wave := make([]float64, 4000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range wave {
+		wave[i] = rng.NormFloat64() * 0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Compute(wave)
+	}
+}
+
+func BenchmarkCorpusSample(b *testing.B) {
+	cfg := speechcmd.DefaultConfig()
+	rng := rand.New(rand.NewSource(4))
+	m := dsp.NewMFCC(dsp.DefaultMFCCConfig(cfg.SampleRate))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Compute(speechcmd.SynthesizeUtterance("yes", cfg, rng))
+	}
+}
+
+// inference benchmarks at paper scale: the latency ordering should mirror
+// the paper's op counts (ST-HybridNet < DS-CNN < ST-DS-CNN).
+
+func benchInference(b *testing.B, m nn.Layer) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(1, models.InputDim).Rand(rng, 1)
+	m.Forward(x, false) // warm up internal buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+func BenchmarkInferenceDSCNN(b *testing.B) {
+	benchInference(b, models.NewDSCNN(12, 1, rand.New(rand.NewSource(6))))
+}
+
+func BenchmarkInferenceSTDSCNN(b *testing.B) {
+	m := models.NewSTDSCNN(12, 1, 0.75, rand.New(rand.NewSource(6)))
+	strassen.SetModeAll(m, strassen.Fixed)
+	benchInference(b, m)
+}
+
+func BenchmarkInferenceHybrid(b *testing.B) {
+	cfg := core.DefaultConfig(12)
+	cfg.Strassen = false
+	benchInference(b, core.New(cfg, rand.New(rand.NewSource(6))))
+}
+
+func BenchmarkInferenceSTHybrid(b *testing.B) {
+	h := core.New(core.DefaultConfig(12), rand.New(rand.NewSource(6)))
+	strassen.SetModeAll(h, strassen.Fixed)
+	benchInference(b, h)
+}
+
+func BenchmarkTrainStepSTHybrid(b *testing.B) {
+	cfg := core.DefaultConfig(12)
+	cfg.WidthMult = 0.25
+	h := core.New(cfg, rand.New(rand.NewSource(7)))
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.New(20, models.InputDim).Rand(rng, 1)
+	g := tensor.New(20, 12).Rand(rng, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrads(h)
+		out := h.Forward(x, true)
+		_ = out
+		h.Backward(g)
+	}
+}

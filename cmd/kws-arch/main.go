@@ -1,0 +1,61 @@
+// Command kws-arch prints the paper's Figure 1 (the hybrid neural-tree
+// architecture) as text along with per-layer op/size walks, and a summary
+// table of every architecture in the repository at full scale.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opcount"
+)
+
+func main() {
+	fmt.Print(exp.Figure1())
+	fmt.Println()
+	fmt.Println("All architectures at paper scale:")
+	fmt.Println()
+	rng := rand.New(rand.NewSource(7))
+	rows := []struct {
+		name    string
+		model   nn.Layer
+		fpBytes float64
+	}{
+		{"DS-CNN", models.NewDSCNN(12, 1, rng), 1},
+		{"ST-DS-CNN (r=0.75)", models.NewSTDSCNN(12, 1, 0.75, rng), 4},
+		{"CNN", models.NewCNN(12, 1, rng), 1},
+		{"DNN", models.NewDNN(12, 1, rng), 1},
+		{"LSTM", models.NewLSTMModel(12, 1, rng), 1},
+		{"Basic LSTM", models.NewBasicLSTM(12, 1, rng), 1},
+		{"GRU", models.NewGRUModel(12, 1, rng), 1},
+		{"CRNN", models.NewCRNN(12, 1, rng), 1},
+	}
+	uncompressed := core.DefaultConfig(12)
+	uncompressed.Strassen = false
+	rows = append(rows,
+		struct {
+			name    string
+			model   nn.Layer
+			fpBytes float64
+		}{"HybridNet", core.New(uncompressed, rng), 4},
+		struct {
+			name    string
+			model   nn.Layer
+			fpBytes float64
+		}{"ST-HybridNet", core.New(core.DefaultConfig(12), rng), 4},
+	)
+	fmt.Fprintf(os.Stdout, "  %-20s %10s %10s %10s %10s %10s\n", "network", "muls", "adds", "MACs", "ops", "model")
+	for _, row := range rows {
+		r := opcount.Count(row.model, models.InputDim)
+		fmt.Fprintf(os.Stdout, "  %-20s %9.3fM %9.3fM %9.3fM %9.3fM %9.2fKB\n",
+			row.name,
+			float64(r.Total.Muls)/1e6, float64(r.Total.Adds)/1e6,
+			float64(r.Total.MACs)/1e6, float64(r.Total.Ops())/1e6,
+			r.ModelSizeBytes(row.fpBytes)/1024)
+	}
+}

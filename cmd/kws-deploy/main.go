@@ -1,0 +1,116 @@
+// Command kws-deploy compiles a trained ST-HybridNet into the packed
+// integer model format (.thnt) and verifies the integer engine against the
+// float model on the test split — the repository's microcontroller
+// deployment path.
+//
+// Usage:
+//
+//	kws-deploy -out model.thnt                  # train in-process, compile, verify
+//	kws-deploy -params model.gob -out model.thnt -width 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/nn"
+	"repro/internal/speechcmd"
+	"repro/internal/train"
+)
+
+func main() {
+	params := flag.String("params", "", "load trained st-hybrid parameters (gob from kws-train)")
+	out := flag.String("out", "model.thnt", "output path for the packed integer model")
+	width := flag.Float64("width", 0.25, "model width multiplier (must match saved params)")
+	samples := flag.Int("samples", 60, "corpus samples per class (training and calibration)")
+	epochs := flag.Int("epochs", 18, "epochs per stage when training in-process")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	dsCfg := speechcmd.DefaultConfig()
+	dsCfg.SamplesPerCls = *samples
+	dsCfg.Seed = *seed
+	fmt.Fprintln(os.Stderr, "generating corpus...")
+	ds := speechcmd.Generate(dsCfg)
+	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
+
+	cfg := core.DefaultConfig(speechcmd.NumClasses)
+	cfg.WidthMult = *width
+	h := core.New(cfg, rand.New(rand.NewSource(*seed)))
+
+	if *params != "" {
+		f, err := os.Open(*params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := nn.LoadParams(f, h); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	} else {
+		fmt.Fprintln(os.Stderr, "training ST-HybridNet through the staged schedule...")
+		base := train.Config{
+			BatchSize: 20,
+			Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
+			Loss:      train.MultiClassHinge,
+			Seed:      *seed,
+			OnEpoch: func(epoch int, loss float64) {
+				h.AnnealSigma(float64(epoch)/float64(3**epochs), 8)
+			},
+		}
+		train.RunStaged(h, x, y, train.StagedConfig{
+			Base: base, WarmupEpochs: *epochs, QuantEpochs: *epochs, FixedEpochs: *epochs,
+		})
+	}
+	floatAcc := train.Accuracy(h, tx, ty, 64)
+	fmt.Printf("float test accuracy:   %.4f\n", floatAcc)
+
+	eng, err := deploy.Compile(h, x)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Verify the integer engine against the float model.
+	dim := tx.Dim(1)
+	agree, correct := 0, 0
+	floatPred := h.Forward(tx, false).ArgmaxRows()
+	for i := 0; i < tx.Dim(0); i++ {
+		_, cls := eng.Infer(tx.Data[i*dim : (i+1)*dim])
+		if cls == floatPred[i] {
+			agree++
+		}
+		if cls == ty[i] {
+			correct++
+		}
+	}
+	fmt.Printf("integer test accuracy: %.4f\n", float64(correct)/float64(tx.Dim(0)))
+	fmt.Printf("float/int agreement:   %d/%d\n", agree, tx.Dim(0))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := eng.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	var floatBytes int64
+	for _, p := range h.Params() {
+		floatBytes += int64(p.W.Size()) * 4
+	}
+	fmt.Printf("wrote %s: %d bytes (float32 parameters would be %d bytes, %.1fx larger)\n",
+		*out, n, floatBytes, float64(floatBytes)/float64(n))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command kws-stream runs always-on keyword detection over an audio stream:
+// either a WAV file or a synthetic scripted stream. A small DS-CNN is
+// trained in-process (or loaded), and detections print with their stream
+// timestamps.
+//
+// Usage:
+//
+//	kws-stream                         # synthetic demo stream
+//	kws-stream -wav recording.wav      # detect keywords in a recording
+//	kws-stream -script yes,_,go,_,left # build the stream from words (_ = silence)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/audio"
+	"repro/internal/models"
+	"repro/internal/speechcmd"
+	"repro/internal/stream"
+	"repro/internal/train"
+)
+
+func main() {
+	wavIn := flag.String("wav", "", "stream this WAV file through the detector")
+	script := flag.String("script", "_,_,yes,_,go,_,_,left,_", "comma-separated words for a synthetic stream (_ = silence)")
+	width := flag.Float64("width", 0.2, "classifier width multiplier")
+	samples := flag.Int("samples", 40, "training samples per class")
+	epochs := flag.Int("epochs", 18, "training epochs")
+	threshold := flag.Float64("threshold", 0.5, "smoothed-posterior detection threshold")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	cfg := speechcmd.DefaultConfig()
+	cfg.SamplesPerCls = *samples
+	cfg.Seed = *seed
+	fmt.Fprintln(os.Stderr, "training classifier...")
+	ds := speechcmd.Generate(cfg)
+	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+	rng := rand.New(rand.NewSource(*seed))
+	m := models.NewDSCNN(speechcmd.NumClasses, *width, rng)
+	train.Run(m, x, y, train.Config{
+		Epochs:    *epochs,
+		BatchSize: 20,
+		Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
+		Loss:      train.CrossEntropy,
+		Seed:      *seed,
+	})
+	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
+	fmt.Fprintf(os.Stderr, "test accuracy: %.2f%%\n", 100*train.Accuracy(m, tx, ty, 64))
+
+	var wave []float64
+	if *wavIn != "" {
+		f, err := os.Open(*wavIn)
+		if err != nil {
+			fatal(err)
+		}
+		samples, rate, err := audio.ReadWAV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		wave = audio.Resample(samples, rate, cfg.SampleRate)
+		fmt.Fprintf(os.Stderr, "streaming %s (%.1fs)\n", *wavIn, float64(len(wave))/float64(cfg.SampleRate))
+	} else {
+		wrng := rand.New(rand.NewSource(*seed + 99))
+		for i, w := range strings.Split(*script, ",") {
+			word := strings.TrimSpace(w)
+			if word == "_" || word == "silence" {
+				word = ""
+			}
+			label := word
+			if label == "" {
+				label = "(silence)"
+			}
+			fmt.Fprintf(os.Stderr, "  %ds: %s\n", i, label)
+			wave = append(wave, speechcmd.SynthesizeUtterance(word, cfg, wrng)...)
+		}
+	}
+
+	dcfg := stream.DefaultConfig(cfg.SampleRate)
+	dcfg.IgnoreClass = speechcmd.SilenceClass
+	dcfg.IgnoreClass2 = speechcmd.UnknownClass
+	dcfg.Threshold = float32(*threshold)
+	det := stream.NewDetector(dcfg, &stream.ModelClassifier{Model: m, Classes: speechcmd.NumClasses},
+		ds.FeatMean, ds.FeatStd)
+
+	names := speechcmd.ClassNames()
+	chunk := cfg.SampleRate / 10
+	count := 0
+	for lo := 0; lo < len(wave); lo += chunk {
+		hi := lo + chunk
+		if hi > len(wave) {
+			hi = len(wave)
+		}
+		for _, ev := range det.Push(wave[lo:hi]) {
+			fmt.Printf("%6.2fs  %-8s posterior %.2f\n",
+				float64(ev.Sample)/float64(cfg.SampleRate), names[ev.Class], ev.Score)
+			count++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d detections\n", count)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

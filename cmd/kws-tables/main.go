@@ -1,0 +1,61 @@
+// Command kws-tables regenerates the paper's evaluation tables (1-7) on the
+// synthetic speech-commands corpus.
+//
+// Cost columns (muls, adds, ops, model size, memory footprint) are computed
+// analytically at the paper's full model width; accuracy columns are
+// measured by training each architecture at the configured reduced scale.
+//
+// Usage:
+//
+//	kws-tables                 # all tables at the standard scale
+//	kws-tables -table 4        # just Table 4
+//	kws-tables -width 0.5 -samples 150 -epochs 45   # bigger budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number 1-7, 8 = Section 5 comparison (0 = all incl. 8)")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies (scaling granularity, depthwise width, addition budget)")
+	width := flag.Float64("width", exp.Standard.WidthMult, "model width multiplier for accuracy training")
+	samples := flag.Int("samples", exp.Standard.SamplesPerCls, "synthetic corpus samples per class")
+	epochs := flag.Int("epochs", exp.Standard.Epochs, "epochs per training stage")
+	seed := flag.Int64("seed", 1, "corpus and initialisation seed")
+	quiet := flag.Bool("quiet", false, "suppress training progress")
+	flag.Parse()
+
+	scale := exp.Scale{WidthMult: *width, SamplesPerCls: *samples, Epochs: *epochs, Seed: *seed}
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	ctx := exp.NewContext(scale, log)
+
+	tables := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	start := time.Now()
+	for _, n := range tables {
+		t, err := exp.Generate(ctx, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+	}
+	if *ablations {
+		for _, t := range exp.Ablations(ctx) {
+			t.Render(os.Stdout)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,140 @@
+// Command kws-train trains one of the repository's keyword-spotting
+// architectures on the synthetic speech-commands corpus and saves the
+// trained parameters to a gob file for kws-infer.
+//
+// Usage:
+//
+//	kws-train -model st-hybrid -out model.gob
+//	kws-train -model dscnn -width 0.5 -epochs 40
+//
+// Models: dscnn, st-dscnn, cnn, dnn, lstm, basic-lstm, gru, crnn, hybrid,
+// st-hybrid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/speechcmd"
+	"repro/internal/train"
+)
+
+func main() {
+	model := flag.String("model", "st-hybrid", "architecture to train")
+	width := flag.Float64("width", 0.25, "model width multiplier")
+	samples := flag.Int("samples", 80, "synthetic corpus samples per class")
+	epochs := flag.Int("epochs", 30, "epochs (per stage, for strassenified models)")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("out", "", "write trained parameters to this file")
+	confusion := flag.Bool("confusion", false, "print the test-set confusion matrix and per-class stats")
+	flag.Parse()
+
+	dsCfg := speechcmd.DefaultConfig()
+	dsCfg.SamplesPerCls = *samples
+	dsCfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating corpus (%d samples/class)...\n", *samples)
+	ds := speechcmd.Generate(dsCfg)
+	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+	vx, vy := speechcmd.Batch(ds.Val, 0, len(ds.Val))
+	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
+
+	rng := rand.New(rand.NewSource(*seed))
+	var m nn.Layer
+	loss := train.CrossEntropy
+	staged := false
+	var hybrid *core.Hybrid
+	switch *model {
+	case "dscnn":
+		m = models.NewDSCNN(speechcmd.NumClasses, *width, rng)
+	case "st-dscnn":
+		m = models.NewSTDSCNN(speechcmd.NumClasses, *width, 0.75, rng)
+		staged = true
+	case "cnn":
+		m = models.NewCNN(speechcmd.NumClasses, *width, rng)
+	case "dnn":
+		m = models.NewDNN(speechcmd.NumClasses, *width, rng)
+	case "lstm":
+		m = models.NewLSTMModel(speechcmd.NumClasses, *width, rng)
+	case "basic-lstm":
+		m = models.NewBasicLSTM(speechcmd.NumClasses, *width, rng)
+	case "gru":
+		m = models.NewGRUModel(speechcmd.NumClasses, *width, rng)
+	case "crnn":
+		m = models.NewCRNN(speechcmd.NumClasses, *width, rng)
+	case "hybrid", "st-hybrid":
+		cfg := core.DefaultConfig(speechcmd.NumClasses)
+		cfg.WidthMult = *width
+		cfg.Strassen = *model == "st-hybrid"
+		hybrid = core.New(cfg, rng)
+		m = hybrid
+		loss = train.MultiClassHinge
+		staged = cfg.Strassen
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(1)
+	}
+
+	cfg := train.Config{
+		Epochs:    *epochs,
+		BatchSize: 20,
+		Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
+		Loss:      loss,
+		Seed:      *seed,
+		Log:       os.Stderr,
+	}
+	if hybrid != nil {
+		total := *epochs
+		if staged {
+			total = 3 * *epochs
+		}
+		cfg.OnEpoch = func(epoch int, l float64) {
+			hybrid.AnnealSigma(float64(epoch)/float64(total), 8)
+		}
+	}
+	if staged {
+		train.RunStaged(m, x, y, train.StagedConfig{
+			Base: cfg, WarmupEpochs: *epochs, QuantEpochs: *epochs, FixedEpochs: *epochs,
+		})
+	} else {
+		train.Run(m, x, y, cfg)
+	}
+
+	fmt.Printf("model=%s width=%.2f params=%d\n", *model, *width, nn.NumParams(m))
+	fmt.Printf("val accuracy:  %.4f\n", train.Accuracy(m, vx, vy, 64))
+	fmt.Printf("test accuracy: %.4f\n", train.Accuracy(m, tx, ty, 64))
+
+	if *confusion {
+		pred := m.Forward(tx, false).ArgmaxRows()
+		cm := metrics.NewConfusion(speechcmd.NumClasses)
+		cm.AddAll(ty, pred)
+		fmt.Println()
+		fmt.Print(cm.Render(speechcmd.ClassNames()))
+		if top := cm.TopConfusions(3); len(top) > 0 {
+			names := speechcmd.ClassNames()
+			fmt.Println("most frequent mistakes:")
+			for _, p := range top {
+				fmt.Printf("  %s -> %s (%d times)\n", names[p[0]], names[p[1]], p[2])
+			}
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := nn.SaveParams(f, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved parameters to %s\n", *out)
+	}
+}

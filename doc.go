@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Ternary Hybrid
+// Neural-Tree Networks for Highly Constrained IoT Applications"
+// (Gope, Dasika & Mattina, SysML 2019).
+//
+// The implementation lives under internal/: a float32 tensor substrate, an
+// explicit-backprop layer library, StrassenNets ternary sum-product
+// networks, Bonsai decision trees, the hybrid neural-tree network itself,
+// an MFCC front end, a synthetic speech-commands corpus, post-training
+// quantization, gradual pruning, op/size accounting, and an experiment
+// harness that regenerates every table and figure of the paper. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,105 @@
+// Deploy example: post-training quantization and ternary packing.
+//
+// This walks the paper's deployment path (Section 4, Table 6): train an
+// ST-HybridNet, quantise the remaining full-precision weights and the
+// activations without retraining, compare accuracy and memory footprint
+// under the fully-8-bit and mixed 8/16-bit policies, and finally pack the
+// fixed ternary matrices at 2 bits per weight into a binary blob — the form
+// a microcontroller runtime would ship.
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/opcount"
+	"repro/internal/quant"
+	"repro/internal/speechcmd"
+	"repro/internal/strassen"
+	"repro/internal/train"
+)
+
+func main() {
+	// Train a reduced-width ST-HybridNet through the staged schedule.
+	dsCfg := speechcmd.DefaultConfig()
+	dsCfg.SamplesPerCls = 40
+	ds := speechcmd.Generate(dsCfg)
+	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
+
+	cfg := core.DefaultConfig(speechcmd.NumClasses)
+	cfg.WidthMult = 0.2
+	h := core.New(cfg, rand.New(rand.NewSource(1)))
+	const perStage = 12
+	base := train.Config{
+		BatchSize: 20,
+		Schedule:  train.StepSchedule{Base: 0.01, Every: 7, Factor: 0.3},
+		Loss:      train.MultiClassHinge,
+		Seed:      1,
+		Log:       os.Stderr,
+		OnEpoch: func(epoch int, loss float64) {
+			h.AnnealSigma(float64(epoch)/float64(3*perStage), 8)
+		},
+	}
+	train.RunStaged(h, x, y, train.StagedConfig{
+		Base: base, WarmupEpochs: perStage, QuantEpochs: perStage, FixedEpochs: perStage,
+	})
+	fpAcc := train.Accuracy(h, tx, ty, 64)
+	fmt.Printf("\nfull-precision test accuracy: %.2f%%\n\n", 100*fpAcc)
+
+	// Post-training quantization, no retraining — the paper's Table 6.
+	restore := quant.QuantizeWeights(h, 16) // â and biases to 16-bit
+	defer restore()
+	for _, pol := range []quant.Policy{quant.Act8, quant.ActMixed816} {
+		sim := quant.Calibrate(h, x, pol)
+		acc := train.Accuracy(sim, tx, ty, 64)
+		fmt.Printf("%-32s accuracy %.2f%% (drop %+.2f points)\n",
+			pol.String()+":", 100*acc, 100*(acc-fpAcc))
+	}
+
+	// Memory accounting at paper scale.
+	full := opcount.Count(core.New(core.DefaultConfig(speechcmd.NumClasses),
+		rand.New(rand.NewSource(1))), models.InputDim)
+	fmt.Printf("\nmemory at paper scale (model + max live activations):\n")
+	fmt.Printf("  model size (2-bit ternary + 16-bit â/bias): %.2fKB\n", full.ModelSizeBytes(2)/1024)
+	fmt.Printf("  footprint, fully 8-bit activations:         %.2fKB (paper: 26.17KB)\n",
+		full.MemoryFootprintBytes(2, 1, 1)/1024)
+	fmt.Printf("  footprint, mixed 8/16-bit activations:      %.2fKB (paper: 41.8KB)\n",
+		full.MemoryFootprintBytes(2, 1, 2)/1024)
+
+	// Pack the ternary matrices 2 bits per weight.
+	blob := packTernary(h)
+	const out = "st_hybrid_ternary.bin"
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\npacked %d ternary weights into %s (%d bytes, 2 bits/weight)\n",
+		len(blob)*4, out, len(blob))
+}
+
+// packTernary packs every ternary matrix of the model at 2 bits per entry:
+// 00 = 0, 01 = +1, 10 = -1, four entries per byte.
+func packTernary(model *core.Hybrid) []byte {
+	var vals []int8
+	for _, t := range strassen.CollectTernary(model) {
+		vals = append(vals, t.T...)
+	}
+	blob := make([]byte, (len(vals)+3)/4)
+	for i, v := range vals {
+		var code byte
+		switch v {
+		case 1:
+			code = 0b01
+		case -1:
+			code = 0b10
+		}
+		blob[i/4] |= code << uint((i%4)*2)
+	}
+	return blob
+}

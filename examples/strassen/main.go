@@ -1,0 +1,108 @@
+// Strassen example: from exact Strassen multiplication to learned
+// approximate SPNs.
+//
+// Part 1 evaluates the classic ternary sum-product network that multiplies
+// two 2×2 matrices with 7 multiplications — equation (1) of the paper —
+// and verifies it against the naive product.
+//
+// Part 2 trains strassenified dense layers with different hidden widths r to
+// approximate a fixed linear map, reproducing in miniature the paper's
+// Table 1 trade-off: more hidden units → better fidelity but more additions.
+//
+//	go run ./examples/strassen
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+func main() {
+	exactStrassen()
+	learnedSPN()
+}
+
+func exactStrassen() {
+	fmt.Println("Part 1 — exact Strassen 2×2 multiplication as a ternary SPN")
+	wa, wb, wc := strassen.Strassen2x2()
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(2, 2).Rand(rng, 1)
+	b := tensor.New(2, 2).Rand(rng, 1)
+	spn := strassen.SPN(wa, wb, wc, a.Data, b.Data)
+	naive := tensor.MatMul(a, b)
+	fmt.Printf("  A = %v\n  B = %v\n", a.Data, b.Data)
+	fmt.Printf("  naive A·B (8 muls):   %v\n", naive.Data)
+	fmt.Printf("  Strassen SPN (7 muls): %v\n", spn)
+	var maxErr float64
+	for i := range spn {
+		if d := float64(spn[i] - naive.Data[i]); d*d > maxErr*maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("  max abs error: %.2e\n\n", maxErr)
+}
+
+func learnedSPN() {
+	fmt.Println("Part 2 — learned approximate SPNs: fidelity vs hidden width r")
+	fmt.Println("  approximating a fixed 8→8 linear map with ternary Wb, Wc and full-precision â")
+	fmt.Println()
+	rng := rand.New(rand.NewSource(2))
+	const in, out = 8, 8
+	target := tensor.New(out, in).Rand(rng, 1)
+
+	// Training set: random inputs with exact targets.
+	const n = 256
+	xs := tensor.New(n, in).Rand(rng, 1)
+	ys := tensor.MatMulT2(xs, target)
+
+	fmt.Printf("  %4s  %12s  %8s  %8s\n", "r", "final MSE", "muls", "adds")
+	for _, r := range []int{4, 8, 12, 16, 24} {
+		d := strassen.NewDense(fmt.Sprintf("spn-r%d", r), in, out, r, rng)
+		mse := trainSPN(d, xs, ys)
+		adds := 0
+		for _, t := range d.TernaryMatrices() {
+			adds += t.NNZ()
+		}
+		fmt.Printf("  %4d  %12.5f  %8d  %8d\n", r, mse, r, adds)
+	}
+	fmt.Println("\n  (exactly the paper's trade-off: wider SPN hidden layers recover")
+	fmt.Println("   accuracy but the ternary matrices contribute more additions)")
+}
+
+// trainSPN runs the full three-stage schedule on one strassenified dense
+// layer and returns the final mean squared error.
+func trainSPN(d *strassen.Dense, xs, ys *tensor.Tensor) float64 {
+	n := xs.Dim(0)
+	step := func(lr float32, epochs int) {
+		for e := 0; e < epochs; e++ {
+			nn.ZeroGrads(d)
+			out := d.Forward(xs, true)
+			g := out.Clone()
+			g.Sub(ys).Scale(2 / float32(n))
+			d.Backward(g)
+			for _, p := range d.Params() {
+				if p.Frozen {
+					continue
+				}
+				p.W.AddScaled(p.G, -lr)
+			}
+		}
+	}
+	step(0.05, 150)
+	d.SetMode(strassen.Quantizing)
+	step(0.02, 250)
+	d.SetMode(strassen.Fixed)
+	step(0.02, 150)
+
+	out := d.Forward(xs, false)
+	var mse float64
+	for i := range out.Data {
+		diff := float64(out.Data[i] - ys.Data[i])
+		mse += diff * diff
+	}
+	return mse / float64(len(out.Data))
+}

@@ -1,0 +1,29 @@
+package audio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadWAV ensures the WAV parser never panics on arbitrary input; it may
+// return errors but must not crash or hang.
+func FuzzReadWAV(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteWAV(&valid, []float64{0.1, -0.2, 0.3}, 8000)
+	f.Add(valid.Bytes())
+	f.Add([]byte("RIFF\x00\x00\x00\x00WAVE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, rate, err := ReadWAV(bytes.NewReader(data))
+		if err == nil {
+			if rate <= 0 {
+				t.Fatalf("accepted rate %d", rate)
+			}
+			for _, s := range samples {
+				if s < -1.01 || s > 1.01 {
+					t.Fatalf("out-of-range sample %v", s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package audio reads and writes mono 16-bit PCM WAV files using only the
+// standard library, so the inference and streaming tools can consume real
+// recordings and the synthetic corpus can be exported for listening.
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV container constants (RIFF/WAVE, PCM).
+const (
+	pcmFormat     = 1
+	bitsPerSample = 16
+)
+
+// WriteWAV writes samples in [-1, 1] as a mono 16-bit PCM WAV file.
+func WriteWAV(w io.Writer, samples []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return errors.New("audio: sample rate must be positive")
+	}
+	dataLen := len(samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], pcmFormat)
+	binary.LittleEndian.PutUint16(hdr[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(sampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                    // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], bitsPerSample)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		v := int16(math.Round(clamp(s, -1, 1) * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ReadWAV reads a mono (or first-channel of a multi-channel) 16-bit PCM WAV
+// file, returning samples in [-1, 1] and the sample rate.
+func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return nil, 0, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return nil, 0, errors.New("audio: not a RIFF/WAVE file")
+	}
+	var channels, bits int
+	var rate int
+	var data []byte
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return nil, 0, err
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		if size > 1<<30 {
+			return nil, 0, fmt.Errorf("audio: chunk %q too large (%d bytes)", id, size)
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, 0, fmt.Errorf("audio: reading chunk %q: %w", id, err)
+		}
+		if size%2 == 1 { // chunks are word-aligned
+			var pad [1]byte
+			io.ReadFull(r, pad[:])
+		}
+		switch id {
+		case "fmt ":
+			if len(body) < 16 {
+				return nil, 0, errors.New("audio: short fmt chunk")
+			}
+			format := int(binary.LittleEndian.Uint16(body[0:2]))
+			if format != pcmFormat {
+				return nil, 0, fmt.Errorf("audio: unsupported format %d (want PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			rate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+		case "data":
+			data = body
+		}
+		if data != nil && rate != 0 {
+			break
+		}
+	}
+	if rate == 0 {
+		return nil, 0, errors.New("audio: missing fmt chunk")
+	}
+	if data == nil {
+		return nil, 0, errors.New("audio: missing data chunk")
+	}
+	if bits != bitsPerSample {
+		return nil, 0, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+	}
+	if channels < 1 {
+		return nil, 0, errors.New("audio: no channels")
+	}
+	frame := 2 * channels
+	n := len(data) / frame
+	samples = make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := int16(binary.LittleEndian.Uint16(data[i*frame:]))
+		samples[i] = float64(v) / 32767
+	}
+	return samples, rate, nil
+}
+
+// Resample converts samples from one rate to another with linear
+// interpolation — sufficient for moving recordings onto the corpus rate.
+func Resample(samples []float64, fromRate, toRate int) []float64 {
+	if fromRate == toRate || len(samples) == 0 {
+		return samples
+	}
+	n := int(float64(len(samples)) * float64(toRate) / float64(fromRate))
+	out := make([]float64, n)
+	ratio := float64(fromRate) / float64(toRate)
+	for i := range out {
+		pos := float64(i) * ratio
+		j := int(pos)
+		frac := pos - float64(j)
+		if j+1 < len(samples) {
+			out[i] = samples[j]*(1-frac) + samples[j+1]*frac
+		} else {
+			out[i] = samples[len(samples)-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+// Package bonsai implements the Bonsai decision tree of Kumar, Goyal &
+// Varma (ICML 2017): a single shallow tree whose internal nodes use learned
+// hyperplane branching functions θₖᵀẑ and whose every node (internal and
+// leaf) contributes a non-linear prediction score
+//
+//	pₖ(x) = Wₖᵀẑ ⊙ tanh(σ·Vₖᵀẑ),
+//
+// where ẑ = Z·x is a learned low-dimensional projection of the input. The
+// overall prediction is the indicator-weighted sum Σₖ Iₖ(x)·pₖ(x); during
+// training the path indicators Iₖ are smoothed with tanh(σᵢ·θₖᵀẑ) so the
+// whole tree is differentiable, and σᵢ is annealed upward until points
+// traverse (almost) a single path — exactly the schedule the paper uses.
+//
+// As in the paper's hybrid network, prediction scores are computed for every
+// node regardless of the traversed path, which keeps inference data-parallel
+// and branch-free.
+//
+// The node linear maps (Z, Wₖ, Vₖ) are pluggable nn.Layers, so the same tree
+// runs with plain dense matrices or strassenified (ternary SPN) ones — the
+// paper's ST-HybridNet strassenifies them with hidden width r = L.
+package bonsai
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config describes a Bonsai tree.
+type Config struct {
+	Depth      int     // tree depth T; internal nodes 2^T-1, leaves 2^T
+	InputDim   int     // D, dimension of the raw input
+	ProjDim    int     // D̂, dimension of the projected space
+	NumClasses int     // L
+	SigmaPred  float32 // σ inside the prediction non-linearity
+	SigmaInd   float32 // initial σᵢ of the smoothed path indicators
+	Project    bool    // when false, InputDim must equal ProjDim and Z is omitted
+}
+
+// NumNodes returns the total number of tree nodes, 2^(T+1)-1.
+func (c Config) NumNodes() int { return (1 << (c.Depth + 1)) - 1 }
+
+// NumInternal returns the number of internal (branching) nodes, 2^T-1.
+func (c Config) NumInternal() int { return (1 << c.Depth) - 1 }
+
+// LinearFactory builds the linear maps inside the tree. in→out without bias.
+// Plug nn.NewDenseNoBias for a standard Bonsai or a strassen.Dense
+// constructor for the strassenified variant.
+type LinearFactory func(name string, in, out int) nn.Layer
+
+// DenseFactory is the default factory producing plain dense maps.
+func DenseFactory(rng *rand.Rand) LinearFactory {
+	return func(name string, in, out int) nn.Layer {
+		return nn.NewDenseNoBias(name, in, out, rng)
+	}
+}
+
+// Tree is a differentiable Bonsai tree implementing nn.Layer over
+// [batch, InputDim] inputs, producing [batch, NumClasses] scores.
+type Tree struct {
+	Cfg   Config
+	Z     nn.Layer   // projection, nil when !Cfg.Project
+	Theta *nn.Param  // [numInternal, projDim] branching hyperplanes
+	W     []nn.Layer // per node: projDim → L
+	V     []nn.Layer // per node: projDim → L
+
+	// caches
+	lastZ    *tensor.Tensor   // [n, projDim]
+	lastInd  *tensor.Tensor   // [n, numNodes] path indicators
+	lastTanh *tensor.Tensor   // [n, numInternal] tanh(σᵢ·θᵀẑ)
+	lastWOut []*tensor.Tensor // per node [n, L]
+	lastVAct []*tensor.Tensor // per node [n, L] = tanh(σ·V ẑ)
+}
+
+// New builds a Bonsai tree with the given configuration and linear factory.
+func New(name string, cfg Config, factory LinearFactory, rng *rand.Rand) *Tree {
+	if !cfg.Project && cfg.InputDim != cfg.ProjDim {
+		panic("bonsai: Project=false requires InputDim == ProjDim")
+	}
+	if cfg.SigmaPred == 0 {
+		cfg.SigmaPred = 1
+	}
+	if cfg.SigmaInd == 0 {
+		cfg.SigmaInd = 1
+	}
+	t := &Tree{Cfg: cfg}
+	if cfg.Project {
+		t.Z = factory(name+".Z", cfg.InputDim, cfg.ProjDim)
+	}
+	theta := tensor.New(cfg.NumInternal(), cfg.ProjDim).GlorotUniform(rng, cfg.ProjDim, 1)
+	t.Theta = nn.NewParam(name+".theta", theta)
+	for k := 0; k < cfg.NumNodes(); k++ {
+		t.W = append(t.W, factory(nodeName(name, "W", k), cfg.ProjDim, cfg.NumClasses))
+		t.V = append(t.V, factory(nodeName(name, "V", k), cfg.ProjDim, cfg.NumClasses))
+	}
+	return t
+}
+
+func nodeName(base, kind string, k int) string {
+	return base + "." + kind + string(rune('0'+k/10)) + string(rune('0'+k%10))
+}
+
+// SetSigmaInd updates the indicator sharpness (annealed upward in training).
+func (t *Tree) SetSigmaInd(s float32) { t.Cfg.SigmaInd = s }
+
+// Forward computes indicator-weighted prediction scores for a
+// [batch, InputDim] input.
+func (t *Tree) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "bonsai input", -1, t.Cfg.InputDim)
+	n := x.Dim(0)
+	zh := x
+	if t.Z != nil {
+		zh = t.Z.Forward(x, train)
+	}
+	d := t.Cfg.ProjDim
+	nInt := t.Cfg.NumInternal()
+	nNodes := t.Cfg.NumNodes()
+	L := t.Cfg.NumClasses
+
+	// Path indicators via the smoothed branching recursion (1-based nodes).
+	ind := tensor.New(n, nNodes)
+	th := tensor.New(n, nInt)
+	for i := 0; i < n; i++ {
+		ind.Data[i*nNodes] = 1 // root
+	}
+	for k := 1; k <= nInt; k++ {
+		thetaK := t.Theta.W.Data[(k-1)*d : k*d]
+		for i := 0; i < n; i++ {
+			zRow := zh.Data[i*d : (i+1)*d]
+			var b float32
+			for j, v := range thetaK {
+				b += v * zRow[j]
+			}
+			tk := float32(math.Tanh(float64(t.Cfg.SigmaInd * b)))
+			th.Data[i*nInt+k-1] = tk
+			pk := ind.Data[i*nNodes+k-1]
+			ind.Data[i*nNodes+2*k-1] = pk * (1 + tk) / 2 // left child 2k
+			ind.Data[i*nNodes+2*k] = pk * (1 - tk) / 2   // right child 2k+1
+		}
+	}
+
+	// Node prediction scores, computed for every node (branch-free).
+	out := tensor.New(n, L)
+	wOuts := make([]*tensor.Tensor, nNodes)
+	vActs := make([]*tensor.Tensor, nNodes)
+	for k := 0; k < nNodes; k++ {
+		wo := t.W[k].Forward(zh, train) // [n, L]
+		vo := t.V[k].Forward(zh, train) // [n, L]
+		va := vo.Clone()
+		for i := range va.Data {
+			va.Data[i] = float32(math.Tanh(float64(t.Cfg.SigmaPred * va.Data[i])))
+		}
+		for i := 0; i < n; i++ {
+			ik := ind.Data[i*nNodes+k]
+			if ik == 0 {
+				continue
+			}
+			oRow := out.Data[i*L : (i+1)*L]
+			wRow := wo.Data[i*L : (i+1)*L]
+			aRow := va.Data[i*L : (i+1)*L]
+			for j := range oRow {
+				oRow[j] += ik * wRow[j] * aRow[j]
+			}
+		}
+		wOuts[k], vActs[k] = wo, va
+	}
+	if train {
+		t.lastZ, t.lastInd, t.lastTanh = zh, ind, th
+		t.lastWOut, t.lastVAct = wOuts, vActs
+	}
+	return out
+}
+
+// Backward propagates through the indicator recursion, node predictions and
+// (optionally) the projection.
+func (t *Tree) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if t.lastInd == nil {
+		panic("bonsai: Backward called before Forward(train=true)")
+	}
+	n := dout.Dim(0)
+	d := t.Cfg.ProjDim
+	nInt := t.Cfg.NumInternal()
+	nNodes := t.Cfg.NumNodes()
+	L := t.Cfg.NumClasses
+
+	dz := tensor.New(n, d)
+	dInd := tensor.New(n, nNodes)
+
+	// Through prediction scores: y += I_k · (W ⊙ tanh(σ V)).
+	for k := 0; k < nNodes; k++ {
+		wo, va := t.lastWOut[k], t.lastVAct[k]
+		dW := tensor.New(n, L) // grad into W-branch output
+		dV := tensor.New(n, L) // grad into V-branch output (pre-tanh)
+		for i := 0; i < n; i++ {
+			ik := t.lastInd.Data[i*nNodes+k]
+			gRow := dout.Data[i*L : (i+1)*L]
+			wRow := wo.Data[i*L : (i+1)*L]
+			aRow := va.Data[i*L : (i+1)*L]
+			var dIk float32
+			dwRow := dW.Data[i*L : (i+1)*L]
+			dvRow := dV.Data[i*L : (i+1)*L]
+			for j := range gRow {
+				g := gRow[j]
+				dIk += g * wRow[j] * aRow[j]
+				dwRow[j] = g * ik * aRow[j]
+				dvRow[j] = g * ik * wRow[j] * (1 - aRow[j]*aRow[j]) * t.Cfg.SigmaPred
+			}
+			dInd.Data[i*nNodes+k] += dIk
+		}
+		dz.Add(t.W[k].Backward(dW))
+		dz.Add(t.V[k].Backward(dV))
+	}
+
+	// Through the indicator recursion, children before parents.
+	for k := nInt; k >= 1; k-- {
+		thetaK := t.Theta.W.Data[(k-1)*d : k*d]
+		gTheta := t.Theta.G.Data[(k-1)*d : k*d]
+		for i := 0; i < n; i++ {
+			dL := dInd.Data[i*nNodes+2*k-1]
+			dR := dInd.Data[i*nNodes+2*k]
+			tk := t.lastTanh.Data[i*nInt+k-1]
+			pk := t.lastInd.Data[i*nNodes+k-1]
+			// dI_k += dI_left·(1+t)/2 + dI_right·(1-t)/2
+			dInd.Data[i*nNodes+k-1] += dL*(1+tk)/2 + dR*(1-tk)/2
+			// dt = p_k·(dL - dR)/2 ; db = σᵢ(1-t²)·dt
+			db := t.Cfg.SigmaInd * (1 - tk*tk) * pk * (dL - dR) / 2
+			if db == 0 {
+				continue
+			}
+			zRow := t.lastZ.Data[i*d : (i+1)*d]
+			dzRow := dz.Data[i*d : (i+1)*d]
+			for j := range thetaK {
+				gTheta[j] += db * zRow[j]
+				dzRow[j] += db * thetaK[j]
+			}
+		}
+	}
+
+	if t.Z != nil {
+		return t.Z.Backward(dz)
+	}
+	return dz
+}
+
+// Params returns all trainable parameters of the tree.
+func (t *Tree) Params() []*nn.Param {
+	ps := []*nn.Param{t.Theta}
+	if t.Z != nil {
+		ps = append(ps, t.Z.Params()...)
+	}
+	for k := range t.W {
+		ps = append(ps, t.W[k].Params()...)
+		ps = append(ps, t.V[k].Params()...)
+	}
+	return ps
+}
+
+// SubLayers returns the tree's internal linear layers (Z, then all W and V),
+// for op accounting and strassen-mode traversal.
+func (t *Tree) SubLayers() []nn.Layer {
+	var ls []nn.Layer
+	if t.Z != nil {
+		ls = append(ls, t.Z)
+	}
+	for k := range t.W {
+		ls = append(ls, t.W[k], t.V[k])
+	}
+	return ls
+}
+
+// PathTrace returns, for a single sample x of shape [1, InputDim], the
+// sequence of node indices (0-based) on the most probable root-to-leaf path
+// and the per-node indicator weights — used by the inference demo to show
+// the tree's decision path.
+func (t *Tree) PathTrace(x *tensor.Tensor) (path []int, indicators []float32) {
+	out := t.Forward(x, true) // reuse caches
+	_ = out
+	nNodes := t.Cfg.NumNodes()
+	node := 1
+	for {
+		path = append(path, node-1)
+		indicators = append(indicators, t.lastInd.Data[node-1])
+		if 2*node > nNodes {
+			break
+		}
+		left := t.lastInd.Data[2*node-1]
+		right := t.lastInd.Data[2*node]
+		if left >= right {
+			node = 2 * node
+		} else {
+			node = 2*node + 1
+		}
+	}
+	return path, indicators
+}

@@ -1,0 +1,251 @@
+package bonsai
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+func smallCfg() Config {
+	return Config{
+		Depth: 2, InputDim: 8, ProjDim: 4, NumClasses: 3,
+		SigmaPred: 1, SigmaInd: 1, Project: true,
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	c := Config{Depth: 2}
+	if c.NumNodes() != 7 || c.NumInternal() != 3 {
+		t.Fatalf("depth 2: nodes=%d internal=%d, want 7/3", c.NumNodes(), c.NumInternal())
+	}
+	c.Depth = 1
+	if c.NumNodes() != 3 || c.NumInternal() != 1 {
+		t.Fatalf("depth 1: nodes=%d internal=%d, want 3/1", c.NumNodes(), c.NumInternal())
+	}
+	c.Depth = 4
+	if c.NumNodes() != 31 || c.NumInternal() != 15 {
+		t.Fatalf("depth 4: nodes=%d internal=%d, want 31/15", c.NumNodes(), c.NumInternal())
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New("b", smallCfg(), DenseFactory(rng), rng)
+	x := tensor.New(5, 8).Rand(rng, 1)
+	y := tree.Forward(x, false)
+	if y.Dim(0) != 5 || y.Dim(1) != 3 {
+		t.Fatalf("output shape %v, want [5 3]", y.Shape())
+	}
+}
+
+func TestIndicatorsFormPartitionOfUnity(t *testing.T) {
+	// At each depth level the indicators must sum to 1 for every sample
+	// (smoothed routing conserves probability mass).
+	rng := rand.New(rand.NewSource(2))
+	cfg := smallCfg()
+	tree := New("b", cfg, DenseFactory(rng), rng)
+	x := tensor.New(4, 8).Rand(rng, 1)
+	tree.Forward(x, true)
+	nNodes := cfg.NumNodes()
+	for i := 0; i < 4; i++ {
+		// Depth 1: nodes 2,3 (1-based) → indices 1,2. Depth 2: 4..7 → 3..6.
+		lvl1 := tree.lastInd.Data[i*nNodes+1] + tree.lastInd.Data[i*nNodes+2]
+		lvl2 := tree.lastInd.Data[i*nNodes+3] + tree.lastInd.Data[i*nNodes+4] +
+			tree.lastInd.Data[i*nNodes+5] + tree.lastInd.Data[i*nNodes+6]
+		if math.Abs(float64(lvl1-1)) > 1e-5 || math.Abs(float64(lvl2-1)) > 1e-5 {
+			t.Fatalf("indicator mass: level1=%v level2=%v, want 1", lvl1, lvl2)
+		}
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := New("b", smallCfg(), DenseFactory(rng), rng)
+	x := tensor.New(3, 8).Rand(rng, 1)
+	if err := nn.GradCheck(tree, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckNoProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{Depth: 1, InputDim: 6, ProjDim: 6, NumClasses: 2, SigmaPred: 1, SigmaInd: 1, Project: false}
+	tree := New("b", cfg, DenseFactory(rng), rng)
+	x := tensor.New(2, 6).Rand(rng, 1)
+	if err := nn.GradCheck(tree, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckStrassenNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := Config{Depth: 1, InputDim: 6, ProjDim: 4, NumClasses: 3, SigmaPred: 1, SigmaInd: 1, Project: true}
+	factory := func(name string, in, out int) nn.Layer {
+		d := strassen.NewDense(name, in, out, out, rng)
+		d.Bias = nil
+		return d
+	}
+	tree := New("b", cfg, factory, rng)
+	x := tensor.New(2, 6).Rand(rng, 1)
+	if err := nn.GradCheck(tree, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharpIndicatorsApproachHardRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := smallCfg()
+	cfg.SigmaInd = 100 // nearly hard routing
+	tree := New("b", cfg, DenseFactory(rng), rng)
+	x := tensor.New(8, 8).Rand(rng, 2)
+	tree.Forward(x, true)
+	nNodes := cfg.NumNodes()
+	for i := 0; i < 8; i++ {
+		// Exactly one leaf (nodes 4..7 → idx 3..6) should carry ~all mass.
+		var maxLeaf float32
+		for k := 3; k < 7; k++ {
+			if v := tree.lastInd.Data[i*nNodes+k]; v > maxLeaf {
+				maxLeaf = v
+			}
+		}
+		if maxLeaf < 0.95 {
+			t.Fatalf("sample %d: max leaf indicator %v with sharp sigma", i, maxLeaf)
+		}
+	}
+}
+
+func TestSetSigmaIndChangesRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := New("b", smallCfg(), DenseFactory(rng), rng)
+	x := tensor.New(1, 8).Rand(rng, 2)
+	tree.Forward(x, true)
+	soft := append([]float32(nil), tree.lastInd.Data...)
+	tree.SetSigmaInd(50)
+	tree.Forward(x, true)
+	hard := tree.lastInd.Data
+	differs := false
+	for i := range soft {
+		if math.Abs(float64(soft[i]-hard[i])) > 1e-3 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("sigma annealing had no effect on indicators")
+	}
+}
+
+func TestParamsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := smallCfg()
+	tree := New("b", cfg, DenseFactory(rng), rng)
+	// θ + Z + 7 nodes × (W, V) = 1 + 1 + 14 parameters.
+	if got := len(tree.Params()); got != 16 {
+		t.Fatalf("params %d, want 16", got)
+	}
+	// Total scalars: θ 3×4 + Z 4×8 + 14 × (4×3).
+	want := 12 + 32 + 14*12
+	if got := nn.NumParams(tree); got != want {
+		t.Fatalf("NumParams=%d want %d", got, want)
+	}
+}
+
+func TestPathTraceReturnsRootToLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree := New("b", smallCfg(), DenseFactory(rng), rng)
+	x := tensor.New(1, 8).Rand(rng, 1)
+	path, inds := tree.PathTrace(x)
+	if len(path) != 3 || len(inds) != 3 {
+		t.Fatalf("depth-2 path has %d nodes, want 3", len(path))
+	}
+	if path[0] != 0 {
+		t.Fatalf("path starts at %d, want root 0", path[0])
+	}
+	if path[2] < 3 || path[2] > 6 {
+		t.Fatalf("path ends at %d, want a leaf 3..6", path[2])
+	}
+	// Child must be a valid child of the parent (1-based: 2k or 2k+1).
+	p1, p2 := path[0]+1, path[1]+1
+	if p2 != 2*p1 && p2 != 2*p1+1 {
+		t.Fatalf("node %d is not a child of %d", path[1], path[0])
+	}
+}
+
+func TestStrassenModeCollectsTreeMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := Config{Depth: 1, InputDim: 6, ProjDim: 4, NumClasses: 3, SigmaPred: 1, SigmaInd: 1, Project: true}
+	factory := func(name string, in, out int) nn.Layer {
+		d := strassen.NewDense(name, in, out, out, rng)
+		d.Bias = nil
+		return d
+	}
+	tree := New("b", cfg, factory, rng)
+	ts := strassen.CollectTernary(tree)
+	// Z + 3 nodes × 2 matrices = 7 strassen layers, each with Wb and Wc.
+	if len(ts) != 14 {
+		t.Fatalf("collected %d ternary matrices, want 14", len(ts))
+	}
+	strassen.SetModeAll(tree, strassen.Quantizing)
+	for _, tr := range ts {
+		if tr.Mode != strassen.Quantizing {
+			t.Fatal("mode not propagated into tree")
+		}
+	}
+}
+
+func TestTreeLearnsXORStyleTask(t *testing.T) {
+	// A depth-1 Bonsai with non-linear node predictors must separate a task
+	// a single linear model cannot: y = sign(x0·x1).
+	rng := rand.New(rand.NewSource(11))
+	cfg := Config{Depth: 1, InputDim: 2, ProjDim: 2, NumClasses: 2, SigmaPred: 1, SigmaInd: 1, Project: true}
+	tree := New("b", cfg, DenseFactory(rng), rng)
+	n := 200
+	xs := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float32()*2 - 1
+		b := rng.Float32()*2 - 1
+		xs.Data[i*2], xs.Data[i*2+1] = a, b
+		if a*b > 0 {
+			labels[i] = 1
+		}
+	}
+	lr := float32(0.05)
+	for epoch := 0; epoch < 300; epoch++ {
+		nn.ZeroGrads(tree)
+		out := tree.Forward(xs, true)
+		// Softmax cross-entropy gradient.
+		g := tensor.New(n, 2)
+		for i := 0; i < n; i++ {
+			o0, o1 := float64(out.At(i, 0)), float64(out.At(i, 1))
+			m := math.Max(o0, o1)
+			e0, e1 := math.Exp(o0-m), math.Exp(o1-m)
+			z := e0 + e1
+			g.Set(float32(e0/z), i, 0)
+			g.Set(float32(e1/z), i, 1)
+			g.Set(g.At(i, labels[i])-1, i, labels[i])
+		}
+		g.Scale(1 / float32(n))
+		tree.Backward(g)
+		for _, p := range tree.Params() {
+			p.W.AddScaled(p.G, -lr)
+		}
+		if epoch == 150 {
+			tree.SetSigmaInd(4) // anneal towards harder routing
+		}
+	}
+	out := tree.Forward(xs, false)
+	correct := 0
+	for i, pred := range out.ArgmaxRows() {
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	if acc < 0.9 {
+		t.Fatalf("Bonsai failed to learn XOR-style task: accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,128 @@
+package bonsai
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// SparsityBudget sets the fraction of nonzero entries each parameter group
+// of a Bonsai tree may keep, following the iterative-hard-thresholding (IHT)
+// training of the original Bonsai paper: after gradient steps, every
+// parameter is projected back onto its sparsity budget by zeroing its
+// smallest-magnitude entries.
+//
+// A budget of 1 (or ≤0) leaves a group dense.
+type SparsityBudget struct {
+	Z     float64 // projection matrix
+	Theta float64 // branching hyperplanes
+	W     float64 // node predictor W matrices
+	V     float64 // node predictor V matrices
+}
+
+// DenseBudget keeps everything dense (the default behaviour).
+func DenseBudget() SparsityBudget { return SparsityBudget{Z: 1, Theta: 1, W: 1, V: 1} }
+
+// Projector applies IHT projections to one tree.
+type Projector struct {
+	tree   *Tree
+	budget SparsityBudget
+}
+
+// NewProjector builds an IHT projector for the tree.
+func NewProjector(t *Tree, budget SparsityBudget) *Projector {
+	return &Projector{tree: t, budget: budget}
+}
+
+// hardThreshold zeroes all but the ⌈budget·n⌉ largest-magnitude entries.
+func hardThreshold(data []float32, budget float64) {
+	if budget >= 1 || budget <= 0 {
+		return
+	}
+	n := len(data)
+	keep := int(math.Ceil(budget * float64(n)))
+	if keep >= n {
+		return
+	}
+	mags := make([]float64, n)
+	for i, v := range data {
+		mags[i] = math.Abs(float64(v))
+	}
+	sorted := append([]float64(nil), mags...)
+	sort.Float64s(sorted)
+	threshold := sorted[n-keep]
+	kept := 0
+	for i := range data {
+		if mags[i] > threshold {
+			kept++
+			continue
+		}
+		if mags[i] == threshold && kept < keep {
+			kept++
+			continue
+		}
+		data[i] = 0
+	}
+}
+
+// paramsOf gathers the value tensors of a node-linear layer.
+func paramsOf(l nn.Layer) [][]float32 {
+	var out [][]float32
+	for _, p := range l.Params() {
+		if !p.Frozen {
+			out = append(out, p.W.Data)
+		}
+	}
+	return out
+}
+
+// Project applies the hard-thresholding step; call it after every optimiser
+// step (or every few steps) during the IHT phase of training.
+func (p *Projector) Project() {
+	if p.tree.Z != nil {
+		for _, data := range paramsOf(p.tree.Z) {
+			hardThreshold(data, p.budget.Z)
+		}
+	}
+	hardThreshold(p.tree.Theta.W.Data, p.budget.Theta)
+	for k := range p.tree.W {
+		for _, data := range paramsOf(p.tree.W[k]) {
+			hardThreshold(data, p.budget.W)
+		}
+		for _, data := range paramsOf(p.tree.V[k]) {
+			hardThreshold(data, p.budget.V)
+		}
+	}
+}
+
+// Sparsity reports the achieved nonzero fraction over all tree parameters.
+func (p *Projector) Sparsity() float64 {
+	var zeros, total int
+	count := func(data []float32) {
+		for _, v := range data {
+			if v == 0 {
+				zeros++
+			}
+		}
+		total += len(data)
+	}
+	if p.tree.Z != nil {
+		for _, d := range paramsOf(p.tree.Z) {
+			count(d)
+		}
+	}
+	count(p.tree.Theta.W.Data)
+	for k := range p.tree.W {
+		for _, d := range paramsOf(p.tree.W[k]) {
+			count(d)
+		}
+		for _, d := range paramsOf(p.tree.V[k]) {
+			count(d)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}

@@ -1,0 +1,175 @@
+package bonsai
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestHardThresholdKeepsLargest(t *testing.T) {
+	data := []float32{0.1, -0.9, 0.2, 0.8, -0.05, 0.7, 0.3, -0.6}
+	hardThreshold(data, 0.5)
+	kept := 0
+	for _, v := range data {
+		if v != 0 {
+			kept++
+		}
+	}
+	if kept != 4 {
+		t.Fatalf("kept %d of 8 at budget 0.5", kept)
+	}
+	for _, idx := range []int{1, 3, 5, 7} {
+		if data[idx] == 0 {
+			t.Fatalf("large entry %d was zeroed: %v", idx, data)
+		}
+	}
+}
+
+func TestHardThresholdEdgeBudgets(t *testing.T) {
+	data := []float32{1, 2, 3}
+	orig := append([]float32(nil), data...)
+	hardThreshold(data, 1)
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatal("budget 1 must be a no-op")
+		}
+	}
+	hardThreshold(data, 0)
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatal("budget 0 is treated as dense (disabled)")
+		}
+	}
+}
+
+// Property: the kept count is exactly ceil(budget·n) for distinct
+// magnitudes, and surviving entries dominate zeroed ones in magnitude.
+func TestQuickHardThreshold(t *testing.T) {
+	f := func(raw [16]int16, budRaw uint8) bool {
+		budget := 0.1 + 0.8*float64(budRaw)/255
+		data := make([]float32, len(raw))
+		seen := map[float32]bool{}
+		for i, v := range raw {
+			data[i] = float32(v) / 256
+			if seen[float32(math.Abs(float64(data[i])))] {
+				return true // skip ties: count is then implementation-defined
+			}
+			seen[float32(math.Abs(float64(data[i])))] = true
+		}
+		hardThreshold(data, budget)
+		keep := int(math.Ceil(budget * float64(len(data))))
+		kept := 0
+		minKept := math.Inf(1)
+		for _, v := range data {
+			if v != 0 {
+				kept++
+				if a := math.Abs(float64(v)); a < minKept {
+					minKept = a
+				}
+			}
+		}
+		return kept <= keep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectorReachesBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New("b", smallCfg(), DenseFactory(rng), rng)
+	p := NewProjector(tree, SparsityBudget{Z: 0.3, Theta: 0.5, W: 0.4, V: 0.4})
+	p.Project()
+	sparsity := p.Sparsity()
+	// Overall zeros should be roughly 1 - weighted(keep); at least half.
+	if sparsity < 0.4 {
+		t.Fatalf("sparsity %.3f after projection", sparsity)
+	}
+	// θ must keep exactly ceil(0.5 · 12) = 6 nonzeros.
+	nz := 0
+	for _, v := range tree.Theta.W.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 6 {
+		t.Fatalf("theta kept %d of 12 at budget 0.5", nz)
+	}
+}
+
+func TestDenseBudgetIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := New("b", smallCfg(), DenseFactory(rng), rng)
+	before := nn.NumParams(tree)
+	p := NewProjector(tree, DenseBudget())
+	p.Project()
+	if s := p.Sparsity(); s > 0.01 {
+		t.Fatalf("dense budget produced sparsity %v", s)
+	}
+	_ = before
+}
+
+func TestIHTTrainingKeepsAccuracy(t *testing.T) {
+	// Train the XOR-style task with IHT projections at a 60% keep budget;
+	// the sparse tree must still learn.
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Depth: 1, InputDim: 2, ProjDim: 4, NumClasses: 2, SigmaPred: 1, SigmaInd: 1, Project: true}
+	tree := New("b", cfg, DenseFactory(rng), rng)
+	proj := NewProjector(tree, SparsityBudget{Z: 1, Theta: 1, W: 0.7, V: 0.7})
+	n := 200
+	xs := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float32()*2 - 1
+		b := rng.Float32()*2 - 1
+		xs.Data[i*2], xs.Data[i*2+1] = a, b
+		if a*b > 0 {
+			labels[i] = 1
+		}
+	}
+	lr := float32(0.05)
+	for epoch := 0; epoch < 300; epoch++ {
+		nn.ZeroGrads(tree)
+		out := tree.Forward(xs, true)
+		g := tensor.New(n, 2)
+		for i := 0; i < n; i++ {
+			o0, o1 := float64(out.At(i, 0)), float64(out.At(i, 1))
+			m := math.Max(o0, o1)
+			e0, e1 := math.Exp(o0-m), math.Exp(o1-m)
+			z := e0 + e1
+			g.Set(float32(e0/z), i, 0)
+			g.Set(float32(e1/z), i, 1)
+			g.Set(g.At(i, labels[i])-1, i, labels[i])
+		}
+		g.Scale(1 / float32(n))
+		tree.Backward(g)
+		for _, p := range tree.Params() {
+			p.W.AddScaled(p.G, -lr)
+		}
+		// As in the Bonsai paper, IHT projections begin after a dense
+		// warm-up phase.
+		if epoch >= 100 {
+			proj.Project()
+		}
+		if epoch == 150 {
+			tree.SetSigmaInd(4)
+		}
+	}
+	out := tree.Forward(xs, false)
+	correct := 0
+	for i, pred := range out.ArgmaxRows() {
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.85 {
+		t.Fatalf("IHT-sparse Bonsai accuracy %.3f", acc)
+	}
+	if s := proj.Sparsity(); s < 0.15 {
+		t.Fatalf("expected visible sparsity, got %.3f", s)
+	}
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/opcount"
+	"repro/internal/tensor"
+)
+
+// Example builds the paper's ST-HybridNet at full scale and prints its
+// headline cost profile.
+func Example() {
+	h := core.New(core.DefaultConfig(12), rand.New(rand.NewSource(1)))
+	r := opcount.Count(h, models.InputDim)
+	fmt.Printf("muls=%.2fM adds(dense)=%.2fM ops=%.2fM\n",
+		float64(r.Total.Muls)/1e6, float64(r.Total.Adds)/1e6, float64(r.Total.Ops())/1e6)
+	// Output: muls=0.03M adds(dense)=2.33M ops=2.37M
+}
+
+// ExampleNew runs one forward pass through a reduced-width hybrid.
+func ExampleNew() {
+	cfg := core.DefaultConfig(12)
+	cfg.WidthMult = 0.1
+	h := core.New(cfg, rand.New(rand.NewSource(1)))
+	x := tensor.New(1, core.InputDim)
+	logits := h.Forward(x, false)
+	fmt.Println(logits.Dim(0), logits.Dim(1))
+	// Output: 1 12
+}

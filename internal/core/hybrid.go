@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: the ternary
+// hybrid neural-tree network for keyword spotting.
+//
+// HybridNet extracts local speech features with a short convolutional stack
+// (one standard convolution followed by depthwise-separable blocks), pools
+// them to a compact descriptor, and classifies with a single shallow Bonsai
+// decision tree (Figure 1 of the paper). ST-HybridNet additionally
+// strassenifies every matrix multiplication — the convolutions with SPN
+// hidden width r = RFactor·cout, the depthwise convolutions with one hidden
+// unit per channel, and the tree's node matrices with r = L — which removes
+// almost all multiplications and stores the bulk of the weights as 2-bit
+// ternary values.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/bonsai"
+	"repro/internal/nn"
+	"repro/internal/strassen"
+)
+
+// Input geometry (the paper's 49×10 MFCC image).
+const (
+	InputFrames = 49
+	InputCoeffs = 10
+	InputDim    = InputFrames * InputCoeffs
+)
+
+// Config selects a hybrid-network variant.
+type Config struct {
+	NumClasses int     // L, 12 for the paper's KWS task
+	WidthMult  float64 // channel multiplier (1 = paper scale, 64 channels)
+	ConvLayers int     // total conv layers incl. the standard conv1: 2 or 3
+	TreeDepth  int     // Bonsai depth: 1 (3 nodes) or 2 (7 nodes)
+	ProjDim    int     // D̂ of the Bonsai tree (0 → default 24)
+	Strassen   bool    // build the strassenified (ternary SPN) variant
+	RFactor    float64 // SPN hidden width ratio r/cout for convolutions
+}
+
+// DefaultConfig returns the paper's final ST-HybridNet configuration:
+// 3 convolutional layers, a depth-2 tree with 7 nodes, r = 0.75·cout.
+func DefaultConfig(numClasses int) Config {
+	return Config{
+		NumClasses: numClasses,
+		WidthMult:  1,
+		ConvLayers: 3,
+		TreeDepth:  2,
+		ProjDim:    24,
+		Strassen:   true,
+		RFactor:    0.75,
+	}
+}
+
+// Hybrid is the assembled network. It embeds the sequential pipeline (so it
+// is itself an nn.Layer) and keeps a handle on the Bonsai tree for σ
+// annealing and path inspection.
+type Hybrid struct {
+	*nn.Sequential
+	Tree *bonsai.Tree
+	Cfg  Config
+}
+
+func scaled(base int, mult float64) int {
+	v := int(float64(base)*mult + 0.5)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// New builds a hybrid network.
+//
+// Layout (paper scale): Conv(64, 10×4, s2) → [DW 3×3 + PW 1×1] × (ConvLayers-1)
+// → AvgPool 5×5 → flatten to 320 features → Bonsai(D̂, depth T).
+func New(cfg Config, rng *rand.Rand) *Hybrid {
+	if cfg.NumClasses <= 0 {
+		panic("core: NumClasses must be positive")
+	}
+	if cfg.WidthMult == 0 {
+		cfg.WidthMult = 1
+	}
+	if cfg.ConvLayers == 0 {
+		cfg.ConvLayers = 3
+	}
+	if cfg.TreeDepth == 0 {
+		cfg.TreeDepth = 2
+	}
+	if cfg.ProjDim == 0 {
+		cfg.ProjDim = 24
+	}
+	if cfg.RFactor == 0 {
+		cfg.RFactor = 0.75
+	}
+	c := scaled(64, cfg.WidthMult)
+	r := scaled(64, cfg.WidthMult*cfg.RFactor)
+
+	seq := nn.NewSequential(nn.NewReshape4D(1, InputFrames, InputCoeffs))
+	if cfg.Strassen {
+		seq.Append(
+			strassen.NewConv2D("conv1", 1, c, 10, 4, 2, 5, 1, r, rng),
+			nn.NewBatchNorm("bn1", c),
+			nn.NewReLU(),
+		)
+	} else {
+		seq.Append(
+			nn.NewConv2D("conv1", 1, c, 10, 4, 2, 5, 1, rng),
+			nn.NewBatchNorm("bn1", c),
+			nn.NewReLU(),
+		)
+	}
+	for b := 1; b < cfg.ConvLayers; b++ {
+		name := "ds" + string(rune('0'+b))
+		if cfg.Strassen {
+			seq.Append(
+				strassen.NewDepthwiseConv2D(name+".dw", c, 3, 3, 1, 1, 1, rng),
+				nn.NewBatchNorm(name+".bn1", c),
+				nn.NewReLU(),
+				strassen.NewConv2D(name+".pw", c, c, 1, 1, 1, 0, 0, r, rng),
+				nn.NewBatchNorm(name+".bn2", c),
+				nn.NewReLU(),
+			)
+		} else {
+			seq.Append(
+				nn.NewDepthwiseConv2D(name+".dw", c, 3, 3, 1, 1, rng),
+				nn.NewBatchNorm(name+".bn1", c),
+				nn.NewReLU(),
+				nn.NewConv2D(name+".pw", c, c, 1, 1, 1, 0, 0, rng),
+				nn.NewBatchNorm(name+".bn2", c),
+				nn.NewReLU(),
+			)
+		}
+	}
+	// Conv output is [c, 25, 5]; pool 5×5/5 → [c, 5, 1] → flatten to 5c.
+	seq.Append(nn.NewAvgPool2D(5, 5, 5), nn.NewFlatten())
+	treeInput := c * 5
+
+	treeCfg := bonsai.Config{
+		Depth:      cfg.TreeDepth,
+		InputDim:   treeInput,
+		ProjDim:    cfg.ProjDim,
+		NumClasses: cfg.NumClasses,
+		SigmaPred:  1,
+		SigmaInd:   1,
+		Project:    true,
+	}
+	var factory bonsai.LinearFactory
+	if cfg.Strassen {
+		// Node matrices get r = L (the paper's choice); the projection Z
+		// gets r = D̂ (its own output width).
+		factory = func(name string, in, out int) nn.Layer {
+			d := strassen.NewDense(name, in, out, out, rng)
+			d.Bias = nil
+			return d
+		}
+	} else {
+		factory = bonsai.DenseFactory(rng)
+	}
+	tree := bonsai.New("tree", treeCfg, factory, rng)
+	seq.Append(tree)
+
+	return &Hybrid{Sequential: seq, Tree: tree, Cfg: cfg}
+}
+
+// Unwrap exposes the underlying pipeline for op accounting.
+func (h *Hybrid) Unwrap() nn.Layer { return h.Sequential }
+
+// SubLayers exposes the pipeline's layers so strassen.SetModeAll and
+// strassen.CollectTernary can traverse the wrapper.
+func (h *Hybrid) SubLayers() []nn.Layer { return h.Sequential.Layers }
+
+// AnnealSigma sets the Bonsai indicator sharpness for the given training
+// progress fraction in [0,1], ramping from 1 towards maxSigma so points
+// gradually commit to a single root-to-leaf path.
+func (h *Hybrid) AnnealSigma(progress float64, maxSigma float32) {
+	if progress < 0 {
+		progress = 0
+	}
+	if progress > 1 {
+		progress = 1
+	}
+	h.Tree.SetSigmaInd(1 + float32(progress)*(maxSigma-1))
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/speechcmd"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func tinyCfg(strassenify bool) Config {
+	return Config{
+		NumClasses: 12,
+		WidthMult:  0.15, // 10 channels
+		ConvLayers: 3,
+		TreeDepth:  2,
+		ProjDim:    8,
+		Strassen:   strassenify,
+		RFactor:    0.75,
+	}
+}
+
+func TestHybridForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, st := range []bool{false, true} {
+		h := New(tinyCfg(st), rng)
+		x := tensor.New(2, InputDim).Rand(rng, 1)
+		y := h.Forward(x, false)
+		if y.Dim(0) != 2 || y.Dim(1) != 12 {
+			t.Fatalf("strassen=%v: output %v", st, y.Shape())
+		}
+	}
+}
+
+func TestHybridBackwardRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := New(tinyCfg(true), rng)
+	x := tensor.New(2, InputDim).Rand(rng, 1)
+	out := h.Forward(x, true)
+	g := tensor.New(out.Shape()...).Rand(rng, 1)
+	dx := h.Backward(g)
+	if dx.Size() != x.Size() {
+		t.Fatalf("input grad size %d, want %d", dx.Size(), x.Size())
+	}
+}
+
+func TestDefaultConfigIsPaperConfig(t *testing.T) {
+	cfg := DefaultConfig(12)
+	if cfg.ConvLayers != 3 || cfg.TreeDepth != 2 || !cfg.Strassen || cfg.RFactor != 0.75 {
+		t.Fatalf("default config %+v does not match the paper", cfg)
+	}
+}
+
+func TestHybridTreeNodeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := New(tinyCfg(false), rng)
+	if got := h.Tree.Cfg.NumNodes(); got != 7 {
+		t.Fatalf("depth-2 tree has %d nodes, want 7 (3 internal + 4 leaves)", got)
+	}
+	cfg := tinyCfg(false)
+	cfg.TreeDepth = 1
+	h2 := New(cfg, rng)
+	if got := h2.Tree.Cfg.NumNodes(); got != 3 {
+		t.Fatalf("depth-1 tree has %d nodes, want 3", got)
+	}
+}
+
+func TestStrassenVariantCollectsTernary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := New(tinyCfg(true), rng)
+	ts := strassen.CollectTernary(h.Sequential)
+	// conv1(2) + 2×[dw(2)+pw(2)] + tree: Z(2) + 14 node matrices ×2 = 40.
+	want := 2 + 4*2 + 2 + 14*2
+	if len(ts) != want {
+		t.Fatalf("collected %d ternary matrices, want %d", len(ts), want)
+	}
+	uncompressed := New(tinyCfg(false), rng)
+	if n := len(strassen.CollectTernary(uncompressed.Sequential)); n != 0 {
+		t.Fatalf("uncompressed hybrid has %d ternary matrices", n)
+	}
+}
+
+func TestAnnealSigmaClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := New(tinyCfg(false), rng)
+	h.AnnealSigma(-1, 10)
+	if h.Tree.Cfg.SigmaInd != 1 {
+		t.Fatalf("sigma %v at progress<0, want 1", h.Tree.Cfg.SigmaInd)
+	}
+	h.AnnealSigma(2, 10)
+	if h.Tree.Cfg.SigmaInd != 10 {
+		t.Fatalf("sigma %v at progress>1, want 10", h.Tree.Cfg.SigmaInd)
+	}
+	h.AnnealSigma(0.5, 11)
+	if h.Tree.Cfg.SigmaInd != 6 {
+		t.Fatalf("sigma %v at progress 0.5, want 6", h.Tree.Cfg.SigmaInd)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h := New(tinyCfg(true), rng)
+	x := tensor.New(2, InputDim).Rand(rng, 1)
+	want := h.Forward(x, false)
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2 := New(tinyCfg(true), rand.New(rand.NewSource(99)))
+	if err := nn.LoadParams(&buf, h2); err != nil {
+		t.Fatal(err)
+	}
+	got := h2.Forward(x, false)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("loaded model disagrees with saved model")
+		}
+	}
+}
+
+func TestLoadParamsRejectsMismatchedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New(tinyCfg(true), rng)
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	other := New(tinyCfg(false), rng)
+	if err := nn.LoadParams(&buf, other); err == nil {
+		t.Fatal("expected error loading into a different architecture")
+	}
+}
+
+// TestHybridLearnsSyntheticKWS is the core integration test: a small hybrid
+// network trained through the full staged schedule must classify the
+// synthetic speech commands far above chance, and the fixed-ternary stage
+// must not destroy the model.
+func TestHybridLearnsSyntheticKWS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dsCfg := speechcmd.DefaultConfig()
+	dsCfg.SamplesPerCls = 30
+	ds := speechcmd.Generate(dsCfg)
+	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
+
+	rng := rand.New(rand.NewSource(8))
+	h := New(tinyCfg(true), rng)
+	const total = 45
+	sc := train.StagedConfig{
+		Base: train.Config{
+			BatchSize: 20,
+			Schedule:  train.StepSchedule{Base: 0.01, Every: 10, Factor: 0.3},
+			Loss:      train.MultiClassHinge,
+			Seed:      1,
+			OnEpoch: func(epoch int, loss float64) {
+				h.AnnealSigma(float64(epoch)/float64(total), 8)
+			},
+		},
+		WarmupEpochs: 20,
+		QuantEpochs:  15,
+		FixedEpochs:  10,
+	}
+	train.RunStaged(h, x, y, sc)
+	acc := train.Accuracy(h, tx, ty, 32)
+	// Chance is 1/12 ≈ 8.3%; the tiny model at 18 epochs should do far
+	// better than that on the synthetic corpus.
+	if acc < 0.5 {
+		t.Fatalf("staged hybrid test accuracy %.3f, want ≥ 0.5", acc)
+	}
+	// All ternary matrices must be in Fixed mode with frozen shadows.
+	for _, tr := range strassen.CollectTernary(h.Sequential) {
+		if tr.Mode != strassen.Fixed || !tr.Shadow.Frozen {
+			t.Fatal("ternary matrices not fixed after staged training")
+		}
+	}
+}
+
+func TestHybridGradCheckFullPrecision(t *testing.T) {
+	// Finite-difference check through the entire hybrid pipeline (convs +
+	// batch-norm + pooling + Bonsai tree) in full-precision strassen mode.
+	rng := rand.New(rand.NewSource(20))
+	cfg := Config{
+		NumClasses: 4, WidthMult: 0.08, ConvLayers: 2, TreeDepth: 1,
+		ProjDim: 4, Strassen: true, RFactor: 0.75,
+	}
+	h := New(cfg, rng)
+	x := tensor.New(2, InputDim).Rand(rng, 0.5)
+	if err := nn.GradCheck(h, x, rng, 1e-2, 6e-2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridGradCheckUncompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := Config{
+		NumClasses: 3, WidthMult: 0.08, ConvLayers: 2, TreeDepth: 1,
+		ProjDim: 4, Strassen: false,
+	}
+	h := New(cfg, rng)
+	x := tensor.New(2, InputDim).Rand(rng, 0.5)
+	if err := nn.GradCheck(h, x, rng, 1e-2, 6e-2, false); err != nil {
+		t.Fatal(err)
+	}
+}

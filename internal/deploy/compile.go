@@ -1,0 +1,322 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bonsai"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// ErrNotFixed is returned when compiling a model whose ternary matrices have
+// not been frozen (the model must finish stage 3 of the schedule first).
+var ErrNotFixed = errors.New("deploy: model has ternary matrices not in Fixed mode")
+
+// Compile converts a trained ST-HybridNet into an integer Engine, using the
+// calibration batch (float MFCC rows, [n, frames*coeffs]) to choose every
+// activation scale. The model must have all ternary matrices in Fixed mode.
+func Compile(h *core.Hybrid, calib *tensor.Tensor) (*Engine, error) {
+	if !h.Cfg.Strassen {
+		return nil, errors.New("deploy: only strassenified hybrids can be compiled")
+	}
+	for _, t := range strassen.CollectTernary(h) {
+		if t.Mode != strassen.Fixed {
+			return nil, ErrNotFixed
+		}
+	}
+	if calib.Dim(0) == 0 {
+		return nil, errors.New("deploy: empty calibration batch")
+	}
+
+	eng := &Engine{
+		Frames:  int32(core.InputFrames),
+		Coeffs:  int32(core.InputCoeffs),
+		InScale: calib.MaxAbs() / 127,
+	}
+
+	// Walk the float pipeline layer by layer, carrying the activation batch
+	// and the scale of its quantised form.
+	layers := h.Sequential.Layers
+	var x *tensor.Tensor
+	inScale := eng.InScale
+	i := 0
+	if _, ok := layers[i].(*nn.Reshape4D); !ok {
+		return nil, fmt.Errorf("deploy: expected Reshape4D first, got %T", layers[i])
+	}
+	x = layers[i].Forward(calib, false)
+	i++
+
+	for i < len(layers) {
+		switch l := layers[i].(type) {
+		case *strassen.Conv2D:
+			bn, relu, consumed, err := bnRelu(layers, i+1)
+			if err != nil {
+				return nil, err
+			}
+			qc, out, outScale := compileConv(l, bn, relu, x, inScale)
+			eng.Convs = append(eng.Convs, qc)
+			x, inScale = out, outScale
+			i += 1 + consumed
+
+		case *strassen.DepthwiseConv2D:
+			bn, relu, consumed, err := bnRelu(layers, i+1)
+			if err != nil {
+				return nil, err
+			}
+			qc, out, outScale := compileDepthwise(l, bn, relu, x, inScale)
+			eng.Convs = append(eng.Convs, qc)
+			x, inScale = out, outScale
+			i += 1 + consumed
+
+		case *nn.AvgPool2D:
+			if l.KH != l.KW || l.KH != l.Stride {
+				return nil, fmt.Errorf("deploy: only square pooling with stride==k supported, got %d×%d/%d", l.KH, l.KW, l.Stride)
+			}
+			eng.PoolK, eng.PoolS = int32(l.KH), int32(l.Stride)
+			x = l.Forward(x, false)
+			i++
+
+		case *nn.Flatten:
+			x = x.Reshape(x.Dim(0), -1)
+			i++
+
+		case *bonsai.Tree:
+			qt, err := compileTree(l, x, inScale)
+			if err != nil {
+				return nil, err
+			}
+			eng.Tree = qt
+			i++
+
+		default:
+			return nil, fmt.Errorf("deploy: unsupported layer %T in pipeline", l)
+		}
+	}
+	if eng.Tree == nil || len(eng.Convs) == 0 {
+		return nil, errors.New("deploy: pipeline missing convolutions or tree")
+	}
+	return eng, nil
+}
+
+// bnRelu consumes an optional BatchNorm followed by an optional ReLU after a
+// convolution, returning how many layers were consumed.
+func bnRelu(layers []nn.Layer, i int) (*nn.BatchNorm, bool, int, error) {
+	consumed := 0
+	var bn *nn.BatchNorm
+	if i < len(layers) {
+		if b, ok := layers[i].(*nn.BatchNorm); ok {
+			bn = b
+			consumed++
+			i++
+		}
+	}
+	relu := false
+	if i < len(layers) {
+		if _, ok := layers[i].(*nn.ReLU); ok {
+			relu = true
+			consumed++
+		}
+	}
+	if bn == nil {
+		return nil, false, 0, errors.New("deploy: expected BatchNorm after strassen conv")
+	}
+	return bn, relu, consumed, nil
+}
+
+// bnFold extracts the per-channel multiplier g and additive term add of the
+// folded batch-norm: out = g·y + add.
+func bnFold(bn *nn.BatchNorm) (g, add []float64) {
+	c := bn.C
+	g = make([]float64, c)
+	add = make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		std := math.Sqrt(float64(bn.RunningVar.Data[ch]) + float64(bn.Eps))
+		g[ch] = float64(bn.Gamma.W.Data[ch]) / std
+		add[ch] = float64(bn.Beta.W.Data[ch]) - g[ch]*float64(bn.RunningMean.Data[ch])
+	}
+	return g, add
+}
+
+// floatBlock runs conv→bn→relu in float and returns the output batch.
+func floatBlock(conv nn.Layer, bn *nn.BatchNorm, relu bool, x *tensor.Tensor) *tensor.Tensor {
+	y := conv.Forward(x, false)
+	y = bn.Forward(y, false)
+	if relu {
+		for i, v := range y.Data {
+			if v < 0 {
+				y.Data[i] = 0
+			}
+		}
+	}
+	return y
+}
+
+// compileConv quantises one strassenified standard convolution with its
+// folded batch-norm.
+func compileConv(l *strassen.Conv2D, bn *nn.BatchNorm, relu bool, x *tensor.Tensor, inScale float32) (*QConv, *tensor.Tensor, float32) {
+	hidAbs := l.HiddenAbsMax(x)
+	out := floatBlock(l, bn, relu, x)
+	outScale := out.MaxAbs() / 127
+	hidScale := hidAbs / 32767
+	if hidScale == 0 {
+		hidScale = 1
+	}
+	if outScale == 0 {
+		outScale = 1
+	}
+	g, add := bnFold(bn)
+
+	q := &QConv{
+		Kind: kindStandard,
+		Cin:  int32(l.Cin), Cout: int32(l.Cout),
+		KH: int32(l.KH), KW: int32(l.KW),
+		Stride: int32(l.Stride), PadH: int32(l.PadH), PadW: int32(l.PadW),
+		R:        int32(l.R),
+		WbPacked: packEffective(l.Wb),
+		WcPacked: packEffective(l.Wc),
+		ReLU:     relu,
+		InScale:  inScale, HidScale: hidScale, OutScale: outScale,
+	}
+	for i := 0; i < l.R; i++ {
+		q.HidMul = append(q.HidMul, NewMult(float64(l.AHat.W.Data[i])*float64(inScale)/float64(hidScale)))
+	}
+	for c := 0; c < l.Cout; c++ {
+		q.OutMul = append(q.OutMul, NewMult(g[c]*float64(hidScale)/float64(outScale)))
+		bias := g[c]*float64(l.Bias.W.Data[c]) + add[c]
+		q.OutBias = append(q.OutBias, int32(math.Round(bias/float64(outScale))))
+	}
+	return q, out, outScale
+}
+
+// compileDepthwise quantises one strassenified depthwise convolution with
+// its folded batch-norm. The 16-bit hidden intermediate carries â; the
+// ternary Wc sign is baked into the hidden multiplier's sign.
+func compileDepthwise(l *strassen.DepthwiseConv2D, bn *nn.BatchNorm, relu bool, x *tensor.Tensor, inScale float32) (*QConv, *tensor.Tensor, float32) {
+	hidAbs := l.HiddenAbsMax(x)
+	out := floatBlock(l, bn, relu, x)
+	outScale := out.MaxAbs() / 127
+	hidScale := hidAbs / 32767
+	if hidScale == 0 {
+		hidScale = 1
+	}
+	if outScale == 0 {
+		outScale = 1
+	}
+	g, add := bnFold(bn)
+
+	q := &QConv{
+		Kind: kindDepthwise,
+		Cin:  int32(l.C), Cout: int32(l.C),
+		KH: int32(l.KH), KW: int32(l.KW),
+		Stride: int32(l.Stride), PadH: int32(l.Pad), PadW: int32(l.Pad),
+		R:        int32(l.RPerCh),
+		WbPacked: packEffective(l.Wb),
+		WcPacked: packEffective(l.Wc),
+		ReLU:     relu,
+		InScale:  inScale, HidScale: hidScale, OutScale: outScale,
+	}
+	for hu := 0; hu < l.C*l.RPerCh; hu++ {
+		q.HidMul = append(q.HidMul, NewMult(float64(l.AHat.W.Data[hu])*float64(inScale)/float64(hidScale)))
+	}
+	for c := 0; c < l.C; c++ {
+		q.OutMul = append(q.OutMul, NewMult(g[c]*float64(hidScale)/float64(outScale)))
+		bias := g[c]*float64(l.Bias.W.Data[c]) + add[c]
+		q.OutBias = append(q.OutBias, int32(math.Round(bias/float64(outScale))))
+	}
+	return q, out, outScale
+}
+
+// packEffective packs a Fixed ternary matrix.
+func packEffective(t *strassen.Ternary) []byte { return PackTernary(t.T) }
+
+// compileDense quantises one strassenified dense map to a QDense emitting
+// int16 at targetScale.
+func compileDense(l *strassen.Dense, x *tensor.Tensor, inScale, targetScale float32) *QDense {
+	hidAbs := l.HiddenAbsMax(x)
+	hidScale := hidAbs / 32767
+	if hidScale == 0 {
+		hidScale = 1
+	}
+	q := &QDense{
+		In: int32(l.In), Out: int32(l.Out), R: int32(l.R),
+		WbPacked: packEffective(l.Wb),
+		WcPacked: packEffective(l.Wc),
+		OutMul:   NewMult(float64(hidScale) / float64(targetScale)),
+		OutScale: targetScale,
+	}
+	for i := 0; i < l.R; i++ {
+		q.HidMul = append(q.HidMul, NewMult(float64(l.AHat.W.Data[i])*float64(inScale)/float64(hidScale)))
+	}
+	return q
+}
+
+// compileTree quantises the Bonsai tree: Z to int8 ẑ, θ to int16, every
+// node's W/V to shared-scale int16 dense maps, and tanh to a Q15 LUT.
+func compileTree(t *bonsai.Tree, x *tensor.Tensor, inScale float32) (*QTree, error) {
+	zDense, ok := t.Z.(*strassen.Dense)
+	if !ok {
+		return nil, fmt.Errorf("deploy: tree projection is %T, want strassenified dense", t.Z)
+	}
+	zOut := zDense.Forward(x, false)
+	zAbs := zOut.MaxAbs()
+	if zAbs == 0 {
+		zAbs = 1
+	}
+	z16Scale := zAbs / 32767
+	z8Scale := zAbs / 127
+	qt := &QTree{
+		Depth:      int32(t.Cfg.Depth),
+		ProjDim:    int32(t.Cfg.ProjDim),
+		NumClasses: int32(t.Cfg.NumClasses),
+		Z:          compileDense(zDense, x, inScale, z16Scale),
+		ZQ:         NewMult(float64(z16Scale) / float64(z8Scale)),
+		ZScale:     z8Scale,
+	}
+
+	// θ in int16; only the sign of θᵀẑ matters so one global scale is fine.
+	thAbs := t.Theta.W.MaxAbs()
+	if thAbs == 0 {
+		thAbs = 1
+	}
+	for _, v := range t.Theta.W.Data {
+		qt.Theta = append(qt.Theta, int16(math.Round(float64(v)/float64(thAbs)*32767)))
+	}
+
+	// Shared output scales across nodes: run every node on ẑ.
+	var wAbs, vAbs float32
+	for k := range t.W {
+		if m := t.W[k].Forward(zOut, false).MaxAbs(); m > wAbs {
+			wAbs = m
+		}
+		if m := t.V[k].Forward(zOut, false).MaxAbs(); m > vAbs {
+			vAbs = m
+		}
+	}
+	if wAbs == 0 {
+		wAbs = 1
+	}
+	if vAbs == 0 {
+		vAbs = 1
+	}
+	wScale := wAbs / 32767
+	vScale := vAbs / 32767
+	qt.WScale = wScale
+	for k := range t.W {
+		wd, ok := t.W[k].(*strassen.Dense)
+		if !ok {
+			return nil, fmt.Errorf("deploy: node W is %T, want strassenified dense", t.W[k])
+		}
+		vd, ok := t.V[k].(*strassen.Dense)
+		if !ok {
+			return nil, fmt.Errorf("deploy: node V is %T, want strassenified dense", t.V[k])
+		}
+		qt.W = append(qt.W, compileDense(wd, zOut, z8Scale, wScale))
+		qt.V = append(qt.V, compileDense(vd, zOut, z8Scale, vScale))
+	}
+	qt.TanhLUT = BuildTanhLUT(float64(vScale), float64(t.Cfg.SigmaPred))
+	return qt, nil
+}

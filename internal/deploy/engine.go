@@ -1,0 +1,412 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conv kinds.
+const (
+	kindStandard  byte = 'c' // strassenified standard convolution
+	kindDepthwise byte = 'd' // strassenified depthwise convolution
+)
+
+// QConv is one integer strassenified convolution with folded batch-norm and
+// an optional fused ReLU.
+//
+// Dataflow (standard kind): int8 input → im2col → ternary matmul (int32) →
+// per-hidden-unit fixed-point rescale to int16 (the â multiply) → ternary
+// 1×1 matmul (int32) → per-channel rescale + bias (+ReLU) → int8 output.
+type QConv struct {
+	Kind                        byte
+	Cin, Cout                   int32
+	KH, KW                      int32
+	Stride, PadH, PadW          int32
+	R                           int32 // hidden units (standard) or units/channel (depthwise)
+	WbPacked, WcPacked          []byte
+	HidMul                      []Mult  // per hidden unit: â_i·inScale/hidScale
+	OutMul                      []Mult  // per channel: g_c·hidScale/outScale (BN folded)
+	OutBias                     []int32 // per channel, in output-quantised units
+	ReLU                        bool
+	InScale, HidScale, OutScale float32
+
+	wb, wc []int8 // unpacked on load
+}
+
+// unpack materialises the ternary matrices from their packed form.
+func (q *QConv) unpack() {
+	k := int(q.Cin * q.KH * q.KW)
+	if q.Kind == kindDepthwise {
+		k = int(q.KH * q.KW)
+		q.wb = UnpackTernary(q.WbPacked, int(q.Cin*q.R)*k)
+		q.wc = UnpackTernary(q.WcPacked, int(q.Cin*q.R))
+		return
+	}
+	q.wb = UnpackTernary(q.WbPacked, int(q.R)*k)
+	q.wc = UnpackTernary(q.WcPacked, int(q.Cout)*int(q.R))
+}
+
+// outSize returns the output spatial dims for an input of h×w.
+func (q *QConv) outSize(h, w int) (int, int) {
+	oh := (h+2*int(q.PadH)-int(q.KH))/int(q.Stride) + 1
+	ow := (w+2*int(q.PadW)-int(q.KW))/int(q.Stride) + 1
+	return oh, ow
+}
+
+// im2colI8 lowers an int8 image [c,h,w] into [c*kh*kw, nOut] columns.
+func im2colI8(x []int8, c, h, w, kh, kw, stride, padH, padW int) ([]int8, int, int) {
+	outH := (h+2*padH-kh)/stride + 1
+	outW := (w+2*padW-kw)/stride + 1
+	nOut := outH * outW
+	cols := make([]int8, c*kh*kw*nOut)
+	for ch := 0; ch < c; ch++ {
+		img := x[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := cols[((ch*kh+ki)*kw+kj)*nOut : ((ch*kh+ki)*kw+kj+1)*nOut]
+				for oi := 0; oi < outH; oi++ {
+					si := oi*stride + ki - padH
+					if si < 0 || si >= h {
+						continue
+					}
+					src := img[si*w : (si+1)*w]
+					dst := row[oi*outW : (oi+1)*outW]
+					for oj := 0; oj < outW; oj++ {
+						sj := oj*stride + kj - padW
+						if sj < 0 || sj >= w {
+							continue
+						}
+						dst[oj] = src[sj]
+					}
+				}
+			}
+		}
+	}
+	return cols, outH, outW
+}
+
+// Forward runs the integer convolution on an int8 image [cin, h, w],
+// returning the int8 output image and its spatial dims.
+func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
+	if q.wb == nil {
+		q.unpack()
+	}
+	cols, outH, outW := im2colI8(x, int(q.Cin), h, w, int(q.KH), int(q.KW), int(q.Stride), int(q.PadH), int(q.PadW))
+	nOut := outH * outW
+	out := make([]int8, int(q.Cout)*nOut)
+	switch q.Kind {
+	case kindStandard:
+		k := int(q.Cin * q.KH * q.KW)
+		r := int(q.R)
+		hidden := make([]int16, r*nOut)
+		for i := 0; i < r; i++ {
+			row := q.wb[i*k : (i+1)*k]
+			acc := make([]int32, nOut)
+			for p, t := range row {
+				if t == 0 {
+					continue
+				}
+				src := cols[p*nOut : (p+1)*nOut]
+				if t > 0 {
+					for j, v := range src {
+						acc[j] += int32(v)
+					}
+				} else {
+					for j, v := range src {
+						acc[j] -= int32(v)
+					}
+				}
+			}
+			m := q.HidMul[i]
+			dst := hidden[i*nOut : (i+1)*nOut]
+			for j, v := range acc {
+				dst[j] = clampI16(m.Apply(v))
+			}
+		}
+		for c := 0; c < int(q.Cout); c++ {
+			row := q.wc[c*r : (c+1)*r]
+			acc := make([]int32, nOut)
+			for i, t := range row {
+				if t == 0 {
+					continue
+				}
+				src := hidden[i*nOut : (i+1)*nOut]
+				if t > 0 {
+					for j, v := range src {
+						acc[j] += int32(v)
+					}
+				} else {
+					for j, v := range src {
+						acc[j] -= int32(v)
+					}
+				}
+			}
+			q.requantChannel(out[c*nOut:(c+1)*nOut], acc, c)
+		}
+	case kindDepthwise:
+		k := int(q.KH * q.KW)
+		r := int(q.R)
+		for ch := 0; ch < int(q.Cin); ch++ {
+			acc := make([]int32, nOut)
+			for u := 0; u < r; u++ {
+				hu := ch*r + u
+				row := q.wb[hu*k : (hu+1)*k]
+				hacc := make([]int32, nOut)
+				for p, t := range row {
+					if t == 0 {
+						continue
+					}
+					src := cols[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+					if t > 0 {
+						for j, v := range src {
+							hacc[j] += int32(v)
+						}
+					} else {
+						for j, v := range src {
+							hacc[j] -= int32(v)
+						}
+					}
+				}
+				m := q.HidMul[hu]
+				wcv := q.wc[hu]
+				if wcv == 0 {
+					continue
+				}
+				for j, v := range hacc {
+					hv := int32(clampI16(m.Apply(v))) // 16-bit intermediate
+					if wcv > 0 {
+						acc[j] += hv
+					} else {
+						acc[j] -= hv
+					}
+				}
+			}
+			q.requantChannel(out[ch*nOut:(ch+1)*nOut], acc, ch)
+		}
+	default:
+		panic(fmt.Sprintf("deploy: unknown conv kind %q", q.Kind))
+	}
+	return out, outH, outW
+}
+
+// requantChannel applies the per-channel output multiplier, bias and
+// optional ReLU, saturating to int8.
+func (q *QConv) requantChannel(dst []int8, acc []int32, c int) {
+	m := q.OutMul[c]
+	b := q.OutBias[c]
+	for j, v := range acc {
+		o := m.Apply(v) + b
+		if q.ReLU && o < 0 {
+			o = 0
+		}
+		dst[j] = clampI8(o)
+	}
+}
+
+// QDense is one integer strassenified dense map (used inside the tree):
+// int8 input → ternary matvec → per-hidden rescale to int16 → ternary
+// matvec → global rescale to int16 at the target scale.
+type QDense struct {
+	In, Out, R int32
+	WbPacked   []byte
+	WcPacked   []byte
+	HidMul     []Mult
+	OutMul     Mult
+	OutScale   float32
+
+	wb, wc []int8
+}
+
+func (q *QDense) unpack() {
+	q.wb = UnpackTernary(q.WbPacked, int(q.R*q.In))
+	q.wc = UnpackTernary(q.WcPacked, int(q.Out*q.R))
+}
+
+// Forward maps an int8 vector to int16 outputs at OutScale.
+func (q *QDense) Forward(x []int8) []int16 {
+	if q.wb == nil {
+		q.unpack()
+	}
+	r, in, out := int(q.R), int(q.In), int(q.Out)
+	hidden := make([]int16, r)
+	for i := 0; i < r; i++ {
+		row := q.wb[i*in : (i+1)*in]
+		var acc int32
+		for p, t := range row {
+			if t > 0 {
+				acc += int32(x[p])
+			} else if t < 0 {
+				acc -= int32(x[p])
+			}
+		}
+		hidden[i] = clampI16(q.HidMul[i].Apply(acc))
+	}
+	y := make([]int16, out)
+	for c := 0; c < out; c++ {
+		row := q.wc[c*r : (c+1)*r]
+		var acc int32
+		for i, t := range row {
+			if t > 0 {
+				acc += int32(hidden[i])
+			} else if t < 0 {
+				acc -= int32(hidden[i])
+			}
+		}
+		y[c] = clampI16(q.OutMul.Apply(acc))
+	}
+	return y
+}
+
+// tanhLUTBits sizes the tanh lookup table: int16 inputs are bucketed into
+// 2^tanhLUTBits entries.
+const tanhLUTBits = 10
+
+// QTree is the integer Bonsai tree: the projection Z produces int8 ẑ, θ
+// routes by sign, and each on-path node contributes
+// W(ẑ) ⊙ tanhLUT(V(ẑ)) with the tanh in Q15.
+type QTree struct {
+	Depth      int32
+	ProjDim    int32
+	NumClasses int32
+	Z          *QDense // outputs int16; requantised to int8 via ZQ
+	ZQ         Mult    // int16 (Z.OutScale) → int8 (ZScale)
+	ZScale     float32
+	Theta      []int16 // [numInternal, projDim], sign-only use
+	W, V       []*QDense
+	TanhLUT    []int16 // Q15, 2^tanhLUTBits entries over the int16 V range
+	WScale     float32 // shared scale of all W outputs
+}
+
+// BuildTanhLUT fills a Q15 tanh table for int16 inputs at scale vScale with
+// prediction sharpness sigma.
+func BuildTanhLUT(vScale float64, sigma float64) []int16 {
+	n := 1 << tanhLUTBits
+	lut := make([]int16, n)
+	step := 65536 / n
+	for i := 0; i < n; i++ {
+		// Bucket centre in int16 units.
+		q := i*step - 32768 + step/2
+		real := float64(q) * vScale
+		lut[i] = int16(math.Round(math.Tanh(sigma*real) * 32767))
+	}
+	return lut
+}
+
+// lookupTanh maps an int16 V output through the Q15 table.
+func (t *QTree) lookupTanh(v int16) int32 {
+	idx := (int32(v) + 32768) >> (16 - tanhLUTBits)
+	return int32(t.TanhLUT[idx])
+}
+
+// numInternal returns the number of branching nodes.
+func (t *QTree) numInternal() int { return (1 << t.Depth) - 1 }
+
+// Forward classifies an int8 feature vector, returning per-class scores in
+// int32 (scale WScale/32768) — only their ordering matters.
+func (t *QTree) Forward(x []int8) []int32 {
+	z16 := t.Z.Forward(x)
+	z := make([]int8, len(z16))
+	for i, v := range z16 {
+		z[i] = clampI8(t.ZQ.Apply(int32(v)))
+	}
+	d := int(t.ProjDim)
+	L := int(t.NumClasses)
+	scores := make([]int64, L)
+	nInt := t.numInternal()
+	node := 1 // 1-based
+	for {
+		w := t.W[node-1].Forward(z)
+		v := t.V[node-1].Forward(z)
+		for j := 0; j < L; j++ {
+			scores[j] += int64(w[j]) * int64(t.lookupTanh(v[j]))
+		}
+		if node > nInt {
+			break // leaf reached
+		}
+		theta := t.Theta[(node-1)*d : node*d]
+		var dot int64
+		for i, th := range theta {
+			dot += int64(th) * int64(z[i])
+		}
+		if dot > 0 {
+			node = 2 * node
+		} else {
+			node = 2*node + 1
+		}
+	}
+	out := make([]int32, L)
+	for j, s := range scores {
+		out[j] = int32(s >> 15)
+	}
+	return out
+}
+
+// Engine is a compiled integer ST-HybridNet.
+type Engine struct {
+	Frames, Coeffs int32
+	InScale        float32
+	Convs          []*QConv
+	PoolK, PoolS   int32 // square average pool
+	Tree           *QTree
+}
+
+// QuantizeInput converts float MFCC features to int8 at the engine's input
+// scale.
+func (e *Engine) QuantizeInput(x []float32) []int8 {
+	out := make([]int8, len(x))
+	inv := 1 / e.InScale
+	for i, v := range x {
+		out[i] = clampI8(int32(math.Round(float64(v * inv))))
+	}
+	return out
+}
+
+// Infer classifies one float MFCC image (length Frames·Coeffs), returning
+// integer class scores and the argmax class.
+func (e *Engine) Infer(x []float32) (scores []int32, class int) {
+	if len(x) != int(e.Frames*e.Coeffs) {
+		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
+	}
+	img := e.QuantizeInput(x)
+	h, w := int(e.Frames), int(e.Coeffs)
+	for _, conv := range e.Convs {
+		img, h, w = conv.Forward(img, h, w)
+	}
+	// Average pool PoolK×PoolK stride PoolS, same scale (rounded division).
+	k, s := int(e.PoolK), int(e.PoolS)
+	outH := (h-k)/s + 1
+	outW := (w-k)/s + 1
+	c := int(e.Convs[len(e.Convs)-1].Cout)
+	pooled := make([]int8, c*outH*outW)
+	area := int32(k * k)
+	for ch := 0; ch < c; ch++ {
+		src := img[ch*h*w : (ch+1)*h*w]
+		for oi := 0; oi < outH; oi++ {
+			for oj := 0; oj < outW; oj++ {
+				var sum int32
+				for ki := 0; ki < k; ki++ {
+					row := src[(oi*s+ki)*w+oj*s:]
+					for kj := 0; kj < k; kj++ {
+						sum += int32(row[kj])
+					}
+				}
+				// Round-half-away-from-zero division.
+				var q int32
+				if sum >= 0 {
+					q = (sum + area/2) / area
+				} else {
+					q = -((-sum + area/2) / area)
+				}
+				pooled[(ch*outH+oi)*outW+oj] = clampI8(q)
+			}
+		}
+	}
+	sc := e.Tree.Forward(pooled)
+	best := 0
+	for j, v := range sc {
+		if v > sc[best] {
+			best = j
+		}
+	}
+	return sc, best
+}

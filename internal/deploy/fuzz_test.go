@@ -1,0 +1,36 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEngine ensures the binary model loader rejects corrupt input with
+// an error rather than panicking or over-allocating.
+func FuzzReadEngine(f *testing.F) {
+	f.Add([]byte("THNT"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, err := ReadEngine(bytes.NewReader(data))
+		if err == nil && eng == nil {
+			t.Fatal("nil engine without error")
+		}
+	})
+}
+
+// FuzzUnpackTernary checks pack/unpack totality on arbitrary packed bytes.
+func FuzzUnpackTernary(f *testing.F) {
+	f.Add([]byte{0b01_10_00_01}, 4)
+	f.Fuzz(func(t *testing.T, packed []byte, n int) {
+		if n < 0 || n > 4*len(packed) {
+			return
+		}
+		vals := UnpackTernary(packed, n)
+		for _, v := range vals {
+			if v < -1 || v > 1 {
+				t.Fatalf("non-ternary value %d", v)
+			}
+		}
+	})
+}

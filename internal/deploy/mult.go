@@ -1,0 +1,102 @@
+// Package deploy compiles a trained, fixed-ternary ST-HybridNet into a pure
+// integer inference engine — the form the paper targets for
+// microcontrollers. Ternary matrices are packed at 2 bits per weight,
+// activations run as int8 (int16 for the strassenified-depthwise
+// intermediates, matching Table 6's mixed policy), all accumulation is
+// int32/int64, per-channel rescaling uses fixed-point multipliers
+// (gemmlowp-style mantissa + shift, no floating point at inference), batch
+// normalisation is folded into the requantisation constants, and the Bonsai
+// tree evaluates its tanh through a Q15 lookup table with hard (sign-based)
+// path routing.
+//
+// Engines serialise to a compact binary format (WriteTo/ReadFrom) suitable
+// for flashing next to a microcontroller runtime.
+package deploy
+
+import (
+	"math"
+)
+
+// Mult is a signed fixed-point multiplier m = Mant · 2^(31-Shift) / 2^31,
+// i.e. Apply(v) ≈ round(v · m) computed entirely in integers.
+type Mult struct {
+	Mant  int32
+	Shift uint8
+}
+
+// NewMult quantises a real multiplier into fixed point. Multipliers of
+// magnitude up to 2³¹ are representable; zero maps to the zero multiplier.
+func NewMult(m float64) Mult {
+	if m == 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		return Mult{}
+	}
+	neg := m < 0
+	if neg {
+		m = -m
+	}
+	// Normalise into [0.5, 1): m = m0 · 2^-n  →  mant = m0·2^31, shift = 31+n.
+	n := 0
+	for m >= 1 {
+		m /= 2
+		n--
+	}
+	for m < 0.5 {
+		m *= 2
+		n++
+	}
+	shift := 31 + n
+	if shift < 0 {
+		// Multiplier too large to represent; saturate.
+		shift = 0
+		m = 1
+	}
+	if shift > 62 {
+		return Mult{} // effectively zero
+	}
+	mant := int32(math.Round(m * (1 << 31)))
+	if neg {
+		mant = -mant
+	}
+	return Mult{Mant: mant, Shift: uint8(shift)}
+}
+
+// Apply computes round(v·m) with round-half-away-from-zero, in integers.
+func (mu Mult) Apply(v int32) int32 {
+	if mu.Mant == 0 {
+		return 0
+	}
+	prod := int64(v) * int64(mu.Mant)
+	// Rounding shift right by mu.Shift.
+	half := int64(1) << (mu.Shift - 1)
+	if prod >= 0 {
+		return int32((prod + half) >> mu.Shift)
+	}
+	return int32(-((-prod + half) >> mu.Shift))
+}
+
+// Float returns the real multiplier value (for tests and diagnostics).
+func (mu Mult) Float() float64 {
+	return float64(mu.Mant) / float64(int64(1)<<mu.Shift)
+}
+
+// clampI8 saturates an int32 to the int8 range.
+func clampI8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// clampI16 saturates an int32 to the int16 range.
+func clampI16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}

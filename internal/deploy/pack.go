@@ -1,0 +1,34 @@
+package deploy
+
+// Ternary weights are packed four to a byte: 00 → 0, 01 → +1, 10 → −1.
+
+// PackTernary packs ternary values at 2 bits per entry.
+func PackTernary(vals []int8) []byte {
+	out := make([]byte, (len(vals)+3)/4)
+	for i, v := range vals {
+		var code byte
+		switch {
+		case v > 0:
+			code = 0b01
+		case v < 0:
+			code = 0b10
+		}
+		out[i/4] |= code << uint((i%4)*2)
+	}
+	return out
+}
+
+// UnpackTernary expands a packed blob back into n ternary values.
+func UnpackTernary(packed []byte, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		code := (packed[i/4] >> uint((i%4)*2)) & 0b11
+		switch code {
+		case 0b01:
+			out[i] = 1
+		case 0b10:
+			out[i] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package deploy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary model format ("THNT"): a compact little-endian layout holding the
+// packed ternary matrices, fixed-point multipliers and integer biases — the
+// artifact a microcontroller runtime would consume. All integers are
+// little-endian; lengths precede variable-size fields.
+
+var magic = [4]byte{'T', 'H', 'N', 'T'}
+
+const formatVersion = 1
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) write(v any) {
+	if cw.err != nil {
+		return
+	}
+	cw.err = binary.Write(cw.w, binary.LittleEndian, v)
+	if cw.err == nil {
+		cw.n += int64(binary.Size(v))
+	}
+}
+
+func (cw *countingWriter) writeBytes(b []byte) {
+	cw.write(int32(len(b)))
+	if cw.err != nil {
+		return
+	}
+	m, err := cw.w.Write(b)
+	cw.n += int64(m)
+	cw.err = err
+}
+
+type reader struct {
+	r   io.Reader
+	err error
+}
+
+func (rd *reader) read(v any) {
+	if rd.err != nil {
+		return
+	}
+	rd.err = binary.Read(rd.r, binary.LittleEndian, v)
+}
+
+func (rd *reader) readBytes() []byte {
+	var n int32
+	rd.read(&n)
+	if rd.err != nil {
+		return nil
+	}
+	if n < 0 || n > 1<<28 {
+		rd.err = fmt.Errorf("deploy: corrupt length %d", n)
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		rd.err = err
+		return nil
+	}
+	return b
+}
+
+func writeMults(cw *countingWriter, ms []Mult) {
+	cw.write(int32(len(ms)))
+	for _, m := range ms {
+		cw.write(m.Mant)
+		cw.write(m.Shift)
+	}
+}
+
+func readMults(rd *reader) []Mult {
+	var n int32
+	rd.read(&n)
+	if rd.err != nil || n < 0 || n > 1<<24 {
+		if rd.err == nil {
+			rd.err = fmt.Errorf("deploy: corrupt multiplier count %d", n)
+		}
+		return nil
+	}
+	ms := make([]Mult, n)
+	for i := range ms {
+		rd.read(&ms[i].Mant)
+		rd.read(&ms[i].Shift)
+	}
+	return ms
+}
+
+func writeConv(cw *countingWriter, q *QConv) {
+	cw.write(q.Kind)
+	for _, v := range []int32{q.Cin, q.Cout, q.KH, q.KW, q.Stride, q.PadH, q.PadW, q.R} {
+		cw.write(v)
+	}
+	cw.writeBytes(q.WbPacked)
+	cw.writeBytes(q.WcPacked)
+	writeMults(cw, q.HidMul)
+	writeMults(cw, q.OutMul)
+	cw.write(int32(len(q.OutBias)))
+	for _, b := range q.OutBias {
+		cw.write(b)
+	}
+	relu := byte(0)
+	if q.ReLU {
+		relu = 1
+	}
+	cw.write(relu)
+	cw.write(math.Float32bits(q.InScale))
+	cw.write(math.Float32bits(q.HidScale))
+	cw.write(math.Float32bits(q.OutScale))
+}
+
+func readConv(rd *reader) *QConv {
+	q := &QConv{}
+	rd.read(&q.Kind)
+	for _, p := range []*int32{&q.Cin, &q.Cout, &q.KH, &q.KW, &q.Stride, &q.PadH, &q.PadW, &q.R} {
+		rd.read(p)
+	}
+	q.WbPacked = rd.readBytes()
+	q.WcPacked = rd.readBytes()
+	q.HidMul = readMults(rd)
+	q.OutMul = readMults(rd)
+	var nb int32
+	rd.read(&nb)
+	if rd.err == nil && (nb < 0 || nb > 1<<24) {
+		rd.err = fmt.Errorf("deploy: corrupt bias count %d", nb)
+	}
+	if rd.err != nil {
+		return q
+	}
+	q.OutBias = make([]int32, nb)
+	for i := range q.OutBias {
+		rd.read(&q.OutBias[i])
+	}
+	var relu byte
+	rd.read(&relu)
+	q.ReLU = relu == 1
+	var bits uint32
+	rd.read(&bits)
+	q.InScale = math.Float32frombits(bits)
+	rd.read(&bits)
+	q.HidScale = math.Float32frombits(bits)
+	rd.read(&bits)
+	q.OutScale = math.Float32frombits(bits)
+	return q
+}
+
+func writeDense(cw *countingWriter, q *QDense) {
+	cw.write(q.In)
+	cw.write(q.Out)
+	cw.write(q.R)
+	cw.writeBytes(q.WbPacked)
+	cw.writeBytes(q.WcPacked)
+	writeMults(cw, q.HidMul)
+	cw.write(q.OutMul.Mant)
+	cw.write(q.OutMul.Shift)
+	cw.write(math.Float32bits(q.OutScale))
+}
+
+func readDense(rd *reader) *QDense {
+	q := &QDense{}
+	rd.read(&q.In)
+	rd.read(&q.Out)
+	rd.read(&q.R)
+	q.WbPacked = rd.readBytes()
+	q.WcPacked = rd.readBytes()
+	q.HidMul = readMults(rd)
+	rd.read(&q.OutMul.Mant)
+	rd.read(&q.OutMul.Shift)
+	var bits uint32
+	rd.read(&bits)
+	q.OutScale = math.Float32frombits(bits)
+	return q
+}
+
+// WriteTo serialises the engine. It implements io.WriterTo.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	cw.write(magic)
+	cw.write(int32(formatVersion))
+	cw.write(e.Frames)
+	cw.write(e.Coeffs)
+	cw.write(math.Float32bits(e.InScale))
+	cw.write(int32(len(e.Convs)))
+	for _, c := range e.Convs {
+		writeConv(cw, c)
+	}
+	cw.write(e.PoolK)
+	cw.write(e.PoolS)
+	t := e.Tree
+	cw.write(t.Depth)
+	cw.write(t.ProjDim)
+	cw.write(t.NumClasses)
+	writeDense(cw, t.Z)
+	cw.write(t.ZQ.Mant)
+	cw.write(t.ZQ.Shift)
+	cw.write(math.Float32bits(t.ZScale))
+	cw.write(int32(len(t.Theta)))
+	for _, th := range t.Theta {
+		cw.write(th)
+	}
+	cw.write(int32(len(t.W)))
+	for k := range t.W {
+		writeDense(cw, t.W[k])
+		writeDense(cw, t.V[k])
+	}
+	cw.write(int32(len(t.TanhLUT)))
+	for _, v := range t.TanhLUT {
+		cw.write(v)
+	}
+	cw.write(math.Float32bits(t.WScale))
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadEngine deserialises an engine written by WriteTo.
+func ReadEngine(r io.Reader) (*Engine, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	var m [4]byte
+	rd.read(&m)
+	if rd.err == nil && m != magic {
+		return nil, errors.New("deploy: bad magic, not a THNT model")
+	}
+	var version int32
+	rd.read(&version)
+	if rd.err == nil && version != formatVersion {
+		return nil, fmt.Errorf("deploy: unsupported format version %d", version)
+	}
+	e := &Engine{}
+	rd.read(&e.Frames)
+	rd.read(&e.Coeffs)
+	var bits uint32
+	rd.read(&bits)
+	e.InScale = math.Float32frombits(bits)
+	var nConv int32
+	rd.read(&nConv)
+	if rd.err == nil && (nConv < 0 || nConv > 1024) {
+		return nil, fmt.Errorf("deploy: corrupt conv count %d", nConv)
+	}
+	for i := int32(0); i < nConv && rd.err == nil; i++ {
+		e.Convs = append(e.Convs, readConv(rd))
+	}
+	rd.read(&e.PoolK)
+	rd.read(&e.PoolS)
+	t := &QTree{}
+	rd.read(&t.Depth)
+	rd.read(&t.ProjDim)
+	rd.read(&t.NumClasses)
+	t.Z = readDense(rd)
+	rd.read(&t.ZQ.Mant)
+	rd.read(&t.ZQ.Shift)
+	rd.read(&bits)
+	t.ZScale = math.Float32frombits(bits)
+	var n int32
+	rd.read(&n)
+	if rd.err == nil && (n < 0 || n > 1<<20) {
+		return nil, fmt.Errorf("deploy: corrupt theta count %d", n)
+	}
+	t.Theta = make([]int16, n)
+	for i := range t.Theta {
+		rd.read(&t.Theta[i])
+	}
+	rd.read(&n)
+	if rd.err == nil && (n < 0 || n > 1<<16) {
+		return nil, fmt.Errorf("deploy: corrupt node count %d", n)
+	}
+	for i := int32(0); i < n && rd.err == nil; i++ {
+		t.W = append(t.W, readDense(rd))
+		t.V = append(t.V, readDense(rd))
+	}
+	rd.read(&n)
+	if rd.err == nil && (n < 0 || n > 1<<20) {
+		return nil, fmt.Errorf("deploy: corrupt LUT size %d", n)
+	}
+	t.TanhLUT = make([]int16, n)
+	for i := range t.TanhLUT {
+		rd.read(&t.TanhLUT[i])
+	}
+	rd.read(&bits)
+	t.WScale = math.Float32frombits(bits)
+	e.Tree = t
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	return e, nil
+}
+
+// Size returns the serialised model size in bytes.
+func (e *Engine) Size() int64 {
+	n, _ := e.WriteTo(io.Discard)
+	return n
+}

@@ -1,0 +1,97 @@
+// Package dsp implements the signal-processing frontend used for
+// keyword-spotting: radix-2 FFT, windowing, mel filterbanks, the DCT-II, and
+// the MFCC pipeline that converts 1-second waveforms into the paper's
+// 49×10 MFCC input features (40 ms frames with a 20 ms stride, 10 cepstral
+// coefficients).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley-Tukey FFT of x. The length of x
+// must be a power of two; FFT panics otherwise.
+func FFT(x []complex128) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT of x in place (normalised by 1/n).
+func IFFT(x []complex128) {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PowerSpectrum returns the one-sided power spectrum |X[k]|² for
+// k = 0..n/2 of the real signal frame, zero-padded to fftSize.
+func PowerSpectrum(frame []float64, fftSize int) []float64 {
+	buf := make([]complex128, fftSize)
+	for i, v := range frame {
+		if i >= fftSize {
+			break
+		}
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	out := make([]float64, fftSize/2+1)
+	for k := range out {
+		re, im := real(buf[k]), imag(buf[k])
+		out[k] = re*re + im*im
+	}
+	return out
+}
+
+// HannWindow returns an n-point periodic Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n))
+	}
+	return w
+}

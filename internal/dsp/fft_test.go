@@ -1,0 +1,163 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is an O(n²) reference DFT.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Rect(1, ang)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		if !complexClose(got, want, 1e-8*float64(n)) {
+			t.Fatalf("FFT mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+// Property: IFFT(FFT(x)) == x.
+func TestQuickFFTInverseRoundTrip(t *testing.T) {
+	f := func(re, im [16]int8) bool {
+		x := make([]complex128, 16)
+		for i := range x {
+			x[i] = complex(float64(re[i])/16, float64(im[i])/16)
+		}
+		y := append([]complex128(nil), x...)
+		FFT(y)
+		IFFT(y)
+		return complexClose(x, y, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval's theorem — sum |x|² == (1/n) sum |X|².
+func TestQuickFFTParseval(t *testing.T) {
+	f := func(re [32]int8) bool {
+		x := make([]complex128, 32)
+		var timeE float64
+		for i := range x {
+			x[i] = complex(float64(re[i])/32, 0)
+			timeE += real(x[i]) * real(x[i])
+		}
+		FFT(x)
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(len(x))
+		return math.Abs(timeE-freqE) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FFT is linear — FFT(a·x + y) == a·FFT(x) + FFT(y).
+func TestQuickFFTLinearity(t *testing.T) {
+	f := func(xb, yb [8]int8, ab int8) bool {
+		a := complex(float64(ab)/16, 0)
+		x := make([]complex128, 8)
+		y := make([]complex128, 8)
+		comb := make([]complex128, 8)
+		for i := range x {
+			x[i] = complex(float64(xb[i])/16, 0)
+			y[i] = complex(float64(yb[i])/16, 0)
+			comb[i] = a*x[i] + y[i]
+		}
+		FFT(x)
+		FFT(y)
+		FFT(comb)
+		for i := range x {
+			x[i] = a*x[i] + y[i]
+		}
+		return complexClose(comb, x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerSpectrumOfSine(t *testing.T) {
+	// A pure sine at bin 8 of a 64-point FFT must concentrate its energy there.
+	const n = 64
+	frame := make([]float64, n)
+	for i := range frame {
+		frame[i] = math.Sin(2 * math.Pi * 8 * float64(i) / n)
+	}
+	spec := PowerSpectrum(frame, n)
+	peak := 0
+	for k := 1; k < len(spec); k++ {
+		if spec[k] > spec[peak] {
+			peak = k
+		}
+	}
+	if peak != 8 {
+		t.Fatalf("sine energy peaked at bin %d, want 8", peak)
+	}
+}
+
+func TestHannWindowEndpoints(t *testing.T) {
+	w := HannWindow(64)
+	if w[0] != 0 {
+		t.Fatalf("Hann[0]=%v, want 0", w[0])
+	}
+	if math.Abs(w[32]-1) > 1e-12 {
+		t.Fatalf("Hann midpoint=%v, want 1", w[32])
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 160: 256, 640: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d)=%d want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMelFilterbankPeaksAreOrdered(t *testing.T) {
+	cfg := DefaultMFCCConfig(4000)
+	fb := MelFilterbank(cfg, 256)
+	peak := func(row []float64) int {
+		best := 0
+		for k, v := range row {
+			if v > row[best] {
+				best = k
+			}
+		}
+		_ = row[best]
+		return best
+	}
+	prev := -1
+	for m, row := range fb {
+		p := peak(row)
+		if p < prev {
+			t.Fatalf("filter %d peaks at bin %d, before filter %d's %d", m, p, m-1, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMelFilterbankTriangularShape(t *testing.T) {
+	// Every filter should rise monotonically to its peak and fall after it.
+	cfg := DefaultMFCCConfig(4000)
+	fb := MelFilterbank(cfg, 256)
+	for m, row := range fb {
+		peak := 0
+		for k, v := range row {
+			if v > row[peak] {
+				peak = k
+			}
+		}
+		for k := 1; k <= peak; k++ {
+			if row[k] < row[k-1]-1e-12 {
+				t.Fatalf("filter %d not rising before its peak at bin %d", m, k)
+			}
+		}
+		for k := peak + 1; k < len(row); k++ {
+			if row[k] > row[k-1]+1e-12 {
+				t.Fatalf("filter %d not falling after its peak at bin %d", m, k)
+			}
+		}
+	}
+}
+
+func TestMelFilterbankRespectsHighFreq(t *testing.T) {
+	cfg := DefaultMFCCConfig(4000)
+	cfg.HighFreqHz = 1000 // well below Nyquist
+	fb := MelFilterbank(cfg, 256)
+	// No filter should have weight above the 1 kHz bin (plus one bin slack).
+	maxBin := int(1000.0/4000*256) + 2
+	for m, row := range fb {
+		for k := maxBin; k < len(row); k++ {
+			if row[k] != 0 {
+				t.Fatalf("filter %d has weight %v at bin %d above the high edge", m, row[k], k)
+			}
+		}
+	}
+}
+
+func TestMFCCFirstCoeffTracksEnergy(t *testing.T) {
+	// c0 integrates log mel energy: a louder signal must raise it.
+	m := NewMFCC(DefaultMFCCConfig(4000))
+	quiet := make([]float64, 4000)
+	loud := make([]float64, 4000)
+	for i := range quiet {
+		s := math.Sin(2 * math.Pi * 440 * float64(i) / 4000)
+		quiet[i] = 0.05 * s
+		loud[i] = 0.9 * s
+	}
+	fq := m.Compute(quiet)
+	fl := m.Compute(loud)
+	var sumQ, sumL float64
+	for f := 0; f < fq.Dim(0); f++ {
+		sumQ += float64(fq.At(f, 0))
+		sumL += float64(fl.At(f, 0))
+	}
+	if sumL <= sumQ {
+		t.Fatalf("c0 of loud (%v) not above quiet (%v)", sumL, sumQ)
+	}
+}

@@ -1,0 +1,166 @@
+package dsp
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MFCCConfig describes the MFCC feature extraction pipeline. The defaults
+// (DefaultMFCCConfig) match the keyword-spotting setup in the paper:
+// a 40 ms analysis frame with a 20 ms stride over 1 s of audio, 40 mel
+// filters, and 10 cepstral coefficients, yielding a 49×10 feature image.
+type MFCCConfig struct {
+	SampleRate int     // samples per second
+	FrameMs    int     // analysis window length in milliseconds
+	StrideMs   int     // hop between frames in milliseconds
+	NumMel     int     // number of mel filterbank channels
+	NumCoeffs  int     // number of cepstral coefficients kept
+	LowFreqHz  float64 // filterbank lower edge
+	HighFreqHz float64 // filterbank upper edge (0 = Nyquist)
+}
+
+// DefaultMFCCConfig returns the paper's configuration at the given sample
+// rate. Any sample rate works; 49 frames × 10 coefficients is invariant to it
+// because frame/stride are expressed in milliseconds.
+func DefaultMFCCConfig(sampleRate int) MFCCConfig {
+	return MFCCConfig{
+		SampleRate: sampleRate,
+		FrameMs:    40,
+		StrideMs:   20,
+		NumMel:     40,
+		NumCoeffs:  10,
+		LowFreqHz:  20,
+		HighFreqHz: 0,
+	}
+}
+
+// FrameLen returns the analysis frame length in samples.
+func (c MFCCConfig) FrameLen() int { return c.SampleRate * c.FrameMs / 1000 }
+
+// Stride returns the hop size in samples.
+func (c MFCCConfig) Stride() int { return c.SampleRate * c.StrideMs / 1000 }
+
+// NumFrames returns how many frames a signal of n samples produces.
+func (c MFCCConfig) NumFrames(n int) int {
+	fl, st := c.FrameLen(), c.Stride()
+	if n < fl {
+		return 0
+	}
+	return (n-fl)/st + 1
+}
+
+// melScale converts a frequency in Hz to mels.
+func melScale(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// melInv converts mels back to Hz.
+func melInv(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelFilterbank builds a triangular mel filterbank matrix of shape
+// [numMel][fftSize/2+1]. Each row integrates the power spectrum over one
+// triangular mel band.
+func MelFilterbank(cfg MFCCConfig, fftSize int) [][]float64 {
+	high := cfg.HighFreqHz
+	if high <= 0 {
+		high = float64(cfg.SampleRate) / 2
+	}
+	nBins := fftSize/2 + 1
+	lowMel, highMel := melScale(cfg.LowFreqHz), melScale(high)
+	points := make([]float64, cfg.NumMel+2)
+	for i := range points {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(cfg.NumMel+1)
+		points[i] = melInv(mel) / float64(cfg.SampleRate) * float64(fftSize)
+	}
+	fb := make([][]float64, cfg.NumMel)
+	for m := 0; m < cfg.NumMel; m++ {
+		row := make([]float64, nBins)
+		left, center, right := points[m], points[m+1], points[m+2]
+		for k := 0; k < nBins; k++ {
+			f := float64(k)
+			switch {
+			case f > left && f <= center && center > left:
+				row[k] = (f - left) / (center - left)
+			case f > center && f < right && right > center:
+				row[k] = (right - f) / (right - center)
+			}
+		}
+		fb[m] = row
+	}
+	return fb
+}
+
+// DCT2 computes the orthonormal DCT-II of x, keeping the first numCoeffs
+// coefficients. This is the standard cepstral transform.
+func DCT2(x []float64, numCoeffs int) []float64 {
+	n := len(x)
+	out := make([]float64, numCoeffs)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k := 0; k < numCoeffs; k++ {
+		var s float64
+		for i, v := range x {
+			s += v * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		if k == 0 {
+			out[k] = s * scale0
+		} else {
+			out[k] = s * scale
+		}
+	}
+	return out
+}
+
+// MFCC is a reusable MFCC extractor. Construct with NewMFCC; Compute converts
+// a waveform into a [numFrames, numCoeffs] tensor.
+type MFCC struct {
+	cfg     MFCCConfig
+	fftSize int
+	window  []float64
+	fbank   [][]float64
+}
+
+// NewMFCC builds the window and mel filterbank for the given configuration.
+func NewMFCC(cfg MFCCConfig) *MFCC {
+	fl := cfg.FrameLen()
+	fftSize := NextPow2(fl)
+	return &MFCC{
+		cfg:     cfg,
+		fftSize: fftSize,
+		window:  HannWindow(fl),
+		fbank:   MelFilterbank(cfg, fftSize),
+	}
+}
+
+// Config returns the extractor's configuration.
+func (m *MFCC) Config() MFCCConfig { return m.cfg }
+
+// Compute converts the waveform into MFCC features of shape
+// [numFrames, numCoeffs]. Frames beyond the end of the signal are dropped.
+func (m *MFCC) Compute(wave []float64) *tensor.Tensor {
+	fl, st := m.cfg.FrameLen(), m.cfg.Stride()
+	nFrames := m.cfg.NumFrames(len(wave))
+	out := tensor.New(nFrames, m.cfg.NumCoeffs)
+	frame := make([]float64, fl)
+	melEnergies := make([]float64, m.cfg.NumMel)
+	for f := 0; f < nFrames; f++ {
+		start := f * st
+		for i := 0; i < fl; i++ {
+			frame[i] = wave[start+i] * m.window[i]
+		}
+		spec := PowerSpectrum(frame, m.fftSize)
+		for b, row := range m.fbank {
+			var e float64
+			for k, w := range row {
+				if w != 0 {
+					e += w * spec[k]
+				}
+			}
+			melEnergies[b] = math.Log(e + 1e-10)
+		}
+		coeffs := DCT2(melEnergies, m.cfg.NumCoeffs)
+		for c, v := range coeffs {
+			out.Set(float32(v), f, c)
+		}
+	}
+	return out
+}

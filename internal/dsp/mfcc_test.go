@@ -1,0 +1,141 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMFCCShapeMatchesPaper(t *testing.T) {
+	// The paper: 1 s of audio, 40 ms frames, 20 ms stride → 49 frames × 10
+	// coefficients, at any sample rate.
+	for _, sr := range []int{4000, 8000, 16000} {
+		cfg := DefaultMFCCConfig(sr)
+		m := NewMFCC(cfg)
+		wave := make([]float64, sr) // 1 second
+		feat := m.Compute(wave)
+		if feat.Dim(0) != 49 || feat.Dim(1) != 10 {
+			t.Fatalf("sr=%d: MFCC shape %v, want [49 10]", sr, feat.Shape())
+		}
+	}
+}
+
+func TestNumFrames(t *testing.T) {
+	cfg := DefaultMFCCConfig(4000)
+	if got := cfg.NumFrames(4000); got != 49 {
+		t.Fatalf("NumFrames(1s)=%d want 49", got)
+	}
+	if got := cfg.NumFrames(cfg.FrameLen() - 1); got != 0 {
+		t.Fatalf("NumFrames(short)=%d want 0", got)
+	}
+	if got := cfg.NumFrames(cfg.FrameLen()); got != 1 {
+		t.Fatalf("NumFrames(one frame)=%d want 1", got)
+	}
+}
+
+func TestMelScaleRoundTrip(t *testing.T) {
+	for _, hz := range []float64{20, 100, 440, 1000, 4000, 7999} {
+		back := melInv(melScale(hz))
+		if math.Abs(back-hz) > 1e-6*hz {
+			t.Fatalf("mel round trip %v -> %v", hz, back)
+		}
+	}
+}
+
+func TestMelFilterbankCoversSpectrum(t *testing.T) {
+	cfg := DefaultMFCCConfig(4000)
+	fb := MelFilterbank(cfg, 256)
+	if len(fb) != cfg.NumMel {
+		t.Fatalf("filterbank has %d rows, want %d", len(fb), cfg.NumMel)
+	}
+	// Every filter must have some mass, and weights must be in [0,1].
+	for m, row := range fb {
+		var sum float64
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("filter %d has weight %v outside [0,1]", m, v)
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			t.Fatalf("filter %d is empty", m)
+		}
+	}
+}
+
+func TestDCT2Orthonormality(t *testing.T) {
+	// DCT of a constant signal puts all energy in coefficient 0.
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = 1
+	}
+	c := DCT2(x, 10)
+	if math.Abs(c[0]-math.Sqrt(40)) > 1e-9 {
+		t.Fatalf("DCT2 c0=%v, want sqrt(40)", c[0])
+	}
+	for k := 1; k < 10; k++ {
+		if math.Abs(c[k]) > 1e-9 {
+			t.Fatalf("DCT2 c%d=%v, want 0", k, c[k])
+		}
+	}
+}
+
+func TestDCT2ParsevalFullLength(t *testing.T) {
+	// With all N coefficients the orthonormal DCT preserves energy.
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 16)
+	var xe float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		xe += x[i] * x[i]
+	}
+	c := DCT2(x, 16)
+	var ce float64
+	for _, v := range c {
+		ce += v * v
+	}
+	if math.Abs(xe-ce) > 1e-9 {
+		t.Fatalf("DCT2 energy %v != %v", ce, xe)
+	}
+}
+
+func TestMFCCDistinguishesTones(t *testing.T) {
+	// Two different tones must produce measurably different MFCC features —
+	// the property the classifier depends on.
+	const sr = 4000
+	m := NewMFCC(DefaultMFCCConfig(sr))
+	mk := func(freq float64) []float64 {
+		w := make([]float64, sr)
+		for i := range w {
+			w[i] = math.Sin(2 * math.Pi * freq * float64(i) / sr)
+		}
+		return w
+	}
+	a := m.Compute(mk(300))
+	b := m.Compute(mk(1200))
+	var dist float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		dist += d * d
+	}
+	if dist < 1 {
+		t.Fatalf("MFCC features of distinct tones too close: %v", dist)
+	}
+}
+
+func TestMFCCDeterministic(t *testing.T) {
+	const sr = 4000
+	m := NewMFCC(DefaultMFCCConfig(sr))
+	w := make([]float64, sr)
+	rng := rand.New(rand.NewSource(3))
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.1
+	}
+	a := m.Compute(w)
+	b := m.Compute(w)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("MFCC is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package exp drives the paper's experiments: one generator per table and
+// figure, shared by cmd/kws-tables and the repository's benchmark harness.
+// Each generator returns a Table holding the paper's reported values next to
+// the values measured in this reproduction.
+//
+// Cost columns (muls/adds/ops/model size/memory footprint) are computed
+// analytically at the paper's full model width and match the paper's
+// accounting. Accuracy columns are measured by actually training each
+// architecture on the synthetic speech-commands corpus at a configurable
+// reduced scale (width multiplier, corpus size, epochs), so their absolute
+// values differ from the paper while the ordering and gaps are expected to
+// reproduce.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/speechcmd"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Scale fixes the accuracy-measurement budget.
+type Scale struct {
+	WidthMult     float64 // model width multiplier for trained models
+	SamplesPerCls int     // synthetic corpus size
+	Epochs        int     // epochs per training stage
+	Seed          int64
+}
+
+// Quick is sized for the benchmark harness (tens of seconds per table).
+var Quick = Scale{WidthMult: 0.15, SamplesPerCls: 30, Epochs: 14, Seed: 1}
+
+// Standard is the default for cmd/kws-tables (a few minutes per table).
+var Standard = Scale{WidthMult: 0.25, SamplesPerCls: 80, Epochs: 30, Seed: 1}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Context carries the corpus, trained-model cache and RNG shared by the
+// table generators so expensive artifacts (the dataset, the DS-CNN teacher,
+// the trained hybrids) are built once.
+type Context struct {
+	Scale Scale
+	Log   io.Writer
+
+	ds         *speechcmd.Dataset
+	x, tx      *tensor.Tensor
+	y, ty      []int
+	trained    map[string]nn.Layer
+	trainedAcc map[string]float64
+}
+
+// NewContext prepares a context at the given scale. log may be nil.
+func NewContext(scale Scale, log io.Writer) *Context {
+	return &Context{
+		Scale:      scale,
+		Log:        log,
+		trained:    make(map[string]nn.Layer),
+		trainedAcc: make(map[string]float64),
+	}
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format, args...)
+	}
+}
+
+// Data materialises (once) the synthetic corpus and its train/test batches.
+func (c *Context) Data() (x *tensor.Tensor, y []int, tx *tensor.Tensor, ty []int) {
+	if c.ds == nil {
+		cfg := speechcmd.DefaultConfig()
+		cfg.SamplesPerCls = c.Scale.SamplesPerCls
+		cfg.Seed = c.Scale.Seed
+		c.logf("generating synthetic speech-commands corpus (%d samples/class)\n", cfg.SamplesPerCls)
+		c.ds = speechcmd.Generate(cfg)
+		c.x, c.y = speechcmd.Batch(c.ds.Train, 0, len(c.ds.Train))
+		c.tx, c.ty = speechcmd.Batch(c.ds.Test, 0, len(c.ds.Test))
+	}
+	return c.x, c.y, c.tx, c.ty
+}
+
+// rng returns a fresh deterministic generator for a named model.
+func (c *Context) rng(name string) *rand.Rand {
+	h := int64(0)
+	for _, b := range []byte(name) {
+		h = h*131 + int64(b)
+	}
+	return rand.New(rand.NewSource(c.Scale.Seed*1_000_003 + h))
+}
+
+// baseTrainConfig is the shared optimiser setup (the paper's: Adam, LR
+// 0.001-like step decay, batch 20).
+func (c *Context) baseTrainConfig(loss train.LossFunc) train.Config {
+	return train.Config{
+		Epochs:    c.Scale.Epochs,
+		BatchSize: 20,
+		Schedule:  train.StepSchedule{Base: 0.01, Every: c.Scale.Epochs/2 + 1, Factor: 0.3},
+		Loss:      loss,
+		Seed:      c.Scale.Seed,
+	}
+}
+
+// TrainPlain trains (once, keyed by name) an uncompressed model and returns
+// it with its test accuracy.
+func (c *Context) TrainPlain(name string, build func(rng *rand.Rand) nn.Layer, loss train.LossFunc) (nn.Layer, float64) {
+	if m, ok := c.trained[name]; ok {
+		return m, c.trainedAcc[name]
+	}
+	x, y, tx, ty := c.Data()
+	m := build(c.rng(name))
+	c.logf("training %s (%d epochs)...\n", name, c.Scale.Epochs)
+	train.Run(m, x, y, c.baseTrainConfig(loss))
+	acc := train.Accuracy(m, tx, ty, 64)
+	c.logf("  %s test accuracy %.4f\n", name, acc)
+	c.trained[name] = m
+	c.trainedAcc[name] = acc
+	return m, acc
+}
+
+// TrainStaged trains (once, keyed by name) a strassenified model through the
+// three-stage schedule, optionally with a KD teacher, and returns it with
+// its test accuracy.
+func (c *Context) TrainStaged(name string, build func(rng *rand.Rand) nn.Layer, loss train.LossFunc, teacher nn.Layer) (nn.Layer, float64) {
+	if m, ok := c.trained[name]; ok {
+		return m, c.trainedAcc[name]
+	}
+	x, y, tx, ty := c.Data()
+	m := build(c.rng(name))
+	base := c.baseTrainConfig(loss)
+	if teacher != nil {
+		base.Teacher = teacher
+		base.KDAlpha = 0.5
+		base.KDTemp = 4
+	}
+	if h, ok := m.(*core.Hybrid); ok {
+		total := 3 * c.Scale.Epochs
+		base.OnEpoch = func(epoch int, lossVal float64) {
+			h.AnnealSigma(float64(epoch)/float64(total), 8)
+		}
+	}
+	c.logf("training %s (staged, 3×%d epochs)...\n", name, c.Scale.Epochs)
+	train.RunStaged(m, x, y, train.StagedConfig{
+		Base:         base,
+		WarmupEpochs: c.Scale.Epochs,
+		QuantEpochs:  c.Scale.Epochs,
+		FixedEpochs:  c.Scale.Epochs,
+	})
+	acc := train.Accuracy(m, tx, ty, 64)
+	c.logf("  %s test accuracy %.4f\n", name, acc)
+	c.trained[name] = m
+	c.trainedAcc[name] = acc
+	return m, acc
+}
+
+// HybridLossEpochs trains an uncompressed hybrid (hinge loss + σ annealing).
+func (c *Context) TrainHybridPlain(name string, cfg core.Config) (nn.Layer, float64) {
+	if m, ok := c.trained[name]; ok {
+		return m, c.trainedAcc[name]
+	}
+	x, y, tx, ty := c.Data()
+	h := core.New(cfg, c.rng(name))
+	base := c.baseTrainConfig(train.MultiClassHinge)
+	base.Epochs = 2 * c.Scale.Epochs
+	base.OnEpoch = func(epoch int, lossVal float64) {
+		h.AnnealSigma(float64(epoch)/float64(base.Epochs), 8)
+	}
+	c.logf("training %s (%d epochs)...\n", name, base.Epochs)
+	train.Run(h, x, y, base)
+	acc := train.Accuracy(h, tx, ty, 64)
+	c.logf("  %s test accuracy %.4f\n", name, acc)
+	c.trained[name] = h
+	c.trainedAcc[name] = acc
+	return h, acc
+}
+
+// formatting helpers shared by the tables.
+
+func fm(v int64) string     { return fmt.Sprintf("%.2fM", float64(v)/1e6) }
+func fkb(v float64) string  { return fmt.Sprintf("%.2fKB", v/1024) }
+func facc(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast: the point is that every generator
+// runs end to end and emits the right rows, not that accuracies converge.
+var tinyScale = Scale{WidthMult: 0.1, SamplesPerCls: 8, Epochs: 2, Seed: 1}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table X", "demo", "bee", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateUnknownTable(t *testing.T) {
+	c := NewContext(tinyScale, nil)
+	if _, err := Generate(c, 9); err == nil {
+		t.Fatal("expected error for table 9")
+	}
+	if _, err := Generate(c, 0); err == nil {
+		t.Fatal("expected error for table 0")
+	}
+}
+
+func TestAllTablesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	c := NewContext(tinyScale, nil)
+	wantRows := map[int]int{1: 5, 2: 5, 3: 8, 4: 5, 5: 3, 6: 3, 7: 4, 8: 3}
+	for n := 1; n <= 8; n++ {
+		tab, err := Generate(c, n)
+		if err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+		if len(tab.Rows) != wantRows[n] {
+			t.Fatalf("table %d has %d rows, want %d", n, len(tab.Rows), wantRows[n])
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("table %d: row width %d != header width %d", n, len(row), len(tab.Header))
+			}
+			for _, cell := range row {
+				if cell == "" {
+					t.Fatalf("table %d has an empty cell in row %v", n, row)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		if buf.Len() == 0 {
+			t.Fatalf("table %d rendered empty", n)
+		}
+	}
+}
+
+func TestContextCachesTrainedModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	c := NewContext(tinyScale, nil)
+	Table1(c)
+	before := len(c.trained)
+	Table1(c) // second run must reuse every model
+	if len(c.trained) != before {
+		t.Fatalf("cache grew from %d to %d on a repeat run", before, len(c.trained))
+	}
+}
+
+func TestFigure1MentionsKeyStructure(t *testing.T) {
+	fig := Figure1()
+	for _, want := range []string{"Conv1", "DS-Conv1", "DS-Conv2", "Bonsai", "ternary", "TOTAL"} {
+		if !strings.Contains(fig, want) {
+			t.Fatalf("Figure 1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestDataDeterministicWithinContext(t *testing.T) {
+	c := NewContext(tinyScale, nil)
+	x1, y1, _, _ := c.Data()
+	x2, y2, _, _ := c.Data()
+	if x1 != x2 || len(y1) != len(y2) {
+		t.Fatal("Data() should return the cached corpus")
+	}
+}
+
+func TestAblationsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	c := NewContext(tinyScale, nil)
+	tabs := Ablations(c)
+	if len(tabs) != 3 {
+		t.Fatalf("got %d ablation tables, want 3", len(tabs))
+	}
+	wantRows := []int{2, 2, 4}
+	for i, tab := range tabs {
+		if len(tab.Rows) != wantRows[i] {
+			t.Fatalf("%s has %d rows, want %d", tab.ID, len(tab.Rows), wantRows[i])
+		}
+	}
+	// A3: every positive λ must keep nnz additions at or below the
+	// unconstrained baseline (the constraint works; strict monotonicity in λ
+	// is not guaranteed once training collapses at very large λ).
+	a3 := tabs[2]
+	var base int64 = -1
+	for i, row := range a3.Rows {
+		var nnz int64
+		if _, err := fmt.Sscanf(row[2], "%d", &nnz); err != nil {
+			t.Fatalf("bad nnz cell %q", row[2])
+		}
+		if i == 0 {
+			base = nnz
+			continue
+		}
+		if nnz > base {
+			t.Fatalf("λ=%s produced more nnz additions (%d) than the λ=0 baseline (%d)", row[0], nnz, base)
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with|pipe"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### Table X", "| a | b |", "| --- | --- |", "with\\|pipe", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", "z"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3", len(lines))
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Fatalf("csv quoting wrong: %q", lines[1])
+	}
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/opcount"
+)
+
+// Figure1 renders the paper's architecture figure as text: the hybrid
+// pipeline (MFCC → Conv1 → DS blocks → pooled features D̂ → depth-2 Bonsai
+// tree with per-node predictors), plus a per-layer shape/op walk of the
+// full-scale ST-HybridNet.
+func Figure1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — Hybrid neural-tree architecture (ST-HybridNet)\n\n")
+	b.WriteString(`  MFCC features (T×F = 49×10)
+        |
+        v
+  +-----------------+   standard conv, 64 filters 10x4, stride 2
+  |      Conv1      |   (strassenified: ternary Wb/Wc, r = 0.75*cout)
+  +-----------------+
+        |
+        v
+  +-----------------+   depthwise 3x3 (ternary, 1 SPN unit/channel)
+  |    DS-Conv1     | + pointwise 1x1 (ternary, r = 0.75*cout)
+  +-----------------+
+        |
+        v
+  +-----------------+
+  |    DS-Conv2     |   same structure
+  +-----------------+
+        |
+        v
+   avg-pool 5x5 -> flatten -> projected features D^ (Bonsai Z)
+        |
+        v
+              [θ1ᵀD^ > 0]                 depth-2 Bonsai tree:
+             /           \                every node k holds W_k, V_k and
+        [θ2ᵀD^>0]     [θ3ᵀD^>0]           scores  W_kᵀD^ ⊙ tanh(σ V_kᵀD^);
+        /      \       /      \           all node scores are computed
+    (W4,V4) (W5,V5) (W6,V6) (W7,V7)       branch-free and summed, weighted
+                                          by the path indicators I_k
+  ŷ = Σ_k I_k(D^) · W_kᵀD^ ⊙ tanh(σ V_kᵀD^)
+
+`)
+	b.WriteString("Per-layer cost walk (full scale, ST-HybridNet):\n\n")
+	r := opcount.Count(core.New(core.DefaultConfig(12), rand.New(rand.NewSource(7))), models.InputDim)
+	fmt.Fprintf(&b, "  %-14s %-10s %10s %10s %10s %9s %9s\n",
+		"layer", "kind", "muls", "adds", "MACs", "fp", "ternary")
+	for _, l := range r.Layers {
+		fmt.Fprintf(&b, "  %-14s %-10s %10d %10d %10d %9d %9d\n",
+			l.Name, l.Kind, l.Muls, l.Adds, l.MACs, l.FPParams, l.TernaryParams)
+	}
+	fmt.Fprintf(&b, "  %-14s %-10s %10d %10d %10d %9d %9d\n",
+		"TOTAL", "", r.Total.Muls, r.Total.Adds, r.Total.MACs, r.Total.FPParams, r.Total.TernaryParams)
+	fmt.Fprintf(&b, "\n  ops: %s   model size: %s (2-bit ternary + 4B â/bias)\n",
+		fm(r.Total.Ops()), fkb(r.ModelSizeBytes(4)))
+	return b.String()
+}

@@ -1,0 +1,397 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bonsai"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opcount"
+	"repro/internal/prune"
+	"repro/internal/quant"
+	"repro/internal/speechcmd"
+	"repro/internal/train"
+)
+
+const numClasses = speechcmd.NumClasses
+
+// fullWidthCount builds the architecture at paper scale (width 1) and counts
+// its ops/sizes analytically.
+func fullWidthCount(build func(rng *rand.Rand) nn.Layer) opcount.Report {
+	return opcount.Count(build(rand.New(rand.NewSource(7))), models.InputDim)
+}
+
+// Table1 regenerates the strassenified DS-CNN sweep: accuracy and cost as a
+// function of the SPN hidden width r.
+func Table1(c *Context) Table {
+	t := Table{
+		ID:     "Table 1",
+		Title:  "DS-CNN vs strassenified DS-CNN (ST-DS-CNN) across SPN hidden widths r",
+		Header: []string{"network", "acc(paper)", "acc(ours)", "muls", "adds", "ops", "model"},
+		Notes: []string{
+			"cost columns computed at paper scale (64 channels); accuracy trained at reduced scale",
+			"model size: 1 byte/weight for DS-CNN, 2-bit ternary + 4-byte â/bias for ST variants",
+		},
+	}
+	_, dsAcc := c.TrainPlain("dscnn", func(rng *rand.Rand) nn.Layer {
+		return models.NewDSCNN(numClasses, c.Scale.WidthMult, rng)
+	}, train.CrossEntropy)
+	dsR := fullWidthCount(func(rng *rand.Rand) nn.Layer { return models.NewDSCNN(numClasses, 1, rng) })
+	t.Rows = append(t.Rows, []string{
+		"DS-CNN", "94.40%", facc(dsAcc), "-", "-", fm(dsR.Total.MACs), fkb(dsR.ModelSizeBytes(1)),
+	})
+	teacher := c.trained["dscnn"]
+	paperAcc := map[float64]string{0.5: "93.18%", 0.75: "94.09%", 1: "94.03%", 2: "94.74%"}
+	for _, rf := range []float64{0.5, 0.75, 1, 2} {
+		rf := rf
+		name := fmt.Sprintf("st-dscnn-r%.2f", rf)
+		_, acc := c.TrainStaged(name, func(rng *rand.Rand) nn.Layer {
+			return models.NewSTDSCNN(numClasses, c.Scale.WidthMult, rf, rng)
+		}, train.CrossEntropy, teacher)
+		r := fullWidthCount(func(rng *rand.Rand) nn.Layer { return models.NewSTDSCNN(numClasses, 1, rf, rng) })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("ST-DS-CNN (r=%gcout)", rf), paperAcc[rf], facc(acc),
+			fm(r.Total.Muls), fm(r.Total.Adds), fm(r.Total.Ops()), fkb(r.ModelSizeBytes(4)),
+		})
+	}
+	return t
+}
+
+// buildBonsai builds a standalone Bonsai classifier over flat MFCC input.
+func buildBonsai(projDim, depth int, rng *rand.Rand) nn.Layer {
+	return bonsai.New("bonsai", bonsai.Config{
+		Depth:      depth,
+		InputDim:   models.InputDim,
+		ProjDim:    projDim,
+		NumClasses: numClasses,
+		SigmaPred:  1,
+		SigmaInd:   1,
+		Project:    true,
+	}, bonsai.DenseFactory(rng), rng)
+}
+
+// Table2 regenerates the Bonsai-only saturation study: even large trees on
+// raw MFCC features fall far behind the convolutional baseline.
+func Table2(c *Context) Table {
+	t := Table{
+		ID:     "Table 2",
+		Title:  "DS-CNN vs standalone Bonsai trees on KWS",
+		Header: []string{"network", "acc(paper)", "acc(ours)", "macs", "ops", "model"},
+		Notes: []string{
+			"Bonsai weights stored at 4 bytes (as in the paper); trained longer than the CNNs, as in the paper",
+		},
+	}
+	_, dsAcc := c.TrainPlain("dscnn", func(rng *rand.Rand) nn.Layer {
+		return models.NewDSCNN(numClasses, c.Scale.WidthMult, rng)
+	}, train.CrossEntropy)
+	dsR := fullWidthCount(func(rng *rand.Rand) nn.Layer { return models.NewDSCNN(numClasses, 1, rng) })
+	t.Rows = append(t.Rows, []string{"DS-CNN", "94.40%", facc(dsAcc), fm(dsR.Total.MACs), fm(dsR.Total.Ops()), fkb(dsR.ModelSizeBytes(1))})
+
+	paperAcc := map[[2]int]string{{64, 2}: "80.20%", {64, 4}: "82.92%", {128, 2}: "81.56%", {128, 4}: "84.38%"}
+	paperSize := map[[2]int]string{{64, 2}: "140.75KB", {64, 4}: "287.75KB", {128, 2}: "281.50KB", {128, 4}: "575.50KB"}
+	for _, cfg := range [][2]int{{64, 2}, {64, 4}, {128, 2}, {128, 4}} {
+		cfg := cfg
+		name := fmt.Sprintf("bonsai-d%d-t%d", cfg[0], cfg[1])
+		x, y, tx, ty := c.Data()
+		var acc float64
+		if m, ok := c.trained[name]; ok {
+			_ = m
+			acc = c.trainedAcc[name]
+		} else {
+			tree := buildBonsai(cfg[0], cfg[1], c.rng(name)).(*bonsai.Tree)
+			tc := c.baseTrainConfig(train.MultiClassHinge)
+			tc.Epochs = 3 * c.Scale.Epochs // the paper trains Bonsai much longer
+			tc.OnEpoch = func(epoch int, loss float64) {
+				tree.SetSigmaInd(1 + 7*float32(epoch)/float32(tc.Epochs))
+			}
+			c.logf("training %s (%d epochs)...\n", name, tc.Epochs)
+			train.Run(tree, x, y, tc)
+			acc = train.Accuracy(tree, tx, ty, 64)
+			c.logf("  %s test accuracy %.4f\n", name, acc)
+			c.trained[name] = tree
+			c.trainedAcc[name] = acc
+		}
+		r := fullWidthCount(func(rng *rand.Rand) nn.Layer { return buildBonsai(cfg[0], cfg[1], rng) })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("Bonsai (D̂=%d, T=%d)", cfg[0], cfg[1]),
+			paperAcc[cfg], facc(acc), fm(r.Total.MACs), fm(r.Total.Ops()), fkb(r.ModelSizeBytes(4)),
+		})
+		_ = paperSize
+	}
+	return t
+}
+
+// table3Spec describes one Table 3 baseline.
+type table3Spec struct {
+	name     string
+	paperAcc string
+	paperOps string
+	paperKB  string
+	build    func(w float64, rng *rand.Rand) nn.Layer
+	loss     train.LossFunc
+}
+
+func table3Specs() []table3Spec {
+	return []table3Spec{
+		{"DS-CNN", "94.40%", "2.7M", "22.07KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewDSCNN(numClasses, w, rng) }, train.CrossEntropy},
+		{"CRNN", "94.00%", "1.5M", "73.7KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewCRNN(numClasses, w, rng) }, train.CrossEntropy},
+		{"GRU", "93.50%", "1.9M", "76.3KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewGRUModel(numClasses, w, rng) }, train.CrossEntropy},
+		{"LSTM", "92.90%", "1.95M", "76.8KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewLSTMModel(numClasses, w, rng) }, train.CrossEntropy},
+		{"Basic LSTM", "92.00%", "2.95M", "60.9KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewBasicLSTM(numClasses, w, rng) }, train.CrossEntropy},
+		{"CNN", "91.60%", "2.5M", "67.6KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewCNN(numClasses, w, rng) }, train.CrossEntropy},
+		{"DNN", "84.60%", "0.08M", "77.8KB", func(w float64, rng *rand.Rand) nn.Layer { return models.NewDNN(numClasses, w, rng) }, train.CrossEntropy},
+	}
+}
+
+// Table3 regenerates the baseline comparison: the uncompressed hybrid
+// network against the keyword-spotting architectures from the literature.
+func Table3(c *Context) Table {
+	t := Table{
+		ID:     "Table 3",
+		Title:  "HybridNet vs KWS baselines",
+		Header: []string{"network", "acc(paper)", "acc(ours)", "ops", "ops(paper)", "model", "model(paper)"},
+		Notes: []string{
+			"baseline weights 1 byte; HybridNet weights 4 bytes (as in the paper)",
+		},
+	}
+	for _, spec := range table3Specs() {
+		spec := spec
+		_, acc := c.TrainPlain(spec.name, func(rng *rand.Rand) nn.Layer {
+			return spec.build(c.Scale.WidthMult, rng)
+		}, spec.loss)
+		r := fullWidthCount(func(rng *rand.Rand) nn.Layer { return spec.build(1, rng) })
+		t.Rows = append(t.Rows, []string{
+			spec.name, spec.paperAcc, facc(acc),
+			fm(r.Total.Ops()), spec.paperOps, fkb(r.ModelSizeBytes(1)), spec.paperKB,
+		})
+	}
+	hybridCfg := core.DefaultConfig(numClasses)
+	hybridCfg.Strassen = false
+	hybridCfg.WidthMult = c.Scale.WidthMult
+	_, acc := c.TrainHybridPlain("hybrid", hybridCfg)
+	fullCfg := hybridCfg
+	fullCfg.WidthMult = 1
+	r := fullWidthCount(func(rng *rand.Rand) nn.Layer { return core.New(fullCfg, rng) })
+	t.Rows = append(t.Rows, []string{
+		"HybridNet", "94.54%", facc(acc),
+		fm(r.Total.Ops()), "1.5M", fkb(r.ModelSizeBytes(4)), "94.25KB",
+	})
+	return t
+}
+
+// Table4 regenerates the headline result: ST-HybridNet against the
+// uncompressed hybrid, the DS-CNN baseline and the strassenified DS-CNN.
+func Table4(c *Context) Table {
+	t := Table{
+		ID:     "Table 4",
+		Title:  "ST-HybridNet vs HybridNet, DS-CNN and ST-DS-CNN",
+		Header: []string{"network", "acc(paper)", "acc(ours)", "muls", "adds", "ops", "model"},
+	}
+	_, dsAcc := c.TrainPlain("dscnn", func(rng *rand.Rand) nn.Layer {
+		return models.NewDSCNN(numClasses, c.Scale.WidthMult, rng)
+	}, train.CrossEntropy)
+	dsR := fullWidthCount(func(rng *rand.Rand) nn.Layer { return models.NewDSCNN(numClasses, 1, rng) })
+	t.Rows = append(t.Rows, []string{"DS-CNN", "94.40%", facc(dsAcc), "-", "-", fm(dsR.Total.MACs), fkb(dsR.ModelSizeBytes(1))})
+
+	_, stdsAcc := c.TrainStaged("st-dscnn-r0.75", func(rng *rand.Rand) nn.Layer {
+		return models.NewSTDSCNN(numClasses, c.Scale.WidthMult, 0.75, rng)
+	}, train.CrossEntropy, c.trained["dscnn"])
+	stdsR := fullWidthCount(func(rng *rand.Rand) nn.Layer { return models.NewSTDSCNN(numClasses, 1, 0.75, rng) })
+	t.Rows = append(t.Rows, []string{"ST-DS-CNN (r=0.75cout)", "94.09%", facc(stdsAcc),
+		fm(stdsR.Total.Muls), fm(stdsR.Total.Adds), fm(stdsR.Total.Ops()), fkb(stdsR.ModelSizeBytes(4))})
+
+	hybridCfg := core.DefaultConfig(numClasses)
+	hybridCfg.Strassen = false
+	hybridCfg.WidthMult = c.Scale.WidthMult
+	hybridTeacher, hAcc := c.TrainHybridPlain("hybrid", hybridCfg)
+	fullHybrid := hybridCfg
+	fullHybrid.WidthMult = 1
+	hr := fullWidthCount(func(rng *rand.Rand) nn.Layer { return core.New(fullHybrid, rng) })
+	t.Rows = append(t.Rows, []string{"HybridNet", "94.54%", facc(hAcc), "-", "-", fm(hr.Total.MACs), fkb(hr.ModelSizeBytes(4))})
+
+	stCfg := core.DefaultConfig(numClasses)
+	stCfg.WidthMult = c.Scale.WidthMult
+	_, noKD := c.TrainStaged("st-hybrid", func(rng *rand.Rand) nn.Layer { return core.New(stCfg, rng) },
+		train.MultiClassHinge, nil)
+	_, withKD := c.TrainStaged("st-hybrid-kd", func(rng *rand.Rand) nn.Layer { return core.New(stCfg, rng) },
+		train.MultiClassHinge, hybridTeacher)
+	fullST := core.DefaultConfig(numClasses)
+	str := fullWidthCount(func(rng *rand.Rand) nn.Layer { return core.New(fullST, rng) })
+	t.Rows = append(t.Rows,
+		[]string{"ST-HybridNet (no KD)", "94.51%", facc(noKD),
+			fm(str.Total.Muls), fm(str.Total.Adds), fm(str.Total.Ops()), fkb(str.ModelSizeBytes(4))},
+		[]string{"ST-HybridNet (with KD)", "94.41%", facc(withKD),
+			fm(str.Total.Muls), fm(str.Total.Adds), fm(str.Total.Ops()), fkb(str.ModelSizeBytes(4))},
+	)
+	return t
+}
+
+// Table5 regenerates the hybrid hyperparameter ablation (conv depth × tree
+// size).
+func Table5(c *Context) Table {
+	t := Table{
+		ID:     "Table 5",
+		Title:  "ST-HybridNet hyperparameters: conv layers and tree size vs accuracy and ops",
+		Header: []string{"configuration", "acc(paper)", "acc(ours)", "ops", "ops(paper)"},
+	}
+	variants := []struct {
+		convs, depth int
+		paperAcc     string
+		paperOps     string
+	}{
+		{2, 2, "91.10%", "1.53M"},
+		{3, 1, "93.15%", "2.39M"},
+		{3, 2, "94.51%", "2.4M"},
+	}
+	for _, v := range variants {
+		v := v
+		cfg := core.DefaultConfig(numClasses)
+		cfg.ConvLayers = v.convs
+		cfg.TreeDepth = v.depth
+		cfg.WidthMult = c.Scale.WidthMult
+		name := fmt.Sprintf("st-hybrid-c%d-d%d", v.convs, v.depth)
+		if v.convs == 3 && v.depth == 2 {
+			name = "st-hybrid" // reuse Table 4's model
+		}
+		_, acc := c.TrainStaged(name, func(rng *rand.Rand) nn.Layer { return core.New(cfg, rng) },
+			train.MultiClassHinge, nil)
+		full := cfg
+		full.WidthMult = 1
+		r := fullWidthCount(func(rng *rand.Rand) nn.Layer { return core.New(full, rng) })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d conv layers, D=%d, N=%d", v.convs, v.depth, (1<<(v.depth+1))-1),
+			v.paperAcc, facc(acc), fm(r.Total.Ops()), v.paperOps,
+		})
+	}
+	return t
+}
+
+// Table6 regenerates the post-training quantization study: model size and
+// total memory footprint under fully-8-bit and mixed 8/16-bit activations.
+func Table6(c *Context) Table {
+	t := Table{
+		ID:     "Table 6",
+		Title:  "Post-training quantization of ST-HybridNet: accuracy, model size, memory footprint",
+		Header: []string{"network", "acc(paper)", "acc(ours)", "ops", "model", "footprint"},
+		Notes: []string{
+			"no retraining after quantization, as in the paper",
+			"footprint = model size + max activation requirement of two consecutive layers",
+		},
+	}
+	_, dsAcc := c.TrainPlain("dscnn", func(rng *rand.Rand) nn.Layer {
+		return models.NewDSCNN(numClasses, c.Scale.WidthMult, rng)
+	}, train.CrossEntropy)
+	dsR := fullWidthCount(func(rng *rand.Rand) nn.Layer { return models.NewDSCNN(numClasses, 1, rng) })
+	t.Rows = append(t.Rows, []string{"DS-CNN", "94.40%", facc(dsAcc), fm(dsR.Total.MACs),
+		fkb(dsR.ModelSizeBytes(1)), fkb(dsR.MemoryFootprintBytes(1, 1, 1))})
+
+	stCfg := core.DefaultConfig(numClasses)
+	stCfg.WidthMult = c.Scale.WidthMult
+	st, _ := c.TrainStaged("st-hybrid", func(rng *rand.Rand) nn.Layer { return core.New(stCfg, rng) },
+		train.MultiClassHinge, nil)
+	_, _, tx, ty := c.Data()
+	x, _, _, _ := c.Data()
+
+	// Quantise the remaining full-precision weights to 8 bits and simulate
+	// both activation policies. â is quantised to 16 bits per the paper.
+	restore := quant.QuantizeWeights(st, 16)
+	calib := x
+	fullST := core.DefaultConfig(numClasses)
+	str := fullWidthCount(func(rng *rand.Rand) nn.Layer { return core.New(fullST, rng) })
+	for _, pol := range []quant.Policy{quant.Act8, quant.ActMixed816} {
+		sim := quant.Calibrate(st, calib, pol)
+		acc := train.Accuracy(sim, tx, ty, 64)
+		paperAcc, paperName := "94.13%", "ST-HybridNet quantized (fully 8b act)"
+		wide := 1.0
+		if pol == quant.ActMixed816 {
+			paperAcc, paperName = "94.71%", "ST-HybridNet quantized (mixed 8b/16b act)"
+			wide = 2.0
+		}
+		t.Rows = append(t.Rows, []string{paperName, paperAcc, facc(acc), fm(str.Total.Ops()),
+			fkb(str.ModelSizeBytes(2)), fkb(str.MemoryFootprintBytes(2, 1, wide))})
+	}
+	restore()
+	return t
+}
+
+// Table7 regenerates the gradual-pruning comparison on DS-CNN.
+func Table7(c *Context) Table {
+	t := Table{
+		ID:     "Table 7",
+		Title:  "Gradual magnitude pruning of DS-CNN (Zhu & Gupta schedule)",
+		Header: []string{"sparsity", "nonzero params (paper)", "nonzero (full scale)", "acc(paper)", "acc(ours)"},
+	}
+	x, y, tx, ty := c.Data()
+	paper := []struct {
+		sparsity float64
+		nonzero  string
+		acc      string
+	}{
+		{0, "23.18K", "94.40%"},
+		{0.5, "11.59K", "94.03%"},
+		{0.75, "5.79K", "92.37%"},
+		{0.9, "2.31K", "87.41%"},
+	}
+	fullParams := nn.NumParams(models.NewDSCNN(numClasses, 1, rand.New(rand.NewSource(7))))
+	for _, p := range paper {
+		p := p
+		name := fmt.Sprintf("dscnn-prune%.0f", p.sparsity*100)
+		var acc float64
+		if p.sparsity == 0 {
+			_, acc = c.TrainPlain("dscnn", func(rng *rand.Rand) nn.Layer {
+				return models.NewDSCNN(numClasses, c.Scale.WidthMult, rng)
+			}, train.CrossEntropy)
+		} else if m, ok := c.trained[name]; ok {
+			_ = m
+			acc = c.trainedAcc[name]
+		} else {
+			model := models.NewDSCNN(numClasses, c.Scale.WidthMult, c.rng(name))
+			pruner := prune.New(model, p.sparsity)
+			cfg := c.baseTrainConfig(train.CrossEntropy)
+			cfg.Epochs = 2 * c.Scale.Epochs
+			rampEnd := cfg.Epochs * 3 / 4
+			cfg.OnEpoch = func(epoch int, loss float64) {
+				progress := float64(epoch+1) / float64(rampEnd)
+				pruner.Step(progress)
+			}
+			cfg.PostStep = pruner.Reapply
+			c.logf("training %s (%d epochs)...\n", name, cfg.Epochs)
+			train.Run(model, x, y, cfg)
+			acc = train.Accuracy(model, tx, ty, 64)
+			c.logf("  %s sparsity %.3f accuracy %.4f\n", name, pruner.Sparsity(), acc)
+			c.trained[name] = model
+			c.trainedAcc[name] = acc
+		}
+		nz := int(float64(fullParams) * (1 - p.sparsity))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", p.sparsity*100), p.nonzero,
+			fmt.Sprintf("%.2fK", float64(nz)/1000), p.acc, facc(acc),
+		})
+	}
+	return t
+}
+
+// Generate runs one table by number (1-7).
+func Generate(c *Context, table int) (Table, error) {
+	switch table {
+	case 1:
+		return Table1(c), nil
+	case 2:
+		return Table2(c), nil
+	case 3:
+		return Table3(c), nil
+	case 4:
+		return Table4(c), nil
+	case 5:
+		return Table5(c), nil
+	case 6:
+		return Table6(c), nil
+	case 7:
+		return Table7(c), nil
+	case 8:
+		return Comparative(c), nil
+	}
+	return Table{}, fmt.Errorf("exp: unknown table %d (valid: 1-7, 8 = Section 5 comparison)", table)
+}

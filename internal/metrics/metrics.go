@@ -1,0 +1,181 @@
+// Package metrics provides classification evaluation beyond plain accuracy:
+// confusion matrices, per-class precision/recall/F1, and macro averages —
+// used by the training tools to report keyword-spotting quality the way the
+// KWS literature does.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion is a square confusion matrix: Counts[true][predicted].
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion allocates a zero matrix for the given class count.
+func NewConfusion(classes int) *Confusion {
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	return c
+}
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(truth, pred int) {
+	c.Counts[truth][pred]++
+}
+
+// AddAll records paired label slices.
+func (c *Confusion) AddAll(truth, pred []int) {
+	if len(truth) != len(pred) {
+		panic("metrics: label slices of unequal length")
+	}
+	for i := range truth {
+		c.Add(truth[i], pred[i])
+	}
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.Classes; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassStats holds one class's precision, recall, F1 and support.
+type ClassStats struct {
+	Class     int
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// PerClass computes precision/recall/F1 for every class. Classes with no
+// predictions get precision 0; classes with no support get recall 0.
+func (c *Confusion) PerClass() []ClassStats {
+	stats := make([]ClassStats, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		tp := c.Counts[k][k]
+		var fp, fn int
+		for j := 0; j < c.Classes; j++ {
+			if j != k {
+				fp += c.Counts[j][k]
+				fn += c.Counts[k][j]
+			}
+		}
+		s := ClassStats{Class: k, Support: tp + fn}
+		if tp+fp > 0 {
+			s.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			s.Recall = float64(tp) / float64(tp+fn)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		stats[k] = s
+	}
+	return stats
+}
+
+// MacroF1 averages F1 over classes with nonzero support.
+func (c *Confusion) MacroF1() float64 {
+	stats := c.PerClass()
+	var sum float64
+	var n int
+	for _, s := range stats {
+		if s.Support > 0 {
+			sum += s.F1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TopConfusions returns the k most frequent off-diagonal (true, predicted)
+// pairs — the mistakes worth looking at.
+func (c *Confusion) TopConfusions(k int) [][3]int {
+	var pairs [][3]int // truth, pred, count
+	for i := 0; i < c.Classes; i++ {
+		for j := 0; j < c.Classes; j++ {
+			if i != j && c.Counts[i][j] > 0 {
+				pairs = append(pairs, [3]int{i, j, c.Counts[i][j]})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a][2] > pairs[b][2] })
+	if len(pairs) > k {
+		pairs = pairs[:k]
+	}
+	return pairs
+}
+
+// Render formats the matrix and per-class stats with the given class names.
+func (c *Confusion) Render(names []string) string {
+	var b strings.Builder
+	width := 4
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "t\\p")
+	for j := 0; j < c.Classes; j++ {
+		fmt.Fprintf(&b, "%5s", trunc(nameOf(names, j), 5))
+	}
+	b.WriteString("\n")
+	for i := 0; i < c.Classes; i++ {
+		fmt.Fprintf(&b, "%-*s", width+2, nameOf(names, i))
+		for j := 0; j < c.Classes; j++ {
+			fmt.Fprintf(&b, "%5d", c.Counts[i][j])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\naccuracy %.4f   macro-F1 %.4f\n", c.Accuracy(), c.MacroF1())
+	fmt.Fprintf(&b, "%-*s %9s %9s %9s %8s\n", width+2, "class", "precision", "recall", "F1", "support")
+	for _, s := range c.PerClass() {
+		fmt.Fprintf(&b, "%-*s %9.3f %9.3f %9.3f %8d\n",
+			width+2, nameOf(names, s.Class), s.Precision, s.Recall, s.F1, s.Support)
+	}
+	return b.String()
+}
+
+func nameOf(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("c%d", i)
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

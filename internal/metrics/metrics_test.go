@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracyPerfect(t *testing.T) {
+	c := NewConfusion(3)
+	c.AddAll([]int{0, 1, 2, 1}, []int{0, 1, 2, 1})
+	if c.Accuracy() != 1 {
+		t.Fatalf("accuracy %v", c.Accuracy())
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total %d", c.Total())
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	c := NewConfusion(2)
+	if c.Accuracy() != 0 || c.MacroF1() != 0 {
+		t.Fatal("empty matrix should report zeros")
+	}
+}
+
+func TestPerClassKnownValues(t *testing.T) {
+	// Class 0: tp=2, fn=1 (one 0 predicted as 1), fp=1 (one 1 predicted as 0).
+	c := NewConfusion(2)
+	c.AddAll(
+		[]int{0, 0, 0, 1, 1},
+		[]int{0, 0, 1, 0, 1},
+	)
+	stats := c.PerClass()
+	s0 := stats[0]
+	if math.Abs(s0.Precision-2.0/3) > 1e-12 {
+		t.Fatalf("precision %v, want 2/3", s0.Precision)
+	}
+	if math.Abs(s0.Recall-2.0/3) > 1e-12 {
+		t.Fatalf("recall %v, want 2/3", s0.Recall)
+	}
+	if math.Abs(s0.F1-2.0/3) > 1e-12 {
+		t.Fatalf("F1 %v, want 2/3", s0.F1)
+	}
+	if s0.Support != 3 || stats[1].Support != 2 {
+		t.Fatalf("supports %d/%d", s0.Support, stats[1].Support)
+	}
+}
+
+func TestAddAllLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusion(2).AddAll([]int{0}, []int{0, 1})
+}
+
+func TestTopConfusions(t *testing.T) {
+	c := NewConfusion(3)
+	for i := 0; i < 5; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(2, 0)
+	}
+	c.Add(1, 1) // diagonal, must not appear
+	top := c.TopConfusions(10)
+	if len(top) != 2 {
+		t.Fatalf("got %d confusions, want 2", len(top))
+	}
+	if top[0] != [3]int{0, 1, 5} || top[1] != [3]int{2, 0, 2} {
+		t.Fatalf("top confusions %v", top)
+	}
+	if got := c.TopConfusions(1); len(got) != 1 {
+		t.Fatalf("k limit ignored: %v", got)
+	}
+}
+
+func TestRenderContainsStats(t *testing.T) {
+	c := NewConfusion(2)
+	c.AddAll([]int{0, 1, 1}, []int{0, 1, 0})
+	out := c.Render([]string{"yes", "no"})
+	for _, want := range []string{"yes", "no", "accuracy", "macro-F1", "precision", "support"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderUnnamedClasses(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(2, 2)
+	out := c.Render(nil)
+	if !strings.Contains(out, "c2") {
+		t.Fatalf("expected fallback class names:\n%s", out)
+	}
+}
+
+// Properties: accuracy is in [0,1]; per-class recall weighted by support
+// equals accuracy; F1 is between min and max of precision/recall.
+func TestQuickConfusionInvariants(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		const k = 4
+		c := NewConfusion(k)
+		for _, p := range pairs {
+			c.Add(int(p)%k, int(p>>2)%k)
+		}
+		acc := c.Accuracy()
+		if acc < 0 || acc > 1 {
+			return false
+		}
+		total := c.Total()
+		if total == 0 {
+			return true
+		}
+		var weighted float64
+		for _, s := range c.PerClass() {
+			weighted += s.Recall * float64(s.Support)
+			if s.F1 < 0 || s.F1 > 1 {
+				return false
+			}
+			lo := math.Min(s.Precision, s.Recall)
+			hi := math.Max(s.Precision, s.Recall)
+			if s.F1 < lo-1e-9 || s.F1 > hi+1e-9 {
+				return false
+			}
+		}
+		return math.Abs(weighted/float64(total)-acc) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package models builds the keyword-spotting architectures compared in the
+// paper: the DS-CNN state of the art (Zhang et al. 2017, "S" size), its
+// strassenified variant, and the CNN / DNN / LSTM / basic-LSTM / GRU / CRNN
+// baselines of Table 3. All models consume flat [batch, 49*10] MFCC batches
+// (an internal reshape adapts them) and emit [batch, numClasses] logits.
+//
+// Every builder accepts a width multiplier so the same architectures can be
+// trained quickly at reduced scale; op/size accounting for the tables always
+// uses width 1, which reproduces the paper's counts.
+package models
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/rnn"
+	"repro/internal/strassen"
+)
+
+// Input geometry shared by every model (the paper's MFCC front end).
+const (
+	InputFrames = 49 // T
+	InputCoeffs = 10 // F
+	InputDim    = InputFrames * InputCoeffs
+)
+
+// scaled rounds base·mult to an int of at least 4 (so tiny test models stay
+// well-formed).
+func scaled(base int, mult float64) int {
+	v := int(float64(base)*mult + 0.5)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// NewDSCNN builds the depthwise-separable CNN (the paper's baseline and
+// teacher): Conv(64,10×4,s2) + 4 × [DW 3×3 + PW 1×1] + global average pool +
+// FC. With widthMult=1 it has ≈2.66M MACs and ≈23K parameters, matching the
+// paper's 2.7M ops / 22.07KB (8-bit weights).
+func NewDSCNN(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	c := scaled(64, widthMult)
+	seq := nn.NewSequential(
+		nn.NewReshape4D(1, InputFrames, InputCoeffs),
+		nn.NewConv2D("conv1", 1, c, 10, 4, 2, 5, 1, rng),
+		nn.NewBatchNorm("bn1", c),
+		nn.NewReLU(),
+	)
+	for b := 1; b <= 4; b++ {
+		seq.Append(dsBlock("ds"+itoa(b), c, rng)...)
+	}
+	seq.Append(
+		nn.NewGlobalAvgPool2D(),
+		nn.NewDense("fc", c, numClasses, rng),
+	)
+	return seq
+}
+
+// dsBlock is one depthwise-separable block: DW 3×3 → BN → ReLU → PW 1×1 →
+// BN → ReLU.
+func dsBlock(name string, c int, rng *rand.Rand) []nn.Layer {
+	return []nn.Layer{
+		nn.NewDepthwiseConv2D(name+".dw", c, 3, 3, 1, 1, rng),
+		nn.NewBatchNorm(name+".bn1", c),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".pw", c, c, 1, 1, 1, 0, 0, rng),
+		nn.NewBatchNorm(name+".bn2", c),
+		nn.NewReLU(),
+	}
+}
+
+// NewSTDSCNN builds the strassenified DS-CNN of Table 1: every convolution
+// (and the FC head) is replaced by a ternary SPN. rFactor is the hidden
+// width ratio r/cout explored in the paper (0.5, 0.75, 1, 2).
+func NewSTDSCNN(numClasses int, widthMult, rFactor float64, rng *rand.Rand) *nn.Sequential {
+	c := scaled(64, widthMult)
+	r := scaled(64, widthMult*rFactor)
+	seq := nn.NewSequential(
+		nn.NewReshape4D(1, InputFrames, InputCoeffs),
+		strassen.NewConv2D("conv1", 1, c, 10, 4, 2, 5, 1, r, rng),
+		nn.NewBatchNorm("bn1", c),
+		nn.NewReLU(),
+	)
+	for b := 1; b <= 4; b++ {
+		seq.Append(stDSBlock("ds"+itoa(b), c, r, rng)...)
+	}
+	seq.Append(
+		nn.NewGlobalAvgPool2D(),
+		strassen.NewDense("fc", c, numClasses, numClasses, rng),
+	)
+	return seq
+}
+
+// stDSBlock is a strassenified DS block: ternary DW (one SPN hidden unit per
+// channel) and ternary PW with hidden width r.
+func stDSBlock(name string, c, r int, rng *rand.Rand) []nn.Layer {
+	return []nn.Layer{
+		strassen.NewDepthwiseConv2D(name+".dw", c, 3, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm(name+".bn1", c),
+		nn.NewReLU(),
+		strassen.NewConv2D(name+".pw", c, c, 1, 1, 1, 0, 0, r, rng),
+		nn.NewBatchNorm(name+".bn2", c),
+		nn.NewReLU(),
+	}
+}
+
+// NewCNN builds the two-layer convolutional baseline of Table 3
+// (≈1.2M MACs, ≈54K parameters with widthMult=1).
+func NewCNN(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	c1 := scaled(28, widthMult)
+	c2 := scaled(30, widthMult)
+	h := scaled(16, widthMult)
+	// Conv1 10×4 stride 2 → 25×5; Conv2 10×4 valid → 16×2.
+	return nn.NewSequential(
+		nn.NewReshape4D(1, InputFrames, InputCoeffs),
+		nn.NewConv2D("conv1", 1, c1, 10, 4, 2, 5, 1, rng),
+		nn.NewBatchNorm("bn1", c1),
+		nn.NewReLU(),
+		nn.NewConv2D("conv2", c1, c2, 10, 4, 1, 0, 0, rng),
+		nn.NewBatchNorm("bn2", c2),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense("lin", c2*16*2, h, rng),
+		nn.NewDense("fc1", h, scaled(128, widthMult), rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", scaled(128, widthMult), numClasses, rng),
+	)
+}
+
+// NewDNN builds the fully connected baseline of Table 3 (three hidden
+// layers; ≈0.08M MACs / ≈82K parameters at widthMult=1).
+func NewDNN(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	h := scaled(112, widthMult)
+	return nn.NewSequential(
+		nn.NewDense("fc1", InputDim, h, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", h, h, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc3", h, h, rng),
+		nn.NewReLU(),
+		nn.NewDense("out", h, numClasses, rng),
+	)
+}
+
+// NewLSTMModel builds the peephole-LSTM baseline (paper row "LSTM";
+// ≈1.9M MACs at widthMult=1).
+func NewLSTMModel(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	h := scaled(94, widthMult)
+	return nn.NewSequential(
+		rnn.NewReshape3D(InputFrames, InputCoeffs),
+		rnn.NewLSTM("lstm", InputCoeffs, h, true, rng),
+		nn.NewDense("fc", h, numClasses, rng),
+	)
+}
+
+// NewBasicLSTM builds the larger no-peephole LSTM baseline (paper row
+// "Basic LSTM"; ≈2.95M MACs at widthMult=1).
+func NewBasicLSTM(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	h := scaled(118, widthMult)
+	return nn.NewSequential(
+		rnn.NewReshape3D(InputFrames, InputCoeffs),
+		rnn.NewLSTM("lstm", InputCoeffs, h, false, rng),
+		nn.NewDense("fc", h, numClasses, rng),
+	)
+}
+
+// NewGRUModel builds the GRU baseline (≈1.87M MACs at widthMult=1).
+func NewGRUModel(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	h := scaled(108, widthMult)
+	return nn.NewSequential(
+		rnn.NewReshape3D(InputFrames, InputCoeffs),
+		rnn.NewGRU("gru", InputCoeffs, h, rng),
+		nn.NewDense("fc", h, numClasses, rng),
+	)
+}
+
+// NewCRNN builds the convolutional-recurrent baseline: one strided
+// convolution feeding a GRU over the downsampled frame sequence
+// (≈1.6M MACs at widthMult=1).
+func NewCRNN(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	c := scaled(32, widthMult)
+	h := scaled(80, widthMult)
+	// Conv output is [batch, c, 25, 5]; the transpose layer re-orders it to a
+	// [batch, 25, 5c] sequence for the GRU.
+	return nn.NewSequential(
+		nn.NewReshape4D(1, InputFrames, InputCoeffs),
+		nn.NewConv2D("conv1", 1, c, 10, 4, 2, 5, 1, rng),
+		nn.NewBatchNorm("bn1", c),
+		nn.NewReLU(),
+		NewChannelsToSeq(c, 25, 5),
+		rnn.NewGRU("gru", 5*c, h, rng),
+		nn.NewDense("fc", h, numClasses, rng),
+	)
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+// NewEdgeSpeechNet builds an EdgeSpeechNet-style deep residual CNN
+// (Lin et al., 2018), the Section 5 comparison point: a Cortex-A-class
+// model needing ≥10× the MACs of the microcontroller networks
+// (≈27M MACs at widthMult=1 vs the DS-CNN's 2.66M).
+func NewEdgeSpeechNet(numClasses int, widthMult float64, rng *rand.Rand) *nn.Sequential {
+	c := scaled(32, widthMult)
+	seq := nn.NewSequential(
+		nn.NewReshape4D(1, InputFrames, InputCoeffs),
+		nn.NewConv2D("stem", 1, c, 3, 3, 1, 1, 1, rng),
+		nn.NewBatchNorm("stem.bn", c),
+		nn.NewReLU(),
+	)
+	for b := 1; b <= 3; b++ {
+		name := "res" + itoa(b)
+		body := nn.NewSequential(
+			nn.NewConv2D(name+".c1", c, c, 3, 3, 1, 1, 1, rng),
+			nn.NewBatchNorm(name+".bn1", c),
+			nn.NewReLU(),
+			nn.NewConv2D(name+".c2", c, c, 3, 3, 1, 1, 1, rng),
+			nn.NewBatchNorm(name+".bn2", c),
+		)
+		seq.Append(nn.NewResidual(body), nn.NewReLU())
+	}
+	seq.Append(
+		nn.NewGlobalAvgPool2D(),
+		nn.NewDense("fc", c, numClasses, rng),
+	)
+	return seq
+}

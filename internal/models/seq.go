@@ -1,0 +1,53 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ChannelsToSeq converts a [batch, C, H, W] feature map into a [batch, H, C*W]
+// sequence (one timestep per feature-map row), the adapter between the CRNN's
+// convolutional front end and its recurrent layer.
+type ChannelsToSeq struct {
+	C, H, W int
+}
+
+// NewChannelsToSeq returns the conversion layer for the given feature-map
+// geometry.
+func NewChannelsToSeq(c, h, w int) *ChannelsToSeq { return &ChannelsToSeq{C: c, H: h, W: w} }
+
+// Forward transposes [n, C, H, W] → [n, H, C*W].
+func (l *ChannelsToSeq) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "ChannelsToSeq input", -1, l.C, l.H, l.W)
+	n := x.Dim(0)
+	out := tensor.New(n, l.H, l.C*l.W)
+	for i := 0; i < n; i++ {
+		for c := 0; c < l.C; c++ {
+			for h := 0; h < l.H; h++ {
+				src := x.Data[((i*l.C+c)*l.H+h)*l.W : ((i*l.C+c)*l.H+h+1)*l.W]
+				dst := out.Data[(i*l.H+h)*l.C*l.W+c*l.W : (i*l.H+h)*l.C*l.W+(c+1)*l.W]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}
+
+// Backward transposes the gradient back to [n, C, H, W].
+func (l *ChannelsToSeq) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	dx := tensor.New(n, l.C, l.H, l.W)
+	for i := 0; i < n; i++ {
+		for c := 0; c < l.C; c++ {
+			for h := 0; h < l.H; h++ {
+				dst := dx.Data[((i*l.C+c)*l.H+h)*l.W : ((i*l.C+c)*l.H+h+1)*l.W]
+				src := dout.Data[(i*l.H+h)*l.C*l.W+c*l.W : (i*l.H+h)*l.C*l.W+(c+1)*l.W]
+				copy(dst, src)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil; the layer has no parameters.
+func (l *ChannelsToSeq) Params() []*nn.Param { return nil }

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < len(out.Data) {
+			r.mask = make([]bool, len(out.Data))
+		}
+		r.mask = r.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		pos := v > 0
+		if !pos {
+			out.Data[i] = 0
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	out := dout.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *tensor.Tensor
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	if train {
+		t.lastOut = out
+	}
+	return out
+}
+
+// Backward multiplies by 1 - tanh².
+func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	out := dout.Clone()
+	for i, y := range t.lastOut.Data {
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoidf is the scalar logistic function.
+func Sigmoidf(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Tanhf is the scalar hyperbolic tangent.
+func Tanhf(x float32) float32 { return float32(math.Tanh(float64(x))) }
+
+// Dropout randomly zeroes activations during training and rescales the
+// survivors by 1/(1-rate) (inverted dropout).
+type Dropout struct {
+	Rate float32
+	rng  *rand.Rand
+	mask []float32
+}
+
+// NewDropout returns a dropout layer with the given drop rate.
+func NewDropout(rate float32, rng *rand.Rand) *Dropout {
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies dropout in training mode and is the identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate <= 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]float32, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	for i := range out.Data {
+		if d.rng.Float32() < d.Rate {
+			d.mask[i] = 0
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward applies the saved mask.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.Rate <= 0 {
+		return dout
+	}
+	out := dout.Clone()
+	for i := range out.Data {
+		out.Data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution over [batch, cin, H, W] inputs,
+// lowered to matmul with im2col.
+type Conv2D struct {
+	Cin, Cout    int
+	KH, KW       int
+	Stride       int
+	PadH, PadW   int
+	Weight       *Param // [cout, cin*kh*kw]
+	Bias         *Param // [cout]; may be nil
+	lastCols     []*tensor.Tensor
+	lastH, lastW int
+	lastBatch    int
+}
+
+// NewConv2D builds a convolution with He-normal weights.
+func NewConv2D(name string, cin, cout, kh, kw, stride, padH, padW int, rng *rand.Rand) *Conv2D {
+	w := tensor.New(cout, cin*kh*kw).HeNormal(rng, cin*kh*kw)
+	return &Conv2D{
+		Cin: cin, Cout: cout, KH: kh, KW: kw, Stride: stride, PadH: padH, PadW: padW,
+		Weight: NewParam(name+".weight", w),
+		Bias:   NewParam(name+".bias", tensor.New(cout)),
+	}
+}
+
+// OutSize returns the output spatial dimensions for an input of h×w.
+func (c *Conv2D) OutSize(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, c.KH, c.Stride, c.PadH), tensor.ConvOutSize(w, c.KW, c.Stride, c.PadW)
+}
+
+// Forward convolves x [batch, cin, H, W] into [batch, cout, outH, outW].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	CheckShape(x, "Conv2D input", -1, c.Cin, -1, -1)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.OutSize(h, w)
+	out := tensor.New(n, c.Cout, outH, outW)
+	cols := make([]*tensor.Tensor, n)
+	ParallelFor(n, func(i int) {
+		img := tensor.FromSlice(x.Data[i*c.Cin*h*w:(i+1)*c.Cin*h*w], c.Cin, h, w)
+		col := tensor.Im2Col(img, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+		cols[i] = col
+		y := tensor.MatMul(c.Weight.W, col) // [cout, outH*outW]
+		dst := out.Data[i*c.Cout*outH*outW : (i+1)*c.Cout*outH*outW]
+		copy(dst, y.Data)
+		if c.Bias != nil {
+			for oc := 0; oc < c.Cout; oc++ {
+				b := c.Bias.W.Data[oc]
+				seg := dst[oc*outH*outW : (oc+1)*outH*outW]
+				for j := range seg {
+					seg[j] += b
+				}
+			}
+		}
+	})
+	if train {
+		c.lastCols, c.lastH, c.lastW, c.lastBatch = cols, h, w, n
+	}
+	return out
+}
+
+// Backward propagates gradients through the im2col lowering.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("nn: Conv2D.Backward called before Forward(train=true)")
+	}
+	n, h, w := c.lastBatch, c.lastH, c.lastW
+	outH, outW := c.OutSize(h, w)
+	CheckShape(dout, "Conv2D grad", n, c.Cout, outH, outW)
+	dx := tensor.New(n, c.Cin, h, w)
+	nOut := outH * outW
+	dWs := make([]*tensor.Tensor, n)
+	dBs := make([][]float32, n)
+	ParallelFor(n, func(i int) {
+		g := tensor.FromSlice(dout.Data[i*c.Cout*nOut:(i+1)*c.Cout*nOut], c.Cout, nOut)
+		// dW += g · colᵀ
+		dWs[i] = tensor.MatMulT2(g, c.lastCols[i])
+		if c.Bias != nil {
+			db := make([]float32, c.Cout)
+			for oc := 0; oc < c.Cout; oc++ {
+				var s float32
+				for _, v := range g.Data[oc*nOut : (oc+1)*nOut] {
+					s += v
+				}
+				db[oc] = s
+			}
+			dBs[i] = db
+		}
+		// dcol = Wᵀ · g, then scatter back to image space.
+		dcol := tensor.MatMulT1(c.Weight.W, g)
+		dimg := tensor.Col2Im(dcol, c.Cin, h, w, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+		copy(dx.Data[i*c.Cin*h*w:(i+1)*c.Cin*h*w], dimg.Data)
+	})
+	for i := 0; i < n; i++ {
+		c.Weight.G.Add(dWs[i])
+		if c.Bias != nil {
+			for oc, v := range dBs[i] {
+				c.Bias.G.Data[oc] += v
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's trainable parameters.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias == nil {
+		return []*Param{c.Weight}
+	}
+	return []*Param{c.Weight, c.Bias}
+}
+
+// DepthwiseConv2D convolves each channel with its own kh×kw filter
+// (a grouped convolution with groups == channels), the first half of a
+// depthwise-separable block.
+type DepthwiseConv2D struct {
+	C                       int
+	KH, KW                  int
+	Stride, Pad             int
+	Weight                  *Param           // [c, kh*kw]
+	Bias                    *Param           // [c]; may be nil
+	lastCols                []*tensor.Tensor // per sample, per channel cols [kh*kw, outH*outW] flattened
+	lastH, lastW, lastBatch int
+}
+
+// NewDepthwiseConv2D builds a depthwise convolution with He-normal weights.
+func NewDepthwiseConv2D(name string, c, kh, kw, stride, pad int, rng *rand.Rand) *DepthwiseConv2D {
+	w := tensor.New(c, kh*kw).HeNormal(rng, kh*kw)
+	return &DepthwiseConv2D{
+		C: c, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".weight", w),
+		Bias:   NewParam(name+".bias", tensor.New(c)),
+	}
+}
+
+// OutSize returns the output spatial dimensions for an input of h×w.
+func (d *DepthwiseConv2D) OutSize(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, d.KH, d.Stride, d.Pad), tensor.ConvOutSize(w, d.KW, d.Stride, d.Pad)
+}
+
+// Forward convolves x [batch, c, H, W] into [batch, c, outH, outW] with one
+// filter per channel.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	CheckShape(x, "DepthwiseConv2D input", -1, d.C, -1, -1)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := d.OutSize(h, w)
+	nOut := outH * outW
+	out := tensor.New(n, d.C, outH, outW)
+	cols := make([]*tensor.Tensor, n)
+	ParallelFor(n, func(i int) {
+		img := tensor.FromSlice(x.Data[i*d.C*h*w:(i+1)*d.C*h*w], d.C, h, w)
+		// Im2Col with C channels yields [C*kh*kw, nOut]; channel ch occupies
+		// rows [ch*kh*kw, (ch+1)*kh*kw), exactly the per-channel col matrix.
+		col := tensor.Im2Col(img, d.KH, d.KW, d.Stride, d.Pad, d.Pad)
+		cols[i] = col
+		k := d.KH * d.KW
+		for ch := 0; ch < d.C; ch++ {
+			wrow := d.Weight.W.Data[ch*k : (ch+1)*k]
+			dst := out.Data[(i*d.C+ch)*nOut : (i*d.C+ch+1)*nOut]
+			for p := 0; p < k; p++ {
+				wv := wrow[p]
+				if wv == 0 {
+					continue
+				}
+				src := col.Data[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+				for j, cv := range src {
+					dst[j] += wv * cv
+				}
+			}
+			if d.Bias != nil {
+				b := d.Bias.W.Data[ch]
+				for j := range dst {
+					dst[j] += b
+				}
+			}
+		}
+	})
+	if train {
+		d.lastCols, d.lastH, d.lastW, d.lastBatch = cols, h, w, n
+	}
+	return out
+}
+
+// Backward propagates gradients through the per-channel convolution.
+func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.lastCols == nil {
+		panic("nn: DepthwiseConv2D.Backward called before Forward(train=true)")
+	}
+	n, h, w := d.lastBatch, d.lastH, d.lastW
+	outH, outW := d.OutSize(h, w)
+	nOut := outH * outW
+	CheckShape(dout, "DepthwiseConv2D grad", n, d.C, outH, outW)
+	k := d.KH * d.KW
+	dx := tensor.New(n, d.C, h, w)
+	dWs := make([]*tensor.Tensor, n)
+	dBs := make([][]float32, n)
+	ParallelFor(n, func(i int) {
+		col := d.lastCols[i]
+		dW := tensor.New(d.C, k)
+		var db []float32
+		if d.Bias != nil {
+			db = make([]float32, d.C)
+		}
+		dcol := tensor.New(d.C*k, nOut)
+		for ch := 0; ch < d.C; ch++ {
+			g := dout.Data[(i*d.C+ch)*nOut : (i*d.C+ch+1)*nOut]
+			wrow := d.Weight.W.Data[ch*k : (ch+1)*k]
+			for p := 0; p < k; p++ {
+				src := col.Data[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+				var s float32
+				for j, gv := range g {
+					s += gv * src[j]
+				}
+				dW.Data[ch*k+p] = s
+				// dcol row = w[p] * g
+				dst := dcol.Data[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+				wv := wrow[p]
+				for j, gv := range g {
+					dst[j] = wv * gv
+				}
+			}
+			if d.Bias != nil {
+				var s float32
+				for _, gv := range g {
+					s += gv
+				}
+				db[ch] = s
+			}
+		}
+		dimg := tensor.Col2Im(dcol, d.C, h, w, d.KH, d.KW, d.Stride, d.Pad, d.Pad)
+		copy(dx.Data[i*d.C*h*w:(i+1)*d.C*h*w], dimg.Data)
+		dWs[i], dBs[i] = dW, db
+	})
+	for i := 0; i < n; i++ {
+		d.Weight.G.Add(dWs[i])
+		if d.Bias != nil {
+			for ch, v := range dBs[i] {
+				d.Bias.G.Data[ch] += v
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's trainable parameters.
+func (d *DepthwiseConv2D) Params() []*Param {
+	if d.Bias == nil {
+		return []*Param{d.Weight}
+	}
+	return []*Param{d.Weight, d.Bias}
+}
+
+// ParallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines. It is
+// the batch-parallelism primitive shared by the convolution-style layers.
+func ParallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

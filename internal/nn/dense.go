@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·Wᵀ + b over a
+// [batch, in] input.
+type Dense struct {
+	In, Out int
+	Weight  *Param // [out, in]
+	Bias    *Param // [out]; nil when UseBias is false
+	lastIn  *tensor.Tensor
+}
+
+// NewDense builds a dense layer with Glorot-uniform weights and zero bias.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(out, in).GlorotUniform(rng, in, out)
+	return &Dense{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".weight", w),
+		Bias:   NewParam(name+".bias", tensor.New(out)),
+	}
+}
+
+// NewDenseNoBias builds a dense layer without a bias term.
+func NewDenseNoBias(name string, in, out int, rng *rand.Rand) *Dense {
+	d := NewDense(name, in, out, rng)
+	d.Bias = nil
+	return d
+}
+
+// Forward computes y = x·Wᵀ + b for x of shape [batch, in].
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	CheckShape(x, "Dense input", -1, d.In)
+	if train {
+		d.lastIn = x
+	}
+	y := tensor.MatMulT2(x, d.Weight.W) // [batch,in]·[out,in]ᵀ
+	if d.Bias != nil {
+		n := x.Dim(0)
+		for i := 0; i < n; i++ {
+			row := y.Data[i*d.Out : (i+1)*d.Out]
+			for j, b := range d.Bias.W.Data {
+				row[j] += b
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = doutᵀ·x and db = Σ dout, returning dx = dout·W.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	CheckShape(dout, "Dense grad", -1, d.Out)
+	if d.lastIn == nil {
+		panic("nn: Dense.Backward called before Forward(train=true)")
+	}
+	d.Weight.G.Add(tensor.MatMulT1(dout, d.lastIn)) // [out,batch]·[batch,in]
+	if d.Bias != nil {
+		n := dout.Dim(0)
+		for i := 0; i < n; i++ {
+			row := dout.Data[i*d.Out : (i+1)*d.Out]
+			for j, g := range row {
+				d.Bias.G.Data[j] += g
+			}
+		}
+	}
+	return tensor.MatMul(dout, d.Weight.W)
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param {
+	if d.Bias == nil {
+		return []*Param{d.Weight}
+	}
+	return []*Param{d.Weight, d.Bias}
+}

@@ -1,0 +1,109 @@
+// Package nn implements neural-network layers with explicit forward and
+// backward passes: dense, 2-D convolution, depthwise convolution, batch
+// normalisation, activations, pooling and reshaping, composed with
+// Sequential. Every layer caches what its backward pass needs, exposes its
+// parameters for an optimiser, and is validated by finite-difference gradient
+// checks in the test suite.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter: a value tensor and its gradient
+// accumulator of the same shape.
+type Param struct {
+	Name   string
+	W      *tensor.Tensor // value
+	G      *tensor.Tensor // gradient accumulator
+	Frozen bool           // when true, optimisers must skip this parameter
+}
+
+// NewParam allocates a parameter with a zeroed gradient of the same shape.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is a differentiable module. Forward consumes an activation tensor and
+// returns the output; Backward consumes the gradient of the loss with respect
+// to the output and returns the gradient with respect to the input, while
+// accumulating parameter gradients. Backward must be called after Forward
+// with train=true.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container over the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the gradients of every parameter in the layer.
+func ZeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters in the layer.
+func NumParams(l Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// CheckShape panics with a descriptive message unless t has the wanted shape.
+func CheckShape(t *tensor.Tensor, what string, want ...int) {
+	ok := t.Rank() == len(want)
+	if ok {
+		for i, d := range want {
+			if d >= 0 && t.Dim(i) != d {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("nn: %s has shape %v, want %v", what, t.Shape(), want))
+	}
+}

@@ -1,0 +1,344 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("fc", 2, 2, rng)
+	d.Weight.W.Data = []float32{1, 2, 3, 4} // W = [[1,2],[3,4]]
+	d.Bias.W.Data = []float32{0.5, -0.5}
+	x := tensor.FromSlice([]float32{1, 1}, 1, 2)
+	y := d.Forward(x, false)
+	// y = [1+2+0.5, 3+4-0.5] = [3.5, 6.5]
+	if y.At(0, 0) != 3.5 || y.At(0, 1) != 6.5 {
+		t.Fatalf("dense forward got %v", y.Data)
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense("fc", 5, 4, rng)
+	x := tensor.New(3, 5).Rand(rng, 1)
+	if err := GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseNoBiasGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDenseNoBias("fc", 4, 3, rng)
+	x := tensor.New(2, 4).Rand(rng, 1)
+	if err := GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Params()) != 1 {
+		t.Fatalf("no-bias dense has %d params, want 1", len(d.Params()))
+	}
+}
+
+func TestConv2DMatchesDenseOnOneByOne(t *testing.T) {
+	// A 1×1 convolution over a 1×1 image is exactly a dense layer.
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2D("conv", 3, 2, 1, 1, 1, 0, 0, rng)
+	x := tensor.New(2, 3, 1, 1).Rand(rng, 1)
+	y := c.Forward(x, false)
+	for i := 0; i < 2; i++ {
+		for oc := 0; oc < 2; oc++ {
+			var want float32 = c.Bias.W.Data[oc]
+			for ic := 0; ic < 3; ic++ {
+				want += c.Weight.W.At(oc, ic) * x.At(i, ic, 0, 0)
+			}
+			if got := y.At(i, oc, 0, 0); math.Abs(float64(got-want)) > 1e-5 {
+				t.Fatalf("conv1x1 got %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D("conv", 2, 3, 3, 3, 1, 1, 1, rng)
+	x := tensor.New(2, 2, 5, 4).Rand(rng, 1)
+	if err := GradCheck(c, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConv2DStridedGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewConv2D("conv", 1, 2, 4, 3, 2, 1, 1, rng)
+	x := tensor.New(1, 1, 9, 7).Rand(rng, 1)
+	if err := GradCheck(c, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDepthwiseConv2D("dw", 3, 3, 3, 1, 1, rng)
+	x := tensor.New(2, 3, 4, 5).Rand(rng, 1)
+	if err := GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseConvIsPerChannel(t *testing.T) {
+	// Zeroing channel 1's input must not change channel 0's output.
+	rng := rand.New(rand.NewSource(8))
+	d := NewDepthwiseConv2D("dw", 2, 3, 3, 1, 1, rng)
+	x := tensor.New(1, 2, 5, 5).Rand(rng, 1)
+	y1 := d.Forward(x, false)
+	x2 := x.Clone()
+	for i := 25; i < 50; i++ {
+		x2.Data[i] = 0
+	}
+	y2 := d.Forward(x2, false)
+	for i := 0; i < 25; i++ {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("depthwise conv mixed channels")
+		}
+	}
+	same := true
+	for i := 25; i < 50; i++ {
+		if y1.Data[i] != y2.Data[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("channel-1 output unchanged despite zeroed input")
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 1, 3)
+	y := r.Forward(x, true)
+	if y.Data[0] != 0 || y.Data[1] != 0 || y.Data[2] != 2 {
+		t.Fatalf("relu forward %v", y.Data)
+	}
+	dx := r.Backward(tensor.FromSlice([]float32{5, 5, 5}, 1, 3))
+	if dx.Data[0] != 0 || dx.Data[1] != 0 || dx.Data[2] != 5 {
+		t.Fatalf("relu backward %v", dx.Data)
+	}
+}
+
+func TestTanhGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewTanh()
+	x := tensor.New(2, 6).Rand(rng, 1)
+	if err := GradCheck(l, x, rng, 1e-3, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchNormGradCheck2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := NewBatchNorm("bn", 4)
+	x := tensor.New(6, 4).Rand(rng, 1)
+	if err := GradCheck(b, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchNormGradCheck4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBatchNorm("bn", 2)
+	x := tensor.New(3, 2, 3, 3).Rand(rng, 1)
+	if err := GradCheck(b, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchNormNormalises(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	b := NewBatchNorm("bn", 3)
+	x := tensor.New(64, 3).Rand(rng, 2)
+	// Shift channel 1 by +10 — batch norm should remove it.
+	for i := 0; i < 64; i++ {
+		x.Data[i*3+1] += 10
+	}
+	y := b.Forward(x, true)
+	var mean, sq float64
+	for i := 0; i < 64; i++ {
+		mean += float64(y.At(i, 1))
+		sq += float64(y.At(i, 1)) * float64(y.At(i, 1))
+	}
+	mean /= 64
+	sq = sq/64 - mean*mean
+	if math.Abs(mean) > 1e-4 || math.Abs(sq-1) > 1e-2 {
+		t.Fatalf("batchnorm output mean=%v var=%v", mean, sq)
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := NewBatchNorm("bn", 2)
+	// Train stats towards the data distribution.
+	for i := 0; i < 200; i++ {
+		x := tensor.New(16, 2).Rand(rng, 1)
+		for j := 0; j < 16; j++ {
+			x.Data[j*2] += 5
+		}
+		b.Forward(x, true)
+	}
+	x := tensor.New(4, 2)
+	for j := 0; j < 4; j++ {
+		x.Data[j*2] = 5 // exactly the running mean of channel 0
+	}
+	y := b.Forward(x, false)
+	for j := 0; j < 4; j++ {
+		if math.Abs(float64(y.At(j, 0))) > 0.2 {
+			t.Fatalf("inference batchnorm did not center: %v", y.At(j, 0))
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	p := NewGlobalAvgPool2D()
+	y := p.Forward(x, true)
+	if y.At(0, 0) != 2.5 || y.At(0, 1) != 25 {
+		t.Fatalf("gap forward %v", y.Data)
+	}
+	dx := p.Backward(tensor.FromSlice([]float32{4, 8}, 1, 2))
+	if dx.At(0, 0, 0, 0) != 1 || dx.At(0, 1, 1, 1) != 2 {
+		t.Fatalf("gap backward %v", dx.Data)
+	}
+}
+
+func TestAvgPool2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := NewAvgPool2D(2, 2, 2)
+	x := tensor.New(2, 2, 4, 4).Rand(rng, 1)
+	if err := GradCheck(p, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := NewFlatten()
+	x := tensor.New(2, 3, 4, 5).Rand(rng, 1)
+	y := f.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 60 {
+		t.Fatalf("flatten shape %v", y.Shape())
+	}
+	dx := f.Backward(y)
+	if dx.Rank() != 4 || dx.Dim(3) != 5 {
+		t.Fatalf("unflatten shape %v", dx.Shape())
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	s := NewSequential(
+		NewDense("fc1", 6, 8, rng),
+		NewReLU(),
+		NewDense("fc2", 8, 3, rng),
+	)
+	x := tensor.New(4, 6).Rand(rng, 1)
+	if err := GradCheck(s, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Params()); got != 4 {
+		t.Fatalf("sequential has %d params, want 4", got)
+	}
+	if NumParams(s) != 6*8+8+8*3+3 {
+		t.Fatalf("NumParams=%d", NumParams(s))
+	}
+}
+
+func TestConvReluBNStackGradCheck(t *testing.T) {
+	// An integration-style gradient check through a realistic conv block.
+	rng := rand.New(rand.NewSource(17))
+	s := NewSequential(
+		NewConv2D("c1", 1, 4, 3, 3, 1, 1, 1, rng),
+		NewBatchNorm("bn1", 4),
+		NewReLU(),
+		NewDepthwiseConv2D("dw", 4, 3, 3, 1, 1, rng),
+		NewGlobalAvgPool2D(),
+		NewDense("fc", 4, 3, rng),
+	)
+	x := tensor.New(2, 1, 6, 5).Rand(rng, 1)
+	if err := GradCheck(s, x, rng, 1e-2, 4e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	d := NewDropout(0.5, rng)
+	x := tensor.Ones(1, 1000)
+	yTrain := d.Forward(x, true)
+	zeros := 0
+	for _, v := range yTrain.Data {
+		if v == 0 {
+			zeros++
+		} else if v != 2 {
+			t.Fatalf("surviving activation %v, want 2 (inverted dropout)", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("dropout zeroed %d of 1000 at rate 0.5", zeros)
+	}
+	yEval := d.Forward(x, false)
+	for _, v := range yEval.Data {
+		if v != 1 {
+			t.Fatal("dropout not identity at eval")
+		}
+	}
+}
+
+func TestCheckShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CheckShape(tensor.New(2, 3), "x", 2, 4)
+}
+
+func TestResidualGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	body := NewSequential(
+		NewDense("fc1", 6, 6, rng),
+		NewTanh(),
+	)
+	r := NewResidual(body)
+	x := tensor.New(3, 6).Rand(rng, 1)
+	if err := GradCheck(r, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualIdentityWithZeroBody(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	body := NewDense("fc", 4, 4, rng)
+	body.Weight.W.Zero()
+	body.Bias.W.Zero()
+	r := NewResidual(body)
+	x := tensor.New(2, 4).Rand(rng, 1)
+	y := r.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("zero-body residual should be the identity")
+		}
+	}
+}
+
+func TestResidualPanicsOnShapeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := NewResidual(NewDense("fc", 4, 5, rng))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape-changing body")
+		}
+	}()
+	r.Forward(tensor.New(1, 4).Rand(rng, 1), false)
+}

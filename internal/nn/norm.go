@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalises activations per channel over the batch (and spatial
+// positions, for rank-4 inputs), with learned scale gamma and shift beta and
+// running statistics for inference. At deployment the affine transform is
+// folded into the preceding layer's weights, matching the paper's accounting
+// (batch-norm parameters are absorbed into biases / â at inference).
+type BatchNorm struct {
+	C        int
+	Gamma    *Param // [c]
+	Beta     *Param // [c]
+	Momentum float32
+	Eps      float32
+
+	RunningMean *tensor.Tensor // [c]
+	RunningVar  *tensor.Tensor // [c]
+
+	// caches for backward
+	lastXHat     *tensor.Tensor
+	lastStd      []float32
+	lastN        int
+	lastRank     int
+	lastH, lastW int
+}
+
+// NewBatchNorm builds a batch-norm layer over c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	return &BatchNorm{
+		C:           c,
+		Gamma:       NewParam(name+".gamma", tensor.Ones(c)),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		Momentum:    0.9,
+		Eps:         1e-5,
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.Ones(c),
+	}
+}
+
+// channelViews iterates x as per-channel strided data. For rank-2 [N,C] the
+// channel is the column; for rank-4 [N,C,H,W] it is the channel plane.
+func (b *BatchNorm) forEach(x *tensor.Tensor, f func(ch int, idx int, v float32)) {
+	switch x.Rank() {
+	case 2:
+		n, c := x.Dim(0), x.Dim(1)
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c; ch++ {
+				f(ch, i*c+ch, x.Data[i*c+ch])
+			}
+		}
+	case 4:
+		n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+		hw := h * w
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c; ch++ {
+				base := (i*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					f(ch, base+j, x.Data[base+j])
+				}
+			}
+		}
+	default:
+		panic("nn: BatchNorm supports rank-2 and rank-4 inputs")
+	}
+}
+
+// Forward normalises per channel; in training mode it uses batch statistics
+// and updates the running averages, in inference mode it uses the running
+// statistics.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() == 2 {
+		CheckShape(x, "BatchNorm input", -1, b.C)
+	} else {
+		CheckShape(x, "BatchNorm input", -1, b.C, -1, -1)
+	}
+	out := x.Clone()
+	if !train {
+		invStd := make([]float32, b.C)
+		for ch := 0; ch < b.C; ch++ {
+			invStd[ch] = 1 / float32(math.Sqrt(float64(b.RunningVar.Data[ch]+b.Eps)))
+		}
+		b.forEach(x, func(ch, idx int, v float32) {
+			xhat := (v - b.RunningMean.Data[ch]) * invStd[ch]
+			out.Data[idx] = b.Gamma.W.Data[ch]*xhat + b.Beta.W.Data[ch]
+		})
+		return out
+	}
+
+	counts := make([]int, b.C)
+	mean := make([]float64, b.C)
+	b.forEach(x, func(ch, idx int, v float32) {
+		mean[ch] += float64(v)
+		counts[ch]++
+	})
+	for ch := range mean {
+		mean[ch] /= float64(counts[ch])
+	}
+	variance := make([]float64, b.C)
+	b.forEach(x, func(ch, idx int, v float32) {
+		d := float64(v) - mean[ch]
+		variance[ch] += d * d
+	})
+	for ch := range variance {
+		variance[ch] /= float64(counts[ch])
+	}
+
+	std := make([]float32, b.C)
+	for ch := 0; ch < b.C; ch++ {
+		std[ch] = float32(math.Sqrt(variance[ch] + float64(b.Eps)))
+		b.RunningMean.Data[ch] = b.Momentum*b.RunningMean.Data[ch] + (1-b.Momentum)*float32(mean[ch])
+		b.RunningVar.Data[ch] = b.Momentum*b.RunningVar.Data[ch] + (1-b.Momentum)*float32(variance[ch])
+	}
+
+	xhat := tensor.New(x.Shape()...)
+	b.forEach(x, func(ch, idx int, v float32) {
+		h := (v - float32(mean[ch])) / std[ch]
+		xhat.Data[idx] = h
+		out.Data[idx] = b.Gamma.W.Data[ch]*h + b.Beta.W.Data[ch]
+	})
+	b.lastXHat = xhat
+	b.lastStd = std
+	b.lastN = counts[0]
+	b.lastRank = x.Rank()
+	if x.Rank() == 4 {
+		b.lastH, b.lastW = x.Dim(2), x.Dim(3)
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (b *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if b.lastXHat == nil {
+		panic("nn: BatchNorm.Backward called before Forward(train=true)")
+	}
+	m := float32(b.lastN)
+	sumDy := make([]float32, b.C)
+	sumDyXHat := make([]float32, b.C)
+	b.forEach(dout, func(ch, idx int, g float32) {
+		sumDy[ch] += g
+		sumDyXHat[ch] += g * b.lastXHat.Data[idx]
+	})
+	for ch := 0; ch < b.C; ch++ {
+		b.Beta.G.Data[ch] += sumDy[ch]
+		b.Gamma.G.Data[ch] += sumDyXHat[ch]
+	}
+	dx := tensor.New(dout.Shape()...)
+	b.forEach(dout, func(ch, idx int, g float32) {
+		xh := b.lastXHat.Data[idx]
+		dx.Data[idx] = b.Gamma.W.Data[ch] / (m * b.lastStd[ch]) *
+			(m*g - sumDy[ch] - xh*sumDyXHat[ch])
+	})
+	return dx
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// GlobalAvgPool2D averages each channel plane of a [batch, c, H, W] input,
+// producing [batch, c].
+type GlobalAvgPool2D struct {
+	lastH, lastW int
+}
+
+// NewGlobalAvgPool2D returns a global average-pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Forward averages over the spatial dimensions.
+func (p *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic("nn: GlobalAvgPool2D requires a rank-4 input")
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	out := tensor.New(n, c)
+	inv := 1 / float32(hw)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			seg := x.Data[(i*c+ch)*hw : (i*c+ch+1)*hw]
+			var s float32
+			for _, v := range seg {
+				s += v
+			}
+			out.Data[i*c+ch] = s * inv
+		}
+	}
+	if train {
+		p.lastH, p.lastW = h, w
+	}
+	return out
+}
+
+// Backward broadcasts each channel gradient uniformly over its plane.
+func (p *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c := dout.Dim(0), dout.Dim(1)
+	h, w := p.lastH, p.lastW
+	hw := h * w
+	dx := tensor.New(n, c, h, w)
+	inv := 1 / float32(hw)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			g := dout.Data[i*c+ch] * inv
+			seg := dx.Data[(i*c+ch)*hw : (i*c+ch+1)*hw]
+			for j := range seg {
+				seg[j] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// AvgPool2D averages non-overlapping (or strided) windows of a
+// [batch, c, H, W] input.
+type AvgPool2D struct {
+	KH, KW, Stride int
+	lastH, lastW   int
+}
+
+// NewAvgPool2D returns an average pooling layer with the given window and
+// stride.
+func NewAvgPool2D(kh, kw, stride int) *AvgPool2D {
+	return &AvgPool2D{KH: kh, KW: kw, Stride: stride}
+}
+
+// OutSize returns the pooled spatial dimensions.
+func (p *AvgPool2D) OutSize(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, p.KH, p.Stride, 0), tensor.ConvOutSize(w, p.KW, p.Stride, 0)
+}
+
+// Forward pools the input.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH, outW := p.OutSize(h, w)
+	out := tensor.New(n, c, outH, outW)
+	inv := 1 / float32(p.KH*p.KW)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			img := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			dst := out.Data[(i*c+ch)*outH*outW : (i*c+ch+1)*outH*outW]
+			for oi := 0; oi < outH; oi++ {
+				for oj := 0; oj < outW; oj++ {
+					var s float32
+					for ki := 0; ki < p.KH; ki++ {
+						row := img[(oi*p.Stride+ki)*w+oj*p.Stride:]
+						for kj := 0; kj < p.KW; kj++ {
+							s += row[kj]
+						}
+					}
+					dst[oi*outW+oj] = s * inv
+				}
+			}
+		}
+	}
+	if train {
+		p.lastH, p.lastW = h, w
+	}
+	return out
+}
+
+// Backward distributes gradients uniformly over each pooling window.
+func (p *AvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c := dout.Dim(0), dout.Dim(1)
+	outH, outW := dout.Dim(2), dout.Dim(3)
+	h, w := p.lastH, p.lastW
+	dx := tensor.New(n, c, h, w)
+	inv := 1 / float32(p.KH*p.KW)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			img := dx.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			src := dout.Data[(i*c+ch)*outH*outW : (i*c+ch+1)*outH*outW]
+			for oi := 0; oi < outH; oi++ {
+				for oj := 0; oj < outW; oj++ {
+					g := src[oi*outW+oj] * inv
+					for ki := 0; ki < p.KH; ki++ {
+						row := img[(oi*p.Stride+ki)*w+oj*p.Stride:]
+						for kj := 0; kj < p.KW; kj++ {
+							row[kj] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Flatten reshapes [batch, ...] into [batch, prod(...)]. It is a view, so it
+// costs nothing.
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = append([]int(nil), x.Shape()...)
+	}
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.lastShape...)
+}
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Reshape4D reshapes a flat [batch, c*h*w] input into [batch, c, h, w] — the
+// adapter between dataset batches and convolutional stacks.
+type Reshape4D struct {
+	C, H, W int
+}
+
+// NewReshape4D returns a reshaping layer to [batch, c, h, w].
+func NewReshape4D(c, h, w int) *Reshape4D { return &Reshape4D{C: c, H: h, W: w} }
+
+// Forward reshapes to rank 4.
+func (r *Reshape4D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return x.Reshape(x.Dim(0), r.C, r.H, r.W)
+}
+
+// Backward flattens the gradient back to rank 2.
+func (r *Reshape4D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(dout.Dim(0), -1)
+}
+
+// Params returns nil; Reshape4D has no parameters.
+func (r *Reshape4D) Params() []*Param { return nil }

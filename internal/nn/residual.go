@@ -1,0 +1,36 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Residual wraps a body F into a skip connection y = F(x) + x. The body's
+// output must have the input's shape (standard pre-activation residual
+// blocks arrange this).
+type Residual struct {
+	Body Layer
+}
+
+// NewResidual wraps body in a skip connection.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+// Forward computes F(x) + x.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	if !y.SameShape(x) {
+		panic("nn: Residual body changed the activation shape")
+	}
+	return y.Clone().Add(x)
+}
+
+// Backward routes the gradient through both the body and the skip.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := r.Body.Backward(dout)
+	return dx.Clone().Add(dout)
+}
+
+// Params returns the body's parameters.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+// SubLayers exposes the body for strassen traversal and op accounting.
+func (r *Residual) SubLayers() []Layer { return []Layer{r.Body} }

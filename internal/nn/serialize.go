@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-disk form of one parameter.
+type paramBlob struct {
+	Name   string
+	Shape  []int
+	Data   []float32
+	Frozen bool
+}
+
+// SaveParams writes every parameter of the layer to w with encoding/gob.
+// Parameters are matched positionally on load, with names checked, so the
+// model must be rebuilt with the same architecture before LoadParams.
+func SaveParams(w io.Writer, l Layer) error {
+	var blobs []paramBlob
+	for _, p := range l.Params() {
+		blobs = append(blobs, paramBlob{
+			Name:   p.Name,
+			Shape:  append([]int(nil), p.W.Shape()...),
+			Data:   append([]float32(nil), p.W.Data...),
+			Frozen: p.Frozen,
+		})
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// LoadParams restores parameters saved by SaveParams into an identically
+// structured layer.
+func LoadParams(r io.Reader, l Layer) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decoding parameters: %w", err)
+	}
+	params := l.Params()
+	if len(params) != len(blobs) {
+		return fmt.Errorf("nn: parameter count mismatch: model has %d, file has %d", len(params), len(blobs))
+	}
+	for i, p := range params {
+		b := blobs[i]
+		if p.Name != b.Name {
+			return fmt.Errorf("nn: parameter %d name mismatch: model %q, file %q", i, p.Name, b.Name)
+		}
+		if p.W.Size() != len(b.Data) {
+			return fmt.Errorf("nn: parameter %q size mismatch: model %d, file %d", b.Name, p.W.Size(), len(b.Data))
+		}
+		copy(p.W.Data, b.Data)
+		p.Frozen = b.Frozen
+	}
+	return nil
+}

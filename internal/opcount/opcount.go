@@ -1,0 +1,348 @@
+// Package opcount reproduces the paper's cost accounting: multiplications,
+// additions and multiply-accumulates per single-sample inference, parameter
+// counts split into full-precision and 2-bit ternary storage, model size,
+// and the activation memory-footprint model of Table 6 (activation buffers
+// reused across layers, so the requirement is the maximum over two
+// consecutive layers).
+//
+// Conventions follow the paper: plain layers are counted in MACs;
+// strassenified layers are counted as r multiplications per output position
+// plus one addition per nonzero ternary entry per output position (both a
+// dense upper bound and the measured nonzero count are reported); batch-norm
+// parameters are folded into the preceding layer's bias/â at inference and
+// cost nothing; element-wise activations and pooling are free.
+package opcount
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bonsai"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rnn"
+	"repro/internal/strassen"
+)
+
+// Counts aggregates inference costs and parameter storage.
+type Counts struct {
+	Muls    int64 // full multiplications (strassenified layers)
+	Adds    int64 // additions, dense-ternary upper bound
+	AddsNNZ int64 // additions from measured nonzero ternary entries
+	MACs    int64 // multiply-accumulates (uncompressed layers)
+
+	FPParams      int64 // deployed full-precision scalars (weights, biases, â, θ)
+	TernaryParams int64 // ternary scalars, 2 bits each
+}
+
+// Ops returns the paper's "Ops" column: muls + adds + MACs with the dense
+// ternary bound.
+func (c Counts) Ops() int64 { return c.Muls + c.Adds + c.MACs }
+
+// add accumulates other into c.
+func (c *Counts) add(o Counts) {
+	c.Muls += o.Muls
+	c.Adds += o.Adds
+	c.AddsNNZ += o.AddsNNZ
+	c.MACs += o.MACs
+	c.FPParams += o.FPParams
+	c.TernaryParams += o.TernaryParams
+}
+
+// Activation is one activation buffer live during inference.
+type Activation struct {
+	Elems   int64
+	Wide    bool // true for strassenified-depthwise intermediates (16-bit in Table 6)
+	AfterOf string
+}
+
+// Report is the full accounting for one model.
+type Report struct {
+	Total       Counts
+	Layers      []LayerStat
+	Activations []Activation // in execution order, input first
+}
+
+// LayerStat is the per-layer breakdown.
+type LayerStat struct {
+	Name string
+	Kind string
+	Counts
+}
+
+// ModelSizeBytes returns the deployed model size with the given bytes per
+// full-precision parameter (the paper uses 4 for the uncompressed hybrid,
+// 1 for the 8-bit baselines, 2 for the 16-bit quantised â) and 2-bit ternary
+// packing.
+func (r Report) ModelSizeBytes(fpBytes float64) float64 {
+	return float64(r.Total.FPParams)*fpBytes + float64(r.Total.TernaryParams)*0.25
+}
+
+// ActivationFootprintBytes returns the paper's activation memory model: the
+// maximum over consecutive activation pairs, with narrow buffers stored at
+// narrowBytes each and wide (strassenified depthwise intermediate) buffers
+// at wideBytes.
+func (r Report) ActivationFootprintBytes(narrowBytes, wideBytes float64) float64 {
+	width := func(a Activation) float64 {
+		if a.Wide {
+			return float64(a.Elems) * wideBytes
+		}
+		return float64(a.Elems) * narrowBytes
+	}
+	var best float64
+	for i := 0; i+1 < len(r.Activations); i++ {
+		if v := width(r.Activations[i]) + width(r.Activations[i+1]); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MemoryFootprintBytes is model size plus activation footprint — the
+// paper's "total memory footprint" column.
+func (r Report) MemoryFootprintBytes(fpBytes, narrowBytes, wideBytes float64) float64 {
+	return r.ModelSizeBytes(fpBytes) + r.ActivationFootprintBytes(narrowBytes, wideBytes)
+}
+
+// shape is the walker's cursor: flat features, a conv feature map, or a
+// sequence, depending on the preceding layers.
+type shape struct {
+	kind    byte // 'f' flat, 'c' conv (C,H,W), 's' sequence (T,F)
+	f       int
+	c, h, w int
+	t       int
+}
+
+func (s shape) elems() int64 {
+	switch s.kind {
+	case 'c':
+		return int64(s.c) * int64(s.h) * int64(s.w)
+	case 's':
+		return int64(s.t) * int64(s.f)
+	default:
+		return int64(s.f)
+	}
+}
+
+// Count walks a model (built from the layer types in this repository) and
+// returns its accounting. inputDim is the flat input feature count.
+func Count(model nn.Layer, inputDim int) Report {
+	r := Report{}
+	s := shape{kind: 'f', f: inputDim}
+	r.Activations = append(r.Activations, Activation{Elems: int64(inputDim), AfterOf: "input"})
+	s = countLayer(model, s, &r)
+	return r
+}
+
+func name(l nn.Layer) string {
+	switch v := l.(type) {
+	case *nn.Dense:
+		return v.Weight.Name
+	case *nn.Conv2D:
+		return v.Weight.Name
+	case *nn.DepthwiseConv2D:
+		return v.Weight.Name
+	case *strassen.Dense:
+		return v.AHat.Name
+	case *strassen.Conv2D:
+		return v.AHat.Name
+	case *strassen.DepthwiseConv2D:
+		return v.AHat.Name
+	default:
+		t := fmt.Sprintf("%T", l)
+		return t[strings.LastIndex(t, ".")+1:]
+	}
+}
+
+// ternaryCounts sums dense and measured nonzero entries of a layer's
+// ternary matrices, each multiplied by perEntry output positions.
+func ternaryCounts(ts []*strassen.Ternary, perEntry int64) (dense, nnz int64, params int64) {
+	for _, t := range ts {
+		dense += int64(t.Size()) * perEntry
+		nnz += int64(t.NNZ()) * perEntry
+		params += int64(t.Size())
+	}
+	return dense, nnz, params
+}
+
+// Unwrapper is implemented by wrapper models (e.g. core.Hybrid) that embed a
+// pipeline the walker should descend into.
+type Unwrapper interface {
+	Unwrap() nn.Layer
+}
+
+func countLayer(l nn.Layer, s shape, r *Report) shape {
+	emit := func(kind string, c Counts, out shape, extra ...Activation) {
+		r.Total.add(c)
+		r.Layers = append(r.Layers, LayerStat{Name: name(l), Kind: kind, Counts: c})
+		r.Activations = append(r.Activations, extra...)
+		r.Activations = append(r.Activations, Activation{Elems: out.elems(), AfterOf: name(l)})
+	}
+	if u, ok := l.(Unwrapper); ok {
+		return countLayer(u.Unwrap(), s, r)
+	}
+	switch v := l.(type) {
+	case *nn.Sequential:
+		for _, sub := range v.Layers {
+			s = countLayer(sub, s, r)
+		}
+		return s
+
+	case *nn.Residual:
+		// The body preserves the activation shape; the skip addition is
+		// element-wise and free under the paper's matmul-only accounting.
+		countLayer(v.Body, s, r)
+		return s
+
+	case *nn.Reshape4D:
+		return shape{kind: 'c', c: v.C, h: v.H, w: v.W}
+	case *rnn.Reshape3D:
+		return shape{kind: 's', t: v.T, f: v.F}
+	case *nn.Flatten:
+		return shape{kind: 'f', f: int(s.elems())}
+	case *models.ChannelsToSeq:
+		return shape{kind: 's', t: v.H, f: v.C * v.W}
+
+	case *nn.Dense:
+		c := Counts{MACs: int64(v.In) * int64(v.Out), FPParams: int64(v.In)*int64(v.Out) + int64(v.Out)}
+		if v.Bias == nil {
+			c.FPParams -= int64(v.Out)
+		}
+		out := shape{kind: 'f', f: v.Out}
+		emit("dense", c, out)
+		return out
+
+	case *nn.Conv2D:
+		outH, outW := v.OutSize(s.h, s.w)
+		nOut := int64(outH) * int64(outW)
+		k := int64(v.Cin) * int64(v.KH) * int64(v.KW)
+		c := Counts{
+			MACs:     int64(v.Cout) * k * nOut,
+			FPParams: int64(v.Cout)*k + int64(v.Cout),
+		}
+		out := shape{kind: 'c', c: v.Cout, h: outH, w: outW}
+		emit("conv", c, out)
+		return out
+
+	case *nn.DepthwiseConv2D:
+		outH, outW := v.OutSize(s.h, s.w)
+		nOut := int64(outH) * int64(outW)
+		k := int64(v.KH) * int64(v.KW)
+		c := Counts{
+			MACs:     int64(v.C) * k * nOut,
+			FPParams: int64(v.C)*k + int64(v.C),
+		}
+		out := shape{kind: 'c', c: v.C, h: outH, w: outW}
+		emit("dwconv", c, out)
+		return out
+
+	case *strassen.Dense:
+		dense, nnz, tp := ternaryCounts(v.TernaryMatrices(), 1)
+		c := Counts{
+			Muls:          int64(v.R),
+			Adds:          dense,
+			AddsNNZ:       nnz,
+			TernaryParams: tp,
+			FPParams:      int64(v.R), // â
+		}
+		if v.Bias != nil {
+			c.FPParams += int64(v.Out)
+		}
+		out := shape{kind: 'f', f: v.Out}
+		emit("st-dense", c, out)
+		return out
+
+	case *strassen.Conv2D:
+		outH, outW := v.OutSize(s.h, s.w)
+		nOut := int64(outH) * int64(outW)
+		dense, nnz, tp := ternaryCounts(v.TernaryMatrices(), nOut)
+		c := Counts{
+			Muls:          int64(v.R) * nOut,
+			Adds:          dense,
+			AddsNNZ:       nnz,
+			TernaryParams: tp,
+			FPParams:      int64(v.R) + int64(v.Cout), // â + bias
+		}
+		out := shape{kind: 'c', c: v.Cout, h: outH, w: outW}
+		emit("st-conv", c, out, Activation{Elems: int64(v.R) * nOut, Wide: false, AfterOf: name(l) + ".hidden"})
+		return out
+
+	case *strassen.DepthwiseConv2D:
+		outH, outW := v.OutSize(s.h, s.w)
+		nOut := int64(outH) * int64(outW)
+		dense, nnz, tp := ternaryCounts(v.TernaryMatrices(), nOut)
+		c := Counts{
+			Muls:          int64(v.C) * int64(v.RPerCh) * nOut,
+			Adds:          dense,
+			AddsNNZ:       nnz,
+			TernaryParams: tp,
+			FPParams:      int64(v.C)*int64(v.RPerCh) + int64(v.C), // â + bias
+		}
+		out := shape{kind: 'c', c: v.C, h: outH, w: outW}
+		// The strassenified depthwise intermediate is the 16-bit buffer of
+		// Table 6's mixed-precision policy.
+		emit("st-dwconv", c, out, Activation{Elems: int64(v.C) * int64(v.RPerCh) * nOut, Wide: true, AfterOf: name(l) + ".hidden"})
+		return out
+
+	case *nn.BatchNorm:
+		// Folded into the previous layer at inference: no ops, no deployed
+		// parameters.
+		return s
+
+	case *nn.GlobalAvgPool2D:
+		out := shape{kind: 'f', f: s.c}
+		r.Activations = append(r.Activations, Activation{Elems: out.elems(), AfterOf: name(l)})
+		return out
+
+	case *nn.AvgPool2D:
+		outH, outW := v.OutSize(s.h, s.w)
+		out := shape{kind: 'c', c: s.c, h: outH, w: outW}
+		r.Activations = append(r.Activations, Activation{Elems: out.elems(), AfterOf: name(l)})
+		return out
+
+	case *rnn.LSTM:
+		perStep := int64(4*v.H) * int64(v.F+v.H)
+		params := perStep + int64(4*v.H)
+		if v.Peephole {
+			perStep += int64(3 * v.H)
+			params += int64(3 * v.H)
+		}
+		c := Counts{MACs: perStep * int64(s.t), FPParams: params}
+		out := shape{kind: 'f', f: v.H}
+		emit("lstm", c, out)
+		return out
+
+	case *rnn.GRU:
+		perStep := int64(3*v.H) * int64(v.F+v.H)
+		c := Counts{MACs: perStep * int64(s.t), FPParams: perStep + int64(3*v.H)}
+		out := shape{kind: 'f', f: v.H}
+		emit("gru", c, out)
+		return out
+
+	case *bonsai.Tree:
+		cfg := v.Cfg
+		var c Counts
+		// θ: one hyperplane per internal node.
+		c.MACs += int64(cfg.NumInternal()) * int64(cfg.ProjDim)
+		c.FPParams += int64(cfg.NumInternal()) * int64(cfg.ProjDim)
+		// Z and node matrices: count through their actual layer types.
+		sub := Report{}
+		zs := shape{kind: 'f', f: cfg.InputDim}
+		if v.Z != nil {
+			zs = countLayer(v.Z, zs, &sub)
+		}
+		for k := range v.W {
+			countLayer(v.W[k], shape{kind: 'f', f: cfg.ProjDim}, &sub)
+			countLayer(v.V[k], shape{kind: 'f', f: cfg.ProjDim}, &sub)
+		}
+		c.add(sub.Total)
+		out := shape{kind: 'f', f: cfg.NumClasses}
+		emit("bonsai", c, out)
+		return out
+
+	default:
+		// Parameter-free element-wise layers (ReLU, Tanh, Dropout, …):
+		// nothing to count, shape unchanged.
+		return s
+	}
+}

@@ -1,0 +1,138 @@
+// Package prune implements the gradual magnitude pruning of Zhu & Gupta
+// (2017) used for the paper's Table 7 comparison: during training, the
+// smallest-magnitude weights are progressively zeroed following the cubic
+// sparsity ramp
+//
+//	s_t = s_f · (1 − (1 − t/n)³),
+//
+// and a mask keeps pruned weights at zero through subsequent updates.
+package prune
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Schedule computes the Zhu–Gupta target sparsity at progress t/n ∈ [0,1]
+// towards a final sparsity sf.
+func Schedule(progress, finalSparsity float64) float64 {
+	if progress < 0 {
+		progress = 0
+	}
+	if progress > 1 {
+		progress = 1
+	}
+	return finalSparsity * (1 - math.Pow(1-progress, 3))
+}
+
+// Pruner maintains magnitude-pruning masks over a model's weight matrices.
+// Bias vectors and frozen parameters are not pruned.
+type Pruner struct {
+	FinalSparsity float64
+	params        []*nn.Param
+	masks         [][]bool
+}
+
+// New builds a pruner over the model's prunable parameters (weight tensors
+// with more than one dimension's worth of values; biases are skipped).
+func New(model nn.Layer, finalSparsity float64) *Pruner {
+	p := &Pruner{FinalSparsity: finalSparsity}
+	for _, par := range model.Params() {
+		if par.Frozen || par.W.Rank() < 2 {
+			continue
+		}
+		p.params = append(p.params, par)
+		p.masks = append(p.masks, make([]bool, par.W.Size()))
+	}
+	return p
+}
+
+// SetSparsity recomputes masks so that each prunable parameter reaches the
+// given sparsity, pruning by global-within-tensor magnitude rank, and zeroes
+// the pruned weights.
+func (p *Pruner) SetSparsity(sparsity float64) {
+	for i, par := range p.params {
+		n := par.W.Size()
+		k := int(sparsity * float64(n))
+		if k <= 0 {
+			for j := range p.masks[i] {
+				p.masks[i][j] = false
+			}
+			continue
+		}
+		if k > n {
+			k = n
+		}
+		mags := make([]float64, n)
+		for j, v := range par.W.Data {
+			mags[j] = math.Abs(float64(v))
+		}
+		sorted := append([]float64(nil), mags...)
+		sort.Float64s(sorted)
+		threshold := sorted[k-1]
+		pruned := 0
+		for j := range par.W.Data {
+			// Prune everything strictly below the threshold, then fill up to
+			// k with threshold-equal weights (stable under ties).
+			prune := mags[j] < threshold || (mags[j] == threshold && pruned < k)
+			if prune && pruned >= k {
+				prune = false
+			}
+			p.masks[i][j] = prune
+			if prune {
+				par.W.Data[j] = 0
+				pruned++
+			}
+		}
+	}
+}
+
+// Step advances the schedule at the given training progress in [0,1].
+func (p *Pruner) Step(progress float64) {
+	p.SetSparsity(Schedule(progress, p.FinalSparsity))
+}
+
+// Reapply zeroes masked weights again (call after every optimiser step).
+func (p *Pruner) Reapply() {
+	for i, par := range p.params {
+		for j, m := range p.masks[i] {
+			if m {
+				par.W.Data[j] = 0
+			}
+		}
+	}
+}
+
+// Sparsity reports the achieved fraction of zero weights across prunable
+// parameters.
+func (p *Pruner) Sparsity() float64 {
+	var zeros, total int
+	for _, par := range p.params {
+		for _, v := range par.W.Data {
+			if v == 0 {
+				zeros++
+			}
+		}
+		total += par.W.Size()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// NonzeroParams counts the surviving nonzero weights plus all unpruned
+// parameters (biases etc.) of the model.
+func NonzeroParams(model nn.Layer) int {
+	n := 0
+	for _, par := range model.Params() {
+		for _, v := range par.W.Data {
+			if v != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

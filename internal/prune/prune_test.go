@@ -1,0 +1,153 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func TestScheduleEndpoints(t *testing.T) {
+	if Schedule(0, 0.9) != 0 {
+		t.Fatal("schedule should start at 0")
+	}
+	if math.Abs(Schedule(1, 0.9)-0.9) > 1e-12 {
+		t.Fatal("schedule should end at final sparsity")
+	}
+}
+
+// Property: the schedule is monotone non-decreasing in progress and bounded
+// by the final sparsity.
+func TestQuickScheduleMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p1 := float64(a) / 255
+		p2 := float64(b) / 255
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		s1, s2 := Schedule(p1, 0.75), Schedule(p2, 0.75)
+		return s1 <= s2+1e-12 && s2 <= 0.75+1e-12 && s1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSparsityReachesTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewSequential(nn.NewDense("fc", 20, 10, rng))
+	p := New(model, 0.5)
+	p.SetSparsity(0.5)
+	got := p.Sparsity()
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("sparsity %v, want 0.5", got)
+	}
+}
+
+func TestPruneRemovesSmallestMagnitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := nn.NewSequential(nn.NewDense("fc", 4, 2, rng))
+	w := model.Params()[0].W
+	copy(w.Data, []float32{0.1, -0.9, 0.2, 0.8, -0.05, 0.7, 0.3, -0.6})
+	p := New(model, 0.5)
+	p.SetSparsity(0.5)
+	// The four smallest magnitudes (0.05, 0.1, 0.2, 0.3) must be zeroed.
+	for _, idx := range []int{0, 2, 4, 6} {
+		if w.Data[idx] != 0 {
+			t.Fatalf("weight %d=%v not pruned", idx, w.Data[idx])
+		}
+	}
+	for _, idx := range []int{1, 3, 5, 7} {
+		if w.Data[idx] == 0 {
+			t.Fatalf("large weight %d pruned", idx)
+		}
+	}
+}
+
+func TestBiasesNotPruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := nn.NewSequential(nn.NewDense("fc", 8, 4, rng))
+	bias := model.Params()[1]
+	for i := range bias.W.Data {
+		bias.W.Data[i] = 0.001
+	}
+	p := New(model, 0.9)
+	p.SetSparsity(0.9)
+	for _, v := range bias.W.Data {
+		if v == 0 {
+			t.Fatal("bias was pruned")
+		}
+	}
+}
+
+func TestReapplyKeepsZeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := nn.NewSequential(nn.NewDense("fc", 10, 10, rng))
+	p := New(model, 0.5)
+	p.SetSparsity(0.5)
+	// Simulate an optimiser step that perturbs everything.
+	for _, par := range model.Params() {
+		for i := range par.W.Data {
+			par.W.Data[i] += 0.01
+		}
+	}
+	p.Reapply()
+	if got := p.Sparsity(); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("sparsity after reapply %v, want 0.5", got)
+	}
+}
+
+func TestNonzeroParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := nn.NewSequential(nn.NewDense("fc", 10, 10, rng))
+	total := nn.NumParams(model)
+	// Random-init weights are all nonzero; the 10 biases start at zero.
+	if got := NonzeroParams(model); got > total || got < total-12 {
+		t.Fatalf("nonzero %d of %d (random init should be almost all nonzero)", got, total)
+	}
+	p := New(model, 0.5)
+	p.SetSparsity(0.5)
+	if got := NonzeroParams(model); got > total-45 {
+		t.Fatalf("nonzero %d after pruning half of 100 weights", got)
+	}
+}
+
+func TestPrunedTrainingKeepsSparsityAndAccuracy(t *testing.T) {
+	// Integration: train with gradual pruning to 50% — accuracy on a
+	// separable task should survive (the paper's Table 7 at 50%).
+	rng := rand.New(rand.NewSource(6))
+	const n, dim = 200, 6
+	x := tensor.New(n, dim).Rand(rng, 1)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0)+x.At(i, 1) > 0 {
+			y[i] = 1
+		}
+	}
+	model := nn.NewSequential(
+		nn.NewDense("fc1", dim, 16, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", 16, 2, rng),
+	)
+	pruner := New(model, 0.5)
+	const epochs = 60
+	train.Run(model, x, y, train.Config{
+		Epochs:   epochs,
+		Schedule: train.StepSchedule{Base: 0.02},
+		Seed:     1,
+		OnEpoch: func(epoch int, loss float64) {
+			pruner.Step(float64(epoch+1) / float64(epochs))
+		},
+		PostStep: pruner.Reapply,
+	})
+	if got := pruner.Sparsity(); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("final sparsity %v, want 0.5", got)
+	}
+	if acc := train.Accuracy(model, x, y, 32); acc < 0.9 {
+		t.Fatalf("pruned model accuracy %.3f", acc)
+	}
+}

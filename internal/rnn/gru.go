@@ -1,0 +1,157 @@
+package rnn
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// GRU is a single-layer gated recurrent unit returning its final hidden
+// state. Gate order in the packed matrices is z (update), r (reset),
+// n (candidate).
+type GRU struct {
+	F, H int
+
+	Wx *nn.Param // [3H, F]
+	Wh *nn.Param // [3H, H]
+	B  *nn.Param // [3H]
+
+	lastX *tensor.Tensor
+	hs    []*tensor.Tensor // h_t for t=0..T
+	gates []*tensor.Tensor // [n, 3H] z, r, n post-activation
+	uhn   []*tensor.Tensor // [n, H] Un·h_{t-1} per step (needed for r grads)
+}
+
+// NewGRU builds a GRU layer.
+func NewGRU(name string, f, h int, rng *rand.Rand) *GRU {
+	return &GRU{
+		F: f, H: h,
+		Wx: nn.NewParam(name+".wx", tensor.New(3*h, f).GlorotUniform(rng, f, 3*h)),
+		Wh: nn.NewParam(name+".wh", tensor.New(3*h, h).GlorotUniform(rng, h, 3*h)),
+		B:  nn.NewParam(name+".b", tensor.New(3*h)),
+	}
+}
+
+// Forward consumes x [batch, T, F] and returns the final hidden state.
+func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "GRU input", -1, -1, g.F)
+	n, T := x.Dim(0), x.Dim(1)
+	H := g.H
+	hs := []*tensor.Tensor{tensor.New(n, H)}
+	var gatesSeq, uhnSeq []*tensor.Tensor
+	for t := 0; t < T; t++ {
+		xt := sliceStep(x, t)
+		ax := tensor.MatMulT2(xt, g.Wx.W)    // [n, 3H]
+		ah := tensor.MatMulT2(hs[t], g.Wh.W) // [n, 3H]
+		gates := tensor.New(n, 3*H)
+		uhn := tensor.New(n, H)
+		hNew := tensor.New(n, H)
+		for i := 0; i < n; i++ {
+			axr := ax.Data[i*3*H : (i+1)*3*H]
+			ahr := ah.Data[i*3*H : (i+1)*3*H]
+			hPrev := hs[t].Data[i*H : (i+1)*H]
+			gr := gates.Data[i*3*H : (i+1)*3*H]
+			for j := 0; j < H; j++ {
+				z := nn.Sigmoidf(axr[j] + ahr[j] + g.B.W.Data[j])
+				r := nn.Sigmoidf(axr[H+j] + ahr[H+j] + g.B.W.Data[H+j])
+				u := ahr[2*H+j]
+				nj := nn.Tanhf(axr[2*H+j] + r*u + g.B.W.Data[2*H+j])
+				gr[j], gr[H+j], gr[2*H+j] = z, r, nj
+				uhn.Data[i*H+j] = u
+				hNew.Data[i*H+j] = (1-z)*nj + z*hPrev[j]
+			}
+		}
+		hs = append(hs, hNew)
+		gatesSeq = append(gatesSeq, gates)
+		uhnSeq = append(uhnSeq, uhn)
+	}
+	if train {
+		g.lastX, g.hs, g.gates, g.uhn = x, hs, gatesSeq, uhnSeq
+	}
+	return hs[T]
+}
+
+// Backward back-propagates through time.
+func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if g.lastX == nil {
+		panic("rnn: GRU.Backward called before Forward(train=true)")
+	}
+	x := g.lastX
+	n, T := x.Dim(0), x.Dim(1)
+	H := g.H
+	dx := tensor.New(n, T, g.F)
+	dh := dout.Clone()
+	for t := T - 1; t >= 0; t-- {
+		gates := g.gates[t]
+		uhn := g.uhn[t]
+		hPrev := g.hs[t]
+		dax := tensor.New(n, 3*H) // grads wrt Wx·x + bias portions
+		dah := tensor.New(n, 3*H) // grads wrt Wh·h portions
+		dhPrev := tensor.New(n, H)
+		for i := 0; i < n; i++ {
+			gr := gates.Data[i*3*H : (i+1)*3*H]
+			for j := 0; j < H; j++ {
+				z, r, nj := gr[j], gr[H+j], gr[2*H+j]
+				u := uhn.Data[i*H+j]
+				hp := hPrev.Data[i*H+j]
+				dhij := dh.Data[i*H+j]
+				dn := dhij * (1 - z)
+				dz := dhij * (hp - nj)
+				dhPrev.Data[i*H+j] += dhij * z
+				dan := dn * (1 - nj*nj)
+				dr := dan * u
+				du := dan * r
+				daz := dz * z * (1 - z)
+				dar := dr * r * (1 - r)
+				dax.Data[i*3*H+j] = daz
+				dax.Data[i*3*H+H+j] = dar
+				dax.Data[i*3*H+2*H+j] = dan
+				dah.Data[i*3*H+j] = daz
+				dah.Data[i*3*H+H+j] = dar
+				dah.Data[i*3*H+2*H+j] = du
+			}
+		}
+		xt := sliceStep(x, t)
+		g.Wx.G.Add(tensor.MatMulT1(dax, xt))
+		g.Wh.G.Add(tensor.MatMulT1(dah, hPrev))
+		for i := 0; i < n; i++ {
+			row := dax.Data[i*3*H : (i+1)*3*H]
+			for j, v := range row {
+				g.B.G.Data[j] += v
+			}
+		}
+		dxt := tensor.MatMul(dax, g.Wx.W)
+		for i := 0; i < n; i++ {
+			copy(dx.Data[(i*T+t)*g.F:(i*T+t+1)*g.F], dxt.Data[i*g.F:(i+1)*g.F])
+		}
+		dhPrev.Add(tensor.MatMul(dah, g.Wh.W))
+		dh = dhPrev
+	}
+	return dx
+}
+
+// Params returns the GRU's trainable parameters.
+func (g *GRU) Params() []*nn.Param { return []*nn.Param{g.Wx, g.Wh, g.B} }
+
+// Reshape3D adapts flat [batch, T*F] inputs to the [batch, T, F] sequences
+// the recurrent layers consume.
+type Reshape3D struct {
+	T, F int
+}
+
+// NewReshape3D returns a rank-3 reshaping layer.
+func NewReshape3D(t, f int) *Reshape3D { return &Reshape3D{T: t, F: f} }
+
+// Forward reshapes to [batch, T, F].
+func (r *Reshape3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return x.Reshape(x.Dim(0), r.T, r.F)
+}
+
+// Backward flattens the gradient back.
+func (r *Reshape3D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(dout.Dim(0), -1)
+}
+
+// Params returns nil; Reshape3D has no parameters.
+func (r *Reshape3D) Params() []*nn.Param { return nil }

@@ -1,0 +1,190 @@
+// Package rnn implements the recurrent layers needed by the paper's Table 3
+// baselines: an LSTM (optionally with peephole connections, as in the
+// keyword-spotting LSTM of Zhang et al. 2017), a basic LSTM, and a GRU, all
+// with full backpropagation through time. Layers consume [batch, T, F]
+// sequences and emit the final hidden state [batch, H].
+package rnn
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer LSTM returning its final hidden state.
+type LSTM struct {
+	F, H     int
+	Peephole bool
+
+	Wx *nn.Param // [4H, F] gate order: i, f, g, o
+	Wh *nn.Param // [4H, H]
+	B  *nn.Param // [4H]
+	P  *nn.Param // [3H] peephole weights (i, f, o); nil unless Peephole
+
+	// caches, one entry per timestep
+	lastX  *tensor.Tensor
+	hs, cs []*tensor.Tensor // h_t, c_t for t=0..T (index 0 = initial zeros)
+	gates  []*tensor.Tensor // [n, 4H] post-activation gates per step
+}
+
+// NewLSTM builds an LSTM layer; set peephole for the paper's "LSTM" baseline
+// and leave it false for "Basic LSTM".
+func NewLSTM(name string, f, h int, peephole bool, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		F: f, H: h, Peephole: peephole,
+		Wx: nn.NewParam(name+".wx", tensor.New(4*h, f).GlorotUniform(rng, f, 4*h)),
+		Wh: nn.NewParam(name+".wh", tensor.New(4*h, h).GlorotUniform(rng, h, 4*h)),
+		B:  nn.NewParam(name+".b", tensor.New(4*h)),
+	}
+	// Forget-gate bias of 1 stabilises early training.
+	for j := h; j < 2*h; j++ {
+		l.B.W.Data[j] = 1
+	}
+	if peephole {
+		l.P = nn.NewParam(name+".p", tensor.New(3*h).Rand(rng, 0.1))
+	}
+	return l
+}
+
+// Forward consumes x [batch, T, F] and returns the final hidden state
+// [batch, H].
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "LSTM input", -1, -1, l.F)
+	n, T := x.Dim(0), x.Dim(1)
+	h := tensor.New(n, l.H)
+	c := tensor.New(n, l.H)
+	hs := []*tensor.Tensor{h}
+	cs := []*tensor.Tensor{c}
+	var gatesSeq []*tensor.Tensor
+	H := l.H
+	for t := 0; t < T; t++ {
+		xt := sliceStep(x, t)
+		a := tensor.MatMulT2(xt, l.Wx.W) // [n, 4H]
+		a.Add(tensor.MatMulT2(hs[t], l.Wh.W))
+		for i := 0; i < n; i++ {
+			row := a.Data[i*4*H : (i+1)*4*H]
+			for j, b := range l.B.W.Data {
+				row[j] += b
+			}
+		}
+		gates := tensor.New(n, 4*H)
+		hNew := tensor.New(n, l.H)
+		cNew := tensor.New(n, l.H)
+		for i := 0; i < n; i++ {
+			aRow := a.Data[i*4*H : (i+1)*4*H]
+			cPrev := cs[t].Data[i*H : (i+1)*H]
+			gRow := gates.Data[i*4*H : (i+1)*4*H]
+			for j := 0; j < H; j++ {
+				ai, af, ag, ao := aRow[j], aRow[H+j], aRow[2*H+j], aRow[3*H+j]
+				if l.Peephole {
+					ai += l.P.W.Data[j] * cPrev[j]
+					af += l.P.W.Data[H+j] * cPrev[j]
+				}
+				ig := nn.Sigmoidf(ai)
+				fg := nn.Sigmoidf(af)
+				gg := nn.Tanhf(ag)
+				ct := fg*cPrev[j] + ig*gg
+				if l.Peephole {
+					ao += l.P.W.Data[2*H+j] * ct
+				}
+				og := nn.Sigmoidf(ao)
+				gRow[j], gRow[H+j], gRow[2*H+j], gRow[3*H+j] = ig, fg, gg, og
+				cNew.Data[i*H+j] = ct
+				hNew.Data[i*H+j] = og * nn.Tanhf(ct)
+			}
+		}
+		hs = append(hs, hNew)
+		cs = append(cs, cNew)
+		gatesSeq = append(gatesSeq, gates)
+	}
+	if train {
+		l.lastX, l.hs, l.cs, l.gates = x, hs, cs, gatesSeq
+	}
+	return hs[T]
+}
+
+// Backward back-propagates through time from the final hidden state.
+func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.lastX == nil {
+		panic("rnn: LSTM.Backward called before Forward(train=true)")
+	}
+	x := l.lastX
+	n, T := x.Dim(0), x.Dim(1)
+	H := l.H
+	dx := tensor.New(n, T, l.F)
+	dh := dout.Clone()
+	dc := tensor.New(n, H)
+	for t := T - 1; t >= 0; t-- {
+		gates := l.gates[t]
+		cPrev := l.cs[t]
+		cCur := l.cs[t+1]
+		da := tensor.New(n, 4*H)
+		dcPrev := tensor.New(n, H)
+		for i := 0; i < n; i++ {
+			gRow := gates.Data[i*4*H : (i+1)*4*H]
+			for j := 0; j < H; j++ {
+				ig, fg, gg, og := gRow[j], gRow[H+j], gRow[2*H+j], gRow[3*H+j]
+				ct := cCur.Data[i*H+j]
+				cp := cPrev.Data[i*H+j]
+				tc := nn.Tanhf(ct)
+				dhij := dh.Data[i*H+j]
+				dao := dhij * tc * og * (1 - og)
+				dct := dc.Data[i*H+j] + dhij*og*(1-tc*tc)
+				if l.Peephole {
+					dct += dao * l.P.W.Data[2*H+j]
+					l.P.G.Data[2*H+j] += dao * ct
+				}
+				dai := dct * gg * ig * (1 - ig)
+				daf := dct * cp * fg * (1 - fg)
+				dag := dct * ig * (1 - gg*gg)
+				dcp := dct * fg
+				if l.Peephole {
+					dcp += dai*l.P.W.Data[j] + daf*l.P.W.Data[H+j]
+					l.P.G.Data[j] += dai * cp
+					l.P.G.Data[H+j] += daf * cp
+				}
+				da.Data[i*4*H+j] = dai
+				da.Data[i*4*H+H+j] = daf
+				da.Data[i*4*H+2*H+j] = dag
+				da.Data[i*4*H+3*H+j] = dao
+				dcPrev.Data[i*H+j] = dcp
+			}
+		}
+		xt := sliceStep(x, t)
+		l.Wx.G.Add(tensor.MatMulT1(da, xt))
+		l.Wh.G.Add(tensor.MatMulT1(da, l.hs[t]))
+		for i := 0; i < n; i++ {
+			row := da.Data[i*4*H : (i+1)*4*H]
+			for j, g := range row {
+				l.B.G.Data[j] += g
+			}
+		}
+		dxt := tensor.MatMul(da, l.Wx.W) // [n, F]
+		for i := 0; i < n; i++ {
+			copy(dx.Data[(i*T+t)*l.F:(i*T+t+1)*l.F], dxt.Data[i*l.F:(i+1)*l.F])
+		}
+		dh = tensor.MatMul(da, l.Wh.W)
+		dc = dcPrev
+	}
+	return dx
+}
+
+// Params returns the LSTM's trainable parameters.
+func (l *LSTM) Params() []*nn.Param {
+	ps := []*nn.Param{l.Wx, l.Wh, l.B}
+	if l.P != nil {
+		ps = append(ps, l.P)
+	}
+	return ps
+}
+
+// sliceStep extracts timestep t of x [n, T, F] as an [n, F] matrix copy.
+func sliceStep(x *tensor.Tensor, t int) *tensor.Tensor {
+	n, T, f := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(n, f)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*f:(i+1)*f], x.Data[(i*T+t)*f:(i*T+t+1)*f])
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package rnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestLSTMForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM("l", 5, 7, false, rng)
+	x := tensor.New(3, 4, 5).Rand(rng, 1)
+	y := l.Forward(x, false)
+	if y.Dim(0) != 3 || y.Dim(1) != 7 {
+		t.Fatalf("LSTM output %v, want [3 7]", y.Shape())
+	}
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLSTM("l", 3, 4, false, rng)
+	x := tensor.New(2, 3, 3).Rand(rng, 1)
+	if err := nn.GradCheck(l, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSTMPeepholeGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM("l", 3, 4, true, rng)
+	x := tensor.New(2, 3, 3).Rand(rng, 1)
+	if err := nn.GradCheck(l, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGRUGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewGRU("g", 3, 4, rng)
+	x := tensor.New(2, 3, 3).Rand(rng, 1)
+	if err := nn.GradCheck(g, x, rng, 1e-2, 3e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLSTM("l", 2, 3, false, rng)
+	for j := 3; j < 6; j++ {
+		if l.B.W.Data[j] != 1 {
+			t.Fatal("forget bias not initialised to 1")
+		}
+	}
+	if l.B.W.Data[0] != 0 || l.B.W.Data[7] != 0 {
+		t.Fatal("non-forget biases should start at 0")
+	}
+}
+
+func TestLSTMStatePropagation(t *testing.T) {
+	// Output at T=2 must depend on the input at t=0 (memory works).
+	rng := rand.New(rand.NewSource(6))
+	l := NewLSTM("l", 2, 3, false, rng)
+	x1 := tensor.New(1, 3, 2).Rand(rng, 1)
+	y1 := l.Forward(x1, false)
+	x2 := x1.Clone()
+	x2.Data[0] += 1 // change only timestep 0
+	y2 := l.Forward(x2, false)
+	diff := 0.0
+	for i := range y1.Data {
+		diff += math.Abs(float64(y1.Data[i] - y2.Data[i]))
+	}
+	if diff < 1e-5 {
+		t.Fatal("LSTM final state insensitive to first timestep")
+	}
+}
+
+func TestGRUStatePropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGRU("g", 2, 3, rng)
+	x1 := tensor.New(1, 3, 2).Rand(rng, 1)
+	y1 := g.Forward(x1, false)
+	x2 := x1.Clone()
+	x2.Data[0] += 1
+	y2 := g.Forward(x2, false)
+	diff := 0.0
+	for i := range y1.Data {
+		diff += math.Abs(float64(y1.Data[i] - y2.Data[i]))
+	}
+	if diff < 1e-5 {
+		t.Fatal("GRU final state insensitive to first timestep")
+	}
+}
+
+func TestReshape3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := NewReshape3D(4, 5)
+	x := tensor.New(2, 20).Rand(rng, 1)
+	y := r.Forward(x, true)
+	if y.Rank() != 3 || y.Dim(1) != 4 || y.Dim(2) != 5 {
+		t.Fatalf("reshape3d %v", y.Shape())
+	}
+	back := r.Backward(y)
+	if back.Rank() != 2 || back.Dim(1) != 20 {
+		t.Fatalf("reshape3d backward %v", back.Shape())
+	}
+}
+
+func TestLSTMLearnsSequenceSum(t *testing.T) {
+	// Regression task: predict whether the sum of a short sequence is
+	// positive. A working BPTT should fit this quickly.
+	rng := rand.New(rand.NewSource(9))
+	l := NewLSTM("l", 1, 8, false, rng)
+	head := nn.NewDense("fc", 8, 2, rng)
+	model := nn.NewSequential(l, head)
+	const n, T = 64, 6
+	x := tensor.New(n, T, 1)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		var sum float32
+		for t := 0; t < T; t++ {
+			v := rng.Float32()*2 - 1
+			x.Data[i*T+t] = v
+			sum += v
+		}
+		if sum > 0 {
+			labels[i] = 1
+		}
+	}
+	for epoch := 0; epoch < 150; epoch++ {
+		nn.ZeroGrads(model)
+		out := model.Forward(x, true)
+		g := tensor.New(n, 2)
+		for i := 0; i < n; i++ {
+			o0, o1 := float64(out.At(i, 0)), float64(out.At(i, 1))
+			m := math.Max(o0, o1)
+			e0, e1 := math.Exp(o0-m), math.Exp(o1-m)
+			z := e0 + e1
+			g.Set(float32(e0/z), i, 0)
+			g.Set(float32(e1/z), i, 1)
+			g.Set(g.At(i, labels[i])-1, i, labels[i])
+		}
+		g.Scale(1 / float32(n))
+		model.Backward(g)
+		for _, p := range model.Params() {
+			p.W.AddScaled(p.G, -0.3)
+		}
+	}
+	out := model.Forward(x, false)
+	correct := 0
+	for i, pred := range out.ArgmaxRows() {
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.9 {
+		t.Fatalf("LSTM failed to learn sequence-sum sign: accuracy %.3f", acc)
+	}
+}

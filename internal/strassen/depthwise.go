@@ -1,0 +1,252 @@
+package strassen
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DepthwiseConv2D is a strassenified depthwise convolution. Each channel's
+// kh×kw filter is its own tiny matmul; its SPN uses RPerCh hidden units per
+// channel:
+//
+//	hidden[c,u] = Wb[c,u,:] · patch(c)      (ternary combination)
+//	y[c]        = Σᵤ Wc[c,u] · â[c,u] · hidden[c,u] + bias[c]
+//
+// With RPerCh = 1 (the default used to match the paper's multiplication
+// counts) this degenerates to a ternary depthwise convolution with one
+// full-precision scale per channel, which is exactly why the paper reports
+// ~0.03M multiplications for the strassenified hybrid: one multiplication
+// per channel per output position.
+type DepthwiseConv2D struct {
+	C           int
+	KH, KW      int
+	Stride, Pad int
+	RPerCh      int
+	Wb          *Ternary  // [c*rPerCh, kh*kw]
+	Wc          *Ternary  // [c, rPerCh]
+	AHat        *nn.Param // [c*rPerCh]
+	Bias        *nn.Param // [c]
+
+	lastCols                []*tensor.Tensor
+	lastHB                  []*tensor.Tensor // [c*rPerCh, nOut] pre-scale
+	lastWbEff               *tensor.Tensor
+	lastWcEff               *tensor.Tensor
+	lastH, lastW, lastBatch int
+}
+
+// NewDepthwiseConv2D builds a strassenified depthwise convolution with
+// rPerCh SPN hidden units per channel.
+func NewDepthwiseConv2D(name string, c, kh, kw, stride, pad, rPerCh int, rng *rand.Rand) *DepthwiseConv2D {
+	k := kh * kw
+	wb := nn.NewParam(name+".wb", tensor.New(c*rPerCh, k).HeNormal(rng, k))
+	wc := nn.NewParam(name+".wc", tensor.New(c, rPerCh).HeNormal(rng, rPerCh))
+	return &DepthwiseConv2D{
+		C: c, KH: kh, KW: kw, Stride: stride, Pad: pad, RPerCh: rPerCh,
+		Wb: NewTernaryRowWise(wb), Wc: NewTernaryRowWise(wc),
+		AHat: nn.NewParam(name+".ahat", tensor.Ones(c*rPerCh)),
+		Bias: nn.NewParam(name+".bias", tensor.New(c)),
+	}
+}
+
+// OutSize returns the output spatial dimensions.
+func (d *DepthwiseConv2D) OutSize(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, d.KH, d.Stride, d.Pad), tensor.ConvOutSize(w, d.KW, d.Stride, d.Pad)
+}
+
+// Forward convolves x [batch, c, H, W] into [batch, c, outH, outW].
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nn.CheckShape(x, "strassen.DepthwiseConv2D input", -1, d.C, -1, -1)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := d.OutSize(h, w)
+	nOut := outH * outW
+	k := d.KH * d.KW
+	wbEff := d.Wb.Effective()
+	wcEff := d.Wc.Effective()
+	out := tensor.New(n, d.C, outH, outW)
+	cols := make([]*tensor.Tensor, n)
+	hbs := make([]*tensor.Tensor, n)
+	nn.ParallelFor(n, func(i int) {
+		img := tensor.FromSlice(x.Data[i*d.C*h*w:(i+1)*d.C*h*w], d.C, h, w)
+		col := tensor.Im2Col(img, d.KH, d.KW, d.Stride, d.Pad, d.Pad) // [c*k, nOut]
+		hb := tensor.New(d.C*d.RPerCh, nOut)
+		for ch := 0; ch < d.C; ch++ {
+			for u := 0; u < d.RPerCh; u++ {
+				hu := ch*d.RPerCh + u
+				wrow := wbEff.Data[hu*k : (hu+1)*k]
+				dst := hb.Data[hu*nOut : (hu+1)*nOut]
+				for p := 0; p < k; p++ {
+					wv := wrow[p]
+					if wv == 0 {
+						continue
+					}
+					src := col.Data[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+					for j, cv := range src {
+						dst[j] += wv * cv
+					}
+				}
+			}
+		}
+		dstBase := out.Data[i*d.C*nOut : (i+1)*d.C*nOut]
+		for ch := 0; ch < d.C; ch++ {
+			dst := dstBase[ch*nOut : (ch+1)*nOut]
+			for u := 0; u < d.RPerCh; u++ {
+				hu := ch*d.RPerCh + u
+				coef := wcEff.Data[ch*d.RPerCh+u] * d.AHat.W.Data[hu]
+				if coef == 0 {
+					continue
+				}
+				src := hb.Data[hu*nOut : (hu+1)*nOut]
+				for j, v := range src {
+					dst[j] += coef * v
+				}
+			}
+			b := d.Bias.W.Data[ch]
+			for j := range dst {
+				dst[j] += b
+			}
+		}
+		cols[i], hbs[i] = col, hb
+	})
+	if train {
+		d.lastCols, d.lastHB = cols, hbs
+		d.lastWbEff, d.lastWcEff = wbEff, wcEff
+		d.lastH, d.lastW, d.lastBatch = h, w, n
+	}
+	return out
+}
+
+// Backward propagates through the per-channel SPN with straight-through
+// ternary gradients.
+func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.lastCols == nil {
+		panic("strassen: DepthwiseConv2D.Backward called before Forward(train=true)")
+	}
+	n, h, w := d.lastBatch, d.lastH, d.lastW
+	outH, outW := d.OutSize(h, w)
+	nOut := outH * outW
+	k := d.KH * d.KW
+	nn.CheckShape(dout, "strassen.DepthwiseConv2D grad", n, d.C, outH, outW)
+	dx := tensor.New(n, d.C, h, w)
+	type grads struct {
+		dWb, dWc *tensor.Tensor
+		dA, dB   []float32
+	}
+	gs := make([]grads, n)
+	nn.ParallelFor(n, func(i int) {
+		col := d.lastCols[i]
+		hb := d.lastHB[i]
+		gr := grads{
+			dWb: tensor.New(d.C*d.RPerCh, k),
+			dWc: tensor.New(d.C, d.RPerCh),
+			dA:  make([]float32, d.C*d.RPerCh),
+			dB:  make([]float32, d.C),
+		}
+		dcol := tensor.New(d.C*k, nOut)
+		for ch := 0; ch < d.C; ch++ {
+			g := dout.Data[(i*d.C+ch)*nOut : (i*d.C+ch+1)*nOut]
+			var bs float32
+			for _, gv := range g {
+				bs += gv
+			}
+			gr.dB[ch] = bs
+			for u := 0; u < d.RPerCh; u++ {
+				hu := ch*d.RPerCh + u
+				hbSeg := hb.Data[hu*nOut : (hu+1)*nOut]
+				a := d.AHat.W.Data[hu]
+				wcv := d.lastWcEff.Data[ch*d.RPerCh+u]
+				// dWc[ch,u] = Σ g ⊙ (â·hb); dâ = Σ g·wc ⊙ hb
+				var sWc, sA float32
+				for j, gv := range g {
+					sWc += gv * a * hbSeg[j]
+					sA += gv * wcv * hbSeg[j]
+				}
+				gr.dWc.Data[ch*d.RPerCh+u] = sWc
+				gr.dA[hu] = sA
+				// dhb = g · wc · â, then into dWb and dcol.
+				coef := wcv * a
+				wrow := d.lastWbEff.Data[hu*k : (hu+1)*k]
+				for p := 0; p < k; p++ {
+					src := col.Data[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+					var s float32
+					for j, gv := range g {
+						s += gv * src[j]
+					}
+					gr.dWb.Data[hu*k+p] += coef * s
+					dst := dcol.Data[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
+					wv := wrow[p] * coef
+					if wv == 0 {
+						continue
+					}
+					for j, gv := range g {
+						dst[j] += wv * gv
+					}
+				}
+			}
+		}
+		dimg := tensor.Col2Im(dcol, d.C, h, w, d.KH, d.KW, d.Stride, d.Pad, d.Pad)
+		copy(dx.Data[i*d.C*h*w:(i+1)*d.C*h*w], dimg.Data)
+		gs[i] = gr
+	})
+	for i := 0; i < n; i++ {
+		d.Wb.Shadow.G.Add(gs[i].dWb)
+		d.Wc.Shadow.G.Add(gs[i].dWc)
+		for j, v := range gs[i].dA {
+			d.AHat.G.Data[j] += v
+		}
+		for j, v := range gs[i].dB {
+			d.Bias.G.Data[j] += v
+		}
+	}
+	return dx
+}
+
+// Params returns shadow ternary weights, â and bias.
+func (d *DepthwiseConv2D) Params() []*nn.Param {
+	return []*nn.Param{d.Wb.Shadow, d.Wc.Shadow, d.AHat, d.Bias}
+}
+
+// SetMode transitions the ternary matrices; Fixed absorbs scales into â.
+func (d *DepthwiseConv2D) SetMode(m Mode) {
+	if m == Fixed {
+		sb := d.Wb.FixRows() // one scale per channel×hidden-unit (or global)
+		sc := d.Wc.FixRows() // one scale per channel (or global)
+		for ch := 0; ch < d.C; ch++ {
+			for u := 0; u < d.RPerCh; u++ {
+				hu := ch*d.RPerCh + u
+				d.AHat.W.Data[hu] *= scaleAt(sb, hu) * scaleAt(sc, ch)
+			}
+		}
+		return
+	}
+	d.Wb.Mode, d.Wc.Mode = m, m
+}
+
+// TernaryMatrices exposes Wb and Wc.
+func (d *DepthwiseConv2D) TernaryMatrices() []*Ternary { return []*Ternary{d.Wb, d.Wc} }
+
+// HiddenAbsMax runs x through the layer and returns the maximum absolute
+// post-â hidden activation — the 16-bit intermediate of the paper's mixed
+// quantization policy. Deployment calibration uses it to size that scale.
+func (d *DepthwiseConv2D) HiddenAbsMax(x *tensor.Tensor) float32 {
+	d.Forward(x, true)
+	var m float32
+	for i, hb := range d.lastHB {
+		_ = i
+		for hu := 0; hu < d.C*d.RPerCh; hu++ {
+			a := d.AHat.W.Data[hu]
+			seg := hb.Data[hu*len(hb.Data)/(d.C*d.RPerCh) : (hu+1)*len(hb.Data)/(d.C*d.RPerCh)]
+			for _, v := range seg {
+				av := a * v
+				if av < 0 {
+					av = -av
+				}
+				if av > m {
+					m = av
+				}
+			}
+		}
+	}
+	return m
+}

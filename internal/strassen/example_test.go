@@ -1,0 +1,64 @@
+package strassen_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// ExampleSPN evaluates the exact 2×2 Strassen multiplication as the ternary
+// sum-product network of the paper's equation (1).
+func ExampleSPN() {
+	wa, wb, wc := strassen.Strassen2x2()
+	a := []float32{1, 2, 3, 4} // [[1 2] [3 4]]
+	b := []float32{5, 6, 7, 8} // [[5 6] [7 8]]
+	c := strassen.SPN(wa, wb, wc, a, b)
+	fmt.Println(c)
+	// Output: [19 22 43 50]
+}
+
+// ExampleMultiply multiplies two 8×8 matrices with the recursive Strassen
+// algorithm and reports the multiplication savings over the naive cubic
+// kernel.
+func ExampleMultiply() {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(8, 8).Rand(rng, 1)
+	b := tensor.New(8, 8).Rand(rng, 1)
+	c := strassen.Multiply(a, b, 1)
+	want := tensor.MatMul(a, b)
+	maxErr := 0.0
+	for i := range c.Data {
+		if d := float64(c.Data[i] - want.Data[i]); d*d > maxErr*maxErr {
+			maxErr = d
+		}
+	}
+	s, n := strassen.MultiplyCost(8, 1)
+	fmt.Printf("exact=%v muls=%d naive=%d\n", maxErr*maxErr < 1e-8, s, n)
+	// Output: exact=true muls=343 naive=512
+}
+
+// ExampleDense shows the staged schedule on one strassenified dense layer:
+// full-precision warm-up, quantised training, then fixed ternary matrices.
+func ExampleDense() {
+	rng := rand.New(rand.NewSource(1))
+	layer := strassen.NewDense("spn", 4, 2, 6, rng)
+
+	layer.SetMode(strassen.Quantizing) // TWN ternary + straight-through
+	layer.SetMode(strassen.Fixed)      // freeze; scales absorbed into â
+
+	frozen := 0
+	for _, p := range layer.Params() {
+		if p.Frozen {
+			frozen++
+		}
+	}
+	x := tensor.New(1, 4).Rand(rng, 1)
+	y := layer.Forward(x, false)
+	fmt.Printf("frozen=%d out=%d ternary=%d\n", frozen, y.Size(), len(strassen.CollectTernary(wrap(layer))))
+	// Output: frozen=2 out=2 ternary=2
+}
+
+func wrap(l nn.Layer) nn.Layer { return nn.NewSequential(l) }

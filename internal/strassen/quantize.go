@@ -1,0 +1,186 @@
+package strassen
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Ternary is a matrix parameter that can be trained at full precision,
+// quantised to {-1,0,1} with TWN scaling, and finally frozen as a pure
+// ternary matrix.
+//
+// Scaling granularity: with RowWise set, each row gets its own TWN scale —
+// markedly better SPN fidelity — and the per-row scales are exactly
+// absorbable into the layer's full-precision â vector when they index the
+// SPN hidden units (Wb) or per-channel groups (depthwise Wc). Matrices whose
+// row scales have nowhere to go (dense/conv Wc, whose rows are output
+// channels) use a single global scale.
+type Ternary struct {
+	Shadow  *nn.Param // full-precision master weights
+	T       []int8    // ternary values; valid in Quantizing and Fixed modes
+	Scales  []float32 // per-row scales (RowWise) or a single global scale
+	Rows    int
+	Cols    int
+	RowWise bool
+	Mode    Mode
+}
+
+// NewTernary wraps a full-precision parameter with a single global scale.
+func NewTernary(p *nn.Param) *Ternary { return newTernary(p, false) }
+
+// NewTernaryRowWise wraps a full-precision rank-2 parameter with one TWN
+// scale per row.
+func NewTernaryRowWise(p *nn.Param) *Ternary { return newTernary(p, true) }
+
+func newTernary(p *nn.Param, rowWise bool) *Ternary {
+	rows, cols := 1, p.W.Size()
+	if p.W.Rank() == 2 {
+		rows, cols = p.W.Dim(0), p.W.Dim(1)
+	}
+	n := 1
+	if rowWise {
+		n = rows
+	}
+	scales := make([]float32, n)
+	for i := range scales {
+		scales[i] = 1
+	}
+	return &Ternary{
+		Shadow: p, T: make([]int8, p.W.Size()), Scales: scales,
+		Rows: rows, Cols: cols, RowWise: rowWise, Mode: FullPrecision,
+	}
+}
+
+// TernaryThresholdFactor is the TWN threshold Δ = factor · E|W|.
+const TernaryThresholdFactor = 0.7
+
+// quantizeSlice applies the TWN rule to one scale group.
+func quantizeSlice(w []float32, t []int8) float32 {
+	var absSum float64
+	for _, v := range w {
+		absSum += math.Abs(float64(v))
+	}
+	delta := float32(TernaryThresholdFactor * absSum / float64(len(w)))
+	var survSum float64
+	var survN int
+	for i, v := range w {
+		switch {
+		case v > delta:
+			t[i] = 1
+			survSum += float64(v)
+			survN++
+		case v < -delta:
+			t[i] = -1
+			survSum += float64(-v)
+			survN++
+		default:
+			t[i] = 0
+		}
+	}
+	if survN == 0 {
+		return 1
+	}
+	return float32(survSum / float64(survN))
+}
+
+// Requantize recomputes the ternary values and scales from the shadow
+// weights using the TWN rule: Δ = 0.7·mean|w|, tᵢ = sign(wᵢ)·1{|wᵢ|>Δ},
+// scale = mean |wᵢ| over surviving entries — per row when RowWise.
+func (t *Ternary) Requantize() {
+	w := t.Shadow.W.Data
+	if !t.RowWise {
+		t.Scales[0] = quantizeSlice(w, t.T)
+		return
+	}
+	for r := 0; r < t.Rows; r++ {
+		t.Scales[r] = quantizeSlice(w[r*t.Cols:(r+1)*t.Cols], t.T[r*t.Cols:(r+1)*t.Cols])
+	}
+}
+
+// FixRows freezes the current ternary pattern, marks the shadow frozen,
+// resets internal scales to 1, and returns the scales the caller must absorb
+// into full-precision parameters (one per row when RowWise, else one).
+func (t *Ternary) FixRows() []float32 {
+	if t.Mode != Quantizing {
+		t.Requantize()
+	}
+	out := append([]float32(nil), t.Scales...)
+	for i := range t.Scales {
+		t.Scales[i] = 1
+	}
+	t.Mode = Fixed
+	t.Shadow.Frozen = true
+	return out
+}
+
+// Fix is FixRows for global-scale matrices, returning the single scale.
+func (t *Ternary) Fix() float32 {
+	if t.RowWise {
+		panic("strassen: Fix called on a row-wise ternary matrix; use FixRows")
+	}
+	return t.FixRows()[0]
+}
+
+// Effective materialises the matrix used in the forward pass for the current
+// mode: the shadow weights (FullPrecision), scale·ternary (Quantizing), or
+// the bare ternary values (Fixed, scales absorbed elsewhere).
+func (t *Ternary) Effective() *tensor.Tensor {
+	switch t.Mode {
+	case FullPrecision:
+		return t.Shadow.W
+	case Quantizing:
+		t.Requantize()
+	}
+	out := tensor.New(t.Shadow.W.Shape()...)
+	if t.RowWise {
+		for r := 0; r < t.Rows; r++ {
+			s := t.Scales[r]
+			for c := 0; c < t.Cols; c++ {
+				out.Data[r*t.Cols+c] = float32(t.T[r*t.Cols+c]) * s
+			}
+		}
+		return out
+	}
+	s := t.Scales[0]
+	for i, v := range t.T {
+		out.Data[i] = float32(v) * s
+	}
+	return out
+}
+
+// NNZ returns the number of nonzero ternary entries (the paper's addition
+// counts). In FullPrecision mode it quantises first so the estimate reflects
+// deployment cost.
+func (t *Ternary) NNZ() int {
+	if t.Mode == FullPrecision {
+		t.Requantize()
+	}
+	n := 0
+	for _, v := range t.T {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of entries in the matrix.
+func (t *Ternary) Size() int { return t.Shadow.W.Size() }
+
+// ScaleAt returns the scale for row r, valid for both row-wise and global
+// matrices.
+func scaleAt(scales []float32, r int) float32 {
+	if len(scales) == 1 {
+		return scales[0]
+	}
+	return scales[r]
+}
+
+// SetGlobalScale switches the matrix to a single global TWN scale (used by
+// the scaling-granularity ablation).
+func (t *Ternary) SetGlobalScale() {
+	t.RowWise = false
+	t.Scales = []float32{1}
+}

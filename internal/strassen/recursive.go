@@ -1,0 +1,97 @@
+package strassen
+
+import (
+	"repro/internal/tensor"
+)
+
+// Multiply computes A·B (square matrices whose size is a power of two)
+// with the recursive Strassen algorithm: each level replaces 8 block
+// multiplications by 7, so a full recursion uses 7^k scalar multiplications
+// for n=2^k instead of 8^k. The base case at blockSize falls back to the
+// naive kernel. This is the exact algorithm the paper's equation (1)
+// expresses as a ternary SPN; MultiplyCost reports the multiplication
+// savings.
+func Multiply(a, b *tensor.Tensor, blockSize int) *tensor.Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("strassen: Multiply requires rank-2 tensors")
+	}
+	n := a.Dim(0)
+	if a.Dim(1) != n || b.Dim(0) != n || b.Dim(1) != n {
+		panic("strassen: Multiply requires square matrices of equal size")
+	}
+	if n&(n-1) != 0 {
+		panic("strassen: Multiply requires a power-of-two size")
+	}
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	return strassenRec(a, b, blockSize)
+}
+
+func strassenRec(a, b *tensor.Tensor, blockSize int) *tensor.Tensor {
+	n := a.Dim(0)
+	if n <= blockSize {
+		return tensor.MatMul(a, b)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := block(a, 0, 0, h), block(a, 0, h, h), block(a, h, 0, h), block(a, h, h, h)
+	b11, b12, b21, b22 := block(b, 0, 0, h), block(b, 0, h, h), block(b, h, 0, h), block(b, h, h, h)
+
+	m1 := strassenRec(add(a11, a22), add(b11, b22), blockSize)
+	m2 := strassenRec(add(a21, a22), b11, blockSize)
+	m3 := strassenRec(a11, sub(b12, b22), blockSize)
+	m4 := strassenRec(a22, sub(b21, b11), blockSize)
+	m5 := strassenRec(add(a11, a12), b22, blockSize)
+	m6 := strassenRec(sub(a21, a11), add(b11, b12), blockSize)
+	m7 := strassenRec(sub(a12, a22), add(b21, b22), blockSize)
+
+	c := tensor.New(n, n)
+	// c11 = m1 + m4 - m5 + m7
+	setBlock(c, 0, 0, add(sub(add(m1, m4), m5), m7))
+	// c12 = m3 + m5
+	setBlock(c, 0, h, add(m3, m5))
+	// c21 = m2 + m4
+	setBlock(c, h, 0, add(m2, m4))
+	// c22 = m1 - m2 + m3 + m6
+	setBlock(c, h, h, add(add(sub(m1, m2), m3), m6))
+	return c
+}
+
+// block copies an h×h sub-matrix starting at (r, c).
+func block(t *tensor.Tensor, r, c, h int) *tensor.Tensor {
+	n := t.Dim(1)
+	out := tensor.New(h, h)
+	for i := 0; i < h; i++ {
+		copy(out.Data[i*h:(i+1)*h], t.Data[(r+i)*n+c:(r+i)*n+c+h])
+	}
+	return out
+}
+
+// setBlock writes an h×h sub-matrix into t at (r, c).
+func setBlock(t *tensor.Tensor, r, c int, blk *tensor.Tensor) {
+	h := blk.Dim(0)
+	n := t.Dim(1)
+	for i := 0; i < h; i++ {
+		copy(t.Data[(r+i)*n+c:(r+i)*n+c+h], blk.Data[i*h:(i+1)*h])
+	}
+}
+
+func add(a, b *tensor.Tensor) *tensor.Tensor { return a.Clone().Add(b) }
+func sub(a, b *tensor.Tensor) *tensor.Tensor { return a.Clone().Sub(b) }
+
+// MultiplyCost returns the scalar multiplications used by Multiply(n,
+// blockSize) next to the naive n³ count — the quantity the paper's SPN
+// formulation generalises.
+func MultiplyCost(n, blockSize int) (strassenMuls, naiveMuls int64) {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	var rec func(n int) int64
+	rec = func(n int) int64 {
+		if n <= blockSize {
+			return int64(n) * int64(n) * int64(n)
+		}
+		return 7 * rec(n/2)
+	}
+	return rec(n), int64(n) * int64(n) * int64(n)
+}

@@ -1,0 +1,410 @@
+package strassen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestStrassen2x2Exact(t *testing.T) {
+	// The classic r=7 ternary SPN must reproduce 2×2 matmul exactly —
+	// equation (1) of the paper.
+	wa, wb, wc := Strassen2x2()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := tensor.New(2, 2).Rand(rng, 2)
+		b := tensor.New(2, 2).Rand(rng, 2)
+		got := SPN(wa, wb, wc, a.Data, b.Data)
+		want := tensor.MatMul(a, b)
+		for i := range got {
+			if math.Abs(float64(got[i]-want.Data[i])) > 1e-4 {
+				t.Fatalf("Strassen SPN mismatch: got %v want %v", got, want.Data)
+			}
+		}
+	}
+}
+
+func TestStrassen2x2MatricesAreTernary(t *testing.T) {
+	wa, wb, wc := Strassen2x2()
+	for _, m := range []*tensor.Tensor{wa, wb, wc} {
+		for _, v := range m.Data {
+			if v != -1 && v != 0 && v != 1 {
+				t.Fatalf("non-ternary entry %v", v)
+			}
+		}
+	}
+}
+
+func TestStrassen2x2Uses7Multiplications(t *testing.T) {
+	wa, _, _ := Strassen2x2()
+	if wa.Dim(0) != 7 {
+		t.Fatalf("hidden width %d, want 7", wa.Dim(0))
+	}
+}
+
+func TestTernaryRequantizeTWNRule(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1.0, -1.0, 0.1, -0.1, 0.5, -0.5}, 6))
+	tr := NewTernary(p)
+	tr.Requantize()
+	// mean|w| = 3.2/6 ≈ 0.5333; Δ = 0.7·0.5333 ≈ 0.3733.
+	want := []int8{1, -1, 0, 0, 1, -1}
+	for i, v := range want {
+		if tr.T[i] != v {
+			t.Fatalf("ternary %v, want %v", tr.T, want)
+		}
+	}
+	// scale = mean over surviving |w| = (1+1+0.5+0.5)/4 = 0.75.
+	if math.Abs(float64(tr.Scales[0]-0.75)) > 1e-6 {
+		t.Fatalf("scale %v, want 0.75", tr.Scales[0])
+	}
+}
+
+func TestTernaryQuantizePropertyBased(t *testing.T) {
+	// Properties: entries are ternary, scale > 0, sign is preserved for
+	// surviving entries, and requantize is idempotent on the ternary output.
+	f := func(raw [24]int8) bool {
+		data := make([]float32, 24)
+		anyNonZero := false
+		for i, v := range raw {
+			data[i] = float32(v) / 16
+			if v != 0 {
+				anyNonZero = true
+			}
+		}
+		if !anyNonZero {
+			return true
+		}
+		p := nn.NewParam("w", tensor.FromSlice(data, 24))
+		tr := NewTernary(p)
+		tr.Requantize()
+		for _, sc := range tr.Scales {
+			if sc <= 0 {
+				return false
+			}
+		}
+		for i, tv := range tr.T {
+			if tv != -1 && tv != 0 && tv != 1 {
+				return false
+			}
+			if tv == 1 && data[i] <= 0 {
+				return false
+			}
+			if tv == -1 && data[i] >= 0 {
+				return false
+			}
+		}
+		// Idempotence: quantizing the quantized values keeps the pattern.
+		eff := tr.Effective()
+		p2 := nn.NewParam("w2", eff)
+		tr2 := NewTernary(p2)
+		tr2.Requantize()
+		for i := range tr.T {
+			if tr.T[i] != tr2.T[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTernaryFixAbsorbsScale(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{2, -2, 0.01, 2}, 4))
+	tr := NewTernary(p)
+	tr.Mode = Quantizing
+	tr.Requantize()
+	s := tr.Fix()
+	if s != 2 {
+		t.Fatalf("fix returned scale %v, want 2", s)
+	}
+	if tr.Scales[0] != 1 || tr.Mode != Fixed || !p.Frozen {
+		t.Fatal("fix did not freeze correctly")
+	}
+	eff := tr.Effective()
+	for i, v := range []float32{1, -1, 0, 1} {
+		if eff.Data[i] != v {
+			t.Fatalf("fixed effective %v", eff.Data)
+		}
+	}
+}
+
+func TestDenseFullPrecisionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense("sd", 6, 4, 5, rng)
+	x := tensor.New(3, 6).Rand(rng, 1)
+	if err := nn.GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseFixedModeTrainsAHat(t *testing.T) {
+	// In Fixed mode the ternary matrices freeze but â and bias still get
+	// correct gradients (the layer remains smooth in them).
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense("sd", 5, 3, 4, rng)
+	d.SetMode(Fixed)
+	x := tensor.New(2, 5).Rand(rng, 1)
+	if err := nn.GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Wb.Shadow.Frozen || !d.Wc.Shadow.Frozen {
+		t.Fatal("shadows not frozen after Fixed")
+	}
+}
+
+func TestDenseQuantizedEqualsManualSPN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense("sd", 4, 3, 6, rng)
+	d.SetMode(Quantizing)
+	x := tensor.New(1, 4).Rand(rng, 1)
+	y := d.Forward(x, false)
+	// Manual: y = WcEff · ((WbEff·x) ⊙ â) + bias.
+	wb := d.Wb.Effective()
+	wc := d.Wc.Effective()
+	hb := tensor.MatVec(wb, x.Data)
+	for i := range hb {
+		hb[i] *= d.AHat.W.Data[i]
+	}
+	want := tensor.MatVec(wc, hb)
+	for i := range want {
+		want[i] += d.Bias.W.Data[i]
+	}
+	for i := range want {
+		if math.Abs(float64(y.Data[i]-want[i])) > 1e-5 {
+			t.Fatalf("quantized dense mismatch: %v vs %v", y.Data, want)
+		}
+	}
+}
+
+func TestConv2DFullPrecisionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D("sc", 2, 3, 3, 3, 1, 1, 1, 4, rng)
+	x := tensor.New(2, 2, 5, 4).Rand(rng, 1)
+	if err := nn.GradCheck(c, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConv2DFixedGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewConv2D("sc", 1, 2, 3, 3, 2, 1, 1, 3, rng)
+	c.SetMode(Fixed)
+	x := tensor.New(1, 1, 7, 6).Rand(rng, 1)
+	if err := nn.GradCheck(c, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseFullPrecisionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDepthwiseConv2D("sdw", 3, 3, 3, 1, 1, 1, rng)
+	x := tensor.New(2, 3, 4, 4).Rand(rng, 1)
+	if err := nn.GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseRPerCh2GradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDepthwiseConv2D("sdw", 2, 3, 3, 1, 1, 2, rng)
+	x := tensor.New(1, 2, 5, 5).Rand(rng, 1)
+	if err := nn.GradCheck(d, x, rng, 1e-2, 2e-2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseIsPerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDepthwiseConv2D("sdw", 2, 3, 3, 1, 1, 1, rng)
+	x := tensor.New(1, 2, 5, 5).Rand(rng, 1)
+	y1 := d.Forward(x, false)
+	x2 := x.Clone()
+	for i := 25; i < 50; i++ {
+		x2.Data[i] = 0
+	}
+	y2 := d.Forward(x2, false)
+	for i := 0; i < 25; i++ {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("strassen depthwise mixed channels")
+		}
+	}
+}
+
+func TestSetModeAllAndCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	seq := nn.NewSequential(
+		NewConv2D("a", 1, 2, 3, 3, 1, 1, 1, 2, rng),
+		nn.NewReLU(),
+		NewDense("b", 8, 3, 3, rng),
+	)
+	SetModeAll(seq, Quantizing)
+	ts := CollectTernary(seq)
+	if len(ts) != 4 {
+		t.Fatalf("collected %d ternary matrices, want 4", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.Mode != Quantizing {
+			t.Fatalf("mode %v, want Quantizing", tr.Mode)
+		}
+	}
+	SetModeAll(seq, Fixed)
+	for _, tr := range ts {
+		if tr.Mode != Fixed {
+			t.Fatal("not fixed")
+		}
+	}
+}
+
+func TestQuantizingReducesToTernaryTimesScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := nn.NewParam("w", tensor.New(4, 4).Rand(rng, 1))
+	tr := NewTernary(p)
+	tr.Mode = Quantizing
+	eff := tr.Effective()
+	for i, v := range eff.Data {
+		q := float32(tr.T[i]) * tr.Scales[0]
+		if v != q {
+			t.Fatalf("effective[%d]=%v, want %v", i, v, q)
+		}
+	}
+}
+
+func TestNNZCountsNonzeros(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{5, -5, 0.001, 5}, 4))
+	tr := NewTernary(p)
+	if got := tr.NNZ(); got != 3 {
+		t.Fatalf("NNZ=%d, want 3", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FullPrecision.String() != "full-precision" || Quantizing.String() != "quantizing" || Fixed.String() != "fixed-ternary" {
+		t.Fatal("bad mode strings")
+	}
+}
+
+func TestDenseEndToEndLearnsWithSchedule(t *testing.T) {
+	// A strassenified dense layer must be able to fit a small linear map
+	// through all three stages of the schedule.
+	rng := rand.New(rand.NewSource(12))
+	d := NewDense("sd", 4, 2, 8, rng)
+	target := tensor.New(2, 4).Rand(rng, 1)
+	xs := make([]*tensor.Tensor, 40)
+	ys := make([]*tensor.Tensor, 40)
+	for i := range xs {
+		xs[i] = tensor.New(1, 4).Rand(rng, 1)
+		ys[i] = tensor.MatMulT2(xs[i], target)
+	}
+	lossOf := func() float64 {
+		var total float64
+		for i := range xs {
+			out := d.Forward(xs[i], false)
+			for j := range out.Data {
+				diff := float64(out.Data[j] - ys[i].Data[j])
+				total += diff * diff
+			}
+		}
+		return total / float64(len(xs))
+	}
+	step := func(lr float32, epochs int) {
+		for e := 0; e < epochs; e++ {
+			for i := range xs {
+				nn.ZeroGrads(d)
+				out := d.Forward(xs[i], true)
+				g := out.Clone()
+				g.Sub(ys[i]).Scale(2)
+				d.Backward(g)
+				for _, p := range d.Params() {
+					if p.Frozen {
+						continue
+					}
+					p.W.AddScaled(p.G, -lr)
+				}
+			}
+		}
+	}
+	step(0.02, 60) // stage 1: full precision
+	l1 := lossOf()
+	d.SetMode(Quantizing)
+	step(0.02, 120) // stage 2
+	d.SetMode(Fixed)
+	step(0.02, 120) // stage 3: only â and bias move
+	l3 := lossOf()
+	if l1 > 0.05 {
+		t.Fatalf("full-precision stage did not converge: loss %v", l1)
+	}
+	if l3 > 0.2 {
+		t.Fatalf("fixed-ternary stage loss too high: %v", l3)
+	}
+}
+
+func TestRecursiveStrassenMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		a := tensor.New(n, n).Rand(rng, 1)
+		b := tensor.New(n, n).Rand(rng, 1)
+		got := Multiply(a, b, 2)
+		want := tensor.MatMul(a, b)
+		for i := range got.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-3 {
+				t.Fatalf("n=%d: Strassen mismatch at %d: %v vs %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestRecursiveStrassenBlockSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := tensor.New(16, 16).Rand(rng, 1)
+	b := tensor.New(16, 16).Rand(rng, 1)
+	want := tensor.MatMul(a, b)
+	for _, bs := range []int{1, 2, 4, 8, 16} {
+		got := Multiply(a, b, bs)
+		for i := range got.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-3 {
+				t.Fatalf("blockSize=%d mismatch", bs)
+			}
+		}
+	}
+}
+
+func TestRecursiveStrassenPanicsOnBadShapes(t *testing.T) {
+	for _, f := range []func(){
+		func() { Multiply(tensor.New(3, 3), tensor.New(3, 3), 1) }, // not power of two
+		func() { Multiply(tensor.New(4, 2), tensor.New(2, 4), 1) }, // not square
+		func() { Multiply(tensor.New(4, 4), tensor.New(8, 8), 1) }, // size mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiplyCost(t *testing.T) {
+	// Full recursion to 1×1: 7^k muls vs 8^k naive.
+	s, n := MultiplyCost(8, 1)
+	if s != 343 || n != 512 {
+		t.Fatalf("cost(8,1) = %d/%d, want 343/512", s, n)
+	}
+	// Base case at the full size: no savings.
+	s, n = MultiplyCost(8, 8)
+	if s != n {
+		t.Fatalf("cost(8,8) = %d/%d, want equal", s, n)
+	}
+	// One level of recursion: 7·(4³) vs 8·(4³).
+	s, n = MultiplyCost(8, 4)
+	if s != 7*64 || n != 512 {
+		t.Fatalf("cost(8,4) = %d/%d", s, n)
+	}
+}

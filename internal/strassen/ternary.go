@@ -1,0 +1,150 @@
+// Package strassen implements StrassenNets (Tschannen et al., ICML 2018):
+// matrix multiplications recast as two-layer sum-product networks (SPNs)
+// with ternary weight matrices,
+//
+//	vec(C) = Wc · [(Wb·vec(B)) ⊙ (Wa·vec(A))],
+//
+// where Wa, Wb, Wc ∈ {-1,0,1} and the SPN hidden width r controls the
+// multiplication budget. In a DNN layer A is the (fixed) weight tensor and B
+// the activations, so Wa·vec(A) collapses into a trained full-precision
+// vector â of length r; inference then costs r multiplications per output
+// position plus ternary-matrix additions.
+//
+// The package provides strassenified dense, standard-convolution and
+// depthwise-convolution layers implementing nn.Layer, the TWN-style ternary
+// quantiser (Li & Liu, 2016) with a straight-through estimator, and the
+// paper's three-stage training schedule: full-precision warm-up → quantised
+// training → fixed ternary matrices with scales absorbed into â.
+package strassen
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Mode is the training stage of a ternary matrix.
+type Mode int
+
+const (
+	// FullPrecision trains the shadow weights directly (stage 1).
+	FullPrecision Mode = iota
+	// Quantizing runs forward passes with ternary(shadow)·scale and routes
+	// gradients to the shadow weights via the straight-through estimator
+	// (stage 2).
+	Quantizing
+	// Fixed freezes the ternary values; the scale has been absorbed into the
+	// layer's â vector and the shadow weights no longer update (stage 3).
+	Fixed
+)
+
+// String names the mode for logs.
+func (m Mode) String() string {
+	switch m {
+	case FullPrecision:
+		return "full-precision"
+	case Quantizing:
+		return "quantizing"
+	case Fixed:
+		return "fixed-ternary"
+	}
+	return "unknown"
+}
+
+// Quantizable is implemented by layers that carry ternary matrices and
+// support the staged schedule.
+type Quantizable interface {
+	// SetMode moves every ternary matrix in the layer to the given mode.
+	// Moving to Fixed absorbs scales into the layer's â/bias parameters.
+	SetMode(Mode)
+	// TernaryMatrices exposes the layer's ternary matrices for accounting.
+	TernaryMatrices() []*Ternary
+}
+
+// SubLayerer is implemented by composite layers (e.g. the Bonsai tree) that
+// contain nested linear layers the staged schedule must reach.
+type SubLayerer interface {
+	SubLayers() []nn.Layer
+}
+
+// SetModeAll applies SetMode to every Quantizable found in a layer tree
+// (descending into nn.Sequential containers and SubLayerer composites).
+func SetModeAll(l nn.Layer, m Mode) {
+	switch v := l.(type) {
+	case Quantizable:
+		v.SetMode(m)
+	case *nn.Sequential:
+		for _, sub := range v.Layers {
+			SetModeAll(sub, m)
+		}
+	case SubLayerer:
+		for _, sub := range v.SubLayers() {
+			SetModeAll(sub, m)
+		}
+	}
+}
+
+// CollectTernary gathers every ternary matrix in a layer tree.
+func CollectTernary(l nn.Layer) []*Ternary {
+	var out []*Ternary
+	switch v := l.(type) {
+	case Quantizable:
+		out = append(out, v.TernaryMatrices()...)
+	case *nn.Sequential:
+		for _, sub := range v.Layers {
+			out = append(out, CollectTernary(sub)...)
+		}
+	case SubLayerer:
+		for _, sub := range v.SubLayers() {
+			out = append(out, CollectTernary(sub)...)
+		}
+	}
+	return out
+}
+
+// SPN evaluates the literal sum-product network
+// vec(C) = Wc·[(Wb·vecB) ⊙ (Wa·vecA)] for explicit Wa, Wb, Wc — the form
+// used by exact Strassen multiplication. Wa is [r, lenA], Wb is [r, lenB],
+// Wc is [lenC, r].
+func SPN(wa, wb, wc *tensor.Tensor, vecA, vecB []float32) []float32 {
+	ha := tensor.MatVec(wa, vecA)
+	hb := tensor.MatVec(wb, vecB)
+	for i := range ha {
+		ha[i] *= hb[i]
+	}
+	return tensor.MatVec(wc, ha)
+}
+
+// Strassen2x2 returns the classic ternary Strassen matrices (r=7) that
+// multiply two 2×2 matrices exactly with 7 multiplications. Matrices are in
+// row-major vec order [a11 a12 a21 a22].
+func Strassen2x2() (wa, wb, wc *tensor.Tensor) {
+	// m1=(a11+a22)(b11+b22), m2=(a21+a22)b11, m3=a11(b12-b22),
+	// m4=a22(b21-b11), m5=(a11+a12)b22, m6=(a21-a11)(b11+b12),
+	// m7=(a12-a22)(b21+b22)
+	wa = tensor.FromSlice([]float32{
+		1, 0, 0, 1,
+		0, 0, 1, 1,
+		1, 0, 0, 0,
+		0, 0, 0, 1,
+		1, 1, 0, 0,
+		-1, 0, 1, 0,
+		0, 1, 0, -1,
+	}, 7, 4)
+	wb = tensor.FromSlice([]float32{
+		1, 0, 0, 1,
+		1, 0, 0, 0,
+		0, 1, 0, -1,
+		-1, 0, 1, 0,
+		0, 0, 0, 1,
+		1, 1, 0, 0,
+		0, 0, 1, 1,
+	}, 7, 4)
+	// c11=m1+m4-m5+m7, c12=m3+m5, c21=m2+m4, c22=m1-m2+m3+m6
+	wc = tensor.FromSlice([]float32{
+		1, 0, 0, 1, -1, 0, 1,
+		0, 0, 1, 0, 1, 0, 0,
+		0, 1, 0, 1, 0, 0, 0,
+		1, -1, 1, 0, 0, 1, 0,
+	}, 4, 7)
+	return wa, wb, wc
+}

@@ -1,0 +1,234 @@
+// Package stream implements always-on streaming keyword spotting — the
+// deployment mode that motivates the paper's IoT constraints. Audio samples
+// are pushed into a ring buffer; every hop the most recent one-second window
+// is featurised to the paper's 49×10 MFCC image and classified; posteriors
+// are smoothed over a short history; and a detection fires when a keyword's
+// smoothed posterior crosses a threshold, with a refractory period so one
+// utterance produces one event.
+package stream
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Classifier maps one MFCC feature image (flattened, length frames·coeffs)
+// to per-class posterior probabilities.
+type Classifier interface {
+	Classify(features []float32) []float32
+	NumClasses() int
+}
+
+// ModelClassifier adapts an nn.Layer (float model) into a Classifier by
+// applying a softmax to its logits.
+type ModelClassifier struct {
+	Model   nn.Layer
+	Classes int
+}
+
+// Classify runs the model on a single feature image.
+func (m *ModelClassifier) Classify(features []float32) []float32 {
+	x := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
+	probs := train.Softmax(m.Model.Forward(x, false))
+	return probs.Data
+}
+
+// NumClasses returns the classifier's class count.
+func (m *ModelClassifier) NumClasses() int { return m.Classes }
+
+// Event is one keyword detection.
+type Event struct {
+	Sample int     // stream position (in samples) at which the detection fired
+	Class  int     // class index
+	Score  float32 // smoothed posterior at firing time
+}
+
+// Config tunes the detector.
+type Config struct {
+	SampleRate   int     // input audio rate
+	HopMs        int     // classification stride (default 250 ms)
+	SmoothWin    int     // windows averaged for the posterior (default 3)
+	Threshold    float32 // smoothed posterior needed to fire (default 0.6)
+	RefractoryMs int     // per-class dead time after a detection (default 750 ms)
+	IgnoreClass  int     // class never reported (e.g. silence); -1 to disable
+	IgnoreClass2 int     // second ignored class (e.g. unknown); -1 to disable
+}
+
+// DefaultConfig returns detection parameters suitable for the synthetic
+// corpus.
+func DefaultConfig(sampleRate int) Config {
+	return Config{
+		SampleRate:   sampleRate,
+		HopMs:        250,
+		SmoothWin:    3,
+		Threshold:    0.6,
+		RefractoryMs: 750,
+		IgnoreClass:  -1,
+		IgnoreClass2: -1,
+	}
+}
+
+// Detector consumes an audio stream and emits keyword events.
+type Detector struct {
+	cfg      Config
+	cls      Classifier
+	mfcc     *dsp.MFCC
+	window   []float64 // ring of the last second of audio
+	buffered int       // valid samples in the ring (grows to len(window))
+	pos      int       // absolute stream position in samples
+	sinceHop int       // samples since the last classification
+	history  [][]float32
+	lastFire []int // per class, absolute sample of last event (-1 = never)
+
+	// featMean/featStd standardise features the same way the training
+	// corpus was normalised.
+	featMean, featStd float32
+}
+
+// NewDetector builds a streaming detector around a classifier. featMean and
+// featStd must match the normalisation statistics of the data the
+// classifier was trained on.
+func NewDetector(cfg Config, cls Classifier, featMean, featStd float32) *Detector {
+	if cfg.HopMs <= 0 {
+		cfg.HopMs = 250
+	}
+	if cfg.SmoothWin <= 0 {
+		cfg.SmoothWin = 3
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.6
+	}
+	if cfg.RefractoryMs <= 0 {
+		cfg.RefractoryMs = 750
+	}
+	if featStd == 0 {
+		featStd = 1
+	}
+	d := &Detector{
+		cfg:      cfg,
+		cls:      cls,
+		mfcc:     dsp.NewMFCC(dsp.DefaultMFCCConfig(cfg.SampleRate)),
+		window:   make([]float64, cfg.SampleRate),
+		lastFire: make([]int, cls.NumClasses()),
+		featMean: featMean,
+		featStd:  featStd,
+	}
+	for i := range d.lastFire {
+		d.lastFire[i] = -1 << 30
+	}
+	return d
+}
+
+// Push consumes audio samples and returns any detections they trigger.
+func (d *Detector) Push(samples []float64) []Event {
+	var events []Event
+	hop := d.cfg.SampleRate * d.cfg.HopMs / 1000
+	for _, s := range samples {
+		d.window[d.pos%len(d.window)] = s
+		d.pos++
+		if d.buffered < len(d.window) {
+			d.buffered++
+		}
+		d.sinceHop++
+		if d.sinceHop >= hop && d.buffered == len(d.window) {
+			d.sinceHop = 0
+			if ev, ok := d.classify(); ok {
+				events = append(events, ev)
+			}
+		}
+	}
+	return events
+}
+
+// classify featurises the current window, smooths posteriors and applies
+// the firing rule.
+func (d *Detector) classify() (Event, bool) {
+	// Unroll the ring into chronological order.
+	n := len(d.window)
+	wave := make([]float64, n)
+	start := d.pos % n
+	copy(wave, d.window[start:])
+	copy(wave[n-start:], d.window[:start])
+
+	feat := d.mfcc.Compute(wave)
+	for i, v := range feat.Data {
+		feat.Data[i] = (v - d.featMean) / d.featStd
+	}
+	probs := d.cls.Classify(feat.Data)
+
+	d.history = append(d.history, probs)
+	if len(d.history) > d.cfg.SmoothWin {
+		d.history = d.history[1:]
+	}
+	if len(d.history) < d.cfg.SmoothWin {
+		return Event{}, false // warm-up: wait for a full smoothing history
+	}
+	smoothed := make([]float32, len(probs))
+	for _, h := range d.history {
+		for i, p := range h {
+			smoothed[i] += p
+		}
+	}
+	inv := 1 / float32(len(d.history))
+	best, bestP := 0, float32(-1)
+	for i := range smoothed {
+		smoothed[i] *= inv
+		if smoothed[i] > bestP {
+			best, bestP = i, smoothed[i]
+		}
+	}
+
+	if best == d.cfg.IgnoreClass || best == d.cfg.IgnoreClass2 {
+		return Event{}, false
+	}
+	if bestP < d.cfg.Threshold {
+		return Event{}, false
+	}
+	refractory := d.cfg.SampleRate * d.cfg.RefractoryMs / 1000
+	if d.pos-d.lastFire[best] < refractory {
+		return Event{}, false
+	}
+	d.lastFire[best] = d.pos
+	return Event{Sample: d.pos, Class: best, Score: bestP}, true
+}
+
+// Reset clears the detector's audio and posterior state.
+func (d *Detector) Reset() {
+	d.pos = 0
+	d.buffered = 0
+	d.sinceHop = 0
+	d.history = nil
+	for i := range d.lastFire {
+		d.lastFire[i] = -1 << 30
+	}
+	for i := range d.window {
+		d.window[i] = 0
+	}
+}
+
+// TrainStats computes the mean/std normalisation constants of a feature
+// tensor set, matching speechcmd's corpus normalisation for raw streams.
+func TrainStats(features []*tensor.Tensor) (mean, std float32) {
+	var sum, sumSq float64
+	var n int
+	for _, f := range features {
+		for _, v := range f.Data {
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 1
+	}
+	m := sum / float64(n)
+	s := math.Sqrt(sumSq/float64(n) - m*m)
+	if s < 1e-6 {
+		s = 1
+	}
+	return float32(m), float32(s)
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func expectPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestReshapePanics(t *testing.T) {
+	x := New(2, 3)
+	expectPanic(t, "wrong size", func() { x.Reshape(4, 2) })
+	expectPanic(t, "two inferred dims", func() { x.Reshape(-1, -1) })
+	expectPanic(t, "non-divisible inference", func() { x.Reshape(4, -1) })
+}
+
+func TestNegativeDimensionPanics(t *testing.T) {
+	expectPanic(t, "negative dim", func() { New(2, -1) })
+}
+
+func TestElementwiseSizeMismatchPanics(t *testing.T) {
+	a, b := New(2), New(3)
+	expectPanic(t, "Add", func() { a.Add(b) })
+	expectPanic(t, "Sub", func() { a.Sub(b) })
+	expectPanic(t, "Mul", func() { a.Mul(b) })
+	expectPanic(t, "AddScaled", func() { a.AddScaled(b, 1) })
+	expectPanic(t, "CopyFrom", func() { a.CopyFrom(b) })
+}
+
+func TestTranspose2DRequiresRank2(t *testing.T) {
+	expectPanic(t, "rank 3", func() { New(2, 2, 2).Transpose2D() })
+}
+
+func TestArgmaxRowsRequiresRank2(t *testing.T) {
+	expectPanic(t, "rank 1", func() { New(4).ArgmaxRows() })
+}
+
+func TestMatVecLengthMismatchPanics(t *testing.T) {
+	expectPanic(t, "matvec", func() { MatVec(New(2, 3), []float32{1, 2}) })
+}
+
+func TestEmptyTensorReductions(t *testing.T) {
+	x := New(0)
+	if x.Sum() != 0 || x.Mean() != 0 || x.AbsMean() != 0 || x.MaxAbs() != 0 {
+		t.Fatal("empty tensor reductions should be zero")
+	}
+	min, max := x.MinMax()
+	if min != 0 || max != 0 {
+		t.Fatal("empty MinMax should be (0,0)")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if !strings.Contains(small.String(), "1") {
+		t.Fatalf("small String() = %q", small.String())
+	}
+	rng := rand.New(rand.NewSource(1))
+	big := New(100).Rand(rng, 1)
+	s := big.String()
+	if !strings.Contains(s, "100 elements") {
+		t.Fatalf("big String() = %q", s)
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	x := New(4)
+	x.Fill(3)
+	for _, v := range x.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestGlorotAndHeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := New(1000).GlorotUniform(rng, 50, 50)
+	limit := float32(0.245) // sqrt(6/100)
+	for _, v := range g.Data {
+		if v > limit || v < -limit {
+			t.Fatalf("glorot value %v outside ±%v", v, limit)
+		}
+	}
+	h := New(10000).HeNormal(rng, 50)
+	var sq float64
+	for _, v := range h.Data {
+		sq += float64(v) * float64(v)
+	}
+	std := sq / 10000
+	want := 2.0 / 50
+	if std < want*0.8 || std > want*1.2 {
+		t.Fatalf("he variance %v, want ≈%v", std, want)
+	}
+}
+
+func TestMatMulIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(4, 5).Rand(rng, 1)
+	b := New(5, 3).Rand(rng, 1)
+	out := New(4, 3)
+	out.Fill(99) // must be overwritten, not accumulated
+	MatMulInto(out, a, b)
+	want := MatMul(a, b)
+	for i := range want.Data {
+		if out.Data[i] != want.Data[i] {
+			t.Fatal("MatMulInto did not overwrite the output")
+		}
+	}
+	expectPanic(t, "shape", func() { MatMulInto(New(3, 3), a, b) })
+}

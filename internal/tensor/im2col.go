@@ -1,0 +1,83 @@
+package tensor
+
+// ConvOutSize returns the output spatial size of a convolution over an input
+// of size in with the given kernel size, stride and symmetric padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers a single image x with shape [C,H,W] into a matrix of shape
+// [C*kh*kw, outH*outW] so that a convolution with filters [cout, C*kh*kw]
+// becomes a single matmul. Out-of-bounds (padding) positions are zero.
+// Padding may differ per axis (padH rows, padW columns).
+func Im2Col(x *Tensor, kh, kw, stride, padH, padW int) *Tensor {
+	if x.Rank() != 3 {
+		panic("tensor: Im2Col requires a rank-3 [C,H,W] tensor")
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	outH := ConvOutSize(h, kh, stride, padH)
+	outW := ConvOutSize(w, kw, stride, padW)
+	cols := New(c*kh*kw, outH*outW)
+	nOut := outH * outW
+	for ch := 0; ch < c; ch++ {
+		img := x.Data[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := cols.Data[((ch*kh+ki)*kw+kj)*nOut : ((ch*kh+ki)*kw+kj+1)*nOut]
+				for oi := 0; oi < outH; oi++ {
+					si := oi*stride + ki - padH
+					if si < 0 || si >= h {
+						continue // padding row: stays zero
+					}
+					src := img[si*w : (si+1)*w]
+					dst := row[oi*outW : (oi+1)*outW]
+					for oj := 0; oj < outW; oj++ {
+						sj := oj*stride + kj - padW
+						if sj < 0 || sj >= w {
+							continue
+						}
+						dst[oj] = src[sj]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [C*kh*kw, outH*outW] matrix
+// of column gradients back into an image gradient of shape [C,H,W],
+// accumulating where receptive fields overlap.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, padH, padW int) *Tensor {
+	outH := ConvOutSize(h, kh, stride, padH)
+	outW := ConvOutSize(w, kw, stride, padW)
+	nOut := outH * outW
+	if cols.shape[0] != c*kh*kw || cols.shape[1] != nOut {
+		panic("tensor: Col2Im shape mismatch")
+	}
+	x := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		img := x.Data[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := cols.Data[((ch*kh+ki)*kw+kj)*nOut : ((ch*kh+ki)*kw+kj+1)*nOut]
+				for oi := 0; oi < outH; oi++ {
+					si := oi*stride + ki - padH
+					if si < 0 || si >= h {
+						continue
+					}
+					dst := img[si*w : (si+1)*w]
+					src := row[oi*outW : (oi+1)*outW]
+					for oj := 0; oj < outW; oj++ {
+						sj := oj*stride + kj - padW
+						if sj < 0 || sj >= w {
+							continue
+						}
+						dst[sj] += src[oj]
+					}
+				}
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConv2D convolves x [C,H,W] with filters w [cout, C, kh, kw] directly,
+// as a reference for the im2col lowering.
+func naiveConv2D(x, w *Tensor, stride, pad int) *Tensor {
+	c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
+	cout, kh, kw := w.Dim(0), w.Dim(2), w.Dim(3)
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(wd, kw, stride, pad)
+	out := New(cout, outH, outW)
+	for oc := 0; oc < cout; oc++ {
+		for oi := 0; oi < outH; oi++ {
+			for oj := 0; oj < outW; oj++ {
+				var s float32
+				for ic := 0; ic < c; ic++ {
+					for ki := 0; ki < kh; ki++ {
+						for kj := 0; kj < kw; kj++ {
+							si := oi*stride + ki - pad
+							sj := oj*stride + kj - pad
+							if si < 0 || si >= h || sj < 0 || sj >= wd {
+								continue
+							}
+							s += x.At(ic, si, sj) * w.At(oc, ic, ki, kj)
+						}
+					}
+				}
+				out.Set(s, oc, oi, oj)
+			}
+		}
+	}
+	return out
+}
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{10, 3, 1, 0, 8},
+		{10, 3, 1, 1, 10},
+		{49, 10, 2, 4, 24},
+		{5, 5, 1, 0, 1},
+		{7, 3, 2, 1, 4},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Fatalf("ConvOutSize(%d,%d,%d,%d)=%d want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestIm2ColConvMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, cfg := range []struct{ c, h, w, cout, kh, kw, stride, pad int }{
+		{1, 5, 5, 2, 3, 3, 1, 0},
+		{2, 6, 4, 3, 3, 3, 1, 1},
+		{3, 9, 7, 4, 3, 3, 2, 1},
+		{1, 10, 8, 2, 5, 3, 2, 2},
+	} {
+		x := New(cfg.c, cfg.h, cfg.w).Rand(rng, 1)
+		w := New(cfg.cout, cfg.c, cfg.kh, cfg.kw).Rand(rng, 1)
+		cols := Im2Col(x, cfg.kh, cfg.kw, cfg.stride, cfg.pad, cfg.pad)
+		wmat := w.Reshape(cfg.cout, cfg.c*cfg.kh*cfg.kw)
+		got := MatMul(wmat, cols)
+		outH := ConvOutSize(cfg.h, cfg.kh, cfg.stride, cfg.pad)
+		outW := ConvOutSize(cfg.w, cfg.kw, cfg.stride, cfg.pad)
+		want := naiveConv2D(x, w, cfg.stride, cfg.pad).Reshape(cfg.cout, outH*outW)
+		if !tensorsClose(got, want, 1e-4) {
+			t.Fatalf("im2col conv mismatch for %+v", cfg)
+		}
+	}
+}
+
+// Property: Col2Im is the exact adjoint of Im2Col, i.e. for all x, g:
+// <Im2Col(x), g> == <x, Col2Im(g)>. This is the identity that makes the
+// convolution backward pass correct.
+func TestQuickCol2ImAdjoint(t *testing.T) {
+	const c, h, w, kh, kw, stride, pad = 2, 5, 4, 3, 3, 1, 1
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	f := func(xb, gb [40]byte) bool {
+		x := small(xb[:], c, h, w)
+		g := small(gb[:], c*kh*kw, outH*outW)
+		cols := Im2Col(x, kh, kw, stride, pad, pad)
+		back := Col2Im(g, c, h, w, kh, kw, stride, pad, pad)
+		var lhs, rhs float64
+		for i := range cols.Data {
+			lhs += float64(cols.Data[i]) * float64(g.Data[i])
+		}
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(back.Data[i])
+		}
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Col2Im(New(3, 3), 1, 4, 4, 2, 2, 1, 0, 0)
+}

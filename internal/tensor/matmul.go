@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate number of multiply-accumulates above
+// which MatMul shards work across goroutines.
+const parallelThreshold = 1 << 18
+
+// MatMul computes C = A·B for rank-2 tensors A [m,k] and B [k,n], returning a
+// new [m,n] tensor. The inner loops are ordered (i,p,j) so B is streamed
+// row-contiguously; large products are sharded across GOMAXPROCS goroutines.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing output tensor, which must have
+// shape [m,n]. The output is overwritten.
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || c.shape[0] != m || c.shape[1] != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	c.Zero()
+	work := m * n * k
+	if work < parallelThreshold || m == 1 {
+		matmulRows(c.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(c.Data, a.Data, b.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of C += A·B with the i-p-j loop order.
+func matmulRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1 computes C = Aᵀ·B for A [k,m] and B [k,n], returning [m,n].
+// This is the common backward-pass product and avoids materialising Aᵀ.
+func MatMulT1(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMulT1 inner dimension mismatch")
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulT2 computes C = A·Bᵀ for A [m,k] and B [n,k], returning [m,n].
+func MatMulT2(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMulT2 inner dimension mismatch")
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A·x for A [m,k] and x of length k.
+func MatVec(a *Tensor, x []float32) []float32 {
+	m, k := a.shape[0], a.shape[1]
+	if len(x) != k {
+		panic("tensor: MatVec length mismatch")
+	}
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		var s float32
+		for p, v := range row {
+			s += v * x[p]
+		}
+		y[i] = s
+	}
+	return y
+}

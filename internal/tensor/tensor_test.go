@@ -1,0 +1,296 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 || x.Size() != 24 {
+		t.Fatalf("got rank=%d size=%d, want 3/24", x.Rank(), x.Size())
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad dims: %v", x.Shape())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1)=%v, want 7.5", got)
+	}
+	if got := x.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0)=%v, want 0", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeInference(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, -1)
+	if y.Dim(0) != 3 || y.Dim(1) != 2 {
+		t.Fatalf("reshape got %v", y.Shape())
+	}
+	// Reshape is a view: mutating y must mutate x.
+	y.Set(42, 0, 0)
+	if x.At(0, 0) != 42 {
+		t.Fatal("reshape is not a view")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("Clone aliased data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	a.Add(b)
+	want := []float32{5, 7, 9}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("Add: got %v", a.Data)
+		}
+	}
+	a.Sub(b)
+	for i, w := range []float32{1, 2, 3} {
+		if a.Data[i] != w {
+			t.Fatalf("Sub: got %v", a.Data)
+		}
+	}
+	a.Mul(b)
+	for i, w := range []float32{4, 10, 18} {
+		if a.Data[i] != w {
+			t.Fatalf("Mul: got %v", a.Data)
+		}
+	}
+	a.Scale(0.5)
+	for i, w := range []float32{2, 5, 9} {
+		if a.Data[i] != w {
+			t.Fatalf("Scale: got %v", a.Data)
+		}
+	}
+	a.AddScaled(b, 2)
+	for i, w := range []float32{10, 15, 21} {
+		if a.Data[i] != w {
+			t.Fatalf("AddScaled: got %v", a.Data)
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{-3, 1, 2}, 3)
+	if got := x.Sum(); got != 0 {
+		t.Fatalf("Sum=%v", got)
+	}
+	if got := x.Mean(); got != 0 {
+		t.Fatalf("Mean=%v", got)
+	}
+	if got := x.AbsMean(); got != 2 {
+		t.Fatalf("AbsMean=%v", got)
+	}
+	if got := x.MaxAbs(); got != 3 {
+		t.Fatalf("MaxAbs=%v", got)
+	}
+	min, max := x.MinMax()
+	if min != -3 || max != 2 {
+		t.Fatalf("MinMax=(%v,%v)", min, max)
+	}
+	if got := x.Argmax(); got != 2 {
+		t.Fatalf("Argmax=%v", got)
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := x.ArgmaxRows()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgmaxRows=%v", got)
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Transpose2D()
+	if y.Dim(0) != 3 || y.Dim(1) != 2 {
+		t.Fatalf("shape %v", y.Shape())
+	}
+	if y.At(2, 1) != x.At(1, 2) || y.At(0, 1) != x.At(1, 0) {
+		t.Fatal("transpose values wrong")
+	}
+}
+
+// naiveMatMul is the reference implementation used to validate the blocked,
+// parallel kernel.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+func tensorsClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i]-b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 1, 7}, {17, 13, 11}, {64, 32, 48}} {
+		a := New(dims[0], dims[1]).Rand(rng, 1)
+		b := New(dims[1], dims[2]).Rand(rng, 1)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !tensorsClose(got, want, 1e-4) {
+			t.Fatalf("MatMul mismatch for dims %v", dims)
+		}
+	}
+}
+
+func TestMatMulParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Big enough to cross parallelThreshold.
+	a := New(128, 96).Rand(rng, 1)
+	b := New(96, 128).Rand(rng, 1)
+	got := MatMul(a, b)
+	want := naiveMatMul(a, b)
+	if !tensorsClose(got, want, 1e-3) {
+		t.Fatal("parallel MatMul mismatch")
+	}
+}
+
+func TestMatMulT1MatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(7, 5).Rand(rng, 1)
+	b := New(7, 4).Rand(rng, 1)
+	got := MatMulT1(a, b)
+	want := MatMul(a.Transpose2D(), b)
+	if !tensorsClose(got, want, 1e-4) {
+		t.Fatal("MatMulT1 mismatch")
+	}
+}
+
+func TestMatMulT2MatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(6, 5).Rand(rng, 1)
+	b := New(8, 5).Rand(rng, 1)
+	got := MatMulT2(a, b)
+	want := MatMul(a, b.Transpose2D())
+	if !tensorsClose(got, want, 1e-4) {
+		t.Fatal("MatMulT2 mismatch")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := MatVec(a, []float32{1, -1})
+	if y[0] != -1 || y[1] != -1 {
+		t.Fatalf("MatVec=%v", y)
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+// small builds a tensor with the given shape from arbitrary quick-generated
+// bytes, mapping each byte into [-1,1].
+func small(bs []byte, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(bs[i%len(bs)])/127.5 - 1
+	}
+	return t
+}
+
+// Property: matmul distributes over addition: A·(B+C) = A·B + A·C.
+func TestQuickMatMulDistributive(t *testing.T) {
+	f := func(ab, bb, cb [16]byte) bool {
+		a := small(ab[:], 4, 4)
+		b := small(bb[:], 4, 4)
+		c := small(cb[:], 4, 4)
+		left := MatMul(a, b.Clone().Add(c))
+		right := MatMul(a, b).Add(MatMul(a, c))
+		return tensorsClose(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul is associative: (A·B)·C = A·(B·C).
+func TestQuickMatMulAssociative(t *testing.T) {
+	f := func(ab, bb, cb [16]byte) bool {
+		a := small(ab[:], 4, 4)
+		b := small(bb[:], 4, 4)
+		c := small(cb[:], 4, 4)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return tensorsClose(left, right, 1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identity is neutral: I·A = A·I = A.
+func TestQuickMatMulIdentity(t *testing.T) {
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	f := func(ab [16]byte) bool {
+		a := small(ab[:], 4, 4)
+		return tensorsClose(MatMul(id, a), a, 1e-5) && tensorsClose(MatMul(a, id), a, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package train
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LossFunc evaluates a batch of logits [n, classes] against integer labels,
+// returning the mean loss and the gradient with respect to the logits
+// (already divided by the batch size).
+type LossFunc func(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
+
+// Softmax writes the row-wise softmax of logits into a new tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var z float64
+		dst := out.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			dst[j] = float32(e)
+			z += e
+		}
+		inv := float32(1 / z)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// CrossEntropy is the softmax cross-entropy loss.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n := logits.Dim(0)
+	probs := Softmax(logits)
+	grad := probs.Clone()
+	var loss float64
+	for i := 0; i < n; i++ {
+		p := probs.At(i, labels[i])
+		loss -= math.Log(math.Max(float64(p), 1e-12))
+		grad.Set(grad.At(i, labels[i])-1, i, labels[i])
+	}
+	grad.Scale(1 / float32(n))
+	return loss / float64(n), grad
+}
+
+// HingeMargin is the margin of the multi-class hinge loss.
+const HingeMargin = 1.0
+
+// MultiClassHinge is the Crammer–Singer multi-class hinge loss the paper
+// uses to train the hybrid network and the Bonsai baselines:
+// L = max(0, margin + max_{j≠y} s_j − s_y).
+func MultiClassHinge(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, c := logits.Dim(0), logits.Dim(1)
+	grad := tensor.New(n, c)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		y := labels[i]
+		best, bestJ := math.Inf(-1), -1
+		for j, v := range row {
+			if j == y {
+				continue
+			}
+			if float64(v) > best {
+				best, bestJ = float64(v), j
+			}
+		}
+		m := HingeMargin + best - float64(row[y])
+		if m > 0 {
+			loss += m
+			grad.Set(1, i, bestJ)
+			grad.Set(-1, i, y)
+		}
+	}
+	grad.Scale(1 / float32(n))
+	return loss / float64(n), grad
+}
+
+// DistillLoss blends a hard-label task loss with a softened KL divergence
+// from teacher logits (Hinton-style knowledge distillation, the mechanism
+// StrassenNets and the paper use to recover compressed-model accuracy):
+//
+//	L = (1-α)·task(student, y) + α·T²·KL(softmax(teacher/T) ‖ softmax(student/T)).
+type DistillLoss struct {
+	Task    LossFunc
+	Alpha   float64        // weight on the distillation term
+	Temp    float64        // softmax temperature T
+	Teacher *tensor.Tensor // teacher logits for the current batch [n, classes]
+}
+
+// Eval computes the blended loss and gradient for student logits.
+func (d *DistillLoss) Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	taskLoss, taskGrad := d.Task(logits, labels)
+	if d.Teacher == nil || d.Alpha == 0 {
+		return taskLoss, taskGrad
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	T := float32(d.Temp)
+	soft := func(t *tensor.Tensor) *tensor.Tensor {
+		scaled := t.Clone().Scale(1 / T)
+		return Softmax(scaled)
+	}
+	ps := soft(logits)
+	pt := soft(d.Teacher)
+	// KL(pt‖ps) = Σ pt·(log pt − log ps); d/d(student logits) = T·(ps − pt)/T = (ps−pt)
+	// including the T² compensation the gradient per logit is T·(ps − pt)... the
+	// standard form multiplies loss by T² and gradient by T²·(1/T)(ps−pt)/n.
+	var kl float64
+	grad := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			ptv := float64(pt.At(i, j))
+			psv := math.Max(float64(ps.At(i, j)), 1e-12)
+			if ptv > 1e-12 {
+				kl += ptv * (math.Log(ptv) - math.Log(psv))
+			}
+			grad.Set(T*(ps.At(i, j)-pt.At(i, j)), i, j)
+		}
+	}
+	kl = kl / float64(n) * d.Temp * d.Temp
+	grad.Scale(1 / float32(n))
+	alpha := float32(d.Alpha)
+	out := taskGrad.Clone().Scale(1 - alpha)
+	out.AddScaled(grad, alpha)
+	return (1-d.Alpha)*taskLoss + d.Alpha*kl, out
+}

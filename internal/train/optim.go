@@ -1,0 +1,124 @@
+// Package train provides the optimisation stack used across the repository:
+// Adam and SGD optimisers, step learning-rate schedules, cross-entropy and
+// multi-class hinge losses, knowledge distillation, a mini-batch training
+// loop, and evaluation helpers. It mirrors the paper's training setup: Adam,
+// hinge loss for tree-bearing models, cross-entropy for pure CNNs, step
+// decay of the learning rate, and optional distillation from an
+// uncompressed teacher.
+package train
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers zero gradients.
+	Step(params []*nn.Param)
+	// SetLR changes the learning rate.
+	SetLR(lr float64)
+}
+
+// Adam is the Adam optimiser (Kingma & Ba) with per-parameter moment state.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*nn.Param][]float32
+}
+
+// NewAdam returns an Adam optimiser with the standard β₁=0.9, β₂=0.999.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*nn.Param][]float32), v: make(map[*nn.Param][]float32),
+	}
+}
+
+// SetLR changes the learning rate.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// Step applies one Adam update to every non-frozen parameter.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float32, p.W.Size())
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float32, p.W.Size())
+			a.v[p] = v
+		}
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i, g := range p.G.Data {
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			mh := float64(m[i]) / bc1
+			vh := float64(v[i]) / bc2
+			p.W.Data[i] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+		}
+	}
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR, Momentum float64
+	vel          map[*nn.Param][]float32
+}
+
+// NewSGD returns an SGD optimiser.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*nn.Param][]float32)}
+}
+
+// SetLR changes the learning rate.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// Step applies one SGD update to every non-frozen parameter.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		if s.Momentum == 0 {
+			p.W.AddScaled(p.G, -float32(s.LR))
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float32, p.W.Size())
+			s.vel[p] = v
+		}
+		mu := float32(s.Momentum)
+		lr := float32(s.LR)
+		for i, g := range p.G.Data {
+			v[i] = mu*v[i] - lr*g
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// StepSchedule multiplies the learning rate by Factor every Every epochs —
+// the paper's "progressively smaller learning rates after every 45 epochs".
+type StepSchedule struct {
+	Base   float64
+	Every  int
+	Factor float64
+}
+
+// At returns the learning rate for the given zero-based epoch.
+func (s StepSchedule) At(epoch int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(epoch/s.Every))
+}

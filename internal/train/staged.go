@@ -1,0 +1,59 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// StagedConfig drives the paper's three-stage schedule for strassenified
+// networks: full-precision warm-up, quantised training with the
+// straight-through estimator, and a final phase with fixed ternary matrices
+// in which only the full-precision â, bias and batch-norm parameters move.
+type StagedConfig struct {
+	Base         Config // loss, batch size, schedule, KD settings shared by all stages
+	WarmupEpochs int
+	QuantEpochs  int
+	FixedEpochs  int
+}
+
+// RunStaged trains model on (x, y) through the three stages, resetting the
+// learning-rate schedule at each stage boundary as the paper does. It
+// returns the final stage's result.
+func RunStaged(model nn.Layer, x *tensor.Tensor, y []int, sc StagedConfig) Result {
+	stage := func(epochs int, offset int) Result {
+		cfg := sc.Base
+		cfg.Epochs = epochs
+		cfg.Seed = sc.Base.Seed + int64(offset)
+		if sc.Base.OnEpoch != nil {
+			total := sc.WarmupEpochs + sc.QuantEpochs + sc.FixedEpochs
+			cfg.OnEpoch = func(epoch int, loss float64) {
+				sc.Base.OnEpoch(offset+epoch, loss)
+				_ = total
+			}
+		}
+		return Run(model, x, y, cfg)
+	}
+	strassen.SetModeAll(model, strassen.FullPrecision)
+	if sc.Base.Log != nil {
+		fmt.Fprintln(sc.Base.Log, "stage 1: full-precision warm-up")
+	}
+	res := stage(sc.WarmupEpochs, 0)
+	strassen.SetModeAll(model, strassen.Quantizing)
+	if sc.Base.Log != nil {
+		fmt.Fprintln(sc.Base.Log, "stage 2: ternary quantisation (straight-through)")
+	}
+	if sc.QuantEpochs > 0 {
+		res = stage(sc.QuantEpochs, sc.WarmupEpochs)
+	}
+	strassen.SetModeAll(model, strassen.Fixed)
+	if sc.Base.Log != nil {
+		fmt.Fprintln(sc.Base.Log, "stage 3: fixed ternary matrices, scales absorbed into â")
+	}
+	if sc.FixedEpochs > 0 {
+		res = stage(sc.FixedEpochs, sc.WarmupEpochs+sc.QuantEpochs)
+	}
+	return res
+}

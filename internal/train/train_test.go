@@ -1,0 +1,401 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(5, 7).Rand(rng, 3)
+	p := Softmax(x)
+	for i := 0; i < 5; i++ {
+		var s float64
+		for j := 0; j < 7; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v outside [0,1]", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(raw [6]int8, shift int8) bool {
+		x := tensor.New(1, 6)
+		y := tensor.New(1, 6)
+		for i, v := range raw {
+			x.Data[i] = float32(v) / 16
+			y.Data[i] = x.Data[i] + float32(shift)/16
+		}
+		px, py := Softmax(x), Softmax(y)
+		for i := range px.Data {
+			if math.Abs(float64(px.Data[i]-py.Data[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// numericLossGrad checks a LossFunc gradient by finite differences.
+func numericLossGrad(t *testing.T, loss LossFunc, logits *tensor.Tensor, labels []int) {
+	t.Helper()
+	_, grad := loss(logits, labels)
+	const eps = 1e-3
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := loss(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := loss(logits, labels)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		ana := float64(grad.Data[i])
+		// Hinge is piecewise linear; skip coordinates near the kink.
+		if math.Abs(num-ana) > 5e-3 {
+			lp2, _ := loss(logits, labels)
+			_ = lp2
+			t.Fatalf("loss grad mismatch at %d: numeric=%g analytic=%g", i, num, ana)
+		}
+	}
+}
+
+func TestCrossEntropyGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := tensor.New(4, 5).Rand(rng, 1)
+	labels := []int{0, 3, 2, 4}
+	numericLossGrad(t, CrossEntropy, logits, labels)
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := tensor.FromSlice([]float32{10, -10, -10}, 1, 3)
+	loss, grad := CrossEntropy(logits, []int{0})
+	if loss > 1e-6 {
+		t.Fatalf("loss %v for confident correct prediction", loss)
+	}
+	for _, g := range grad.Data {
+		if math.Abs(float64(g)) > 1e-6 {
+			t.Fatalf("gradient %v for perfect prediction", grad.Data)
+		}
+	}
+}
+
+func TestHingeGradient(t *testing.T) {
+	logits := tensor.FromSlice([]float32{0.5, 2.0, -1.0, 0.1, 3.0, 2.8}, 2, 3)
+	labels := []int{0, 1} // both violate the margin or sit near it
+	numericLossGrad(t, MultiClassHinge, logits, labels)
+}
+
+func TestHingeZeroWhenMarginSatisfied(t *testing.T) {
+	logits := tensor.FromSlice([]float32{5, 0, 0}, 1, 3)
+	loss, grad := MultiClassHinge(logits, []int{0})
+	if loss != 0 {
+		t.Fatalf("loss %v, want 0", loss)
+	}
+	for _, g := range grad.Data {
+		if g != 0 {
+			t.Fatal("nonzero grad with satisfied margin")
+		}
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 0.001, Every: 45, Factor: 0.2}
+	if s.At(0) != 0.001 || s.At(44) != 0.001 {
+		t.Fatal("early epochs should use base LR")
+	}
+	if math.Abs(s.At(45)-0.0002) > 1e-12 {
+		t.Fatalf("At(45)=%v", s.At(45))
+	}
+	if math.Abs(s.At(90)-0.00004) > 1e-12 {
+		t.Fatalf("At(90)=%v", s.At(90))
+	}
+	flat := StepSchedule{Base: 0.01}
+	if flat.At(100) != 0.01 {
+		t.Fatal("Every=0 should keep LR constant")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise ||w - target||².
+	target := []float32{1, -2, 3}
+	p := nn.NewParam("w", tensor.New(3))
+	opt := NewAdam(0.05)
+	for i := 0; i < 500; i++ {
+		for j := range p.G.Data {
+			p.G.Data[j] = 2 * (p.W.Data[j] - target[j])
+		}
+		opt.Step([]*nn.Param{p})
+	}
+	for j, want := range target {
+		if math.Abs(float64(p.W.Data[j]-want)) > 1e-2 {
+			t.Fatalf("adam w=%v, want %v", p.W.Data, target)
+		}
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	target := []float32{0.5, -0.5}
+	p := nn.NewParam("w", tensor.New(2))
+	opt := NewSGD(0.05, 0.9)
+	for i := 0; i < 300; i++ {
+		for j := range p.G.Data {
+			p.G.Data[j] = 2 * (p.W.Data[j] - target[j])
+		}
+		opt.Step([]*nn.Param{p})
+	}
+	for j, want := range target {
+		if math.Abs(float64(p.W.Data[j]-want)) > 1e-2 {
+			t.Fatalf("sgd w=%v, want %v", p.W.Data, target)
+		}
+	}
+}
+
+func TestOptimizersSkipFrozenParams(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	p.Frozen = true
+	p.G.Data[0] = 100
+	NewAdam(0.1).Step([]*nn.Param{p})
+	NewSGD(0.1, 0.9).Step([]*nn.Param{p})
+	if p.W.Data[0] != 1 {
+		t.Fatal("frozen parameter was updated")
+	}
+}
+
+func TestRunLearnsLinearlySeparableTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, dim = 200, 4
+	x := tensor.New(n, dim).Rand(rng, 1)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0)+x.At(i, 1) > 0 {
+			y[i] = 1
+		}
+	}
+	model := nn.NewSequential(nn.NewDense("fc", dim, 2, rng))
+	res := Run(model, x, y, Config{
+		Epochs:   60,
+		Schedule: StepSchedule{Base: 0.02, Every: 30, Factor: 0.5},
+		Loss:     CrossEntropy,
+		Seed:     1,
+	})
+	if res.Epochs != 60 {
+		t.Fatalf("ran %d epochs", res.Epochs)
+	}
+	if acc := Accuracy(model, x, y, 32); acc < 0.95 {
+		t.Fatalf("accuracy %.3f after training", acc)
+	}
+}
+
+func TestRunWithHingeLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, dim = 150, 3
+	x := tensor.New(n, dim).Rand(rng, 1)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 2) > 0 {
+			y[i] = 1
+		}
+	}
+	model := nn.NewSequential(nn.NewDense("fc", dim, 2, rng))
+	Run(model, x, y, Config{
+		Epochs:   40,
+		Schedule: StepSchedule{Base: 0.01},
+		Loss:     MultiClassHinge,
+		Seed:     2,
+	})
+	if acc := Accuracy(model, x, y, 32); acc < 0.95 {
+		t.Fatalf("hinge accuracy %.3f", acc)
+	}
+}
+
+func TestDistillationPullsStudentTowardsTeacher(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, dim = 120, 4
+	x := tensor.New(n, dim).Rand(rng, 1)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	teacher := nn.NewSequential(nn.NewDense("t", dim, 2, rng))
+	Run(teacher, x, y, Config{Epochs: 40, Schedule: StepSchedule{Base: 0.02}, Seed: 3})
+	tAcc := Accuracy(teacher, x, y, 32)
+	if tAcc < 0.95 {
+		t.Fatalf("teacher accuracy %.3f too low for KD test", tAcc)
+	}
+	student := nn.NewSequential(nn.NewDense("s", dim, 2, rng))
+	Run(student, x, y, Config{
+		Epochs:   40,
+		Schedule: StepSchedule{Base: 0.02},
+		Seed:     4,
+		Teacher:  teacher,
+		KDAlpha:  0.7,
+		KDTemp:   2,
+	})
+	if acc := Accuracy(student, x, y, 32); acc < 0.9 {
+		t.Fatalf("distilled student accuracy %.3f", acc)
+	}
+}
+
+func TestDistillLossReducesToTaskWithoutTeacher(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	logits := tensor.New(3, 4).Rand(rng, 1)
+	labels := []int{0, 1, 2}
+	d := &DistillLoss{Task: CrossEntropy, Alpha: 0.5, Temp: 2, Teacher: nil}
+	l1, g1 := d.Eval(logits, labels)
+	l2, g2 := CrossEntropy(logits, labels)
+	if l1 != l2 {
+		t.Fatal("distill without teacher changed the loss")
+	}
+	for i := range g1.Data {
+		if g1.Data[i] != g2.Data[i] {
+			t.Fatal("distill without teacher changed the gradient")
+		}
+	}
+}
+
+func TestOnEpochCallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(20, 2).Rand(rng, 1)
+	y := make([]int, 20)
+	model := nn.NewSequential(nn.NewDense("fc", 2, 2, rng))
+	var calls int
+	Run(model, x, y, Config{
+		Epochs:   5,
+		Schedule: StepSchedule{Base: 0.01},
+		Seed:     1,
+		OnEpoch:  func(epoch int, loss float64) { calls++ },
+	})
+	if calls != 5 {
+		t.Fatalf("OnEpoch called %d times, want 5", calls)
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{3, 4}, 2))
+	p.G.Data[0], p.G.Data[1] = 3, 4 // norm 5
+	clipGradients([]*nn.Param{p}, 1)
+	norm := math.Sqrt(float64(p.G.Data[0]*p.G.Data[0] + p.G.Data[1]*p.G.Data[1]))
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("clipped norm %v, want 1", norm)
+	}
+	// Below the bound: untouched.
+	p.G.Data[0], p.G.Data[1] = 0.1, 0.1
+	clipGradients([]*nn.Param{p}, 1)
+	if p.G.Data[0] != 0.1 {
+		t.Fatal("in-bound gradients were rescaled")
+	}
+	// Frozen params are ignored entirely.
+	p.Frozen = true
+	p.G.Data[0] = 100
+	clipGradients([]*nn.Param{p}, 1)
+	if p.G.Data[0] != 100 {
+		t.Fatal("frozen gradient was rescaled")
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, dim = 100, 3
+	x := tensor.New(n, dim).Rand(rng, 1)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	model := nn.NewSequential(nn.NewDense("fc", dim, 2, rng))
+	res := Run(model, x, y, Config{
+		Epochs:        200,
+		Schedule:      StepSchedule{Base: 0.05},
+		Loss:          CrossEntropy,
+		Seed:          1,
+		EarlyStopLoss: 0.2,
+	})
+	if res.Epochs >= 200 {
+		t.Fatalf("early stopping never triggered (loss %v)", res.FinalLoss)
+	}
+	if res.FinalLoss > 0.2 {
+		t.Fatalf("stopped with loss %v above the threshold", res.FinalLoss)
+	}
+}
+
+func TestClippedTrainingStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, dim = 150, 4
+	x := tensor.New(n, dim).Rand(rng, 1)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 1) > 0 {
+			y[i] = 1
+		}
+	}
+	model := nn.NewSequential(nn.NewDense("fc", dim, 2, rng))
+	Run(model, x, y, Config{
+		Epochs:   50,
+		Schedule: StepSchedule{Base: 0.02},
+		Loss:     CrossEntropy,
+		Seed:     1,
+		ClipNorm: 0.5,
+	})
+	if acc := Accuracy(model, x, y, 32); acc < 0.95 {
+		t.Fatalf("clipped training accuracy %.3f", acc)
+	}
+}
+
+func TestTrainingIsBitDeterministic(t *testing.T) {
+	// Same seed, same data → bit-identical parameters after training, even
+	// with goroutine-parallel convolution kernels (gradients are reduced in
+	// a fixed order).
+	build := func() (nn.Layer, *tensor.Tensor, []int) {
+		rng := rand.New(rand.NewSource(42))
+		m := nn.NewSequential(
+			nn.NewReshape4D(1, 7, 10),
+			nn.NewConv2D("c", 1, 6, 3, 3, 1, 1, 1, rng),
+			nn.NewBatchNorm("bn", 6),
+			nn.NewReLU(),
+			nn.NewGlobalAvgPool2D(),
+			nn.NewDense("fc", 6, 3, rng),
+		)
+		dataRng := rand.New(rand.NewSource(7))
+		x := tensor.New(40, 70).Rand(dataRng, 1)
+		y := make([]int, 40)
+		for i := range y {
+			y[i] = dataRng.Intn(3)
+		}
+		return m, x, y
+	}
+	run := func() []float32 {
+		m, x, y := build()
+		Run(m, x, y, Config{Epochs: 4, BatchSize: 8, Schedule: StepSchedule{Base: 0.01}, Seed: 3})
+		var out []float32
+		for _, p := range m.Params() {
+			out = append(out, p.W.Data...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("parameter counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parameter %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

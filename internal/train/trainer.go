@@ -1,0 +1,208 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	Schedule  StepSchedule // learning-rate schedule
+	Loss      LossFunc
+	Seed      int64
+
+	// Teacher enables knowledge distillation: the teacher runs in inference
+	// mode on every batch and its logits soften the student's loss.
+	Teacher nn.Layer
+	KDAlpha float64
+	KDTemp  float64
+
+	// OnEpoch, when non-nil, is called after each epoch with the epoch
+	// index and mean training loss (e.g. to anneal a Bonsai σᵢ).
+	OnEpoch func(epoch int, trainLoss float64)
+
+	// PostStep, when non-nil, runs after every optimiser step (e.g. to
+	// re-apply pruning masks).
+	PostStep func()
+
+	// TernaryL1, when positive, adds an L1 penalty of this weight to every
+	// strassen shadow matrix. Pushing shadow entries below the TWN threshold
+	// zeroes their ternary value, directly reducing the network's addition
+	// count — the paper's future-work direction of constraining additions in
+	// strassenified networks.
+	TernaryL1 float64
+
+	// ClipNorm, when positive, rescales each batch's gradients so their
+	// global L2 norm does not exceed this value.
+	ClipNorm float64
+
+	// EarlyStopLoss, when positive, stops training once the epoch's mean
+	// loss falls at or below it.
+	EarlyStopLoss float64
+
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Result summarises a training run.
+type Result struct {
+	FinalLoss float64
+	Epochs    int
+}
+
+// Run trains model on (x, y) with mini-batch Adam under the configured
+// schedule. x is [n, dim]; y holds integer labels.
+func Run(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) Result {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 20 // the paper's batch size
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = CrossEntropy
+	}
+	if cfg.KDTemp == 0 {
+		cfg.KDTemp = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(cfg.Schedule.At(0))
+	var ternaryShadows []*nn.Param
+	if cfg.TernaryL1 > 0 {
+		for _, t := range strassen.CollectTernary(model) {
+			ternaryShadows = append(ternaryShadows, t.Shadow)
+		}
+	}
+	n := x.Dim(0)
+	dim := x.Dim(1)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.SetLR(cfg.Schedule.At(epoch))
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			bx := tensor.New(hi-lo, dim)
+			by := make([]int, hi-lo)
+			for i := lo; i < hi; i++ {
+				copy(bx.Data[(i-lo)*dim:(i-lo+1)*dim], x.Data[idx[i]*dim:(idx[i]+1)*dim])
+				by[i-lo] = y[idx[i]]
+			}
+			nn.ZeroGrads(model)
+			out := model.Forward(bx, true)
+			loss, grad := cfg.lossFor(bx)(out, by)
+			model.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				clipGradients(model.Params(), cfg.ClipNorm)
+			}
+			lambda := float32(cfg.TernaryL1)
+			for _, p := range ternaryShadows {
+				if p.Frozen {
+					continue
+				}
+				for i, w := range p.W.Data {
+					switch {
+					case w > 0:
+						p.G.Data[i] += lambda
+					case w < 0:
+						p.G.Data[i] -= lambda
+					}
+				}
+			}
+			opt.Step(model.Params())
+			if cfg.PostStep != nil {
+				cfg.PostStep()
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d  lr %.5f  loss %.4f\n", epoch, cfg.Schedule.At(epoch), lastLoss)
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastLoss)
+		}
+		if cfg.EarlyStopLoss > 0 && lastLoss <= cfg.EarlyStopLoss {
+			return Result{FinalLoss: lastLoss, Epochs: epoch + 1}
+		}
+	}
+	return Result{FinalLoss: lastLoss, Epochs: cfg.Epochs}
+}
+
+// clipGradients rescales all gradients so their global L2 norm is at most
+// maxNorm.
+func clipGradients(params []*nn.Param, maxNorm float64) {
+	var sq float64
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		for _, g := range p.G.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := float32(maxNorm / norm)
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		p.G.Scale(scale)
+	}
+}
+
+// lossFor wraps the configured loss with knowledge distillation when a
+// teacher is present.
+func (cfg Config) lossFor(bx *tensor.Tensor) LossFunc {
+	if cfg.Teacher == nil || cfg.KDAlpha == 0 {
+		return cfg.Loss
+	}
+	teacherLogits := cfg.Teacher.Forward(bx, false)
+	d := &DistillLoss{Task: cfg.Loss, Alpha: cfg.KDAlpha, Temp: cfg.KDTemp, Teacher: teacherLogits}
+	return d.Eval
+}
+
+// Accuracy evaluates classification accuracy of model on (x, y) in
+// inference mode, processing batchSize rows at a time.
+func Accuracy(model nn.Layer, x *tensor.Tensor, y []int, batchSize int) float64 {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	n := x.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	dim := x.Dim(1)
+	correct := 0
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		bx := tensor.FromSlice(x.Data[lo*dim:hi*dim], hi-lo, dim)
+		out := model.Forward(bx, false)
+		for i, pred := range out.ArgmaxRows() {
+			if pred == y[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
