@@ -1,0 +1,14 @@
+#!/bin/sh
+# ci.sh — the repository's verification gauntlet: static analysis, build,
+# race-enabled tests, and a short fuzz smoke over the two hostile-input
+# parsers (the binary model loader and the WAV chunk walker).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+# Fuzz smoke: 10 s per hostile-input parser. Seeds alone run in `go test`;
+# this exercises the mutation engine against fresh corpus entries.
+go test -run='^$' -fuzz=FuzzReadEngine -fuzztime=10s ./internal/deploy
+go test -run='^$' -fuzz=FuzzReadWAV -fuzztime=10s ./internal/audio

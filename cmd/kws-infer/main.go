@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/audio"
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/dsp"
 	"repro/internal/nn"
 	"repro/internal/speechcmd"
@@ -28,6 +29,7 @@ func main() {
 	wavIn := flag.String("wav", "", "classify this mono 16-bit PCM WAV file instead of synthesising")
 	wavOut := flag.String("savewav", "", "also write the synthesised utterance to this WAV file")
 	params := flag.String("params", "", "load trained st-hybrid parameters from this file (else train quickly)")
+	engine := flag.String("engine", "", "classify with this packed integer model (.thnt); falls back to the float model if it fails validation")
 	width := flag.Float64("width", 0.25, "model width multiplier (must match saved params)")
 	epochs := flag.Int("epochs", 12, "epochs per stage when training in-process")
 	seed := flag.Int64("seed", 1, "seed")
@@ -116,18 +118,57 @@ func main() {
 	feat := mfcc.Compute(wave)
 	x := feat.Reshape(1, feat.Size())
 
-	logits := h.Forward(x, false)
+	// Degraded-mode classification: prefer the packed integer engine when one
+	// is given and healthy; on any load, validation or inference fault, warn
+	// and fall back to the float model so the tool still answers.
+	var eng *deploy.Engine
+	if *engine != "" {
+		f, err := os.Open(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: cannot open integer engine: %v; falling back to the float model\n", err)
+		} else {
+			eng, err = deploy.ReadEngine(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warning: integer engine rejected (%v); falling back to the float model\n", err)
+				eng = nil
+			}
+		}
+	}
+
 	names := speechcmd.ClassNames()
+	logits := h.Forward(x, false)
 	pred := logits.ArgmaxRows()[0]
 	fmt.Printf("\nsynthesised word: %q\n", *word)
-	fmt.Printf("prediction:       %q\n\n", names[pred])
-	fmt.Println("class scores:")
-	for i, n := range names {
-		marker := "  "
-		if i == pred {
-			marker = "->"
+	usedEngine := false
+	if eng != nil {
+		scores, intPred, err := eng.InferSafe(feat.Data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: integer engine inference failed (%v); falling back to the float model\n", err)
+		} else {
+			usedEngine = true
+			pred = intPred
+			fmt.Printf("prediction:       %q (integer engine)\n\n", names[pred])
+			fmt.Println("integer class scores:")
+			for i, n := range names {
+				marker := "  "
+				if i == pred {
+					marker = "->"
+				}
+				fmt.Printf("  %s %-8s %8d\n", marker, n, scores[i])
+			}
 		}
-		fmt.Printf("  %s %-8s %8.3f\n", marker, n, logits.At(0, i))
+	}
+	if !usedEngine {
+		fmt.Printf("prediction:       %q\n\n", names[pred])
+		fmt.Println("class scores:")
+		for i, n := range names {
+			marker := "  "
+			if i == pred {
+				marker = "->"
+			}
+			fmt.Printf("  %s %-8s %8.3f\n", marker, n, logits.At(0, i))
+		}
 	}
 
 	// Show the Bonsai decision path: the conv front end runs first, then the

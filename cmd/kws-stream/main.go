@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/audio"
+	"repro/internal/faultinject"
 	"repro/internal/models"
 	"repro/internal/speechcmd"
 	"repro/internal/stream"
@@ -31,6 +32,9 @@ func main() {
 	samples := flag.Int("samples", 40, "training samples per class")
 	epochs := flag.Int("epochs", 18, "training epochs")
 	threshold := flag.Float64("threshold", 0.5, "smoothed-posterior detection threshold")
+	faultAt := flag.Float64("fault-at", -1, "inject a fault window starting at this second (demo; <0 disables)")
+	faultMs := flag.Int("fault-ms", 500, "fault window duration in milliseconds")
+	faultKind := flag.String("fault", "nan", "fault kind: nan|dropout|dc|spike")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
@@ -81,6 +85,27 @@ func main() {
 		}
 	}
 
+	// Optional fault injection, to demonstrate the detector surviving glitchy
+	// capture hardware: the samples inside the window are corrupted and the
+	// detector's sanitisation/watchdog counters report what was absorbed.
+	if *faultAt >= 0 {
+		start := int(*faultAt * float64(cfg.SampleRate))
+		n := *faultMs * cfg.SampleRate / 1000
+		switch *faultKind {
+		case "nan":
+			faultinject.NaNBurst(wave, start, n)
+		case "dropout":
+			faultinject.Dropout(wave, start, n)
+		case "dc":
+			faultinject.DCOffset(wave, start, n, 0.8)
+		case "spike":
+			faultinject.New(*seed).Spikes(wave[min(start, len(wave)):min(start+n, len(wave))], 32, 4.0)
+		default:
+			fatal(fmt.Errorf("unknown fault kind %q", *faultKind))
+		}
+		fmt.Fprintf(os.Stderr, "injected %s fault at %.2fs for %dms\n", *faultKind, *faultAt, *faultMs)
+	}
+
 	dcfg := stream.DefaultConfig(cfg.SampleRate)
 	dcfg.IgnoreClass = speechcmd.SilenceClass
 	dcfg.IgnoreClass2 = speechcmd.UnknownClass
@@ -103,6 +128,10 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%d detections\n", count)
+	if st := det.Stats(); st != (stream.Stats{}) {
+		fmt.Fprintf(os.Stderr, "faults absorbed: %d scrubbed, %d clipped, %d concealed, %d bad posteriors, %d watchdog resets\n",
+			st.Scrubbed, st.Clipped, st.Concealed, st.BadPosteriors, st.WatchdogResets)
+	}
 }
 
 func fatal(err error) {

@@ -13,6 +13,14 @@ func FuzzReadWAV(f *testing.F) {
 	f.Add(valid.Bytes())
 	f.Add([]byte("RIFF\x00\x00\x00\x00WAVE"))
 	f.Add([]byte{})
+	// Odd-sized unknown chunk ahead of fmt/data: exercises the word-aligned
+	// pad-byte skip in the chunk walk.
+	withOdd := append([]byte(nil), valid.Bytes()[:12]...)
+	withOdd = append(withOdd, []byte("LIST\x03\x00\x00\x00inf\x00")...)
+	withOdd = append(withOdd, valid.Bytes()[12:]...)
+	f.Add(withOdd)
+	// Hostile size claims: far more bytes than the stream holds.
+	f.Add([]byte("RIFF\xff\xff\xff\xffWAVEdata\xff\xff\xff\x7f"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		samples, rate, err := ReadWAV(bytes.NewReader(data))
 		if err == nil {

@@ -4,6 +4,7 @@
 package audio
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -59,8 +60,31 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// Per-chunk allocation bounds: a hostile header may claim any 32-bit size,
+// so chunk bodies are read incrementally (allocation tracks bytes actually
+// present, not the claimed size) and capped — 64 MiB of data is over half an
+// hour of 16-bit mono at 16 kHz, far beyond any keyword-spotting input.
+const (
+	maxDataChunkBytes = 64 << 20
+	maxFmtChunkBytes  = 4 << 10
+)
+
+// readChunkBody reads exactly size bytes through a bytes.Buffer, so a header
+// claiming more bytes than the stream holds fails after the real bytes, not
+// after a size-sized up-front allocation.
+func readChunkBody(r io.Reader, id string, size uint32) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(size)); err != nil {
+		return nil, fmt.Errorf("audio: reading chunk %q: %w", id, err)
+	}
+	return buf.Bytes(), nil
+}
+
 // ReadWAV reads a mono (or first-channel of a multi-channel) 16-bit PCM WAV
-// file, returning samples in [-1, 1] and the sample rate.
+// file, returning samples in [-1, 1] and the sample rate. Unknown chunks are
+// skipped without allocation (honouring RIFF word alignment: odd-sized
+// chunks carry a pad byte), and fmt/data chunk allocations are bounded so a
+// hostile header cannot OOM the process.
 func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
 	var riff [12]byte
 	if _, err := io.ReadFull(r, riff[:]); err != nil {
@@ -72,6 +96,7 @@ func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
 	var channels, bits int
 	var rate int
 	var data []byte
+	haveData := false
 	for {
 		var chunk [8]byte
 		if _, err := io.ReadFull(r, chunk[:]); err != nil {
@@ -82,19 +107,15 @@ func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
 		}
 		id := string(chunk[0:4])
 		size := binary.LittleEndian.Uint32(chunk[4:8])
-		if size > 1<<30 {
-			return nil, 0, fmt.Errorf("audio: chunk %q too large (%d bytes)", id, size)
-		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return nil, 0, fmt.Errorf("audio: reading chunk %q: %w", id, err)
-		}
-		if size%2 == 1 { // chunks are word-aligned
-			var pad [1]byte
-			io.ReadFull(r, pad[:])
-		}
 		switch id {
 		case "fmt ":
+			if size > maxFmtChunkBytes {
+				return nil, 0, fmt.Errorf("audio: fmt chunk too large (%d bytes)", size)
+			}
+			body, err := readChunkBody(r, id, size)
+			if err != nil {
+				return nil, 0, err
+			}
 			if len(body) < 16 {
 				return nil, 0, errors.New("audio: short fmt chunk")
 			}
@@ -106,16 +127,35 @@ func ReadWAV(r io.Reader) (samples []float64, sampleRate int, err error) {
 			rate = int(binary.LittleEndian.Uint32(body[4:8]))
 			bits = int(binary.LittleEndian.Uint16(body[14:16]))
 		case "data":
+			if size > maxDataChunkBytes {
+				return nil, 0, fmt.Errorf("audio: data chunk too large (%d bytes, max %d)", size, maxDataChunkBytes)
+			}
+			body, err := readChunkBody(r, id, size)
+			if err != nil {
+				return nil, 0, err
+			}
 			data = body
+			haveData = true
+		default:
+			// Skip unknown chunks without buffering them.
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, 0, fmt.Errorf("audio: skipping chunk %q: %w", id, err)
+			}
 		}
-		if data != nil && rate != 0 {
+		if size%2 == 1 { // RIFF chunks are word-aligned: skip the pad byte
+			var pad [1]byte
+			if _, err := io.ReadFull(r, pad[:]); err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+				return nil, 0, err
+			}
+		}
+		if haveData && rate != 0 {
 			break
 		}
 	}
 	if rate == 0 {
 		return nil, 0, errors.New("audio: missing fmt chunk")
 	}
-	if data == nil {
+	if !haveData {
 		return nil, 0, errors.New("audio: missing data chunk")
 	}
 	if bits != bitsPerSample {

@@ -2,6 +2,7 @@ package audio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -101,6 +102,67 @@ func TestReadWAVStereoTakesFirstChannel(t *testing.T) {
 		if math.Abs(v-0.5) > 0.01 {
 			t.Fatalf("expected left channel 0.5, got %v", v)
 		}
+	}
+}
+
+func TestReadWAVSkipsUnknownOddChunkWithPad(t *testing.T) {
+	// A LIST chunk of odd size must be skipped including its pad byte, or the
+	// following fmt/data chunks land misaligned and parsing fails.
+	var ref bytes.Buffer
+	if err := WriteWAV(&ref, []float64{0.25, -0.25, 0.5}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	full := ref.Bytes()
+	var buf bytes.Buffer
+	buf.Write(full[:12]) // RIFF header
+	buf.WriteString("LIST")
+	buf.Write([]byte{3, 0, 0, 0}) // odd size
+	buf.Write([]byte{'i', 'n', 'f', 0}) // 3 bytes + pad
+	buf.Write(full[12:]) // fmt + data
+	got, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatalf("odd unknown chunk broke parsing: %v", err)
+	}
+	if rate != 8000 || len(got) != 3 {
+		t.Fatalf("rate=%d n=%d after odd chunk skip", rate, len(got))
+	}
+}
+
+// riffWith returns a RIFF/WAVE header followed by one chunk header claiming
+// the given id and size, with body bytes actually present.
+func riffWith(id string, size uint32, body []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("RIFF")
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	buf.WriteString("WAVE")
+	buf.WriteString(id)
+	var sz [4]byte
+	binary.LittleEndian.PutUint32(sz[:], size)
+	buf.Write(sz[:])
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// Hostile chunk headers must fail with an error, not a size-sized
+// allocation: claimed sizes beyond the cap are rejected outright, and sizes
+// within the cap only allocate as many bytes as the stream actually holds.
+func TestReadWAVHostileChunkSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"data chunk over cap", riffWith("data", maxDataChunkBytes+1, nil)},
+		{"fmt chunk over cap", riffWith("fmt ", 1 << 30, nil)},
+		{"data chunk short body", riffWith("data", 1 << 20, []byte{1, 2, 3, 4})},
+		{"fmt chunk short body", riffWith("fmt ", 64, []byte{1, 0})},
+		{"unknown chunk short body", riffWith("LIST", 1 << 28, []byte("abc"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadWAV(bytes.NewReader(tc.data)); err == nil {
+				t.Fatal("hostile header accepted")
+			}
+		})
 	}
 }
 

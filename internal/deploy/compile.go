@@ -99,6 +99,12 @@ func Compile(h *core.Hybrid, calib *tensor.Tensor) (*Engine, error) {
 	if eng.Tree == nil || len(eng.Convs) == 0 {
 		return nil, errors.New("deploy: pipeline missing convolutions or tree")
 	}
+	// Self-check: a freshly compiled engine must satisfy the same structural
+	// invariants the loader enforces, so compile bugs surface here rather
+	// than as a rejected artifact in the field.
+	if err := eng.Validate(); err != nil {
+		return nil, fmt.Errorf("deploy: compiled engine failed validation: %w", err)
+	}
 	return eng, nil
 }
 

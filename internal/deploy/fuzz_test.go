@@ -3,18 +3,42 @@ package deploy
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 // FuzzReadEngine ensures the binary model loader rejects corrupt input with
-// an error rather than panicking or over-allocating.
+// an error rather than panicking or over-allocating. The seed corpus covers
+// raw garbage plus mutations of a *valid* serialized engine — bit flips and
+// truncations of real artifacts, the corruptions flash actually produces.
 func FuzzReadEngine(f *testing.F) {
 	f.Add([]byte("THNT"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	var buf bytes.Buffer
+	if _, err := makeTinyEngine().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	inj := faultinject.New(1)
+	for i := 0; i < 8; i++ {
+		f.Add(inj.FlipBits(valid, 1+i))
+		f.Add(inj.TruncateAt(valid))
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng, err := ReadEngine(bytes.NewReader(data))
-		if err == nil && eng == nil {
-			t.Fatal("nil engine without error")
+		if err == nil {
+			if eng == nil {
+				t.Fatal("nil engine without error")
+			}
+			// Anything the loader accepts must satisfy the structural
+			// invariants — Infer on it must not be able to panic.
+			if verr := eng.Validate(); verr != nil {
+				t.Fatalf("accepted engine fails validation: %v", verr)
+			}
 		}
 	})
 }

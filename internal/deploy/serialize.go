@@ -3,8 +3,9 @@ package deploy
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -13,10 +14,18 @@ import (
 // packed ternary matrices, fixed-point multipliers and integer biases — the
 // artifact a microcontroller runtime would consume. All integers are
 // little-endian; lengths precede variable-size fields.
+//
+// Version 2 appends a CRC32 (IEEE) of the body (everything after the magic
+// and version words) so flash rot and truncated transfers are detected
+// before the model is trusted. Version 1 artifacts (no checksum) remain
+// readable; both versions get the same structural validation on load.
 
 var magic = [4]byte{'T', 'H', 'N', 'T'}
 
-const formatVersion = 1
+const (
+	formatVersion  = 2
+	minReadVersion = 1
+)
 
 type countingWriter struct {
 	w   io.Writer
@@ -53,22 +62,35 @@ func (rd *reader) read(v any) {
 	if rd.err != nil {
 		return
 	}
-	rd.err = binary.Read(rd.r, binary.LittleEndian, v)
+	if err := binary.Read(rd.r, binary.LittleEndian, v); err != nil {
+		rd.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
 }
 
-func (rd *reader) readBytes() []byte {
+// fail records the first error, wrapping sentinel err with a detail message.
+func (rd *reader) fail(sentinel error, format string, args ...any) {
+	if rd.err == nil {
+		rd.err = fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))
+	}
+}
+
+// readPacked reads a length-prefixed packed-ternary blob that must hold
+// exactly want ternary weights. Requiring the exact length up front means a
+// corrupt length field is rejected before any allocation larger than the
+// dims justify.
+func (rd *reader) readPacked(name string, want int64) []byte {
 	var n int32
 	rd.read(&n)
 	if rd.err != nil {
 		return nil
 	}
-	if n < 0 || n > 1<<28 {
-		rd.err = fmt.Errorf("deploy: corrupt length %d", n)
+	if int64(n) != int64(packedLen(want)) {
+		rd.fail(ErrShapeMismatch, "%s packed length %d, want %d for %d weights", name, n, packedLen(want), want)
 		return nil
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(rd.r, b); err != nil {
-		rd.err = err
+		rd.fail(ErrCorrupt, "reading %s: %v", name, err)
 		return nil
 	}
 	return b
@@ -82,13 +104,15 @@ func writeMults(cw *countingWriter, ms []Mult) {
 	}
 }
 
-func readMults(rd *reader) []Mult {
+// readMults reads a multiplier array that must hold exactly want entries.
+func readMults(rd *reader, name string, want int64) []Mult {
 	var n int32
 	rd.read(&n)
-	if rd.err != nil || n < 0 || n > 1<<24 {
-		if rd.err == nil {
-			rd.err = fmt.Errorf("deploy: corrupt multiplier count %d", n)
-		}
+	if rd.err != nil {
+		return nil
+	}
+	if int64(n) != want {
+		rd.fail(ErrShapeMismatch, "%s has %d multipliers, want %d", name, n, want)
 		return nil
 	}
 	ms := make([]Mult, n)
@@ -97,6 +121,14 @@ func readMults(rd *reader) []Mult {
 		rd.read(&ms[i].Shift)
 	}
 	return ms
+}
+
+// checkRange rejects an out-of-range dimension at read time, before it can
+// reach a size product or an allocation.
+func (rd *reader) checkRange(name string, v, lo, hi int32) {
+	if rd.err == nil && (v < lo || v > hi) {
+		rd.fail(ErrCorrupt, "%s=%d outside [%d,%d]", name, v, lo, hi)
+	}
 }
 
 func writeConv(cw *countingWriter, q *QConv) {
@@ -122,25 +154,59 @@ func writeConv(cw *countingWriter, q *QConv) {
 	cw.write(math.Float32bits(q.OutScale))
 }
 
-func readConv(rd *reader) *QConv {
+func readConv(rd *reader, name string) *QConv {
 	q := &QConv{}
 	rd.read(&q.Kind)
 	for _, p := range []*int32{&q.Cin, &q.Cout, &q.KH, &q.KW, &q.Stride, &q.PadH, &q.PadW, &q.R} {
 		rd.read(p)
 	}
-	q.WbPacked = rd.readBytes()
-	q.WcPacked = rd.readBytes()
-	q.HidMul = readMults(rd)
-	q.OutMul = readMults(rd)
-	var nb int32
-	rd.read(&nb)
-	if rd.err == nil && (nb < 0 || nb > 1<<24) {
-		rd.err = fmt.Errorf("deploy: corrupt bias count %d", nb)
+	if rd.err == nil && q.Kind != kindStandard && q.Kind != kindDepthwise {
+		rd.fail(ErrCorrupt, "%s has unknown kind %q", name, q.Kind)
+	}
+	for _, d := range []struct {
+		n string
+		v int32
+	}{
+		{"Cin", q.Cin}, {"Cout", q.Cout}, {"KH", q.KH}, {"KW", q.KW},
+		{"Stride", q.Stride}, {"R", q.R},
+	} {
+		rd.checkRange(name+" "+d.n, d.v, 1, maxDim)
+	}
+	rd.checkRange(name+" PadH", q.PadH, 0, maxPad)
+	rd.checkRange(name+" PadW", q.PadW, 0, maxPad)
+	if rd.err != nil {
+		return q
+	}
+	nb, err := q.wbCount()
+	if err != nil {
+		rd.err = fmt.Errorf("%s Wb: %w", name, err)
+		return q
+	}
+	nc, err := q.wcCount()
+	if err != nil {
+		rd.err = fmt.Errorf("%s Wc: %w", name, err)
+		return q
+	}
+	q.WbPacked = rd.readPacked(name+" Wb", nb)
+	q.WcPacked = rd.readPacked(name+" Wc", nc)
+	hidUnits := int64(q.R)
+	if q.Kind == kindDepthwise {
+		hidUnits = int64(q.Cin) * int64(q.R)
+	}
+	if rd.err == nil && hidUnits > maxHidUnits {
+		rd.fail(ErrCorrupt, "%s has %d hidden units, max %d", name, hidUnits, maxHidUnits)
+	}
+	q.HidMul = readMults(rd, name+" HidMul", hidUnits)
+	q.OutMul = readMults(rd, name+" OutMul", int64(q.Cout))
+	var nbias int32
+	rd.read(&nbias)
+	if rd.err == nil && nbias != q.Cout {
+		rd.fail(ErrShapeMismatch, "%s has %d biases, want %d channels", name, nbias, q.Cout)
 	}
 	if rd.err != nil {
 		return q
 	}
-	q.OutBias = make([]int32, nb)
+	q.OutBias = make([]int32, nbias)
 	for i := range q.OutBias {
 		rd.read(&q.OutBias[i])
 	}
@@ -169,14 +235,30 @@ func writeDense(cw *countingWriter, q *QDense) {
 	cw.write(math.Float32bits(q.OutScale))
 }
 
-func readDense(rd *reader) *QDense {
+func readDense(rd *reader, name string) *QDense {
 	q := &QDense{}
 	rd.read(&q.In)
 	rd.read(&q.Out)
 	rd.read(&q.R)
-	q.WbPacked = rd.readBytes()
-	q.WcPacked = rd.readBytes()
-	q.HidMul = readMults(rd)
+	rd.checkRange(name+" In", q.In, 1, maxDim)
+	rd.checkRange(name+" Out", q.Out, 1, maxDim)
+	rd.checkRange(name+" R", q.R, 1, maxDim)
+	if rd.err != nil {
+		return q
+	}
+	nb, err := mulDims(q.R, q.In)
+	if err != nil {
+		rd.err = fmt.Errorf("%s Wb: %w", name, err)
+		return q
+	}
+	nc, err := mulDims(q.Out, q.R)
+	if err != nil {
+		rd.err = fmt.Errorf("%s Wc: %w", name, err)
+		return q
+	}
+	q.WbPacked = rd.readPacked(name+" Wb", nb)
+	q.WcPacked = rd.readPacked(name+" Wc", nc)
+	q.HidMul = readMults(rd, name+" HidMul", int64(q.R))
 	rd.read(&q.OutMul.Mant)
 	rd.read(&q.OutMul.Shift)
 	var bits uint32
@@ -185,12 +267,8 @@ func readDense(rd *reader) *QDense {
 	return q
 }
 
-// WriteTo serialises the engine. It implements io.WriterTo.
-func (e *Engine) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	cw := &countingWriter{w: bw}
-	cw.write(magic)
-	cw.write(int32(formatVersion))
+// writeBody serialises everything after the magic/version header.
+func (e *Engine) writeBody(cw *countingWriter) {
 	cw.write(e.Frames)
 	cw.write(e.Coeffs)
 	cw.write(math.Float32bits(e.InScale))
@@ -222,38 +300,41 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 		cw.write(v)
 	}
 	cw.write(math.Float32bits(t.WScale))
+}
+
+// WriteTo serialises the engine in format version 2 (body + CRC32 trailer).
+// It implements io.WriterTo.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	cw.write(magic)
+	cw.write(int32(formatVersion))
+	crc := crc32.NewIEEE()
+	cw.w = io.MultiWriter(bw, crc)
+	e.writeBody(cw)
+	cw.w = bw
+	cw.write(crc.Sum32())
 	if cw.err != nil {
 		return cw.n, cw.err
 	}
 	return cw.n, bw.Flush()
 }
 
-// ReadEngine deserialises an engine written by WriteTo.
-func ReadEngine(r io.Reader) (*Engine, error) {
-	rd := &reader{r: bufio.NewReader(r)}
-	var m [4]byte
-	rd.read(&m)
-	if rd.err == nil && m != magic {
-		return nil, errors.New("deploy: bad magic, not a THNT model")
-	}
-	var version int32
-	rd.read(&version)
-	if rd.err == nil && version != formatVersion {
-		return nil, fmt.Errorf("deploy: unsupported format version %d", version)
-	}
+// readBody deserialises everything after the magic/version header.
+func readBody(rd *reader) *Engine {
 	e := &Engine{}
 	rd.read(&e.Frames)
 	rd.read(&e.Coeffs)
 	var bits uint32
 	rd.read(&bits)
 	e.InScale = math.Float32frombits(bits)
+	rd.checkRange("frames", e.Frames, 1, maxDim)
+	rd.checkRange("coeffs", e.Coeffs, 1, maxDim)
 	var nConv int32
 	rd.read(&nConv)
-	if rd.err == nil && (nConv < 0 || nConv > 1024) {
-		return nil, fmt.Errorf("deploy: corrupt conv count %d", nConv)
-	}
+	rd.checkRange("conv count", nConv, 1, 1024)
 	for i := int32(0); i < nConv && rd.err == nil; i++ {
-		e.Convs = append(e.Convs, readConv(rd))
+		e.Convs = append(e.Convs, readConv(rd, fmt.Sprintf("conv[%d]", i)))
 	}
 	rd.read(&e.PoolK)
 	rd.read(&e.PoolS)
@@ -261,31 +342,49 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	rd.read(&t.Depth)
 	rd.read(&t.ProjDim)
 	rd.read(&t.NumClasses)
-	t.Z = readDense(rd)
+	rd.checkRange("tree depth", t.Depth, 0, maxTreeDepth)
+	rd.checkRange("tree projDim", t.ProjDim, 1, maxDim)
+	rd.checkRange("tree classes", t.NumClasses, 1, maxDim)
+	if rd.err != nil {
+		return e
+	}
+	t.Z = readDense(rd, "tree.Z")
 	rd.read(&t.ZQ.Mant)
 	rd.read(&t.ZQ.Shift)
 	rd.read(&bits)
 	t.ZScale = math.Float32frombits(bits)
+	nInt := int64(t.numInternal())
+	if rd.err == nil && nInt*int64(t.ProjDim) > maxElems {
+		rd.fail(ErrCorrupt, "θ would hold %d entries, max %d", nInt*int64(t.ProjDim), maxElems)
+	}
 	var n int32
 	rd.read(&n)
-	if rd.err == nil && (n < 0 || n > 1<<20) {
-		return nil, fmt.Errorf("deploy: corrupt theta count %d", n)
+	if rd.err == nil && int64(n) != nInt*int64(t.ProjDim) {
+		rd.fail(ErrShapeMismatch, "θ has %d entries, want %d", n, nInt*int64(t.ProjDim))
+	}
+	if rd.err != nil {
+		e.Tree = t
+		return e
 	}
 	t.Theta = make([]int16, n)
 	for i := range t.Theta {
 		rd.read(&t.Theta[i])
 	}
 	rd.read(&n)
-	if rd.err == nil && (n < 0 || n > 1<<16) {
-		return nil, fmt.Errorf("deploy: corrupt node count %d", n)
+	if rd.err == nil && int64(n) != 2*nInt+1 {
+		rd.fail(ErrShapeMismatch, "tree has %d nodes, want %d", n, 2*nInt+1)
 	}
 	for i := int32(0); i < n && rd.err == nil; i++ {
-		t.W = append(t.W, readDense(rd))
-		t.V = append(t.V, readDense(rd))
+		t.W = append(t.W, readDense(rd, fmt.Sprintf("tree.W[%d]", i)))
+		t.V = append(t.V, readDense(rd, fmt.Sprintf("tree.V[%d]", i)))
 	}
 	rd.read(&n)
-	if rd.err == nil && (n < 0 || n > 1<<20) {
-		return nil, fmt.Errorf("deploy: corrupt LUT size %d", n)
+	if rd.err == nil && n != 1<<tanhLUTBits {
+		rd.fail(ErrShapeMismatch, "tanh LUT has %d entries, want %d", n, 1<<tanhLUTBits)
+	}
+	if rd.err != nil {
+		e.Tree = t
+		return e
 	}
 	t.TanhLUT = make([]int16, n)
 	for i := range t.TanhLUT {
@@ -294,8 +393,52 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	rd.read(&bits)
 	t.WScale = math.Float32frombits(bits)
 	e.Tree = t
+	return e
+}
+
+// ReadEngine deserialises an engine written by WriteTo, accepting format
+// versions 1 (legacy, no checksum) and 2 (CRC32 trailer). Every dimension is
+// bounds-checked before the allocation it sizes, the v2 checksum is verified
+// against the body, and the result passes Validate before it is returned —
+// a non-nil engine cannot panic in Infer.
+func ReadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	rd := &reader{r: br}
+	var m [4]byte
+	rd.read(&m)
+	if rd.err == nil && m != magic {
+		return nil, fmt.Errorf("%w: bad magic, not a THNT model", ErrCorrupt)
+	}
+	var version int32
+	rd.read(&version)
+	if rd.err == nil && (version < minReadVersion || version > formatVersion) {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, version)
+	}
 	if rd.err != nil {
 		return nil, rd.err
+	}
+	var crc hash.Hash32
+	if version >= 2 {
+		crc = crc32.NewIEEE()
+		rd.r = io.TeeReader(br, crc)
+	}
+	e := readBody(rd)
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if version >= 2 {
+		rd.r = br // the checksum word is not part of its own sum
+		var stored uint32
+		rd.read(&stored)
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		if stored != crc.Sum32() {
+			return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, stored, crc.Sum32())
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }

@@ -1,0 +1,115 @@
+// Package faultinject provides deterministic, seeded fault injectors for
+// robustness testing: model-artifact corruption (bit flips, truncation) and
+// audio-stream faults (dropouts, NaN bursts, DC offset, amplitude spikes).
+// Every injector is driven by an explicit seed so a failing test reproduces
+// byte-for-byte; none of them mutate their inputs unless documented to.
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Injector is a seeded source of faults.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New returns an injector whose fault positions are fully determined by seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FlipBits returns a copy of data with n random bits flipped (positions drawn
+// without replacement when n is small relative to the data). Flipping zero
+// bits returns an identical copy.
+func (in *Injector) FlipBits(data []byte, n int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		bit := in.rng.Intn(len(out) * 8)
+		out[bit/8] ^= 1 << uint(bit%8)
+	}
+	return out
+}
+
+// Truncate returns a prefix of data holding frac of its bytes (clamped to
+// [0, 1]) — a model image cut short by a failed flash write.
+func (in *Injector) Truncate(data []byte, frac float64) []byte {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(len(data)) * frac)
+	return append([]byte(nil), data[:n]...)
+}
+
+// TruncateAt returns a random strict prefix of data (at least one byte
+// removed), for sweeping truncation points.
+func (in *Injector) TruncateAt(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	return append([]byte(nil), data[:in.rng.Intn(len(data))]...)
+}
+
+// span clamps [start, start+n) to the bounds of samples.
+func span(samples []float64, start, n int) (int, int) {
+	if start < 0 {
+		start = 0
+	}
+	end := start + n
+	if end > len(samples) {
+		end = len(samples)
+	}
+	if start > len(samples) {
+		start = len(samples)
+	}
+	return start, end
+}
+
+// Dropout zero-fills samples[start : start+n) in place — a dropped capture
+// buffer concealed by the driver as silence.
+func Dropout(samples []float64, start, n int) {
+	lo, hi := span(samples, start, n)
+	for i := lo; i < hi; i++ {
+		samples[i] = 0
+	}
+}
+
+// NaNBurst overwrites samples[start : start+n) in place with NaN — a glitchy
+// ADC or a DMA race surfacing as non-finite floats.
+func NaNBurst(samples []float64, start, n int) {
+	lo, hi := span(samples, start, n)
+	for i := lo; i < hi; i++ {
+		samples[i] = math.NaN()
+	}
+}
+
+// DCOffset adds a constant offset to samples[start : start+n) in place — a
+// drifting microphone bias.
+func DCOffset(samples []float64, start, n int, offset float64) {
+	lo, hi := span(samples, start, n)
+	for i := lo; i < hi; i++ {
+		samples[i] += offset
+	}
+}
+
+// Spikes overwrites count random samples in place with ±amp — impulsive
+// electrical noise. Positions and signs are drawn from the injector's seed.
+func (in *Injector) Spikes(samples []float64, count int, amp float64) {
+	if len(samples) == 0 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		v := amp
+		if in.rng.Intn(2) == 0 {
+			v = -amp
+		}
+		samples[in.rng.Intn(len(samples))] = v
+	}
+}

@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFlipBitsDeterministicAndNonMutating(t *testing.T) {
+	data := []byte{0x00, 0xff, 0x55, 0xaa}
+	orig := append([]byte(nil), data...)
+	a := New(7).FlipBits(data, 5)
+	b := New(7).FlipBits(data, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different flips: %x vs %x", a, b)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("FlipBits mutated its input")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("5 flips left the data unchanged")
+	}
+	if got := New(7).FlipBits(nil, 3); len(got) != 0 {
+		t.Fatal("flipping empty data should return empty")
+	}
+}
+
+func TestTruncateBounds(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	in := New(1)
+	if got := in.Truncate(data, 0.5); len(got) != 5 {
+		t.Fatalf("half truncation kept %d bytes", len(got))
+	}
+	if got := in.Truncate(data, -3); len(got) != 0 {
+		t.Fatal("negative fraction should truncate to nothing")
+	}
+	if got := in.Truncate(data, 9); len(got) != len(data) {
+		t.Fatal("fraction above 1 should keep everything")
+	}
+	for i := 0; i < 20; i++ {
+		if got := in.TruncateAt(data); len(got) >= len(data) {
+			t.Fatal("TruncateAt must remove at least one byte")
+		}
+	}
+}
+
+func TestAudioInjectorsClampSpans(t *testing.T) {
+	w := make([]float64, 10)
+	for i := range w {
+		w[i] = 0.5
+	}
+	NaNBurst(w, 8, 100) // overruns the end
+	if !math.IsNaN(w[8]) || !math.IsNaN(w[9]) || math.IsNaN(w[7]) {
+		t.Fatalf("NaN burst span wrong: %v", w)
+	}
+	Dropout(w, -5, 3) // negative start clamps to 0
+	if w[0] != 0 || w[1] != 0 || w[3] != 0.5 {
+		t.Fatalf("dropout span wrong: %v", w)
+	}
+	DCOffset(w, 3, 2, 0.25)
+	if w[3] != 0.75 || w[4] != 0.75 || w[5] != 0.5 {
+		t.Fatalf("dc offset span wrong: %v", w)
+	}
+	NaNBurst(w, 100, 5) // fully out of range: no-op, no panic
+	Dropout(nil, 0, 4)
+}
+
+func TestSpikesDeterministic(t *testing.T) {
+	mk := func(seed int64) []float64 {
+		w := make([]float64, 100)
+		New(seed).Spikes(w, 10, 2)
+		return w
+	}
+	a, b := mk(5), mk(5)
+	var spiked int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different spikes")
+		}
+		if a[i] == 2 || a[i] == -2 {
+			spiked++
+		}
+	}
+	if spiked == 0 || spiked > 10 {
+		t.Fatalf("spiked %d samples, want 1..10", spiked)
+	}
+	New(1).Spikes(nil, 5, 1) // no panic on empty
+}

@@ -56,6 +56,23 @@ type Config struct {
 	RefractoryMs int     // per-class dead time after a detection (default 750 ms)
 	IgnoreClass  int     // class never reported (e.g. silence); -1 to disable
 	IgnoreClass2 int     // second ignored class (e.g. unknown); -1 to disable
+
+	// WatchdogHops is how many consecutive hops the posterior may stay
+	// bitwise-identical or saturated (max ≥ 0.9999) before the smoothing
+	// history is declared stuck and reset (default 16; ≤ 0 uses the
+	// default). A stuck ring otherwise never recovers from a transient
+	// numeric fault.
+	WatchdogHops int
+}
+
+// Stats counts the faults the detector has absorbed. All counters are
+// cumulative since construction or the last Reset.
+type Stats struct {
+	Scrubbed       int64 // non-finite input samples replaced by zero
+	Clipped        int64 // input samples hard-limited into [-1, 1]
+	Concealed      int64 // zero samples inserted for dropped chunks (ConcealGap)
+	BadPosteriors  int64 // classifier outputs discarded (panic, wrong length, non-finite)
+	WatchdogResets int64 // smoothing-history resets from stuck/saturated posteriors
 }
 
 // DefaultConfig returns detection parameters suitable for the synthetic
@@ -87,6 +104,10 @@ type Detector struct {
 	// featMean/featStd standardise features the same way the training
 	// corpus was normalised.
 	featMean, featStd float32
+
+	stats     Stats
+	lastProbs []float32 // previous hop's accepted posterior, for the watchdog
+	stuckHops int       // consecutive hops with identical/saturated posteriors
 }
 
 // NewDetector builds a streaming detector around a classifier. featMean and
@@ -104,6 +125,9 @@ func NewDetector(cfg Config, cls Classifier, featMean, featStd float32) *Detecto
 	}
 	if cfg.RefractoryMs <= 0 {
 		cfg.RefractoryMs = 750
+	}
+	if cfg.WatchdogHops <= 0 {
+		cfg.WatchdogHops = 16
 	}
 	if featStd == 0 {
 		featStd = 1
@@ -124,10 +148,24 @@ func NewDetector(cfg Config, cls Classifier, featMean, featStd float32) *Detecto
 }
 
 // Push consumes audio samples and returns any detections they trigger.
+// Input is sanitised before it reaches the feature pipeline: non-finite
+// samples (a glitchy ADC) are scrubbed to zero and samples outside [-1, 1]
+// are hard-clipped, with both faults counted in Stats. Push never panics,
+// even when the underlying classifier does.
 func (d *Detector) Push(samples []float64) []Event {
 	var events []Event
 	hop := d.cfg.SampleRate * d.cfg.HopMs / 1000
 	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			s = 0
+			d.stats.Scrubbed++
+		} else if s > 1 {
+			s = 1
+			d.stats.Clipped++
+		} else if s < -1 {
+			s = -1
+			d.stats.Clipped++
+		}
 		d.window[d.pos%len(d.window)] = s
 		d.pos++
 		if d.buffered < len(d.window) {
@@ -144,6 +182,75 @@ func (d *Detector) Push(samples []float64) []Event {
 	return events
 }
 
+// ConcealGap zero-fills n dropped samples, keeping the stream position and
+// hop cadence consistent when a capture buffer is lost. Conceals are counted
+// in Stats; the zero window may still trigger classifications, which the
+// smoothing history absorbs.
+func (d *Detector) ConcealGap(n int) []Event {
+	if n <= 0 {
+		return nil
+	}
+	events := d.Push(make([]float64, n))
+	d.stats.Concealed += int64(n)
+	return events
+}
+
+// Stats returns the cumulative fault counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// safeClassify runs the classifier, converting panics, wrong-length outputs
+// and non-finite posteriors into a rejected hop instead of a crash.
+func (d *Detector) safeClassify(feat []float32) (probs []float32, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			probs, ok = nil, false
+		}
+	}()
+	probs = d.cls.Classify(feat)
+	if len(probs) != d.cls.NumClasses() {
+		return nil, false
+	}
+	for _, p := range probs {
+		if math.IsNaN(float64(p)) || math.IsInf(float64(p), 0) {
+			return nil, false
+		}
+	}
+	return probs, true
+}
+
+// watchdog detects a stuck or saturated posterior stream — the signature of
+// a wedged feature pipeline or a numerically dead classifier — and resets
+// the smoothing history so the detector can recover once inputs heal.
+func (d *Detector) watchdog(probs []float32) {
+	identical := d.lastProbs != nil && len(probs) == len(d.lastProbs)
+	if identical {
+		for i := range probs {
+			if probs[i] != d.lastProbs[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	saturated := false
+	for _, p := range probs {
+		if p >= 0.9999 {
+			saturated = true
+			break
+		}
+	}
+	if identical || saturated {
+		d.stuckHops++
+	} else {
+		d.stuckHops = 0
+	}
+	d.lastProbs = append(d.lastProbs[:0], probs...)
+	if d.stuckHops >= d.cfg.WatchdogHops {
+		d.history = nil
+		d.stuckHops = 0
+		d.stats.WatchdogResets++
+	}
+}
+
 // classify featurises the current window, smooths posteriors and applies
 // the firing rule.
 func (d *Detector) classify() (Event, bool) {
@@ -158,7 +265,12 @@ func (d *Detector) classify() (Event, bool) {
 	for i, v := range feat.Data {
 		feat.Data[i] = (v - d.featMean) / d.featStd
 	}
-	probs := d.cls.Classify(feat.Data)
+	probs, ok := d.safeClassify(feat.Data)
+	if !ok {
+		d.stats.BadPosteriors++
+		return Event{}, false // skip the hop; the smoothing ring keeps its history
+	}
+	d.watchdog(probs)
 
 	d.history = append(d.history, probs)
 	if len(d.history) > d.cfg.SmoothWin {
@@ -196,12 +308,16 @@ func (d *Detector) classify() (Event, bool) {
 	return Event{Sample: d.pos, Class: best, Score: bestP}, true
 }
 
-// Reset clears the detector's audio and posterior state.
+// Reset clears the detector's audio and posterior state, including the
+// fault counters and watchdog state.
 func (d *Detector) Reset() {
 	d.pos = 0
 	d.buffered = 0
 	d.sinceHop = 0
 	d.history = nil
+	d.stats = Stats{}
+	d.lastProbs = nil
+	d.stuckHops = 0
 	for i := range d.lastFire {
 		d.lastFire[i] = -1 << 30
 	}
