@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/dsp"
 	"repro/internal/exp"
 	"repro/internal/models"
@@ -147,6 +148,64 @@ func BenchmarkInferenceSTHybrid(b *testing.B) {
 	h := core.New(core.DefaultConfig(12), rand.New(rand.NewSource(6)))
 	strassen.SetModeAll(h, strassen.Fixed)
 	benchInference(b, h)
+}
+
+// --- packed engine benchmarks ---
+//
+// The deployment engine at the exact paper shape (49×10 MFCC → 64-ch
+// ST-HybridNet → depth-2 Bonsai, 12 classes). BenchmarkEngineInfer must
+// report 0 allocs/op — that regression gate is also pinned by
+// TestEngineInferZeroAllocs. cmd/kws-bench runs the same three paths and
+// persists the numbers to BENCH_engine.json.
+
+func benchEngineInput(e *deploy.Engine, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float32, e.Frames*e.Coeffs)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func BenchmarkEngineInferNaive(b *testing.B) {
+	e := deploy.SyntheticEngine(9, 0.35)
+	e.Naive = true
+	x := benchEngineInput(e, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Infer(x)
+	}
+}
+
+func BenchmarkEngineInfer(b *testing.B) {
+	e := deploy.SyntheticEngine(9, 0.35)
+	x := benchEngineInput(e, 10)
+	e.Infer(x) // warm up: kernel compile + arena build
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Infer(x)
+	}
+}
+
+func BenchmarkEngineInferBatch(b *testing.B) {
+	const batch = 64
+	e := deploy.SyntheticEngine(9, 0.35)
+	xs := make([][]float32, batch)
+	for i := range xs {
+		xs[i] = benchEngineInput(e, int64(11+i))
+	}
+	e.InferBatch(xs[:1]) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range e.InferBatch(xs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
 }
 
 func BenchmarkTrainStepSTHybrid(b *testing.B) {

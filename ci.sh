@@ -6,7 +6,14 @@ set -eux
 
 go vet ./...
 go build ./...
+# The -race pass also drives the engine's sharded sparse kernels and the
+# InferBatch worker pool (TestSparseParallelMatchesNaive,
+# TestInferBatchConcurrent in internal/deploy).
 go test -race ./...
+
+# Engine benchmark smoke: one iteration of each packed-engine benchmark, so
+# a broken hot path fails CI even when nobody reads BENCH_engine.json.
+go test -run='^$' -bench='Engine' -benchtime=1x .
 
 # Fuzz smoke: 10 s per hostile-input parser. Seeds alone run in `go test`;
 # this exercises the mutation engine against fresh corpus entries.

@@ -8,6 +8,7 @@
 //	kws-stream                         # synthetic demo stream
 //	kws-stream -wav recording.wav      # detect keywords in a recording
 //	kws-stream -script yes,_,go,_,left # build the stream from words (_ = silence)
+//	kws-stream -engine model.thnt      # classify with a packed integer engine
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/audio"
+	"repro/internal/deploy"
 	"repro/internal/faultinject"
 	"repro/internal/models"
 	"repro/internal/speechcmd"
@@ -32,6 +34,7 @@ func main() {
 	samples := flag.Int("samples", 40, "training samples per class")
 	epochs := flag.Int("epochs", 18, "training epochs")
 	threshold := flag.Float64("threshold", 0.5, "smoothed-posterior detection threshold")
+	engine := flag.String("engine", "", "classify with this packed integer model (.thnt) instead of training a float model")
 	faultAt := flag.Float64("fault-at", -1, "inject a fault window starting at this second (demo; <0 disables)")
 	faultMs := flag.Int("fault-ms", 500, "fault window duration in milliseconds")
 	faultKind := flag.String("fault", "nan", "fault kind: nan|dropout|dc|spike")
@@ -41,20 +44,44 @@ func main() {
 	cfg := speechcmd.DefaultConfig()
 	cfg.SamplesPerCls = *samples
 	cfg.Seed = *seed
-	fmt.Fprintln(os.Stderr, "training classifier...")
+
+	// The corpus is always generated: even a packed engine needs its
+	// feature-normalisation statistics to match training.
+	fmt.Fprintln(os.Stderr, "generating corpus...")
 	ds := speechcmd.Generate(cfg)
-	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
-	rng := rand.New(rand.NewSource(*seed))
-	m := models.NewDSCNN(speechcmd.NumClasses, *width, rng)
-	train.Run(m, x, y, train.Config{
-		Epochs:    *epochs,
-		BatchSize: 20,
-		Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
-		Loss:      train.CrossEntropy,
-		Seed:      *seed,
-	})
-	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
-	fmt.Fprintf(os.Stderr, "test accuracy: %.2f%%\n", 100*train.Accuracy(m, tx, ty, 64))
+
+	var cls stream.Classifier
+	if *engine != "" {
+		f, err := os.Open(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := deploy.ReadEngine(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", *engine, err))
+		}
+		if n := int(eng.Tree.NumClasses); n != speechcmd.NumClasses {
+			fatal(fmt.Errorf("%s has %d classes, detector needs %d", *engine, n, speechcmd.NumClasses))
+		}
+		fmt.Fprintf(os.Stderr, "using packed engine %s\n", *engine)
+		cls = stream.NewEngineClassifier(eng)
+	} else {
+		fmt.Fprintln(os.Stderr, "training classifier...")
+		x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+		rng := rand.New(rand.NewSource(*seed))
+		m := models.NewDSCNN(speechcmd.NumClasses, *width, rng)
+		train.Run(m, x, y, train.Config{
+			Epochs:    *epochs,
+			BatchSize: 20,
+			Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
+			Loss:      train.CrossEntropy,
+			Seed:      *seed,
+		})
+		tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
+		fmt.Fprintf(os.Stderr, "test accuracy: %.2f%%\n", 100*train.Accuracy(m, tx, ty, 64))
+		cls = &stream.ModelClassifier{Model: m, Classes: speechcmd.NumClasses}
+	}
 
 	var wave []float64
 	if *wavIn != "" {
@@ -110,8 +137,7 @@ func main() {
 	dcfg.IgnoreClass = speechcmd.SilenceClass
 	dcfg.IgnoreClass2 = speechcmd.UnknownClass
 	dcfg.Threshold = float32(*threshold)
-	det := stream.NewDetector(dcfg, &stream.ModelClassifier{Model: m, Classes: speechcmd.NumClasses},
-		ds.FeatMean, ds.FeatStd)
+	det := stream.NewDetector(dcfg, cls, ds.FeatMean, ds.FeatStd)
 
 	names := speechcmd.ClassNames()
 	chunk := cfg.SampleRate / 10

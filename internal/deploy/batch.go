@@ -1,0 +1,97 @@
+package deploy
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult is one frame's outcome from InferBatch.
+type BatchResult struct {
+	Scores []int32 // caller-owned copy of the class scores
+	Class  int     // argmax class; -1 when Err is set
+	Err    error   // wrong-length input or a recovered inference panic
+}
+
+// InferBatch classifies many MFCC frames concurrently, amortising dispatch
+// for streaming and serving callers. Frames are spread over up to
+// GOMAXPROCS workers; each worker checks a private scratch arena out of the
+// engine's pool, so batches of any size reuse a bounded set of buffers and
+// frames never share mutable state. Per-frame faults (wrong input length, a
+// recovered panic) land in that frame's Err instead of failing the batch.
+// Unlike Infer, the returned score slices are caller-owned copies.
+//
+// InferBatch is safe for concurrent use, including concurrently with other
+// InferBatch calls on the same engine.
+func (e *Engine) InferBatch(xs [][]float32) []BatchResult {
+	res := make([]BatchResult, len(xs))
+	if len(xs) == 0 {
+		return res
+	}
+	e.ensureCompiled()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		a := e.getArena()
+		for i, x := range xs {
+			res[i] = e.inferOne(a, x)
+		}
+		e.putArena(a)
+		return res
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := e.getArena()
+			defer e.putArena(a)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				res[i] = e.inferOne(a, xs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// inferOne classifies one frame on the given arena with InferSafe
+// semantics: length-checked input, panics converted to errors.
+func (e *Engine) inferOne(a *arena, x []float32) (r BatchResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = BatchResult{Class: -1, Err: fmt.Errorf("deploy: inference panic: %v", p)}
+		}
+	}()
+	if want := int(e.Frames) * int(e.Coeffs); len(x) != want {
+		return BatchResult{Class: -1, Err: fmt.Errorf("%w: input length %d, want %d", ErrShapeMismatch, len(x), want)}
+	}
+	var sc []int32
+	var cls int
+	if e.Naive {
+		sc, cls = e.inferNaive(x)
+	} else {
+		sc, cls = e.inferArena(a, x)
+	}
+	return BatchResult{Scores: append([]int32(nil), sc...), Class: cls}
+}
+
+// getArena checks a scratch arena out of the pool, building one on first
+// use. Batch arenas never start shard workers — batch parallelism is across
+// frames, not within a conv stage.
+func (e *Engine) getArena() *arena {
+	if a, ok := e.arenas.Get().(*arena); ok {
+		return a
+	}
+	return newArena(e, false)
+}
+
+func (e *Engine) putArena(a *arena) { e.arenas.Put(a) }

@@ -105,6 +105,7 @@ func Compile(h *core.Hybrid, calib *tensor.Tensor) (*Engine, error) {
 	if err := eng.Validate(); err != nil {
 		return nil, fmt.Errorf("deploy: compiled engine failed validation: %w", err)
 	}
+	eng.ensureCompiled()
 	return eng, nil
 }
 

@@ -3,6 +3,7 @@ package deploy
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Conv kinds.
@@ -30,7 +31,8 @@ type QConv struct {
 	ReLU                        bool
 	InScale, HidScale, OutScale float32
 
-	wb, wc []int8 // unpacked on load
+	wb, wc     []int8     // unpacked dense ternaries (naive reference path)
+	wbSp, wcSp sparseRows // compiled nonzero index lists (hot path)
 }
 
 // unpack materialises the ternary matrices from their packed form.
@@ -87,6 +89,12 @@ func im2colI8(x []int8, c, h, w, kh, kw, stride, padH, padW int) ([]int8, int, i
 
 // Forward runs the integer convolution on an int8 image [cin, h, w],
 // returning the int8 output image and its spatial dims.
+//
+// This is the naive dense reference path: it iterates every ternary entry
+// (zeros included) and allocates its scratch per call. The engine's hot
+// path uses the precompiled sparse kernels in kernels.go; Forward is
+// retained as the correctness oracle behind Engine.Naive and the
+// sparse-vs-naive property tests.
 func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
 	if q.wb == nil {
 		q.unpack()
@@ -214,7 +222,8 @@ type QDense struct {
 	OutMul     Mult
 	OutScale   float32
 
-	wb, wc []int8
+	wb, wc     []int8
+	wbSp, wcSp sparseRows
 }
 
 func (q *QDense) unpack() {
@@ -222,7 +231,9 @@ func (q *QDense) unpack() {
 	q.wc = UnpackTernary(q.WcPacked, int(q.Out*q.R))
 }
 
-// Forward maps an int8 vector to int16 outputs at OutScale.
+// Forward maps an int8 vector to int16 outputs at OutScale. Like
+// QConv.Forward this is the allocating dense reference; the hot path is
+// forwardInto in kernels.go.
 func (q *QDense) Forward(x []int8) []int16 {
 	if q.wb == nil {
 		q.unpack()
@@ -302,7 +313,8 @@ func (t *QTree) lookupTanh(v int16) int32 {
 func (t *QTree) numInternal() int { return (1 << t.Depth) - 1 }
 
 // Forward classifies an int8 feature vector, returning per-class scores in
-// int32 (scale WScale/32768) — only their ordering matters.
+// int32. The >>15 cancels the Q15 tanh, so one count ≈ WScale in float
+// units — but only the ordering matters for classification.
 func (t *QTree) Forward(x []int8) []int32 {
 	z16 := t.Z.Forward(x)
 	z := make([]int8, len(z16))
@@ -342,42 +354,63 @@ func (t *QTree) Forward(x []int8) []int32 {
 }
 
 // Engine is a compiled integer ST-HybridNet.
+//
+// Infer and InferSafe run on a resident scratch arena and are therefore not
+// safe for concurrent use on one engine; concurrent callers use InferBatch,
+// which checks a private arena out per worker. The scores slice they return
+// is arena-owned and valid until the next Infer/InferSafe call on the same
+// engine — copy it to retain it.
 type Engine struct {
 	Frames, Coeffs int32
 	InScale        float32
 	Convs          []*QConv
 	PoolK, PoolS   int32 // square average pool
 	Tree           *QTree
+
+	// Naive routes Infer/InferBatch through the retained dense reference
+	// kernels — the correctness oracle the sparse kernels are verified
+	// against, and the baseline cmd/kws-bench measures speedup over.
+	Naive bool
+
+	compileOnce sync.Once // guards kernel compilation
+	arena       *arena    // resident arena for Infer/InferSafe
+	arenas      sync.Pool // spare arenas checked out by InferBatch workers
+}
+
+// ensureCompiled builds the sparse kernels exactly once. Safe to call from
+// concurrent InferBatch entry points.
+func (e *Engine) ensureCompiled() {
+	e.compileOnce.Do(func() {
+		for _, q := range e.Convs {
+			q.compileKernels()
+		}
+		e.Tree.compileKernels()
+	})
 }
 
 // QuantizeInput converts float MFCC features to int8 at the engine's input
 // scale.
 func (e *Engine) QuantizeInput(x []float32) []int8 {
 	out := make([]int8, len(x))
-	inv := 1 / e.InScale
-	for i, v := range x {
-		out[i] = clampI8(int32(math.Round(float64(v * inv))))
-	}
+	e.quantizeInto(out, x)
 	return out
 }
 
-// Infer classifies one float MFCC image (length Frames·Coeffs), returning
-// integer class scores and the argmax class.
-func (e *Engine) Infer(x []float32) (scores []int32, class int) {
-	if len(x) != int(e.Frames*e.Coeffs) {
-		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
+// quantizeInto is the allocation-free form of QuantizeInput.
+func (e *Engine) quantizeInto(dst []int8, x []float32) {
+	inv := 1 / e.InScale
+	for i, v := range x {
+		dst[i] = clampI8(int32(math.Round(float64(v * inv))))
 	}
-	img := e.QuantizeInput(x)
-	h, w := int(e.Frames), int(e.Coeffs)
-	for _, conv := range e.Convs {
-		img, h, w = conv.Forward(img, h, w)
-	}
-	// Average pool PoolK×PoolK stride PoolS, same scale (rounded division).
-	k, s := int(e.PoolK), int(e.PoolS)
+}
+
+// poolInto average-pools an int8 image [c,h,w] with a square k×k window and
+// stride s at the same scale (round-half-away-from-zero division), writing
+// into caller-owned storage. Shared by the sparse and naive paths, so the
+// two stay bit-identical by construction.
+func poolInto(dst []int8, img []int8, c, h, w, k, s int) (int, int) {
 	outH := (h-k)/s + 1
 	outW := (w-k)/s + 1
-	c := int(e.Convs[len(e.Convs)-1].Cout)
-	pooled := make([]int8, c*outH*outW)
 	area := int32(k * k)
 	for ch := 0; ch < c; ch++ {
 		src := img[ch*h*w : (ch+1)*h*w]
@@ -390,23 +423,76 @@ func (e *Engine) Infer(x []float32) (scores []int32, class int) {
 						sum += int32(row[kj])
 					}
 				}
-				// Round-half-away-from-zero division.
 				var q int32
 				if sum >= 0 {
 					q = (sum + area/2) / area
 				} else {
 					q = -((-sum + area/2) / area)
 				}
-				pooled[(ch*outH+oi)*outW+oj] = clampI8(q)
+				dst[(ch*outH+oi)*outW+oj] = clampI8(q)
 			}
 		}
 	}
+	return outH, outW
+}
+
+// Infer classifies one float MFCC image (length Frames·Coeffs), returning
+// integer class scores and the argmax class. The scores slice is owned by
+// the engine's arena and valid until the next Infer/InferSafe call; in
+// steady state Infer performs zero heap allocations.
+func (e *Engine) Infer(x []float32) (scores []int32, class int) {
+	if len(x) != int(e.Frames*e.Coeffs) {
+		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
+	}
+	if e.Naive {
+		return e.inferNaive(x)
+	}
+	e.ensureCompiled()
+	if e.arena == nil {
+		e.arena = newArena(e, true)
+	}
+	return e.inferArena(e.arena, x)
+}
+
+// inferArena runs the sparse-kernel pipeline on the given arena.
+func (e *Engine) inferArena(a *arena, x []float32) ([]int32, int) {
+	e.quantizeInto(a.imgA[:len(x)], x)
+	img, next := a.imgA, a.imgB
+	h, w := int(e.Frames), int(e.Coeffs)
+	for _, conv := range e.Convs {
+		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w)
+		img, next = next, img
+		h, w = oh, ow
+	}
+	c := int(e.Convs[len(e.Convs)-1].Cout)
+	pooled := a.pooled
+	ph, pw := poolInto(pooled, img, c, h, w, int(e.PoolK), int(e.PoolS))
+	sc := e.Tree.forwardInto(a, pooled[:c*ph*pw])
+	return sc, argmax(sc)
+}
+
+// inferNaive is the retained dense reference pipeline: per-call scratch
+// allocation, every ternary zero visited, strictly single-threaded.
+func (e *Engine) inferNaive(x []float32) ([]int32, int) {
+	img := e.QuantizeInput(x)
+	h, w := int(e.Frames), int(e.Coeffs)
+	for _, conv := range e.Convs {
+		img, h, w = conv.Forward(img, h, w)
+	}
+	k, s := int(e.PoolK), int(e.PoolS)
+	c := int(e.Convs[len(e.Convs)-1].Cout)
+	pooled := make([]int8, c*((h-k)/s+1)*((w-k)/s+1))
+	poolInto(pooled, img, c, h, w, k, s)
 	sc := e.Tree.Forward(pooled)
+	return sc, argmax(sc)
+}
+
+func argmax(sc []int32) int {
 	best := 0
 	for j, v := range sc {
 		if v > sc[best] {
 			best = j
 		}
 	}
-	return sc, best
+	return best
 }

@@ -1,0 +1,546 @@
+package deploy
+
+// Precompiled sparse ternary kernels.
+//
+// TWN quantisation drives most ternary entries to zero, so iterating a dense
+// ternary row wastes the majority of its loop trips on `t == 0` checks. At
+// kernel-compilation time (ReadEngine / Compile / first Infer) every ternary
+// matrix row is converted into two index lists — the columns of its +1
+// entries and the columns of its −1 entries — so the inner loops become
+// gather-add / gather-sub over only the nonzeros. Integer addition is exact
+// and commutative, so the sparse kernels are bit-identical to the naive
+// dense reference retained in engine.go (Engine.Naive).
+
+// sparseRows is a compiled ternary matrix: one flat index array holding, per
+// row, the run of +1 column indices followed by the run of −1 column
+// indices. Row r's runs are idx[off[2r]:off[2r+1]] (plus) and
+// idx[off[2r+1]:off[2r+2]] (minus). len(idx) is the matrix's nonzero count,
+// which doubles as the work estimate for the parallel-sharding decision.
+type sparseRows struct {
+	idx []int32
+	off []int32
+}
+
+// compileRows converts a dense ternary matrix [rows, cols] into its sparse
+// row form.
+func compileRows(w []int8, rows, cols int) sparseRows {
+	nnz := 0
+	for _, v := range w {
+		if v != 0 {
+			nnz++
+		}
+	}
+	s := sparseRows{
+		idx: make([]int32, 0, nnz),
+		off: make([]int32, 2*rows+1),
+	}
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		for c, v := range row {
+			if v > 0 {
+				s.idx = append(s.idx, int32(c))
+			}
+		}
+		s.off[2*r+1] = int32(len(s.idx))
+		for c, v := range row {
+			if v < 0 {
+				s.idx = append(s.idx, int32(c))
+			}
+		}
+		s.off[2*r+2] = int32(len(s.idx))
+	}
+	return s
+}
+
+// row returns the +1 and −1 column-index runs of row r.
+func (s *sparseRows) row(r int) (plus, minus []int32) {
+	return s.idx[s.off[2*r]:s.off[2*r+1]], s.idx[s.off[2*r+1]:s.off[2*r+2]]
+}
+
+// compileKernels unpacks the ternary matrices and builds their sparse row
+// forms. Idempotent per engine via Engine.ensureCompiled.
+func (q *QConv) compileKernels() {
+	q.unpack()
+	if q.Kind == kindDepthwise {
+		// Wc is one scalar per hidden unit; only Wb needs row compilation.
+		q.wbSp = compileRows(q.wb, int(q.Cin)*int(q.R), int(q.KH*q.KW))
+		return
+	}
+	q.wbSp = compileRows(q.wb, int(q.R), int(q.Cin*q.KH*q.KW))
+	q.wcSp = compileRows(q.wc, int(q.Cout), int(q.R))
+}
+
+func (q *QDense) compileKernels() {
+	q.unpack()
+	q.wbSp = compileRows(q.wb, int(q.R), int(q.In))
+	q.wcSp = compileRows(q.wc, int(q.Out), int(q.R))
+}
+
+func (t *QTree) compileKernels() {
+	t.Z.compileKernels()
+	for k := range t.W {
+		t.W[k].compileKernels()
+		t.V[k].compileKernels()
+	}
+}
+
+// colRuns computes the output-coordinate range [lo,hi) for one kernel tap k
+// along a dimension of source size n: the positions o for which
+// o·stride + k − pad lands inside [0, n). Everything outside the run reads
+// padding and stays zero.
+func colRuns(n, k, stride, pad, outN int) (lo, hi int) {
+	// ceil((pad−k)/stride): the +stride−1 trick is exact for positive
+	// numerators; a too-small result for negative ones is clamped to 0.
+	lo = (pad - k + stride - 1) / stride
+	if lo < 0 {
+		lo = 0
+	}
+	top := n - 1 - k + pad
+	if top < 0 {
+		return 0, 0
+	}
+	hi = top/stride + 1
+	if hi > outN {
+		hi = outN
+	}
+	return lo, hi
+}
+
+// im2colI8Into lowers an int8 image [c,h,w] into caller-owned column
+// storage, the zero-allocation variant of im2colI8. dst must hold
+// c·kh·kw·outH·outW entries; padding positions are zeroed. Unlike the naive
+// variant, the valid run of each row is computed arithmetically, so the
+// copy loops carry no per-element bounds branches and the common stride-1
+// case reduces to memmove.
+func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int) (int, int) {
+	outH := (h+2*padH-kh)/stride + 1
+	outW := (w+2*padW-kw)/stride + 1
+	nOut := outH * outW
+	for i := range dst {
+		dst[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		img := x[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
+			for kj := 0; kj < kw; kj++ {
+				ojLo, ojHi := colRuns(w, kj, stride, padW, outW)
+				if ojHi <= ojLo {
+					continue
+				}
+				row := dst[((ch*kh+ki)*kw+kj)*nOut : ((ch*kh+ki)*kw+kj+1)*nOut]
+				for oi := oiLo; oi < oiHi; oi++ {
+					si := oi*stride + ki - padH
+					sj := ojLo*stride + kj - padW
+					drow := row[oi*outW+ojLo : oi*outW+ojHi]
+					if stride == 1 {
+						copy(drow, img[si*w+sj:])
+					} else {
+						src := img[si*w:]
+						for j := range drow {
+							drow[j] = src[sj]
+							sj += stride
+						}
+					}
+				}
+			}
+		}
+	}
+	return outH, outW
+}
+
+// forwardInto runs the convolution through the sparse kernels using the
+// arena's scratch memory, writing the int8 output image into out.
+func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int) (int, int) {
+	kh, kw, stride := int(q.KH), int(q.KW), int(q.Stride)
+	padH, padW := int(q.PadH), int(q.PadW)
+	outH := (h+2*padH-kh)/stride + 1
+	outW := (w+2*padW-kw)/stride + 1
+	nOut := outH * outW
+	if q.Kind == kindDepthwise {
+		// Depthwise gathers straight from the image (see dwSparse): its
+		// im2col matrix would materialise kh·kw rows per channel of which
+		// only the Wb nonzeros are ever read.
+		q.dwSparse(a, x, out[:int(q.Cin)*nOut], h, w, outH, outW)
+		return outH, outW
+	}
+	var cols []int8
+	if kh == 1 && kw == 1 && stride == 1 && padH == 0 && padW == 0 {
+		// Pointwise: the im2col matrix is the image itself.
+		cols = x[:int(q.Cin)*nOut]
+	} else {
+		cols = a.cols[:int(q.Cin)*kh*kw*nOut]
+		im2colI8Into(cols, x, int(q.Cin), h, w, kh, kw, stride, padH, padW)
+	}
+	q.stdSparse(a, cols, out[:int(q.Cout)*nOut], nOut)
+	return outH, outW
+}
+
+// stdSparse is the standard-conv kernel: sparse ternary matmul into the
+// int16 hidden planes, then a sparse ternary 1×1 combine with per-channel
+// requantisation. Both stages shard their rows across the arena's workers
+// when the gather work is large enough.
+func (q *QConv) stdSparse(a *arena, cols, out []int8, nOut int) {
+	r, cout := int(q.R), int(q.Cout)
+	hidden := a.hidden[:r*nOut]
+	if a.workers > 0 && len(q.wbSp.idx)*nOut >= parallelThreshold {
+		a.runShards(shardJob{q: q, stage: stageHidden, cols: cols, hidden: hidden, acc: a.acc, nOut: nOut}, r)
+	} else {
+		q.stdHiddenRows(cols, hidden, a.acc, nOut, 0, r)
+	}
+	if a.workers > 0 && len(q.wcSp.idx)*nOut >= parallelThreshold {
+		a.runShards(shardJob{q: q, stage: stageOut, hidden: hidden, acc: a.acc, out: out, nOut: nOut}, cout)
+	} else {
+		q.stdOutRows(hidden, a.acc, out, nOut, 0, cout)
+	}
+}
+
+// gatherI8 accumulates the ternary combination of int8 planes selected by
+// the plus/minus index runs into acc. The first plane is assigned rather
+// than added, so acc needs no zeroing pass; an empty row zeroes it instead.
+// Remaining planes are folded up to eight at a time — the partial sum of
+// eight int8 values cannot wrap an int32, and int32 addition is associative
+// mod 2³², so the result stays bit-identical to one-at-a-time accumulation
+// while acc is loaded and stored an eighth as often. All slices are
+// resliced to exactly nOut so the inner loops bounds-check once, not per
+// element.
+func gatherI8(acc []int32, cols []int8, plus, minus []int32, nOut int) {
+	acc = acc[:nOut]
+	switch {
+	case len(plus) > 0:
+		src := cols[int(plus[0])*nOut:][:nOut]
+		for j, v := range src {
+			acc[j] = int32(v)
+		}
+		addPlanesI8(acc, cols, plus[1:], nOut, 1)
+		addPlanesI8(acc, cols, minus, nOut, -1)
+	case len(minus) > 0:
+		src := cols[int(minus[0])*nOut:][:nOut]
+		for j, v := range src {
+			acc[j] = -int32(v)
+		}
+		addPlanesI8(acc, cols, minus[1:], nOut, -1)
+	default:
+		for j := range acc {
+			acc[j] = 0
+		}
+	}
+}
+
+// addPlanesI8 adds (sign +1) or subtracts (sign −1) the selected int8
+// planes into acc, up to eight planes per pass.
+func addPlanesI8(acc []int32, cols []int8, idx []int32, nOut int, sign int32) {
+	k := 0
+	for ; k+7 < len(idx); k += 8 {
+		s1 := cols[int(idx[k])*nOut:][:nOut]
+		s2 := cols[int(idx[k+1])*nOut:][:nOut]
+		s3 := cols[int(idx[k+2])*nOut:][:nOut]
+		s4 := cols[int(idx[k+3])*nOut:][:nOut]
+		s5 := cols[int(idx[k+4])*nOut:][:nOut]
+		s6 := cols[int(idx[k+5])*nOut:][:nOut]
+		s7 := cols[int(idx[k+6])*nOut:][:nOut]
+		s8 := cols[int(idx[k+7])*nOut:][:nOut]
+		if sign > 0 {
+			for j := range acc {
+				acc[j] += int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j]) +
+					int32(s5[j]) + int32(s6[j]) + int32(s7[j]) + int32(s8[j])
+			}
+		} else {
+			for j := range acc {
+				acc[j] -= int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j]) +
+					int32(s5[j]) + int32(s6[j]) + int32(s7[j]) + int32(s8[j])
+			}
+		}
+	}
+	for ; k+3 < len(idx); k += 4 {
+		s1 := cols[int(idx[k])*nOut:][:nOut]
+		s2 := cols[int(idx[k+1])*nOut:][:nOut]
+		s3 := cols[int(idx[k+2])*nOut:][:nOut]
+		s4 := cols[int(idx[k+3])*nOut:][:nOut]
+		if sign > 0 {
+			for j := range acc {
+				acc[j] += int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j])
+			}
+		} else {
+			for j := range acc {
+				acc[j] -= int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j])
+			}
+		}
+	}
+	for ; k < len(idx); k++ {
+		src := cols[int(idx[k])*nOut:][:nOut]
+		if sign > 0 {
+			for j, v := range src {
+				acc[j] += int32(v)
+			}
+		} else {
+			for j, v := range src {
+				acc[j] -= int32(v)
+			}
+		}
+	}
+}
+
+// gatherI16 is gatherI8 over int16 planes (the hidden layer); eight int16
+// values likewise cannot wrap an int32 partial sum.
+func gatherI16(acc []int32, planes []int16, plus, minus []int32, nOut int) {
+	acc = acc[:nOut]
+	switch {
+	case len(plus) > 0:
+		src := planes[int(plus[0])*nOut:][:nOut]
+		for j, v := range src {
+			acc[j] = int32(v)
+		}
+		addPlanesI16(acc, planes, plus[1:], nOut, 1)
+		addPlanesI16(acc, planes, minus, nOut, -1)
+	case len(minus) > 0:
+		src := planes[int(minus[0])*nOut:][:nOut]
+		for j, v := range src {
+			acc[j] = -int32(v)
+		}
+		addPlanesI16(acc, planes, minus[1:], nOut, -1)
+	default:
+		for j := range acc {
+			acc[j] = 0
+		}
+	}
+}
+
+// addPlanesI16 adds (sign +1) or subtracts (sign −1) the selected int16
+// planes into acc, up to eight planes per pass.
+func addPlanesI16(acc []int32, planes []int16, idx []int32, nOut int, sign int32) {
+	k := 0
+	for ; k+7 < len(idx); k += 8 {
+		s1 := planes[int(idx[k])*nOut:][:nOut]
+		s2 := planes[int(idx[k+1])*nOut:][:nOut]
+		s3 := planes[int(idx[k+2])*nOut:][:nOut]
+		s4 := planes[int(idx[k+3])*nOut:][:nOut]
+		s5 := planes[int(idx[k+4])*nOut:][:nOut]
+		s6 := planes[int(idx[k+5])*nOut:][:nOut]
+		s7 := planes[int(idx[k+6])*nOut:][:nOut]
+		s8 := planes[int(idx[k+7])*nOut:][:nOut]
+		if sign > 0 {
+			for j := range acc {
+				acc[j] += int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j]) +
+					int32(s5[j]) + int32(s6[j]) + int32(s7[j]) + int32(s8[j])
+			}
+		} else {
+			for j := range acc {
+				acc[j] -= int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j]) +
+					int32(s5[j]) + int32(s6[j]) + int32(s7[j]) + int32(s8[j])
+			}
+		}
+	}
+	for ; k+3 < len(idx); k += 4 {
+		s1 := planes[int(idx[k])*nOut:][:nOut]
+		s2 := planes[int(idx[k+1])*nOut:][:nOut]
+		s3 := planes[int(idx[k+2])*nOut:][:nOut]
+		s4 := planes[int(idx[k+3])*nOut:][:nOut]
+		if sign > 0 {
+			for j := range acc {
+				acc[j] += int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j])
+			}
+		} else {
+			for j := range acc {
+				acc[j] -= int32(s1[j]) + int32(s2[j]) + int32(s3[j]) + int32(s4[j])
+			}
+		}
+	}
+	for ; k < len(idx); k++ {
+		src := planes[int(idx[k])*nOut:][:nOut]
+		if sign > 0 {
+			for j, v := range src {
+				acc[j] += int32(v)
+			}
+		} else {
+			for j, v := range src {
+				acc[j] -= int32(v)
+			}
+		}
+	}
+}
+
+// stdHiddenRows computes hidden rows [lo,hi): each row gathers its +/−
+// im2col rows into a private int32 accumulator slot, then rescales to int16
+// through the per-hidden-unit fixed-point multiplier.
+func (q *QConv) stdHiddenRows(cols []int8, hidden []int16, accBuf []int32, nOut, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		acc := accBuf[i*nOut:][:nOut]
+		plus, minus := q.wbSp.row(i)
+		gatherI8(acc, cols, plus, minus, nOut)
+		m := q.HidMul[i]
+		dst := hidden[i*nOut:][:nOut]
+		for j, v := range acc {
+			dst[j] = clampI16(m.Apply(v))
+		}
+	}
+}
+
+// stdOutRows computes output channels [lo,hi) from the hidden planes.
+func (q *QConv) stdOutRows(hidden []int16, accBuf []int32, out []int8, nOut, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		acc := accBuf[c*nOut:][:nOut]
+		plus, minus := q.wcSp.row(c)
+		gatherI16(acc, hidden, plus, minus, nOut)
+		q.requantChannel(out[c*nOut:][:nOut], acc, c)
+	}
+}
+
+// dwGatherTap adds (sign +1) or subtracts (sign −1) one kernel tap's sliding
+// window of img into hacc, reading the image directly: hacc[oi,oj] += img at
+// (oi·stride+ki−padH, oj·stride+kj−padW), skipping padding positions (they
+// contribute zero, exactly as the zero-filled im2col row would).
+func dwGatherTap(hacc []int32, img []int8, ki, kj, h, w, outH, outW, stride, padH, padW int, sign int32) {
+	oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
+	ojLo, ojHi := colRuns(w, kj, stride, padW, outW)
+	if ojHi <= ojLo {
+		return
+	}
+	for oi := oiLo; oi < oiHi; oi++ {
+		si := oi*stride + ki - padH
+		sj := ojLo*stride + kj - padW
+		dst := hacc[oi*outW+ojLo : oi*outW+ojHi]
+		if stride == 1 {
+			src := img[si*w+sj:][:len(dst)]
+			if sign > 0 {
+				for j, v := range src {
+					dst[j] += int32(v)
+				}
+			} else {
+				for j, v := range src {
+					dst[j] -= int32(v)
+				}
+			}
+		} else {
+			src := img[si*w:]
+			for j := range dst {
+				dst[j] += sign * int32(src[sj])
+				sj += stride
+			}
+		}
+	}
+}
+
+// dwSparse is the depthwise kernel. It skips im2col entirely — each Wb
+// nonzero is one sliding-window tap gathered straight off the input image —
+// and skips hidden units whose Wc entry is zero before their gathers run
+// (the naive path computes them and then discards the result). Channels are
+// processed serially: per-channel work is tiny and the standard-conv stages
+// dominate.
+func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int) {
+	kw := int(q.KW)
+	stride := int(q.Stride)
+	padH, padW := int(q.PadH), int(q.PadW)
+	nOut := outH * outW
+	r := int(q.R)
+	acc := a.acc[:nOut]
+	hacc := a.acc[nOut:][:nOut]
+	for ch := 0; ch < int(q.Cin); ch++ {
+		img := x[ch*h*w:][:h*w]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for u := 0; u < r; u++ {
+			hu := ch*r + u
+			wcv := q.wc[hu]
+			if wcv == 0 {
+				continue
+			}
+			for j := range hacc {
+				hacc[j] = 0
+			}
+			plus, minus := q.wbSp.row(hu)
+			for _, p := range plus {
+				dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, 1)
+			}
+			for _, p := range minus {
+				dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, -1)
+			}
+			m := q.HidMul[hu]
+			if wcv > 0 {
+				for j, v := range hacc {
+					acc[j] += int32(clampI16(m.Apply(v)))
+				}
+			} else {
+				for j, v := range hacc {
+					acc[j] -= int32(clampI16(m.Apply(v)))
+				}
+			}
+		}
+		q.requantChannel(out[ch*nOut:][:nOut], acc, ch)
+	}
+}
+
+// forwardInto is the sparse, zero-allocation QDense forward: y and hid are
+// caller-owned (y of length Out, hid of at least R).
+func (q *QDense) forwardInto(x []int8, y []int16, hid []int16) {
+	r := int(q.R)
+	for i := 0; i < r; i++ {
+		var acc int32
+		plus, minus := q.wbSp.row(i)
+		for _, p := range plus {
+			acc += int32(x[p])
+		}
+		for _, p := range minus {
+			acc -= int32(x[p])
+		}
+		hid[i] = clampI16(q.HidMul[i].Apply(acc))
+	}
+	for c := 0; c < int(q.Out); c++ {
+		var acc int32
+		plus, minus := q.wcSp.row(c)
+		for _, i := range plus {
+			acc += int32(hid[i])
+		}
+		for _, i := range minus {
+			acc -= int32(hid[i])
+		}
+		y[c] = clampI16(q.OutMul.Apply(acc))
+	}
+}
+
+// forwardInto walks the tree through the sparse dense kernels using the
+// arena's scratch buffers. The returned score slice is arena-owned.
+func (t *QTree) forwardInto(a *arena, x []int8) []int32 {
+	L := int(t.NumClasses)
+	d := int(t.ProjDim)
+	z16 := a.z16[:int(t.Z.Out)]
+	t.Z.forwardInto(x, z16, a.denseHid)
+	z := a.z8[:len(z16)]
+	for i, v := range z16 {
+		z[i] = clampI8(t.ZQ.Apply(int32(v)))
+	}
+	scores := a.scores[:L]
+	for j := range scores {
+		scores[j] = 0
+	}
+	wbuf := a.wv[:L]
+	vbuf := a.wv[L : 2*L]
+	nInt := t.numInternal()
+	node := 1 // 1-based
+	for {
+		t.W[node-1].forwardInto(z, wbuf, a.denseHid)
+		t.V[node-1].forwardInto(z, vbuf, a.denseHid)
+		for j := 0; j < L; j++ {
+			scores[j] += int64(wbuf[j]) * int64(t.lookupTanh(vbuf[j]))
+		}
+		if node > nInt {
+			break // leaf reached
+		}
+		theta := t.Theta[(node-1)*d : node*d]
+		var dot int64
+		for i, th := range theta {
+			dot += int64(th) * int64(z[i])
+		}
+		if dot > 0 {
+			node = 2 * node
+		} else {
+			node = 2*node + 1
+		}
+	}
+	out := a.out[:L]
+	for j, s := range scores {
+		out[j] = int32(s >> 15)
+	}
+	return out
+}

@@ -65,7 +65,7 @@ func makeTinyEngine() *Engine {
 		Frames: 6, Coeffs: 5, InScale: 0.05,
 		Convs: []*QConv{conv},
 		PoolK: 2, PoolS: 2,
-		Tree:  tree,
+		Tree: tree,
 	}
 }
 

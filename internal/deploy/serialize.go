@@ -440,6 +440,10 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
+	// The artifact is structurally sound: unpack the ternaries and build the
+	// sparse gather kernels now, so the first Infer pays no compilation cost
+	// and load failures cannot hide until the hot path.
+	e.ensureCompiled()
 	return e, nil
 }
 

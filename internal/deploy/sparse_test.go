@@ -1,0 +1,519 @@
+package deploy
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randTernaryPacked packs n random ternary values at the given density.
+func randTernaryPacked(rng *rand.Rand, n int, density float64) []byte {
+	vals := make([]int8, n)
+	for i := range vals {
+		if rng.Float64() < density {
+			if rng.Intn(2) == 0 {
+				vals[i] = 1
+			} else {
+				vals[i] = -1
+			}
+		}
+	}
+	return PackTernary(vals)
+}
+
+func randMults(rng *rand.Rand, n int) []Mult {
+	ms := make([]Mult, n)
+	for i := range ms {
+		ms[i] = NewMult(0.001 + rng.Float64()*0.05)
+	}
+	return ms
+}
+
+// arenaForConv sizes a minimal arena for one convolution, so kernels can be
+// property-tested without a full engine.
+func arenaForConv(q *QConv, h, w int) *arena {
+	oh, ow := q.outSize(h, w)
+	nOut := oh * ow
+	rows := int(q.R)
+	if q.Kind == kindStandard && int(q.Cout) > rows {
+		rows = int(q.Cout)
+	}
+	acc := rows * nOut
+	if q.Kind == kindDepthwise {
+		acc = 2 * nOut
+	}
+	return &arena{
+		cols:   make([]int8, int(q.Cin)*int(q.KH)*int(q.KW)*nOut),
+		hidden: make([]int16, int(q.R)*nOut),
+		acc:    make([]int32, acc),
+	}
+}
+
+// TestSparseConvMatchesNaive asserts the sparse gather kernels produce
+// bit-identical output to the retained dense reference across randomized
+// shapes, densities and seeds, for both conv kinds.
+func TestSparseConvMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := 5 + rng.Intn(8)
+		w := 4 + rng.Intn(8)
+		cin := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(2)
+		kh := 1 + rng.Intn(3)
+		kw := 1 + rng.Intn(3)
+		pad := rng.Intn(2)
+		density := 0.1 + rng.Float64()*0.8
+		var q *QConv
+		if seed%2 == 0 {
+			cout := 1 + rng.Intn(6)
+			r := 1 + rng.Intn(8)
+			q = &QConv{
+				Kind: kindStandard,
+				Cin:  int32(cin), Cout: int32(cout), KH: int32(kh), KW: int32(kw),
+				Stride: int32(stride), PadH: int32(pad), PadW: int32(pad), R: int32(r),
+				WbPacked: randTernaryPacked(rng, r*cin*kh*kw, density),
+				WcPacked: randTernaryPacked(rng, cout*r, density),
+				HidMul:   randMults(rng, r),
+				OutMul:   randMults(rng, cout),
+				OutBias:  make([]int32, cout),
+				ReLU:     seed%4 == 0,
+			}
+		} else {
+			r := 1 + rng.Intn(2)
+			q = &QConv{
+				Kind: kindDepthwise,
+				Cin:  int32(cin), Cout: int32(cin), KH: int32(kh), KW: int32(kw),
+				Stride: int32(stride), PadH: int32(pad), PadW: int32(pad), R: int32(r),
+				WbPacked: randTernaryPacked(rng, cin*r*kh*kw, density),
+				WcPacked: randTernaryPacked(rng, cin*r, density),
+				HidMul:   randMults(rng, cin*r),
+				OutMul:   randMults(rng, cin),
+				OutBias:  make([]int32, cin),
+			}
+		}
+		for i := range q.OutBias {
+			q.OutBias[i] = int32(rng.Intn(9) - 4)
+		}
+		if kh > h+2*pad || kw > w+2*pad {
+			continue // kernel larger than padded input
+		}
+		oh, ow := q.outSize(h, w)
+		if oh < 1 || ow < 1 {
+			continue
+		}
+		x := make([]int8, cin*h*w)
+		for i := range x {
+			x[i] = int8(rng.Intn(255) - 127)
+		}
+		want, _, _ := q.Forward(x, h, w)
+		q.compileKernels()
+		a := arenaForConv(q, h, w)
+		got := make([]int8, int(q.Cout)*oh*ow)
+		q.forwardInto(a, x, got, h, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d kind %q: sparse[%d]=%d naive=%d", seed, q.Kind, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSparseDenseMatchesNaive does the same for QDense.
+func TestSparseDenseMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		in := 1 + rng.Intn(40)
+		out := 1 + rng.Intn(16)
+		r := 1 + rng.Intn(12)
+		q := &QDense{
+			In: int32(in), Out: int32(out), R: int32(r),
+			WbPacked: randTernaryPacked(rng, r*in, 0.1+rng.Float64()*0.8),
+			WcPacked: randTernaryPacked(rng, out*r, 0.1+rng.Float64()*0.8),
+			HidMul:   randMults(rng, r),
+			OutMul:   NewMult(0.3 + rng.Float64()),
+		}
+		x := make([]int8, in)
+		for i := range x {
+			x[i] = int8(rng.Intn(255) - 127)
+		}
+		want := q.Forward(x)
+		q.compileKernels()
+		got := make([]int16, out)
+		hid := make([]int16, r)
+		q.forwardInto(x, got, hid)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: sparse[%d]=%d naive=%d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// randSmallEngine hand-builds a random, valid engine: standard conv →
+// depthwise → pointwise chain with random dims, random pool, random tree.
+func randSmallEngine(rng *rand.Rand) *Engine {
+	frames := 8 + rng.Intn(8)
+	coeffs := 6 + rng.Intn(6)
+	c1 := 2 + rng.Intn(4)
+	r1 := 1 + rng.Intn(6)
+	density := 0.15 + rng.Float64()*0.6
+	ternary := func(n int) []byte { return randTernaryPacked(rng, n, density) }
+	biases := func(n int) []int32 {
+		bs := make([]int32, n)
+		for i := range bs {
+			bs[i] = int32(rng.Intn(5) - 2)
+		}
+		return bs
+	}
+	conv1 := &QConv{
+		Kind: kindStandard,
+		Cin:  1, Cout: int32(c1), KH: 3, KW: 3,
+		Stride: 1, PadH: 1, PadW: 1, R: int32(r1),
+		WbPacked: ternary(r1 * 9),
+		WcPacked: ternary(c1 * r1),
+		HidMul:   randMults(rng, r1),
+		OutMul:   randMults(rng, c1),
+		OutBias:  biases(c1),
+		ReLU:     true,
+	}
+	dw := &QConv{
+		Kind: kindDepthwise,
+		Cin:  int32(c1), Cout: int32(c1), KH: 3, KW: 3,
+		Stride: 1, PadH: 1, PadW: 1, R: 1,
+		WbPacked: ternary(c1 * 9),
+		WcPacked: ternary(c1),
+		HidMul:   randMults(rng, c1),
+		OutMul:   randMults(rng, c1),
+		OutBias:  biases(c1),
+	}
+	c2 := 2 + rng.Intn(4)
+	r2 := 1 + rng.Intn(6)
+	pw := &QConv{
+		Kind: kindStandard,
+		Cin:  int32(c1), Cout: int32(c2), KH: 1, KW: 1,
+		Stride: 1, PadH: 0, PadW: 0, R: int32(r2),
+		WbPacked: ternary(r2 * c1),
+		WcPacked: ternary(c2 * r2),
+		HidMul:   randMults(rng, r2),
+		OutMul:   randMults(rng, c2),
+		OutBias:  biases(c2),
+		ReLU:     rng.Intn(2) == 0,
+	}
+	poolK := 1 + rng.Intn(2)
+	ph := (frames-poolK)/poolK + 1
+	pw2 := (coeffs-poolK)/poolK + 1
+	flat := c2 * ph * pw2
+	proj := 3 + rng.Intn(6)
+	classes := 3 + rng.Intn(4)
+	depth := rng.Intn(3)
+	dense := func(in, out, r int) *QDense {
+		return &QDense{
+			In: int32(in), Out: int32(out), R: int32(r),
+			WbPacked: ternary(r * in),
+			WcPacked: ternary(out * r),
+			HidMul:   randMults(rng, r),
+			OutMul:   NewMult(0.5),
+			OutScale: 0.01,
+		}
+	}
+	tree := &QTree{
+		Depth: int32(depth), ProjDim: int32(proj), NumClasses: int32(classes),
+		Z:       dense(flat, proj, proj),
+		ZQ:      NewMult(0.5),
+		ZScale:  0.02,
+		TanhLUT: BuildTanhLUT(1e-3, 1),
+		WScale:  0.01,
+	}
+	nInt := (1 << depth) - 1
+	for k := 0; k < 2*nInt+1; k++ {
+		tree.W = append(tree.W, dense(proj, classes, classes))
+		tree.V = append(tree.V, dense(proj, classes, classes))
+	}
+	tree.Theta = make([]int16, nInt*proj)
+	for i := range tree.Theta {
+		tree.Theta[i] = int16(rng.Intn(65536) - 32768)
+	}
+	return &Engine{
+		Frames: int32(frames), Coeffs: int32(coeffs), InScale: 0.05,
+		Convs: []*QConv{conv1, dw, pw},
+		PoolK: int32(poolK), PoolS: int32(poolK),
+		Tree: tree,
+	}
+}
+
+// TestEngineSparseMatchesNaiveRandomized runs whole randomized engines
+// through both pipelines and requires bit-identical scores.
+func TestEngineSparseMatchesNaiveRandomized(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		e := randSmallEngine(rng)
+		if err := e.Validate(); err != nil {
+			t.Fatalf("seed %d: random engine invalid: %v", seed, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			x := make([]float32, e.Frames*e.Coeffs)
+			for i := range x {
+				x[i] = float32(rng.NormFloat64())
+			}
+			wantSc, wantCls := e.inferNaive(x)
+			gotSc, gotCls := e.Infer(x)
+			if gotCls != wantCls {
+				t.Fatalf("seed %d trial %d: class %d vs naive %d", seed, trial, gotCls, wantCls)
+			}
+			for j := range wantSc {
+				if gotSc[j] != wantSc[j] {
+					t.Fatalf("seed %d trial %d: score[%d]=%d vs naive %d", seed, trial, j, gotSc[j], wantSc[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSyntheticEngineSparseMatchesNaive pins the default deployment shape.
+func TestSyntheticEngineSparseMatchesNaive(t *testing.T) {
+	e := SyntheticEngine(7, 0.35)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		x := make([]float32, e.Frames*e.Coeffs)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		wantSc, wantCls := e.inferNaive(x)
+		gotSc, gotCls := e.Infer(x)
+		if gotCls != wantCls {
+			t.Fatalf("trial %d: class %d vs naive %d", trial, gotCls, wantCls)
+		}
+		for j := range wantSc {
+			if gotSc[j] != wantSc[j] {
+				t.Fatalf("trial %d: score[%d] %d vs naive %d", trial, j, gotSc[j], wantSc[j])
+			}
+		}
+	}
+}
+
+// TestEngineInferZeroAllocs pins the headline property: steady-state Infer
+// and InferSafe on the default ST-HybridNet shape allocate nothing.
+func TestEngineInferZeroAllocs(t *testing.T) {
+	e := SyntheticEngine(1, 0.35)
+	x := make([]float32, e.Frames*e.Coeffs)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	e.Infer(x) // warm up: kernel compile + arena build
+	if allocs := testing.AllocsPerRun(50, func() { e.Infer(x) }); allocs != 0 {
+		t.Fatalf("Infer allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { e.InferSafe(x) }); allocs != 0 {
+		t.Fatalf("InferSafe allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// bigParallelEngine builds a single-conv engine whose gather work crosses
+// parallelThreshold, so Infer exercises the sharded kernels.
+func bigParallelEngine(seed int64) *Engine {
+	rng := rand.New(rand.NewSource(seed))
+	const h, w = 64, 64
+	const cout, r = 32, 64
+	ternary := func(n int) []byte { return randTernaryPacked(rng, n, 0.5) }
+	conv := &QConv{
+		Kind: kindStandard,
+		Cin:  1, Cout: cout, KH: 5, KW: 5,
+		Stride: 1, PadH: 2, PadW: 2, R: r,
+		WbPacked: ternary(r * 25),
+		WcPacked: ternary(cout * r),
+		HidMul:   randMults(rng, r),
+		OutMul:   randMults(rng, cout),
+		OutBias:  make([]int32, cout),
+		ReLU:     true,
+	}
+	dense := func(in, out, rr int) *QDense {
+		return &QDense{
+			In: int32(in), Out: int32(out), R: int32(rr),
+			WbPacked: ternary(rr * in),
+			WcPacked: ternary(out * rr),
+			HidMul:   randMults(rng, rr),
+			OutMul:   NewMult(0.5),
+			OutScale: 0.01,
+		}
+	}
+	tree := &QTree{
+		Depth: 0, ProjDim: 8, NumClasses: 4,
+		Z:       dense(cout, 8, 8),
+		ZQ:      NewMult(0.5),
+		ZScale:  0.02,
+		TanhLUT: BuildTanhLUT(1e-3, 1),
+		WScale:  0.01,
+		W:       []*QDense{dense(8, 4, 4)},
+		V:       []*QDense{dense(8, 4, 4)},
+	}
+	return &Engine{
+		Frames: h, Coeffs: w, InScale: 0.05,
+		Convs: []*QConv{conv},
+		PoolK: h, PoolS: h, // global pool to 1×1
+		Tree: tree,
+	}
+}
+
+// TestSparseParallelMatchesNaive drives the row-sharded kernels (the -race
+// pass in ci.sh runs this against the race detector) and checks they agree
+// with the serial naive reference.
+func TestSparseParallelMatchesNaive(t *testing.T) {
+	e := bigParallelEngine(3)
+	if err := e.Validate(); err != nil {
+		t.Fatalf("big engine invalid: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float32, e.Frames*e.Coeffs)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	wantSc, wantCls := e.inferNaive(x)
+	gotSc, gotCls := e.Infer(x)
+	if runtime.GOMAXPROCS(0) > 1 && e.arena.workers == 0 {
+		t.Fatal("expected the big conv to enable shard workers")
+	}
+	if gotCls != wantCls {
+		t.Fatalf("class %d vs naive %d", gotCls, wantCls)
+	}
+	for j := range wantSc {
+		if gotSc[j] != wantSc[j] {
+			t.Fatalf("score[%d] %d vs naive %d", j, gotSc[j], wantSc[j])
+		}
+	}
+	// Repeat runs reuse the same arena and workers.
+	for i := 0; i < 3; i++ {
+		sc, cls := e.Infer(x)
+		if cls != wantCls || sc[0] != wantSc[0] {
+			t.Fatalf("run %d diverged", i)
+		}
+	}
+}
+
+// TestInferBatchMatchesInfer checks the worker-pool batch path agrees with
+// the serial path frame by frame, and that per-frame faults stay per-frame.
+func TestInferBatchMatchesInfer(t *testing.T) {
+	e := SyntheticEngine(5, 0.3)
+	rng := rand.New(rand.NewSource(6))
+	const n = 16
+	xs := make([][]float32, n)
+	want := make([][]int32, n)
+	wantCls := make([]int, n)
+	for i := range xs {
+		x := make([]float32, e.Frames*e.Coeffs)
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+		}
+		xs[i] = x
+		sc, cls := e.Infer(x)
+		want[i] = append([]int32(nil), sc...)
+		wantCls[i] = cls
+	}
+	res := e.InferBatch(xs)
+	if len(res) != n {
+		t.Fatalf("got %d results, want %d", len(res), n)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("frame %d: unexpected error %v", i, r.Err)
+		}
+		if r.Class != wantCls[i] {
+			t.Fatalf("frame %d: class %d, want %d", i, r.Class, wantCls[i])
+		}
+		for j := range want[i] {
+			if r.Scores[j] != want[i][j] {
+				t.Fatalf("frame %d: score[%d] %d, want %d", i, j, r.Scores[j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestInferBatchFaultIsolation: a wrong-length frame fails alone, the rest
+// of the batch still classifies.
+func TestInferBatchFaultIsolation(t *testing.T) {
+	e := SyntheticEngine(8, 0.3)
+	good := make([]float32, e.Frames*e.Coeffs)
+	xs := [][]float32{good, make([]float32, 7), good, nil}
+	res := e.InferBatch(xs)
+	for _, i := range []int{1, 3} {
+		if res[i].Err == nil || !errors.Is(res[i].Err, ErrShapeMismatch) {
+			t.Fatalf("frame %d: err %v, want ErrShapeMismatch", i, res[i].Err)
+		}
+		if res[i].Class != -1 {
+			t.Fatalf("frame %d: class %d, want -1", i, res[i].Class)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || res[i].Class < 0 {
+			t.Fatalf("frame %d: err %v class %d", i, res[i].Err, res[i].Class)
+		}
+	}
+	if len(e.InferBatch(nil)) != 0 {
+		t.Fatal("empty batch must return empty results")
+	}
+	if r := e.InferBatch([][]float32{good}); len(r) != 1 || r[0].Err != nil {
+		t.Fatal("single-frame batch failed")
+	}
+}
+
+// TestInferBatchConcurrent hammers InferBatch from several goroutines (the
+// ci.sh -race pass covers this) to pin down the pool's thread safety.
+func TestInferBatchConcurrent(t *testing.T) {
+	e := SyntheticEngine(9, 0.3)
+	rng := rand.New(rand.NewSource(10))
+	x := make([]float32, e.Frames*e.Coeffs)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	wantSc, wantCls := e.inferNaive(x)
+	xs := [][]float32{x, x, x, x}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 5; i++ {
+				for _, r := range e.InferBatch(xs) {
+					if r.Err != nil {
+						done <- r.Err
+						return
+					}
+					if r.Class != wantCls || r.Scores[0] != wantSc[0] {
+						done <- errors.New("batch result diverged")
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNaiveFlagRoutesReference: the oracle flag must reach both APIs.
+func TestNaiveFlagRoutesReference(t *testing.T) {
+	e := SyntheticEngine(11, 0.3)
+	x := make([]float32, e.Frames*e.Coeffs)
+	for i := range x {
+		x[i] = float32(i%13) * 0.01
+	}
+	sc, cls := e.Infer(x)
+	scCopy := append([]int32(nil), sc...)
+	e.Naive = true
+	nSc, nCls := e.Infer(x)
+	if nCls != cls {
+		t.Fatalf("naive class %d vs sparse %d", nCls, cls)
+	}
+	for j := range scCopy {
+		if nSc[j] != scCopy[j] {
+			t.Fatalf("naive score[%d] %d vs sparse %d", j, nSc[j], scCopy[j])
+		}
+	}
+	res := e.InferBatch([][]float32{x})
+	if res[0].Err != nil || res[0].Class != cls {
+		t.Fatalf("naive batch: %v class %d, want %d", res[0].Err, res[0].Class, cls)
+	}
+}

@@ -268,6 +268,9 @@ func (e *Engine) Validate() error {
 // InferSafe is the always-on wrapper around Infer: it validates the input
 // length up front and converts any engine panic (a corrupt-but-plausible
 // model, an internal bug) into an error instead of killing the process.
+// Like Infer it runs on the engine's resident arena — zero steady-state
+// allocations, scores valid until the next call, not concurrency-safe
+// (use InferBatch for concurrent callers).
 func (e *Engine) InferSafe(x []float32) (scores []int32, class int, err error) {
 	defer func() {
 		if r := recover(); r != nil {

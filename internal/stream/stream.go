@@ -10,6 +10,7 @@ package stream
 import (
 	"math"
 
+	"repro/internal/deploy"
 	"repro/internal/dsp"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -17,7 +18,9 @@ import (
 )
 
 // Classifier maps one MFCC feature image (flattened, length frames·coeffs)
-// to per-class posterior probabilities.
+// to per-class posterior probabilities. Implementations may reuse the
+// returned slice between calls; callers that retain posteriors across hops
+// (the Detector's smoothing ring does) must copy them.
 type Classifier interface {
 	Classify(features []float32) []float32
 	NumClasses() int
@@ -28,17 +31,82 @@ type Classifier interface {
 type ModelClassifier struct {
 	Model   nn.Layer
 	Classes int
+
+	in *tensor.Tensor // persistent input, copied into in place each hop
 }
 
 // Classify runs the model on a single feature image.
 func (m *ModelClassifier) Classify(features []float32) []float32 {
-	x := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
-	probs := train.Softmax(m.Model.Forward(x, false))
+	if m.in == nil || len(m.in.Data) != len(features) {
+		m.in = tensor.New(1, len(features))
+	}
+	copy(m.in.Data, features)
+	probs := train.Softmax(m.Model.Forward(m.in, false))
 	return probs.Data
 }
 
 // NumClasses returns the classifier's class count.
 func (m *ModelClassifier) NumClasses() int { return m.Classes }
+
+// EngineClassifier backs the detector with a packed fixed-point
+// deploy.Engine. Hops are routed through Engine.InferBatch — the engine's
+// concurrency-safe entry point, so one engine can serve several detectors —
+// via a reused single-frame batch, and the integer class scores are turned
+// into posteriors with a numerically stable softmax. The returned slice is
+// reused between calls.
+type EngineClassifier struct {
+	Engine *deploy.Engine
+
+	batch [][]float32
+	probs []float32
+}
+
+// NewEngineClassifier wraps a validated engine.
+func NewEngineClassifier(e *deploy.Engine) *EngineClassifier {
+	return &EngineClassifier{Engine: e, batch: make([][]float32, 1)}
+}
+
+// Classify runs one hop through the engine. A frame the engine rejects
+// (shape mismatch, internal fault) yields nil, which the Detector counts as
+// a bad posterior and skips.
+func (c *EngineClassifier) Classify(features []float32) []float32 {
+	c.batch[0] = features
+	res := c.Engine.InferBatch(c.batch)
+	c.batch[0] = nil
+	if res[0].Err != nil {
+		return nil
+	}
+	scores := res[0].Scores
+	if cap(c.probs) < len(scores) {
+		c.probs = make([]float32, len(scores))
+	}
+	probs := c.probs[:len(scores)]
+	// A tree score is Σ w·tanh with the Q15 tanh already shifted out, so one
+	// count is worth WScale; undoing that puts the softmax on the float
+	// model's logit scale.
+	scale := float64(c.Engine.Tree.WScale)
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		ex := math.Exp(float64(s-maxS) * scale)
+		probs[i] = float32(ex)
+		sum += ex
+	}
+	inv := float32(1 / sum)
+	for i := range probs {
+		probs[i] *= inv
+	}
+	c.probs = probs
+	return probs
+}
+
+// NumClasses returns the engine's class count.
+func (c *EngineClassifier) NumClasses() int { return int(c.Engine.Tree.NumClasses) }
 
 // Event is one keyword detection.
 type Event struct {
@@ -108,6 +176,10 @@ type Detector struct {
 	stats     Stats
 	lastProbs []float32 // previous hop's accepted posterior, for the watchdog
 	stuckHops int       // consecutive hops with identical/saturated posteriors
+
+	// Per-hop scratch, reused so a steady stream doesn't allocate.
+	wave     []float64
+	smoothed []float32
 }
 
 // NewDetector builds a streaming detector around a classifier. featMean and
@@ -256,7 +328,10 @@ func (d *Detector) watchdog(probs []float32) {
 func (d *Detector) classify() (Event, bool) {
 	// Unroll the ring into chronological order.
 	n := len(d.window)
-	wave := make([]float64, n)
+	if len(d.wave) != n {
+		d.wave = make([]float64, n)
+	}
+	wave := d.wave
 	start := d.pos % n
 	copy(wave, d.window[start:])
 	copy(wave[n-start:], d.window[:start])
@@ -272,14 +347,24 @@ func (d *Detector) classify() (Event, bool) {
 	}
 	d.watchdog(probs)
 
-	d.history = append(d.history, probs)
-	if len(d.history) > d.cfg.SmoothWin {
+	// Classifiers may reuse their output slice between hops (EngineClassifier
+	// does), so the ring stores a copy, recycling the evicted slot's storage.
+	var slot []float32
+	if len(d.history) >= d.cfg.SmoothWin {
+		slot = d.history[0][:0]
 		d.history = d.history[1:]
 	}
+	d.history = append(d.history, append(slot, probs...))
 	if len(d.history) < d.cfg.SmoothWin {
 		return Event{}, false // warm-up: wait for a full smoothing history
 	}
-	smoothed := make([]float32, len(probs))
+	if cap(d.smoothed) < len(probs) {
+		d.smoothed = make([]float32, len(probs))
+	}
+	smoothed := d.smoothed[:len(probs)]
+	for i := range smoothed {
+		smoothed[i] = 0
+	}
 	for _, h := range d.history {
 		for i, p := range h {
 			smoothed[i] += p

@@ -104,6 +104,9 @@ func MatMulT1(a, b *Tensor) *Tensor {
 }
 
 // MatMulT2 computes C = A·Bᵀ for A [m,k] and B [n,k], returning [m,n].
+// Zero entries of A are skipped, so sparse activations (post-ReLU, or
+// ternary-weight products) cost only their nonzeros, matching the fast
+// path in MatMul and MatMulT1.
 func MatMulT2(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
@@ -118,6 +121,9 @@ func MatMulT2(a, b *Tensor) *Tensor {
 			bj := b.Data[j*k : (j+1)*k]
 			var s float32
 			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
 				s += av * bj[p]
 			}
 			ci[j] = s
@@ -128,18 +134,31 @@ func MatMulT2(a, b *Tensor) *Tensor {
 
 // MatVec computes y = A·x for A [m,k] and x of length k.
 func MatVec(a *Tensor, x []float32) []float32 {
+	y := make([]float32, a.shape[0])
+	MatVecInto(y, a, x)
+	return y
+}
+
+// MatVecInto computes y = A·x into an existing slice of length m, so hot
+// callers can reuse the output across invocations. The output is
+// overwritten. Zero entries of x are skipped.
+func MatVecInto(y []float32, a *Tensor, x []float32) {
 	m, k := a.shape[0], a.shape[1]
 	if len(x) != k {
 		panic("tensor: MatVec length mismatch")
 	}
-	y := make([]float32, m)
+	if len(y) != m {
+		panic("tensor: MatVecInto output length mismatch")
+	}
 	for i := 0; i < m; i++ {
 		row := a.Data[i*k : (i+1)*k]
 		var s float32
-		for p, v := range row {
-			s += v * x[p]
+		for p, v := range x {
+			if v == 0 {
+				continue
+			}
+			s += v * row[p]
 		}
 		y[i] = s
 	}
-	return y
 }

@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// matmulT2Ref is a loop-order-preserving dense reference for the zero-skip
+// fast path.
+func matmulT2Ref(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+// TestMatMulT2ZeroSkip checks the skip path against a dense reference on
+// sparse ternary-like inputs, where most products vanish.
+func TestMatMulT2ZeroSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(12), 1+rng.Intn(8)
+		a, b := New(m, k), New(n, k)
+		for i := range a.Data {
+			if rng.Float64() < 0.4 {
+				a.Data[i] = float32(rng.Intn(3) - 1) // ternary: many zeros
+			}
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(rng.NormFloat64())
+		}
+		got, want := MatMulT2(a, b), matmulT2Ref(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: C[%d]=%g, want %g", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatVecInto checks the in-place variant reuses the caller's slice and
+// matches MatVec, including on sparse inputs hitting the zero-skip.
+func TestMatVecInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(5, 7)
+	x := make([]float32, 7)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = float32(rng.NormFloat64())
+		}
+	}
+	want := MatVec(a, x)
+	y := make([]float32, 5)
+	for i := range y {
+		y[i] = 99 // must be overwritten, not accumulated
+	}
+	MatVecInto(y, a, x)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d]=%g, want %g", i, y[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() { MatVecInto(y, a, x) }); allocs != 0 {
+		t.Fatalf("MatVecInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestMatVecIntoOutputLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short output slice")
+		}
+	}()
+	MatVecInto(make([]float32, 1), New(2, 3), make([]float32, 3))
+}
