@@ -15,6 +15,17 @@ go test -race ./...
 # a broken hot path fails CI even when nobody reads BENCH_engine.json.
 go test -run='^$' -bench='Engine' -benchtime=1x .
 
+# Parallel-training smoke under the race detector: one epoch of the data-
+# parallel trainer (-workers 2) driven twice through the same feature cache,
+# proving both the cold write and the warm reload paths end to end.
+CACHE="$(mktemp -d)/feat.thfc"
+go run -race ./cmd/kws-train -model st-hybrid -samples 4 -width 0.1 \
+    -epochs 1 -workers 2 -cache "$CACHE"
+test -f "$CACHE"
+go run -race ./cmd/kws-train -model st-hybrid -samples 4 -width 0.1 \
+    -epochs 1 -workers 2 -cache "$CACHE"
+rm -rf "$(dirname "$CACHE")"
+
 # Fuzz smoke: 10 s per hostile-input parser. Seeds alone run in `go test`;
 # this exercises the mutation engine against fresh corpus entries.
 go test -run='^$' -fuzz=FuzzReadEngine -fuzztime=10s ./internal/deploy

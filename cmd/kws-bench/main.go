@@ -1,19 +1,26 @@
-// Command kws-bench measures the packed inference engine at the paper's
-// deployment shape and writes the numbers to a machine-readable JSON file,
-// so perf regressions show up as a diff rather than a feeling. It times
-// three paths over the same synthetic ST-HybridNet engine (see
-// deploy.SyntheticEngine): the retained naive reference (Engine.Naive), the
-// sparse zero-allocation single-frame path (Engine.Infer), and the parallel
-// batch path (Engine.InferBatch).
+// Command kws-bench measures the repository's two hot paths and writes the
+// numbers to machine-readable JSON files, so perf regressions show up as a
+// diff rather than a feeling.
+//
+// Engine mode (default) times three inference paths over the same synthetic
+// ST-HybridNet engine (see deploy.SyntheticEngine): the retained naive
+// reference (Engine.Naive), the sparse zero-allocation single-frame path
+// (Engine.Infer), and the parallel batch path (Engine.InferBatch).
+//
+// Train mode (-train) measures training throughput on the paper-shape
+// hybrid: samples/sec and ns/step for the serial trainer versus the
+// data-parallel trainer at 1/2/4/8 workers, plus cold- versus warm-cache
+// dataset setup through the THFC feature cache.
 //
 // Usage:
 //
 //	kws-bench                         # writes BENCH_engine.json
+//	kws-bench -train                  # writes BENCH_train.json
 //	kws-bench -o - -reps 5            # print JSON to stdout, best of 5
 //	kws-bench -density 0.2 -batch 32
 //
-// The headline gates, asserted here and in the test suite: Infer must run
-// with 0 allocs/op and at least 2× faster than the naive reference.
+// The engine headline gates, asserted here and in the test suite: Infer must
+// run with 0 allocs/op and at least 2× faster than the naive reference.
 package main
 
 import (
@@ -22,11 +29,15 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/speechcmd"
+	"repro/internal/train"
 )
 
 type result struct {
@@ -43,6 +54,7 @@ type report struct {
 	GOOS            string   `json:"goos"`
 	GOARCH          string   `json:"goarch"`
 	GOMAXPROCS      int      `json:"gomaxprocs"`
+	NumCPU          int      `json:"num_cpu"`
 	Shape           string   `json:"shape"`
 	Density         float64  `json:"density"`
 	Seed            int64    `json:"seed"`
@@ -71,21 +83,56 @@ func best(reps int, f func(b *testing.B)) result {
 	}
 }
 
+func writeReport(v any, out string) {
+	js, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if out == "-" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	out := flag.String("o", "BENCH_engine.json", `output file ("-" for stdout)`)
+	out := flag.String("o", "", `output file ("-" for stdout; default BENCH_engine.json or BENCH_train.json)`)
 	seed := flag.Int64("seed", 9, "synthetic engine weight seed")
 	density := flag.Float64("density", 0.35, "ternary nonzero density")
 	batch := flag.Int("batch", 64, "frames per InferBatch call")
 	reps := flag.Int("reps", 3, "benchmark repetitions; the fastest is kept")
+	trainMode := flag.Bool("train", false, "benchmark training throughput instead of the inference engine")
+	trainWidth := flag.Float64("train-width", 0.25, "hybrid width multiplier for the training benchmark")
+	trainSamples := flag.Int("train-samples", 16, "corpus samples per class for the training benchmark")
+	trainEpochs := flag.Int("train-epochs", 1, "epochs per timed training run")
 	flag.Parse()
 
-	e := deploy.SyntheticEngine(*seed, *density)
-	rng := rand.New(rand.NewSource(*seed + 1))
+	if *trainMode {
+		if *out == "" {
+			*out = "BENCH_train.json"
+		}
+		benchTrain(*out, *seed, *trainWidth, *trainSamples, *trainEpochs, *reps)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_engine.json"
+	}
+	benchEngine(*out, *seed, *density, *batch, *reps)
+}
+
+func benchEngine(out string, seed int64, density float64, batch, reps int) {
+	e := deploy.SyntheticEngine(seed, density)
+	rng := rand.New(rand.NewSource(seed + 1))
 	x := make([]float32, e.Frames*e.Coeffs)
 	for i := range x {
 		x[i] = float32(rng.NormFloat64())
 	}
-	xs := make([][]float32, *batch)
+	xs := make([][]float32, batch)
 	for i := range xs {
 		f := make([]float32, len(x))
 		for j := range f {
@@ -95,21 +142,20 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     "kws-bench/v1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Schema:    "kws-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
 		Shape: fmt.Sprintf("%dx%d in, %d convs, %d classes",
 			e.Frames, e.Coeffs, len(e.Convs), e.Tree.NumClasses),
-		Density:   *density,
-		Seed:      *seed,
-		BatchSize: *batch,
-		Reps:      *reps,
+		Density:   density,
+		Seed:      seed,
+		BatchSize: batch,
+		Reps:      reps,
 	}
 
-	naive := best(*reps, func(b *testing.B) {
+	naive := best(reps, func(b *testing.B) {
 		e.Naive = true
 		defer func() { e.Naive = false }()
 		b.ReportAllocs()
@@ -121,7 +167,7 @@ func main() {
 	rep.Results = append(rep.Results, naive)
 
 	e.Infer(x) // warm up: kernel compile + arena build
-	sparse := best(*reps, func(b *testing.B) {
+	sparse := best(reps, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			e.Infer(x)
@@ -131,7 +177,7 @@ func main() {
 	rep.Results = append(rep.Results, sparse)
 
 	e.InferBatch(xs[:1]) // warm up the batch arena pool
-	bat := best(*reps, func(b *testing.B) {
+	bat := best(reps, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, r := range e.InferBatch(xs) {
@@ -141,11 +187,15 @@ func main() {
 			}
 		}
 	})
-	bat.Name = fmt.Sprintf("EngineInferBatch%d", *batch)
+	bat.Name = fmt.Sprintf("EngineInferBatch%d", batch)
 	rep.Results = append(rep.Results, bat)
 
 	rep.SpeedupVsNaive = naive.NsPerOp / sparse.NsPerOp
-	rep.BatchNsPerFrame = bat.NsPerOp / float64(*batch)
+	rep.BatchNsPerFrame = bat.NsPerOp / float64(batch)
+	// Recorded after the benchmarks so the report reflects the environment
+	// the numbers were actually measured under.
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
 
 	if sparse.AllocsPerOp != 0 {
 		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: Infer allocates %d objects/op, want 0\n", sparse.AllocsPerOp)
@@ -154,21 +204,188 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kws-bench: WARNING: sparse speedup %.2fx below the 2x gate (noisy host?)\n", rep.SpeedupVsNaive)
 	}
 
-	js, err := json.MarshalIndent(rep, "", "  ")
+	writeReport(rep, out)
+	fmt.Printf("kws-bench: naive %.0f ns/op, sparse %.0f ns/op (%.2fx, %d allocs/op), batch %.0f ns/frame -> %s\n",
+		naive.NsPerOp, sparse.NsPerOp, rep.SpeedupVsNaive,
+		sparse.AllocsPerOp, rep.BatchNsPerFrame, out)
+}
+
+// trainResult is one timed training configuration.
+type trainResult struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"` // 0 = serial path
+	Shards        int     `json:"shards"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	FinalLoss     float64 `json:"final_loss"`
+}
+
+// trainReport is the BENCH_train.json schema.
+type trainReport struct {
+	Schema              string        `json:"schema"`
+	Generated           string        `json:"generated"`
+	GoVersion           string        `json:"go_version"`
+	GOOS                string        `json:"goos"`
+	GOARCH              string        `json:"goarch"`
+	GOMAXPROCS          int           `json:"gomaxprocs"`
+	NumCPU              int           `json:"num_cpu"`
+	Model               string        `json:"model"`
+	WidthMult           float64       `json:"width_mult"`
+	Seed                int64         `json:"seed"`
+	SamplesPerClass     int           `json:"samples_per_class"`
+	TrainSamples        int           `json:"train_samples"`
+	Epochs              int           `json:"epochs"`
+	BatchSize           int           `json:"batch_size"`
+	Reps                int           `json:"reps"`
+	Results             []trainResult `json:"results"`
+	SpeedupW4VsSerial   float64       `json:"speedup_workers4_vs_serial"`
+	CacheColdMs         float64       `json:"cache_cold_ms"`
+	CacheWarmMs         float64       `json:"cache_warm_ms"`
+	CacheSpeedup        float64       `json:"cache_speedup_warm_vs_cold"`
+	DeterminismVerified bool          `json:"determinism_workers1_vs_4_verified"`
+	Note                string        `json:"note,omitempty"`
+}
+
+// timedRun trains a fresh paper-shape hybrid from the same seed and returns
+// the best-of-reps throughput for the given worker count.
+func timedRun(x *train.Config, feats *speechcmd.Dataset, width float64, seed int64, workers, reps int) trainResult {
+	bx, by := speechcmd.Batch(feats.Train, 0, len(feats.Train))
+	steps := (len(by) + x.BatchSize - 1) / x.BatchSize * x.Epochs
+	var bestElapsed time.Duration
+	var lastLoss float64
+	for rep := 0; rep < reps; rep++ {
+		mcfg := core.DefaultConfig(speechcmd.NumClasses)
+		mcfg.WidthMult = width
+		m := core.New(mcfg, rand.New(rand.NewSource(seed)))
+		cfg := *x
+		cfg.Workers = workers
+		start := time.Now()
+		res := train.Run(m, bx, by, cfg)
+		elapsed := time.Since(start)
+		if rep == 0 || elapsed < bestElapsed {
+			bestElapsed = elapsed
+		}
+		lastLoss = res.FinalLoss
+	}
+	name := "TrainSerial"
+	shards := 0
+	if workers > 0 {
+		name = fmt.Sprintf("TrainWorkers%d", workers)
+		shards = x.Shards
+		if shards == 0 {
+			shards = train.DefaultShards
+		}
+	}
+	return trainResult{
+		Name:          name,
+		Workers:       workers,
+		Shards:        shards,
+		SamplesPerSec: float64(len(by)*x.Epochs) / bestElapsed.Seconds(),
+		NsPerStep:     float64(bestElapsed.Nanoseconds()) / float64(steps),
+		FinalLoss:     lastLoss,
+	}
+}
+
+func benchTrain(out string, seed int64, width float64, samplesPerCls, epochs, reps int) {
+	dsCfg := speechcmd.DefaultConfig()
+	dsCfg.SamplesPerCls = samplesPerCls
+	dsCfg.Seed = seed
+
+	// Cold vs warm feature cache through the real GenerateCached path.
+	tmpDir, err := os.MkdirTemp("", "kws-bench-cache")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kws-bench:", err)
 		os.Exit(1)
 	}
-	js = append(js, '\n')
-	if *out == "-" {
-		os.Stdout.Write(js)
-		return
-	}
-	if err := os.WriteFile(*out, js, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+	defer os.RemoveAll(tmpDir)
+	cachePath := filepath.Join(tmpDir, "feat.thfc")
+	coldStart := time.Now()
+	ds, warm, err := speechcmd.GenerateCached(dsCfg, cachePath)
+	coldMs := float64(time.Since(coldStart).Nanoseconds()) / 1e6
+	if err != nil || warm {
+		fmt.Fprintf(os.Stderr, "kws-bench: cold cache generation failed (warm=%v err=%v)\n", warm, err)
 		os.Exit(1)
 	}
-	fmt.Printf("kws-bench: naive %.0f ns/op, sparse %.0f ns/op (%.2fx, %d allocs/op), batch %.0f ns/frame -> %s\n",
-		naive.NsPerOp, sparse.NsPerOp, rep.SpeedupVsNaive,
-		sparse.AllocsPerOp, rep.BatchNsPerFrame, *out)
+	warmMs := 0.0
+	for rep := 0; rep < reps; rep++ {
+		warmStart := time.Now()
+		_, w, err := speechcmd.GenerateCached(dsCfg, cachePath)
+		ms := float64(time.Since(warmStart).Nanoseconds()) / 1e6
+		if err != nil || !w {
+			fmt.Fprintf(os.Stderr, "kws-bench: warm cache load failed (warm=%v err=%v)\n", w, err)
+			os.Exit(1)
+		}
+		if rep == 0 || ms < warmMs {
+			warmMs = ms
+		}
+	}
+
+	base := train.Config{
+		Epochs:    epochs,
+		BatchSize: 20,
+		Schedule:  train.StepSchedule{Base: 0.01, Every: epochs + 1, Factor: 0.3},
+		Loss:      train.MultiClassHinge,
+		Seed:      seed,
+	}
+
+	rep := trainReport{
+		Schema:          "kws-train-bench/v1",
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		Model:           "st-hybrid",
+		WidthMult:       width,
+		Seed:            seed,
+		SamplesPerClass: samplesPerCls,
+		TrainSamples:    len(ds.Train),
+		Epochs:          epochs,
+		BatchSize:       base.BatchSize,
+		Reps:            reps,
+		CacheColdMs:     coldMs,
+		CacheWarmMs:     warmMs,
+		CacheSpeedup:    coldMs / warmMs,
+	}
+
+	var serial, w4 trainResult
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		r := timedRun(&base, ds, width, seed, workers, reps)
+		rep.Results = append(rep.Results, r)
+		switch workers {
+		case 0:
+			serial = r
+		case 4:
+			w4 = r
+		}
+		fmt.Fprintf(os.Stderr, "kws-bench: %-14s %8.1f samples/sec  %12.0f ns/step  loss %.4f\n",
+			r.Name, r.SamplesPerSec, r.NsPerStep, r.FinalLoss)
+	}
+	rep.SpeedupW4VsSerial = w4.SamplesPerSec / serial.SamplesPerSec
+
+	// Cross-check the reduction-order determinism claim in the shipped
+	// artifact, not just the test suite: Workers=1 and Workers=4 must land
+	// on bit-identical final losses.
+	bx, by := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+	var losses [2]float64
+	for i, workers := range []int{1, 4} {
+		mcfg := core.DefaultConfig(speechcmd.NumClasses)
+		mcfg.WidthMult = width
+		m := core.New(mcfg, rand.New(rand.NewSource(seed)))
+		cfg := base
+		cfg.Workers = workers
+		losses[i] = train.Run(m, bx, by, cfg).FinalLoss
+	}
+	rep.DeterminismVerified = losses[0] == losses[1]
+
+	// Recorded after the benchmarks so the report reflects the environment
+	// the numbers were actually measured under.
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
+	if rep.NumCPU == 1 {
+		rep.Note = "single-CPU host: worker replicas timeslice one core, so parallel samples/sec cannot exceed serial here; the speedup gate applies on multi-core hosts"
+	}
+
+	writeReport(rep, out)
+	fmt.Printf("kws-bench: train serial %.1f samples/sec, workers=4 %.1f (%.2fx), cache cold %.0fms warm %.1fms (%.0fx) -> %s\n",
+		serial.SamplesPerSec, w4.SamplesPerSec, rep.SpeedupW4VsSerial, coldMs, warmMs, rep.CacheSpeedup, out)
 }

@@ -6,6 +6,7 @@
 //
 //	kws-train -model st-hybrid -out model.gob
 //	kws-train -model dscnn -width 0.5 -epochs 40
+//	kws-train -workers 4 -cache feat.thfc   # data-parallel, cached features
 //
 // Models: dscnn, st-dscnn, cnn, dnn, lstm, basic-lstm, gru, crnn, hybrid,
 // st-hybrid.
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -33,13 +35,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "write trained parameters to this file")
 	confusion := flag.Bool("confusion", false, "print the test-set confusion matrix and per-class stats")
+	workers := flag.Int("workers", 0, "data-parallel training workers (0 = serial)")
+	shards := flag.Int("shards", 0, "per-batch gradient shards (0 = default; fixes the parallel reduction order)")
+	cache := flag.String("cache", "", "feature cache file; reused when valid, regenerated otherwise")
 	flag.Parse()
 
 	dsCfg := speechcmd.DefaultConfig()
 	dsCfg.SamplesPerCls = *samples
 	dsCfg.Seed = *seed
-	fmt.Fprintf(os.Stderr, "generating corpus (%d samples/class)...\n", *samples)
-	ds := speechcmd.Generate(dsCfg)
+	var ds *speechcmd.Dataset
+	if *cache != "" {
+		start := time.Now()
+		d, warm, err := speechcmd.GenerateCached(dsCfg, *cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		state := "cold (generated + cached)"
+		if warm {
+			state = "warm"
+		}
+		fmt.Fprintf(os.Stderr, "feature cache %s: %s in %v\n", *cache, state, time.Since(start).Round(time.Millisecond))
+		ds = d
+	} else {
+		fmt.Fprintf(os.Stderr, "generating corpus (%d samples/class)...\n", *samples)
+		ds = speechcmd.Generate(dsCfg)
+	}
 	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
 	vx, vy := speechcmd.Batch(ds.Val, 0, len(ds.Val))
 	tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
@@ -86,6 +107,8 @@ func main() {
 		Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
 		Loss:      loss,
 		Seed:      *seed,
+		Workers:   *workers,
+		Shards:    *shards,
 		Log:       os.Stderr,
 	}
 	if hybrid != nil {

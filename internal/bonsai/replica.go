@@ -1,0 +1,34 @@
+package bonsai
+
+import "repro/internal/nn"
+
+// Replicate builds a training replica of the tree for the data-parallel
+// trainer: Cfg is copied by value (so the master's σ annealing between
+// epochs never races with replica forwards — the trainer rebuilds replicas
+// each epoch to pick the new σ up), Theta shares its value tensor with a
+// private gradient, and the node linear maps are replicated recursively
+// (dense or strassenified alike).
+func (t *Tree) Replicate() nn.Layer {
+	c := &Tree{Cfg: t.Cfg, Theta: nn.ShareParam(t.Theta)}
+	if t.Z != nil {
+		z, err := nn.NewReplica(t.Z)
+		if err != nil {
+			return nil
+		}
+		c.Z = z
+	}
+	c.W = make([]nn.Layer, len(t.W))
+	c.V = make([]nn.Layer, len(t.V))
+	for k := range t.W {
+		w, err := nn.NewReplica(t.W[k])
+		if err != nil {
+			return nil
+		}
+		v, err := nn.NewReplica(t.V[k])
+		if err != nil {
+			return nil
+		}
+		c.W[k], c.V[k] = w, v
+	}
+	return c
+}

@@ -165,6 +165,27 @@ func New(cfg Config, rng *rand.Rand) *Hybrid {
 // Unwrap exposes the underlying pipeline for op accounting.
 func (h *Hybrid) Unwrap() nn.Layer { return h.Sequential }
 
+// Replicate builds a training replica of the hybrid (see nn.Replicator):
+// the pipeline is replicated recursively and the Tree handle is re-pointed
+// at the replicated Bonsai layer inside it.
+func (h *Hybrid) Replicate() nn.Layer {
+	seqL, err := nn.NewReplica(h.Sequential)
+	if err != nil {
+		return nil
+	}
+	seq := seqL.(*nn.Sequential)
+	c := &Hybrid{Sequential: seq, Cfg: h.Cfg}
+	for _, l := range seq.Layers {
+		if t, ok := l.(*bonsai.Tree); ok {
+			c.Tree = t
+		}
+	}
+	if c.Tree == nil {
+		return nil
+	}
+	return c
+}
+
 // SubLayers exposes the pipeline's layers so strassen.SetModeAll and
 // strassen.CollectTernary can traverse the wrapper.
 func (h *Hybrid) SubLayers() []nn.Layer { return h.Sequential.Layers }

@@ -51,3 +51,8 @@ func (l *ChannelsToSeq) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil; the layer has no parameters.
 func (l *ChannelsToSeq) Params() []*nn.Param { return nil }
+
+// Replicate returns a stateless copy (see nn.Replicator).
+func (l *ChannelsToSeq) Replicate() nn.Layer {
+	return &ChannelsToSeq{C: l.C, H: l.H, W: l.W}
+}

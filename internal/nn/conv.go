@@ -2,8 +2,6 @@ package nn
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/tensor"
 )
@@ -256,35 +254,4 @@ func (d *DepthwiseConv2D) Params() []*Param {
 		return []*Param{d.Weight}
 	}
 	return []*Param{d.Weight, d.Bias}
-}
-
-// ParallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines. It is
-// the batch-parallelism primitive shared by the convolution-style layers.
-func ParallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -21,7 +21,16 @@ type BatchNorm struct {
 	RunningMean *tensor.Tensor // [c]
 	RunningVar  *tensor.Tensor // [c]
 
-	// caches for backward
+	// noTrack suppresses the in-forward running-statistics update. It is set
+	// on trainer replicas, which share RunningMean/RunningVar with the master
+	// read-only; the trainer merges per-shard batch statistics into the
+	// master itself (UpdateRunning) in a fixed order so the result does not
+	// depend on worker scheduling.
+	noTrack bool
+
+	// caches for backward / stat merging
+	lastMean     []float32
+	lastVar      []float32
 	lastXHat     *tensor.Tensor
 	lastStd      []float32
 	lastN        int
@@ -110,10 +119,15 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 
 	std := make([]float32, b.C)
+	b.lastMean = make([]float32, b.C)
+	b.lastVar = make([]float32, b.C)
 	for ch := 0; ch < b.C; ch++ {
 		std[ch] = float32(math.Sqrt(variance[ch] + float64(b.Eps)))
-		b.RunningMean.Data[ch] = b.Momentum*b.RunningMean.Data[ch] + (1-b.Momentum)*float32(mean[ch])
-		b.RunningVar.Data[ch] = b.Momentum*b.RunningVar.Data[ch] + (1-b.Momentum)*float32(variance[ch])
+		b.lastMean[ch] = float32(mean[ch])
+		b.lastVar[ch] = float32(variance[ch])
+	}
+	if !b.noTrack {
+		b.UpdateRunning(b.lastMean, b.lastVar)
 	}
 
 	xhat := tensor.New(x.Shape()...)
@@ -159,3 +173,33 @@ func (b *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 // Params returns gamma and beta.
 func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// BatchStats returns the per-channel mean and (biased) variance of the last
+// training-mode forward pass. The slices are owned by the layer; callers
+// must copy them if they outlive the next Forward.
+func (b *BatchNorm) BatchStats() (mean, variance []float32) {
+	return b.lastMean, b.lastVar
+}
+
+// UpdateRunning applies one exponential-moving-average step to the running
+// statistics with the given batch statistics. The data-parallel trainer
+// calls this on the master once per shard, in shard order, reproducing the
+// serial layer's update rule deterministically.
+func (b *BatchNorm) UpdateRunning(mean, variance []float32) {
+	for ch := 0; ch < b.C; ch++ {
+		b.RunningMean.Data[ch] = b.Momentum*b.RunningMean.Data[ch] + (1-b.Momentum)*mean[ch]
+		b.RunningVar.Data[ch] = b.Momentum*b.RunningVar.Data[ch] + (1-b.Momentum)*variance[ch]
+	}
+}
+
+// Replicate shares gamma, beta and the running statistics (read-only in the
+// replica: noTrack suppresses the in-forward EMA update) and keeps all batch
+// caches private.
+func (b *BatchNorm) Replicate() Layer {
+	return &BatchNorm{
+		C: b.C, Gamma: ShareParam(b.Gamma), Beta: ShareParam(b.Beta),
+		Momentum: b.Momentum, Eps: b.Eps,
+		RunningMean: b.RunningMean, RunningVar: b.RunningVar,
+		noTrack: true,
+	}
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The package keeps one shared budget of "extra worker" tokens, sized
+// GOMAXPROCS-1 by default. Every ParallelFor call — whether issued from the
+// data-parallel trainer, a convolution kernel inside one of its replicas, or
+// plain single-threaded code — draws its fan-out from this pool, so nested
+// parallel sections flatten instead of multiplying: an outer loop that
+// already owns the whole budget forces inner loops to run inline on their
+// caller's goroutine, and total running goroutines stay bounded by
+// GOMAXPROCS regardless of nesting depth.
+var workerBudget atomic.Pointer[workerPool]
+
+type workerPool struct{ tokens chan struct{} }
+
+func newWorkerPool(extra int) *workerPool {
+	if extra < 0 {
+		extra = 0
+	}
+	p := &workerPool{tokens: make(chan struct{}, extra)}
+	for i := 0; i < extra; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+func budget() *workerPool {
+	if p := workerBudget.Load(); p != nil {
+		return p
+	}
+	p := newWorkerPool(runtime.GOMAXPROCS(0) - 1)
+	if workerBudget.CompareAndSwap(nil, p) {
+		return p
+	}
+	return workerBudget.Load()
+}
+
+// SetParallelBudget resets the shared extra-worker budget to k tokens. The
+// default is GOMAXPROCS-1. It exists for tests and for hosts that want to
+// cap library parallelism; it must not be called concurrently with running
+// ParallelFor sections (outstanding tokens from the old budget are dropped).
+func SetParallelBudget(k int) {
+	workerBudget.Store(newWorkerPool(k))
+}
+
+// AcquireWorkers takes up to k extra-worker tokens from the shared budget
+// without blocking and returns how many it got (possibly 0). Callers that
+// run their own goroutine pools — like the data-parallel trainer — acquire
+// tokens for the pool's lifetime so nested ParallelFor calls inside their
+// workers shrink accordingly. Pair with ReleaseWorkers.
+func AcquireWorkers(k int) int {
+	p := budget()
+	got := 0
+	for got < k {
+		select {
+		case <-p.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseWorkers returns n tokens previously obtained from AcquireWorkers.
+func ReleaseWorkers(n int) {
+	p := budget()
+	for i := 0; i < n; i++ {
+		select {
+		case p.tokens <- struct{}{}:
+		default:
+			// Budget was replaced (SetParallelBudget) while we held tokens;
+			// dropping the excess keeps the pool at its configured size.
+			return
+		}
+	}
+}
+
+// ParallelFor runs f(i) for i in [0,n) using the caller's goroutine plus as
+// many extra workers as the shared budget allows (never more than n-1, never
+// more than GOMAXPROCS-1 in total across all concurrent sections). n <= 0 is
+// a no-op and n == 1 runs inline. Iterations must be independent; when they
+// write, they must write to disjoint locations. Nested calls are safe: inner
+// sections degrade to inline execution once the budget is exhausted.
+func ParallelFor(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		f(0)
+		return
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want > n {
+		want = n
+	}
+	extra := AcquireWorkers(want - 1)
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	defer ReleaseWorkers(extra)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < extra; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := range next { // the caller works too
+		f(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func resetBudget() { SetParallelBudget(runtime.GOMAXPROCS(0) - 1) }
+
+func TestParallelForEdgeCases(t *testing.T) {
+	defer resetBudget()
+	// n == 0 and negative n must not invoke f at all.
+	for _, n := range []int{0, -1, -100} {
+		called := false
+		ParallelFor(n, func(i int) { called = true })
+		if called {
+			t.Fatalf("ParallelFor(%d) invoked the body", n)
+		}
+	}
+	// Every index in [0, n) must run exactly once, for n both below and
+	// above GOMAXPROCS.
+	for _, n := range []int{1, 2, 3, runtime.GOMAXPROCS(0) + 3, 64} {
+		counts := make([]int32, n)
+		ParallelFor(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForNested(t *testing.T) {
+	defer resetBudget()
+	// Nested sections must still cover every (outer, inner) pair exactly
+	// once, regardless of how the shared budget throttles the fan-out.
+	const outer, inner = 4, 16
+	var counts [outer][inner]int32
+	ParallelFor(outer, func(i int) {
+		ParallelFor(inner, func(j int) {
+			atomic.AddInt32(&counts[i][j], 1)
+		})
+	})
+	for i := range counts {
+		for j := range counts[i] {
+			if counts[i][j] != 1 {
+				t.Fatalf("pair (%d,%d) ran %d times", i, j, counts[i][j])
+			}
+		}
+	}
+}
+
+func TestWorkerBudgetAcquireRelease(t *testing.T) {
+	defer resetBudget()
+	SetParallelBudget(3)
+	if got := AcquireWorkers(10); got != 3 {
+		t.Fatalf("AcquireWorkers(10) = %d with budget 3", got)
+	}
+	// Budget exhausted: parallel sections must degrade to inline execution
+	// (still covering all indices) rather than spawning goroutines.
+	var ran int32
+	ParallelFor(8, func(i int) { atomic.AddInt32(&ran, 1) })
+	if ran != 8 {
+		t.Fatalf("inline fallback ran %d/8 iterations", ran)
+	}
+	if got := AcquireWorkers(1); got != 0 {
+		t.Fatalf("budget should be empty, acquired %d", got)
+	}
+	ReleaseWorkers(3)
+	if got := AcquireWorkers(10); got != 3 {
+		t.Fatalf("after release, AcquireWorkers(10) = %d, want 3", got)
+	}
+	ReleaseWorkers(3)
+}
+
+func TestWorkerBudgetRestoredAfterParallelFor(t *testing.T) {
+	defer resetBudget()
+	SetParallelBudget(4)
+	for round := 0; round < 50; round++ {
+		ParallelFor(16, func(i int) {})
+	}
+	if got := AcquireWorkers(10); got != 4 {
+		t.Fatalf("budget leaked: AcquireWorkers(10) = %d, want 4", got)
+	}
+	ReleaseWorkers(4)
+}

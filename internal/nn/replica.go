@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// This file implements the replica machinery behind the data-parallel
+// trainer (internal/train). A replica is a structurally identical copy of a
+// layer tree that shares the original's weight tensors — so an optimizer
+// step on the master is instantly visible to every replica — while owning
+// private gradient accumulators and private forward/backward caches. Each
+// trainer worker runs forward/backward on its own replica over its own
+// micro-batch, then the trainer reduces the per-shard gradients into the
+// master in a fixed order. During a parallel section the shared weights are
+// read-only by contract: replicas never write Param.W, running statistics,
+// or any other master-owned state.
+
+// ShareParam returns a parameter that aliases p's value tensor but owns a
+// fresh zeroed gradient accumulator. It is the building block for layer
+// replicas; it returns nil for a nil parameter so optional biases pass
+// through.
+func ShareParam(p *Param) *Param {
+	if p == nil {
+		return nil
+	}
+	return &Param{Name: p.Name, W: p.W, G: tensor.New(p.W.Shape()...), Frozen: p.Frozen}
+}
+
+// Replicator is implemented by layers that can build a training replica.
+// Replicate returns nil when the layer (or one of its children) cannot be
+// replicated; NewReplica turns that into an error.
+type Replicator interface {
+	Replicate() Layer
+}
+
+// NewReplica builds a training replica of a layer tree. Layers that do not
+// implement Replicator make the whole tree non-replicable, and the trainer
+// falls back to its serial path.
+func NewReplica(l Layer) (Layer, error) {
+	r, ok := l.(Replicator)
+	if !ok {
+		return nil, fmt.Errorf("nn: %T does not support replication", l)
+	}
+	c := r.Replicate()
+	if c == nil {
+		return nil, fmt.Errorf("nn: %T replica construction failed (non-replicable child?)", l)
+	}
+	return c, nil
+}
+
+// SubLayerer is implemented by composite layers that expose nested layers.
+// It mirrors strassen.SubLayerer so traversals can stay in this package.
+type SubLayerer interface {
+	SubLayers() []Layer
+}
+
+// Visit calls f on l and, pre-order, on every nested layer reachable through
+// Sequential children or SubLayers.
+func Visit(l Layer, f func(Layer)) {
+	f(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, s := range v.Layers {
+			Visit(s, f)
+		}
+	case SubLayerer:
+		for _, s := range v.SubLayers() {
+			Visit(s, f)
+		}
+	}
+}
+
+// Replicate clones the container, replicating every child.
+func (s *Sequential) Replicate() Layer {
+	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
+	for i, sub := range s.Layers {
+		r, err := NewReplica(sub)
+		if err != nil {
+			return nil
+		}
+		out.Layers[i] = r
+	}
+	return out
+}
+
+// Replicate shares weights and bias; the private lastIn cache makes replica
+// backward passes independent.
+func (d *Dense) Replicate() Layer {
+	return &Dense{In: d.In, Out: d.Out, Weight: ShareParam(d.Weight), Bias: ShareParam(d.Bias)}
+}
+
+// Replicate shares the kernel and bias and leaves the im2col caches private.
+func (c *Conv2D) Replicate() Layer {
+	return &Conv2D{
+		Cin: c.Cin, Cout: c.Cout, KH: c.KH, KW: c.KW,
+		Stride: c.Stride, PadH: c.PadH, PadW: c.PadW,
+		Weight: ShareParam(c.Weight), Bias: ShareParam(c.Bias),
+	}
+}
+
+// Replicate shares the depthwise kernel and bias.
+func (d *DepthwiseConv2D) Replicate() Layer {
+	return &DepthwiseConv2D{
+		C: d.C, KH: d.KH, KW: d.KW, Stride: d.Stride, Pad: d.Pad,
+		Weight: ShareParam(d.Weight), Bias: ShareParam(d.Bias),
+	}
+}
+
+// Replicate returns a stateless copy with a private activation mask.
+func (r *ReLU) Replicate() Layer { return &ReLU{} }
+
+// Replicate returns a stateless copy with a private output cache.
+func (t *Tanh) Replicate() Layer { return &Tanh{} }
+
+// Replicate gives the copy a private rng split off the original so replica
+// forwards never race on the shared stream. Dropout replicas are therefore
+// NOT bit-identical to serial training — no current model trains with
+// dropout; the parallel trainer documents this caveat.
+func (d *Dropout) Replicate() Layer {
+	var seed int64 = 1
+	if d.rng != nil {
+		seed = d.rng.Int63()
+	}
+	return &Dropout{Rate: d.Rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Replicate returns a copy with private pooling caches.
+func (p *GlobalAvgPool2D) Replicate() Layer { return &GlobalAvgPool2D{} }
+
+// Replicate returns a copy with private pooling caches.
+func (p *AvgPool2D) Replicate() Layer {
+	return &AvgPool2D{KH: p.KH, KW: p.KW, Stride: p.Stride}
+}
+
+// Replicate returns a copy with a private shape cache.
+func (f *Flatten) Replicate() Layer { return &Flatten{} }
+
+// Replicate returns a stateless copy.
+func (r *Reshape4D) Replicate() Layer { return &Reshape4D{C: r.C, H: r.H, W: r.W} }
+
+// Replicate replicates the body inside a fresh skip connection.
+func (r *Residual) Replicate() Layer {
+	body, err := NewReplica(r.Body)
+	if err != nil {
+		return nil
+	}
+	return &Residual{Body: body}
+}

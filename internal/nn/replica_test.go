@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// testModel builds a small conv stack exercising every replicable layer
+// family in this package.
+func testModel(rng *rand.Rand) *Sequential {
+	return NewSequential(
+		NewReshape4D(1, 8, 8),
+		NewConv2D("c1", 1, 3, 3, 3, 1, 1, 1, rng),
+		NewBatchNorm("bn1", 3),
+		NewReLU(),
+		NewResidual(NewSequential(
+			NewDepthwiseConv2D("dw", 3, 3, 3, 1, 1, rng),
+			NewBatchNorm("bn2", 3),
+			NewTanh(),
+		)),
+		NewGlobalAvgPool2D(),
+		NewDense("fc", 3, 4, rng),
+	)
+}
+
+func TestReplicaSharesWeightsOwnsGrads(t *testing.T) {
+	m := testModel(rand.New(rand.NewSource(1)))
+	r, err := NewReplica(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, rp := m.Params(), r.Params()
+	if len(mp) != len(rp) {
+		t.Fatalf("param count %d vs %d", len(mp), len(rp))
+	}
+	for i := range mp {
+		if rp[i].W != mp[i].W {
+			t.Errorf("param %d (%s): replica does not share the value tensor", i, mp[i].Name)
+		}
+		if rp[i].G == mp[i].G {
+			t.Errorf("param %d (%s): replica shares the gradient tensor", i, mp[i].Name)
+		}
+		if rp[i].Name != mp[i].Name || rp[i].Frozen != mp[i].Frozen {
+			t.Errorf("param %d metadata mismatch", i)
+		}
+	}
+}
+
+func TestReplicaForwardBackwardMatchesMaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := testModel(rng)
+	r, err := NewReplica(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(5, 64)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	y := []int{0, 1, 2, 3, 0}
+
+	lossGrad := func(out *tensor.Tensor) *tensor.Tensor {
+		g := tensor.New(out.Shape()...)
+		for i, label := range y {
+			g.Data[i*4+label] = 1
+		}
+		return g
+	}
+	outM := m.Forward(x, true)
+	outR := r.Forward(x, true)
+	for i := range outM.Data {
+		if outM.Data[i] != outR.Data[i] {
+			t.Fatalf("forward diverges at %d: %v vs %v", i, outM.Data[i], outR.Data[i])
+		}
+	}
+	ZeroGrads(m)
+	ZeroGrads(r)
+	m.Backward(lossGrad(outM))
+	r.Backward(lossGrad(outR))
+	mp, rp := m.Params(), r.Params()
+	for i := range mp {
+		for j := range mp[i].G.Data {
+			if mp[i].G.Data[j] != rp[i].G.Data[j] {
+				t.Fatalf("grad %d (%s) diverges at %d", i, mp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestReplicaBackwardLeavesMasterGradsAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testModel(rng)
+	r, err := NewReplica(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ZeroGrads(m)
+	x := tensor.New(2, 64)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	out := r.Forward(x, true)
+	r.Backward(tensor.New(out.Shape()...).Rand(rng, 1))
+	for _, p := range m.Params() {
+		for j, g := range p.G.Data {
+			if g != 0 {
+				t.Fatalf("master grad %s[%d] = %v after replica backward", p.Name, j, g)
+			}
+		}
+	}
+}
+
+func TestReplicaBatchNormDoesNotTouchRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bn := NewBatchNorm("bn", 3)
+	r := bn.Replicate().(*BatchNorm)
+	if r.RunningMean != bn.RunningMean || r.RunningVar != bn.RunningVar {
+		t.Fatal("replica must share the running-stat tensors read-only")
+	}
+	before := append([]float32(nil), bn.RunningMean.Data...)
+	x := tensor.New(6, 3)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	r.Forward(x, true)
+	for i := range before {
+		if bn.RunningMean.Data[i] != before[i] {
+			t.Fatal("replica training forward updated the shared running mean")
+		}
+	}
+	mean, variance := r.BatchStats()
+	if len(mean) != 3 || len(variance) != 3 {
+		t.Fatalf("BatchStats lengths %d/%d", len(mean), len(variance))
+	}
+	// Merging the replica's stats through the master must reproduce the
+	// serial layer's in-forward EMA update bit for bit.
+	serial := NewBatchNorm("bn-serial", 3)
+	serial.Forward(x, true)
+	bn.UpdateRunning(mean, variance)
+	for i := range serial.RunningMean.Data {
+		if bn.RunningMean.Data[i] != serial.RunningMean.Data[i] ||
+			bn.RunningVar.Data[i] != serial.RunningVar.Data[i] {
+			t.Fatalf("UpdateRunning diverges from the serial update at channel %d", i)
+		}
+	}
+}
+
+// opaqueLayer deliberately lacks a Replicate method.
+type opaqueLayer struct{}
+
+func (opaqueLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (opaqueLayer) Backward(dout *tensor.Tensor) *tensor.Tensor         { return dout }
+func (opaqueLayer) Params() []*Param                                    { return nil }
+
+func TestNewReplicaRejectsUnsupportedLayers(t *testing.T) {
+	if _, err := NewReplica(opaqueLayer{}); err == nil {
+		t.Fatal("expected an error for a layer without replica support")
+	}
+	// ... including when buried inside a Sequential.
+	m := NewSequential(NewReLU(), opaqueLayer{})
+	if _, err := NewReplica(m); err == nil {
+		t.Fatal("expected an error for a tree containing an unsupported layer")
+	}
+}

@@ -1,0 +1,23 @@
+package rnn
+
+import "repro/internal/nn"
+
+// Training replicas for the recurrent baselines (see nn.Replicator): shared
+// weight tensors, private gradients and private BPTT caches.
+
+// Replicate builds a training replica sharing weights with l.
+func (l *LSTM) Replicate() nn.Layer {
+	return &LSTM{
+		F: l.F, H: l.H, Peephole: l.Peephole,
+		Wx: nn.ShareParam(l.Wx), Wh: nn.ShareParam(l.Wh),
+		B: nn.ShareParam(l.B), P: nn.ShareParam(l.P),
+	}
+}
+
+// Replicate builds a training replica sharing weights with g.
+func (g *GRU) Replicate() nn.Layer {
+	return &GRU{
+		F: g.F, H: g.H,
+		Wx: nn.ShareParam(g.Wx), Wh: nn.ShareParam(g.Wh), B: nn.ShareParam(g.B),
+	}
+}

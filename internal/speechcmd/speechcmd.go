@@ -19,8 +19,10 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dsp"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -196,10 +198,19 @@ func addNoise(wave []float64, std float64, rng *rand.Rand) {
 	}
 }
 
+// featurizeBlockSize bounds how many raw waveforms Generate holds in memory
+// at once while featurising them in parallel.
+const featurizeBlockSize = 128
+
 // Generate materialises the corpus: SamplesPerCls utterances for each of the
 // 12 classes, featurised to MFCC and split 80/10/10.
+//
+// Waveform synthesis consumes the single master rng strictly sequentially,
+// so the corpus is byte-identical to any previous version of this package
+// for a given Config. Only the MFCC featurisation — a pure per-waveform
+// function that never touches the rng — fans out across cores, block by
+// block, with one private MFCC extractor per worker goroutine.
 func Generate(cfg Config) *Dataset {
-	mfcc := dsp.NewMFCC(dsp.DefaultMFCCConfig(cfg.SampleRate))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sigs := make(map[string]signature, len(TargetWords)+len(UnknownWords))
 	for _, w := range append(append([]string(nil), TargetWords...), UnknownWords...) {
@@ -207,6 +218,22 @@ func Generate(cfg Config) *Dataset {
 	}
 
 	var all []Sample
+	var waves [][]float64
+	mfccPool := sync.Pool{New: func() any {
+		return dsp.NewMFCC(dsp.DefaultMFCCConfig(cfg.SampleRate))
+	}}
+	flush := func() {
+		if len(waves) == 0 {
+			return
+		}
+		base := len(all) - len(waves)
+		nn.ParallelFor(len(waves), func(i int) {
+			m := mfccPool.Get().(*dsp.MFCC)
+			all[base+i].Features = m.Compute(waves[i])
+			mfccPool.Put(m)
+		})
+		waves = waves[:0]
+	}
 	emit := func(word string, label int) {
 		var wave []float64
 		if label == SilenceClass {
@@ -214,7 +241,11 @@ func Generate(cfg Config) *Dataset {
 		} else {
 			wave = synthWord(sigs[word], cfg, rng)
 		}
-		all = append(all, Sample{Features: mfcc.Compute(wave), Label: label, Word: word})
+		all = append(all, Sample{Label: label, Word: word})
+		waves = append(waves, wave)
+		if len(waves) >= featurizeBlockSize {
+			flush()
+		}
 	}
 	for i, w := range TargetWords {
 		for s := 0; s < cfg.SamplesPerCls; s++ {
@@ -227,6 +258,7 @@ func Generate(cfg Config) *Dataset {
 	for s := 0; s < cfg.SamplesPerCls; s++ {
 		emit(UnknownWords[s%len(UnknownWords)], UnknownClass)
 	}
+	flush()
 
 	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 	nTrain := len(all) * 8 / 10

@@ -1,0 +1,53 @@
+package strassen
+
+import "repro/internal/nn"
+
+// Training replicas for the strassenified layers (see nn.Replicator). The
+// subtlety here is Ternary: Effective() calls Requantize() in Quantizing
+// mode, which rewrites T and Scales even though the forward pass looks
+// read-only. Replicas therefore get private T/Scales buffers while sharing
+// the shadow parameter's value tensor, so concurrent replica forwards each
+// requantize into their own scratch and stay race-free and bit-identical
+// (Requantize is a pure function of the shared shadow weights).
+
+// Replicate returns a replica of the ternary matrix: shared shadow value,
+// private gradient accumulator, private T/Scales.
+func (t *Ternary) Replicate() *Ternary {
+	return &Ternary{
+		Shadow:  nn.ShareParam(t.Shadow),
+		T:       append([]int8(nil), t.T...),
+		Scales:  append([]float32(nil), t.Scales...),
+		Rows:    t.Rows,
+		Cols:    t.Cols,
+		RowWise: t.RowWise,
+		Mode:    t.Mode,
+	}
+}
+
+// Replicate builds a training replica sharing weights with d.
+func (d *Dense) Replicate() nn.Layer {
+	return &Dense{
+		In: d.In, Out: d.Out, R: d.R,
+		Wb: d.Wb.Replicate(), Wc: d.Wc.Replicate(),
+		AHat: nn.ShareParam(d.AHat), Bias: nn.ShareParam(d.Bias),
+	}
+}
+
+// Replicate builds a training replica sharing weights with c.
+func (c *Conv2D) Replicate() nn.Layer {
+	return &Conv2D{
+		Cin: c.Cin, Cout: c.Cout, KH: c.KH, KW: c.KW,
+		Stride: c.Stride, PadH: c.PadH, PadW: c.PadW, R: c.R,
+		Wb: c.Wb.Replicate(), Wc: c.Wc.Replicate(),
+		AHat: nn.ShareParam(c.AHat), Bias: nn.ShareParam(c.Bias),
+	}
+}
+
+// Replicate builds a training replica sharing weights with d.
+func (d *DepthwiseConv2D) Replicate() nn.Layer {
+	return &DepthwiseConv2D{
+		C: d.C, KH: d.KH, KW: d.KW, Stride: d.Stride, Pad: d.Pad, RPerCh: d.RPerCh,
+		Wb: d.Wb.Replicate(), Wc: d.Wc.Replicate(),
+		AHat: nn.ShareParam(d.AHat), Bias: nn.ShareParam(d.Bias),
+	}
+}

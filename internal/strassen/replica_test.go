@@ -1,0 +1,79 @@
+package strassen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestReplicaQuantizingForwardsAreIndependent exercises the reason Ternary
+// replicas exist: in Quantizing mode every forward rewrites T/Scales, so
+// replicas must own private buffers while reading the shared shadow. Run
+// under -race this doubles as the replica-safety proof for the strassen
+// layers.
+func TestReplicaQuantizingForwardsAreIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	master := NewDense("d", 12, 6, 8, rng)
+	master.SetMode(Quantizing)
+	x := tensor.New(4, 12)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	want := master.Forward(x, false)
+
+	const replicas = 8
+	outs := make([]*tensor.Tensor, replicas)
+	var wg sync.WaitGroup
+	for w := 0; w < replicas; w++ {
+		rep := master.Replicate().(*Dense)
+		if rep.Wb.Shadow.W != master.Wb.Shadow.W || rep.Wc.Shadow.W != master.Wc.Shadow.W {
+			t.Fatal("replica must share the shadow value tensors")
+		}
+		if &rep.Wb.T[0] == &master.Wb.T[0] || &rep.Wb.Scales[0] == &master.Wb.Scales[0] {
+			t.Fatal("replica must own private T/Scales buffers")
+		}
+		wg.Add(1)
+		go func(w int, rep *Dense) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				outs[w] = rep.Forward(x, true)
+				rep.Backward(tensor.New(4, 6))
+			}
+		}(w, rep)
+	}
+	wg.Wait()
+	for w, out := range outs {
+		for i := range want.Data {
+			if out.Data[i] != want.Data[i] {
+				t.Fatalf("replica %d output diverges from master at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestReplicateAllStrassenLayers checks the conv and depthwise replicas
+// produce bit-identical training forwards and gradients.
+func TestReplicateAllStrassenLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D("c", 2, 4, 3, 3, 1, 1, 1, 3, rng)
+	dw := NewDepthwiseConv2D("dw", 2, 3, 3, 1, 1, 1, rng)
+	conv.SetMode(Quantizing)
+	dw.SetMode(Quantizing)
+	x := tensor.New(2, 2, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	checkPair := func(name string, mOut, rOut *tensor.Tensor) {
+		for i := range mOut.Data {
+			if mOut.Data[i] != rOut.Data[i] {
+				t.Fatalf("%s: replica forward diverges at %d", name, i)
+			}
+		}
+	}
+	cRep := conv.Replicate().(*Conv2D)
+	checkPair("conv", conv.Forward(x, true), cRep.Forward(x, true))
+	dRep := dw.Replicate().(*DepthwiseConv2D)
+	checkPair("depthwise", dw.Forward(x, true), dRep.Forward(x, true))
+}

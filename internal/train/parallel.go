@@ -1,0 +1,309 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/strassen"
+	"repro/internal/tensor"
+)
+
+// DefaultShards is the fixed per-batch decomposition of the data-parallel
+// trainer. Each minibatch is split into up to this many micro-batch shards;
+// gradients are reduced in shard order, so trained weights depend on the
+// shard count but NOT on how many workers happened to process the shards.
+// Keeping the decomposition fixed (instead of "one shard per worker") is
+// what makes Workers=1 and Workers=8 bit-identical for the same seed.
+const DefaultShards = 8
+
+// bnStats is one shard's per-BatchNorm batch statistics, captured from the
+// replica after its backward pass and merged into the master's running
+// statistics in shard order.
+type bnStats struct {
+	mean, variance []float32
+}
+
+// replica bundles one worker's model clone with its cached traversals.
+type replica struct {
+	model  nn.Layer
+	params []*nn.Param
+	bns    []*nn.BatchNorm
+}
+
+// collectBatchNorms gathers every BatchNorm in the layer tree in a
+// deterministic traversal order (the same order for master and replicas).
+func collectBatchNorms(l nn.Layer) []*nn.BatchNorm {
+	var out []*nn.BatchNorm
+	nn.Visit(l, func(x nn.Layer) {
+		if bn, ok := x.(*nn.BatchNorm); ok {
+			out = append(out, bn)
+		}
+	})
+	return out
+}
+
+// buildReplicas clones the model once per worker and verifies that each
+// clone's parameter list aligns with the master's — same length, same
+// shared value tensors — so per-shard gradients can be reduced by index.
+func buildReplicas(model nn.Layer, masterParams []*nn.Param, workers int) ([]replica, error) {
+	reps := make([]replica, workers)
+	for w := range reps {
+		r, err := nn.NewReplica(model)
+		if err != nil {
+			return nil, err
+		}
+		ps := r.Params()
+		if len(ps) != len(masterParams) {
+			return nil, fmt.Errorf("train: replica has %d params, master %d", len(ps), len(masterParams))
+		}
+		for i := range ps {
+			if ps[i].W != masterParams[i].W {
+				return nil, fmt.Errorf("train: replica param %d (%s) does not share the master tensor", i, ps[i].Name)
+			}
+		}
+		reps[w] = replica{model: r, params: ps, bns: collectBatchNorms(r)}
+	}
+	return reps, nil
+}
+
+// shardSplit decomposes a batch of nb rows into at most maxShards
+// contiguous shards of near-equal size. The split depends only on nb and
+// maxShards, never on worker count or scheduling.
+func shardSplit(nb, maxShards int) (starts, counts []int) {
+	s := maxShards
+	if s > nb {
+		s = nb
+	}
+	base, rem := nb/s, nb%s
+	starts = make([]int, s)
+	counts = make([]int, s)
+	off := 0
+	for i := 0; i < s; i++ {
+		c := base
+		if i < rem {
+			c++
+		}
+		starts[i], counts[i] = off, c
+		off += c
+	}
+	return starts, counts
+}
+
+// runParallel is the data-parallel training path behind Config.Workers.
+//
+// Per batch: the shuffled minibatch is split into a fixed number of shards
+// (shardSplit); workers pull shard indices from a channel and run
+// forward/backward on their private replica, writing gradients and
+// batch-norm statistics into per-shard buffers; the main goroutine then
+// reduces shard gradients into the master — scaled by each shard's share of
+// the batch, accumulated in shard-index order — merges batch-norm running
+// statistics in the same order, applies ClipNorm and the TernaryL1 penalty
+// exactly as the serial path does, and steps the optimizer on the master.
+// Replicas are rebuilt each epoch so hyperparameter mutations made by
+// OnEpoch (e.g. Bonsai σ annealing) propagate.
+//
+// It returns an error — and Run falls back to the serial path — when the
+// model contains a layer without replica support.
+func runParallel(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) (Result, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	workers := cfg.Workers
+	if workers > shards {
+		workers = shards
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(cfg.Schedule.At(0))
+	masterParams := model.Params()
+	masterBNs := collectBatchNorms(model)
+	// In the serial path the master's ternary matrices requantize inside
+	// every training forward; here only the replicas run forwards (into
+	// their private T/Scales), so the master is requantized explicitly
+	// after each optimizer step. This keeps its ternary pattern fresh for
+	// the Fixed-mode scale absorption at stage transitions.
+	ternaries := strassen.CollectTernary(model)
+	var ternaryShadows []*nn.Param
+	if cfg.TernaryL1 > 0 {
+		for _, t := range ternaries {
+			ternaryShadows = append(ternaryShadows, t.Shadow)
+		}
+	}
+
+	// Fail fast on non-replicable models, before consuming any rng state.
+	if _, err := buildReplicas(model, masterParams, 1); err != nil {
+		return Result{}, err
+	}
+
+	n := x.Dim(0)
+	dim := x.Dim(1)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	useKD := cfg.Teacher != nil && cfg.KDAlpha != 0
+	kdTemp := cfg.KDTemp
+
+	// Per-shard reduction buffers, allocated once.
+	shardGrads := make([][][]float32, shards)
+	shardBN := make([][]bnStats, shards)
+	for s := 0; s < shards; s++ {
+		shardGrads[s] = make([][]float32, len(masterParams))
+		for pi, p := range masterParams {
+			shardGrads[s][pi] = make([]float32, p.W.Size())
+		}
+		shardBN[s] = make([]bnStats, len(masterBNs))
+		for bi, bn := range masterBNs {
+			shardBN[s][bi] = bnStats{mean: make([]float32, bn.C), variance: make([]float32, bn.C)}
+		}
+	}
+	shardLoss := make([]float64, shards)
+	shardX := make([]*tensor.Tensor, shards)
+	shardY := make([][]int, shards)
+	shardTeacher := make([]*tensor.Tensor, shards)
+
+	// Reserve worker slots from the shared budget so the conv kernels inside
+	// replicas do not fan out on top of the trainer's own goroutines.
+	extra := nn.AcquireWorkers(workers - 1)
+	defer nn.ReleaseWorkers(extra)
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.SetLR(cfg.Schedule.At(epoch))
+		reps, err := buildReplicas(model, masterParams, workers)
+		if err != nil {
+			return Result{}, err
+		}
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			nb := hi - lo
+			starts, counts := shardSplit(nb, shards)
+			for s := range starts {
+				sn := counts[s]
+				bx := tensor.New(sn, dim)
+				by := make([]int, sn)
+				for i := 0; i < sn; i++ {
+					src := idx[lo+starts[s]+i]
+					copy(bx.Data[i*dim:(i+1)*dim], x.Data[src*dim:(src+1)*dim])
+					by[i] = y[src]
+				}
+				shardX[s], shardY[s] = bx, by
+				if useKD {
+					// The teacher runs serially on the main goroutine: its
+					// layers may mutate internal caches even in inference
+					// mode (strassen requantization), so sharing it across
+					// workers would race.
+					shardTeacher[s] = cfg.Teacher.Forward(bx, false)
+				}
+			}
+
+			work := make(chan int, len(starts))
+			for s := range starts {
+				work <- s
+			}
+			close(work)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rep := reps[w]
+					for s := range work {
+						for _, p := range rep.params {
+							p.G.Zero()
+						}
+						out := rep.model.Forward(shardX[s], true)
+						var loss float64
+						var grad *tensor.Tensor
+						if useKD {
+							d := &DistillLoss{Task: cfg.Loss, Alpha: cfg.KDAlpha, Temp: kdTemp, Teacher: shardTeacher[s]}
+							loss, grad = d.Eval(out, shardY[s])
+						} else {
+							loss, grad = cfg.Loss(out, shardY[s])
+						}
+						rep.model.Backward(grad)
+						shardLoss[s] = loss
+						for pi, p := range rep.params {
+							copy(shardGrads[s][pi], p.G.Data)
+						}
+						for bi, bn := range rep.bns {
+							m, v := bn.BatchStats()
+							copy(shardBN[s][bi].mean, m)
+							copy(shardBN[s][bi].variance, v)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Deterministic reduction: shard-index order, weighted by each
+			// shard's share of the batch (shard losses divide by the shard
+			// size, so Σ (sn/nb)·grad_s reproduces the full-batch 1/nb
+			// scaling).
+			nn.ZeroGrads(model)
+			var batchLoss float64
+			for s := range starts {
+				sn := counts[s]
+				wgt := float32(sn) / float32(nb)
+				for pi, p := range masterParams {
+					g := p.G.Data
+					for j, v := range shardGrads[s][pi] {
+						g[j] += wgt * v
+					}
+				}
+				for bi, bn := range masterBNs {
+					bn.UpdateRunning(shardBN[s][bi].mean, shardBN[s][bi].variance)
+				}
+				batchLoss += float64(sn) / float64(nb) * shardLoss[s]
+			}
+			if cfg.ClipNorm > 0 {
+				clipGradients(masterParams, cfg.ClipNorm)
+			}
+			lambda := float32(cfg.TernaryL1)
+			for _, p := range ternaryShadows {
+				if p.Frozen {
+					continue
+				}
+				for i, w := range p.W.Data {
+					switch {
+					case w > 0:
+						p.G.Data[i] += lambda
+					case w < 0:
+						p.G.Data[i] -= lambda
+					}
+				}
+			}
+			opt.Step(masterParams)
+			for _, t := range ternaries {
+				if t.Mode == strassen.Quantizing {
+					t.Requantize()
+				}
+			}
+			if cfg.PostStep != nil {
+				cfg.PostStep()
+			}
+			epochLoss += batchLoss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d  lr %.5f  loss %.4f  [workers=%d shards=%d]\n",
+				epoch, cfg.Schedule.At(epoch), lastLoss, workers, shards)
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastLoss)
+		}
+		if cfg.EarlyStopLoss > 0 && lastLoss <= cfg.EarlyStopLoss {
+			return Result{FinalLoss: lastLoss, Epochs: epoch + 1}, nil
+		}
+	}
+	return Result{FinalLoss: lastLoss, Epochs: cfg.Epochs}, nil
+}

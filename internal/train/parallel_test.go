@@ -1,0 +1,236 @@
+package train
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// hybridFixture builds a small ST-Hybrid (strassen convs + batch norms +
+// Bonsai tree) with a deterministic synthetic task.
+func hybridFixture(seed int64, n, classes int) (*core.Hybrid, *tensor.Tensor, []int) {
+	cfg := core.DefaultConfig(classes)
+	cfg.WidthMult = 0.1
+	m := core.New(cfg, rand.New(rand.NewSource(seed)))
+	rng := rand.New(rand.NewSource(seed + 100))
+	x := tensor.New(n, core.InputDim)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	return m, x, y
+}
+
+// flatState flattens every trainable weight plus all batch-norm running
+// statistics, the full bit-reproducibility surface of a trained model.
+func flatState(m nn.Layer) []float32 {
+	var out []float32
+	for _, p := range m.Params() {
+		out = append(out, p.W.Data...)
+	}
+	for _, bn := range collectBatchNorms(m) {
+		out = append(out, bn.RunningMean.Data...)
+		out = append(out, bn.RunningVar.Data...)
+	}
+	return out
+}
+
+// TestParallelTrainingBitDeterministicAcrossWorkers pins the tentpole
+// guarantee: for a fixed seed and shard decomposition, the trained weights
+// are bit-identical no matter how many workers processed the shards — through
+// the full staged pipeline (float → quantizing → fixed) with gradient
+// clipping and the ternary L1 penalty enabled.
+func TestParallelTrainingBitDeterministicAcrossWorkers(t *testing.T) {
+	var ref []float32
+	for _, workers := range []int{1, 4, 8} {
+		m, x, y := hybridFixture(11, 30, 4)
+		RunStaged(m, x, y, StagedConfig{
+			Base: Config{
+				BatchSize: 10,
+				Schedule:  StepSchedule{Base: 0.01},
+				Loss:      MultiClassHinge,
+				Seed:      5,
+				Workers:   workers,
+				ClipNorm:  1,
+				TernaryL1: 1e-4,
+			},
+			WarmupEpochs: 2, QuantEpochs: 2, FixedEpochs: 2,
+		})
+		state := flatState(m)
+		if ref == nil {
+			ref = state
+			continue
+		}
+		if len(state) != len(ref) {
+			t.Fatalf("workers=%d: state length %d, want %d", workers, len(state), len(ref))
+		}
+		for i := range ref {
+			if state[i] != ref[i] {
+				t.Fatalf("workers=%d: weight %d differs: %v vs %v", workers, i, state[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestParallelDistillationDeterministic covers the teacher path: KD losses
+// must reduce deterministically too.
+func TestParallelDistillationDeterministic(t *testing.T) {
+	teacher, x, y := hybridFixture(21, 24, 4)
+	// Give the teacher some structure so its logits are not pure init noise.
+	Run(teacher, x, y, Config{
+		Epochs: 2, BatchSize: 8, Schedule: StepSchedule{Base: 0.01},
+		Loss: MultiClassHinge, Seed: 3,
+	})
+	var ref []float32
+	for _, workers := range []int{1, 4} {
+		student, _, _ := hybridFixture(22, 24, 4)
+		Run(student, x, y, Config{
+			Epochs: 2, BatchSize: 8, Schedule: StepSchedule{Base: 0.01},
+			Loss: MultiClassHinge, Seed: 7, Workers: workers,
+			Teacher: teacher, KDAlpha: 0.5, KDTemp: 3,
+		})
+		state := flatState(student)
+		if ref == nil {
+			ref = state
+			continue
+		}
+		for i := range ref {
+			if state[i] != ref[i] {
+				t.Fatalf("workers=%d: KD weight %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelReplicaPoolRace drives the replica pool with more workers and
+// shards than the host has cores, over several epochs, so `go test -race`
+// sweeps the shared-weight / private-gradient contract (including the
+// strassen requantization buffers).
+func TestParallelReplicaPoolRace(t *testing.T) {
+	m, x, y := hybridFixture(31, 40, 4)
+	res := RunStaged(m, x, y, StagedConfig{
+		Base: Config{
+			BatchSize: 16,
+			Schedule:  StepSchedule{Base: 0.01},
+			Loss:      MultiClassHinge,
+			Seed:      9,
+			Workers:   4,
+			Shards:    8,
+		},
+		WarmupEpochs: 2, QuantEpochs: 2, FixedEpochs: 2,
+	})
+	if res.Epochs != 2 {
+		t.Fatalf("final stage ran %d epochs, want 2", res.Epochs)
+	}
+}
+
+// TestParallelTrainingLearns checks the parallel path actually optimises:
+// a linearly separable task must reach high accuracy.
+func TestParallelTrainingLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, dim, classes := 120, 16, 3
+	x := tensor.New(n, dim)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		y[i] = c
+		for j := 0; j < dim; j++ {
+			x.Data[i*dim+j] = float32(rng.NormFloat64()) * 0.3
+		}
+		x.Data[i*dim+c] += 2.5
+	}
+	m := nn.NewSequential(nn.NewDense("fc", dim, classes, rng))
+	Run(m, x, y, Config{
+		Epochs: 30, BatchSize: 20, Schedule: StepSchedule{Base: 0.05},
+		Loss: CrossEntropy, Seed: 1, Workers: 3,
+	})
+	if acc := Accuracy(m, x, y, 32); acc < 0.95 {
+		t.Fatalf("parallel training reached %.3f accuracy, want >= 0.95", acc)
+	}
+}
+
+// unsupportedLayer has no Replicate method, forcing the serial fallback.
+type unsupportedLayer struct{ d *nn.Dense }
+
+func (u unsupportedLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return u.d.Forward(x, train)
+}
+func (u unsupportedLayer) Backward(g *tensor.Tensor) *tensor.Tensor { return u.d.Backward(g) }
+func (u unsupportedLayer) Params() []*nn.Param                      { return u.d.Params() }
+
+func TestParallelFallsBackToSerialForUnsupportedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	mk := func() nn.Layer {
+		return unsupportedLayer{d: nn.NewDense("fc", 8, 2, rand.New(rand.NewSource(50)))}
+	}
+	x := tensor.New(12, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	y := make([]int, 12)
+	for i := range y {
+		y[i] = i % 2
+	}
+	var log strings.Builder
+	cfg := Config{Epochs: 3, BatchSize: 4, Schedule: StepSchedule{Base: 0.01},
+		Loss: CrossEntropy, Seed: 2, Workers: 4, Log: &log}
+	parallel := mk()
+	resP := Run(parallel, x, y, cfg)
+	if !strings.Contains(log.String(), "falling back to serial") {
+		t.Fatalf("expected a fallback notice in the log, got: %q", log.String())
+	}
+	// The fallback must behave exactly like the serial path.
+	serial := mk()
+	cfg.Workers = 0
+	cfg.Log = nil
+	resS := Run(serial, x, y, cfg)
+	if resP.FinalLoss != resS.FinalLoss || resP.Epochs != resS.Epochs {
+		t.Fatalf("fallback result %+v differs from serial %+v", resP, resS)
+	}
+	sp, ss := parallel.Params(), serial.Params()
+	for i := range sp {
+		for j := range sp[i].W.Data {
+			if sp[i].W.Data[j] != ss[i].W.Data[j] {
+				t.Fatalf("fallback weights differ from serial at param %d index %d", i, j)
+			}
+		}
+	}
+}
+
+// TestShardSplitIsFixed pins the decomposition the determinism guarantee
+// rests on: it must depend only on (batch, shards), cover every row exactly
+// once, and never differ by more than one row across shards.
+func TestShardSplitIsFixed(t *testing.T) {
+	for _, tc := range []struct{ nb, shards int }{{20, 8}, {7, 8}, {1, 8}, {16, 4}, {23, 5}} {
+		starts, counts := shardSplit(tc.nb, tc.shards)
+		total := 0
+		for i := range starts {
+			if starts[i] != total {
+				t.Fatalf("nb=%d shards=%d: shard %d starts at %d, want %d", tc.nb, tc.shards, i, starts[i], total)
+			}
+			total += counts[i]
+		}
+		if total != tc.nb {
+			t.Fatalf("nb=%d shards=%d: covered %d rows", tc.nb, tc.shards, total)
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("nb=%d shards=%d: unbalanced counts %v", tc.nb, tc.shards, counts)
+		}
+	}
+}

@@ -48,6 +48,22 @@ type Config struct {
 	// loss falls at or below it.
 	EarlyStopLoss float64
 
+	// Workers, when >= 1, selects the data-parallel training path: every
+	// minibatch is decomposed into Shards micro-batches processed by up to
+	// Workers model replicas concurrently, with gradients reduced in fixed
+	// shard order. For a given seed and Shards value the trained weights
+	// are bit-identical for every Workers >= 1; they differ (numerically,
+	// not statistically) from the Workers == 0 serial path, whose
+	// batch-norm statistics and loss reductions span the whole batch.
+	// Models containing layers without replica support fall back to the
+	// serial path with a log notice.
+	Workers int
+
+	// Shards fixes the per-batch micro-batch decomposition of the parallel
+	// path (default DefaultShards). It is a reproducibility parameter:
+	// results depend on Shards but never on Workers or scheduling.
+	Shards int
+
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -69,6 +85,15 @@ func Run(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) Result {
 	}
 	if cfg.KDTemp == 0 {
 		cfg.KDTemp = 4
+	}
+	if cfg.Workers >= 1 {
+		res, err := runParallel(model, x, y, cfg)
+		if err == nil {
+			return res
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "train: parallel path unavailable (%v); falling back to serial\n", err)
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := NewAdam(cfg.Schedule.At(0))
@@ -191,13 +216,22 @@ func Accuracy(model nn.Layer, x *tensor.Tensor, y []int, batchSize int) float64 
 	}
 	dim := x.Dim(1)
 	correct := 0
+	// One persistent batch tensor for the whole evaluation (the same
+	// pattern as stream.ModelClassifier): tail batches reslice it instead
+	// of allocating.
+	bx := tensor.New(batchSize, dim)
 	for lo := 0; lo < n; lo += batchSize {
 		hi := lo + batchSize
 		if hi > n {
 			hi = n
 		}
-		bx := tensor.FromSlice(x.Data[lo*dim:hi*dim], hi-lo, dim)
-		out := model.Forward(bx, false)
+		nb := hi - lo
+		in := bx
+		if nb != batchSize {
+			in = tensor.FromSlice(bx.Data[:nb*dim], nb, dim)
+		}
+		copy(in.Data, x.Data[lo*dim:hi*dim])
+		out := model.Forward(in, false)
 		for i, pred := range out.ArgmaxRows() {
 			if pred == y[lo+i] {
 				correct++
