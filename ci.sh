@@ -15,6 +15,40 @@ go test -race ./...
 # a broken hot path fails CI even when nobody reads BENCH_engine.json.
 go test -run='^$' -bench='Engine' -benchtime=1x .
 
+# Disabled-telemetry overhead gate: the single-frame inference hot path must
+# stay allocation-free when no observer is attached — the telemetry
+# subsystem's "near-zero cost when off" contract.
+BENCH_OUT="$(go test -run='^$' -bench='^BenchmarkEngineInfer$' -benchmem -benchtime=100x .)"
+echo "$BENCH_OUT"
+echo "$BENCH_OUT" | grep 'BenchmarkEngineInfer' | grep -q ' 0 allocs/op'
+
+# Telemetry-server smoke: a live kws-stream must answer /healthz with an ok
+# status and expose non-empty stream counters on /metrics while it holds.
+TDIR="$(mktemp -d)"
+go build -o "$TDIR/kws-stream" ./cmd/kws-stream
+"$TDIR/kws-stream" -samples 4 -epochs 1 -script '_,yes,_' \
+    -telemetry-addr 127.0.0.1:18173 -hold 20s &
+STREAM_PID=$!
+HEALTH=""
+for _ in $(seq 1 120); do
+    if HEALTH="$(curl -sf http://127.0.0.1:18173/healthz)"; then break; fi
+    sleep 0.5
+done
+echo "$HEALTH" | grep -q '"status": "ok"'
+# The stream may still be mid-flight at the first scrape: poll until the
+# hop counter moves, then assert on a final snapshot.
+for _ in $(seq 1 60); do
+    curl -sf http://127.0.0.1:18173/metrics > "$TDIR/metrics.txt" || true
+    if grep -q '^stream\.hops [1-9]' "$TDIR/metrics.txt"; then break; fi
+    sleep 0.5
+done
+grep -q '^stream\.hops [1-9]' "$TDIR/metrics.txt"
+grep -q '^stream\.samples [1-9]' "$TDIR/metrics.txt"
+curl -sf http://127.0.0.1:18173/debug/vars > /dev/null
+kill "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+rm -rf "$TDIR"
+
 # Parallel-training smoke under the race detector: one epoch of the data-
 # parallel trainer (-workers 2) driven twice through the same feature cache,
 # proving both the cold write and the warm reload paths end to end.

@@ -95,7 +95,7 @@ func writeReport(v any, out string) {
 		return
 	}
 	if err := os.WriteFile(out, js, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+		fmt.Fprintf(os.Stderr, "kws-bench: writing report %s: %v\n", out, err)
 		os.Exit(1)
 	}
 }

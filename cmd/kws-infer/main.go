@@ -2,11 +2,14 @@
 // MFCC front end and a (freshly trained or loaded) ST-HybridNet over it, and
 // prints the classification together with the decision path through the
 // Bonsai tree — a small end-to-end demonstration of the paper's pipeline.
+// With -telemetry-addr the run exposes live /metrics and /healthz while it
+// lasts; -trace-out records the packed engine's per-layer spans.
 //
 // Usage:
 //
 //	kws-infer -word yes                    # train a small model, then infer
 //	kws-infer -word stop -params model.gob -width 0.25
+//	kws-infer -engine model.thnt -trace-out trace.json
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/nn"
 	"repro/internal/speechcmd"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
 
@@ -32,8 +36,22 @@ func main() {
 	engine := flag.String("engine", "", "classify with this packed integer model (.thnt); falls back to the float model if it fails validation")
 	width := flag.Float64("width", 0.25, "model width multiplier (must match saved params)")
 	epochs := flag.Int("epochs", 12, "epochs per stage when training in-process")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address for the run's duration (empty disables)")
+	traceOut := flag.String("trace-out", "", "write engine spans to this Chrome trace-event JSON file on exit")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
+
+	log := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "kws-infer")
+
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *telemetryAddr != "" || *traceOut != "" {
+		reg = telemetry.Default
+	}
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(0)
+	}
 
 	cfg := core.DefaultConfig(speechcmd.NumClasses)
 	cfg.WidthMult = *width
@@ -42,17 +60,15 @@ func main() {
 	if *params != "" {
 		f, err := os.Open(*params)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, err)
 		}
 		if err := nn.LoadParams(f, h); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, err)
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "loaded parameters from %s\n", *params)
+		log.Info("loaded parameters", "path", *params)
 	} else {
-		fmt.Fprintln(os.Stderr, "no -params given: training a small ST-HybridNet in-process...")
+		log.Info("no -params given: training a small ST-HybridNet in-process", "epochs_per_stage", *epochs)
 		dsCfg := speechcmd.DefaultConfig()
 		dsCfg.SamplesPerCls = 40
 		dsCfg.Seed = *seed
@@ -63,6 +79,7 @@ func main() {
 			Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
 			Loss:      train.MultiClassHinge,
 			Seed:      *seed,
+			Obs:       train.NewObs(reg),
 			OnEpoch: func(epoch int, loss float64) {
 				h.AnnealSigma(float64(epoch)/float64(3**epochs), 8)
 			},
@@ -71,7 +88,7 @@ func main() {
 			Base: base, WarmupEpochs: *epochs, QuantEpochs: *epochs, FixedEpochs: *epochs,
 		})
 		tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
-		fmt.Fprintf(os.Stderr, "test accuracy: %.4f\n", train.Accuracy(h, tx, ty, 64))
+		log.Info("model trained", "test_accuracy", train.Accuracy(h, tx, ty, 64))
 	}
 
 	// Obtain the utterance: either a real recording or a synthetic one.
@@ -80,14 +97,12 @@ func main() {
 	if *wavIn != "" {
 		f, err := os.Open(*wavIn)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, err)
 		}
 		samples, rate, err := audio.ReadWAV(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, err)
 		}
 		wave = audio.Resample(samples, rate, scCfg.SampleRate)
 		if len(wave) < scCfg.SampleRate {
@@ -103,15 +118,13 @@ func main() {
 		if *wavOut != "" {
 			f, err := os.Create(*wavOut)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(log, err)
 			}
 			if err := audio.WriteWAV(f, wave, scCfg.SampleRate); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(log, fmt.Errorf("writing %s: %w", *wavOut, err))
 			}
 			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote utterance to %s\n", *wavOut)
+			log.Info("wrote utterance", "path", *wavOut)
 		}
 	}
 	mfcc := dsp.NewMFCC(dsp.DefaultMFCCConfig(scCfg.SampleRate))
@@ -125,15 +138,32 @@ func main() {
 	if *engine != "" {
 		f, err := os.Open(*engine)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: cannot open integer engine: %v; falling back to the float model\n", err)
+			log.Warn("cannot open integer engine; falling back to the float model", "err", err)
 		} else {
 			eng, err = deploy.ReadEngine(f)
 			f.Close()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "warning: integer engine rejected (%v); falling back to the float model\n", err)
+				log.Warn("integer engine rejected; falling back to the float model", "err", err)
 				eng = nil
 			}
 		}
+	}
+	if eng != nil && reg != nil {
+		eng.EnableTelemetry(reg, tracer)
+	}
+
+	var srv *telemetry.Server
+	if *telemetryAddr != "" {
+		srv = telemetry.NewServer(reg, tracer)
+		if eng != nil {
+			srv.AddCheck("engine", eng.Validate)
+		}
+		addr, err := srv.Start(*telemetryAddr)
+		if err != nil {
+			fatal(log, fmt.Errorf("telemetry server: %w", err))
+		}
+		defer srv.Close()
+		log.Info("telemetry server listening", "addr", addr)
 	}
 
 	names := speechcmd.ClassNames()
@@ -144,7 +174,7 @@ func main() {
 	if eng != nil {
 		scores, intPred, err := eng.InferSafe(feat.Data)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: integer engine inference failed (%v); falling back to the float model\n", err)
+			log.Warn("integer engine inference failed; falling back to the float model", "err", err)
 		} else {
 			usedEngine = true
 			pred = intPred
@@ -186,4 +216,24 @@ func main() {
 		}
 		fmt.Printf("  depth %d: node %d (%s), I=%.3f\n", i, node, kind, inds[i])
 	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(log, fmt.Errorf("creating trace file: %w", err))
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(log, fmt.Errorf("writing %s: %w", *traceOut, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(log, fmt.Errorf("closing %s: %w", *traceOut, err))
+		}
+		log.Info("trace written", "path", *traceOut, "spans", tracer.Len(), "dropped", tracer.Dropped())
+	}
+}
+
+func fatal(log *telemetry.Logger, err error) {
+	log.Error(err.Error())
+	os.Exit(1)
 }

@@ -1,7 +1,9 @@
 // Command kws-stream runs always-on keyword detection over an audio stream:
 // either a WAV file or a synthetic scripted stream. A small DS-CNN is
 // trained in-process (or loaded), and detections print with their stream
-// timestamps.
+// timestamps. With -telemetry-addr the process also serves live /metrics,
+// /healthz, /debug/vars and /debug/pprof endpoints, and -trace-out captures
+// per-layer engine spans as a Chrome trace-event file.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	kws-stream -wav recording.wav      # detect keywords in a recording
 //	kws-stream -script yes,_,go,_,left # build the stream from words (_ = silence)
 //	kws-stream -engine model.thnt      # classify with a packed integer engine
+//	kws-stream -telemetry-addr :8080   # expose metrics/health while streaming
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/audio"
 	"repro/internal/deploy"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/speechcmd"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
 
@@ -38,8 +43,28 @@ func main() {
 	faultAt := flag.Float64("fault-at", -1, "inject a fault window starting at this second (demo; <0 disables)")
 	faultMs := flag.Int("fault-ms", 500, "fault window duration in milliseconds")
 	faultKind := flag.String("fault", "nan", "fault kind: nan|dropout|dc|spike")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :8080; empty disables)")
+	traceOut := flag.String("trace-out", "", "write engine spans to this Chrome trace-event JSON file on exit")
+	hold := flag.Duration("hold", 0, "keep the telemetry server alive this long after the stream ends (e.g. 5s)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
+
+	log := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "kws-stream")
+
+	// Telemetry is opt-in: with no addr and no trace file everything below
+	// runs against nil instruments, which cost one pointer compare.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *telemetryAddr != "" {
+		reg = telemetry.Default
+	}
+	if *traceOut != "" {
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		tracer = telemetry.NewTracer(0)
+	}
 
 	cfg := speechcmd.DefaultConfig()
 	cfg.SamplesPerCls = *samples
@@ -47,28 +72,33 @@ func main() {
 
 	// The corpus is always generated: even a packed engine needs its
 	// feature-normalisation statistics to match training.
-	fmt.Fprintln(os.Stderr, "generating corpus...")
+	log.Info("generating corpus", "samples_per_class", *samples)
 	ds := speechcmd.Generate(cfg)
 
 	var cls stream.Classifier
+	var eng *deploy.Engine
 	if *engine != "" {
 		f, err := os.Open(*engine)
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
-		eng, err := deploy.ReadEngine(f)
+		eng, err = deploy.ReadEngine(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("loading %s: %w", *engine, err))
+			fatal(log, fmt.Errorf("loading %s: %w", *engine, err))
 		}
 		if n := int(eng.Tree.NumClasses); n != speechcmd.NumClasses {
-			fatal(fmt.Errorf("%s has %d classes, detector needs %d", *engine, n, speechcmd.NumClasses))
+			fatal(log, fmt.Errorf("%s has %d classes, detector needs %d", *engine, n, speechcmd.NumClasses))
 		}
-		fmt.Fprintf(os.Stderr, "using packed engine %s\n", *engine)
+		if reg != nil {
+			eng.EnableTelemetry(reg, tracer)
+		}
+		log.Info("using packed engine", "path", *engine)
 		cls = stream.NewEngineClassifier(eng)
 	} else {
-		fmt.Fprintln(os.Stderr, "training classifier...")
+		log.Info("training classifier", "width", *width, "epochs", *epochs)
 		x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
+		vx, vy := speechcmd.Batch(ds.Val, 0, len(ds.Val))
 		rng := rand.New(rand.NewSource(*seed))
 		m := models.NewDSCNN(speechcmd.NumClasses, *width, rng)
 		train.Run(m, x, y, train.Config{
@@ -77,9 +107,12 @@ func main() {
 			Schedule:  train.StepSchedule{Base: 0.01, Every: *epochs/2 + 1, Factor: 0.3},
 			Loss:      train.CrossEntropy,
 			Seed:      *seed,
+			Obs:       train.NewObs(reg),
+			EvalX:     vx,
+			EvalY:     vy,
 		})
 		tx, ty := speechcmd.Batch(ds.Test, 0, len(ds.Test))
-		fmt.Fprintf(os.Stderr, "test accuracy: %.2f%%\n", 100*train.Accuracy(m, tx, ty, 64))
+		log.Info("classifier trained", "test_accuracy", train.Accuracy(m, tx, ty, 64))
 		cls = &stream.ModelClassifier{Model: m, Classes: speechcmd.NumClasses}
 	}
 
@@ -87,15 +120,15 @@ func main() {
 	if *wavIn != "" {
 		f, err := os.Open(*wavIn)
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		samples, rate, err := audio.ReadWAV(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		wave = audio.Resample(samples, rate, cfg.SampleRate)
-		fmt.Fprintf(os.Stderr, "streaming %s (%.1fs)\n", *wavIn, float64(len(wave))/float64(cfg.SampleRate))
+		log.Info("streaming wav", "path", *wavIn, "seconds", float64(len(wave))/float64(cfg.SampleRate))
 	} else {
 		wrng := rand.New(rand.NewSource(*seed + 99))
 		for i, w := range strings.Split(*script, ",") {
@@ -107,7 +140,7 @@ func main() {
 			if label == "" {
 				label = "(silence)"
 			}
-			fmt.Fprintf(os.Stderr, "  %ds: %s\n", i, label)
+			log.Debug("script word", "second", i, "word", label)
 			wave = append(wave, speechcmd.SynthesizeUtterance(word, cfg, wrng)...)
 		}
 	}
@@ -128,9 +161,9 @@ func main() {
 		case "spike":
 			faultinject.New(*seed).Spikes(wave[min(start, len(wave)):min(start+n, len(wave))], 32, 4.0)
 		default:
-			fatal(fmt.Errorf("unknown fault kind %q", *faultKind))
+			fatal(log, fmt.Errorf("unknown fault kind %q", *faultKind))
 		}
-		fmt.Fprintf(os.Stderr, "injected %s fault at %.2fs for %dms\n", *faultKind, *faultAt, *faultMs)
+		log.Warn("injected fault", "kind", *faultKind, "at_seconds", *faultAt, "duration_ms", *faultMs)
 	}
 
 	dcfg := stream.DefaultConfig(cfg.SampleRate)
@@ -138,6 +171,23 @@ func main() {
 	dcfg.IgnoreClass2 = speechcmd.UnknownClass
 	dcfg.Threshold = float32(*threshold)
 	det := stream.NewDetector(dcfg, cls, ds.FeatMean, ds.FeatStd)
+	det.AttachTelemetry(reg)
+
+	// The health endpoint reflects the live pipeline: the loaded engine's
+	// structural validity and the detector's posterior watchdog.
+	if *telemetryAddr != "" {
+		srv := telemetry.NewServer(reg, tracer)
+		srv.AddCheck("detector", det.Health)
+		if eng != nil {
+			srv.AddCheck("engine", eng.Validate)
+		}
+		addr, err := srv.Start(*telemetryAddr)
+		if err != nil {
+			fatal(log, fmt.Errorf("telemetry server: %w", err))
+		}
+		defer srv.Close()
+		log.Info("telemetry server listening", "addr", addr)
+	}
 
 	names := speechcmd.ClassNames()
 	chunk := cfg.SampleRate / 10
@@ -153,14 +203,35 @@ func main() {
 			count++
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%d detections\n", count)
+	log.Info("stream finished", "detections", count)
 	if st := det.Stats(); st != (stream.Stats{}) {
-		fmt.Fprintf(os.Stderr, "faults absorbed: %d scrubbed, %d clipped, %d concealed, %d bad posteriors, %d watchdog resets\n",
-			st.Scrubbed, st.Clipped, st.Concealed, st.BadPosteriors, st.WatchdogResets)
+		log.Warn("faults absorbed",
+			"scrubbed", st.Scrubbed, "clipped", st.Clipped, "concealed", st.Concealed,
+			"bad_posteriors", st.BadPosteriors, "watchdog_resets", st.WatchdogResets)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(log, fmt.Errorf("creating trace file: %w", err))
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(log, fmt.Errorf("writing %s: %w", *traceOut, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(log, fmt.Errorf("closing %s: %w", *traceOut, err))
+		}
+		log.Info("trace written", "path", *traceOut, "spans", tracer.Len(), "dropped", tracer.Dropped())
+	}
+
+	if *hold > 0 {
+		log.Info("holding for scrapes", "duration", *hold)
+		time.Sleep(*hold)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+func fatal(log *telemetry.Logger, err error) {
+	log.Error(err.Error())
 	os.Exit(1)
 }

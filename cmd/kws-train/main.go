@@ -1,12 +1,15 @@
 // Command kws-train trains one of the repository's keyword-spotting
 // architectures on the synthetic speech-commands corpus and saves the
-// trained parameters to a gob file for kws-infer.
+// trained parameters to a gob file for kws-infer. With -telemetry-addr the
+// run exposes live training metrics — per-epoch loss, held-out accuracy,
+// throughput, shard-reduction latency, feature-cache hits — plus pprof.
 //
 // Usage:
 //
 //	kws-train -model st-hybrid -out model.gob
 //	kws-train -model dscnn -width 0.5 -epochs 40
 //	kws-train -workers 4 -cache feat.thfc   # data-parallel, cached features
+//	kws-train -telemetry-addr :8080         # watch the run converge live
 //
 // Models: dscnn, st-dscnn, cnn, dnn, lstm, basic-lstm, gru, crnn, hybrid,
 // st-hybrid.
@@ -24,6 +27,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/speechcmd"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
 
@@ -38,7 +42,23 @@ func main() {
 	workers := flag.Int("workers", 0, "data-parallel training workers (0 = serial)")
 	shards := flag.Int("shards", 0, "per-batch gradient shards (0 = default; fixes the parallel reduction order)")
 	cache := flag.String("cache", "", "feature cache file; reused when valid, regenerated otherwise")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while training (empty disables)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	flag.Parse()
+
+	log := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "kws-train")
+
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.Default
+		srv := telemetry.NewServer(reg, nil)
+		addr, err := srv.Start(*telemetryAddr)
+		if err != nil {
+			fatal(log, fmt.Errorf("telemetry server: %w", err))
+		}
+		defer srv.Close()
+		log.Info("telemetry server listening", "addr", addr)
+	}
 
 	dsCfg := speechcmd.DefaultConfig()
 	dsCfg.SamplesPerCls = *samples
@@ -48,17 +68,16 @@ func main() {
 		start := time.Now()
 		d, warm, err := speechcmd.GenerateCached(dsCfg, *cache)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, err)
 		}
 		state := "cold (generated + cached)"
 		if warm {
 			state = "warm"
 		}
-		fmt.Fprintf(os.Stderr, "feature cache %s: %s in %v\n", *cache, state, time.Since(start).Round(time.Millisecond))
+		log.Info("feature cache loaded", "path", *cache, "state", state, "elapsed", time.Since(start).Round(time.Millisecond))
 		ds = d
 	} else {
-		fmt.Fprintf(os.Stderr, "generating corpus (%d samples/class)...\n", *samples)
+		log.Info("generating corpus", "samples_per_class", *samples)
 		ds = speechcmd.Generate(dsCfg)
 	}
 	x, y := speechcmd.Batch(ds.Train, 0, len(ds.Train))
@@ -97,8 +116,7 @@ func main() {
 		loss = train.MultiClassHinge
 		staged = cfg.Strassen
 	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(1)
+		fatal(log, fmt.Errorf("unknown model %q", *model))
 	}
 
 	cfg := train.Config{
@@ -110,6 +128,9 @@ func main() {
 		Workers:   *workers,
 		Shards:    *shards,
 		Log:       os.Stderr,
+		Obs:       train.NewObs(reg),
+		EvalX:     vx,
+		EvalY:     vy,
 	}
 	if hybrid != nil {
 		total := *epochs
@@ -150,14 +171,17 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, err)
 		}
 		defer f.Close()
 		if err := nn.SaveParams(f, m); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(log, fmt.Errorf("writing %s: %w", *out, err))
 		}
 		fmt.Printf("saved parameters to %s\n", *out)
 	}
+}
+
+func fatal(log *telemetry.Logger, err error) {
+	log.Error(err.Error())
+	os.Exit(1)
 }

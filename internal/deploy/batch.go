@@ -68,10 +68,12 @@ func (e *Engine) InferBatch(xs [][]float32) []BatchResult {
 func (e *Engine) inferOne(a *arena, x []float32) (r BatchResult) {
 	defer func() {
 		if p := recover(); p != nil {
+			e.obs.fault()
 			r = BatchResult{Class: -1, Err: fmt.Errorf("deploy: inference panic: %v", p)}
 		}
 	}()
 	if want := int(e.Frames) * int(e.Coeffs); len(x) != want {
+		e.obs.fault()
 		return BatchResult{Class: -1, Err: fmt.Errorf("%w: input length %d, want %d", ErrShapeMismatch, len(x), want)}
 	}
 	var sc []int32
@@ -91,7 +93,9 @@ func (e *Engine) getArena() *arena {
 	if a, ok := e.arenas.Get().(*arena); ok {
 		return a
 	}
-	return newArena(e, false)
+	a := newArena(e, false)
+	e.obs.noteArena(a)
+	return a
 }
 
 func (e *Engine) putArena(a *arena) { e.arenas.Put(a) }

@@ -375,6 +375,11 @@ type Engine struct {
 	compileOnce sync.Once // guards kernel compilation
 	arena       *arena    // resident arena for Infer/InferSafe
 	arenas      sync.Pool // spare arenas checked out by InferBatch workers
+
+	// obs, when set via EnableTelemetry, routes the sparse path through the
+	// instrumented variant in telemetry.go. nil (the default) costs one
+	// pointer comparison per inference.
+	obs *Observer
 }
 
 // ensureCompiled builds the sparse kernels exactly once. Safe to call from
@@ -450,12 +455,16 @@ func (e *Engine) Infer(x []float32) (scores []int32, class int) {
 	e.ensureCompiled()
 	if e.arena == nil {
 		e.arena = newArena(e, true)
+		e.obs.noteArena(e.arena)
 	}
 	return e.inferArena(e.arena, x)
 }
 
 // inferArena runs the sparse-kernel pipeline on the given arena.
 func (e *Engine) inferArena(a *arena, x []float32) ([]int32, int) {
+	if e.obs != nil {
+		return e.inferArenaObserved(a, x)
+	}
 	e.quantizeInto(a.imgA[:len(x)], x)
 	img, next := a.imgA, a.imgB
 	h, w := int(e.Frames), int(e.Coeffs)

@@ -1,0 +1,147 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Observer wires an engine into the telemetry layer: per-layer latency
+// histograms, inference and fault counters, a gather-add work counter, the
+// scratch-arena high-water gauge, and engine→layer trace spans.
+//
+// An engine with a nil observer pays one pointer comparison per inference —
+// the sparse path is otherwise byte-for-byte the PR 2 code, so disabled
+// telemetry keeps Infer at 0 allocs/op (pinned by TestEngineInferZeroAllocs
+// and the ci.sh bench gate).
+type Observer struct {
+	Infers     *telemetry.Counter   // completed sparse inferences
+	Faults     *telemetry.Counter   // InferSafe/InferBatch per-frame failures
+	InferNs    *telemetry.Histogram // whole-pipeline latency
+	LayerNs    []*telemetry.Histogram
+	LayerNames []string           // conv0..convN-1, "pool", "tree"
+	Gathers    *telemetry.Counter // gather-add visits (compiled nonzero work)
+	ArenaBytes *telemetry.Gauge   // high-water scratch bytes across all arenas
+
+	tracer          *telemetry.Tracer
+	gathersPerInfer int64
+}
+
+// EnableTelemetry compiles the engine's kernels and attaches an observer
+// registered under the "engine." prefix in reg. tracer may be nil (metrics
+// without spans). Call it before the engine starts serving: the observer
+// pointer is read without synchronisation on the hot path.
+func (e *Engine) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Observer {
+	e.ensureCompiled()
+	o := &Observer{
+		Infers:     reg.Counter("engine.infers"),
+		Faults:     reg.Counter("engine.faults"),
+		InferNs:    reg.LatencyHistogram("engine.infer.ns"),
+		Gathers:    reg.Counter("engine.gather.visits"),
+		ArenaBytes: reg.Gauge("engine.arena.bytes.highwater"),
+		tracer:     tracer,
+	}
+	h, w := int(e.Frames), int(e.Coeffs)
+	for i, q := range e.Convs {
+		kind := "std"
+		if q.Kind == kindDepthwise {
+			kind = "dw"
+		}
+		name := fmt.Sprintf("conv%d.%s", i, kind)
+		o.LayerNames = append(o.LayerNames, name)
+		o.LayerNs = append(o.LayerNs, reg.LatencyHistogram("engine."+name+".ns"))
+		oh, ow := q.outSize(h, w)
+		o.gathersPerInfer += q.gatherVisits(oh * ow)
+		h, w = oh, ow
+	}
+	o.LayerNames = append(o.LayerNames, "pool", "tree")
+	o.LayerNs = append(o.LayerNs,
+		reg.LatencyHistogram("engine.pool.ns"),
+		reg.LatencyHistogram("engine.tree.ns"))
+	o.gathersPerInfer += e.Tree.gatherVisits()
+	e.obs = o
+	return o
+}
+
+// gatherVisits counts one inference's gather-add work through this conv:
+// every compiled nonzero index is visited once per output position.
+func (q *QConv) gatherVisits(nOut int) int64 {
+	return int64(len(q.wbSp.idx)+len(q.wcSp.idx)) * int64(nOut)
+}
+
+// gatherVisits counts the tree's per-inference gather work. The root-to-leaf
+// walk is input-dependent, so W/V work is estimated as the mean per-node
+// count times the path length — exact for Z and θ, which every input pays.
+func (t *QTree) gatherVisits() int64 {
+	visits := int64(len(t.Z.wbSp.idx) + len(t.Z.wcSp.idx))
+	var wv int64
+	for k := range t.W {
+		wv += int64(len(t.W[k].wbSp.idx) + len(t.W[k].wcSp.idx))
+		wv += int64(len(t.V[k].wbSp.idx) + len(t.V[k].wcSp.idx))
+	}
+	if n := int64(len(t.W)); n > 0 {
+		visits += wv / n * int64(t.Depth+1)
+	}
+	visits += int64(t.numInternal()) * int64(t.ProjDim) // θ routing dots, upper bound
+	return visits
+}
+
+// fault records one failed frame (nil-safe).
+func (o *Observer) fault() {
+	if o != nil {
+		o.Faults.Inc()
+	}
+}
+
+// noteArena records a freshly sized arena's total scratch footprint.
+func (o *Observer) noteArena(a *arena) {
+	if o == nil {
+		return
+	}
+	bytes := int64(len(a.imgA)) + int64(len(a.imgB)) + int64(len(a.cols)) +
+		2*int64(len(a.hidden)) + 4*int64(len(a.acc)) + int64(len(a.pooled)) +
+		2*int64(len(a.z16)) + int64(len(a.z8)) + 2*int64(len(a.wv)) +
+		8*int64(len(a.scores)) + 4*int64(len(a.out)) + 2*int64(len(a.denseHid))
+	o.ArenaBytes.SetMax(bytes)
+}
+
+// inferArenaObserved is inferArena with per-layer attribution: a span and a
+// latency observation around every stage, plus the whole-pipeline histogram
+// and work counters. It is a separate function so the unobserved path keeps
+// its exact PR 2 instruction stream.
+func (e *Engine) inferArenaObserved(a *arena, x []float32) ([]int32, int) {
+	o := e.obs
+	root := o.tracer.Span("engine.infer")
+	t0 := time.Now()
+	e.quantizeInto(a.imgA[:len(x)], x)
+	img, next := a.imgA, a.imgB
+	h, w := int(e.Frames), int(e.Coeffs)
+	for i, conv := range e.Convs {
+		sp := root.Child(o.LayerNames[i])
+		tl := time.Now()
+		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w)
+		o.LayerNs[i].ObserveSince(tl)
+		sp.End()
+		img, next = next, img
+		h, w = oh, ow
+	}
+	nLayers := len(e.Convs)
+	c := int(e.Convs[nLayers-1].Cout)
+	sp := root.Child("pool")
+	tl := time.Now()
+	pooled := a.pooled
+	ph, pw := poolInto(pooled, img, c, h, w, int(e.PoolK), int(e.PoolS))
+	o.LayerNs[nLayers].ObserveSince(tl)
+	sp.End()
+	sp = root.Child("tree")
+	tl = time.Now()
+	sc := e.Tree.forwardInto(a, pooled[:c*ph*pw])
+	o.LayerNs[nLayers+1].ObserveSince(tl)
+	sp.End()
+	o.InferNs.ObserveSince(t0)
+	o.Infers.Inc()
+	o.Gathers.Add(o.gathersPerInfer)
+	root.End()
+	return sc, argmax(sc)
+}

@@ -274,10 +274,12 @@ func (e *Engine) Validate() error {
 func (e *Engine) InferSafe(x []float32) (scores []int32, class int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			e.obs.fault()
 			scores, class, err = nil, -1, fmt.Errorf("deploy: inference panic: %v", r)
 		}
 	}()
 	if want := int(e.Frames) * int(e.Coeffs); len(x) != want {
+		e.obs.fault()
 		return nil, -1, fmt.Errorf("%w: input length %d, want %d", ErrShapeMismatch, len(x), want)
 	}
 	s, c := e.Infer(x)

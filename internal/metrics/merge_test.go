@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMergeOfSplitsEqualsWhole is the Merge property test: scoring a label
+// set in one matrix and scoring an arbitrary partition of it in shard
+// matrices, then merging, must produce identical counts — and therefore
+// identical accuracy, per-class stats and macro-F1.
+func TestMergeOfSplitsEqualsWhole(t *testing.T) {
+	f := func(seed int64, rawClasses uint8, rawN uint16, rawShards uint8) bool {
+		classes := int(rawClasses)%6 + 2
+		n := int(rawN) % 400
+		shards := int(rawShards)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		truth := make([]int, n)
+		pred := make([]int, n)
+		for i := 0; i < n; i++ {
+			truth[i] = rng.Intn(classes)
+			pred[i] = rng.Intn(classes)
+		}
+
+		whole := NewConfusion(classes)
+		whole.AddAll(truth, pred)
+
+		merged := NewConfusion(classes)
+		for s := 0; s < shards; s++ {
+			lo := s * n / shards
+			hi := (s + 1) * n / shards
+			part := NewConfusion(classes)
+			part.AddAll(truth[lo:hi], pred[lo:hi])
+			if err := merged.Merge(part); err != nil {
+				t.Logf("merge failed: %v", err)
+				return false
+			}
+		}
+
+		if merged.Total() != whole.Total() {
+			return false
+		}
+		for i := 0; i < classes; i++ {
+			for j := 0; j < classes; j++ {
+				if merged.Counts[i][j] != whole.Counts[i][j] {
+					return false
+				}
+			}
+		}
+		if math.Abs(merged.Accuracy()-whole.Accuracy()) > 1e-12 {
+			return false
+		}
+		return math.Abs(merged.MacroF1()-whole.MacroF1()) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeClassMismatch: merging differently shaped matrices must fail
+// instead of silently mis-attributing counts.
+func TestMergeClassMismatch(t *testing.T) {
+	a := NewConfusion(3)
+	if err := a.Merge(NewConfusion(4)); err == nil {
+		t.Fatal("merged a 4-class matrix into a 3-class one")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge should be a no-op, got %v", err)
+	}
+}
+
+// TestMacroF1IgnoresAbsentClasses is the macro-F1 table test: classes with
+// zero support must not drag the average down.
+func TestMacroF1IgnoresAbsentClasses(t *testing.T) {
+	cases := []struct {
+		name  string
+		truth []int
+		pred  []int
+		want  float64
+	}{
+		{
+			// Both present classes perfectly predicted; class 2 never occurs.
+			name:  "absent class excluded",
+			truth: []int{0, 0, 1, 1},
+			pred:  []int{0, 0, 1, 1},
+			want:  1,
+		},
+		{
+			// Class 0: P=1, R=0.5, F1=2/3. Class 1: P=0.5, R=1, F1=2/3.
+			// Classes 2,3 absent: average over the two present classes only.
+			name:  "two absent classes",
+			truth: []int{0, 0, 1},
+			pred:  []int{0, 1, 1},
+			want:  2.0 / 3.0,
+		},
+		{
+			name:  "all absent",
+			truth: nil,
+			pred:  nil,
+			want:  0,
+		},
+	}
+	for _, tc := range cases {
+		cm := NewConfusion(4)
+		cm.AddAll(tc.truth, tc.pred)
+		if got := cm.MacroF1(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: macro-F1 = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

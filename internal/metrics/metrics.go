@@ -40,6 +40,25 @@ func (c *Confusion) AddAll(truth, pred []int) {
 	}
 }
 
+// Merge accumulates another confusion matrix into c, so per-shard or
+// per-worker evaluations can be combined into one report: merging the
+// matrices of any partition of a label set is identical to scoring the
+// whole set at once. The matrices must have the same class count.
+func (c *Confusion) Merge(o *Confusion) error {
+	if o == nil {
+		return nil
+	}
+	if o.Classes != c.Classes {
+		return fmt.Errorf("metrics: cannot merge %d-class confusion into %d-class", o.Classes, c.Classes)
+	}
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+	return nil
+}
+
 // Total returns the number of recorded observations.
 func (c *Confusion) Total() int {
 	n := 0

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -313,9 +314,11 @@ func LoadCache(path string) (*Dataset, error) {
 func GenerateCached(cfg Config, path string) (ds *Dataset, fromCache bool, err error) {
 	if d, lerr := LoadCache(path); lerr == nil {
 		if d.Config == cfg {
+			telemetry.Default.Counter("speechcmd.cache.hit").Inc()
 			return d, true, nil
 		}
 	}
+	telemetry.Default.Counter("speechcmd.cache.miss").Inc()
 	d := Generate(cfg)
 	if serr := d.SaveCache(path); serr != nil {
 		return d, false, serr

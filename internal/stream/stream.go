@@ -8,11 +8,15 @@
 package stream
 
 import (
+	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/dsp"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -135,6 +139,11 @@ type Config struct {
 
 // Stats counts the faults the detector has absorbed. All counters are
 // cumulative since construction or the last Reset.
+//
+// The detector mutates its counters with atomic adds and Stats returns an
+// atomically loaded snapshot, so a monitoring goroutine (the telemetry
+// server, a test harness) can read them while the feed goroutine pushes
+// audio — pinned by TestStatsConcurrentWithPush under -race.
 type Stats struct {
 	Scrubbed       int64 // non-finite input samples replaced by zero
 	Clipped        int64 // input samples hard-limited into [-1, 1]
@@ -173,13 +182,48 @@ type Detector struct {
 	// corpus was normalised.
 	featMean, featStd float32
 
-	stats     Stats
+	stats     Stats     // mutated atomically; see Stats
 	lastProbs []float32 // previous hop's accepted posterior, for the watchdog
-	stuckHops int       // consecutive hops with identical/saturated posteriors
+	stuckHops int64     // consecutive stuck/saturated hops (atomic: Health reads it)
+
+	obs detObs // telemetry instruments; nil fields (the default) are no-ops
 
 	// Per-hop scratch, reused so a steady stream doesn't allocate.
 	wave     []float64
 	smoothed []float32
+}
+
+// detObs bundles the detector's optional telemetry instruments. All fields
+// are nil until AttachTelemetry, and nil instruments are no-ops, so the
+// unmonitored detector pays only dead branches.
+type detObs struct {
+	samples        *telemetry.Counter
+	hops           *telemetry.Counter
+	events         *telemetry.Counter
+	scrubbed       *telemetry.Counter
+	clipped        *telemetry.Counter
+	concealed      *telemetry.Counter
+	badPosteriors  *telemetry.Counter
+	watchdogResets *telemetry.Counter
+	hopNs          *telemetry.Histogram
+}
+
+// AttachTelemetry registers the detector's counters and its detection-
+// latency histogram under the "stream." prefix in reg. Call before the
+// stream starts; the instruments themselves are lock-free but the obs
+// field is written without synchronisation.
+func (d *Detector) AttachTelemetry(reg *telemetry.Registry) {
+	d.obs = detObs{
+		samples:        reg.Counter("stream.samples"),
+		hops:           reg.Counter("stream.hops"),
+		events:         reg.Counter("stream.events"),
+		scrubbed:       reg.Counter("stream.faults.scrubbed"),
+		clipped:        reg.Counter("stream.faults.clipped"),
+		concealed:      reg.Counter("stream.faults.concealed"),
+		badPosteriors:  reg.Counter("stream.faults.bad_posteriors"),
+		watchdogResets: reg.Counter("stream.faults.watchdog_resets"),
+		hopNs:          reg.LatencyHistogram("stream.hop.ns"),
+	}
 }
 
 // NewDetector builds a streaming detector around a classifier. featMean and
@@ -227,16 +271,20 @@ func NewDetector(cfg Config, cls Classifier, featMean, featStd float32) *Detecto
 func (d *Detector) Push(samples []float64) []Event {
 	var events []Event
 	hop := d.cfg.SampleRate * d.cfg.HopMs / 1000
+	d.obs.samples.Add(int64(len(samples)))
 	for _, s := range samples {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			s = 0
-			d.stats.Scrubbed++
+			atomic.AddInt64(&d.stats.Scrubbed, 1)
+			d.obs.scrubbed.Inc()
 		} else if s > 1 {
 			s = 1
-			d.stats.Clipped++
+			atomic.AddInt64(&d.stats.Clipped, 1)
+			d.obs.clipped.Inc()
 		} else if s < -1 {
 			s = -1
-			d.stats.Clipped++
+			atomic.AddInt64(&d.stats.Clipped, 1)
+			d.obs.clipped.Inc()
 		}
 		d.window[d.pos%len(d.window)] = s
 		d.pos++
@@ -246,7 +294,17 @@ func (d *Detector) Push(samples []float64) []Event {
 		d.sinceHop++
 		if d.sinceHop >= hop && d.buffered == len(d.window) {
 			d.sinceHop = 0
-			if ev, ok := d.classify(); ok {
+			d.obs.hops.Inc()
+			var t0 time.Time
+			if d.obs.hopNs != nil {
+				t0 = time.Now()
+			}
+			ev, ok := d.classify()
+			if d.obs.hopNs != nil {
+				d.obs.hopNs.ObserveSince(t0)
+			}
+			if ok {
+				d.obs.events.Inc()
 				events = append(events, ev)
 			}
 		}
@@ -263,12 +321,36 @@ func (d *Detector) ConcealGap(n int) []Event {
 		return nil
 	}
 	events := d.Push(make([]float64, n))
-	d.stats.Concealed += int64(n)
+	atomic.AddInt64(&d.stats.Concealed, int64(n))
+	d.obs.concealed.Add(int64(n))
 	return events
 }
 
-// Stats returns the cumulative fault counters.
-func (d *Detector) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the cumulative fault counters. It is safe to
+// call from any goroutine, including while another goroutine is pushing
+// audio.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Scrubbed:       atomic.LoadInt64(&d.stats.Scrubbed),
+		Clipped:        atomic.LoadInt64(&d.stats.Clipped),
+		Concealed:      atomic.LoadInt64(&d.stats.Concealed),
+		BadPosteriors:  atomic.LoadInt64(&d.stats.BadPosteriors),
+		WatchdogResets: atomic.LoadInt64(&d.stats.WatchdogResets),
+	}
+}
+
+// Health reports the detector's watchdog state: nil while the posterior
+// stream is live, an error once it has been stuck or saturated for at
+// least half the watchdog budget — the point at which a supervisor should
+// consider the pipeline degraded even though the watchdog has not yet
+// reset it. Safe to call from any goroutine (the /healthz endpoint does).
+func (d *Detector) Health() error {
+	stuck := atomic.LoadInt64(&d.stuckHops)
+	if budget := int64(d.cfg.WatchdogHops); stuck >= (budget+1)/2 {
+		return fmt.Errorf("stream: posterior stream stuck for %d hops (watchdog resets at %d)", stuck, budget)
+	}
+	return nil
+}
 
 // safeClassify runs the classifier, converting panics, wrong-length outputs
 // and non-finite posteriors into a rejected hop instead of a crash.
@@ -311,15 +393,16 @@ func (d *Detector) watchdog(probs []float32) {
 		}
 	}
 	if identical || saturated {
-		d.stuckHops++
+		atomic.AddInt64(&d.stuckHops, 1)
 	} else {
-		d.stuckHops = 0
+		atomic.StoreInt64(&d.stuckHops, 0)
 	}
 	d.lastProbs = append(d.lastProbs[:0], probs...)
-	if d.stuckHops >= d.cfg.WatchdogHops {
+	if atomic.LoadInt64(&d.stuckHops) >= int64(d.cfg.WatchdogHops) {
 		d.history = nil
-		d.stuckHops = 0
-		d.stats.WatchdogResets++
+		atomic.StoreInt64(&d.stuckHops, 0)
+		atomic.AddInt64(&d.stats.WatchdogResets, 1)
+		d.obs.watchdogResets.Inc()
 	}
 }
 
@@ -342,7 +425,8 @@ func (d *Detector) classify() (Event, bool) {
 	}
 	probs, ok := d.safeClassify(feat.Data)
 	if !ok {
-		d.stats.BadPosteriors++
+		atomic.AddInt64(&d.stats.BadPosteriors, 1)
+		d.obs.badPosteriors.Inc()
 		return Event{}, false // skip the hop; the smoothing ring keeps its history
 	}
 	d.watchdog(probs)
@@ -400,9 +484,13 @@ func (d *Detector) Reset() {
 	d.buffered = 0
 	d.sinceHop = 0
 	d.history = nil
-	d.stats = Stats{}
+	for _, p := range []*int64{
+		&d.stats.Scrubbed, &d.stats.Clipped, &d.stats.Concealed,
+		&d.stats.BadPosteriors, &d.stats.WatchdogResets, &d.stuckHops,
+	} {
+		atomic.StoreInt64(p, 0)
+	}
 	d.lastProbs = nil
-	d.stuckHops = 0
 	for i := range d.lastFire {
 		d.lastFire[i] = -1 << 30
 	}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestStatsConcurrentWithPush pins the Stats race fix: a monitoring
+// goroutine reads Stats and Health while the feed goroutine pushes dirty
+// audio. Run under -race (ci.sh does) this fails loudly if any counter
+// access regresses to a plain read or write.
+func TestStatsConcurrentWithPush(t *testing.T) {
+	fc := &fakeClassifier{probs: [][]float32{{0.4, 0.6}, {0.6, 0.4}}, n: 2}
+	cfg := DefaultConfig(1000)
+	cfg.SmoothWin = 2
+	d := NewDetector(cfg, fc, 0, 1)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = d.Stats()
+				_ = d.Health()
+			}
+		}
+	}()
+
+	chunk := make([]float64, 100)
+	for i := range chunk {
+		switch i % 10 {
+		case 0:
+			chunk[i] = math.NaN() // scrubbed
+		case 1:
+			chunk[i] = 2.5 // clipped
+		}
+	}
+	for i := 0; i < 100; i++ {
+		d.Push(chunk)
+	}
+	d.ConcealGap(50)
+	close(done)
+	wg.Wait()
+
+	st := d.Stats()
+	if st.Scrubbed == 0 || st.Clipped == 0 || st.Concealed != 50 {
+		t.Fatalf("counters lost under concurrency: %+v", st)
+	}
+}
+
+// TestAttachTelemetry: an attached detector mirrors its activity into the
+// registry — samples, hops, fault counters and the hop-latency histogram.
+func TestAttachTelemetry(t *testing.T) {
+	fc := &fakeClassifier{probs: [][]float32{{0, 1}}, n: 2}
+	cfg := DefaultConfig(1000)
+	cfg.SmoothWin = 1
+	d := NewDetector(cfg, fc, 0, 1)
+	reg := telemetry.NewRegistry()
+	d.AttachTelemetry(reg)
+
+	wave := make([]float64, 2000)
+	wave[0] = math.Inf(1)
+	wave[1] = -3
+	events := d.Push(wave)
+	if len(events) == 0 {
+		t.Fatal("confident posterior produced no events")
+	}
+
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"stream.samples", 2000},
+		{"stream.faults.scrubbed", 1},
+		{"stream.faults.clipped", 1},
+		{"stream.events", int64(len(events))},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	hops := reg.Counter("stream.hops").Value()
+	if hops == 0 {
+		t.Fatal("no hops counted")
+	}
+	if got := reg.LatencyHistogram("stream.hop.ns").Count(); got != hops {
+		t.Fatalf("hop histogram count = %d, want %d", got, hops)
+	}
+}
+
+// TestHealthReportsStuckStream: Health goes unhealthy once the posterior
+// stream has been stuck for half the watchdog budget, and recovers after
+// the watchdog resets the history.
+func TestHealthReportsStuckStream(t *testing.T) {
+	// Identical saturated posteriors: every hop increments the stuck count.
+	fc := &fakeClassifier{probs: [][]float32{{1, 0}}, n: 2}
+	cfg := DefaultConfig(1000)
+	cfg.SmoothWin = 1
+	cfg.IgnoreClass = 0
+	cfg.WatchdogHops = 8
+	d := NewDetector(cfg, fc, 0, 1)
+
+	pushSeconds(d, 1, 1000) // fill the window
+	if err := d.Health(); err != nil {
+		t.Fatalf("healthy detector reports %v", err)
+	}
+	pushSeconds(d, 1.5, 1000) // 6 hops stuck: past the half-budget threshold of 4
+	if err := d.Health(); err == nil {
+		t.Fatal("stuck posterior stream reported healthy")
+	}
+	pushSeconds(d, 0.25, 1000) // 8th stuck hop: watchdog resets, count cleared
+	if d.Stats().WatchdogResets == 0 {
+		t.Fatal("watchdog never fired")
+	}
+	if err := d.Health(); err != nil {
+		t.Fatalf("health did not recover after watchdog reset: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to its
+// Level. Unrecognised names fall back to LevelInfo — a misspelt flag should
+// degrade to normal verbosity, not silence or a crash.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "info":
+		return LevelInfo
+	case "warn":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger emits structured JSON log lines — one object per line with ts,
+// level, component, msg and any extra key/value fields — replacing the
+// cmds' ad-hoc fmt.Fprintf(os.Stderr, ...) diagnostics so an always-on
+// deployment can ship its logs to anything that reads JSON.
+//
+// A nil *Logger discards everything. Loggers are safe for concurrent use.
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	level     Level
+	component string
+}
+
+// NewLogger builds a logger writing to w at the given minimum level.
+func NewLogger(w io.Writer, level Level, component string) *Logger {
+	return &Logger{w: w, level: level, component: component}
+}
+
+// With returns a logger sharing the sink and level but tagged with a
+// different component.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{w: l.w, level: l.level, component: component}
+}
+
+// Debug logs at debug level. kv is alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < l.level {
+		return
+	}
+	entry := make(map[string]any, 4+len(kv)/2)
+	entry["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	entry["level"] = level.String()
+	entry["component"] = l.component
+	entry["msg"] = msg
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		entry[k] = normalize(kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		entry["!BADKEY"] = normalize(kv[len(kv)-1])
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		line = []byte(fmt.Sprintf(`{"level":"error","component":%q,"msg":"telemetry: unmarshalable log entry: %v"}`, l.component, err))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(line, '\n'))
+}
+
+// normalize converts values JSON cannot represent (errors, durations) into
+// strings so a log call never fails on its arguments.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return v
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, "kws-stream")
+	l.Debug("suppressed below the level")
+	l.Info("generating corpus", "samples", 40, "elapsed", 250*time.Millisecond)
+	l.Error("load failed", "err", errors.New("deploy: checksum mismatch"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (debug suppressed):\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, lines[0])
+	}
+	if first["level"] != "info" || first["component"] != "kws-stream" ||
+		first["msg"] != "generating corpus" || first["samples"] != float64(40) ||
+		first["elapsed"] != "250ms" {
+		t.Fatalf("unexpected entry: %v", first)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, first["ts"].(string)); err != nil {
+		t.Fatalf("ts is not RFC3339: %v", err)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["level"] != "error" || second["err"] != "deploy: checksum mismatch" {
+		t.Fatalf("unexpected error entry: %v", second)
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, "root").With("detector")
+	l.Warn("watchdog trip", "hops", 16)
+	var entry map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry["component"] != "detector" || entry["level"] != "warn" {
+		t.Fatalf("unexpected entry: %v", entry)
+	}
+}
+
+func TestLoggerOddKV(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, "c")
+	l.Info("odd", "dangling")
+	var entry map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry["!BADKEY"] != "dangling" {
+		t.Fatalf("dangling value lost: %v", entry)
+	}
+}

@@ -1,0 +1,449 @@
+// Package telemetry is the repository's stdlib-only observability layer:
+// lock-cheap runtime metrics (counters, gauges, fixed-bucket latency
+// histograms) held in a Registry, a span tracer that exports Chrome
+// trace-event JSON (trace.go), a structured JSON logger (log.go), and an
+// HTTP server exposing /metrics, /healthz, /debug/vars and net/http/pprof
+// (server.go).
+//
+// Every instrument is safe for concurrent use and safe to call through nil:
+// a nil *Counter, *Gauge, *FloatGauge, *Histogram, *Tracer or *Logger is a
+// no-op, and a nil *Registry hands out nil instruments. Disabled telemetry
+// is therefore a single pointer comparison on the hot path — no branches in
+// caller code, no allocations, no locks.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value (queue depth, bytes resident).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark operation (e.g. scratch-arena bytes).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is an instantaneous float64 value (loss, accuracy,
+// samples/sec), stored as atomic bits.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 before the first Set).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution of int64 observations. Bounds
+// are inclusive upper limits in ascending order; one implicit overflow
+// bucket catches everything beyond the last bound. All mutation is atomic;
+// Observe never allocates and never locks.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// LatencyBuckets returns the default nanosecond bounds used for duration
+// histograms: a 1–2.5–5 ladder from 100 ns to 10 s (23 buckets plus
+// overflow), enough resolution for p50/p95/p99 of everything from one conv
+// layer to a whole training epoch.
+func LatencyBuckets() []int64 {
+	var b []int64
+	for _, decade := range []int64{100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9} {
+		b = append(b, decade, decade*5/2, decade*5)
+	}
+	return append(b, 1e10)
+}
+
+// newHistogram builds a histogram over the given ascending bounds.
+func newHistogram(bounds []int64) *Histogram {
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search beats linear scan only past ~64 buckets; the default
+	// ladder has 24, and the loop is branch-predictable for clustered
+	// latencies.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(int64(time.Since(t0)))
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1):
+// the bound of the first bucket at which the cumulative count reaches
+// q·total. Observations in the overflow bucket report the largest bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for export:
+// buckets are read once each, so totals can drift by in-flight observations
+// but never go backwards.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	MeanNs  float64 `json:"mean"`
+	P50     int64   `json:"p50"`
+	P95     int64   `json:"p95"`
+	P99     int64   `json:"p99"`
+	Bounds  []int64 `json:"bounds,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current shape.
+func (h *Histogram) Snapshot(withBuckets bool) HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.MeanNs = float64(s.Sum) / float64(s.Count)
+	}
+	if withBuckets {
+		s.Bounds = append([]int64(nil), h.bounds...)
+		s.Buckets = make([]int64, len(h.counts))
+		for i := range h.counts {
+			s.Buckets[i] = h.counts[i].Load()
+		}
+	}
+	return s
+}
+
+// Registry names and owns a process's instruments. Instruments are created
+// on first lookup and shared thereafter, so independent components agree on
+// a metric by name alone. The zero registry is unusable; use NewRegistry or
+// the package Default.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry: always present, so leaf packages
+// (e.g. the feature cache) can count unconditionally and the numbers are
+// simply unobserved until a server is attached.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.fgauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.fgauges[name]; g == nil {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (nil bounds select LatencyBuckets). Later lookups ignore the
+// bounds argument.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if bounds == nil {
+			bounds = LatencyBuckets()
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// LatencyHistogram returns the named histogram with the default latency
+// bounds.
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	return r.Histogram(name, nil)
+}
+
+// snapshot collects every instrument under the read lock, values loaded
+// atomically.
+type snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	FloatG     map[string]float64           `json:"float_gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+func (r *Registry) snap(withBuckets bool) snapshot {
+	s := snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		FloatG:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, g := range r.fgauges {
+		s.FloatG[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot(withBuckets)
+	}
+	return s
+}
+
+// WriteText renders every instrument as sorted "name value" lines; histograms
+// expand into _count/_sum/_mean/_p50/_p95/_p99 rows. This is the /metrics
+// text format.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.snap(false)
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.FloatG)+6*len(s.Histograms))
+	for n, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", n, v))
+	}
+	for n, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", n, v))
+	}
+	for n, v := range s.FloatG {
+		lines = append(lines, fmt.Sprintf("%s %g", n, v))
+	}
+	for n, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", n, h.Count),
+			fmt.Sprintf("%s_sum %d", n, h.Sum),
+			fmt.Sprintf("%s_mean %.0f", n, h.MeanNs),
+			fmt.Sprintf("%s_p50 %d", n, h.P50),
+			fmt.Sprintf("%s_p95 %d", n, h.P95),
+			fmt.Sprintf("%s_p99 %d", n, h.P99),
+		)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the full snapshot (histogram buckets included) as
+// indented JSON. This is the /metrics?format=json format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.snap(true))
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(5)
+	if g.Value() != 7 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(42)
+	if g.Value() != 42 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+	f := r.FloatGauge("f")
+	f.Set(0.125)
+	if f.Value() != 0.125 {
+		t.Fatalf("float gauge = %g, want 0.125", f.Value())
+	}
+}
+
+// TestNilInstrumentsNoOp: disabled telemetry is nil pointers all the way
+// down; every operation must be callable and inert.
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.SetMax(2)
+	var f *FloatGauge
+	f.Set(1)
+	h := r.Histogram("x", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+	var l *Logger
+	l.Info("dropped")
+	l.With("still-nil").Error("dropped", "k", 1)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	for i := 0; i < 50; i++ {
+		h.Observe(5) // bucket ≤10
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(50) // bucket ≤100
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(5000) // overflow bucket
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Quantile(0.50); got != 10 {
+		t.Fatalf("p50 = %d, want 10", got)
+	}
+	if got := h.Quantile(0.95); got != 100 {
+		t.Fatalf("p95 = %d, want 100", got)
+	}
+	// p99 lands in the overflow bucket, which reports the largest bound.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Fatalf("p99 = %d, want 1000", got)
+	}
+	s := h.Snapshot(true)
+	if s.Count != 100 || s.Sum != 50*5+45*50+5*5000 {
+		t.Fatalf("snapshot count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if len(s.Buckets) != 4 || s.Buckets[3] != 5 {
+		t.Fatalf("snapshot buckets = %v", s.Buckets)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.infers").Add(3)
+	r.Gauge("engine.arena.bytes").Set(4096)
+	r.FloatGauge("train.loss").Set(0.5)
+	r.LatencyHistogram("engine.infer.ns").Observe(1500)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"engine.infers 3",
+		"engine.arena.bytes 4096",
+		"train.loss 0.5",
+		"engine.infer.ns_count 1",
+		"engine.infer.ns_p99 2500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"engine.infers": 3`) {
+		t.Fatalf("JSON output missing counter:\n%s", js.String())
+	}
+}
+
+func TestRegistryConcurrentLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared").Inc()
+				r.LatencyHistogram("lat").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("shared counter = %d, want 1600", got)
+	}
+}

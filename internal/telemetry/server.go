@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server exposes a process's runtime observability over HTTP:
+//
+//	/metrics       registry snapshot (text; ?format=json for full JSON)
+//	/healthz       registered health checks, 200 when all pass, 503 otherwise
+//	/debug/vars    expvar (memstats, cmdline, anything else published)
+//	/debug/pprof/  the standard pprof profile endpoints
+//
+// It is intended for a loopback or cluster-internal port: the pprof
+// endpoints expose enough to profile (and stall) the process, so the addr
+// should not be public.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+
+	mu     sync.Mutex
+	checks map[string]func() error
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer builds a server over the given registry (nil selects Default).
+// The optional tracer contributes span counts to /metrics' JSON view.
+func NewServer(reg *Registry, tracer *Tracer) *Server {
+	if reg == nil {
+		reg = Default
+	}
+	return &Server{reg: reg, tracer: tracer, checks: make(map[string]func() error)}
+}
+
+// AddCheck registers a named health check. The function is called on every
+// /healthz request; a non-nil error marks the whole process unhealthy.
+func (s *Server) AddCheck(name string, fn func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checks[name] = fn
+}
+
+// Handler returns the server's route table, usable directly in tests via
+// net/http/httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr and serves in the background, returning the bound
+// address (useful with ":0"). Serving errors after a successful bind are
+// ignored; Close shuts the listener down.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.http.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP server, if started.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		body := struct {
+			snapshot
+			TraceSpans   int64 `json:"trace_spans"`
+			TraceDropped int64 `json:"trace_dropped"`
+		}{s.reg.snap(true), int64(s.tracer.Len()), s.tracer.Dropped()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteText(w)
+	if s.tracer != nil {
+		fmt.Fprintf(w, "trace_spans %d\ntrace_dropped %d\n", s.tracer.Len(), s.tracer.Dropped())
+	}
+}
+
+// healthReport is the /healthz response body.
+type healthReport struct {
+	Status string            `json:"status"` // "ok" | "unhealthy"
+	Checks map[string]string `json:"checks"` // name → "ok" | error text
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.checks))
+	fns := make(map[string]func() error, len(s.checks))
+	for n, fn := range s.checks {
+		names = append(names, n)
+		fns[n] = fn
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+
+	rep := healthReport{Status: "ok", Checks: make(map[string]string, len(names))}
+	for _, n := range names {
+		if err := fns[n](); err != nil {
+			rep.Status = "unhealthy"
+			rep.Checks[n] = err.Error()
+		} else {
+			rep.Checks[n] = "ok"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if rep.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("stream.hops").Add(7)
+	reg.LatencyHistogram("engine.infer.ns").Observe(123456)
+	s := NewServer(reg, NewTracer(0))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"stream.hops 7", "engine.infer.ns_count 1", "trace_spans 0"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", code)
+	}
+	var parsed struct {
+		Counters   map[string]int64             `json:"counters"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+		TraceSpans int64                        `json:"trace_spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("JSON metrics do not parse: %v\n%s", err, body)
+	}
+	if parsed.Counters["stream.hops"] != 7 {
+		t.Fatalf("JSON counters = %v", parsed.Counters)
+	}
+	if h := parsed.Histograms["engine.infer.ns"]; h.Count != 1 || len(h.Buckets) == 0 {
+		t.Fatalf("JSON histogram = %+v", h)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	healthy := true
+	s.AddCheck("engine", func() error {
+		if !healthy {
+			return errors.New("deploy: corrupt model")
+		}
+		return nil
+	})
+	s.AddCheck("watchdog", func() error { return nil })
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy status %d: %s", code, body)
+	}
+	var rep healthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" || rep.Checks["engine"] != "ok" || rep.Checks["watchdog"] != "ok" {
+		t.Fatalf("healthy report = %+v", rep)
+	}
+
+	healthy = false
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status %d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "unhealthy" || !strings.Contains(rep.Checks["engine"], "corrupt") {
+		t.Fatalf("unhealthy report = %+v", rep)
+	}
+}
+
+func TestServerDebugEndpoints(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if code, body := get(t, srv, "/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	s := NewServer(nil, nil) // nil registry selects Default
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records nested spans and exports them in the Chrome trace-event
+// format, loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Span nesting is positional, exactly as the trace viewer renders it: spans
+// sharing a track (tid) nest by time containment. Each root span claims a
+// fresh track, and children inherit their parent's, so concurrent
+// inferences land on separate rows while engine → layer → kernel spans
+// stack within one.
+//
+// A nil *Tracer is fully disabled: Span/Child return a zero Span whose End
+// is a no-op, with no time.Now call, no lock, and no allocation — the
+// fast path verified by BenchmarkSpanDisabled.
+type Tracer struct {
+	start   time.Time
+	nextTID atomic.Int64
+
+	mu      sync.Mutex
+	events  []traceEvent
+	max     int
+	dropped int64
+}
+
+// traceEvent is one completed span, timestamps relative to tracer start.
+type traceEvent struct {
+	name string
+	tid  int64
+	ts   time.Duration
+	dur  time.Duration
+}
+
+// DefaultTraceCap bounds a tracer's retained events; spans beyond it are
+// counted as dropped rather than growing without bound in an always-on
+// process.
+const DefaultTraceCap = 1 << 19
+
+// NewTracer returns an enabled tracer retaining at most cap events
+// (cap <= 0 selects DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{start: time.Now(), max: capacity}
+}
+
+// Span is one in-flight span. It is a value: starting and ending a span
+// allocates nothing beyond the tracer's event storage.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	start time.Time
+}
+
+// Span opens a root span on a fresh track.
+func (t *Tracer) Span(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: t.nextTID.Add(1), start: time.Now()}
+}
+
+// Child opens a span on the parent's track; it renders nested under any
+// enclosing span that contains it in time.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
+}
+
+// End completes the span, recording it on the tracer.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	if len(t.events) < t.max {
+		t.events = append(t.events, traceEvent{
+			name: s.name,
+			tid:  s.tid,
+			ts:   s.start.Sub(t.start),
+			dur:  dur,
+		})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many spans were discarded at the capacity limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is the trace-event JSON schema ("X" = complete event,
+// timestamps in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int64   `json:"tid"`
+}
+
+// WriteJSON writes the recorded spans as a Chrome trace-event JSON object
+// ({"traceEvents": [...]}). The tracer keeps recording; the export is a
+// snapshot.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var evs []traceEvent
+	if t != nil {
+		t.mu.Lock()
+		evs = append(evs, t.events...)
+		t.mu.Unlock()
+	}
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, len(evs))}
+	for i, e := range evs {
+		out.TraceEvents[i] = chromeEvent{
+			Name: e.name,
+			Ph:   "X",
+			Ts:   float64(e.ts) / 1e3, // ns → µs
+			Dur:  float64(e.dur) / 1e3,
+			Pid:  1,
+			Tid:  e.tid,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a Chrome trace-event JSON export.
+func decodeTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var out struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	return out.TraceEvents
+}
+
+// TestTracerNestedSpans: a root span with children exports complete ("X")
+// events on one track, children contained within the parent's interval —
+// exactly what chrome://tracing needs to render nesting.
+func TestTracerNestedSpans(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Span("engine.infer")
+	c1 := root.Child("conv0")
+	time.Sleep(time.Millisecond)
+	c1.End()
+	c2 := root.Child("tree")
+	c2.End()
+	root.End()
+
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, b.Bytes())
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	byName := map[string]chromeEvent{}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		byName[e.Name] = e
+	}
+	r, ok := byName["engine.infer"]
+	if !ok {
+		t.Fatal("missing root span")
+	}
+	for _, name := range []string{"conv0", "tree"} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing child span %q", name)
+		}
+		if c.Tid != r.Tid {
+			t.Fatalf("child %q on tid %d, root on %d — nesting requires one track", name, c.Tid, r.Tid)
+		}
+		if c.Ts < r.Ts || c.Ts+c.Dur > r.Ts+r.Dur+0.001 {
+			t.Fatalf("child %q [%f,%f] not contained in root [%f,%f]",
+				name, c.Ts, c.Ts+c.Dur, r.Ts, r.Ts+r.Dur)
+		}
+	}
+}
+
+// TestTracerSeparateRoots: concurrent root spans land on distinct tracks so
+// overlapping inferences don't fake-nest.
+func TestTracerSeparateRoots(t *testing.T) {
+	tr := NewTracer(0)
+	a := tr.Span("a")
+	b := tr.Span("b")
+	a.End()
+	b.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	if len(evs) != 2 || evs[0].Tid == evs[1].Tid {
+		t.Fatalf("root spans share a track: %+v", evs)
+	}
+}
+
+// TestTracerCapDrops: the event buffer is bounded; overflow is counted, not
+// stored.
+func TestTracerCapDrops(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Span("s").End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+// TestNilTracer: the disabled tracer records nothing and still exports a
+// valid empty trace.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	s := tr.Span("x")
+	c := s.Child("y")
+	c.End()
+	s.End()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded spans")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if evs := decodeTrace(t, b.Bytes()); len(evs) != 0 {
+		t.Fatalf("nil tracer exported %d events", len(evs))
+	}
+}
+
+// TestSpanDisabledZeroAllocs pins the nil-tracer fast path: opening and
+// ending spans on a disabled tracer must not allocate.
+func TestSpanDisabledZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Span("engine.infer")
+		s.Child("layer").End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSpanDisabled measures the disabled-tracer overhead the engine
+// pays per layer when telemetry is off: two pointer checks, no clock reads.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Span("engine.infer")
+		s.Child("layer").End()
+		s.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled-path cost for comparison (two clock
+// reads and one locked append per span).
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Span("engine.infer")
+		s.Child("layer").End()
+		s.End()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/strassen"
@@ -171,6 +172,7 @@ func runParallel(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) (Result,
 
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		opt.SetLR(cfg.Schedule.At(epoch))
 		reps, err := buildReplicas(model, masterParams, workers)
 		if err != nil {
@@ -251,6 +253,10 @@ func runParallel(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) (Result,
 			nn.ZeroGrads(model)
 			var batchLoss float64
 			for s := range starts {
+				var reduceStart time.Time
+				if cfg.Obs != nil {
+					reduceStart = time.Now()
+				}
 				sn := counts[s]
 				wgt := float32(sn) / float32(nb)
 				for pi, p := range masterParams {
@@ -263,6 +269,9 @@ func runParallel(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) (Result,
 					bn.UpdateRunning(shardBN[s][bi].mean, shardBN[s][bi].variance)
 				}
 				batchLoss += float64(sn) / float64(nb) * shardLoss[s]
+				if cfg.Obs != nil {
+					cfg.Obs.ReduceNs.ObserveSince(reduceStart)
+				}
 			}
 			if cfg.ClipNorm > 0 {
 				clipGradients(masterParams, cfg.ClipNorm)
@@ -294,6 +303,7 @@ func runParallel(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) (Result,
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
+		cfg.noteEpoch(model, n, lastLoss, time.Since(epochStart))
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "epoch %3d  lr %.5f  loss %.4f  [workers=%d shards=%d]\n",
 				epoch, cfg.Schedule.At(epoch), lastLoss, workers, shards)

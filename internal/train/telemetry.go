@@ -1,0 +1,65 @@
+package train
+
+import (
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+// Obs mirrors training progress into a telemetry registry so a live
+// /metrics endpoint (or a test) can watch a run converge: per-epoch mean
+// loss, held-out accuracy, example throughput and epoch latency, plus the
+// parallel path's per-shard gradient-reduction time. A nil *Obs is a no-op,
+// so the trainer pays only nil checks when unmonitored.
+type Obs struct {
+	Epochs     *telemetry.Counter    // train.epochs — completed epochs
+	Loss       *telemetry.FloatGauge // train.loss — last epoch's mean loss
+	Accuracy   *telemetry.FloatGauge // train.accuracy — on Config.EvalX/EvalY
+	Throughput *telemetry.FloatGauge // train.examples_per_sec — last epoch
+	EpochNs    *telemetry.Histogram  // train.epoch.ns
+	ReduceNs   *telemetry.Histogram  // train.reduce.ns — per shard, parallel path
+}
+
+// NewObs registers the trainer's instruments under the "train." prefix.
+// A nil registry yields a nil (no-op) Obs.
+func NewObs(reg *telemetry.Registry) *Obs {
+	if reg == nil {
+		return nil
+	}
+	return &Obs{
+		Epochs:     reg.Counter("train.epochs"),
+		Loss:       reg.FloatGauge("train.loss"),
+		Accuracy:   reg.FloatGauge("train.accuracy"),
+		Throughput: reg.FloatGauge("train.examples_per_sec"),
+		EpochNs:    reg.LatencyHistogram("train.epoch.ns"),
+		ReduceNs:   reg.LatencyHistogram("train.reduce.ns"),
+	}
+}
+
+// epoch records one finished epoch over n examples.
+func (o *Obs) epoch(n int, loss float64, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Epochs.Inc()
+	o.Loss.Set(loss)
+	if sec := dur.Seconds(); sec > 0 {
+		o.Throughput.Set(float64(n) / sec)
+	}
+	o.EpochNs.Observe(dur.Nanoseconds())
+}
+
+// noteEpoch feeds one finished epoch into Obs, refreshing the held-out
+// accuracy gauge when an eval set is configured. Accuracy is a full
+// inference pass over the eval set, so it runs only when someone is
+// actually watching (Obs attached and eval data supplied).
+func (cfg Config) noteEpoch(model nn.Layer, n int, loss float64, dur time.Duration) {
+	if cfg.Obs == nil {
+		return
+	}
+	cfg.Obs.epoch(n, loss, dur)
+	if cfg.EvalX != nil && len(cfg.EvalY) > 0 {
+		cfg.Obs.Accuracy.Set(Accuracy(model, cfg.EvalX, cfg.EvalY, cfg.BatchSize))
+	}
+}

@@ -1,0 +1,68 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestObsMirrorsTrainingProgress: a monitored run exposes per-epoch loss,
+// held-out accuracy, throughput and epoch latency through the registry, on
+// both the serial and the data-parallel path (the latter also records
+// per-shard reduce time).
+func TestObsMirrorsTrainingProgress(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		m, x, y := hybridFixture(21, 30, 4)
+		reg := telemetry.NewRegistry()
+		res := Run(m, x, y, Config{
+			Epochs:    2,
+			BatchSize: 10,
+			Schedule:  StepSchedule{Base: 0.01},
+			Seed:      7,
+			Workers:   workers,
+			Obs:       NewObs(reg),
+			EvalX:     x,
+			EvalY:     y,
+		})
+		if got := reg.Counter("train.epochs").Value(); got != 2 {
+			t.Fatalf("workers=%d: train.epochs = %d, want 2", workers, got)
+		}
+		if got := reg.FloatGauge("train.loss").Value(); got != res.FinalLoss {
+			t.Fatalf("workers=%d: train.loss = %v, want %v", workers, got, res.FinalLoss)
+		}
+		if acc := reg.FloatGauge("train.accuracy").Value(); acc <= 0 || acc > 1 {
+			t.Fatalf("workers=%d: train.accuracy = %v, want (0, 1]", workers, acc)
+		}
+		if tput := reg.FloatGauge("train.examples_per_sec").Value(); tput <= 0 {
+			t.Fatalf("workers=%d: throughput gauge empty", workers)
+		}
+		if got := reg.LatencyHistogram("train.epoch.ns").Count(); got != 2 {
+			t.Fatalf("workers=%d: epoch histogram count = %d, want 2", workers, got)
+		}
+		reduces := reg.LatencyHistogram("train.reduce.ns").Count()
+		if workers == 0 && reduces != 0 {
+			t.Fatalf("serial path recorded %d shard reduces", reduces)
+		}
+		if workers > 0 && reduces == 0 {
+			t.Fatal("parallel path recorded no shard reduces")
+		}
+	}
+}
+
+// TestNilObsIsNoOp: the trainer must run unchanged with no registry.
+func TestNilObsIsNoOp(t *testing.T) {
+	if NewObs(nil) != nil {
+		t.Fatal("NewObs(nil) should hand back a nil (no-op) Obs")
+	}
+	m, x, y := hybridFixture(22, 20, 4)
+	res := Run(m, x, y, Config{
+		Epochs:    1,
+		BatchSize: 10,
+		Schedule:  StepSchedule{Base: 0.01},
+		Seed:      7,
+		Obs:       NewObs(nil),
+	})
+	if res.Epochs != 1 {
+		t.Fatalf("run with nil Obs trained %d epochs, want 1", res.Epochs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/strassen"
@@ -66,6 +67,15 @@ type Config struct {
 
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+
+	// Obs, when non-nil, mirrors per-epoch loss/accuracy/throughput and
+	// shard-reduction latency into a telemetry registry (see NewObs).
+	Obs *Obs
+
+	// EvalX/EvalY, when set alongside Obs, are a held-out set evaluated
+	// after every epoch to refresh the train.accuracy gauge.
+	EvalX *tensor.Tensor
+	EvalY []int
 }
 
 // Result summarises a training run.
@@ -111,6 +121,7 @@ func Run(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) Result {
 	}
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		opt.SetLR(cfg.Schedule.At(epoch))
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
@@ -155,6 +166,7 @@ func Run(model nn.Layer, x *tensor.Tensor, y []int, cfg Config) Result {
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
+		cfg.noteEpoch(model, n, lastLoss, time.Since(epochStart))
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "epoch %3d  lr %.5f  loss %.4f\n", epoch, cfg.Schedule.At(epoch), lastLoss)
 		}
