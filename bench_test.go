@@ -189,6 +189,47 @@ func BenchmarkEngineInfer(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineInferFloat is the float32 reference simulation — the
+// baseline the integer policies are measured against in kws-bench.
+func BenchmarkEngineInferFloat(b *testing.B) {
+	e := deploy.SyntheticEngine(9, 0.35)
+	x := benchEngineInput(e, 10)
+	e.InferFloat(x) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.InferFloat(x)
+	}
+}
+
+// BenchmarkEngineInferMixed pins the word-packed integer path at the
+// paper's mixed 8/16-bit activation policy (the Infer default).
+func BenchmarkEngineInferMixed(b *testing.B) {
+	e := deploy.SyntheticEngine(9, 0.35)
+	e.Policy = deploy.PolicyMixed
+	x := benchEngineInput(e, 10)
+	e.InferInt(x) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.InferInt(x)
+	}
+}
+
+// BenchmarkEngineInferInt8 pins the fully-8-bit policy: both conv stages
+// run the word-packed byte-lane kernels.
+func BenchmarkEngineInferInt8(b *testing.B) {
+	e := deploy.SyntheticEngine(9, 0.35)
+	e.Policy = deploy.PolicyInt8
+	x := benchEngineInput(e, 10)
+	e.InferInt(x) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.InferInt(x)
+	}
+}
+
 func BenchmarkEngineInferBatch(b *testing.B) {
 	const batch = 64
 	e := deploy.SyntheticEngine(9, 0.35)

@@ -22,6 +22,23 @@ BENCH_OUT="$(go test -run='^$' -bench='^BenchmarkEngineInfer$' -benchmem -bencht
 echo "$BENCH_OUT"
 echo "$BENCH_OUT" | grep 'BenchmarkEngineInfer' | grep -q ' 0 allocs/op'
 
+# Integer-path gauntlet.
+# (1) 0-alloc gate for the word-packed paths: both activation policies and
+#     the float32 reference simulation must run without allocating.
+BENCH_INT="$(go test -run='^$' -bench='^BenchmarkEngineInfer(Mixed|Int8|Float)$' -benchmem -benchtime=100x .)"
+echo "$BENCH_INT"
+[ "$(echo "$BENCH_INT" | grep -c ' 0 allocs/op')" -eq 3 ]
+# (2) Bit-exactness smoke: InferInt must agree byte-for-byte with the
+#     FakeQuant-equivalent float simulation and the int64 scalar oracle on a
+#     synthetic paper-shape engine under both policies.
+go test -count=1 -short \
+    -run='TestInferIntMatchesFloatSimulation|TestInferIntMatchesNaiveRandomized|TestInferIntZeroAllocs' \
+    ./internal/deploy
+# (3) Serialization round-trip matrix: a PolicyInt8 engine written as .thnt
+#     v1, v2 and v3 must read back and score identically (v3 additionally
+#     preserving the policy byte and calibration table).
+go test -count=1 -run='TestWriteToVersionMatrix|TestV1ArtifactsStillReadable' ./internal/deploy
+
 # Telemetry-server smoke: a live kws-stream must answer /healthz with an ok
 # status and expose non-empty stream counters on /metrics while it holds.
 TDIR="$(mktemp -d)"

@@ -1,12 +1,17 @@
 // Command kws-deploy compiles a trained ST-HybridNet into the packed
 // integer model format (.thnt) and verifies the integer engine against the
 // float model on the test split — the repository's microcontroller
-// deployment path.
+// deployment path. The stored activation policy is selectable (-int8 /
+// -mixed), and the tool prints the paper's footprint comparison (model file
+// plus steady-state activation scratch, float vs mixed vs fully-8-bit)
+// together with the per-layer calibration records behind the requantisation
+// constants.
 //
 // Usage:
 //
 //	kws-deploy -out model.thnt                  # train in-process, compile, verify
 //	kws-deploy -params model.gob -out model.thnt -width 0.25
+//	kws-deploy -int8 -out model8.thnt           # ship the fully-8-bit policy
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/nn"
+	"repro/internal/quant"
 	"repro/internal/speechcmd"
 	"repro/internal/train"
 )
@@ -28,6 +34,8 @@ func main() {
 	width := flag.Float64("width", 0.25, "model width multiplier (must match saved params)")
 	samples := flag.Int("samples", 60, "corpus samples per class (training and calibration)")
 	epochs := flag.Int("epochs", 18, "epochs per stage when training in-process")
+	int8Pol := flag.Bool("int8", false, "store the fully-8-bit activation policy in the artifact (default: mixed 8/16-bit)")
+	calibOut := flag.Bool("calib", true, "print the per-layer calibration records (bit widths and scales)")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
@@ -74,8 +82,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *int8Pol {
+		eng.Policy = deploy.PolicyInt8
+	}
+	fmt.Printf("activation policy:     %s\n", eng.Policy)
 
-	// Verify the integer engine against the float model.
+	// Verify the integer engine against the float model at the policy the
+	// artifact will ship with.
 	dim := tx.Dim(1)
 	agree, correct := 0, 0
 	floatPred := h.Forward(tx, false).ArgmaxRows()
@@ -90,6 +103,23 @@ func main() {
 	}
 	fmt.Printf("integer test accuracy: %.4f\n", float64(correct)/float64(tx.Dim(0)))
 	fmt.Printf("float/int agreement:   %d/%d\n", agree, tx.Dim(0))
+
+	if *calibOut {
+		// The float-side calibration table (what FakeQuant simulated) next to
+		// the scales the engine actually serialises into the v3 artifact.
+		pol := quant.ActMixed816
+		if *int8Pol {
+			pol = quant.Act8
+		}
+		fmt.Println("\nper-layer calibration records (float simulation):")
+		for _, r := range quant.Calibrate(h, x, pol).Records() {
+			fmt.Printf("  %-28s bits=%-2d scale=%g\n", r.Layer, r.Bits, r.Scale)
+		}
+		fmt.Println("engine activation sites (.thnt v3 table):")
+		for _, c := range eng.Calib {
+			fmt.Printf("  %-28s bits=%-2d scale=%g\n", c.Site, c.Bits, c.Scale)
+		}
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -106,8 +136,20 @@ func main() {
 	for _, p := range h.Params() {
 		floatBytes += int64(p.W.Size()) * 4
 	}
-	fmt.Printf("wrote %s: %d bytes (float32 parameters would be %d bytes, %.1fx larger)\n",
+	fmt.Printf("\nwrote %s: %d bytes (float32 parameters would be %d bytes, %.1fx larger)\n",
 		*out, n, floatBytes, float64(floatBytes)/float64(n))
+
+	// The paper's Table 6 footprint story for this artifact: flash (model
+	// file) and steady-state activation scratch under each execution mode.
+	scratchFloat := eng.FloatScratchBytes()
+	eng.Policy = deploy.PolicyInt8
+	scratch8 := eng.ScratchBytes()
+	eng.Policy = deploy.PolicyMixed
+	scratchMixed := eng.ScratchBytes()
+	fmt.Println("\nfootprint (bytes):          model file    activation scratch")
+	fmt.Printf("  float32 reference     %12d  %12d\n", floatBytes, scratchFloat)
+	fmt.Printf("  packed mixed 8/16-bit %12d  %12d\n", n, scratchMixed)
+	fmt.Printf("  packed fully 8-bit    %12d  %12d\n", n, scratch8)
 }
 
 func fatal(err error) {

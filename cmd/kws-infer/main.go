@@ -34,6 +34,8 @@ func main() {
 	wavOut := flag.String("savewav", "", "also write the synthesised utterance to this WAV file")
 	params := flag.String("params", "", "load trained st-hybrid parameters from this file (else train quickly)")
 	engine := flag.String("engine", "", "classify with this packed integer model (.thnt); falls back to the float model if it fails validation")
+	int8Pol := flag.Bool("int8", false, "run the packed engine fully 8-bit (PolicyInt8), overriding the model's stored policy")
+	mixedPol := flag.Bool("mixed", false, "pin the packed engine to the mixed 8/16-bit policy, overriding the model's stored policy")
 	width := flag.Float64("width", 0.25, "model width multiplier (must match saved params)")
 	epochs := flag.Int("epochs", 12, "epochs per stage when training in-process")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address for the run's duration (empty disables)")
@@ -148,8 +150,17 @@ func main() {
 			}
 		}
 	}
-	if eng != nil && reg != nil {
-		eng.EnableTelemetry(reg, tracer)
+	if eng != nil {
+		// Policy flags override whatever a v3 model stored.
+		if *int8Pol {
+			eng.Policy = deploy.PolicyInt8
+		} else if *mixedPol {
+			eng.Policy = deploy.PolicyMixed
+		}
+		log.Info("engine activation policy", "policy", eng.Policy.String())
+		if reg != nil {
+			eng.EnableTelemetry(reg, tracer)
+		}
 	}
 
 	var srv *telemetry.Server

@@ -40,6 +40,8 @@ func main() {
 	epochs := flag.Int("epochs", 18, "training epochs")
 	threshold := flag.Float64("threshold", 0.5, "smoothed-posterior detection threshold")
 	engine := flag.String("engine", "", "classify with this packed integer model (.thnt) instead of training a float model")
+	int8Pol := flag.Bool("int8", false, "run the packed engine fully 8-bit (PolicyInt8), overriding the model's stored policy")
+	mixedPol := flag.Bool("mixed", false, "pin the packed engine to the mixed 8/16-bit policy, overriding the model's stored policy")
 	faultAt := flag.Float64("fault-at", -1, "inject a fault window starting at this second (demo; <0 disables)")
 	faultMs := flag.Int("fault-ms", 500, "fault window duration in milliseconds")
 	faultKind := flag.String("fault", "nan", "fault kind: nan|dropout|dc|spike")
@@ -90,10 +92,17 @@ func main() {
 		if n := int(eng.Tree.NumClasses); n != speechcmd.NumClasses {
 			fatal(log, fmt.Errorf("%s has %d classes, detector needs %d", *engine, n, speechcmd.NumClasses))
 		}
+		// Policy flags override whatever a v3 model stored; the Detector
+		// routes through Engine.Infer, which honours e.Policy per frame.
+		if *int8Pol {
+			eng.Policy = deploy.PolicyInt8
+		} else if *mixedPol {
+			eng.Policy = deploy.PolicyMixed
+		}
 		if reg != nil {
 			eng.EnableTelemetry(reg, tracer)
 		}
-		log.Info("using packed engine", "path", *engine)
+		log.Info("using packed engine", "path", *engine, "policy", eng.Policy.String())
 		cls = stream.NewEngineClassifier(eng)
 	} else {
 		log.Info("training classifier", "width", *width, "epochs", *epochs)

@@ -17,17 +17,20 @@ const maxShardWorkers = 8
 // Engine.Infer uses the engine's resident arena, InferBatch checks one out
 // per worker.
 type arena struct {
-	imgA, imgB []int8  // ping-pong activation planes (max c·h·w over the chain)
-	cols       []int8  // im2col scratch (max over convs)
-	hidden     []int16 // standard-conv hidden planes (max r·nOut)
-	acc        []int32 // per-row accumulators: max(r,cout)·nOut standard, 2·nOut depthwise
-	pooled     []int8  // average-pool output feeding the tree
-	z16        []int16 // tree projection at 16 bit
-	z8         []int8  // requantised projection ẑ
-	wv         []int16 // per-node W and V outputs (2·L)
-	scores     []int64 // class score accumulators
-	out        []int32 // returned score slice
-	denseHid   []int16 // QDense hidden scratch (max R over tree denses)
+	pol        Policy   // activation policy this arena was sized for
+	imgA, imgB []int8   // ping-pong activation planes (max c·h·w over the chain)
+	cols       []int8   // im2col scratch (max over convs)
+	hidden     []int16  // standard-conv hidden planes, mixed policy (max r·nOut)
+	hidden8    []int8   // standard-conv hidden planes, PolicyInt8
+	acc        []int32  // per-row accumulators: max(r,cout)·nOut standard, 2·nOut depthwise
+	pooled     []int8   // average-pool output feeding the tree
+	z16        []int16  // tree projection at 16 bit
+	z8         []int8   // requantised projection ẑ
+	wv         []int16  // per-node W and V outputs (2·L)
+	scores     []int64  // class score accumulators
+	out        []int32  // returned score slice
+	denseHid   []int16  // QDense hidden scratch (max R over tree denses)
+	xPad       []byte   // QDense bitplane staging (max ⌈In/64⌉·64 over tree denses)
 
 	// Shard worker pool, started lazily on the first large-enough conv
 	// stage. Workers reference only the channels, so a dropped arena is
@@ -38,21 +41,26 @@ type arena struct {
 }
 
 // shardJob is one row range of a standard-conv stage. It is passed by value
-// through a buffered channel, so dispatching shards allocates nothing.
+// through a buffered channel, so dispatching shards allocates nothing. acc
+// and lanes are indexed by absolute row, so shards of one stage share the
+// buffers without overlapping.
 type shardJob struct {
-	q      *QConv
-	stage  uint8
-	cols   []int8
-	hidden []int16
-	acc    []int32
-	out    []int8
-	nOut   int
-	lo, hi int
+	q       *QConv
+	stage   uint8
+	cols    []int8
+	hidden  []int16
+	hidden8 []int8
+	acc     []int32
+	out     []int8
+	nOut    int
+	lo, hi  int
 }
 
 const (
-	stageHidden uint8 = 1 // Wb × im2col → hidden planes
-	stageOut    uint8 = 2 // Wc × hidden → requantised output
+	stageHidden  uint8 = 1 // Wb × im2col → int16 hidden planes (mixed)
+	stageOut     uint8 = 2 // Wc × hidden16 → requantised output (mixed)
+	stageHidden8 uint8 = 3 // Wb × im2col → int8 hidden planes (PolicyInt8)
+	stageOut8    uint8 = 4 // Wc × hidden8 → requantised output (PolicyInt8)
 )
 
 func (j shardJob) run() {
@@ -61,6 +69,10 @@ func (j shardJob) run() {
 		j.q.stdHiddenRows(j.cols, j.hidden, j.acc, j.nOut, j.lo, j.hi)
 	case stageOut:
 		j.q.stdOutRows(j.hidden, j.acc, j.out, j.nOut, j.lo, j.hi)
+	case stageHidden8:
+		j.q.stdHiddenRows8(j.cols, j.hidden8, j.acc, j.nOut, j.lo, j.hi)
+	case stageOut8:
+		j.q.stdOutRows8(j.hidden8, j.acc, j.out, j.nOut, j.lo, j.hi)
 	}
 }
 
@@ -118,6 +130,7 @@ func newArena(e *Engine, parallel bool) *arena {
 	t := e.Tree
 	L := int(t.NumClasses)
 	maxR := int(t.Z.R)
+	maxIn := int(t.Z.In)
 	for k := range t.W {
 		if r := int(t.W[k].R); r > maxR {
 			maxR = r
@@ -125,13 +138,19 @@ func newArena(e *Engine, parallel bool) *arena {
 		if r := int(t.V[k].R); r > maxR {
 			maxR = r
 		}
+		if in := int(t.W[k].In); in > maxIn {
+			maxIn = in
+		}
+		if in := int(t.V[k].In); in > maxIn {
+			maxIn = in
+		}
 	}
 
 	a := &arena{
+		pol:      e.Policy,
 		imgA:     make([]int8, maxImg),
 		imgB:     make([]int8, maxImg),
 		cols:     make([]int8, maxCols),
-		hidden:   make([]int16, maxHidden),
 		acc:      make([]int32, maxAcc),
 		pooled:   make([]int8, cLast*ph*pw),
 		z16:      make([]int16, int(t.Z.Out)),
@@ -140,6 +159,15 @@ func newArena(e *Engine, parallel bool) *arena {
 		scores:   make([]int64, L),
 		out:      make([]int32, L),
 		denseHid: make([]int16, maxR),
+		xPad:     make([]byte, (maxIn+63)&^63),
+	}
+	// The hidden planes are the policy-dependent buffer: int16 under the
+	// mixed policy, int8 under PolicyInt8 — half the resident activation
+	// bytes for the dominant buffer.
+	if e.Policy == PolicyInt8 {
+		a.hidden8 = make([]int8, maxHidden)
+	} else {
+		a.hidden = make([]int16, maxHidden)
 	}
 	if parallel && maxWork >= parallelThreshold {
 		if n := runtime.GOMAXPROCS(0) - 1; n > 0 {
@@ -150,6 +178,18 @@ func newArena(e *Engine, parallel bool) *arena {
 		}
 	}
 	return a
+}
+
+// bytes reports the arena's total scratch footprint — the steady-state
+// activation memory of the integer path, surfaced through
+// Engine.ScratchBytes and the telemetry ArenaBytes gauge.
+func (a *arena) bytes() int64 {
+	n := len(a.imgA) + len(a.imgB) + len(a.cols) + len(a.hidden8) +
+		len(a.pooled) + len(a.z8) + len(a.xPad)
+	n += 2 * (len(a.hidden) + len(a.z16) + len(a.wv) + len(a.denseHid))
+	n += 4 * (len(a.acc) + len(a.out))
+	n += 8 * len(a.scores)
+	return int64(n)
 }
 
 // ensureWorkers starts the persistent shard goroutines on first use. They

@@ -79,18 +79,22 @@ func (e *Engine) inferOne(a *arena, x []float32) (r BatchResult) {
 	var sc []int32
 	var cls int
 	if e.Naive {
-		sc, cls = e.inferNaive(x)
+		sc, cls = e.inferNaive(x, a.pol)
 	} else {
-		sc, cls = e.inferArena(a, x)
+		// Run at the arena's policy, not e.Policy: the kernels must match the
+		// buffers the arena was sized with, even if Policy was flipped after
+		// this worker checked its arena out.
+		sc, cls = e.inferArena(a, x, a.pol)
 	}
 	return BatchResult{Scores: append([]int32(nil), sc...), Class: cls}
 }
 
 // getArena checks a scratch arena out of the pool, building one on first
 // use. Batch arenas never start shard workers — batch parallelism is across
-// frames, not within a conv stage.
+// frames, not within a conv stage. Pooled arenas sized for a different
+// policy are dropped (the pool refills at the current one).
 func (e *Engine) getArena() *arena {
-	if a, ok := e.arenas.Get().(*arena); ok {
+	if a, ok := e.arenas.Get().(*arena); ok && a.pol == e.Policy {
 		return a
 	}
 	a := newArena(e, false)

@@ -1,0 +1,295 @@
+package deploy
+
+// Word-packed ternary kernels.
+//
+// The PR 2 sparse kernels gather one activation per instruction. This file
+// processes eight int8 activations per 64-bit load instead (SWAR): a word of
+// activations is biased to unsigned bytes with one XOR, split into even and
+// odd byte lanes, and accumulated into two uint64 registers holding four
+// 16-bit partial sums each. The bias is corrected once per fold with a
+// per-plane (or per-row popcount) constant, so every intermediate quantity
+// is an exactly-represented integer and the word path stays bit-identical to
+// the scalar gathers and the naive dense reference.
+//
+// Two's-complement identities the kernels rely on, per 8-bit lane:
+//
+//	v XOR 0x80 = v + 128   (maps int8 to unsigned, bias +128)
+//	v XOR 0x7f = 127 − v   (biased complement: subtraction becomes addition)
+//
+// so a +1 plane adds v+128 per element, a −1 plane adds 127−v, and the fold
+// subtracts 128·n₊ + 127·n₋ to recover Σ₊v − Σ₋v exactly. A 16-bit lane
+// holds at most 255 per plane, so plane accumulation folds into the int32
+// accumulators every 256 planes (256·255 < 2¹⁶) and a dense row's group
+// accumulator folds every 256 column groups.
+//
+// Two weight encodings use the scheme:
+//
+//   - Convolutions keep their ±1 plane-index lists (sparseRows): each
+//     selected im2col plane is swept eight output positions per load
+//     (gatherPlanesI8W).
+//   - Dense matvecs (the Bonsai tree, and conv stages whose planes are one
+//     element wide) re-encode each ternary row as two bitplane words per 64
+//     columns (bitRows): the +1 mask and the −1 mask. A mask byte expands
+//     through a 256-entry LUT into a byte-lane select, so eight activations
+//     are loaded, masked and lane-accumulated per set mask byte.
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+const (
+	laneMaskE8 = 0x00FF00FF00FF00FF // even byte lanes of a 64-bit word
+	biasI8     = 0x8080808080808080 // per byte: v ⊕ 0x80 = v + 128
+	biasI8Neg  = 0x7f7f7f7f7f7f7f7f // per byte: v ⊕ 0x7f = 127 − v
+
+	// chunkPlanes8 bounds how many ±1 planes accumulate into 16-bit lanes
+	// before they must fold into int32 (256 · 255 < 2¹⁶).
+	chunkPlanes8 = 256
+)
+
+// byteMaskLUT expands a bit mask over 8 columns into a byte-lane select:
+// bit i set → byte i is 0xFF.
+var byteMaskLUT [256]uint64
+
+func init() {
+	for b := 1; b < 256; b++ {
+		var m uint64
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				m |= 0xFF << (8 * i)
+			}
+		}
+		byteMaskLUT[b] = m
+	}
+}
+
+// i8Bytes reinterprets an int8 slice as its underlying bytes so the word
+// kernels can issue single 64-bit loads. int8 and byte share representation;
+// the view aliases the same memory and allocates nothing.
+func i8Bytes(s []int8) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// foldLanes16 sums the four 16-bit lanes of a SWAR accumulator.
+func foldLanes16(a uint64) int32 {
+	return int32(a&0xFFFF) + int32((a>>16)&0xFFFF) + int32((a>>32)&0xFFFF) + int32(a>>48)
+}
+
+// spreadLanes writes one group's two SWAR accumulators (even/odd 16-bit
+// lanes, bias-corrected by corr) into its eight int32 outputs, assigning on
+// the first chunk and adding on later ones.
+func spreadLanes(d []int32, ev, od uint64, corr int32, first bool) {
+	d = d[:8]
+	if first {
+		d[0] = int32(ev&0xFFFF) - corr
+		d[1] = int32(od&0xFFFF) - corr
+		d[2] = int32((ev>>16)&0xFFFF) - corr
+		d[3] = int32((od>>16)&0xFFFF) - corr
+		d[4] = int32((ev>>32)&0xFFFF) - corr
+		d[5] = int32((od>>32)&0xFFFF) - corr
+		d[6] = int32(ev>>48) - corr
+		d[7] = int32(od>>48) - corr
+	} else {
+		d[0] += int32(ev&0xFFFF) - corr
+		d[1] += int32(od&0xFFFF) - corr
+		d[2] += int32((ev>>16)&0xFFFF) - corr
+		d[3] += int32((od>>16)&0xFFFF) - corr
+		d[4] += int32((ev>>32)&0xFFFF) - corr
+		d[5] += int32((od>>32)&0xFFFF) - corr
+		d[6] += int32(ev>>48) - corr
+		d[7] += int32(od>>48) - corr
+	}
+}
+
+// gatherPlanesI8W computes acc[j] = Σ₊ cols[p·nOut+j] − Σ₋ cols[m·nOut+j]
+// for j in [0, nOut): the word-packed replacement for gatherI8. cols is the
+// byte view of the int8 plane matrix (plane stride nOut). Output columns are
+// walked in tiles of four 8-wide groups with the plane sweep innermost, so
+// the eight SWAR lane accumulators live in registers for the whole sweep and
+// each plane costs one 32-byte strip of loads per tile; the tail past the
+// last full group runs scalar. Bit-exact with the scalar gather: all lane
+// arithmetic is exact (see the file comment) and int32 addition commutes
+// mod 2³².
+func gatherPlanesI8W(acc []int32, cols []byte, plus, minus []int32, nOut int) {
+	nG := nOut >> 3
+	tail := nG << 3
+	acc = acc[:nOut]
+	for j := tail; j < nOut; j++ {
+		var s int32
+		for _, pi := range plus {
+			s += int32(int8(cols[int(pi)*nOut+j]))
+		}
+		for _, mi := range minus {
+			s -= int32(int8(cols[int(mi)*nOut+j]))
+		}
+		acc[j] = s
+	}
+	first := true
+	for len(plus)+len(minus) > 0 {
+		p := plus
+		if len(p) > chunkPlanes8 {
+			p = p[:chunkPlanes8]
+		}
+		m := minus
+		if rem := chunkPlanes8 - len(p); len(m) > rem {
+			m = m[:rem]
+		}
+		plus, minus = plus[len(p):], minus[len(m):]
+		corr := int32(128*len(p) + 127*len(m))
+		g := 0
+		for ; g+3 < nG; g += 4 {
+			base := g << 3
+			var e0, o0, e1, o1, e2, o2, e3, o3 uint64
+			for _, pi := range p {
+				src := cols[int(pi)*nOut+base:]
+				w0 := binary.LittleEndian.Uint64(src) ^ biasI8
+				w1 := binary.LittleEndian.Uint64(src[8:]) ^ biasI8
+				w2 := binary.LittleEndian.Uint64(src[16:]) ^ biasI8
+				w3 := binary.LittleEndian.Uint64(src[24:]) ^ biasI8
+				e0 += w0 & laneMaskE8
+				o0 += (w0 >> 8) & laneMaskE8
+				e1 += w1 & laneMaskE8
+				o1 += (w1 >> 8) & laneMaskE8
+				e2 += w2 & laneMaskE8
+				o2 += (w2 >> 8) & laneMaskE8
+				e3 += w3 & laneMaskE8
+				o3 += (w3 >> 8) & laneMaskE8
+			}
+			for _, mi := range m {
+				src := cols[int(mi)*nOut+base:]
+				w0 := binary.LittleEndian.Uint64(src) ^ biasI8Neg
+				w1 := binary.LittleEndian.Uint64(src[8:]) ^ biasI8Neg
+				w2 := binary.LittleEndian.Uint64(src[16:]) ^ biasI8Neg
+				w3 := binary.LittleEndian.Uint64(src[24:]) ^ biasI8Neg
+				e0 += w0 & laneMaskE8
+				o0 += (w0 >> 8) & laneMaskE8
+				e1 += w1 & laneMaskE8
+				o1 += (w1 >> 8) & laneMaskE8
+				e2 += w2 & laneMaskE8
+				o2 += (w2 >> 8) & laneMaskE8
+				e3 += w3 & laneMaskE8
+				o3 += (w3 >> 8) & laneMaskE8
+			}
+			spreadLanes(acc[base:], e0, o0, corr, first)
+			spreadLanes(acc[base+8:], e1, o1, corr, first)
+			spreadLanes(acc[base+16:], e2, o2, corr, first)
+			spreadLanes(acc[base+24:], e3, o3, corr, first)
+		}
+		for ; g < nG; g++ {
+			base := g << 3
+			var ev, od uint64
+			for _, pi := range p {
+				w := binary.LittleEndian.Uint64(cols[int(pi)*nOut+base:]) ^ biasI8
+				ev += w & laneMaskE8
+				od += (w >> 8) & laneMaskE8
+			}
+			for _, mi := range m {
+				w := binary.LittleEndian.Uint64(cols[int(mi)*nOut+base:]) ^ biasI8Neg
+				ev += w & laneMaskE8
+				od += (w >> 8) & laneMaskE8
+			}
+			spreadLanes(acc[base:], ev, od, corr, first)
+		}
+		first = false
+	}
+	if first {
+		for j := 0; j < tail; j++ {
+			acc[j] = 0
+		}
+	}
+}
+
+// bitRows is a ternary matrix re-encoded for word-packed matvecs: per row,
+// ⌈cols/64⌉ words of +1 bits and the same of −1 bits, plus the bias
+// correction 128·pop(+) + 127·pop(−) the fold subtracts.
+type bitRows struct {
+	plus, minus []uint64 // [rows · nw] bitplane words, row-major
+	corr        []int32
+	nw          int // 64-bit words per row
+}
+
+// compileBitRows builds the bitplane form of a dense ternary matrix
+// [rows, cols].
+func compileBitRows(w []int8, rows, cols int) bitRows {
+	nw := (cols + 63) >> 6
+	b := bitRows{
+		plus:  make([]uint64, rows*nw),
+		minus: make([]uint64, rows*nw),
+		corr:  make([]int32, rows),
+		nw:    nw,
+	}
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		var pop, mop int32
+		for c, v := range row {
+			if v > 0 {
+				b.plus[r*nw+(c>>6)] |= 1 << (c & 63)
+				pop++
+			} else if v < 0 {
+				b.minus[r*nw+(c>>6)] |= 1 << (c & 63)
+				mop++
+			}
+		}
+		b.corr[r] = 128*pop + 127*mop
+	}
+	return b
+}
+
+// stageBytes copies an int8 vector into the padded staging buffer xp so
+// matRow's 64-bit loads never run off the end. Bytes past len(x) are left as
+// they are: the bitplanes have no bits there, so the mask never selects
+// them.
+func stageBytes(xp []byte, x []int8) []byte {
+	n := (len(x) + 63) &^ 63
+	xp = xp[:n]
+	copy(xp, i8Bytes(x))
+	return xp
+}
+
+// matRow computes row r's ternary dot product against the staged activation
+// bytes xp (len ≥ nw·64). Empty mask words and bytes are skipped, so sparse
+// rows cost little more than their index-list form; dense rows touch eight
+// activations per load. Lane capacity forces a fold every 256 selected
+// column groups (In ≤ 2048 per chunk).
+func (b *bitRows) matRow(r int, xp []byte) int32 {
+	var accE, accO uint64
+	var total int32
+	groups := 0
+	off := r * b.nw
+	for wi := 0; wi < b.nw; wi++ {
+		pw := b.plus[off+wi]
+		mw := b.minus[off+wi]
+		if pw|mw == 0 {
+			continue
+		}
+		base := wi << 6
+		for k := 0; k < 8; k++ {
+			pb := byte(pw >> (k << 3))
+			mb := byte(mw >> (k << 3))
+			if pb|mb == 0 {
+				continue
+			}
+			x8 := binary.LittleEndian.Uint64(xp[base+(k<<3):])
+			if pb != 0 {
+				sel := (x8 ^ biasI8) & byteMaskLUT[pb]
+				accE += sel & laneMaskE8
+				accO += (sel >> 8) & laneMaskE8
+			}
+			if mb != 0 {
+				sel := (x8 ^ biasI8Neg) & byteMaskLUT[mb]
+				accE += sel & laneMaskE8
+				accO += (sel >> 8) & laneMaskE8
+			}
+			if groups++; groups == chunkPlanes8 {
+				total += foldLanes16(accE) + foldLanes16(accO)
+				accE, accO = 0, 0
+				groups = 0
+			}
+		}
+	}
+	return total + foldLanes16(accE) + foldLanes16(accO) - b.corr[r]
+}

@@ -99,6 +99,10 @@ func Compile(h *core.Hybrid, calib *tensor.Tensor) (*Engine, error) {
 	if eng.Tree == nil || len(eng.Convs) == 0 {
 		return nil, errors.New("deploy: pipeline missing convolutions or tree")
 	}
+	// Freshly compiled engines carry the mixed-policy calibration table so v3
+	// artifacts record where their requantisation constants came from.
+	eng.Policy = PolicyMixed
+	eng.Calib = eng.calibTable()
 	// Self-check: a freshly compiled engine must satisfy the same structural
 	// invariants the loader enforces, so compile bugs surface here rather
 	// than as a rejected artifact in the field.

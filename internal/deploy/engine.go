@@ -31,21 +31,25 @@ type QConv struct {
 	ReLU                        bool
 	InScale, HidScale, OutScale float32
 
-	wb, wc     []int8     // unpacked dense ternaries (naive reference path)
-	wbSp, wcSp sparseRows // compiled nonzero index lists (hot path)
+	wb, wc             []int8     // unpacked dense ternaries (naive reference path)
+	wbSp, wcSp         sparseRows // compiled nonzero index lists (hot path)
+	hidMul8, outMul8   []Mult     // PolicyInt8 requantisers, derived by deriveAct8
 }
 
-// unpack materialises the ternary matrices from their packed form.
+// unpack materialises the ternary matrices from their packed form and
+// derives the fully-8-bit requantisers (both the naive reference and the
+// compiled kernels need them under PolicyInt8).
 func (q *QConv) unpack() {
 	k := int(q.Cin * q.KH * q.KW)
 	if q.Kind == kindDepthwise {
 		k = int(q.KH * q.KW)
 		q.wb = UnpackTernary(q.WbPacked, int(q.Cin*q.R)*k)
 		q.wc = UnpackTernary(q.WcPacked, int(q.Cin*q.R))
-		return
+	} else {
+		q.wb = UnpackTernary(q.WbPacked, int(q.R)*k)
+		q.wc = UnpackTernary(q.WcPacked, int(q.Cout)*int(q.R))
 	}
-	q.wb = UnpackTernary(q.WbPacked, int(q.R)*k)
-	q.wc = UnpackTernary(q.WcPacked, int(q.Cout)*int(q.R))
+	q.deriveAct8()
 }
 
 // outSize returns the output spatial dims for an input of h×w.
@@ -87,15 +91,24 @@ func im2colI8(x []int8, c, h, w, kh, kw, stride, padH, padW int) ([]int8, int, i
 	return cols, outH, outW
 }
 
-// Forward runs the integer convolution on an int8 image [cin, h, w],
-// returning the int8 output image and its spatial dims.
-//
-// This is the naive dense reference path: it iterates every ternary entry
-// (zeros included) and allocates its scratch per call. The engine's hot
-// path uses the precompiled sparse kernels in kernels.go; Forward is
-// retained as the correctness oracle behind Engine.Naive and the
-// sparse-vs-naive property tests.
+// Forward runs the integer convolution on an int8 image [cin, h, w] under
+// the mixed activation policy, returning the int8 output image and its
+// spatial dims. It delegates to forwardRef; see there for the contract.
 func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
+	return q.forwardRef(x, h, w, PolicyMixed)
+}
+
+// forwardRef is the naive dense reference path and the engine's scalar
+// oracle: it iterates every ternary entry (zeros included), accumulates in
+// int64, and allocates its scratch per call. The engine's hot path uses the
+// precompiled sparse kernels in kernels.go; forwardRef is retained as the
+// correctness oracle behind Engine.Naive/Engine.NaiveInt and the
+// sparse-vs-naive property tests. The int64 accumulators are narrowed to
+// int32 before each requantisation, so if a sum ever exceeded 32 bits the
+// oracle would wrap exactly like the int32 kernels do — the two can only
+// diverge if the reference itself overflows int64, which no representable
+// shape approaches.
+func (q *QConv) forwardRef(x []int8, h, w int, pol Policy) ([]int8, int, int) {
 	if q.wb == nil {
 		q.unpack()
 	}
@@ -106,10 +119,13 @@ func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
 	case kindStandard:
 		k := int(q.Cin * q.KH * q.KW)
 		r := int(q.R)
+		// Hidden planes: int16 under the mixed policy, int8 under PolicyInt8.
+		// Both live in an int16 buffer here; what matters for exactness is the
+		// clamp and multiplier, not the storage width.
 		hidden := make([]int16, r*nOut)
 		for i := 0; i < r; i++ {
 			row := q.wb[i*k : (i+1)*k]
-			acc := make([]int32, nOut)
+			acc := make([]int64, nOut)
 			for p, t := range row {
 				if t == 0 {
 					continue
@@ -117,23 +133,30 @@ func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
 				src := cols[p*nOut : (p+1)*nOut]
 				if t > 0 {
 					for j, v := range src {
-						acc[j] += int32(v)
+						acc[j] += int64(v)
 					}
 				} else {
 					for j, v := range src {
-						acc[j] -= int32(v)
+						acc[j] -= int64(v)
 					}
 				}
 			}
-			m := q.HidMul[i]
 			dst := hidden[i*nOut : (i+1)*nOut]
-			for j, v := range acc {
-				dst[j] = clampI16(m.Apply(v))
+			if pol == PolicyInt8 {
+				m := q.hidMul8[i]
+				for j, v := range acc {
+					dst[j] = int16(clampI8(m.Apply(int32(v))))
+				}
+			} else {
+				m := q.HidMul[i]
+				for j, v := range acc {
+					dst[j] = clampI16(m.Apply(int32(v)))
+				}
 			}
 		}
 		for c := 0; c < int(q.Cout); c++ {
 			row := q.wc[c*r : (c+1)*r]
-			acc := make([]int32, nOut)
+			acc := make([]int64, nOut)
 			for i, t := range row {
 				if t == 0 {
 					continue
@@ -141,25 +164,25 @@ func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
 				src := hidden[i*nOut : (i+1)*nOut]
 				if t > 0 {
 					for j, v := range src {
-						acc[j] += int32(v)
+						acc[j] += int64(v)
 					}
 				} else {
 					for j, v := range src {
-						acc[j] -= int32(v)
+						acc[j] -= int64(v)
 					}
 				}
 			}
-			q.requantChannel(out[c*nOut:(c+1)*nOut], acc, c)
+			q.requantRef(out[c*nOut:(c+1)*nOut], acc, c, pol)
 		}
 	case kindDepthwise:
 		k := int(q.KH * q.KW)
 		r := int(q.R)
 		for ch := 0; ch < int(q.Cin); ch++ {
-			acc := make([]int32, nOut)
+			acc := make([]int64, nOut)
 			for u := 0; u < r; u++ {
 				hu := ch*r + u
 				row := q.wb[hu*k : (hu+1)*k]
-				hacc := make([]int32, nOut)
+				hacc := make([]int64, nOut)
 				for p, t := range row {
 					if t == 0 {
 						continue
@@ -167,29 +190,41 @@ func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
 					src := cols[(ch*k+p)*nOut : (ch*k+p+1)*nOut]
 					if t > 0 {
 						for j, v := range src {
-							hacc[j] += int32(v)
+							hacc[j] += int64(v)
 						}
 					} else {
 						for j, v := range src {
-							hacc[j] -= int32(v)
+							hacc[j] -= int64(v)
 						}
 					}
 				}
-				m := q.HidMul[hu]
 				wcv := q.wc[hu]
 				if wcv == 0 {
 					continue
 				}
-				for j, v := range hacc {
-					hv := int32(clampI16(m.Apply(v))) // 16-bit intermediate
-					if wcv > 0 {
-						acc[j] += hv
-					} else {
-						acc[j] -= hv
+				if pol == PolicyInt8 {
+					m := q.hidMul8[hu]
+					for j, v := range hacc {
+						hv := int64(clampI8(m.Apply(int32(v)))) // 8-bit intermediate
+						if wcv > 0 {
+							acc[j] += hv
+						} else {
+							acc[j] -= hv
+						}
+					}
+				} else {
+					m := q.HidMul[hu]
+					for j, v := range hacc {
+						hv := int64(clampI16(m.Apply(int32(v)))) // 16-bit intermediate
+						if wcv > 0 {
+							acc[j] += hv
+						} else {
+							acc[j] -= hv
+						}
 					}
 				}
 			}
-			q.requantChannel(out[ch*nOut:(ch+1)*nOut], acc, ch)
+			q.requantRef(out[ch*nOut:(ch+1)*nOut], acc, ch, pol)
 		}
 	default:
 		panic(fmt.Sprintf("deploy: unknown conv kind %q", q.Kind))
@@ -198,12 +233,43 @@ func (q *QConv) Forward(x []int8, h, w int) ([]int8, int, int) {
 }
 
 // requantChannel applies the per-channel output multiplier, bias and
-// optional ReLU, saturating to int8.
+// optional ReLU, saturating to int8. Mixed-policy form: acc holds sums of
+// int16 hidden values.
 func (q *QConv) requantChannel(dst []int8, acc []int32, c int) {
 	m := q.OutMul[c]
 	b := q.OutBias[c]
 	for j, v := range acc {
 		o := m.Apply(v) + b
+		if q.ReLU && o < 0 {
+			o = 0
+		}
+		dst[j] = clampI8(o)
+	}
+}
+
+// requantChannel8 is requantChannel for PolicyInt8: acc holds sums of int8
+// hidden values, so the derived outMul8 restores the output scale.
+func (q *QConv) requantChannel8(dst []int8, acc []int32, c int) {
+	m := q.outMul8[c]
+	b := q.OutBias[c]
+	for j, v := range acc {
+		o := m.Apply(v) + b
+		if q.ReLU && o < 0 {
+			o = 0
+		}
+		dst[j] = clampI8(o)
+	}
+}
+
+// requantRef is the int64-accumulator requantisation used by forwardRef.
+func (q *QConv) requantRef(dst []int8, acc []int64, c int, pol Policy) {
+	m := q.OutMul[c]
+	if pol == PolicyInt8 {
+		m = q.outMul8[c]
+	}
+	b := q.OutBias[c]
+	for j, v := range acc {
+		o := m.Apply(int32(v)) + b
 		if q.ReLU && o < 0 {
 			o = 0
 		}
@@ -224,6 +290,7 @@ type QDense struct {
 
 	wb, wc     []int8
 	wbSp, wcSp sparseRows
+	wbBits     bitRows // word-packed Wb bitplanes (hot path, kernels.go)
 }
 
 func (q *QDense) unpack() {
@@ -367,14 +434,27 @@ type Engine struct {
 	PoolK, PoolS   int32 // square average pool
 	Tree           *QTree
 
+	// Policy selects the activation bit widths the integer path runs at:
+	// the paper's mixed 8/16-bit assignment (default) or fully 8-bit.
+	// Changing it between inferences is allowed; the next call rebuilds the
+	// scratch arena for the new layout. Serialised in .thnt v3.
+	Policy Policy
+
+	// Calib is the per-site activation calibration table (input, hidden and
+	// output scales per layer) carried by .thnt v3 artifacts. nil for v1/v2
+	// artifacts. Purely descriptive: the requantisation multipliers above are
+	// the operative constants.
+	Calib []CalibEntry
+
 	// Naive routes Infer/InferBatch through the retained dense reference
 	// kernels — the correctness oracle the sparse kernels are verified
 	// against, and the baseline cmd/kws-bench measures speedup over.
 	Naive bool
 
-	compileOnce sync.Once // guards kernel compilation
-	arena       *arena    // resident arena for Infer/InferSafe
-	arenas      sync.Pool // spare arenas checked out by InferBatch workers
+	compileOnce sync.Once   // guards kernel compilation
+	arena       *arena      // resident arena for Infer/InferSafe
+	arenas      sync.Pool   // spare arenas checked out by InferBatch workers
+	farena      *floatArena // resident scratch for InferFloat
 
 	// obs, when set via EnableTelemetry, routes the sparse path through the
 	// instrumented variant in telemetry.go. nil (the default) costs one
@@ -450,26 +530,53 @@ func (e *Engine) Infer(x []float32) (scores []int32, class int) {
 		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
 	}
 	if e.Naive {
-		return e.inferNaive(x)
+		return e.inferNaive(x, e.Policy)
 	}
+	return e.inferInt(x)
+}
+
+// InferInt is Infer pinned to the word-packed integer kernels: it ignores
+// the Naive flag, runs at the engine's Policy, and performs zero heap
+// allocations in steady state. Same arena-ownership rules as Infer.
+func (e *Engine) InferInt(x []float32) (scores []int32, class int) {
+	if len(x) != int(e.Frames*e.Coeffs) {
+		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
+	}
+	return e.inferInt(x)
+}
+
+// NaiveInt is the engine's scalar oracle: the dense reference pipeline with
+// int64 accumulation at the engine's Policy. The word-packed path is pinned
+// bit-exact against it by the property tests; it allocates per call and is
+// not for production use.
+func (e *Engine) NaiveInt(x []float32) (scores []int32, class int) {
+	if len(x) != int(e.Frames*e.Coeffs) {
+		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
+	}
+	return e.inferNaive(x, e.Policy)
+}
+
+// inferInt runs the compiled integer pipeline on the resident arena,
+// rebuilding the arena if the policy changed since it was sized.
+func (e *Engine) inferInt(x []float32) ([]int32, int) {
 	e.ensureCompiled()
-	if e.arena == nil {
+	if e.arena == nil || e.arena.pol != e.Policy {
 		e.arena = newArena(e, true)
 		e.obs.noteArena(e.arena)
 	}
-	return e.inferArena(e.arena, x)
+	return e.inferArena(e.arena, x, e.Policy)
 }
 
 // inferArena runs the sparse-kernel pipeline on the given arena.
-func (e *Engine) inferArena(a *arena, x []float32) ([]int32, int) {
+func (e *Engine) inferArena(a *arena, x []float32, pol Policy) ([]int32, int) {
 	if e.obs != nil {
-		return e.inferArenaObserved(a, x)
+		return e.inferArenaObserved(a, x, pol)
 	}
 	e.quantizeInto(a.imgA[:len(x)], x)
 	img, next := a.imgA, a.imgB
 	h, w := int(e.Frames), int(e.Coeffs)
 	for _, conv := range e.Convs {
-		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w)
+		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w, pol)
 		img, next = next, img
 		h, w = oh, ow
 	}
@@ -482,11 +589,11 @@ func (e *Engine) inferArena(a *arena, x []float32) ([]int32, int) {
 
 // inferNaive is the retained dense reference pipeline: per-call scratch
 // allocation, every ternary zero visited, strictly single-threaded.
-func (e *Engine) inferNaive(x []float32) ([]int32, int) {
+func (e *Engine) inferNaive(x []float32, pol Policy) ([]int32, int) {
 	img := e.QuantizeInput(x)
 	h, w := int(e.Frames), int(e.Coeffs)
 	for _, conv := range e.Convs {
-		img, h, w = conv.Forward(img, h, w)
+		img, h, w = conv.forwardRef(img, h, w, pol)
 	}
 	k, s := int(e.PoolK), int(e.PoolS)
 	c := int(e.Convs[len(e.Convs)-1].Cout)
@@ -494,6 +601,53 @@ func (e *Engine) inferNaive(x []float32) ([]int32, int) {
 	poolInto(pooled, img, c, h, w, k, s)
 	sc := e.Tree.Forward(pooled)
 	return sc, argmax(sc)
+}
+
+// MeasuredDensity reports the realised nonzero fraction across every ternary
+// weight matrix in the engine (conv Wb/Wc, the tree projection and node
+// maps). Benchmarks record it next to the density that was requested at
+// sparsification time, since the two drift apart on small matrices.
+func (e *Engine) MeasuredDensity() float64 {
+	var nnz, total int64
+	count := func(w []int8) {
+		for _, v := range w {
+			if v != 0 {
+				nnz++
+			}
+		}
+		total += int64(len(w))
+	}
+	for _, q := range e.Convs {
+		if q.wb == nil {
+			q.unpack()
+		}
+		count(q.wb)
+		count(q.wc)
+	}
+	denses := append([]*QDense{e.Tree.Z}, append(e.Tree.W, e.Tree.V...)...)
+	for _, d := range denses {
+		if d.wb == nil {
+			d.unpack()
+		}
+		count(d.wb)
+		count(d.wc)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nnz) / float64(total)
+}
+
+// ScratchBytes reports the steady-state activation scratch the integer path
+// holds resident at the engine's current Policy — the "activation memory"
+// column of the paper's footprint table. Builds the arena if needed.
+func (e *Engine) ScratchBytes() int64 {
+	e.ensureCompiled()
+	if e.arena == nil || e.arena.pol != e.Policy {
+		e.arena = newArena(e, true)
+		e.obs.noteArena(e.arena)
+	}
+	return e.arena.bytes()
 }
 
 func argmax(sc []int32) int {

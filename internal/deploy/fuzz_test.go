@@ -28,6 +28,31 @@ func FuzzReadEngine(f *testing.F) {
 		f.Add(inj.TruncateAt(valid))
 	}
 
+	// A v3 artifact with a populated calibration table, plus mutations aimed
+	// at its trailing v3 section (policy byte, site lengths, scale floats):
+	// corrupt tables must come back ErrCorrupt/ErrChecksum, never a panic.
+	calEng := makeTinyEngine()
+	calEng.Calib = calEng.calibTable()
+	calEng.Policy = PolicyInt8
+	var cbuf bytes.Buffer
+	if _, err := calEng.WriteTo(&cbuf); err != nil {
+		f.Fatal(err)
+	}
+	withCalib := cbuf.Bytes()
+	f.Add(append([]byte(nil), withCalib...))
+	// The shared v2 body ends 9 bytes before the end of `valid` (whose v3
+	// section is the 5-byte empty table), so the populated v3 section spans
+	// [len(valid)-9, len(withCalib)-4).
+	v3Start, v3End := len(valid)-9, len(withCalib)-4
+	for i := 0; i < 8; i++ {
+		f.Add(inj.FlipBits(withCalib, 1+i))
+		f.Add(inj.TruncateAt(withCalib))
+		// Target the v3 section directly: flip one byte at/after the policy.
+		m := append([]byte(nil), withCalib...)
+		m[v3Start+(i*13)%(v3End-v3Start)] ^= byte(1 << (i % 8))
+		f.Add(m)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng, err := ReadEngine(bytes.NewReader(data))
 		if err == nil {

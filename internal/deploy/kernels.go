@@ -74,6 +74,10 @@ func (q *QDense) compileKernels() {
 	q.unpack()
 	q.wbSp = compileRows(q.wb, int(q.R), int(q.In))
 	q.wcSp = compileRows(q.wc, int(q.Out), int(q.R))
+	// Wb reads int8 activations, so it also compiles to bitplane words for
+	// the word-packed matvec (bitplane.go). Wc reads the int16 hidden vector
+	// and keeps the index-gather form.
+	q.wbBits = compileBitRows(q.wb, int(q.R), int(q.In))
 }
 
 func (t *QTree) compileKernels() {
@@ -150,8 +154,10 @@ func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int)
 }
 
 // forwardInto runs the convolution through the sparse kernels using the
-// arena's scratch memory, writing the int8 output image into out.
-func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int) (int, int) {
+// arena's scratch memory, writing the int8 output image into out. pol picks
+// the activation layout for the hidden planes; the arena must have been
+// built for the same policy.
+func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int, pol Policy) (int, int) {
 	kh, kw, stride := int(q.KH), int(q.KW), int(q.Stride)
 	padH, padW := int(q.PadH), int(q.PadW)
 	outH := (h+2*padH-kh)/stride + 1
@@ -161,7 +167,7 @@ func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int) (int, int)
 		// Depthwise gathers straight from the image (see dwSparse): its
 		// im2col matrix would materialise kh·kw rows per channel of which
 		// only the Wb nonzeros are ever read.
-		q.dwSparse(a, x, out[:int(q.Cin)*nOut], h, w, outH, outW)
+		q.dwSparse(a, x, out[:int(q.Cin)*nOut], h, w, outH, outW, pol)
 		return outH, outW
 	}
 	var cols []int8
@@ -172,16 +178,31 @@ func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int) (int, int)
 		cols = a.cols[:int(q.Cin)*kh*kw*nOut]
 		im2colI8Into(cols, x, int(q.Cin), h, w, kh, kw, stride, padH, padW)
 	}
-	q.stdSparse(a, cols, out[:int(q.Cout)*nOut], nOut)
+	q.stdSparse(a, cols, out[:int(q.Cout)*nOut], nOut, pol)
 	return outH, outW
 }
 
-// stdSparse is the standard-conv kernel: sparse ternary matmul into the
-// int16 hidden planes, then a sparse ternary 1×1 combine with per-channel
-// requantisation. Both stages shard their rows across the arena's workers
+// stdSparse is the standard-conv kernel: word-packed ternary matmul into the
+// hidden planes (int16 mixed, int8 under PolicyInt8), then a ternary 1×1
+// combine with per-channel requantisation — word-packed too when the hidden
+// planes are int8. Both stages shard their rows across the arena's workers
 // when the gather work is large enough.
-func (q *QConv) stdSparse(a *arena, cols, out []int8, nOut int) {
+func (q *QConv) stdSparse(a *arena, cols, out []int8, nOut int, pol Policy) {
 	r, cout := int(q.R), int(q.Cout)
+	if pol == PolicyInt8 {
+		hidden8 := a.hidden8[:r*nOut]
+		if a.workers > 0 && len(q.wbSp.idx)*nOut >= parallelThreshold {
+			a.runShards(shardJob{q: q, stage: stageHidden8, cols: cols, hidden8: hidden8, acc: a.acc, nOut: nOut}, r)
+		} else {
+			q.stdHiddenRows8(cols, hidden8, a.acc, nOut, 0, r)
+		}
+		if a.workers > 0 && len(q.wcSp.idx)*nOut >= parallelThreshold {
+			a.runShards(shardJob{q: q, stage: stageOut8, hidden8: hidden8, acc: a.acc, out: out, nOut: nOut}, cout)
+		} else {
+			q.stdOutRows8(hidden8, a.acc, out, nOut, 0, cout)
+		}
+		return
+	}
 	hidden := a.hidden[:r*nOut]
 	if a.workers > 0 && len(q.wbSp.idx)*nOut >= parallelThreshold {
 		a.runShards(shardJob{q: q, stage: stageHidden, cols: cols, hidden: hidden, acc: a.acc, nOut: nOut}, r)
@@ -204,6 +225,10 @@ func (q *QConv) stdSparse(a *arena, cols, out []int8, nOut int) {
 // while acc is loaded and stored an eighth as often. All slices are
 // resliced to exactly nOut so the inner loops bounds-check once, not per
 // element.
+//
+// The hot path now uses the word-packed gatherPlanesI8W (bitplane.go);
+// gatherI8 is retained as its scalar oracle for the kernel-level property
+// tests.
 func gatherI8(acc []int32, cols []int8, plus, minus []int32, nOut int) {
 	acc = acc[:nOut]
 	switch {
@@ -360,14 +385,17 @@ func addPlanesI16(acc []int32, planes []int16, idx []int32, nOut int, sign int32
 	}
 }
 
-// stdHiddenRows computes hidden rows [lo,hi): each row gathers its +/−
-// im2col rows into a private int32 accumulator slot, then rescales to int16
-// through the per-hidden-unit fixed-point multiplier.
+// stdHiddenRows computes hidden rows [lo,hi): each row word-gathers its +/−
+// im2col planes into a private int32 accumulator slot, then rescales to
+// int16 through the per-hidden-unit fixed-point multiplier. Accumulator and
+// lane scratch are indexed by row, so sharded workers never touch the same
+// slots.
 func (q *QConv) stdHiddenRows(cols []int8, hidden []int16, accBuf []int32, nOut, lo, hi int) {
+	colsB := i8Bytes(cols)
 	for i := lo; i < hi; i++ {
 		acc := accBuf[i*nOut:][:nOut]
 		plus, minus := q.wbSp.row(i)
-		gatherI8(acc, cols, plus, minus, nOut)
+		gatherPlanesI8W(acc, colsB, plus, minus, nOut)
 		m := q.HidMul[i]
 		dst := hidden[i*nOut:][:nOut]
 		for j, v := range acc {
@@ -376,13 +404,43 @@ func (q *QConv) stdHiddenRows(cols []int8, hidden []int16, accBuf []int32, nOut,
 	}
 }
 
-// stdOutRows computes output channels [lo,hi) from the hidden planes.
+// stdHiddenRows8 is stdHiddenRows under PolicyInt8: the hidden planes are
+// stored int8 through the derived hidMul8 requantiser.
+func (q *QConv) stdHiddenRows8(cols []int8, hidden8 []int8, accBuf []int32, nOut, lo, hi int) {
+	colsB := i8Bytes(cols)
+	for i := lo; i < hi; i++ {
+		acc := accBuf[i*nOut:][:nOut]
+		plus, minus := q.wbSp.row(i)
+		gatherPlanesI8W(acc, colsB, plus, minus, nOut)
+		m := q.hidMul8[i]
+		dst := hidden8[i*nOut:][:nOut]
+		for j, v := range acc {
+			dst[j] = clampI8(m.Apply(v))
+		}
+	}
+}
+
+// stdOutRows computes output channels [lo,hi) from the int16 hidden planes
+// (mixed policy). int16 planes gain little from byte-lane packing at these
+// widths, so this stage keeps the unrolled index gather.
 func (q *QConv) stdOutRows(hidden []int16, accBuf []int32, out []int8, nOut, lo, hi int) {
 	for c := lo; c < hi; c++ {
 		acc := accBuf[c*nOut:][:nOut]
 		plus, minus := q.wcSp.row(c)
 		gatherI16(acc, hidden, plus, minus, nOut)
 		q.requantChannel(out[c*nOut:][:nOut], acc, c)
+	}
+}
+
+// stdOutRows8 computes output channels [lo,hi) from int8 hidden planes
+// (PolicyInt8), reusing the same word-packed gather as the first stage.
+func (q *QConv) stdOutRows8(hidden8 []int8, accBuf []int32, out []int8, nOut, lo, hi int) {
+	hidB := i8Bytes(hidden8)
+	for c := lo; c < hi; c++ {
+		acc := accBuf[c*nOut:][:nOut]
+		plus, minus := q.wcSp.row(c)
+		gatherPlanesI8W(acc, hidB, plus, minus, nOut)
+		q.requantChannel8(out[c*nOut:][:nOut], acc, c)
 	}
 }
 
@@ -427,7 +485,7 @@ func dwGatherTap(hacc []int32, img []int8, ki, kj, h, w, outH, outW, stride, pad
 // (the naive path computes them and then discards the result). Channels are
 // processed serially: per-channel work is tiny and the standard-conv stages
 // dominate.
-func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int) {
+func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int, pol Policy) {
 	kw := int(q.KW)
 	stride := int(q.Stride)
 	padH, padW := int(q.PadH), int(q.PadW)
@@ -435,6 +493,7 @@ func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int) {
 	r := int(q.R)
 	acc := a.acc[:nOut]
 	hacc := a.acc[nOut:][:nOut]
+	act8 := pol == PolicyInt8
 	for ch := 0; ch < int(q.Cin); ch++ {
 		img := x[ch*h*w:][:h*w]
 		for j := range acc {
@@ -456,35 +515,48 @@ func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int) {
 			for _, p := range minus {
 				dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, -1)
 			}
-			m := q.HidMul[hu]
-			if wcv > 0 {
-				for j, v := range hacc {
-					acc[j] += int32(clampI16(m.Apply(v)))
+			if act8 {
+				m := q.hidMul8[hu]
+				if wcv > 0 {
+					for j, v := range hacc {
+						acc[j] += int32(clampI8(m.Apply(v)))
+					}
+				} else {
+					for j, v := range hacc {
+						acc[j] -= int32(clampI8(m.Apply(v)))
+					}
 				}
 			} else {
-				for j, v := range hacc {
-					acc[j] -= int32(clampI16(m.Apply(v)))
+				m := q.HidMul[hu]
+				if wcv > 0 {
+					for j, v := range hacc {
+						acc[j] += int32(clampI16(m.Apply(v)))
+					}
+				} else {
+					for j, v := range hacc {
+						acc[j] -= int32(clampI16(m.Apply(v)))
+					}
 				}
 			}
 		}
-		q.requantChannel(out[ch*nOut:][:nOut], acc, ch)
+		if act8 {
+			q.requantChannel8(out[ch*nOut:][:nOut], acc, ch)
+		} else {
+			q.requantChannel(out[ch*nOut:][:nOut], acc, ch)
+		}
 	}
 }
 
-// forwardInto is the sparse, zero-allocation QDense forward: y and hid are
-// caller-owned (y of length Out, hid of at least R).
-func (q *QDense) forwardInto(x []int8, y []int16, hid []int16) {
+// forwardInto is the word-packed, zero-allocation QDense forward: y and hid
+// are caller-owned (y of length Out, hid of at least R), xp is the staging
+// buffer for the bitplane matvec (at least ⌈In/64⌉·64 bytes). The int8
+// input stage runs through the Wb bitplanes; the int16 hidden stage keeps
+// the index gather.
+func (q *QDense) forwardInto(x []int8, y []int16, hid []int16, xp []byte) {
+	xb := stageBytes(xp, x)
 	r := int(q.R)
 	for i := 0; i < r; i++ {
-		var acc int32
-		plus, minus := q.wbSp.row(i)
-		for _, p := range plus {
-			acc += int32(x[p])
-		}
-		for _, p := range minus {
-			acc -= int32(x[p])
-		}
-		hid[i] = clampI16(q.HidMul[i].Apply(acc))
+		hid[i] = clampI16(q.HidMul[i].Apply(q.wbBits.matRow(i, xb)))
 	}
 	for c := 0; c < int(q.Out); c++ {
 		var acc int32
@@ -505,7 +577,7 @@ func (t *QTree) forwardInto(a *arena, x []int8) []int32 {
 	L := int(t.NumClasses)
 	d := int(t.ProjDim)
 	z16 := a.z16[:int(t.Z.Out)]
-	t.Z.forwardInto(x, z16, a.denseHid)
+	t.Z.forwardInto(x, z16, a.denseHid, a.xPad)
 	z := a.z8[:len(z16)]
 	for i, v := range z16 {
 		z[i] = clampI8(t.ZQ.Apply(int32(v)))
@@ -519,8 +591,8 @@ func (t *QTree) forwardInto(a *arena, x []int8) []int32 {
 	nInt := t.numInternal()
 	node := 1 // 1-based
 	for {
-		t.W[node-1].forwardInto(z, wbuf, a.denseHid)
-		t.V[node-1].forwardInto(z, vbuf, a.denseHid)
+		t.W[node-1].forwardInto(z, wbuf, a.denseHid, a.xPad)
+		t.V[node-1].forwardInto(z, vbuf, a.denseHid, a.xPad)
 		for j := 0; j < L; j++ {
 			scores[j] += int64(wbuf[j]) * int64(t.lookupTanh(vbuf[j]))
 		}

@@ -60,18 +60,20 @@ func NewMult(m float64) Mult {
 	return Mult{Mant: mant, Shift: uint8(shift)}
 }
 
-// Apply computes round(v·m) with round-half-away-from-zero, in integers.
+// Apply computes round(v·m) with round-half-away-from-zero, in integers:
+// sign(prod) · ((|prod| + half) >> Shift). The sign handling is branchless
+// (sign is the arithmetic broadcast of prod's top bit; x̂ = (x ⊕ sign) − sign
+// negates exactly when sign is −1) because the requant loops call this once
+// per element with unpredictable accumulator signs.
 func (mu Mult) Apply(v int32) int32 {
 	if mu.Mant == 0 {
 		return 0
 	}
 	prod := int64(v) * int64(mu.Mant)
-	// Rounding shift right by mu.Shift.
 	half := int64(1) << (mu.Shift - 1)
-	if prod >= 0 {
-		return int32((prod + half) >> mu.Shift)
-	}
-	return int32(-((-prod + half) >> mu.Shift))
+	sign := prod >> 63
+	r := (((prod ^ sign) - sign) + half) >> mu.Shift
+	return int32((r ^ sign) - sign)
 }
 
 // Float returns the real multiplier value (for tests and diagnostics).

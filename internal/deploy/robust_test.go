@@ -138,10 +138,13 @@ func TestV1ArtifactsStillReadable(t *testing.T) {
 
 func TestChecksumCatchesBitFlip(t *testing.T) {
 	data := tinyEngineBytes(t)
-	// Flip a bit in the last body byte (the WScale float): it still parses
-	// and still validates, so only the checksum can catch it.
+	// Flip a bit in the last v2-body byte (the WScale float). The artifact
+	// tail is [WScale][v3 policy byte][v3 calib count][CRC32], so len-10 is
+	// the last byte that still parses and still validates — only the
+	// checksum can catch it. (Bytes in the v3 section itself would trip the
+	// structural checks in readV3 before the CRC is verified.)
 	flipped := append([]byte(nil), data...)
-	flipped[len(flipped)-5] ^= 0x01
+	flipped[len(flipped)-10] ^= 0x01
 	_, err := ReadEngine(bytes.NewReader(flipped))
 	if !errors.Is(err, ErrChecksum) {
 		t.Fatalf("got %v, want ErrChecksum", err)

@@ -17,13 +17,17 @@ import (
 //
 // Version 2 appends a CRC32 (IEEE) of the body (everything after the magic
 // and version words) so flash rot and truncated transfers are detected
-// before the model is trusted. Version 1 artifacts (no checksum) remain
-// readable; both versions get the same structural validation on load.
+// before the model is trusted. Version 3 inserts, between the v2 body and
+// the CRC trailer (so the checksum covers it), the activation policy byte
+// and the per-site calibration table — the scales the requantisation
+// multipliers were folded from, carried for deployment audits. Versions 1
+// and 2 remain readable (they load as PolicyMixed with a nil table); all
+// versions get the same structural validation on load.
 
 var magic = [4]byte{'T', 'H', 'N', 'T'}
 
 const (
-	formatVersion  = 2
+	formatVersion  = 3
 	minReadVersion = 1
 )
 
@@ -302,18 +306,87 @@ func (e *Engine) writeBody(cw *countingWriter) {
 	cw.write(math.Float32bits(t.WScale))
 }
 
-// WriteTo serialises the engine in format version 2 (body + CRC32 trailer).
-// It implements io.WriterTo.
+// writeV3 serialises the version-3 section: the activation policy byte and
+// the length-prefixed calibration table. It sits inside the CRC-covered
+// region, after the v2 body.
+func (e *Engine) writeV3(cw *countingWriter) {
+	cw.write(byte(e.Policy))
+	cw.write(int32(len(e.Calib)))
+	for _, c := range e.Calib {
+		cw.writeBytes([]byte(c.Site))
+		cw.write(c.Bits)
+		cw.write(math.Float32bits(c.Scale))
+	}
+}
+
+// readV3 deserialises the version-3 section into e, bounds-checking every
+// count before its allocation like the rest of the reader.
+func readV3(rd *reader, e *Engine) {
+	var pb byte
+	rd.read(&pb)
+	e.Policy = Policy(pb)
+	if rd.err == nil && !e.Policy.valid() {
+		rd.fail(ErrCorrupt, "unknown activation policy %d", pb)
+	}
+	var n int32
+	rd.read(&n)
+	rd.checkRange("calibration entries", n, 0, maxCalibEntries)
+	if rd.err != nil || n == 0 {
+		return
+	}
+	e.Calib = make([]CalibEntry, 0, n)
+	for i := int32(0); i < n && rd.err == nil; i++ {
+		var sl int32
+		rd.read(&sl)
+		rd.checkRange(fmt.Sprintf("calib[%d] site length", i), sl, 1, maxCalibSite)
+		if rd.err != nil {
+			return
+		}
+		site := make([]byte, sl)
+		if _, err := io.ReadFull(rd.r, site); err != nil {
+			rd.fail(ErrCorrupt, "reading calib[%d] site: %v", i, err)
+			return
+		}
+		var c CalibEntry
+		c.Site = string(site)
+		rd.read(&c.Bits)
+		var bits uint32
+		rd.read(&bits)
+		c.Scale = math.Float32frombits(bits)
+		e.Calib = append(e.Calib, c)
+	}
+}
+
+// WriteTo serialises the engine in the current format version. It implements
+// io.WriterTo.
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	return e.WriteToVersion(w, formatVersion)
+}
+
+// WriteToVersion serialises the engine in an explicit format version —
+// 1 (no checksum), 2 (CRC32 trailer) or 3 (policy + calibration table under
+// the checksum). Older versions simply drop the newer sections; the v1/v2/v3
+// round-trip matrix in the tests and ci.sh pins the compatibility story.
+func (e *Engine) WriteToVersion(w io.Writer, version int32) (int64, error) {
+	if version < minReadVersion || version > formatVersion {
+		return 0, fmt.Errorf("deploy: cannot write format version %d (supported: %d..%d)", version, minReadVersion, formatVersion)
+	}
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 	cw.write(magic)
-	cw.write(int32(formatVersion))
-	crc := crc32.NewIEEE()
-	cw.w = io.MultiWriter(bw, crc)
-	e.writeBody(cw)
-	cw.w = bw
-	cw.write(crc.Sum32())
+	cw.write(version)
+	if version >= 2 {
+		crc := crc32.NewIEEE()
+		cw.w = io.MultiWriter(bw, crc)
+		e.writeBody(cw)
+		if version >= 3 {
+			e.writeV3(cw)
+		}
+		cw.w = bw
+		cw.write(crc.Sum32())
+	} else {
+		e.writeBody(cw)
+	}
 	if cw.err != nil {
 		return cw.n, cw.err
 	}
@@ -396,11 +469,13 @@ func readBody(rd *reader) *Engine {
 	return e
 }
 
-// ReadEngine deserialises an engine written by WriteTo, accepting format
-// versions 1 (legacy, no checksum) and 2 (CRC32 trailer). Every dimension is
-// bounds-checked before the allocation it sizes, the v2 checksum is verified
-// against the body, and the result passes Validate before it is returned —
-// a non-nil engine cannot panic in Infer.
+// ReadEngine deserialises an engine written by WriteTo/WriteToVersion,
+// accepting format versions 1 (legacy, no checksum), 2 (CRC32 trailer) and
+// 3 (policy + calibration table). Every dimension is bounds-checked before
+// the allocation it sizes, the v2+ checksum is verified against the body,
+// and the result passes Validate before it is returned — a non-nil engine
+// cannot panic in Infer. v1/v2 artifacts load as PolicyMixed with a nil
+// calibration table.
 func ReadEngine(r io.Reader) (*Engine, error) {
 	br := bufio.NewReader(r)
 	rd := &reader{r: br}
@@ -423,6 +498,9 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		rd.r = io.TeeReader(br, crc)
 	}
 	e := readBody(rd)
+	if version >= 3 {
+		readV3(rd, e)
+	}
 	if rd.err != nil {
 		return nil, rd.err
 	}

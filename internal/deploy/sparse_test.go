@@ -44,9 +44,10 @@ func arenaForConv(q *QConv, h, w int) *arena {
 		acc = 2 * nOut
 	}
 	return &arena{
-		cols:   make([]int8, int(q.Cin)*int(q.KH)*int(q.KW)*nOut),
-		hidden: make([]int16, int(q.R)*nOut),
-		acc:    make([]int32, acc),
+		cols:    make([]int8, int(q.Cin)*int(q.KH)*int(q.KW)*nOut),
+		hidden:  make([]int16, int(q.R)*nOut),
+		hidden8: make([]int8, int(q.R)*nOut),
+		acc:     make([]int32, acc),
 	}
 }
 
@@ -106,14 +107,16 @@ func TestSparseConvMatchesNaive(t *testing.T) {
 		for i := range x {
 			x[i] = int8(rng.Intn(255) - 127)
 		}
-		want, _, _ := q.Forward(x, h, w)
 		q.compileKernels()
 		a := arenaForConv(q, h, w)
 		got := make([]int8, int(q.Cout)*oh*ow)
-		q.forwardInto(a, x, got, h, w)
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("seed %d kind %q: sparse[%d]=%d naive=%d", seed, q.Kind, i, got[i], want[i])
+		for _, pol := range []Policy{PolicyMixed, PolicyInt8} {
+			want, _, _ := q.forwardRef(x, h, w, pol)
+			q.forwardInto(a, x, got, h, w, pol)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d kind %q pol %v: sparse[%d]=%d naive=%d", seed, q.Kind, pol, i, got[i], want[i])
+				}
 			}
 		}
 	}
@@ -141,7 +144,8 @@ func TestSparseDenseMatchesNaive(t *testing.T) {
 		q.compileKernels()
 		got := make([]int16, out)
 		hid := make([]int16, r)
-		q.forwardInto(x, got, hid)
+		xp := make([]byte, (in+63)&^63)
+		q.forwardInto(x, got, hid, xp)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("seed %d: sparse[%d]=%d naive=%d", seed, i, got[i], want[i])
@@ -256,7 +260,7 @@ func TestEngineSparseMatchesNaiveRandomized(t *testing.T) {
 			for i := range x {
 				x[i] = float32(rng.NormFloat64())
 			}
-			wantSc, wantCls := e.inferNaive(x)
+			wantSc, wantCls := e.inferNaive(x, PolicyMixed)
 			gotSc, gotCls := e.Infer(x)
 			if gotCls != wantCls {
 				t.Fatalf("seed %d trial %d: class %d vs naive %d", seed, trial, gotCls, wantCls)
@@ -279,7 +283,7 @@ func TestSyntheticEngineSparseMatchesNaive(t *testing.T) {
 		for i := range x {
 			x[i] = float32(rng.NormFloat64())
 		}
-		wantSc, wantCls := e.inferNaive(x)
+		wantSc, wantCls := e.inferNaive(x, PolicyMixed)
 		gotSc, gotCls := e.Infer(x)
 		if gotCls != wantCls {
 			t.Fatalf("trial %d: class %d vs naive %d", trial, gotCls, wantCls)
@@ -369,7 +373,7 @@ func TestSparseParallelMatchesNaive(t *testing.T) {
 	for i := range x {
 		x[i] = float32(rng.NormFloat64())
 	}
-	wantSc, wantCls := e.inferNaive(x)
+	wantSc, wantCls := e.inferNaive(x, PolicyMixed)
 	gotSc, gotCls := e.Infer(x)
 	if runtime.GOMAXPROCS(0) > 1 && e.arena.workers == 0 {
 		t.Fatal("expected the big conv to enable shard workers")
@@ -466,7 +470,7 @@ func TestInferBatchConcurrent(t *testing.T) {
 	for i := range x {
 		x[i] = float32(rng.NormFloat64())
 	}
-	wantSc, wantCls := e.inferNaive(x)
+	wantSc, wantCls := e.inferNaive(x, PolicyMixed)
 	xs := [][]float32{x, x, x, x}
 	done := make(chan error, 4)
 	for g := 0; g < 4; g++ {

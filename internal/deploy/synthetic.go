@@ -122,6 +122,7 @@ func SyntheticEngine(seed int64, density float64) *Engine {
 		PoolK: 5, PoolS: 5,
 		Tree: tree,
 	}
+	e.Calib = e.calibTable()
 	if err := e.Validate(); err != nil {
 		panic(fmt.Sprintf("deploy: SyntheticEngine built an invalid engine: %v", err))
 	}

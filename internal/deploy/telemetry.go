@@ -99,18 +99,15 @@ func (o *Observer) noteArena(a *arena) {
 	if o == nil {
 		return
 	}
-	bytes := int64(len(a.imgA)) + int64(len(a.imgB)) + int64(len(a.cols)) +
-		2*int64(len(a.hidden)) + 4*int64(len(a.acc)) + int64(len(a.pooled)) +
-		2*int64(len(a.z16)) + int64(len(a.z8)) + 2*int64(len(a.wv)) +
-		8*int64(len(a.scores)) + 4*int64(len(a.out)) + 2*int64(len(a.denseHid))
-	o.ArenaBytes.SetMax(bytes)
+	o.ArenaBytes.SetMax(a.bytes())
 }
 
 // inferArenaObserved is inferArena with per-layer attribution: a span and a
 // latency observation around every stage, plus the whole-pipeline histogram
 // and work counters. It is a separate function so the unobserved path keeps
-// its exact PR 2 instruction stream.
-func (e *Engine) inferArenaObserved(a *arena, x []float32) ([]int32, int) {
+// its exact instruction stream — the integer word-packed loop is what gets
+// observed, at whichever policy the arena was built for.
+func (e *Engine) inferArenaObserved(a *arena, x []float32, pol Policy) ([]int32, int) {
 	o := e.obs
 	root := o.tracer.Span("engine.infer")
 	t0 := time.Now()
@@ -120,7 +117,7 @@ func (e *Engine) inferArenaObserved(a *arena, x []float32) ([]int32, int) {
 	for i, conv := range e.Convs {
 		sp := root.Child(o.LayerNames[i])
 		tl := time.Now()
-		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w)
+		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w, pol)
 		o.LayerNs[i].ObserveSince(tl)
 		sp.End()
 		img, next = next, img

@@ -3,6 +3,7 @@ package deploy
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Typed load/validation errors. Every rejection of a model artifact wraps one
@@ -26,11 +27,13 @@ var (
 // (the paper's models are kilobytes) and would make the size products below
 // overflow or let a hostile header demand huge allocations.
 const (
-	maxDim       = 1 << 14 // per-axis bound for Cin/Cout/KH/KW/R/In/Out
-	maxPad       = 1 << 12
-	maxElems     = 1 << 24 // bound on any single weight-matrix element count
-	maxHidUnits  = 1 << 20 // bound on per-layer multiplier arrays
-	maxTreeDepth = 12
+	maxDim          = 1 << 14 // per-axis bound for Cin/Cout/KH/KW/R/In/Out
+	maxPad          = 1 << 12
+	maxElems        = 1 << 24 // bound on any single weight-matrix element count
+	maxHidUnits     = 1 << 20 // bound on per-layer multiplier arrays
+	maxTreeDepth    = 12
+	maxCalibEntries = 4096 // v3 calibration table rows
+	maxCalibSite    = 64   // bytes per calibration site name
 )
 
 // mulDims multiplies non-negative dimensions, failing on overflow or when the
@@ -262,6 +265,24 @@ func (e *Engine) Validate() error {
 	if len(t.TanhLUT) != 1<<tanhLUTBits {
 		return fmt.Errorf("%w: tanh LUT has %d entries, want %d", ErrShapeMismatch, len(t.TanhLUT), 1<<tanhLUTBits)
 	}
+	if !e.Policy.valid() {
+		return fmt.Errorf("%w: unknown activation policy %d", ErrCorrupt, uint8(e.Policy))
+	}
+	if len(e.Calib) > maxCalibEntries {
+		return fmt.Errorf("%w: calibration table has %d entries, max %d", ErrCorrupt, len(e.Calib), maxCalibEntries)
+	}
+	for i, c := range e.Calib {
+		if c.Site == "" || len(c.Site) > maxCalibSite {
+			return fmt.Errorf("%w: calib[%d] site name length %d outside [1,%d]", ErrCorrupt, i, len(c.Site), maxCalibSite)
+		}
+		if c.Bits != 8 && c.Bits != 16 {
+			return fmt.Errorf("%w: calib[%d] (%s) has %d activation bits, want 8 or 16", ErrCorrupt, i, c.Site, c.Bits)
+		}
+		// NaN fails both comparisons below, so it is rejected too.
+		if !(c.Scale >= 0) || c.Scale > math.MaxFloat32/2 {
+			return fmt.Errorf("%w: calib[%d] (%s) scale %v is not a finite non-negative value", ErrCorrupt, i, c.Site, c.Scale)
+		}
+	}
 	return nil
 }
 
@@ -283,5 +304,23 @@ func (e *Engine) InferSafe(x []float32) (scores []int32, class int, err error) {
 		return nil, -1, fmt.Errorf("%w: input length %d, want %d", ErrShapeMismatch, len(x), want)
 	}
 	s, c := e.Infer(x)
+	return s, c, nil
+}
+
+// InferIntSafe is InferSafe pinned to the word-packed integer kernels (the
+// InferInt entry point): length-checked input, panics converted to errors,
+// zero steady-state allocations, not concurrency-safe.
+func (e *Engine) InferIntSafe(x []float32) (scores []int32, class int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.obs.fault()
+			scores, class, err = nil, -1, fmt.Errorf("deploy: inference panic: %v", r)
+		}
+	}()
+	if want := int(e.Frames) * int(e.Coeffs); len(x) != want {
+		e.obs.fault()
+		return nil, -1, fmt.Errorf("%w: input length %d, want %d", ErrShapeMismatch, len(x), want)
+	}
+	s, c := e.InferInt(x)
 	return s, c, nil
 }

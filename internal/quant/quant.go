@@ -8,6 +8,7 @@
 package quant
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/nn"
@@ -18,8 +19,11 @@ import (
 // FakeQuant quantises v to a symmetric fixed-point grid with the given
 // number of bits and scale (the value of one step), returning the
 // dequantised result. This simulates integer inference in float arithmetic.
+// A grid needs at least one step on each side of zero, so bits < 2 (like a
+// non-positive scale) disables quantisation and returns v unchanged —
+// before this guard, bits = 0 shifted by a negative count and panicked.
 func FakeQuant(v float32, bits int, scale float32) float32 {
-	if scale <= 0 {
+	if bits < 2 || scale <= 0 {
 		return v
 	}
 	qmax := float32(int32(1)<<(bits-1)) - 1
@@ -34,12 +38,14 @@ func FakeQuant(v float32, bits int, scale float32) float32 {
 }
 
 // ScaleFor returns the symmetric quantisation step for a tensor with the
-// given maximum absolute value.
+// given maximum absolute value. bits < 2 has no representable grid (bits = 1
+// would divide by a zero qmax, bits = 0 would shift by a negative count), so
+// it returns 0 — the value FakeQuant treats as "quantisation disabled".
 func ScaleFor(maxAbs float32, bits int) float32 {
-	qmax := float32(int32(1)<<(bits-1)) - 1
-	if maxAbs == 0 {
+	if bits < 2 || maxAbs == 0 {
 		return 0
 	}
+	qmax := float32(int32(1)<<(bits-1)) - 1
 	return maxAbs / qmax
 }
 
@@ -100,6 +106,30 @@ type Simulator struct {
 	layers []nn.Layer
 	bits   []int     // activation bits after each layer (0 = no quantisation)
 	scales []float32 // calibrated activation scales
+}
+
+// Record is one layer's calibration result: the activation bit width the
+// policy assigned to its output and the symmetric step chosen from the
+// calibration batch. Bits 0 marks a pure view (no requantisation). Consumers
+// (deploy compilation, the kws-deploy report) read these instead of poking
+// at Simulator internals.
+type Record struct {
+	Layer string  // layer position and Go type, e.g. "3:*strassen.Conv2D"
+	Bits  int     // activation bits after this layer (0 = passthrough)
+	Scale float32 // quantisation step (0 = disabled)
+}
+
+// Records exports the per-layer calibration table built by Calibrate.
+func (s *Simulator) Records() []Record {
+	out := make([]Record, len(s.layers))
+	for i, l := range s.layers {
+		out[i] = Record{
+			Layer: fmt.Sprintf("%d:%T", i, l),
+			Bits:  s.bits[i],
+			Scale: s.scales[i],
+		}
+	}
+	return out
 }
 
 // flattenPipeline linearises a model into its top-level layer list.

@@ -36,6 +36,72 @@ func TestScaleFor(t *testing.T) {
 	}
 }
 
+// Table over the degenerate and normal bit widths: bits < 2 has no grid, so
+// ScaleFor reports 0 and FakeQuant is the identity (bits = 0 used to panic
+// with a negative shift, bits = 1 used to divide by zero). Negative scales
+// likewise disable quantisation rather than flipping the grid.
+func TestFakeQuantBitWidthTable(t *testing.T) {
+	cases := []struct {
+		bits      int
+		wantScale float32 // ScaleFor(127, bits)
+		wantQ     float32 // FakeQuant(0.74, bits, max(scale, fallback))
+	}{
+		{1, 0, 0.74},                   // no grid: identity
+		{2, 127, 0},                    // one step each side: 0.74 rounds to 0·127
+		{8, 1, 1},                      // classic int8 grid
+		{16, 127.0 / 32767.0, 0.74029}, // near-lossless
+	}
+	for _, tc := range cases {
+		if got := ScaleFor(127, tc.bits); math.Abs(float64(got-tc.wantScale)) > 1e-6 {
+			t.Errorf("ScaleFor(127,%d)=%v, want %v", tc.bits, got, tc.wantScale)
+		}
+		scale := ScaleFor(127, tc.bits)
+		if scale == 0 {
+			scale = 0.5 // a live scale, to show bits alone disables the grid
+		}
+		if got := FakeQuant(0.74, tc.bits, scale); math.Abs(float64(got-tc.wantQ)) > 1e-4 {
+			t.Errorf("FakeQuant(0.74,%d,%v)=%v, want %v", tc.bits, scale, got, tc.wantQ)
+		}
+	}
+	if got := ScaleFor(1, 0); got != 0 {
+		t.Fatalf("ScaleFor(1,0)=%v, want 0", got)
+	}
+	if got := FakeQuant(3.25, 0, 0.5); got != 3.25 {
+		t.Fatalf("FakeQuant with bits=0 should be identity, got %v", got)
+	}
+	for _, scale := range []float32{-1, -0.25, 0} {
+		if got := FakeQuant(1.5, 8, scale); got != 1.5 {
+			t.Fatalf("FakeQuant with scale=%v should be identity, got %v", scale, got)
+		}
+	}
+}
+
+func TestSimulatorRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	model := nn.NewSequential(
+		nn.NewDense("fc1", 6, 8, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", 8, 3, rng),
+	)
+	calib := tensor.New(32, 6).Rand(rng, 1)
+	sim := Calibrate(model, calib, Act8)
+	recs := sim.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Bits != 8 {
+			t.Errorf("record %d bits=%d, want 8", i, r.Bits)
+		}
+		if r.Scale <= 0 {
+			t.Errorf("record %d scale=%v, want > 0", i, r.Scale)
+		}
+		if r.Layer == "" {
+			t.Errorf("record %d has no layer name", i)
+		}
+	}
+}
+
 // Property: quantisation error is bounded by scale/2 for in-range values,
 // and quantisation is idempotent.
 func TestQuickFakeQuantProperties(t *testing.T) {

@@ -57,7 +57,10 @@ func (m *ModelClassifier) NumClasses() int { return m.Classes }
 // concurrency-safe entry point, so one engine can serve several detectors —
 // via a reused single-frame batch, and the integer class scores are turned
 // into posteriors with a numerically stable softmax. The returned slice is
-// reused between calls.
+// reused between calls. The activation policy (mixed 8/16-bit vs fully
+// 8-bit) is the engine's own: set Engine.Policy before streaming and every
+// hop runs the word-packed integer kernels at that width — the classifier
+// adds no routing of its own.
 type EngineClassifier struct {
 	Engine *deploy.Engine
 
