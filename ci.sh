@@ -77,6 +77,34 @@ go run -race ./cmd/kws-train -model st-hybrid -samples 4 -width 0.1 \
     -epochs 1 -workers 2 -cache "$CACHE"
 rm -rf "$(dirname "$CACHE")"
 
+# Serving gauntlet: boot the multi-session daemon under the race detector,
+# wait for /healthz, then drive 100 wire sessions — ~30% of them through the
+# fault injector (NaN bursts, truncation, drops, reorders, stalls, aborts).
+# The drive exits nonzero if any clean session is lost or any session fails
+# to sustain, so fault leakage across sessions fails CI here. Afterwards the
+# daemon must still report healthy, and SIGTERM must drain to exit 0 within
+# its budget (a leaked session exits 1 and fails the `wait`).
+SDIR="$(mktemp -d)"
+go build -race -o "$SDIR/kws-serve" ./cmd/kws-serve
+"$SDIR/kws-serve" -addr 127.0.0.1:19470 -telemetry-addr 127.0.0.1:19471 \
+    -idle-timeout 10s -read-timeout 5s -drain-timeout 15s &
+SERVE_PID=$!
+for _ in $(seq 1 120); do
+    if curl -sf http://127.0.0.1:19471/healthz > /dev/null; then break; fi
+    sleep 0.5
+done
+curl -sf http://127.0.0.1:19471/healthz | grep -q '"status": "ok"'
+"$SDIR/kws-serve" -drive 127.0.0.1:19470 -sessions 100 -fault-frac 0.3 \
+    -seconds 1 -o "$SDIR/drive.json"
+grep -q '"clean_sessions_lost": 0' "$SDIR/drive.json"
+curl -sf http://127.0.0.1:19471/healthz | grep -q '"status": "ok"'
+curl -sf http://127.0.0.1:19471/metrics > "$SDIR/serve-metrics.txt"
+grep -q '^serve\.sessions\.opened [1-9]' "$SDIR/serve-metrics.txt"
+grep -q '^serve\.chunks [1-9]' "$SDIR/serve-metrics.txt"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+rm -rf "$SDIR"
+
 # Fuzz smoke: 10 s per hostile-input parser. Seeds alone run in `go test`;
 # this exercises the mutation engine against fresh corpus entries.
 go test -run='^$' -fuzz=FuzzReadEngine -fuzztime=10s ./internal/deploy

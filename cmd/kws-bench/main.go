@@ -18,10 +18,16 @@
 // data-parallel trainer at 1/2/4/8 workers, plus cold- versus warm-cache
 // dataset setup through the THFC feature cache.
 //
+// Serve mode (-serve) drives the multi-session serving core
+// (internal/serve) with over a thousand concurrent fault-injected sessions
+// sharing one engine, and records sessions sustained, clean sessions lost,
+// peak concurrency, hop-latency percentiles and absorbed-fault counts.
+//
 // Usage:
 //
 //	kws-bench                         # writes BENCH_engine.json
 //	kws-bench -train                  # writes BENCH_train.json
+//	kws-bench -serve                  # writes BENCH_serve.json
 //	kws-bench -o - -reps 5            # print JSON to stdout, best of 5
 //	kws-bench -density 0.2 -batch 32
 //
@@ -123,11 +129,21 @@ func main() {
 	batch := flag.Int("batch", 64, "frames per InferBatch call")
 	reps := flag.Int("reps", 3, "benchmark repetitions; the fastest is kept")
 	trainMode := flag.Bool("train", false, "benchmark training throughput instead of the inference engine")
+	serveMode := flag.Bool("serve", false, "benchmark the serving daemon core under concurrent fault-injected sessions")
+	serveSessions := flag.Int("serve-sessions", 1200, "concurrent sessions for the serving benchmark")
+	serveFaultFrac := flag.Float64("serve-fault-frac", 0.25, "fraction of serving-benchmark sessions fed through the fault injector")
 	trainWidth := flag.Float64("train-width", 0.25, "hybrid width multiplier for the training benchmark")
 	trainSamples := flag.Int("train-samples", 16, "corpus samples per class for the training benchmark")
 	trainEpochs := flag.Int("train-epochs", 1, "epochs per timed training run")
 	flag.Parse()
 
+	if *serveMode {
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		benchServe(*out, *seed, *density, *serveSessions, *serveFaultFrac)
+		return
+	}
 	if *trainMode {
 		if *out == "" {
 			*out = "BENCH_train.json"

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// serveReport is the BENCH_serve.json schema: the serving daemon's core
+// driven in-process by the load generator at four-digit session counts,
+// with fault injection on a quarter of the sessions.
+type serveReport struct {
+	Schema     string `json:"schema"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	Seed          int64   `json:"seed"`
+	Density       float64 `json:"density"`
+	Lanes         int     `json:"lanes"`
+	LaneBatch     int     `json:"lane_batch"`
+	FaultFraction float64 `json:"fault_fraction"`
+	SecondsPerSes float64 `json:"audio_seconds_per_session"`
+
+	Load serve.LoadReport `json:"load"`
+
+	// PeakConcurrent is the high-water mark of simultaneously open
+	// sessions, sampled from the live gauge while the load ran.
+	PeakConcurrent int64 `json:"peak_concurrent_sessions"`
+
+	// Hop latency across every session, from the shared registry: the time
+	// from a detector hop starting to its posterior landing, inference
+	// lane wait included.
+	Hops     int64 `json:"hops"`
+	HopP50Ns int64 `json:"hop_p50_ns"`
+	HopP95Ns int64 `json:"hop_p95_ns"`
+	HopP99Ns int64 `json:"hop_p99_ns"`
+
+	// Absorbed counts every fault the server ate without letting it out of
+	// its session, by kind.
+	Absorbed map[string]int64 `json:"absorbed"`
+
+	DrainSessions  int   `json:"drain_sessions"`
+	DrainForced    int   `json:"drain_forced"`
+	DrainLeaked    int   `json:"drain_leaked"`
+	DrainElapsedMs int64 `json:"drain_elapsed_ms"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// benchServe drives the serving core with cfgSessions concurrent sessions
+// in-process (no TCP, so the numbers isolate the serving machinery) and
+// writes BENCH_serve.json. The run fails loudly if any clean session is
+// lost or fewer sessions are sustained than the thousand-session headline.
+func benchServe(out string, seed int64, density float64, sessions int, faultFrac float64) {
+	reg := telemetry.NewRegistry()
+	eng := deploy.SyntheticEngine(seed, density)
+	lanes := runtime.NumCPU() / 2
+	if lanes < 1 {
+		lanes = 1
+	}
+	const laneBatch = 16
+	srv, err := serve.New(serve.Config{
+		Engine:          eng,
+		SampleRate:      4000,
+		MaxSessions:     sessions + 64,
+		IdleTimeout:     60 * time.Second,
+		ClassifyTimeout: 30 * time.Second,
+		Lanes:           lanes,
+		LaneBatch:       laneBatch,
+		Registry:        reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+		os.Exit(1)
+	}
+
+	// Sample the live session gauge for the peak-concurrency headline.
+	quit := make(chan struct{})
+	sampled := make(chan int64)
+	go func() {
+		g := reg.Gauge("serve.sessions.active")
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		var peak int64
+		for {
+			select {
+			case <-t.C:
+				if v := g.Value(); v > peak {
+					peak = v
+				}
+			case <-quit:
+				sampled <- peak
+				return
+			}
+		}
+	}()
+
+	const secondsPer = 1.5
+	load := serve.RunLoad(serve.DirectTarget{Srv: srv}, serve.LoadConfig{
+		Sessions:      sessions,
+		FaultFraction: faultFrac,
+		Seconds:       secondsPer,
+		ChunkMs:       250,
+		Seed:          seed + 1,
+		PushRetries:   400,
+		RetryEvery:    5 * time.Millisecond,
+		WaitClose:     120 * time.Second,
+		Fault: faultinject.StreamConfig{
+			PNaNBurst: 0.1, PClip: 0.05, PTruncate: 0.05, PDropChunk: 0.05,
+			PSwap: 0.05, PStall: 0.02, PAbort: 0.02,
+			StallMin: time.Millisecond, StallMax: 10 * time.Millisecond,
+		},
+	})
+	close(quit)
+	peak := <-sampled
+
+	dctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	st := srv.Drain(dctx)
+	cancel()
+
+	hop := reg.LatencyHistogram("stream.hop.ns").Snapshot(false)
+	rep := serveReport{
+		Schema:         "kws-serve-bench/v1",
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Seed:           seed,
+		Density:        density,
+		Lanes:          lanes,
+		LaneBatch:      laneBatch,
+		FaultFraction:  faultFrac,
+		SecondsPerSes:  secondsPer,
+		Load:           load,
+		PeakConcurrent: peak,
+		Hops:           reg.Counter("stream.hops").Value(),
+		HopP50Ns:       hop.P50,
+		HopP95Ns:       hop.P95,
+		HopP99Ns:       hop.P99,
+		Absorbed: map[string]int64{
+			"scrubbed_samples":   reg.Counter("stream.faults.scrubbed").Value(),
+			"clipped_samples":    reg.Counter("stream.faults.clipped").Value(),
+			"concealed_samples":  reg.Counter("stream.faults.concealed").Value(),
+			"bad_posteriors":     reg.Counter("stream.faults.bad_posteriors").Value(),
+			"watchdog_resets":    reg.Counter("stream.faults.watchdog_resets").Value(),
+			"fault_score":        reg.Counter("serve.faults.absorbed").Value(),
+			"panics_recovered":   reg.Counter("serve.faults.panics_recovered").Value(),
+			"breaker_trips":      reg.Counter("serve.breaker.trips").Value(),
+			"quarantined":        reg.Counter("serve.sessions.quarantined").Value(),
+			"backpressure_drops": reg.Counter("serve.chunks.backpressure_rejected").Value(),
+		},
+		DrainSessions:  st.Sessions,
+		DrainForced:    st.Forced,
+		DrainLeaked:    st.Leaked,
+		DrainElapsedMs: st.Elapsed.Milliseconds(),
+	}
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
+	if rep.NumCPU == 1 {
+		rep.Note = "single-CPU host: all sessions timeslice one core, so hop latency reflects queueing, not engine speed"
+	}
+
+	if load.CleanSessionsLost > 0 {
+		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: %d clean sessions lost under fault load\n", load.CleanSessionsLost)
+	}
+	if load.SessionsSustained < 1000 && sessions >= 1000 {
+		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: only %d/%d sessions sustained (headline: >=1000)\n",
+			load.SessionsSustained, sessions)
+	}
+
+	writeReport(rep, out)
+	fmt.Printf("kws-bench: serve %d sessions (%d faulty, peak %d concurrent), %d sustained, %d clean lost, hop p50 %.2fms p99 %.2fms, drain %dms -> %s\n",
+		load.Sessions, load.FaultySessions, rep.PeakConcurrent, load.SessionsSustained,
+		load.CleanSessionsLost, float64(rep.HopP50Ns)/1e6, float64(rep.HopP99Ns)/1e6,
+		rep.DrainElapsedMs, out)
+}

@@ -1,0 +1,206 @@
+// Command kws-serve is the long-lived keyword-spotting daemon: it
+// multiplexes thousands of concurrent audio sessions over one shared packed
+// ternary engine (internal/serve), with per-session fault isolation,
+// admission control, backpressure, load shedding, and graceful drain on
+// SIGTERM. Telemetry — per-session and aggregate counters, hop-latency
+// histograms, queue-depth gauges, /healthz, pprof — is served on
+// -telemetry-addr.
+//
+// Usage:
+//
+//	kws-serve -addr :9470                        # serve a synthetic engine
+//	kws-serve -engine model.thnt -addr :9470     # serve a trained model
+//	kws-serve -addr :9470 -telemetry-addr :8080  # with live metrics/health
+//	kws-serve -drive localhost:9470 -sessions 100 -fault-frac 0.3
+//	                                             # load-generator mode
+//
+// The drive mode exits nonzero if any clean session is lost — the CI
+// gauntlet uses it as the fault-isolation verdict.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/speechcmd"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":9470", "TCP address to serve sessions on")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
+	enginePath := flag.String("engine", "", "packed model (.thnt) to serve; empty builds a synthetic engine")
+	density := flag.Float64("density", 0.35, "synthetic engine ternary density (with no -engine)")
+	seed := flag.Int64("seed", 9, "synthetic engine weight seed")
+	maxSessions := flag.Int("max-sessions", 10000, "admission cap on concurrent sessions")
+	lanes := flag.Int("lanes", 0, "shared inference lanes (0 = NumCPU/2)")
+	laneBatch := flag.Int("lane-batch", 16, "max frames coalesced per lane inference call")
+	chunkQueue := flag.Int("queue", 8, "per-session chunk queue depth")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "reap sessions idle this long")
+	readTimeout := flag.Duration("read-timeout", 15*time.Second, "per-chunk TCP read deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM")
+	memLimit := flag.Int64("mem-limit", 0, "soft heap limit in bytes; above it the lowest-priority session is shed (0 disables)")
+	threshold := flag.Float64("threshold", 0.6, "smoothed-posterior detection threshold")
+	featMean := flag.Float64("feat-mean", 0, "feature normalisation mean (must match training)")
+	featStd := flag.Float64("feat-std", 1, "feature normalisation std (must match training)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+
+	drive := flag.String("drive", "", "run as a load generator against this kws-serve address instead of serving")
+	sessions := flag.Int("sessions", 100, "drive: concurrent sessions")
+	faultFrac := flag.Float64("fault-frac", 0.3, "drive: fraction of sessions fed through the fault injector")
+	seconds := flag.Float64("seconds", 2, "drive: audio seconds per session")
+	chunkMs := flag.Int("chunk-ms", 50, "drive: chunk size in milliseconds")
+	out := flag.String("o", "-", `drive: report path ("-" for stdout)`)
+	flag.Parse()
+
+	log := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), "kws-serve")
+
+	if *drive != "" {
+		runDrive(log, *drive, *sessions, *faultFrac, *seconds, *chunkMs, *seed, *out)
+		return
+	}
+
+	var eng *deploy.Engine
+	if *enginePath != "" {
+		f, err := os.Open(*enginePath)
+		if err != nil {
+			fatal(log, err)
+		}
+		var rerr error
+		eng, rerr = deploy.ReadEngine(f)
+		f.Close()
+		if rerr != nil {
+			fatal(log, fmt.Errorf("loading %s: %w", *enginePath, rerr))
+		}
+		log.Info("serving packed engine", "path", *enginePath, "policy", eng.Policy.String())
+	} else {
+		eng = deploy.SyntheticEngine(*seed, *density)
+		log.Warn("serving a synthetic engine: random weights, cost profile only",
+			"seed", *seed, "density", *density)
+	}
+
+	reg := telemetry.Default
+	dcfg := stream.DefaultConfig(4000)
+	dcfg.Threshold = float32(*threshold)
+	if int(eng.Tree.NumClasses) == speechcmd.NumClasses {
+		dcfg.IgnoreClass = speechcmd.SilenceClass
+		dcfg.IgnoreClass2 = speechcmd.UnknownClass
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine:       eng,
+		Detector:     dcfg,
+		SampleRate:   4000,
+		FeatMean:     float32(*featMean),
+		FeatStd:      float32(*featStd),
+		MaxSessions:  *maxSessions,
+		ChunkQueue:   *chunkQueue,
+		IdleTimeout:  *idleTimeout,
+		Lanes:        *lanes,
+		LaneBatch:    *laneBatch,
+		SoftMemLimit: *memLimit,
+		Registry:     reg,
+		Logger:       log,
+	})
+	if err != nil {
+		fatal(log, err)
+	}
+
+	front := serve.NewTCPFront(srv, *readTimeout)
+	bound, err := front.Start(*addr)
+	if err != nil {
+		fatal(log, err)
+	}
+	log.Info("serving sessions", "addr", bound, "max_sessions", *maxSessions)
+
+	var tsrv *telemetry.Server
+	if *telemetryAddr != "" {
+		tsrv = telemetry.NewServer(reg, nil)
+		tsrv.AddCheck("engine", eng.Validate)
+		tsrv.AddCheck("serve", srv.Health)
+		taddr, err := tsrv.Start(*telemetryAddr)
+		if err != nil {
+			fatal(log, err)
+		}
+		log.Info("telemetry up", "addr", taddr)
+	}
+
+	// SIGTERM/SIGINT → graceful drain: finish in-flight hops, close every
+	// session with a bye, flush telemetry, exit 0 inside the drain budget.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	log.Info("draining", "signal", s.String(), "budget", drainTimeout.String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	st := srv.Drain(ctx)
+	front.Shutdown(ctx)
+	if tsrv != nil {
+		// A fresh, bounded context: in-flight /metrics scrapes finish even
+		// when the drain consumed its whole budget.
+		tctx, tcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		tsrv.Shutdown(tctx)
+		tcancel()
+	}
+	log.Info("drained", "sessions", st.Sessions, "graceful", st.Graceful,
+		"forced", st.Forced, "leaked", st.Leaked, "elapsed_ms", st.Elapsed.Milliseconds())
+	if st.Leaked > 0 {
+		os.Exit(1)
+	}
+}
+
+// runDrive is the load-generator mode: drive a running daemon over TCP with
+// clean and fault-injected sessions, print the report, and exit nonzero if
+// the isolation verdict fails.
+func runDrive(log *telemetry.Logger, addr string, sessions int, faultFrac, seconds float64, chunkMs int, seed int64, out string) {
+	log.Info("driving", "addr", addr, "sessions", sessions, "fault_frac", faultFrac)
+	rep := serve.RunLoad(serve.TCPTarget{Addr: addr}, serve.LoadConfig{
+		Sessions:      sessions,
+		FaultFraction: faultFrac,
+		Seconds:       seconds,
+		ChunkMs:       chunkMs,
+		Seed:          seed,
+		Fault: faultinject.StreamConfig{
+			PNaNBurst: 0.1, PClip: 0.05, PTruncate: 0.05, PDropChunk: 0.05,
+			PSwap: 0.05, PStall: 0.05, PAbort: 0.02,
+			StallMin: 5 * time.Millisecond, StallMax: 50 * time.Millisecond,
+		},
+	})
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(log, err)
+	}
+	js = append(js, '\n')
+	if out == "-" {
+		os.Stdout.Write(js)
+	} else if err := os.WriteFile(out, js, 0o644); err != nil {
+		fatal(log, err)
+	}
+
+	log.Info("drive finished", "sustained", rep.SessionsSustained,
+		"clean_lost", rep.CleanSessionsLost, "events", rep.Events,
+		"injected_chunks", rep.Injected.Chunks)
+	if rep.CleanSessionsLost > 0 || rep.SessionsSustained != rep.Sessions {
+		log.Error("isolation verdict FAILED",
+			"clean_lost", rep.CleanSessionsLost,
+			"sustained", rep.SessionsSustained, "sessions", rep.Sessions)
+		os.Exit(1)
+	}
+}
+
+func fatal(log *telemetry.Logger, err error) {
+	log.Error(err.Error())
+	os.Exit(1)
+}

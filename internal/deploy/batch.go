@@ -25,12 +25,24 @@ type BatchResult struct {
 // InferBatch is safe for concurrent use, including concurrently with other
 // InferBatch calls on the same engine.
 func (e *Engine) InferBatch(xs [][]float32) []BatchResult {
+	return e.InferBatchCapped(xs, 0)
+}
+
+// InferBatchCapped is InferBatch with an explicit ceiling on the worker
+// goroutines spawned for this one call (maxWorkers <= 0 selects GOMAXPROCS).
+// Serving callers that already run many batches concurrently — one per
+// inference lane — cap per-call fan-out so L lanes × B frames never
+// oversubscribe the host; the results are identical at any cap.
+func (e *Engine) InferBatchCapped(xs [][]float32, maxWorkers int) []BatchResult {
 	res := make([]BatchResult, len(xs))
 	if len(xs) == 0 {
 		return res
 	}
 	e.ensureCompiled()
 	workers := runtime.GOMAXPROCS(0)
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
 	if workers > len(xs) {
 		workers = len(xs)
 	}

@@ -461,6 +461,39 @@ func TestInferBatchFaultIsolation(t *testing.T) {
 	}
 }
 
+// TestInferBatchCappedMatchesUncapped checks that a worker ceiling changes
+// scheduling only, never results: serial (cap 1) and default fan-out agree
+// frame by frame, including on faulty frames.
+func TestInferBatchCappedMatchesUncapped(t *testing.T) {
+	e := SyntheticEngine(11, 0.3)
+	rng := rand.New(rand.NewSource(12))
+	const n = 9
+	xs := make([][]float32, n)
+	for i := range xs {
+		x := make([]float32, e.Frames*e.Coeffs)
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+		}
+		xs[i] = x
+	}
+	xs[4] = xs[4][:7] // one corrupt frame stays corrupt at every cap
+	want := e.InferBatch(xs)
+	for _, cap := range []int{1, 2, 0, -3} {
+		res := e.InferBatchCapped(xs, cap)
+		for i := range want {
+			if (want[i].Err == nil) != (res[i].Err == nil) || want[i].Class != res[i].Class {
+				t.Fatalf("cap %d frame %d: got (%v,%d), want (%v,%d)",
+					cap, i, res[i].Err, res[i].Class, want[i].Err, want[i].Class)
+			}
+			for j := range want[i].Scores {
+				if res[i].Scores[j] != want[i].Scores[j] {
+					t.Fatalf("cap %d frame %d: score[%d] diverged", cap, i, j)
+				}
+			}
+		}
+	}
+}
+
 // TestInferBatchConcurrent hammers InferBatch from several goroutines (the
 // ci.sh -race pass covers this) to pin down the pool's thread safety.
 func TestInferBatchConcurrent(t *testing.T) {

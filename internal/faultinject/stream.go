@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"math"
+	"time"
+)
+
+// StreamConfig parameterises per-chunk fault decisions for a streaming
+// session. Each probability is evaluated independently per chunk (sample
+// corruption first, then delivery faults), so one chunk can be both
+// NaN-ridden and late. The zero value injects nothing.
+type StreamConfig struct {
+	PNaNBurst  float64 // overwrite a run of the chunk with NaN
+	PClip      float64 // overwrite a run with out-of-range amplitudes (±4)
+	PTruncate  float64 // deliver only a prefix of the chunk
+	PDropChunk float64 // chunk never delivered (the receiver sees a gap)
+	PSwap      float64 // chunk delivered after its successor (reorder jitter)
+	PStall     float64 // delivery pauses before this chunk
+	PAbort     float64 // the session aborts at this chunk and sends nothing more
+
+	StallMin, StallMax time.Duration // stall duration range (default 20–200 ms)
+}
+
+// StreamCounts tallies what a StreamInjector actually did, so a load
+// generator can report injected faults next to the server's absorbed ones.
+type StreamCounts struct {
+	Chunks    int64 `json:"chunks"` // chunks offered to the injector
+	NaNBursts int64 `json:"nan_bursts"`
+	Clips     int64 `json:"clips"`
+	Truncated int64 `json:"truncated"`
+	Dropped   int64 `json:"dropped"`
+	Swapped   int64 `json:"swapped"` // pairs delivered out of order
+	Stalls    int64 `json:"stalls"`
+	Aborted   int64 `json:"aborted"` // 0 or 1 per session
+}
+
+// StreamOp describes what the injector decided for one offered chunk.
+type StreamOp struct {
+	// Deliver holds the chunks to hand to the transport now, in order: empty
+	// when the chunk was dropped or held back for a swap, two when a held
+	// chunk and the current one are released out of order.
+	Deliver [][]float64
+	// Stall is how long delivery should pause before sending Deliver.
+	Stall time.Duration
+	// Abort reports that the session dies here: Deliver is empty and the
+	// injector ignores all further chunks.
+	Abort bool
+}
+
+// StreamInjector drives one session's worth of streaming faults — chunk
+// jitter/reordering, mid-stream stalls, corruption and aborts — from a
+// single seed, so the load generator and the robustness tests share one
+// deterministic fault vocabulary. Offered chunks may be mutated in place
+// (NaN bursts, clipping); the caller must not reuse their backing arrays
+// until delivered. Not safe for concurrent use; use one injector per
+// session, seeded per session.
+type StreamInjector struct {
+	in     *Injector
+	cfg    StreamConfig
+	held   []float64 // chunk delayed by a pending swap
+	hasHld bool
+	dead   bool
+
+	Counts StreamCounts
+}
+
+// NewStream returns a streaming injector whose decisions are a pure
+// function of (seed, cfg, chunk sizes).
+func NewStream(seed int64, cfg StreamConfig) *StreamInjector {
+	if cfg.StallMin <= 0 {
+		cfg.StallMin = 20 * time.Millisecond
+	}
+	if cfg.StallMax < cfg.StallMin {
+		cfg.StallMax = 10 * cfg.StallMin
+	}
+	return &StreamInjector{in: New(seed), cfg: cfg}
+}
+
+// roll consumes one rng draw and reports whether the fault fires. The draw
+// happens even when p is zero, so the decision sequence is a pure function
+// of (seed, cfg, chunk sizes) and a failing run replays byte-for-byte.
+func (s *StreamInjector) roll(p float64) bool {
+	f := s.in.rng.Float64()
+	return p > 0 && f < p
+}
+
+// Next decides the fate of one chunk. The returned op tells the transport
+// what to send now, whether to pause first, and whether the session aborts.
+// After an abort every later call returns an abort op with nothing to send.
+func (s *StreamInjector) Next(chunk []float64) StreamOp {
+	if s.dead {
+		return StreamOp{Abort: true}
+	}
+	s.Counts.Chunks++
+
+	// Sample corruption, in place.
+	if s.roll(s.cfg.PNaNBurst) && len(chunk) > 0 {
+		n := 1 + s.in.rng.Intn(len(chunk))
+		NaNBurst(chunk, s.in.rng.Intn(len(chunk)), n)
+		s.Counts.NaNBursts++
+	}
+	if s.roll(s.cfg.PClip) && len(chunk) > 0 {
+		n := 1 + s.in.rng.Intn(len(chunk))
+		lo, hi := span(chunk, s.in.rng.Intn(len(chunk)), n)
+		for i := lo; i < hi; i++ {
+			chunk[i] = math.Copysign(4, chunk[i])
+		}
+		s.Counts.Clips++
+	}
+	if s.roll(s.cfg.PTruncate) && len(chunk) > 1 {
+		chunk = chunk[:1+s.in.rng.Intn(len(chunk)-1)]
+		s.Counts.Truncated++
+	}
+
+	// Delivery faults.
+	var op StreamOp
+	if s.roll(s.cfg.PStall) {
+		spread := int64(s.cfg.StallMax - s.cfg.StallMin)
+		op.Stall = s.cfg.StallMin
+		if spread > 0 {
+			op.Stall += time.Duration(s.in.rng.Int63n(spread + 1))
+		}
+		s.Counts.Stalls++
+	}
+	if s.roll(s.cfg.PAbort) {
+		s.dead = true
+		s.Counts.Aborted++
+		op.Abort = true
+		s.hasHld = false // a held chunk dies with the session
+		return op
+	}
+	if s.roll(s.cfg.PDropChunk) {
+		s.Counts.Dropped++
+		// A held predecessor is released alone: its swap partner vanished.
+		if s.hasHld {
+			op.Deliver = append(op.Deliver, s.held)
+			s.hasHld = false
+		}
+		return op
+	}
+	if s.hasHld {
+		// Second half of a swap: current chunk jumps the queue.
+		op.Deliver = append(op.Deliver, chunk, s.held)
+		s.hasHld = false
+		s.Counts.Swapped++
+		return op
+	}
+	if s.roll(s.cfg.PSwap) {
+		s.held, s.hasHld = chunk, true
+		return op
+	}
+	op.Deliver = append(op.Deliver, chunk)
+	return op
+}
+
+// Flush releases any chunk still held back by a pending swap. Call once
+// after the last Next, before closing the session.
+func (s *StreamInjector) Flush() [][]float64 {
+	if !s.hasHld || s.dead {
+		s.hasHld = false
+		return nil
+	}
+	s.hasHld = false
+	return [][]float64{s.held}
+}
+
+// Aborted reports whether the injector has killed the session.
+func (s *StreamInjector) Aborted() bool { return s.dead }

@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func chunks(n, size int) [][]float64 {
+	cs := make([][]float64, n)
+	for i := range cs {
+		c := make([]float64, size)
+		for j := range c {
+			c[j] = float64(i*size+j) / 1000
+		}
+		cs[i] = c
+	}
+	return cs
+}
+
+// TestStreamInjectorDeterministic: the same seed and config replay the exact
+// same fault schedule — delivery counts, stall durations, chunk contents.
+func TestStreamInjectorDeterministic(t *testing.T) {
+	cfg := StreamConfig{
+		PNaNBurst: 0.2, PClip: 0.1, PTruncate: 0.2, PDropChunk: 0.15,
+		PSwap: 0.2, PStall: 0.2, // aborts are covered by their own test
+	}
+	run := func() ([][]float64, []time.Duration, StreamCounts) {
+		inj := NewStream(42, cfg)
+		var delivered [][]float64
+		var stalls []time.Duration
+		for _, c := range chunks(200, 50) {
+			op := inj.Next(c)
+			delivered = append(delivered, op.Deliver...)
+			if op.Stall > 0 {
+				stalls = append(stalls, op.Stall)
+			}
+			if op.Abort {
+				break
+			}
+		}
+		delivered = append(delivered, inj.Flush()...)
+		return delivered, stalls, inj.Counts
+	}
+	d1, s1, c1 := run()
+	d2, s2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts diverged: %+v vs %+v", c1, c2)
+	}
+	if len(d1) != len(d2) || len(s1) != len(s2) {
+		t.Fatalf("schedule diverged: %d/%d chunks, %d/%d stalls", len(d1), len(d2), len(s1), len(s2))
+	}
+	for i := range d1 {
+		if len(d1[i]) != len(d2[i]) {
+			t.Fatalf("chunk %d length diverged", i)
+		}
+		for j := range d1[i] {
+			a, b := d1[i][j], d2[i][j]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("chunk %d sample %d diverged: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("stall %d diverged: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	if c1.Chunks == 0 || c1.NaNBursts == 0 || c1.Dropped == 0 || c1.Swapped == 0 || c1.Stalls == 0 {
+		t.Fatalf("expected every enabled fault kind to fire over 200 chunks: %+v", c1)
+	}
+}
+
+// TestStreamInjectorConservation: every offered chunk is delivered exactly
+// once, dropped, or lost to the abort — never duplicated, never leaked in
+// the swap buffer.
+func TestStreamInjectorConservation(t *testing.T) {
+	cfg := StreamConfig{PDropChunk: 0.2, PSwap: 0.3, PAbort: 0.01}
+	for seed := int64(0); seed < 20; seed++ {
+		inj := NewStream(seed, cfg)
+		offered := 0
+		delivered := 0
+		for _, c := range chunks(150, 8) {
+			op := inj.Next(c)
+			if inj.Counts.Chunks > int64(offered) {
+				offered = int(inj.Counts.Chunks)
+			}
+			delivered += len(op.Deliver)
+			if op.Abort {
+				break
+			}
+		}
+		delivered += len(inj.Flush())
+		// held counts as neither delivered nor dropped until flushed; after
+		// Flush the ledger must balance. An abort may strand one held chunk.
+		lost := int(inj.Counts.Dropped)
+		if inj.Counts.Aborted > 0 {
+			if got := offered - delivered - lost; got != 0 && got != 1 && got != 2 {
+				t.Fatalf("seed %d: %d offered, %d delivered, %d dropped after abort", seed, offered, delivered, lost)
+			}
+			continue
+		}
+		if delivered+lost != offered {
+			t.Fatalf("seed %d: %d offered != %d delivered + %d dropped", seed, offered, delivered, lost)
+		}
+	}
+}
+
+// TestStreamInjectorSwapOrder: a swap delivers the successor first, then the
+// held chunk, and nothing is mutated when only reordering is enabled.
+func TestStreamInjectorSwapOrder(t *testing.T) {
+	inj := NewStream(7, StreamConfig{PSwap: 1})
+	cs := chunks(4, 3)
+	op := inj.Next(cs[0])
+	if len(op.Deliver) != 0 {
+		t.Fatalf("first chunk of a swap must be held, got %d deliveries", len(op.Deliver))
+	}
+	op = inj.Next(cs[1])
+	if len(op.Deliver) != 2 {
+		t.Fatalf("second chunk must release the pair, got %d", len(op.Deliver))
+	}
+	if &op.Deliver[0][0] != &cs[1][0] || &op.Deliver[1][0] != &cs[0][0] {
+		t.Fatal("swap must deliver successor before predecessor")
+	}
+}
+
+// TestStreamInjectorAbortIsTerminal: after an abort the injector delivers
+// nothing, forever, and counts the abort exactly once.
+func TestStreamInjectorAbortIsTerminal(t *testing.T) {
+	inj := NewStream(3, StreamConfig{PAbort: 1})
+	if op := inj.Next(make([]float64, 10)); !op.Abort || len(op.Deliver) != 0 {
+		t.Fatalf("expected immediate abort, got %+v", op)
+	}
+	for i := 0; i < 5; i++ {
+		if op := inj.Next(make([]float64, 10)); !op.Abort || len(op.Deliver) != 0 {
+			t.Fatalf("post-abort call %d delivered data", i)
+		}
+	}
+	if inj.Counts.Aborted != 1 || inj.Counts.Chunks != 1 {
+		t.Fatalf("counts after abort: %+v", inj.Counts)
+	}
+	if !inj.Aborted() {
+		t.Fatal("Aborted() must report true")
+	}
+	if fl := inj.Flush(); len(fl) != 0 {
+		t.Fatal("Flush after abort must deliver nothing")
+	}
+}
+
+// TestStreamInjectorStallBounds: stall durations honour the configured range.
+func TestStreamInjectorStallBounds(t *testing.T) {
+	cfg := StreamConfig{PStall: 1, StallMin: 5 * time.Millisecond, StallMax: 9 * time.Millisecond}
+	inj := NewStream(11, cfg)
+	for i := 0; i < 100; i++ {
+		op := inj.Next(make([]float64, 4))
+		if op.Stall < cfg.StallMin || op.Stall > cfg.StallMax {
+			t.Fatalf("stall %v outside [%v, %v]", op.Stall, cfg.StallMin, cfg.StallMax)
+		}
+	}
+	if inj.Counts.Stalls != 100 {
+		t.Fatalf("stalls = %d, want 100", inj.Counts.Stalls)
+	}
+}
+
+// TestStreamInjectorZeroConfig: the zero config is a transparent pipe.
+func TestStreamInjectorZeroConfig(t *testing.T) {
+	inj := NewStream(1, StreamConfig{})
+	for i, c := range chunks(50, 16) {
+		op := inj.Next(c)
+		if op.Abort || op.Stall != 0 || len(op.Deliver) != 1 || &op.Deliver[0][0] != &c[0] {
+			t.Fatalf("chunk %d: zero config mutated delivery: %+v", i, op)
+		}
+	}
+	want := StreamCounts{Chunks: 50}
+	if inj.Counts != want {
+		t.Fatalf("counts = %+v, want %+v", inj.Counts, want)
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is one TCP session from the client side, used by the load
+// generator and the CI gauntlet. A background reader consumes the server's
+// asynchronous lines (events, throttles, the final bye).
+type Client struct {
+	conn net.Conn
+	id   string
+
+	events    atomic.Int64
+	throttles atomic.Int64
+
+	mu     sync.Mutex
+	reason CloseReason
+	done   chan struct{}
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// DialSession connects, sends the hello, and waits for admission. A server
+// reject comes back as *RejectedError.
+func DialSession(addr, id string, priority int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "open pri=%d id=%s\n", priority, id); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: no admission reply: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	line = strings.TrimSpace(line)
+	switch {
+	case strings.HasPrefix(line, "ok id="):
+		id = strings.TrimPrefix(line, "ok id=")
+	case strings.HasPrefix(line, "reject"):
+		conn.Close()
+		rej := &RejectedError{Cause: "rejected"}
+		for _, f := range strings.Fields(line)[1:] {
+			if ms, ok := strings.CutPrefix(f, "retry_ms="); ok {
+				if v, err := strconv.Atoi(ms); err == nil {
+					rej.RetryAfter = time.Duration(v) * time.Millisecond
+				}
+			}
+			if c, ok := strings.CutPrefix(f, "cause="); ok {
+				rej.Cause = c
+			}
+		}
+		return nil, rej
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: bad admission reply %q", line)
+	}
+
+	c := &Client{
+		conn: conn,
+		id:   id,
+		done: make(chan struct{}),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+	}
+	go c.readLoop(br)
+	return c, nil
+}
+
+// ID returns the (possibly server-assigned) session id.
+func (c *Client) ID() string { return c.id }
+
+func (c *Client) readLoop(br *bufio.Reader) {
+	defer close(c.done)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "event "):
+			c.events.Add(1)
+		case strings.HasPrefix(line, "throttle "):
+			c.throttles.Add(1)
+		case strings.HasPrefix(line, "bye reason="):
+			c.mu.Lock()
+			c.reason = CloseReason(strings.TrimPrefix(line, "bye reason="))
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Push sends one chunk of samples.
+func (c *Client) Push(samples []float64) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(samples)))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var b [4]byte
+	for _, s := range samples {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(s)))
+		if _, err := c.bw.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return c.bw.Flush()
+}
+
+// PushGap reports n dropped samples.
+func (c *Client) PushGap(n int) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n)|gapBit)
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// End sends the clean end-of-stream marker.
+func (c *Client) End() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte // header 0
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Abort drops the connection without an end-of-stream marker, simulating a
+// client crash.
+func (c *Client) Abort() {
+	c.conn.Close()
+}
+
+// WaitClosed blocks until the server closes the session (or the timeout
+// expires) and returns the bye reason ("" if none arrived).
+func (c *Client) WaitClosed(timeout time.Duration) CloseReason {
+	select {
+	case <-c.done:
+	case <-time.After(timeout):
+	}
+	c.conn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reason
+}
+
+// Events returns the number of event lines received so far.
+func (c *Client) Events() int64 { return c.events.Load() }
+
+// Throttles returns the number of throttle lines received so far.
+func (c *Client) Throttles() int64 { return c.throttles.Load() }

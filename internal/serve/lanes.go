@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/stream"
+)
+
+// inferReq is one frame waiting for a shared lane. reply has capacity 1 and
+// is written exactly once, so a requester that gave up (lane timeout) never
+// blocks the lane — its late reply just gets collected.
+type inferReq struct {
+	x     []float32
+	reply chan laneResp
+}
+
+type laneResp struct {
+	scores []int32
+	err    error
+}
+
+// lanes multiplexes every session's hops onto a few collector goroutines,
+// each coalescing concurrently pending frames into one
+// Engine.InferBatchCapped call over the engine's pooled arenas. This keeps
+// goroutine fan-out onto the engine bounded regardless of session count:
+// N sessions share `count` lanes of `workersPer` inference workers each.
+type lanes struct {
+	eng        *deploy.Engine
+	ch         chan inferReq
+	quit       chan struct{}
+	batch      int
+	workersPer int
+	obs        *obsSet
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+func newLanes(eng *deploy.Engine, count, batch, queue, workersPer int, obs *obsSet) *lanes {
+	l := &lanes{
+		eng:        eng,
+		ch:         make(chan inferReq, queue),
+		quit:       make(chan struct{}),
+		batch:      batch,
+		workersPer: workersPer,
+		obs:        obs,
+	}
+	l.wg.Add(count)
+	for i := 0; i < count; i++ {
+		go l.run()
+	}
+	return l
+}
+
+// run is one lane: block for a frame, opportunistically coalesce whatever
+// else is already queued (up to the batch cap), infer, reply.
+func (l *lanes) run() {
+	defer l.wg.Done()
+	reqs := make([]inferReq, 0, l.batch)
+	xs := make([][]float32, 0, l.batch)
+	for {
+		reqs, xs = reqs[:0], xs[:0]
+		select {
+		case <-l.quit:
+			return
+		case r := <-l.ch:
+			reqs = append(reqs, r)
+			xs = append(xs, r.x)
+		}
+	fill:
+		for len(reqs) < l.batch {
+			select {
+			case r := <-l.ch:
+				reqs = append(reqs, r)
+				xs = append(xs, r.x)
+			default:
+				break fill
+			}
+		}
+		l.obs.laneDepth.Set(int64(len(l.ch)))
+		l.obs.laneBatch.Observe(int64(len(reqs)))
+
+		results := l.eng.InferBatchCapped(xs, l.workersPer)
+		for i, r := range reqs {
+			r.reply <- laneResp{scores: results[i].Scores, err: results[i].Err}
+		}
+	}
+}
+
+// stop shuts the lanes down once every pump has exited. The request channel
+// is never closed — a straggling sender on a closed channel would panic —
+// the collectors just stop draining it.
+func (l *lanes) stop() {
+	l.stopOnce.Do(func() { close(l.quit) })
+	l.wg.Wait()
+}
+
+// infer submits one frame and waits for its scores. The timeout bounds the
+// submit and the reply wait separately (worst case 2×timeout end to end).
+// ErrLaneTimeout means the lanes are saturated (or stopped); the caller
+// treats it as one discarded hop, not a session failure.
+func (l *lanes) infer(x []float32, timeout time.Duration) ([]int32, error) {
+	req := inferReq{x: x, reply: make(chan laneResp, 1)}
+
+	select {
+	case l.ch <- req: // fast path: queue has room right now
+	default:
+		t := time.NewTimer(timeout)
+		select {
+		case l.ch <- req:
+			t.Stop()
+		case <-t.C:
+			return nil, ErrLaneTimeout
+		}
+	}
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case resp := <-req.reply:
+		return resp.scores, resp.err
+	case <-t.C:
+		return nil, ErrLaneTimeout
+	}
+}
+
+// laneClassifier adapts the shared lanes to stream.Classifier for one
+// session. It is only called from that session's pump goroutine, so the
+// probs scratch needs no locking. A lane error returns nil probabilities —
+// the detector counts the hop as a bad posterior and its breaker logic
+// takes it from there.
+type laneClassifier struct {
+	lanes   *lanes
+	wScale  float64
+	classes int
+	timeout time.Duration
+	obs     *obsSet
+	probs   []float32
+}
+
+func (c *laneClassifier) Classify(features []float32) []float32 {
+	t0 := time.Now()
+	scores, err := c.lanes.infer(features, c.timeout)
+	c.obs.laneWait.ObserveSince(t0)
+	if err != nil {
+		return nil
+	}
+	c.probs = stream.ScoresToProbs(scores, c.wScale, c.probs)
+	return c.probs
+}
+
+func (c *laneClassifier) NumClasses() int { return c.classes }

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/speechcmd"
+	"repro/internal/stream"
+)
+
+// Target abstracts where the load generator pushes audio: straight into a
+// *Server (in-process benchmarking of the serving core) or over TCP
+// (end-to-end gauntlet through the wire protocol).
+type Target interface {
+	OpenLoad(id string, priority int) (LoadSession, error)
+}
+
+// LoadSession is the slice of a session's surface the generator needs.
+type LoadSession interface {
+	Push(samples []float64) error
+	PushGap(n int) error
+	End()                                           // clean end-of-stream
+	Abort()                                         // simulate a client crash
+	Wait(timeout time.Duration) (CloseReason, bool) // block until closed
+	Events() int64
+	Throttles() int64
+}
+
+// DirectTarget drives a *Server in-process.
+type DirectTarget struct{ Srv *Server }
+
+type directSession struct {
+	sess      *Session
+	events    atomic.Int64
+	throttles atomic.Int64
+	reason    CloseReason
+	mu        sync.Mutex
+}
+
+// OpenLoad opens one in-process session.
+func (t DirectTarget) OpenLoad(id string, priority int) (LoadSession, error) {
+	ds := &directSession{}
+	sess, err := t.Srv.Open(OpenOptions{
+		ID:       id,
+		Priority: priority,
+		OnEvent:  func(stream.Event) { ds.events.Add(1) },
+		OnClose: func(r CloseReason) {
+			ds.mu.Lock()
+			ds.reason = r
+			ds.mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.sess = sess
+	return ds, nil
+}
+
+func (d *directSession) Push(samples []float64) error {
+	err := d.sess.Push(samples)
+	if _, ok := err.(*BackpressureError); ok {
+		d.throttles.Add(1)
+	}
+	return err
+}
+func (d *directSession) PushGap(n int) error { return d.sess.PushGap(n) }
+func (d *directSession) End()                { d.sess.Close() }
+func (d *directSession) Abort()              { d.sess.Terminate(ReasonClientAbort) }
+func (d *directSession) Wait(timeout time.Duration) (CloseReason, bool) {
+	select {
+	case <-d.sess.Done():
+	case <-time.After(timeout):
+		return "", false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reason, true
+}
+func (d *directSession) Events() int64    { return d.events.Load() }
+func (d *directSession) Throttles() int64 { return d.throttles.Load() }
+
+// TCPTarget drives a server over its wire protocol.
+type TCPTarget struct{ Addr string }
+
+type tcpSession struct{ c *Client }
+
+// OpenLoad dials one TCP session.
+func (t TCPTarget) OpenLoad(id string, priority int) (LoadSession, error) {
+	c, err := DialSession(t.Addr, id, priority)
+	if err != nil {
+		return nil, err
+	}
+	return tcpSession{c}, nil
+}
+
+func (s tcpSession) Push(samples []float64) error { return s.c.Push(samples) }
+func (s tcpSession) PushGap(n int) error          { return s.c.PushGap(n) }
+func (s tcpSession) End()                         { s.c.End() }
+func (s tcpSession) Abort()                       { s.c.Abort() }
+func (s tcpSession) Wait(timeout time.Duration) (CloseReason, bool) {
+	r := s.c.WaitClosed(timeout)
+	return r, r != ""
+}
+func (s tcpSession) Events() int64    { return s.c.Events() }
+func (s tcpSession) Throttles() int64 { return s.c.Throttles() }
+
+// LoadConfig shapes one load-generation run.
+type LoadConfig struct {
+	Sessions      int     // total sessions to drive (default 100)
+	Concurrency   int     // sessions in flight at once (default = Sessions)
+	FaultFraction float64 // fraction of sessions run through the fault injector
+	Seconds       float64 // audio seconds per session (default 2)
+	ChunkMs       int     // chunk size in milliseconds (default 50)
+	SampleRate    int     // default 4000
+	Seed          int64
+	Pace          bool // sleep chunks out in real time (default: slam)
+
+	Fault faultinject.StreamConfig // fault schedule for faulty sessions
+
+	PushRetries int           // backpressure retries per chunk (default 50)
+	RetryEvery  time.Duration // wait between retries (default 2ms)
+	WaitClose   time.Duration // per-session close wait (default 30s)
+}
+
+func (c *LoadConfig) fill() {
+	if c.Sessions <= 0 {
+		c.Sessions = 100
+	}
+	if c.Concurrency <= 0 || c.Concurrency > c.Sessions {
+		c.Concurrency = c.Sessions
+	}
+	if c.Seconds <= 0 {
+		c.Seconds = 2
+	}
+	if c.ChunkMs <= 0 {
+		c.ChunkMs = 50
+	}
+	if c.SampleRate <= 0 {
+		c.SampleRate = 4000
+	}
+	if c.PushRetries <= 0 {
+		c.PushRetries = 50
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 2 * time.Millisecond
+	}
+	if c.WaitClose <= 0 {
+		c.WaitClose = 30 * time.Second
+	}
+}
+
+// LoadReport is the generator's verdict, written as BENCH_serve.json by
+// kws-bench -serve.
+type LoadReport struct {
+	Sessions       int `json:"sessions"`
+	FaultySessions int `json:"faulty_sessions"`
+
+	// SessionsSustained counts sessions that ran to a controlled close:
+	// every clean session pushed all its audio and closed client-close;
+	// every faulty session ended with a server-acknowledged reason.
+	SessionsSustained int `json:"sessions_sustained"`
+	// CleanSessionsLost is the isolation verdict: clean sessions that
+	// failed to open, lost audio, or closed for any reason other than
+	// client-close. Must be zero — injected faults may only hurt the
+	// sessions carrying them.
+	CleanSessionsLost int `json:"clean_sessions_lost"`
+
+	ChunksPushed     int64 `json:"chunks_pushed"`
+	SamplesPushed    int64 `json:"samples_pushed"`
+	Events           int64 `json:"events"`
+	Throttles        int64 `json:"throttles"`
+	RetriesExhausted int64 `json:"retries_exhausted"`
+
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+
+	Injected faultinject.StreamCounts `json:"injected"`
+
+	// CloseReasons tallies how faulty sessions ended.
+	CloseReasons map[string]int `json:"close_reasons"`
+}
+
+// RunLoad drives cfg.Sessions concurrent sessions of synthetic speech at
+// the target, the first FaultFraction of them through the streaming fault
+// injector, and reports what survived. Clean and faulty sessions share the
+// same engine, lanes, and (for TCP targets) listener — the report's
+// CleanSessionsLost field is therefore a direct measurement of fault
+// isolation under load.
+func RunLoad(target Target, cfg LoadConfig) LoadReport {
+	cfg.fill()
+	nFaulty := int(float64(cfg.Sessions) * cfg.FaultFraction)
+	chunkSamples := cfg.SampleRate * cfg.ChunkMs / 1000
+
+	rep := LoadReport{
+		Sessions:       cfg.Sessions,
+		FaultySessions: nFaulty,
+		CloseReasons:   map[string]int{},
+	}
+	var (
+		mu        sync.Mutex
+		chunks    atomic.Int64
+		samples   atomic.Int64
+		events    atomic.Int64
+		throttles atomic.Int64
+		exhausted atomic.Int64
+	)
+
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			faulty := i < nFaulty
+			outcome := runOneSession(target, cfg, i, faulty, chunkSamples,
+				&chunks, &samples, &events, &throttles, &exhausted)
+			mu.Lock()
+			defer mu.Unlock()
+			if outcome.reason != "" {
+				rep.CloseReasons[string(outcome.reason)]++
+			}
+			rep.Injected.Chunks += outcome.injected.Chunks
+			rep.Injected.NaNBursts += outcome.injected.NaNBursts
+			rep.Injected.Clips += outcome.injected.Clips
+			rep.Injected.Truncated += outcome.injected.Truncated
+			rep.Injected.Dropped += outcome.injected.Dropped
+			rep.Injected.Swapped += outcome.injected.Swapped
+			rep.Injected.Stalls += outcome.injected.Stalls
+			rep.Injected.Aborted += outcome.injected.Aborted
+			if outcome.sustained {
+				rep.SessionsSustained++
+			}
+			if !faulty && !outcome.sustained {
+				rep.CleanSessionsLost++
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	rep.ChunksPushed = chunks.Load()
+	rep.SamplesPushed = samples.Load()
+	rep.Events = events.Load()
+	rep.Throttles = throttles.Load()
+	rep.RetriesExhausted = exhausted.Load()
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.SamplesPerSec = float64(rep.SamplesPushed) / rep.ElapsedSec
+	}
+	return rep
+}
+
+type sessionOutcome struct {
+	sustained bool
+	reason    CloseReason
+	injected  faultinject.StreamCounts
+}
+
+// runOneSession feeds one session end to end and judges the outcome.
+//
+//   - clean session: sustained iff every chunk was eventually accepted and
+//     the close reason is client-close — anything else means another
+//     session's faults (or the server's own handling) leaked in.
+//   - faulty session: sustained iff it ended in a controlled close (any
+//     server-acknowledged reason, or its own injected abort).
+func runOneSession(target Target, cfg LoadConfig, i int, faulty bool, chunkSamples int,
+	chunks, samples, events, throttles, exhausted *atomic.Int64) sessionOutcome {
+
+	priority := 1
+	if faulty {
+		priority = 0 // faulty sessions shed first under memory pressure
+	}
+	id := fmt.Sprintf("load-%d", i)
+	ls, err := target.OpenLoad(id, priority)
+	if err != nil {
+		return sessionOutcome{}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+	scfg := speechcmd.DefaultConfig()
+	scfg.SampleRate = cfg.SampleRate
+
+	var inj *faultinject.StreamInjector
+	if faulty {
+		inj = faultinject.NewStream(cfg.Seed+int64(i), cfg.Fault)
+	}
+
+	// pushChunk delivers one chunk with a bounded backpressure retry loop.
+	// Returns false when the session stopped accepting (closed or retries
+	// exhausted).
+	pushChunk := func(c []float64) bool {
+		for attempt := 0; ; attempt++ {
+			err := ls.Push(c)
+			if err == nil {
+				chunks.Add(1)
+				samples.Add(int64(len(c)))
+				return true
+			}
+			if err == ErrSessionClosed {
+				return false
+			}
+			if _, bp := err.(*BackpressureError); !bp {
+				return false // transport error
+			}
+			if attempt >= cfg.PushRetries {
+				exhausted.Add(1)
+				// Audio is lost; keep the stream honest with a gap.
+				ls.PushGap(len(c))
+				return true
+			}
+			time.Sleep(cfg.RetryEvery)
+		}
+	}
+
+	// Synthesize the session's audio: utterances cycling the keyword list,
+	// chunked to ChunkMs.
+	total := int(cfg.Seconds * float64(cfg.SampleRate))
+	pushedAll := true
+	aborted := false
+	sent := 0
+	chunkDur := time.Duration(cfg.ChunkMs) * time.Millisecond
+feed:
+	for sent < total {
+		word := speechcmd.TargetWords[rng.Intn(len(speechcmd.TargetWords))]
+		wave := speechcmd.SynthesizeUtterance(word, scfg, rng)
+		for off := 0; off < len(wave) && sent < total; off += chunkSamples {
+			end := off + chunkSamples
+			if end > len(wave) {
+				end = len(wave)
+			}
+			c := append([]float64(nil), wave[off:end]...)
+			sent += len(c)
+			if cfg.Pace {
+				time.Sleep(chunkDur)
+			}
+			if inj == nil {
+				if !pushChunk(c) {
+					pushedAll = false
+					break feed
+				}
+				continue
+			}
+			droppedBefore := inj.Counts.Dropped
+			op := inj.Next(c)
+			if op.Stall > 0 {
+				time.Sleep(op.Stall)
+			}
+			if op.Abort {
+				aborted = true
+				ls.Abort()
+				break feed
+			}
+			if inj.Counts.Dropped > droppedBefore {
+				ls.PushGap(len(c)) // dropped on the wire: tell the detector
+			}
+			for _, d := range op.Deliver {
+				if !pushChunk(d) {
+					pushedAll = false
+					break feed
+				}
+			}
+		}
+	}
+	if inj != nil {
+		for _, d := range inj.Flush() {
+			pushChunk(d)
+		}
+	}
+	if !aborted {
+		ls.End()
+	}
+
+	reason, closed := ls.Wait(cfg.WaitClose)
+	out := sessionOutcome{reason: reason}
+	if inj != nil {
+		out.injected = inj.Counts
+	}
+	events.Add(ls.Events())
+	throttles.Add(ls.Throttles())
+
+	if faulty {
+		// Controlled close: the server said goodbye, or the injector
+		// killed the client (TCP aborts surface server-side as
+		// client-abort, without a bye reaching the dead client).
+		out.sustained = closed || aborted
+	} else {
+		out.sustained = pushedAll && reason == ReasonClientClose
+	}
+	return out
+}

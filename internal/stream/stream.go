@@ -83,15 +83,24 @@ func (c *EngineClassifier) Classify(features []float32) []float32 {
 	if res[0].Err != nil {
 		return nil
 	}
-	scores := res[0].Scores
-	if cap(c.probs) < len(scores) {
-		c.probs = make([]float32, len(scores))
+	c.probs = ScoresToProbs(res[0].Scores, float64(c.Engine.Tree.WScale), c.probs)
+	return c.probs
+}
+
+// ScoresToProbs turns integer tree scores into softmax posteriors, writing
+// into dst (grown as needed) and returning it. A tree score is Σ w·tanh
+// with the Q15 tanh already shifted out, so one count is worth wScale;
+// undoing that puts the softmax on the float model's logit scale. Shared by
+// EngineClassifier and the serving daemon's lane-backed classifier, so every
+// engine-fed detector agrees on the posterior scale.
+func ScoresToProbs(scores []int32, wScale float64, dst []float32) []float32 {
+	if len(scores) == 0 {
+		return dst[:0]
 	}
-	probs := c.probs[:len(scores)]
-	// A tree score is Σ w·tanh with the Q15 tanh already shifted out, so one
-	// count is worth WScale; undoing that puts the softmax on the float
-	// model's logit scale.
-	scale := float64(c.Engine.Tree.WScale)
+	if cap(dst) < len(scores) {
+		dst = make([]float32, len(scores))
+	}
+	probs := dst[:len(scores)]
 	maxS := scores[0]
 	for _, s := range scores[1:] {
 		if s > maxS {
@@ -100,7 +109,7 @@ func (c *EngineClassifier) Classify(features []float32) []float32 {
 	}
 	var sum float64
 	for i, s := range scores {
-		ex := math.Exp(float64(s-maxS) * scale)
+		ex := math.Exp(float64(s-maxS) * wScale)
 		probs[i] = float32(ex)
 		sum += ex
 	}
@@ -108,7 +117,6 @@ func (c *EngineClassifier) Classify(features []float32) []float32 {
 	for i := range probs {
 		probs[i] *= inv
 	}
-	c.probs = probs
 	return probs
 }
 

@@ -97,6 +97,101 @@ func TestAttachTelemetry(t *testing.T) {
 	}
 }
 
+// TestResetConcealGapTelemetry pins the session-recycling path kws-serve
+// leans on: Reset followed by ConcealGap must leave the fault counters
+// consistent between Stats and the attached registry (registry counters are
+// cumulative and survive the reset; Stats restarts from zero), and no stale
+// smoothing history may leak across the reset — the first post-reset hops
+// must re-serve the SmoothWin warm-up before any event can fire. A
+// monitoring goroutine reads Stats/Health throughout, so -race (ci.sh)
+// guards every counter access on this path.
+func TestResetConcealGapTelemetry(t *testing.T) {
+	fc := &fakeClassifier{probs: [][]float32{{0, 1}}, n: 2}
+	cfg := DefaultConfig(1000) // hop = 250 samples, SmoothWin = 3
+	d := NewDetector(cfg, fc, 0, 1)
+	reg := telemetry.NewRegistry()
+	d.AttachTelemetry(reg)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = d.Stats()
+				_ = d.Health()
+			}
+		}
+	}()
+	defer func() { close(done); wg.Wait() }()
+
+	// Phase 1: two seconds of dirty audio — 5 hops, a full smoothing history,
+	// at least one event, some scrubbed samples.
+	wave := make([]float64, 2000)
+	wave[3] = math.NaN()
+	wave[7] = math.NaN()
+	if ev := d.Push(wave); len(ev) == 0 {
+		t.Fatal("confident posterior fired no event before the reset")
+	}
+	if fc.i != 5 {
+		t.Fatalf("expected 5 pre-reset hops, classifier ran %d times", fc.i)
+	}
+	preScrubbed := reg.Counter("stream.faults.scrubbed").Value()
+	preConcealed := reg.Counter("stream.faults.concealed").Value()
+	if preScrubbed != 2 || preConcealed != 0 {
+		t.Fatalf("pre-reset registry: scrubbed %d concealed %d", preScrubbed, preConcealed)
+	}
+
+	d.Reset()
+	if st := d.Stats(); st != (Stats{}) {
+		t.Fatalf("Stats after Reset = %+v, want zeroes", st)
+	}
+	if got := reg.Counter("stream.faults.scrubbed").Value(); got != preScrubbed {
+		t.Fatalf("registry counter went backwards across Reset: %d -> %d", preScrubbed, got)
+	}
+
+	// Phase 2: conceal less than a window — the ring must refill from
+	// scratch, so no hop (and no classify) may run on pre-reset audio.
+	d.ConcealGap(600)
+	if fc.i != 5 {
+		t.Fatalf("classifier ran on a part-filled post-reset window (%d calls)", fc.i)
+	}
+	// Phase 3: conceal through the first two post-reset hops. With a clean
+	// history both stay in warm-up; a leaked pre-reset history (three
+	// confident hops) would fire immediately.
+	if ev := d.ConcealGap(650); len(ev) != 0 {
+		t.Fatalf("events fired during post-reset warm-up: %v — stale smoothing history leaked", ev)
+	}
+	if fc.i != 7 {
+		t.Fatalf("expected 2 warm-up hops after refill, classifier ran %d times", fc.i-5)
+	}
+	// Phase 4: three more hops complete the fresh history; the detector must
+	// recover and fire again.
+	if ev := d.ConcealGap(750); len(ev) == 0 {
+		t.Fatal("detector never recovered after Reset+ConcealGap")
+	}
+
+	// Counter consistency: Stats counts post-reset conceals only; the
+	// registry counts both eras and the delta must equal Stats exactly.
+	st := d.Stats()
+	if st.Concealed != 2000 {
+		t.Fatalf("Stats.Concealed = %d, want 2000", st.Concealed)
+	}
+	if got := reg.Counter("stream.faults.concealed").Value(); got != preConcealed+st.Concealed {
+		t.Fatalf("registry concealed %d, want pre %d + stats %d", got, preConcealed, st.Concealed)
+	}
+	if hops := reg.Counter("stream.hops").Value(); hops != int64(fc.i) {
+		t.Fatalf("registry hops %d != classifier calls %d", hops, fc.i)
+	}
+	if st.BadPosteriors != 0 || st.WatchdogResets != 0 {
+		t.Fatalf("unexpected post-reset faults: %+v", st)
+	}
+}
+
 // TestHealthReportsStuckStream: Health goes unhealthy once the posterior
 // stream has been stuck for half the watchdog budget, and recovers after
 // the watchdog resets the history.

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -80,12 +81,30 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the HTTP server, if started.
+// Close stops the HTTP server immediately, if started. In-flight requests
+// are dropped; a draining process should prefer Shutdown.
 func (s *Server) Close() error {
 	if s.http == nil {
 		return nil
 	}
 	return s.http.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes at once so no
+// new scrapes are admitted, while requests already in flight (a /metrics
+// scrape mid-render, a slow health check) run to completion. The ctx
+// deadline bounds the wait — on expiry remaining connections are torn down
+// with Close and ctx's error is returned, so a serving daemon's drain
+// window is never held open by one stuck scraper.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	if err := s.http.Shutdown(ctx); err != nil {
+		s.http.Close()
+		return err
+	}
+	return nil
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {

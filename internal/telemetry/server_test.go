@@ -1,13 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
@@ -109,6 +112,118 @@ func TestServerDebugEndpoints(t *testing.T) {
 	}
 	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+// TestServerShutdownCompletesInFlight pins the drain contract kws-serve
+// relies on: once Shutdown is called no new scrape is admitted, but scrapes
+// already being served — here a /metrics render blocked on the registry lock
+// and a /healthz request stuck in a slow check — still run to completion.
+func TestServerShutdownCompletesInFlight(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.sessions.opened").Add(3)
+	s := NewServer(reg, nil)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.AddCheck("slow", func() error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		code int
+		body string
+		err  error
+	}
+	fire := func(path string) chan reply {
+		ch := make(chan reply, 1)
+		go func() {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				ch <- reply{err: err}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			ch <- reply{code: resp.StatusCode, body: string(body)}
+		}()
+		return ch
+	}
+
+	// Wedge /metrics mid-render (its snapshot blocks on the registry's write
+	// lock) and /healthz mid-check, so both are in flight when Shutdown lands.
+	reg.mu.Lock()
+	healthCh := fire("/healthz")
+	metricsCh := fire("/metrics")
+	<-entered
+	time.Sleep(50 * time.Millisecond) // let the /metrics handler reach the lock
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the wedged requests, not abandon them.
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned %v with requests still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// ...but the listener is already closed to new scrapes.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("new request succeeded after Shutdown began")
+	}
+
+	close(release)
+	reg.mu.Unlock()
+	if r := <-healthCh; r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight /healthz: code %d err %v", r.code, r.err)
+	}
+	if r := <-metricsCh; r.err != nil || r.code != http.StatusOK ||
+		!strings.Contains(r.body, "serve.sessions.opened 3") {
+		t.Fatalf("in-flight /metrics: code %d err %v body %q", r.code, r.err, r.body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestServerShutdownDeadline: a scraper that never finishes cannot hold the
+// drain open past the context deadline.
+func TestServerShutdownDeadline(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.AddCheck("stuck", func() error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+	go http.Get("http://" + addr + "/healthz")
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil despite a stuck request")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Shutdown took %v, want prompt deadline exit", elapsed)
 	}
 }
 
