@@ -249,6 +249,37 @@ func BenchmarkEngineInferBatch(b *testing.B) {
 	}
 }
 
+// benchEngineBatch drives the frame-major lane batch path at one policy
+// with a reused result slice (InferBatchInto), the steady-state serving
+// shape: it must report 0 allocs/op — pinned by TestInferBatchZeroAllocs
+// and gated in ci.sh — and its ns/frame must beat the single-frame ns/op
+// above (gated by kws-bench).
+func benchEngineBatch(b *testing.B, pol deploy.Policy) {
+	const batch = 64
+	e := deploy.SyntheticEngine(9, 0.35)
+	e.Policy = pol
+	xs := make([][]float32, batch)
+	for i := range xs {
+		xs[i] = benchEngineInput(e, int64(11+i))
+	}
+	dst := e.InferBatchInto(nil, xs) // warm up: compile, lane arena, result storage
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = e.InferBatchInto(dst, xs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/frame")
+	for _, r := range dst {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+func BenchmarkEngineInferBatchMixed(b *testing.B) { benchEngineBatch(b, deploy.PolicyMixed) }
+func BenchmarkEngineInferBatchInt8(b *testing.B)  { benchEngineBatch(b, deploy.PolicyInt8) }
+
 func BenchmarkTrainStepSTHybrid(b *testing.B) {
 	cfg := core.DefaultConfig(12)
 	cfg.WidthMult = 0.25

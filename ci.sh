@@ -6,9 +6,11 @@ set -eux
 
 go vet ./...
 go build ./...
-# The -race pass also drives the engine's sharded sparse kernels and the
-# InferBatch worker pool (TestSparseParallelMatchesNaive,
-# TestInferBatchConcurrent in internal/deploy).
+# The -race pass also drives the engine's sharded sparse kernels, the
+# InferBatch worker pool, and the frame-major lane batch kernels
+# (TestSparseParallelMatchesNaive, TestInferBatchConcurrent,
+# TestInferBatchLaneMatchesPerFrame, TestInferBatchLaneConcurrent in
+# internal/deploy).
 go test -race ./...
 
 # Engine benchmark smoke: one iteration of each packed-engine benchmark, so
@@ -38,6 +40,29 @@ go test -count=1 -short \
 #     v1, v2 and v3 must read back and score identically (v3 additionally
 #     preserving the policy byte and calibration table).
 go test -count=1 -run='TestWriteToVersionMatrix|TestV1ArtifactsStillReadable' ./internal/deploy
+
+# Batch-lane gauntlet.
+# (1) 0-alloc gate for the frame-major lane batch path: both activation
+#     policies with a reused result slice must run without allocating.
+BENCH_BATCH="$(go test -run='^$' -bench='^BenchmarkEngineInferBatch(Mixed|Int8)$' -benchmem -benchtime=10x .)"
+echo "$BENCH_BATCH"
+[ "$(echo "$BENCH_BATCH" | grep -c ' 0 allocs/op')" -eq 2 ]
+# (2) Lane exactness/alloc/concurrency properties without the race detector
+#     (the alloc-count gate skips under -race, where sync.Pool drops items
+#     by design), plus the lane transpose round-trip.
+go test -count=1 -short \
+    -run='TestCompileSpanRows|TestGatherLaneMatchesScalar|TestInferBatchLaneMatchesPerFrame|TestInferBatchZeroAllocs|TestInferBatchLaneConcurrent|TestLanePack' \
+    ./internal/deploy ./internal/tensor
+# (3) Multi-core batch smoke: the worker-scaling sweep must clear the batch
+#     regression gate (batch ns/frame at workers=1 beating the matching
+#     single-frame ns/op for both integer policies) and 1000 frames of batch
+#     output must match the scalar NaiveInt oracle under both policies —
+#     kws-bench exits nonzero on either failure.
+BDIR="$(mktemp -d)"
+go build -o "$BDIR/kws-bench" ./cmd/kws-bench
+"$BDIR/kws-bench" -workers 1,2,4 -reps 2 -o "$BDIR/bench-engine.json"
+grep -q '"batch_parity_1000_frames": true' "$BDIR/bench-engine.json"
+rm -rf "$BDIR"
 
 # Telemetry-server smoke: a live kws-stream must answer /healthz with an ok
 # status and expose non-empty stream counters on /metrics while it holds.

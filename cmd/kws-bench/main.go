@@ -2,16 +2,21 @@
 // numbers to machine-readable JSON files, so perf regressions show up as a
 // diff rather than a feeling.
 //
-// Engine mode (default) times five inference paths over the same synthetic
+// Engine mode (default) times the inference paths over the same synthetic
 // ST-HybridNet engine (see deploy.SyntheticEngine): the retained scalar
 // naive reference (Engine.Naive), the float32 reference simulation
 // (Engine.InferFloat — the EngineInfer row, the baseline the integer
 // policies are measured against), the word-packed integer path at the mixed
 // 8/16-bit and fully-8-bit activation policies (Engine.InferInt), and the
-// parallel batch path (Engine.InferBatch). It also records the measured
-// weight density, the model file size, and the per-policy activation
-// scratch footprints, and cross-checks integer/float parity on 1000 random
-// frames.
+// frame-major lane batch path per policy (EngineInferBatchMixed /
+// EngineInferBatchInt8) swept across worker counts — each batch row is
+// measured under runtime.GOMAXPROCS(workers), with EngineInferBatchFloat
+// (serial per-frame InferFloat over the same batch) as the float baseline.
+// It also records the measured weight density, the model file size, and the
+// per-policy activation scratch footprints, cross-checks integer/float
+// parity on 1000 random frames, and cross-checks 1000 frames of batch
+// output bit-exactly against the scalar NaiveInt oracle under both
+// policies.
 //
 // Train mode (-train) measures training throughput on the paper-shape
 // hybrid: samples/sec and ns/step for the serial trainer versus the
@@ -32,9 +37,11 @@
 //	kws-bench -density 0.2 -batch 32
 //
 // The engine headline gates, asserted here and in the test suite: the
-// integer paths must run with 0 allocs/op, EngineInferInt8 must be at least
-// 1.5× faster than the float EngineInfer baseline, and InferInt must agree
-// byte-exactly with InferFloat.
+// integer paths (single-frame and batch) must run with 0 allocs/op,
+// EngineInferInt8 must be at least 1.5× faster than the float EngineInfer
+// baseline, InferInt must agree byte-exactly with InferFloat, and — unless
+// -gate-batch=false — batch ns/frame at workers=1 must beat the matching
+// single-frame ns/op for both integer policies (exit status 1 otherwise).
 package main
 
 import (
@@ -45,6 +52,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -56,7 +65,9 @@ import (
 
 type result struct {
 	Name        string  `json:"name"`
+	Workers     int     `json:"workers,omitempty"`      // batch rows: GOMAXPROCS the row ran under
 	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerFrame  float64 `json:"ns_per_frame,omitempty"` // batch rows: ns_per_op / batch size
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
@@ -79,11 +90,16 @@ type report struct {
 	ScratchBytesFloat int64    `json:"scratch_bytes_float"`
 	ScratchBytesMixed int64    `json:"scratch_bytes_mixed"`
 	ScratchBytesInt8  int64    `json:"scratch_bytes_int8"`
+	WorkerCounts      []int    `json:"worker_counts"`
 	Results           []result `json:"results"`
 	SpeedupVsNaive    float64  `json:"speedup_mixed_vs_naive"`
 	SpeedupIntVsFloat float64  `json:"speedup_int8_vs_float"`
 	IntFloatParity    bool     `json:"int_float_parity_1000_frames"`
-	BatchNsPerFrame   float64  `json:"batch_ns_per_frame"`
+	BatchParity       bool     `json:"batch_parity_1000_frames"`
+	BatchNsPerFrame   float64  `json:"batch_ns_per_frame"` // mixed @ workers=1 (v2 continuity)
+	BatchNsFrameFloat float64  `json:"batch_ns_per_frame_float"`
+	BatchNsFrameMixed float64  `json:"batch_ns_per_frame_mixed"`
+	BatchNsFrameInt8  float64  `json:"batch_ns_per_frame_int8"`
 	Note              string   `json:"note,omitempty"`
 }
 
@@ -127,6 +143,8 @@ func main() {
 	seed := flag.Int64("seed", 9, "synthetic engine weight seed")
 	density := flag.Float64("density", 0.35, "ternary nonzero density")
 	batch := flag.Int("batch", 64, "frames per InferBatch call")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated GOMAXPROCS values for the batch worker-scaling sweep")
+	gateBatch := flag.Bool("gate-batch", true, "exit nonzero if batch ns/frame at workers=1 regresses past single-frame ns/op")
 	reps := flag.Int("reps", 3, "benchmark repetitions; the fastest is kept")
 	trainMode := flag.Bool("train", false, "benchmark training throughput instead of the inference engine")
 	serveMode := flag.Bool("serve", false, "benchmark the serving daemon core under concurrent fault-injected sessions")
@@ -154,10 +172,35 @@ func main() {
 	if *out == "" {
 		*out = "BENCH_engine.json"
 	}
-	benchEngine(*out, *seed, *density, *batch, *reps)
+	benchEngine(*out, *seed, *density, *batch, *reps, parseWorkers(*workers), *gateBatch)
 }
 
-func benchEngine(out string, seed int64, density float64, batch, reps int) {
+// parseWorkers turns the -workers flag ("1,2,4,8") into a sorted-as-given
+// list of positive GOMAXPROCS values. The list must contain 1: the
+// workers=1 rows are the batch regression gate's denominator-free baseline.
+func parseWorkers(s string) []int {
+	var ws []int
+	has1 := false
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "kws-bench: bad -workers entry %q (want positive integers)\n", part)
+			os.Exit(2)
+		}
+		ws = append(ws, w)
+		has1 = has1 || w == 1
+	}
+	if !has1 {
+		ws = append([]int{1}, ws...)
+	}
+	return ws
+}
+
+func benchEngine(out string, seed int64, density float64, batch, reps int, workerCounts []int, gateBatch bool) {
 	e := deploy.SyntheticEngine(seed, density)
 	rng := rand.New(rand.NewSource(seed + 1))
 	x := make([]float32, e.Frames*e.Coeffs)
@@ -174,7 +217,7 @@ func benchEngine(out string, seed int64, density float64, batch, reps int) {
 	}
 
 	rep := report{
-		Schema:    "kws-bench/v2",
+		Schema:    "kws-bench/v3",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -185,11 +228,13 @@ func benchEngine(out string, seed int64, density float64, batch, reps int) {
 		DensityMeasured: e.MeasuredDensity(),
 		Seed:            seed,
 		BatchSize:       batch,
+		WorkerCounts:    workerCounts,
 		Reps:            reps,
 		ModelFileBytes:  e.Size(),
-		Note: "schema v2: the EngineInfer row is the float32 reference simulation " +
-			"(Engine.InferFloat); v1's integer EngineInfer row is superseded by " +
-			"EngineInferMixed (the Infer default) and EngineInferInt8",
+		Note: "schema v3: batch rows are per-policy (EngineInferBatchMixed/Int8) and swept " +
+			"across worker counts, each measured under GOMAXPROCS=workers; " +
+			"EngineInferBatchFloat is the serial per-frame float baseline over the same batch; " +
+			"v2's single EngineInferBatchN row is superseded",
 	}
 
 	// Footprints per policy (the paper's Table 6 size story). Restore the
@@ -245,32 +290,81 @@ func benchEngine(out string, seed int64, density float64, batch, reps int) {
 	rep.Results = append(rep.Results, int8r)
 	e.Policy = deploy.PolicyMixed
 
-	e.InferBatch(xs[:1]) // warm up the batch arena pool
-	bat := best(reps, func(b *testing.B) {
+	// Batch float baseline: serial per-frame InferFloat over the same batch.
+	// One row — the float path has no lane kernels to scale.
+	e.InferFloat(x)
+	batFlt := best(reps, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, r := range e.InferBatch(xs) {
-				if r.Err != nil {
-					panic(r.Err)
-				}
+			for _, f := range xs {
+				e.InferFloat(f)
 			}
 		}
 	})
-	bat.Name = fmt.Sprintf("EngineInferBatch%d", batch)
-	rep.Results = append(rep.Results, bat)
+	batFlt.Name = "EngineInferBatchFloat"
+	batFlt.Workers = 1
+	batFlt.NsPerFrame = batFlt.NsPerOp / float64(batch)
+	rep.Results = append(rep.Results, batFlt)
+	rep.BatchNsFrameFloat = batFlt.NsPerFrame
+
+	// Worker-scaling sweep over the frame-major lane batch path, per policy.
+	// Each row is measured under GOMAXPROCS=workers and capped at that many
+	// lane workers, the steady-state serving shape (reused result slice).
+	prevProcs := runtime.GOMAXPROCS(0)
+	batAt1 := map[deploy.Policy]result{}
+	for _, pc := range []struct {
+		pol  deploy.Policy
+		name string
+	}{
+		{deploy.PolicyMixed, "EngineInferBatchMixed"},
+		{deploy.PolicyInt8, "EngineInferBatchInt8"},
+	} {
+		e.Policy = pc.pol
+		dst := e.InferBatchInto(nil, xs) // warm up: lane arenas + result storage
+		for _, w := range workerCounts {
+			runtime.GOMAXPROCS(w)
+			maxW := w
+			r := best(reps, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dst = e.InferBatchCappedInto(dst, xs, maxW)
+				}
+			})
+			runtime.GOMAXPROCS(prevProcs)
+			for _, br := range dst {
+				if br.Err != nil {
+					fmt.Fprintf(os.Stderr, "kws-bench: %s workers=%d: %v\n", pc.name, w, br.Err)
+					os.Exit(1)
+				}
+			}
+			r.Name = pc.name
+			r.Workers = w
+			r.NsPerFrame = r.NsPerOp / float64(batch)
+			rep.Results = append(rep.Results, r)
+			if w == 1 {
+				batAt1[pc.pol] = r
+			}
+		}
+	}
+	e.Policy = deploy.PolicyMixed
 
 	rep.SpeedupVsNaive = naive.NsPerOp / mixed.NsPerOp
 	rep.SpeedupIntVsFloat = flt.NsPerOp / int8r.NsPerOp
 	rep.IntFloatParity = parityCheck(e, seed+2, 1000)
-	rep.BatchNsPerFrame = bat.NsPerOp / float64(batch)
+	rep.BatchParity = batchParityCheck(e, seed+3, 1000, batch)
+	rep.BatchNsFrameMixed = batAt1[deploy.PolicyMixed].NsPerFrame
+	rep.BatchNsFrameInt8 = batAt1[deploy.PolicyInt8].NsPerFrame
+	rep.BatchNsPerFrame = rep.BatchNsFrameMixed
 	// Recorded after the benchmarks so the report reflects the environment
 	// the numbers were actually measured under.
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.NumCPU = runtime.NumCPU()
 
-	for _, r := range []result{mixed, int8r} {
+	fail := false
+	for _, r := range []result{mixed, int8r, batAt1[deploy.PolicyMixed], batAt1[deploy.PolicyInt8]} {
 		if r.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: %s allocates %d objects/op, want 0\n", r.Name, r.AllocsPerOp)
+			fail = true
 		}
 	}
 	if rep.SpeedupIntVsFloat < 1.5 {
@@ -278,12 +372,80 @@ func benchEngine(out string, seed int64, density float64, batch, reps int) {
 	}
 	if !rep.IntFloatParity {
 		fmt.Fprintln(os.Stderr, "kws-bench: REGRESSION: InferInt disagrees with the InferFloat simulation")
+		fail = true
+	}
+	if !rep.BatchParity {
+		fmt.Fprintln(os.Stderr, "kws-bench: REGRESSION: InferBatch disagrees with the NaiveInt oracle")
+		fail = true
+	}
+	if gateBatch {
+		for _, g := range []struct {
+			pol    string
+			batch  result
+			single result
+		}{
+			{"mixed", batAt1[deploy.PolicyMixed], mixed},
+			{"int8", batAt1[deploy.PolicyInt8], int8r},
+		} {
+			if g.batch.NsPerFrame >= g.single.NsPerOp {
+				fmt.Fprintf(os.Stderr,
+					"kws-bench: REGRESSION: %s batch %.0f ns/frame at workers=1 does not beat single-frame %.0f ns/op\n",
+					g.pol, g.batch.NsPerFrame, g.single.NsPerOp)
+				fail = true
+			}
+		}
 	}
 
 	writeReport(rep, out)
-	fmt.Printf("kws-bench: naive %.0f ns/op, float %.0f ns/op, mixed %.0f ns/op, int8 %.0f ns/op (%.2fx vs float, %d allocs/op), batch %.0f ns/frame -> %s\n",
+	fmt.Printf("kws-bench: naive %.0f ns/op, float %.0f ns/op, mixed %.0f ns/op, int8 %.0f ns/op (%.2fx vs float, %d allocs/op), batch mixed %.0f / int8 %.0f ns/frame @ workers=1 -> %s\n",
 		naive.NsPerOp, flt.NsPerOp, mixed.NsPerOp, int8r.NsPerOp,
-		rep.SpeedupIntVsFloat, int8r.AllocsPerOp, rep.BatchNsPerFrame, out)
+		rep.SpeedupIntVsFloat, int8r.AllocsPerOp, rep.BatchNsFrameMixed, rep.BatchNsFrameInt8, out)
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// batchParityCheck verifies the batch headline exactness claim on the
+// shipped binary: n frames pushed through the frame-major lane batch path
+// (ragged tail included) must agree byte-for-byte with the int64 scalar
+// NaiveInt oracle under both activation policies.
+func batchParityCheck(e *deploy.Engine, seed int64, n, batch int) bool {
+	rng := rand.New(rand.NewSource(seed))
+	defer func(p deploy.Policy) { e.Policy = p }(e.Policy)
+	for _, pol := range []deploy.Policy{deploy.PolicyMixed, deploy.PolicyInt8} {
+		e.Policy = pol
+		var dst []deploy.BatchResult
+		for done := 0; done < n; done += batch {
+			m := batch
+			if n-done < m {
+				m = n - done
+			}
+			xs := make([][]float32, m)
+			for i := range xs {
+				f := make([]float32, e.Frames*e.Coeffs)
+				for j := range f {
+					f[j] = float32(rng.NormFloat64()) * 2
+				}
+				xs[i] = f
+			}
+			dst = e.InferBatchInto(dst, xs)
+			for i, r := range dst {
+				if r.Err != nil {
+					return false
+				}
+				ns, nc := e.NaiveInt(xs[i])
+				if r.Class != nc {
+					return false
+				}
+				for j := range ns {
+					if r.Scores[j] != ns[j] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
 }
 
 // parityCheck verifies the headline exactness claim on the shipped binary:
@@ -317,7 +479,8 @@ func parityCheck(e *deploy.Engine, seed int64, n int) bool {
 // trainResult is one timed training configuration.
 type trainResult struct {
 	Name          string  `json:"name"`
-	Workers       int     `json:"workers"` // 0 = serial path
+	Workers       int     `json:"workers"`    // 0 = serial path
+	GOMAXPROCS    int     `json:"gomaxprocs"` // procs the row was measured under
 	Shards        int     `json:"shards"`
 	SamplesPerSec float64 `json:"samples_per_sec"`
 	NsPerStep     float64 `json:"ns_per_step"`
@@ -383,6 +546,7 @@ func timedRun(x *train.Config, feats *speechcmd.Dataset, width float64, seed int
 	return trainResult{
 		Name:          name,
 		Workers:       workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Shards:        shards,
 		SamplesPerSec: float64(len(by)*x.Epochs) / bestElapsed.Seconds(),
 		NsPerStep:     float64(bestElapsed.Nanoseconds()) / float64(steps),
@@ -433,7 +597,7 @@ func benchTrain(out string, seed int64, width float64, samplesPerCls, epochs, re
 	}
 
 	rep := trainReport{
-		Schema:          "kws-train-bench/v1",
+		Schema:          "kws-train-bench/v2",
 		Generated:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
@@ -451,9 +615,17 @@ func benchTrain(out string, seed int64, width float64, samplesPerCls, epochs, re
 		CacheSpeedup:    coldMs / warmMs,
 	}
 
+	// Worker rows run under GOMAXPROCS=workers (restored after each row), so
+	// the per-count scaling curve reflects the core budget a deployment at
+	// that width would actually get; the serial row keeps the host default.
+	prevProcs := runtime.GOMAXPROCS(0)
 	var serial, w4 trainResult
 	for _, workers := range []int{0, 1, 2, 4, 8} {
+		if workers > 0 {
+			runtime.GOMAXPROCS(workers)
+		}
 		r := timedRun(&base, ds, width, seed, workers, reps)
+		runtime.GOMAXPROCS(prevProcs)
 		rep.Results = append(rep.Results, r)
 		switch workers {
 		case 0:
@@ -485,8 +657,9 @@ func benchTrain(out string, seed int64, width float64, samplesPerCls, epochs, re
 	// the numbers were actually measured under.
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.NumCPU = runtime.NumCPU()
+	rep.Note = "schema v2: worker rows are measured under GOMAXPROCS=workers (recorded per row)"
 	if rep.NumCPU == 1 {
-		rep.Note = "single-CPU host: worker replicas timeslice one core, so parallel samples/sec cannot exceed serial here; the speedup gate applies on multi-core hosts"
+		rep.Note += "; single-CPU host: worker replicas timeslice one core, so parallel samples/sec cannot exceed serial here; the speedup gate applies on multi-core hosts"
 	}
 
 	writeReport(rep, out)

@@ -3,8 +3,6 @@ package deploy
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // BatchResult is one frame's outcome from InferBatch.
@@ -14,70 +12,151 @@ type BatchResult struct {
 	Err    error   // wrong-length input or a recovered inference panic
 }
 
-// InferBatch classifies many MFCC frames concurrently, amortising dispatch
-// for streaming and serving callers. Frames are spread over up to
-// GOMAXPROCS workers; each worker checks a private scratch arena out of the
-// engine's pool, so batches of any size reuse a bounded set of buffers and
-// frames never share mutable state. Per-frame faults (wrong input length, a
-// recovered panic) land in that frame's Err instead of failing the batch.
-// Unlike Infer, the returned score slices are caller-owned copies.
+// maxBatchWorkers caps the engine's persistent batch worker pool. The pool
+// is fixed-size (started once, lazily) so GOMAXPROCS changes between calls
+// never strand it undersized; the per-call worker cap bounds how many lanes
+// are actually in flight.
+const maxBatchWorkers = 16
+
+// laneJob is one lane of a batch, passed by value to the persistent worker
+// pool; done is the caller's completion channel.
+type laneJob struct {
+	e    *Engine
+	xs   [][]float32
+	dst  []BatchResult
+	done chan struct{}
+}
+
+func batchLaneWorker(work chan laneJob) {
+	for j := range work {
+		j.e.runLane(j.xs, j.dst)
+		j.done <- struct{}{}
+	}
+}
+
+// ensureBatchWorkers starts the persistent lane workers on first parallel
+// batch. Workers hold only the channel (never the engine), so once the
+// engine is garbage its finalizer closes work and the pool unwinds — the
+// same lifecycle idiom as the arena's shard workers.
+func (e *Engine) ensureBatchWorkers() {
+	e.batchOnce.Do(func() {
+		e.batchWork = make(chan laneJob, maxBatchWorkers)
+		e.batchDone.New = func() any { return make(chan struct{}, maxBatchWorkers) }
+		for i := 0; i < maxBatchWorkers; i++ {
+			go batchLaneWorker(e.batchWork)
+		}
+		runtime.SetFinalizer(e, func(e *Engine) { close(e.batchWork) })
+	})
+}
+
+// InferBatch classifies many MFCC frames, amortising dispatch for streaming
+// and serving callers. Frames are packed eight per frame-major lane (see
+// lane.go) so each decoded ±1 run and each span sweep covers the whole lane;
+// lanes are spread over up to GOMAXPROCS workers from a persistent pool.
+// Per-frame faults (wrong input length, a recovered panic) land in that
+// frame's Err instead of failing the batch. Unlike Infer, the returned score
+// slices are caller-owned copies.
 //
 // InferBatch is safe for concurrent use, including concurrently with other
 // InferBatch calls on the same engine.
 func (e *Engine) InferBatch(xs [][]float32) []BatchResult {
-	return e.InferBatchCapped(xs, 0)
+	return e.InferBatchCappedInto(nil, xs, 0)
 }
 
-// InferBatchCapped is InferBatch with an explicit ceiling on the worker
-// goroutines spawned for this one call (maxWorkers <= 0 selects GOMAXPROCS).
-// Serving callers that already run many batches concurrently — one per
-// inference lane — cap per-call fan-out so L lanes × B frames never
-// oversubscribe the host; the results are identical at any cap.
+// InferBatchInto is InferBatch writing into caller-owned results: dst (and
+// each slot's Scores storage) is reused when its capacity suffices, so a
+// caller that keeps its result slice across batches runs the whole batch
+// path at zero steady-state heap allocations.
+func (e *Engine) InferBatchInto(dst []BatchResult, xs [][]float32) []BatchResult {
+	return e.InferBatchCappedInto(dst, xs, 0)
+}
+
+// InferBatchCapped is InferBatch with an explicit ceiling on the workers
+// used for this one call (maxWorkers <= 0 selects GOMAXPROCS). Serving
+// callers that already run many batches concurrently — one per inference
+// lane — cap per-call fan-out so L lanes × B frames never oversubscribe the
+// host; the results are identical at any cap.
 func (e *Engine) InferBatchCapped(xs [][]float32, maxWorkers int) []BatchResult {
-	res := make([]BatchResult, len(xs))
+	return e.InferBatchCappedInto(nil, xs, maxWorkers)
+}
+
+// InferBatchCappedInto combines InferBatchInto and InferBatchCapped: results
+// go into the reused dst, and at most maxWorkers goroutines (including the
+// caller) process lanes. When the effective worker count is one the whole
+// batch runs on the calling goroutine with no dispatch at all; otherwise
+// lanes are handed to the persistent worker pool, the caller keeps up to
+// maxWorkers−1 lanes in flight and runs the overflow itself, so a full pool
+// degrades to inline work instead of blocking.
+func (e *Engine) InferBatchCappedInto(dst []BatchResult, xs [][]float32, maxWorkers int) []BatchResult {
+	if cap(dst) >= len(xs) {
+		dst = dst[:len(xs)]
+	} else {
+		grown := make([]BatchResult, len(xs))
+		copy(grown, dst[:cap(dst)]) // carry reusable Scores storage forward
+		dst = grown
+	}
 	if len(xs) == 0 {
-		return res
+		return dst
 	}
 	e.ensureCompiled()
+	nLanes := (len(xs) + laneFrames - 1) / laneFrames
 	workers := runtime.GOMAXPROCS(0)
 	if maxWorkers > 0 && workers > maxWorkers {
 		workers = maxWorkers
 	}
-	if workers > len(xs) {
-		workers = len(xs)
+	if workers > nLanes {
+		workers = nLanes
 	}
 	if workers <= 1 {
-		a := e.getArena()
-		for i, x := range xs {
-			res[i] = e.inferOne(a, x)
-		}
-		e.putArena(a)
-		return res
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			a := e.getArena()
-			defer e.putArena(a)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(xs) {
-					return
-				}
-				res[i] = e.inferOne(a, xs[i])
+		for lo := 0; lo < len(xs); lo += laneFrames {
+			hi := lo + laneFrames
+			if hi > len(xs) {
+				hi = len(xs)
 			}
-		}()
+			e.runLane(xs[lo:hi], dst[lo:hi])
+		}
+		return dst
 	}
-	wg.Wait()
-	return res
+	e.ensureBatchWorkers()
+	done := e.batchDone.Get().(chan struct{})
+	inflight := 0
+	for lo := 0; lo < len(xs); lo += laneFrames {
+		hi := lo + laneFrames
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+	reclaim:
+		for inflight > 0 {
+			select {
+			case <-done:
+				inflight--
+			default:
+				break reclaim
+			}
+		}
+		if inflight < workers-1 {
+			select {
+			case e.batchWork <- laneJob{e: e, xs: xs[lo:hi], dst: dst[lo:hi], done: done}:
+				inflight++
+				continue
+			default:
+				// Pool saturated by concurrent batches; run this lane inline.
+			}
+		}
+		e.runLane(xs[lo:hi], dst[lo:hi])
+	}
+	for ; inflight > 0; inflight-- {
+		<-done
+	}
+	e.batchDone.Put(done)
+	return dst
 }
 
-// inferOne classifies one frame on the given arena with InferSafe
-// semantics: length-checked input, panics converted to errors.
-func (e *Engine) inferOne(a *arena, x []float32) (r BatchResult) {
+// inferOne classifies one frame on the given arena with InferSafe semantics:
+// length-checked input, panics converted to errors. scratch is the previous
+// result's Scores storage (nil is fine); it is overwritten and reused so
+// steady-state callers allocate nothing.
+func (e *Engine) inferOne(a *arena, x []float32, scratch []int32) (r BatchResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			e.obs.fault()
@@ -98,7 +177,7 @@ func (e *Engine) inferOne(a *arena, x []float32) (r BatchResult) {
 		// this worker checked its arena out.
 		sc, cls = e.inferArena(a, x, a.pol)
 	}
-	return BatchResult{Scores: append([]int32(nil), sc...), Class: cls}
+	return BatchResult{Scores: append(scratch[:0], sc...), Class: cls}
 }
 
 // getArena checks a scratch arena out of the pool, building one on first

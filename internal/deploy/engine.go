@@ -31,9 +31,10 @@ type QConv struct {
 	ReLU                        bool
 	InScale, HidScale, OutScale float32
 
-	wb, wc             []int8     // unpacked dense ternaries (naive reference path)
-	wbSp, wcSp         sparseRows // compiled nonzero index lists (hot path)
-	hidMul8, outMul8   []Mult     // PolicyInt8 requantisers, derived by deriveAct8
+	wb, wc           []int8     // unpacked dense ternaries (naive reference path)
+	wbSp, wcSp       sparseRows // compiled nonzero index lists (hot path)
+	wbSpan, wcSpan   spanRows   // span-coalesced rows for the lane kernels
+	hidMul8, outMul8 []Mult     // PolicyInt8 requantisers, derived by deriveAct8
 }
 
 // unpack materialises the ternary matrices from their packed form and
@@ -290,7 +291,8 @@ type QDense struct {
 
 	wb, wc     []int8
 	wbSp, wcSp sparseRows
-	wbBits     bitRows // word-packed Wb bitplanes (hot path, kernels.go)
+	wbBits     bitRows  // word-packed Wb bitplanes (hot path, kernels.go)
+	wbSpan     spanRows // span-coalesced Wb rows for the lane projection
 }
 
 func (q *QDense) unpack() {
@@ -453,8 +455,16 @@ type Engine struct {
 
 	compileOnce sync.Once   // guards kernel compilation
 	arena       *arena      // resident arena for Infer/InferSafe
-	arenas      sync.Pool   // spare arenas checked out by InferBatch workers
+	arenas      sync.Pool   // spare arenas for the per-frame batch fallback
+	laneArenas  sync.Pool   // spare frame-major lane arenas (lane.go)
 	farena      *floatArena // resident scratch for InferFloat
+
+	// Persistent batch worker pool (batch.go): fixed-size, started lazily on
+	// the first parallel InferBatch; lanes are dispatched to it by value so
+	// steady-state batches allocate nothing.
+	batchOnce sync.Once
+	batchWork chan laneJob
+	batchDone sync.Pool // pooled per-call completion channels
 
 	// obs, when set via EnableTelemetry, routes the sparse path through the
 	// instrumented variant in telemetry.go. nil (the default) costs one

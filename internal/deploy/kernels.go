@@ -68,6 +68,10 @@ func (q *QConv) compileKernels() {
 	}
 	q.wbSp = compileRows(q.wb, int(q.R), int(q.Cin*q.KH*q.KW))
 	q.wcSp = compileRows(q.wc, int(q.Cout), int(q.R))
+	// Span-coalesced forms for the frame-major lane kernels (span.go,
+	// lane.go): adjacent ±1 runs become single strided sweeps.
+	q.wbSpan = compileSpanRows(q.wbSp, int(q.R))
+	q.wcSpan = compileSpanRows(q.wcSp, int(q.Cout))
 }
 
 func (q *QDense) compileKernels() {
@@ -75,9 +79,11 @@ func (q *QDense) compileKernels() {
 	q.wbSp = compileRows(q.wb, int(q.R), int(q.In))
 	q.wcSp = compileRows(q.wc, int(q.Out), int(q.R))
 	// Wb reads int8 activations, so it also compiles to bitplane words for
-	// the word-packed matvec (bitplane.go). Wc reads the int16 hidden vector
-	// and keeps the index-gather form.
+	// the word-packed matvec (bitplane.go) and to span form for the lane
+	// projection (lane.go). Wc reads the int16 hidden vector and keeps the
+	// index-gather form.
 	q.wbBits = compileBitRows(q.wb, int(q.R), int(q.In))
+	q.wbSpan = compileSpanRows(q.wbSp, int(q.R))
 }
 
 func (t *QTree) compileKernels() {

@@ -10,9 +10,13 @@ import (
 
 // inferReq is one frame waiting for a shared lane. reply has capacity 1 and
 // is written exactly once, so a requester that gave up (lane timeout) never
-// blocks the lane — its late reply just gets collected.
+// blocks the lane — its late reply just gets collected. dst is the
+// requester-owned score buffer the lane copies results into; a requester
+// that times out must abandon its buffer (see laneClassifier), because the
+// lane may still be about to write it.
 type inferReq struct {
 	x     []float32
+	dst   []int32
 	reply chan laneResp
 }
 
@@ -55,11 +59,16 @@ func newLanes(eng *deploy.Engine, count, batch, queue, workersPer int, obs *obsS
 }
 
 // run is one lane: block for a frame, opportunistically coalesce whatever
-// else is already queued (up to the batch cap), infer, reply.
+// else is already queued (up to the batch cap), infer, reply. The lane owns
+// a result slice reused across calls (Engine.InferBatchCappedInto), so the
+// engine's frame-major lane kernels run without per-call allocation; each
+// requester's scores are copied into its own dst buffer before the reply,
+// because the shared result slots are overwritten by the next batch.
 func (l *lanes) run() {
 	defer l.wg.Done()
 	reqs := make([]inferReq, 0, l.batch)
 	xs := make([][]float32, 0, l.batch)
+	var res []deploy.BatchResult
 	for {
 		reqs, xs = reqs[:0], xs[:0]
 		select {
@@ -82,9 +91,9 @@ func (l *lanes) run() {
 		l.obs.laneDepth.Set(int64(len(l.ch)))
 		l.obs.laneBatch.Observe(int64(len(reqs)))
 
-		results := l.eng.InferBatchCapped(xs, l.workersPer)
+		res = l.eng.InferBatchCappedInto(res, xs, l.workersPer)
 		for i, r := range reqs {
-			r.reply <- laneResp{scores: results[i].Scores, err: results[i].Err}
+			r.reply <- laneResp{scores: append(r.dst[:0], res[i].Scores...), err: res[i].Err}
 		}
 	}
 }
@@ -97,12 +106,15 @@ func (l *lanes) stop() {
 	l.wg.Wait()
 }
 
-// infer submits one frame and waits for its scores. The timeout bounds the
-// submit and the reply wait separately (worst case 2×timeout end to end).
-// ErrLaneTimeout means the lanes are saturated (or stopped); the caller
-// treats it as one discarded hop, not a session failure.
-func (l *lanes) infer(x []float32, timeout time.Duration) ([]int32, error) {
-	req := inferReq{x: x, reply: make(chan laneResp, 1)}
+// infer submits one frame and waits for its scores, which are copied into
+// dst (grown as needed; the filled slice is returned). The timeout bounds
+// the submit and the reply wait separately (worst case 2×timeout end to
+// end). ErrLaneTimeout means the lanes are saturated (or stopped); the
+// caller treats it as one discarded hop, not a session failure — but after
+// a timeout the caller must stop using dst, since the lane may write it
+// late.
+func (l *lanes) infer(x []float32, dst []int32, timeout time.Duration) ([]int32, error) {
+	req := inferReq{x: x, dst: dst, reply: make(chan laneResp, 1)}
 
 	select {
 	case l.ch <- req: // fast path: queue has room right now
@@ -128,9 +140,9 @@ func (l *lanes) infer(x []float32, timeout time.Duration) ([]int32, error) {
 
 // laneClassifier adapts the shared lanes to stream.Classifier for one
 // session. It is only called from that session's pump goroutine, so the
-// probs scratch needs no locking. A lane error returns nil probabilities —
-// the detector counts the hop as a bad posterior and its breaker logic
-// takes it from there.
+// probs/scores scratch needs no locking. A lane error returns nil
+// probabilities — the detector counts the hop as a bad posterior and its
+// breaker logic takes it from there.
 type laneClassifier struct {
 	lanes   *lanes
 	wScale  float64
@@ -138,15 +150,22 @@ type laneClassifier struct {
 	timeout time.Duration
 	obs     *obsSet
 	probs   []float32
+	scores  []int32 // session-owned lane result buffer; abandoned on timeout
 }
 
 func (c *laneClassifier) Classify(features []float32) []float32 {
 	t0 := time.Now()
-	scores, err := c.lanes.infer(features, c.timeout)
+	scores, err := c.lanes.infer(features, c.scores, c.timeout)
 	c.obs.laneWait.ObserveSince(t0)
 	if err != nil {
+		if err == ErrLaneTimeout {
+			// The lane may still hold our buffer and write it late; orphan
+			// it so the stale write lands in memory no future hop reads.
+			c.scores = nil
+		}
 		return nil
 	}
+	c.scores = scores
 	c.probs = stream.ScoresToProbs(scores, c.wScale, c.probs)
 	return c.probs
 }

@@ -53,18 +53,21 @@ func (m *ModelClassifier) Classify(features []float32) []float32 {
 func (m *ModelClassifier) NumClasses() int { return m.Classes }
 
 // EngineClassifier backs the detector with a packed fixed-point
-// deploy.Engine. Hops are routed through Engine.InferBatch — the engine's
-// concurrency-safe entry point, so one engine can serve several detectors —
-// via a reused single-frame batch, and the integer class scores are turned
-// into posteriors with a numerically stable softmax. The returned slice is
-// reused between calls. The activation policy (mixed 8/16-bit vs fully
-// 8-bit) is the engine's own: set Engine.Policy before streaming and every
-// hop runs the word-packed integer kernels at that width — the classifier
-// adds no routing of its own.
+// deploy.Engine. Hops are routed through Engine.InferBatchInto — the
+// engine's concurrency-safe batch entry point, so one engine can serve
+// several detectors — via a reused single-frame batch whose result slots
+// (Scores storage included) are held across hops, so steady-state hops do
+// not allocate. The integer class scores are turned into posteriors with a
+// numerically stable softmax; the returned slice is reused between calls.
+// The activation policy (mixed 8/16-bit vs fully 8-bit) is the engine's
+// own: set Engine.Policy before streaming and every hop runs the
+// word-packed integer kernels at that width — the classifier adds no
+// routing of its own.
 type EngineClassifier struct {
 	Engine *deploy.Engine
 
 	batch [][]float32
+	res   []deploy.BatchResult
 	probs []float32
 }
 
@@ -78,12 +81,12 @@ func NewEngineClassifier(e *deploy.Engine) *EngineClassifier {
 // a bad posterior and skips.
 func (c *EngineClassifier) Classify(features []float32) []float32 {
 	c.batch[0] = features
-	res := c.Engine.InferBatch(c.batch)
+	c.res = c.Engine.InferBatchInto(c.res, c.batch)
 	c.batch[0] = nil
-	if res[0].Err != nil {
+	if c.res[0].Err != nil {
 		return nil
 	}
-	c.probs = ScoresToProbs(res[0].Scores, float64(c.Engine.Tree.WScale), c.probs)
+	c.probs = ScoresToProbs(c.res[0].Scores, float64(c.Engine.Tree.WScale), c.probs)
 	return c.probs
 }
 

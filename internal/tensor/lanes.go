@@ -1,0 +1,31 @@
+package tensor
+
+// Lane-interleaved ("frame-major") layout helpers.
+//
+// The deploy engine's batch kernels pack the same element index of eight
+// frames into adjacent slots, so element i of frame f lives at i·8+f and one
+// 64-bit load reads element i of the whole lane. These helpers transpose
+// between the flat per-frame layout and the interleaved lane layout; the
+// kernels that consume the lane form live in internal/deploy.
+
+// LaneSlots is the number of frames interleaved per lane: one 64-bit word of
+// int8 activations.
+const LaneSlots = 8
+
+// PackLanes8 scatters a flat per-frame vector into slot f of a
+// lane-interleaved buffer: dst[i·8+f] = src[i]. dst must hold
+// len(src)·LaneSlots elements.
+func PackLanes8[T any](dst, src []T, f int) {
+	for i, v := range src {
+		dst[i*LaneSlots+f] = v
+	}
+}
+
+// UnpackLanes8 gathers slot f of a lane-interleaved buffer back into a flat
+// per-frame vector: dst[i] = src[i·8+f]. src must hold
+// len(dst)·LaneSlots elements.
+func UnpackLanes8[T any](dst, src []T, f int) {
+	for i := range dst {
+		dst[i] = src[i*LaneSlots+f]
+	}
+}

@@ -1,0 +1,53 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLanePackRoundTrip pins the lane transpose pair: packing 8 frames into
+// the interleaved layout and unpacking any slot must reproduce that frame
+// exactly, and each element must land at i·8+f.
+func TestLanePackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 64, 123} {
+		frames := make([][]int8, LaneSlots)
+		lane := make([]int8, n*LaneSlots)
+		for f := range frames {
+			frames[f] = make([]int8, n)
+			for i := range frames[f] {
+				frames[f][i] = int8(rng.Intn(256) - 128)
+			}
+			PackLanes8(lane, frames[f], f)
+		}
+		for f := range frames {
+			for i := 0; i < n; i++ {
+				if lane[i*LaneSlots+f] != frames[f][i] {
+					t.Fatalf("n=%d: lane[%d·8+%d]=%d, want %d", n, i, f, lane[i*LaneSlots+f], frames[f][i])
+				}
+			}
+			got := make([]int8, n)
+			UnpackLanes8(got, lane, f)
+			for i := range got {
+				if got[i] != frames[f][i] {
+					t.Fatalf("n=%d: unpack slot %d element %d: %d, want %d", n, f, i, got[i], frames[f][i])
+				}
+			}
+		}
+	}
+}
+
+// TestLanePackInt16 checks the generic helpers on a wider element type (the
+// deploy engine packs int16 hidden lanes too).
+func TestLanePackInt16(t *testing.T) {
+	src := []int16{-32768, -1, 0, 1, 32767}
+	lane := make([]int16, len(src)*LaneSlots)
+	PackLanes8(lane, src, 3)
+	got := make([]int16, len(src))
+	UnpackLanes8(got, lane, 3)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("element %d: %d, want %d", i, got[i], src[i])
+		}
+	}
+}
