@@ -26,16 +26,28 @@ echo "$BENCH_OUT" | grep 'BenchmarkEngineInfer' | grep -q ' 0 allocs/op'
 
 # Integer-path gauntlet.
 # (1) 0-alloc gate for the word-packed paths: both activation policies and
-#     the float32 reference simulation must run without allocating.
+#     the float32 reference simulation must run without allocating, and the
+#     single-frame column-lane path must stay allocation-free under every
+#     forced row layout (runs / spans / packed2b), not just the cost-model
+#     mix the synthetic engine happens to pick.
 BENCH_INT="$(go test -run='^$' -bench='^BenchmarkEngineInfer(Mixed|Int8|Float)$' -benchmem -benchtime=100x .)"
 echo "$BENCH_INT"
 [ "$(echo "$BENCH_INT" | grep -c ' 0 allocs/op')" -eq 3 ]
+BENCH_LANE="$(go test -run='^$' -bench='^BenchmarkEngineInferInt8(Runs|Spans|Packed2b)$' -benchmem -benchtime=100x .)"
+echo "$BENCH_LANE"
+[ "$(echo "$BENCH_LANE" | grep -c ' 0 allocs/op')" -eq 3 ]
 # (2) Bit-exactness smoke: InferInt must agree byte-for-byte with the
 #     FakeQuant-equivalent float simulation and the int64 scalar oracle on a
-#     synthetic paper-shape engine under both policies.
+#     synthetic paper-shape engine under both policies, and the column-lane
+#     row kernels (layout gathers, fused requant rows, depthwise edge-shifted
+#     word loads, padded-stride round trip) must match their scalar oracles
+#     property-wise.
 go test -count=1 -short \
     -run='TestInferIntMatchesFloatSimulation|TestInferIntMatchesNaiveRandomized|TestInferIntZeroAllocs' \
     ./internal/deploy
+go test -count=1 \
+    -run='TestGatherRowLayoutsProperty|TestFusedRowKernelsMatchTwoPhase|TestDWTapWord|TestChooseLayoutSanity|TestBatchLanePathWithTelemetry|TestPadColsRoundTrip' \
+    ./internal/deploy ./internal/tensor
 # (3) Serialization round-trip matrix: a PolicyInt8 engine written as .thnt
 #     v1, v2 and v3 must read back and score identically (v3 additionally
 #     preserving the policy byte and calibration table).
@@ -53,15 +65,23 @@ echo "$BENCH_BATCH"
 go test -count=1 -short \
     -run='TestCompileSpanRows|TestGatherLaneMatchesScalar|TestInferBatchLaneMatchesPerFrame|TestInferBatchZeroAllocs|TestInferBatchLaneConcurrent|TestLanePack' \
     ./internal/deploy ./internal/tensor
-# (3) Multi-core batch smoke: the worker-scaling sweep must clear the batch
-#     regression gate (batch ns/frame at workers=1 beating the matching
-#     single-frame ns/op for both integer policies) and 1000 frames of batch
-#     output must match the scalar NaiveInt oracle under both policies —
-#     kws-bench exits nonzero on either failure.
+# (3) Mixed single-frame/batch concurrency under the race detector: one
+#     goroutine hammering the resident-arena InferInt path while three more
+#     drive InferBatch on the same engine — the contract the serving daemon
+#     leans on.
+go test -race -count=1 -run='TestMixedSingleBatchConcurrent' ./internal/deploy
+# (4) Multi-core batch smoke: the worker-scaling sweep must clear the
+#     kws-bench v4 gates — single-frame int8 at least 2.5x faster than the
+#     float baseline, batch ns/frame at workers=1 within 1.5x of
+#     single-frame (the column-lane kernels win at one worker by design),
+#     1000 frames of batch output matching the scalar NaiveInt oracle under
+#     both policies, and the same oracle holding with a telemetry observer
+#     attached — kws-bench exits nonzero on any failure.
 BDIR="$(mktemp -d)"
 go build -o "$BDIR/kws-bench" ./cmd/kws-bench
-"$BDIR/kws-bench" -workers 1,2,4 -reps 2 -o "$BDIR/bench-engine.json"
+"$BDIR/kws-bench" -workers 1,2,4 -reps 3 -o "$BDIR/bench-engine.json"
 grep -q '"batch_parity_1000_frames": true' "$BDIR/bench-engine.json"
+grep -q '"telemetry_parity_1000_frames": true' "$BDIR/bench-engine.json"
 rm -rf "$BDIR"
 
 # Telemetry-server smoke: a live kws-stream must answer /healthz with an ok

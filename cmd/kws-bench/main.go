@@ -12,11 +12,15 @@
 // EngineInferBatchInt8) swept across worker counts — each batch row is
 // measured under runtime.GOMAXPROCS(workers), with EngineInferBatchFloat
 // (serial per-frame InferFloat over the same batch) as the float baseline.
-// It also records the measured weight density, the model file size, and the
-// per-policy activation scratch footprints, cross-checks integer/float
-// parity on 1000 random frames, and cross-checks 1000 frames of batch
-// output bit-exactly against the scalar NaiveInt oracle under both
-// policies.
+// It also records the measured weight density, the model file size, the
+// per-policy activation scratch footprints, and the cost model's per-row
+// layout choices (runs/spans/packed2b) for every lane-dispatched ternary
+// matrix, plus an int8 single-frame row per forced layout (SetForceLayout)
+// so the layout cost model is auditable from the report. Parity
+// cross-checks: integer/float on 1000 random frames, 1000 frames of batch
+// output bit-exact against the scalar NaiveInt oracle under both policies,
+// and the same NaiveInt oracle against a telemetry-attached engine
+// (single-frame and batch) — attaching an observer must not change a bit.
 //
 // Train mode (-train) measures training throughput on the paper-shape
 // hybrid: samples/sec and ns/step for the serial trainer versus the
@@ -38,10 +42,15 @@
 //
 // The engine headline gates, asserted here and in the test suite: the
 // integer paths (single-frame and batch) must run with 0 allocs/op,
-// EngineInferInt8 must be at least 1.5× faster than the float EngineInfer
-// baseline, InferInt must agree byte-exactly with InferFloat, and — unless
-// -gate-batch=false — batch ns/frame at workers=1 must beat the matching
-// single-frame ns/op for both integer policies (exit status 1 otherwise).
+// EngineInferInt8 must be at least -min-speedup (default 2.5×) faster than
+// the float EngineInfer baseline, InferInt must agree byte-exactly with
+// InferFloat, all NaiveInt parity checks (batch, telemetry-attached) must
+// hold, and — unless -gate-batch=false — batch ns/frame at workers=1 must
+// stay within 1.5× of the matching single-frame ns/op for both integer
+// policies (exit status 1 otherwise). The v3 gate demanded batch *beat*
+// single-frame at one worker; the column-lane single-frame kernels
+// inverted that relationship by design, so v4 gates the lane path's
+// overhead bound instead and leaves winning to the multi-worker rows.
 package main
 
 import (
@@ -60,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/speechcmd"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
 
@@ -90,17 +100,21 @@ type report struct {
 	ScratchBytesFloat int64    `json:"scratch_bytes_float"`
 	ScratchBytesMixed int64    `json:"scratch_bytes_mixed"`
 	ScratchBytesInt8  int64    `json:"scratch_bytes_int8"`
-	WorkerCounts      []int    `json:"worker_counts"`
-	Results           []result `json:"results"`
-	SpeedupVsNaive    float64  `json:"speedup_mixed_vs_naive"`
-	SpeedupIntVsFloat float64  `json:"speedup_int8_vs_float"`
-	IntFloatParity    bool     `json:"int_float_parity_1000_frames"`
-	BatchParity       bool     `json:"batch_parity_1000_frames"`
-	BatchNsPerFrame   float64  `json:"batch_ns_per_frame"` // mixed @ workers=1 (v2 continuity)
-	BatchNsFrameFloat float64  `json:"batch_ns_per_frame_float"`
-	BatchNsFrameMixed float64  `json:"batch_ns_per_frame_mixed"`
-	BatchNsFrameInt8  float64  `json:"batch_ns_per_frame_int8"`
-	Note              string   `json:"note,omitempty"`
+	WorkerCounts      []int                 `json:"worker_counts"`
+	LayerLayouts      []deploy.LayerLayouts `json:"layer_layouts"`
+	Results           []result              `json:"results"`
+	SpeedupVsNaive    float64               `json:"speedup_mixed_vs_naive"`
+	SpeedupIntVsFloat float64               `json:"speedup_int8_vs_float"`
+	LayoutSpeedups    map[string]float64    `json:"speedup_int8_vs_float_by_layout"`
+	IntFloatParity    bool                  `json:"int_float_parity_1000_frames"`
+	BatchParity       bool                  `json:"batch_parity_1000_frames"`
+	TelemetryParity   bool                  `json:"telemetry_parity_1000_frames"`
+	BatchNsPerFrame   float64               `json:"batch_ns_per_frame"` // mixed @ workers=1 (v2 continuity)
+	BatchNsFrameFloat float64               `json:"batch_ns_per_frame_float"`
+	BatchNsFrameMixed float64               `json:"batch_ns_per_frame_mixed"`
+	BatchNsFrameInt8  float64               `json:"batch_ns_per_frame_int8"`
+	CPUWarning        string                `json:"cpu_warning,omitempty"`
+	Note              string                `json:"note,omitempty"`
 }
 
 // best runs a benchmark reps times and keeps the fastest run — the one
@@ -144,7 +158,8 @@ func main() {
 	density := flag.Float64("density", 0.35, "ternary nonzero density")
 	batch := flag.Int("batch", 64, "frames per InferBatch call")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated GOMAXPROCS values for the batch worker-scaling sweep")
-	gateBatch := flag.Bool("gate-batch", true, "exit nonzero if batch ns/frame at workers=1 regresses past single-frame ns/op")
+	gateBatch := flag.Bool("gate-batch", true, "exit nonzero if batch ns/frame at workers=1 exceeds 1.5x single-frame ns/op")
+	minSpeedup := flag.Float64("min-speedup", 2.5, "exit nonzero if single-frame int8 speedup vs float falls below this (0 disables)")
 	reps := flag.Int("reps", 3, "benchmark repetitions; the fastest is kept")
 	trainMode := flag.Bool("train", false, "benchmark training throughput instead of the inference engine")
 	serveMode := flag.Bool("serve", false, "benchmark the serving daemon core under concurrent fault-injected sessions")
@@ -172,12 +187,12 @@ func main() {
 	if *out == "" {
 		*out = "BENCH_engine.json"
 	}
-	benchEngine(*out, *seed, *density, *batch, *reps, parseWorkers(*workers), *gateBatch)
+	benchEngine(*out, *seed, *density, *batch, *reps, parseWorkers(*workers), *gateBatch, *minSpeedup)
 }
 
 // parseWorkers turns the -workers flag ("1,2,4,8") into a sorted-as-given
 // list of positive GOMAXPROCS values. The list must contain 1: the
-// workers=1 rows are the batch regression gate's denominator-free baseline.
+// workers=1 rows anchor the batch overhead gate against single-frame.
 func parseWorkers(s string) []int {
 	var ws []int
 	has1 := false
@@ -200,7 +215,7 @@ func parseWorkers(s string) []int {
 	return ws
 }
 
-func benchEngine(out string, seed int64, density float64, batch, reps int, workerCounts []int, gateBatch bool) {
+func benchEngine(out string, seed int64, density float64, batch, reps int, workerCounts []int, gateBatch bool, minSpeedup float64) {
 	e := deploy.SyntheticEngine(seed, density)
 	rng := rand.New(rand.NewSource(seed + 1))
 	x := make([]float32, e.Frames*e.Coeffs)
@@ -217,7 +232,7 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	}
 
 	rep := report{
-		Schema:    "kws-bench/v3",
+		Schema:    "kws-bench/v4",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -231,10 +246,12 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 		WorkerCounts:    workerCounts,
 		Reps:            reps,
 		ModelFileBytes:  e.Size(),
-		Note: "schema v3: batch rows are per-policy (EngineInferBatchMixed/Int8) and swept " +
-			"across worker counts, each measured under GOMAXPROCS=workers; " +
-			"EngineInferBatchFloat is the serial per-frame float baseline over the same batch; " +
-			"v2's single EngineInferBatchN row is superseded",
+		Note: "schema v4: layer_layouts records the cost model's per-row layout choices and " +
+			"EngineInferInt8Forced* rows measure each layout in isolation (SetForceLayout); " +
+			"the v3 batch-beats-single gate at workers=1 is retired — the column-lane " +
+			"single-frame kernels beat the batch lane path at one worker by design, so v4 " +
+			"bounds batch overhead at 1.5x instead; batch rows are per-policy and swept " +
+			"across worker counts, each measured under GOMAXPROCS=workers",
 	}
 
 	// Footprints per policy (the paper's Table 6 size story). Restore the
@@ -288,6 +305,30 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	})
 	int8r.Name = "EngineInferInt8"
 	rep.Results = append(rep.Results, int8r)
+
+	// Layout cost-model audit: the per-row choices the model made, plus the
+	// int8 single-frame time with each layout forced everywhere, so the
+	// report shows the auto choice is at (or near) the per-layout floor.
+	rep.LayerLayouts = e.LayoutReport()
+	rep.LayoutSpeedups = map[string]float64{}
+	forcedRows := make([]result, 0, 3)
+	for _, lk := range []deploy.LayoutKind{deploy.LayoutRuns, deploy.LayoutSpans, deploy.LayoutPacked2b} {
+		e.SetForceLayout(lk)
+		e.InferInt(x) // warm up under the forced layout
+		fr := best(reps, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.InferInt(x)
+			}
+		})
+		ln := lk.String()
+		fr.Name = "EngineInferInt8Forced" + strings.ToUpper(ln[:1]) + ln[1:]
+		rep.Results = append(rep.Results, fr)
+		forcedRows = append(forcedRows, fr)
+		rep.LayoutSpeedups[lk.String()] = flt.NsPerOp / fr.NsPerOp
+	}
+	e.SetForceLayout(deploy.LayoutAuto)
+	rep.LayoutSpeedups["auto"] = flt.NsPerOp / int8r.NsPerOp
 	e.Policy = deploy.PolicyMixed
 
 	// Batch float baseline: serial per-frame InferFloat over the same batch.
@@ -352,6 +393,7 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	rep.SpeedupIntVsFloat = flt.NsPerOp / int8r.NsPerOp
 	rep.IntFloatParity = parityCheck(e, seed+2, 1000)
 	rep.BatchParity = batchParityCheck(e, seed+3, 1000, batch)
+	rep.TelemetryParity = telemetryParityCheck(e, seed, density, seed+4, 1000, batch)
 	rep.BatchNsFrameMixed = batAt1[deploy.PolicyMixed].NsPerFrame
 	rep.BatchNsFrameInt8 = batAt1[deploy.PolicyInt8].NsPerFrame
 	rep.BatchNsPerFrame = rep.BatchNsFrameMixed
@@ -359,16 +401,24 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	// the numbers were actually measured under.
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.NumCPU = runtime.NumCPU()
+	if rep.NumCPU == 1 {
+		rep.CPUWarning = "single-CPU host: batch worker rows timeslice one core, so the " +
+			"worker-scaling sweep cannot show parallel speedup here; rerun on a " +
+			"multi-core host for the scaling curve (single-frame rows are unaffected)"
+	}
 
 	fail := false
-	for _, r := range []result{mixed, int8r, batAt1[deploy.PolicyMixed], batAt1[deploy.PolicyInt8]} {
+	allocRows := append([]result{mixed, int8r, batAt1[deploy.PolicyMixed], batAt1[deploy.PolicyInt8]}, forcedRows...)
+	for _, r := range allocRows {
 		if r.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: %s allocates %d objects/op, want 0\n", r.Name, r.AllocsPerOp)
 			fail = true
 		}
 	}
-	if rep.SpeedupIntVsFloat < 1.5 {
-		fmt.Fprintf(os.Stderr, "kws-bench: WARNING: int8 speedup %.2fx below the 1.5x gate (noisy host?)\n", rep.SpeedupIntVsFloat)
+	if minSpeedup > 0 && rep.SpeedupIntVsFloat < minSpeedup {
+		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: int8 speedup %.2fx below the %.2fx gate\n",
+			rep.SpeedupIntVsFloat, minSpeedup)
+		fail = true
 	}
 	if !rep.IntFloatParity {
 		fmt.Fprintln(os.Stderr, "kws-bench: REGRESSION: InferInt disagrees with the InferFloat simulation")
@@ -378,7 +428,16 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 		fmt.Fprintln(os.Stderr, "kws-bench: REGRESSION: InferBatch disagrees with the NaiveInt oracle")
 		fail = true
 	}
+	if !rep.TelemetryParity {
+		fmt.Fprintln(os.Stderr, "kws-bench: REGRESSION: telemetry-attached engine disagrees with the NaiveInt oracle")
+		fail = true
+	}
 	if gateBatch {
+		// The single-frame column-lane kernels beat the batch lane path at
+		// one worker by design (the batch path pays frame transposes and
+		// lane scheduling to win at higher worker counts), so the gate here
+		// bounds that overhead rather than demanding batch win.
+		const batchOverheadTol = 1.5
 		for _, g := range []struct {
 			pol    string
 			batch  result
@@ -387,22 +446,81 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 			{"mixed", batAt1[deploy.PolicyMixed], mixed},
 			{"int8", batAt1[deploy.PolicyInt8], int8r},
 		} {
-			if g.batch.NsPerFrame >= g.single.NsPerOp {
+			if g.batch.NsPerFrame > g.single.NsPerOp*batchOverheadTol {
 				fmt.Fprintf(os.Stderr,
-					"kws-bench: REGRESSION: %s batch %.0f ns/frame at workers=1 does not beat single-frame %.0f ns/op\n",
-					g.pol, g.batch.NsPerFrame, g.single.NsPerOp)
+					"kws-bench: REGRESSION: %s batch %.0f ns/frame at workers=1 exceeds %.1fx single-frame %.0f ns/op\n",
+					g.pol, g.batch.NsPerFrame, batchOverheadTol, g.single.NsPerOp)
 				fail = true
 			}
 		}
 	}
 
 	writeReport(rep, out)
-	fmt.Printf("kws-bench: naive %.0f ns/op, float %.0f ns/op, mixed %.0f ns/op, int8 %.0f ns/op (%.2fx vs float, %d allocs/op), batch mixed %.0f / int8 %.0f ns/frame @ workers=1 -> %s\n",
+	fmt.Printf("kws-bench: naive %.0f ns/op, float %.0f ns/op, mixed %.0f ns/op, int8 %.0f ns/op (%.2fx vs float, %d allocs/op), forced runs/spans/packed2b %.2fx/%.2fx/%.2fx, batch mixed %.0f / int8 %.0f ns/frame @ workers=1 -> %s\n",
 		naive.NsPerOp, flt.NsPerOp, mixed.NsPerOp, int8r.NsPerOp,
-		rep.SpeedupIntVsFloat, int8r.AllocsPerOp, rep.BatchNsFrameMixed, rep.BatchNsFrameInt8, out)
+		rep.SpeedupIntVsFloat, int8r.AllocsPerOp,
+		rep.LayoutSpeedups["runs"], rep.LayoutSpeedups["spans"], rep.LayoutSpeedups["packed2b"],
+		rep.BatchNsFrameMixed, rep.BatchNsFrameInt8, out)
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// telemetryParityCheck rebuilds the synthetic engine, attaches a live
+// telemetry observer, and verifies n frames through the observed
+// single-frame path and the observed batch path both agree byte-for-byte
+// with the plain engine's scalar NaiveInt oracle under both activation
+// policies. Attaching an observer swaps in the instrumented kernels
+// (inferArenaObserved, laneInferObserved); this pins their exactness on the
+// shipped binary, not just the test suite.
+func telemetryParityCheck(oracle *deploy.Engine, engSeed int64, density float64, seed int64, n, batch int) bool {
+	eObs := deploy.SyntheticEngine(engSeed, density)
+	eObs.EnableTelemetry(telemetry.NewRegistry(), nil)
+	rng := rand.New(rand.NewSource(seed))
+	defer func(p deploy.Policy) { oracle.Policy = p }(oracle.Policy)
+	for _, pol := range []deploy.Policy{deploy.PolicyMixed, deploy.PolicyInt8} {
+		oracle.Policy = pol
+		eObs.Policy = pol
+		var dst []deploy.BatchResult
+		for done := 0; done < n; done += batch {
+			m := batch
+			if n-done < m {
+				m = n - done
+			}
+			xs := make([][]float32, m)
+			want := make([][]int32, m)
+			for i := range xs {
+				f := make([]float32, eObs.Frames*eObs.Coeffs)
+				for j := range f {
+					f[j] = float32(rng.NormFloat64()) * 2
+				}
+				xs[i] = f
+				ws, wc := oracle.NaiveInt(f)
+				want[i] = append([]int32(nil), ws...)
+				is, ic := eObs.InferInt(f)
+				if ic != wc {
+					return false
+				}
+				for j := range is {
+					if is[j] != ws[j] {
+						return false
+					}
+				}
+			}
+			dst = eObs.InferBatchInto(dst, xs)
+			for i, r := range dst {
+				if r.Err != nil {
+					return false
+				}
+				for j := range r.Scores {
+					if r.Scores[j] != want[i][j] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
 }
 
 // batchParityCheck verifies the batch headline exactness claim on the

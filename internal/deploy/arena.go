@@ -53,6 +53,8 @@ type shardJob struct {
 	acc     []int32
 	out     []int8
 	nOut    int
+	ps      int // im2col plane stride (hidden stages)
+	os      int // output channel stride (out stages)
 	lo, hi  int
 }
 
@@ -66,13 +68,13 @@ const (
 func (j shardJob) run() {
 	switch j.stage {
 	case stageHidden:
-		j.q.stdHiddenRows(j.cols, j.hidden, j.acc, j.nOut, j.lo, j.hi)
+		j.q.stdHiddenRows(j.cols, j.hidden, j.acc, j.nOut, j.ps, j.lo, j.hi)
 	case stageOut:
-		j.q.stdOutRows(j.hidden, j.acc, j.out, j.nOut, j.lo, j.hi)
+		j.q.stdOutRows(j.hidden, j.acc, j.out, j.nOut, j.os, j.lo, j.hi)
 	case stageHidden8:
-		j.q.stdHiddenRows8(j.cols, j.hidden8, j.acc, j.nOut, j.lo, j.hi)
+		j.q.stdHiddenRows8(j.cols, j.hidden8, j.acc, j.nOut, j.ps, j.lo, j.hi)
 	case stageOut8:
-		j.q.stdOutRows8(j.hidden8, j.acc, j.out, j.nOut, j.lo, j.hi)
+		j.q.stdOutRows8(j.hidden8, j.acc, j.out, j.nOut, j.os, j.lo, j.hi)
 	}
 }
 
@@ -87,27 +89,31 @@ func newArena(e *Engine, parallel bool) *arena {
 	for _, q := range e.Convs {
 		oh, ow := q.outSize(h, w)
 		nOut := oh * ow
+		// Buffers are sized at the column-lane padded stride pad8(nOut)
+		// (collane.go): activation channels, im2col planes, hidden planes
+		// and accumulator row slots all live at it on the hot path.
+		pa := pad8(nOut)
 		// Only standard convs with a real window lower through im2col:
 		// pointwise aliases the image and depthwise gathers off it directly.
 		if q.Kind == kindStandard &&
 			!(q.KH == 1 && q.KW == 1 && q.Stride == 1 && q.PadH == 0 && q.PadW == 0) {
-			if cols := int(q.Cin) * int(q.KH) * int(q.KW) * nOut; cols > maxCols {
+			if cols := int(q.Cin) * int(q.KH) * int(q.KW) * pa; cols > maxCols {
 				maxCols = cols
 			}
 		}
-		if out := int(q.Cout) * nOut; out > maxImg {
+		if out := int(q.Cout) * pa; out > maxImg {
 			maxImg = out
 		}
 		switch q.Kind {
 		case kindStandard:
-			if hid := int(q.R) * nOut; hid > maxHidden {
+			if hid := int(q.R) * pa; hid > maxHidden {
 				maxHidden = hid
 			}
 			rows := int(q.R)
 			if int(q.Cout) > rows {
 				rows = int(q.Cout)
 			}
-			if acc := rows * nOut; acc > maxAcc {
+			if acc := rows * pa; acc > maxAcc {
 				maxAcc = acc
 			}
 			if wk := len(q.wbSp.idx) * nOut; wk > maxWork {
@@ -117,7 +123,7 @@ func newArena(e *Engine, parallel bool) *arena {
 				maxWork = wk
 			}
 		case kindDepthwise:
-			if acc := 2 * nOut; acc > maxAcc {
+			if acc := 2 * pa; acc > maxAcc {
 				maxAcc = acc
 			}
 		}

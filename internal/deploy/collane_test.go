@@ -1,0 +1,379 @@
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// oracleGather is the scalar reference for one ternary row over int8 planes
+// at the given column stride: acc[j] = Σ₊ cols[p·stride+j] − Σ₋.
+func oracleGather(cols []int8, plus, minus []int32, stride int) []int32 {
+	acc := make([]int32, stride)
+	for _, p := range plus {
+		for j := 0; j < stride; j++ {
+			acc[j] += int32(cols[int(p)*stride+j])
+		}
+	}
+	for _, m := range minus {
+		for j := 0; j < stride; j++ {
+			acc[j] -= int32(cols[int(m)*stride+j])
+		}
+	}
+	return acc
+}
+
+// ternaryRows draws a rows×taps ternary matrix at the given nonzero density
+// (density 0 gives all-zero rows, 1 full ±1 rows).
+func ternaryRows(rng *rand.Rand, rows, taps int, density float64) []int8 {
+	w := make([]int8, rows*taps)
+	for i := range w {
+		if rng.Float64() < density {
+			if rng.Intn(2) == 0 {
+				w[i] = 1
+			} else {
+				w[i] = -1
+			}
+		}
+	}
+	return w
+}
+
+// TestGatherRowLayoutsProperty drives all three compiled row layouts — index
+// runs, coalesced spans and two-bit-packed words — over randomized shapes
+// and densities and checks every one against the scalar oracle on every
+// column including the pads. The sweep deliberately crosses the edge cases:
+// all-zero rows, full-density rows, rows shorter than one 32-tap packed
+// word, tap counts past the 256-plane chunk budget, and ragged column
+// counts that force a padded stride.
+func TestGatherRowLayoutsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	tapCases := []int{1, 3, 7, 31, 32, 33, 40, 64, 255, 256, 300}
+	colCases := []int{1, 5, 7, 8, 9, 25, 96, 125}
+	densities := []float64{0, 0.05, 0.35, 0.8, 1}
+	for trial := 0; trial < 60; trial++ {
+		taps := tapCases[rng.Intn(len(tapCases))]
+		nOut := colCases[rng.Intn(len(colCases))]
+		density := densities[rng.Intn(len(densities))]
+		rows := 1 + rng.Intn(3)
+		stride := pad8(nOut)
+
+		w := ternaryRows(rng, rows, taps, density)
+		sp := compileRows(w, rows, taps)
+		span := compileSpanRows(sp, rows)
+		pk := compilePackedRows(w, rows, taps)
+
+		cols := make([]int8, taps*stride)
+		for i := range cols {
+			cols[i] = int8(rng.Intn(256) - 128)
+		}
+		colsB := i8Bytes(cols)
+
+		for r := 0; r < rows; r++ {
+			plus, minus := sp.row(r)
+			want := oracleGather(cols, plus, minus, stride)
+
+			runs := make([]int32, stride)
+			gatherPlanesI8W(runs, colsB, plus, minus, stride)
+			spans := make([]int32, stride)
+			gatherLaneI8(spans, colsB, span.chunks[r], stride)
+			packed := make([]int32, stride)
+			pk.gatherRow(r, packed, colsB, stride)
+
+			for j := 0; j < stride; j++ {
+				if runs[j] != want[j] {
+					t.Fatalf("trial %d row %d (taps=%d cols=%d d=%.2f): runs[%d]=%d, want %d",
+						trial, r, taps, nOut, density, j, runs[j], want[j])
+				}
+				if spans[j] != want[j] {
+					t.Fatalf("trial %d row %d (taps=%d cols=%d d=%.2f): spans[%d]=%d, want %d",
+						trial, r, taps, nOut, density, j, spans[j], want[j])
+				}
+				if packed[j] != want[j] {
+					t.Fatalf("trial %d row %d (taps=%d cols=%d d=%.2f): packed[%d]=%d, want %d",
+						trial, r, taps, nOut, density, j, packed[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedRowKernelsMatchTwoPhase pins the fused gather+requant kernels
+// against the two-phase pair they replace, across random multipliers,
+// biases, ReLU cuts, dst lengths off the 32-column tile width, multi-chunk
+// rows (which must take the fallback) and the saturated-multiplier guard.
+func TestFusedRowKernelsMatchTwoPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	tapCases := []int{1, 12, 40, 300} // 300 > chunkPlanes8: two chunks
+	colCases := []int{5, 8, 29, 32, 96, 125, 128}
+	for trial := 0; trial < 80; trial++ {
+		taps := tapCases[rng.Intn(len(tapCases))]
+		nOut := colCases[rng.Intn(len(colCases))]
+		stride := pad8(nOut)
+		w := ternaryRows(rng, 1, taps, 0.1+0.8*rng.Float64())
+		sp := compileRows(w, 1, taps)
+		span := compileSpanRows(sp, 1)
+
+		cols := make([]int8, taps*stride)
+		for i := range cols {
+			cols[i] = int8(rng.Intn(256) - 128)
+		}
+		colsB := i8Bytes(cols)
+
+		m := NewMult(0.001 + rng.Float64()*0.9)
+		if trial%17 == 0 {
+			m = Mult{Mant: 1 << 30, Shift: 0} // saturated: must take the guard
+		}
+		b := int32(rng.Intn(81) - 40)
+		relu := rng.Intn(2) == 0
+		acc := make([]int32, stride)
+
+		gotQ8 := make([]int8, nOut)
+		gatherLaneQ8(gotQ8, acc, colsB, span.chunks[0], stride, m, b, relu)
+		wantAcc := make([]int32, stride)
+		gatherLaneI8(wantAcc, colsB, span.chunks[0], stride)
+		wantQ8 := make([]int8, nOut)
+		requantRowI8(wantQ8, wantAcc, m, b, relu)
+		for j := range wantQ8 {
+			if gotQ8[j] != wantQ8[j] {
+				t.Fatalf("trial %d (taps=%d cols=%d m=%+v b=%d relu=%v): q8[%d]=%d, want %d",
+					trial, taps, nOut, m, b, relu, j, gotQ8[j], wantQ8[j])
+			}
+		}
+
+		gotQ16 := make([]int16, nOut)
+		gatherLaneQ16(gotQ16, acc, colsB, span.chunks[0], stride, m)
+		wantQ16 := make([]int16, nOut)
+		requantRowHid16(wantQ16, wantAcc, m)
+		for j := range wantQ16 {
+			if gotQ16[j] != wantQ16[j] {
+				t.Fatalf("trial %d (taps=%d cols=%d m=%+v): q16[%d]=%d, want %d",
+					trial, taps, nOut, m, j, gotQ16[j], wantQ16[j])
+			}
+		}
+
+		// The runs-layout twins over the same row, against the same oracle
+		// (the index-list gather and the span gather agree by
+		// TestGatherRowLayoutsProperty, so one two-phase oracle serves both).
+		plus, minus := sp.row(0)
+		gotR8 := make([]int8, nOut)
+		gatherPlanesQ8(gotR8, acc, colsB, plus, minus, stride, m, b, relu)
+		for j := range wantQ8 {
+			if gotR8[j] != wantQ8[j] {
+				t.Fatalf("trial %d (taps=%d cols=%d m=%+v b=%d relu=%v): runs q8[%d]=%d, want %d",
+					trial, taps, nOut, m, b, relu, j, gotR8[j], wantQ8[j])
+			}
+		}
+		gotR16 := make([]int16, nOut)
+		gatherPlanesQ16(gotR16, acc, colsB, plus, minus, stride, m)
+		for j := range wantQ16 {
+			if gotR16[j] != wantQ16[j] {
+				t.Fatalf("trial %d (taps=%d cols=%d m=%+v): runs q16[%d]=%d, want %d",
+					trial, taps, nOut, m, j, gotR16[j], wantQ16[j])
+			}
+		}
+	}
+}
+
+// TestDWTapWord pins the edge-shifted depthwise load: for any offset —
+// before the plane, inside it, straddling either end, or fully outside —
+// byte lane l must read img[off+l] when that index is in bounds and zero
+// otherwise.
+func TestDWTapWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(57)
+		img := make([]byte, n)
+		rng.Read(img)
+		off := rng.Intn(n+32) - 16
+		got := dwTapWord(img, off)
+		var want uint64
+		for l := 0; l < 8; l++ {
+			if s := off + l; s >= 0 && s < n {
+				want |= uint64(img[s]) << (8 * l)
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: dwTapWord(len=%d, off=%d) = %#x, want %#x", trial, n, off, got, want)
+		}
+	}
+}
+
+// TestChooseLayoutSanity pins the cost model's qualitative choices: empty
+// rows ride the span no-op, long coalesced runs pick spans, dense fragmented
+// rows pick the packed walk, and isolated far-apart nonzeros keep the runs
+// walk.
+func TestChooseLayoutSanity(t *testing.T) {
+	compile := func(w []int8, taps int) ([]int32, []int32, []laneChunk) {
+		sp := compileRows(w, 1, taps)
+		span := compileSpanRows(sp, 1)
+		plus, minus := sp.row(0)
+		return plus, minus, span.chunks[0]
+	}
+
+	empty := make([]int8, 64)
+	p, m, ch := compile(empty, 64)
+	if got := chooseLayout(p, m, ch, 64); got != LayoutSpans {
+		t.Fatalf("empty row: %v, want spans", got)
+	}
+
+	run := make([]int8, 64)
+	for i := 0; i < 32; i++ {
+		run[i] = 1
+	}
+	p, m, ch = compile(run, 64)
+	if got := chooseLayout(p, m, ch, 64); got != LayoutSpans {
+		t.Fatalf("single long run: %v, want spans", got)
+	}
+
+	dense := make([]int8, 32)
+	for i := range dense {
+		if i%2 == 0 {
+			dense[i] = 1
+		} else {
+			dense[i] = -1
+		}
+	}
+	p, m, ch = compile(dense, 32)
+	if got := chooseLayout(p, m, ch, 32); got != LayoutPacked2b {
+		t.Fatalf("dense alternating row: %v, want packed2b", got)
+	}
+
+	sparse := make([]int8, 256)
+	sparse[3], sparse[200] = 1, -1
+	p, m, ch = compile(sparse, 256)
+	if got := chooseLayout(p, m, ch, 256); got != LayoutRuns {
+		t.Fatalf("isolated nonzeros: %v, want runs", got)
+	}
+}
+
+// TestBatchLanePathWithTelemetry is the regression test for the batch
+// telemetry demotion: attaching an observer must keep InferBatch on the lane
+// path (counted lanes, frames and span sweeps) and stay bit-identical to the
+// unobserved engine.
+func TestBatchLanePathWithTelemetry(t *testing.T) {
+	for _, pol := range []Policy{PolicyMixed, PolicyInt8} {
+		e := deployTestEngine(53)
+		e.Policy = pol
+		plain := deployTestEngine(53)
+		plain.Policy = pol
+		reg := telemetry.NewRegistry()
+		obs := e.EnableTelemetry(reg, nil)
+
+		rng := rand.New(rand.NewSource(7))
+		const n = laneFrames + 3 // one full lane plus a short one
+		xs := make([][]float32, n)
+		for i := range xs {
+			x := make([]float32, e.Frames*e.Coeffs)
+			for j := range x {
+				x[j] = float32(rng.NormFloat64())
+			}
+			xs[i] = x
+		}
+
+		got := e.InferBatch(xs)
+		want := plain.InferBatch(xs)
+		for i := range got {
+			if got[i].Err != nil || want[i].Err != nil {
+				t.Fatalf("pol %v frame %d: err %v / %v", pol, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Class != want[i].Class {
+				t.Fatalf("pol %v frame %d: class %d, want %d", pol, i, got[i].Class, want[i].Class)
+			}
+			for j := range got[i].Scores {
+				if got[i].Scores[j] != want[i].Scores[j] {
+					t.Fatalf("pol %v frame %d: scores diverge at %d", pol, i, j)
+				}
+			}
+		}
+
+		if got := obs.LaneLanes.Value(); got < 1 {
+			t.Fatalf("pol %v: observed engine took %d lane dispatches — batch demoted to scalar", pol, got)
+		}
+		if got := obs.LaneFrames.Value(); got != laneFrames {
+			t.Fatalf("pol %v: %d frames on the lane path, want %d", pol, got, laneFrames)
+		}
+		if got := obs.Spans.Value(); got <= 0 {
+			t.Fatalf("pol %v: no span sweeps counted on the lane path", pol)
+		}
+	}
+}
+
+// TestMixedSingleBatchConcurrent shares one engine between a single-frame
+// caller (Infer's documented single-goroutine contract) and concurrent
+// InferBatch callers, validating under -race that the resident arena and
+// the batch lane arenas never alias. Every caller checks its classes
+// against a reference engine.
+func TestMixedSingleBatchConcurrent(t *testing.T) {
+	e := deployTestEngine(67)
+	e.Policy = PolicyInt8
+	ref := deployTestEngine(67)
+	ref.Policy = PolicyInt8
+
+	rng := rand.New(rand.NewSource(11))
+	const nIn = 12
+	ins := make([][]float32, nIn)
+	wantClass := make([]int, nIn)
+	for i := range ins {
+		x := make([]float32, e.Frames*e.Coeffs)
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+		}
+		ins[i] = x
+		_, wantClass[i] = ref.Infer(x)
+	}
+
+	iters := 30
+	if raceEnabled {
+		iters = 10
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	// One single-frame caller on the resident arena...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := 0; it < iters; it++ {
+			for i, x := range ins {
+				if _, cls := e.InferInt(x); cls != wantClass[i] {
+					select {
+					case errs <- errMismatch(i, cls, wantClass[i]):
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+	// ...and three concurrent batch callers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for i, r := range e.InferBatch(ins) {
+					if r.Err != nil || r.Class != wantClass[i] {
+						select {
+						case errs <- errMismatch(i, r.Class, wantClass[i]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func errMismatch(i, got, want int) error {
+	return fmt.Errorf("frame %d: class %d, want %d", i, got, want)
+}

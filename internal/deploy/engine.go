@@ -31,10 +31,21 @@ type QConv struct {
 	ReLU                        bool
 	InScale, HidScale, OutScale float32
 
-	wb, wc           []int8     // unpacked dense ternaries (naive reference path)
-	wbSp, wcSp       sparseRows // compiled nonzero index lists (hot path)
-	wbSpan, wcSpan   spanRows   // span-coalesced rows for the lane kernels
-	hidMul8, outMul8 []Mult     // PolicyInt8 requantisers, derived by deriveAct8
+	wb, wc           []int8       // unpacked dense ternaries (naive reference path)
+	wbSp, wcSp       sparseRows   // compiled nonzero index lists (hot path)
+	wbSpan, wcSpan   spanRows     // span-coalesced rows for the lane kernels
+	wbPack2, wcPack2 packedRows   // two-bit-packed rows (wpack.go)
+	wbLay, wcLay     []LayoutKind // per-row layout chosen by the cost model
+	hidMul8, outMul8 []Mult       // PolicyInt8 requantisers, derived by deriveAct8
+
+	// Depthwise column-lane tables (collane.go compileDWCol): per-tap linear
+	// read offsets and per-tap-per-group lane-validity masks for the SWAR
+	// shifted-window walk. dwCol gates the walk on the geometry admitting it.
+	dwCol              bool
+	dwColNG            int
+	dwColOffs          []int32
+	dwColMask          []uint64
+	dwColMin, dwColMax int32 // min/max linear tap offset (head/tail clipping)
 }
 
 // unpack materialises the ternary matrices from their packed form and
@@ -234,32 +245,17 @@ func (q *QConv) forwardRef(x []int8, h, w int, pol Policy) ([]int8, int, int) {
 }
 
 // requantChannel applies the per-channel output multiplier, bias and
-// optional ReLU, saturating to int8. Mixed-policy form: acc holds sums of
-// int16 hidden values.
+// optional ReLU, saturating to int8, through the branchless fused row
+// kernel (collane.go). Mixed-policy form: acc holds sums of int16 hidden
+// values.
 func (q *QConv) requantChannel(dst []int8, acc []int32, c int) {
-	m := q.OutMul[c]
-	b := q.OutBias[c]
-	for j, v := range acc {
-		o := m.Apply(v) + b
-		if q.ReLU && o < 0 {
-			o = 0
-		}
-		dst[j] = clampI8(o)
-	}
+	requantRowI8(dst, acc, q.OutMul[c], q.OutBias[c], q.ReLU)
 }
 
 // requantChannel8 is requantChannel for PolicyInt8: acc holds sums of int8
 // hidden values, so the derived outMul8 restores the output scale.
 func (q *QConv) requantChannel8(dst []int8, acc []int32, c int) {
-	m := q.outMul8[c]
-	b := q.OutBias[c]
-	for j, v := range acc {
-		o := m.Apply(v) + b
-		if q.ReLU && o < 0 {
-			o = 0
-		}
-		dst[j] = clampI8(o)
-	}
+	requantRowI8(dst, acc, q.outMul8[c], q.OutBias[c], q.ReLU)
 }
 
 // requantRef is the int64-accumulator requantisation used by forwardRef.
@@ -476,8 +472,11 @@ type Engine struct {
 // concurrent InferBatch entry points.
 func (e *Engine) ensureCompiled() {
 	e.compileOnce.Do(func() {
+		h, w := int(e.Frames), int(e.Coeffs)
 		for _, q := range e.Convs {
 			q.compileKernels()
+			q.compileDWCol(h, w)
+			h, w = q.outSize(h, w)
 		}
 		e.Tree.compileKernels()
 	})
@@ -501,14 +500,35 @@ func (e *Engine) quantizeInto(dst []int8, x []float32) {
 
 // poolInto average-pools an int8 image [c,h,w] with a square k×k window and
 // stride s at the same scale (round-half-away-from-zero division), writing
-// into caller-owned storage. Shared by the sparse and naive paths, so the
-// two stay bit-identical by construction.
-func poolInto(dst []int8, img []int8, c, h, w, k, s int) (int, int) {
+// into caller-owned storage. srcCh is the image's channel stride (h·w dense,
+// pad8(h·w) on the column-lane path — the window itself reads only real
+// coordinates, so pad columns never enter a sum). Shared by the sparse and
+// naive paths, so the two stay bit-identical by construction.
+func poolInto(dst []int8, img []int8, c, h, w, k, s, srcCh int) (int, int) {
 	outH := (h-k)/s + 1
 	outW := (w-k)/s + 1
 	area := int32(k * k)
+	if k == w {
+		// Full-width window (the paper shape's 5×5 pool over a width-5
+		// plane): every window is k·w consecutive bytes, so the sum runs
+		// through the SWAR byte folder instead of the nested tap walk.
+		for ch := 0; ch < c; ch++ {
+			src := img[ch*srcCh:][:h*w]
+			for oi := 0; oi < outH; oi++ {
+				sum := sumBytesI8(src[oi*s*w : oi*s*w+k*w])
+				var q int32
+				if sum >= 0 {
+					q = (sum + area/2) / area
+				} else {
+					q = -((-sum + area/2) / area)
+				}
+				dst[ch*outH+oi] = clampI8(q)
+			}
+		}
+		return outH, outW
+	}
 	for ch := 0; ch < c; ch++ {
-		src := img[ch*h*w : (ch+1)*h*w]
+		src := img[ch*srcCh:][:h*w]
 		for oi := 0; oi < outH; oi++ {
 			for oj := 0; oj < outW; oj++ {
 				var sum int32
@@ -577,7 +597,11 @@ func (e *Engine) inferInt(x []float32) ([]int32, int) {
 	return e.inferArena(e.arena, x, e.Policy)
 }
 
-// inferArena runs the sparse-kernel pipeline on the given arena.
+// inferArena runs the sparse-kernel pipeline on the given arena. Activation
+// images between convs live at the column-lane channel stride pad8(h·w)
+// (collane.go), so every plane gather runs full SWAR width; st tracks the
+// current stride down the chain. The first conv's input is dense (Cin is 1
+// there, so its stride is never read past the slice bound).
 func (e *Engine) inferArena(a *arena, x []float32, pol Policy) ([]int32, int) {
 	if e.obs != nil {
 		return e.inferArenaObserved(a, x, pol)
@@ -585,14 +609,18 @@ func (e *Engine) inferArena(a *arena, x []float32, pol Policy) ([]int32, int) {
 	e.quantizeInto(a.imgA[:len(x)], x)
 	img, next := a.imgA, a.imgB
 	h, w := int(e.Frames), int(e.Coeffs)
+	st := h * w
 	for _, conv := range e.Convs {
-		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w, pol)
+		oh, ow := conv.outSize(h, w)
+		ost := pad8(oh * ow)
+		conv.forwardInto(a, img[:int(conv.Cin)*st], next, h, w, pol, st, ost)
 		img, next = next, img
 		h, w = oh, ow
+		st = ost
 	}
 	c := int(e.Convs[len(e.Convs)-1].Cout)
 	pooled := a.pooled
-	ph, pw := poolInto(pooled, img, c, h, w, int(e.PoolK), int(e.PoolS))
+	ph, pw := poolInto(pooled, img, c, h, w, int(e.PoolK), int(e.PoolS), st)
 	sc := e.Tree.forwardInto(a, pooled[:c*ph*pw])
 	return sc, argmax(sc)
 }
@@ -608,7 +636,7 @@ func (e *Engine) inferNaive(x []float32, pol Policy) ([]int32, int) {
 	k, s := int(e.PoolK), int(e.PoolS)
 	c := int(e.Convs[len(e.Convs)-1].Cout)
 	pooled := make([]int8, c*((h-k)/s+1)*((w-k)/s+1))
-	poolInto(pooled, img, c, h, w, k, s)
+	poolInto(pooled, img, c, h, w, k, s, h*w)
 	sc := e.Tree.Forward(pooled)
 	return sc, argmax(sc)
 }

@@ -68,10 +68,18 @@ func (q *QConv) compileKernels() {
 	}
 	q.wbSp = compileRows(q.wb, int(q.R), int(q.Cin*q.KH*q.KW))
 	q.wcSp = compileRows(q.wc, int(q.Cout), int(q.R))
-	// Span-coalesced forms for the frame-major lane kernels (span.go,
-	// lane.go): adjacent ±1 runs become single strided sweeps.
+	// Span-coalesced forms for the SWAR lane kernels (span.go, lane.go):
+	// adjacent ±1 runs become single strided sweeps.
 	q.wbSpan = compileSpanRows(q.wbSp, int(q.R))
 	q.wcSpan = compileSpanRows(q.wcSp, int(q.Cout))
+	// Two-bit-packed forms (wpack.go) for rows whose nonzeros are too
+	// fragmented for spans to pay; the cost model assigns each row its
+	// cheapest layout.
+	q.wbPack2 = compilePackedRows(q.wb, int(q.R), int(q.Cin*q.KH*q.KW))
+	q.wcPack2 = compilePackedRows(q.wc, int(q.Cout), int(q.R))
+	q.wbLay = make([]LayoutKind, int(q.R))
+	q.wcLay = make([]LayoutKind, int(q.Cout))
+	q.setLayout(LayoutAuto)
 }
 
 func (q *QDense) compileKernels() {
@@ -117,12 +125,14 @@ func colRuns(n, k, stride, pad, outN int) (lo, hi int) {
 }
 
 // im2colI8Into lowers an int8 image [c,h,w] into caller-owned column
-// storage, the zero-allocation variant of im2colI8. dst must hold
-// c·kh·kw·outH·outW entries; padding positions are zeroed. Unlike the naive
-// variant, the valid run of each row is computed arithmetically, so the
-// copy loops carry no per-element bounds branches and the common stride-1
-// case reduces to memmove.
-func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int) (int, int) {
+// storage, the zero-allocation variant of im2colI8. srcCh is the channel
+// stride of x and dstP the plane stride of dst (both ≥ the dense h·w /
+// outH·outW — the engine passes column-lane padded strides, dense callers
+// pass the dense sizes); dst must hold c·kh·kw·dstP entries and is zeroed,
+// pad columns included. Unlike the naive variant, the valid run of each row
+// is computed arithmetically, so the copy loops carry no per-element bounds
+// branches and the common stride-1 case reduces to memmove.
+func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW, srcCh, dstP int) (int, int) {
 	outH := (h+2*padH-kh)/stride + 1
 	outW := (w+2*padW-kw)/stride + 1
 	nOut := outH * outW
@@ -130,7 +140,7 @@ func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int)
 		dst[i] = 0
 	}
 	for ch := 0; ch < c; ch++ {
-		img := x[ch*h*w : (ch+1)*h*w]
+		img := x[ch*srcCh:][:h*w]
 		for ki := 0; ki < kh; ki++ {
 			oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
 			for kj := 0; kj < kw; kj++ {
@@ -138,7 +148,7 @@ func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int)
 				if ojHi <= ojLo {
 					continue
 				}
-				row := dst[((ch*kh+ki)*kw+kj)*nOut : ((ch*kh+ki)*kw+kj+1)*nOut]
+				row := dst[((ch*kh+ki)*kw+kj)*dstP:][:nOut]
 				for oi := oiLo; oi < oiHi; oi++ {
 					si := oi*stride + ki - padH
 					sj := ojLo*stride + kj - padW
@@ -147,7 +157,13 @@ func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int)
 						copy(drow, img[si*w+sj:])
 					} else {
 						src := img[si*w:]
-						for j := range drow {
+						j := 0
+						for ; j+1 < len(drow); j += 2 {
+							drow[j] = src[sj]
+							drow[j+1] = src[sj+stride]
+							sj += 2 * stride
+						}
+						for ; j < len(drow); j++ {
 							drow[j] = src[sj]
 							sj += stride
 						}
@@ -162,8 +178,11 @@ func im2colI8Into(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW int)
 // forwardInto runs the convolution through the sparse kernels using the
 // arena's scratch memory, writing the int8 output image into out. pol picks
 // the activation layout for the hidden planes; the arena must have been
-// built for the same policy.
-func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int, pol Policy) (int, int) {
+// built for the same policy. inStride/outStride are the channel strides of
+// x and out: the engine's column-lane path passes pad8(h·w)/pad8(outH·outW)
+// so every internal plane gather runs full SWAR width (collane.go), while
+// dense callers pass the exact spatial sizes and get the tailed kernels.
+func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int, pol Policy, inStride, outStride int) (int, int) {
 	kh, kw, stride := int(q.KH), int(q.KW), int(q.Stride)
 	padH, padW := int(q.PadH), int(q.PadW)
 	outH := (h+2*padH-kh)/stride + 1
@@ -173,52 +192,58 @@ func (q *QConv) forwardInto(a *arena, x []int8, out []int8, h, w int, pol Policy
 		// Depthwise gathers straight from the image (see dwSparse): its
 		// im2col matrix would materialise kh·kw rows per channel of which
 		// only the Wb nonzeros are ever read.
-		q.dwSparse(a, x, out[:int(q.Cin)*nOut], h, w, outH, outW, pol)
+		q.dwSparse(a, x, out, h, w, outH, outW, pol, inStride, outStride)
 		return outH, outW
 	}
+	pa := pad8(nOut)
 	var cols []int8
+	ps := pa
 	if kh == 1 && kw == 1 && stride == 1 && padH == 0 && padW == 0 {
-		// Pointwise: the im2col matrix is the image itself.
-		cols = x[:int(q.Cin)*nOut]
+		// Pointwise: the im2col matrix is the image itself, at whatever
+		// channel stride the caller stored it.
+		cols = x[:int(q.Cin)*inStride]
+		ps = inStride
 	} else {
-		cols = a.cols[:int(q.Cin)*kh*kw*nOut]
-		im2colI8Into(cols, x, int(q.Cin), h, w, kh, kw, stride, padH, padW)
+		cols = a.cols[:int(q.Cin)*kh*kw*pa]
+		im2colI8Into(cols, x, int(q.Cin), h, w, kh, kw, stride, padH, padW, inStride, pa)
 	}
-	q.stdSparse(a, cols, out[:int(q.Cout)*nOut], nOut, pol)
+	q.stdSparse(a, cols, out, nOut, ps, outStride, pol)
 	return outH, outW
 }
 
-// stdSparse is the standard-conv kernel: word-packed ternary matmul into the
+// stdSparse is the standard-conv kernel: SWAR ternary matmul into the
 // hidden planes (int16 mixed, int8 under PolicyInt8), then a ternary 1×1
-// combine with per-channel requantisation — word-packed too when the hidden
-// planes are int8. Both stages shard their rows across the arena's workers
-// when the gather work is large enough.
-func (q *QConv) stdSparse(a *arena, cols, out []int8, nOut int, pol Policy) {
+// combine with per-channel requantisation. ps is the im2col plane stride,
+// outStride the output channel stride; the hidden planes always live at the
+// padded stride pad8(nOut). Both stages shard their rows across the arena's
+// workers when the gather work is large enough.
+func (q *QConv) stdSparse(a *arena, cols, out []int8, nOut, ps, outStride int, pol Policy) {
 	r, cout := int(q.R), int(q.Cout)
+	pa := pad8(nOut)
 	if pol == PolicyInt8 {
-		hidden8 := a.hidden8[:r*nOut]
+		hidden8 := a.hidden8[:r*pa]
 		if a.workers > 0 && len(q.wbSp.idx)*nOut >= parallelThreshold {
-			a.runShards(shardJob{q: q, stage: stageHidden8, cols: cols, hidden8: hidden8, acc: a.acc, nOut: nOut}, r)
+			a.runShards(shardJob{q: q, stage: stageHidden8, cols: cols, hidden8: hidden8, acc: a.acc, nOut: nOut, ps: ps}, r)
 		} else {
-			q.stdHiddenRows8(cols, hidden8, a.acc, nOut, 0, r)
+			q.stdHiddenRows8(cols, hidden8, a.acc, nOut, ps, 0, r)
 		}
 		if a.workers > 0 && len(q.wcSp.idx)*nOut >= parallelThreshold {
-			a.runShards(shardJob{q: q, stage: stageOut8, hidden8: hidden8, acc: a.acc, out: out, nOut: nOut}, cout)
+			a.runShards(shardJob{q: q, stage: stageOut8, hidden8: hidden8, acc: a.acc, out: out, nOut: nOut, os: outStride}, cout)
 		} else {
-			q.stdOutRows8(hidden8, a.acc, out, nOut, 0, cout)
+			q.stdOutRows8(hidden8, a.acc, out, nOut, outStride, 0, cout)
 		}
 		return
 	}
-	hidden := a.hidden[:r*nOut]
+	hidden := a.hidden[:r*pa]
 	if a.workers > 0 && len(q.wbSp.idx)*nOut >= parallelThreshold {
-		a.runShards(shardJob{q: q, stage: stageHidden, cols: cols, hidden: hidden, acc: a.acc, nOut: nOut}, r)
+		a.runShards(shardJob{q: q, stage: stageHidden, cols: cols, hidden: hidden, acc: a.acc, nOut: nOut, ps: ps}, r)
 	} else {
-		q.stdHiddenRows(cols, hidden, a.acc, nOut, 0, r)
+		q.stdHiddenRows(cols, hidden, a.acc, nOut, ps, 0, r)
 	}
 	if a.workers > 0 && len(q.wcSp.idx)*nOut >= parallelThreshold {
-		a.runShards(shardJob{q: q, stage: stageOut, hidden: hidden, acc: a.acc, out: out, nOut: nOut}, cout)
+		a.runShards(shardJob{q: q, stage: stageOut, hidden: hidden, acc: a.acc, out: out, nOut: nOut, os: outStride}, cout)
 	} else {
-		q.stdOutRows(hidden, a.acc, out, nOut, 0, cout)
+		q.stdOutRows(hidden, a.acc, out, nOut, outStride, 0, cout)
 	}
 }
 
@@ -391,62 +416,55 @@ func addPlanesI16(acc []int32, planes []int16, idx []int32, nOut int, sign int32
 	}
 }
 
-// stdHiddenRows computes hidden rows [lo,hi): each row word-gathers its +/−
-// im2col planes into a private int32 accumulator slot, then rescales to
-// int16 through the per-hidden-unit fixed-point multiplier. Accumulator and
-// lane scratch are indexed by row, so sharded workers never touch the same
-// slots.
-func (q *QConv) stdHiddenRows(cols []int8, hidden []int16, accBuf []int32, nOut, lo, hi int) {
+// stdHiddenRows computes hidden rows [lo,hi): each row gathers its +/−
+// im2col planes (at plane stride ps, through the row's chosen layout) into a
+// private int32 accumulator slot, then rescales to int16 through the
+// per-hidden-unit fixed-point multiplier. Accumulator slots and hidden
+// planes are indexed by row at the padded stride, so sharded workers never
+// touch the same slots.
+func (q *QConv) stdHiddenRows(cols []int8, hidden []int16, accBuf []int32, nOut, ps, lo, hi int) {
 	colsB := i8Bytes(cols)
+	pa := pad8(nOut)
 	for i := lo; i < hi; i++ {
-		acc := accBuf[i*nOut:][:nOut]
-		plus, minus := q.wbSp.row(i)
-		gatherPlanesI8W(acc, colsB, plus, minus, nOut)
-		m := q.HidMul[i]
-		dst := hidden[i*nOut:][:nOut]
-		for j, v := range acc {
-			dst[j] = clampI16(m.Apply(v))
-		}
+		acc := accBuf[i*pa:][:pa]
+		q.hidRowQ16(i, hidden[i*pa:][:nOut], acc, colsB, ps)
 	}
 }
 
 // stdHiddenRows8 is stdHiddenRows under PolicyInt8: the hidden planes are
 // stored int8 through the derived hidMul8 requantiser.
-func (q *QConv) stdHiddenRows8(cols []int8, hidden8 []int8, accBuf []int32, nOut, lo, hi int) {
+func (q *QConv) stdHiddenRows8(cols []int8, hidden8 []int8, accBuf []int32, nOut, ps, lo, hi int) {
 	colsB := i8Bytes(cols)
+	pa := pad8(nOut)
 	for i := lo; i < hi; i++ {
-		acc := accBuf[i*nOut:][:nOut]
-		plus, minus := q.wbSp.row(i)
-		gatherPlanesI8W(acc, colsB, plus, minus, nOut)
-		m := q.hidMul8[i]
-		dst := hidden8[i*nOut:][:nOut]
-		for j, v := range acc {
-			dst[j] = clampI8(m.Apply(v))
-		}
+		acc := accBuf[i*pa:][:pa]
+		q.hidRowQ8(i, hidden8[i*pa:][:nOut], acc, colsB, ps)
 	}
 }
 
 // stdOutRows computes output channels [lo,hi) from the int16 hidden planes
 // (mixed policy). int16 planes gain little from byte-lane packing at these
-// widths, so this stage keeps the unrolled index gather.
-func (q *QConv) stdOutRows(hidden []int16, accBuf []int32, out []int8, nOut, lo, hi int) {
+// widths, so this stage keeps the unrolled index gather — at the padded
+// hidden stride, so the pad columns ride along as inert garbage.
+func (q *QConv) stdOutRows(hidden []int16, accBuf []int32, out []int8, nOut, os, lo, hi int) {
+	pa := pad8(nOut)
 	for c := lo; c < hi; c++ {
-		acc := accBuf[c*nOut:][:nOut]
+		acc := accBuf[c*pa:][:pa]
 		plus, minus := q.wcSp.row(c)
-		gatherI16(acc, hidden, plus, minus, nOut)
-		q.requantChannel(out[c*nOut:][:nOut], acc, c)
+		gatherI16(acc, hidden, plus, minus, pa)
+		q.requantChannel(out[c*os:][:nOut], acc, c)
 	}
 }
 
 // stdOutRows8 computes output channels [lo,hi) from int8 hidden planes
-// (PolicyInt8), reusing the same word-packed gather as the first stage.
-func (q *QConv) stdOutRows8(hidden8 []int8, accBuf []int32, out []int8, nOut, lo, hi int) {
+// (PolicyInt8) through each row's chosen layout; only the real nOut columns
+// are written to out.
+func (q *QConv) stdOutRows8(hidden8 []int8, accBuf []int32, out []int8, nOut, os, lo, hi int) {
 	hidB := i8Bytes(hidden8)
+	pa := pad8(nOut)
 	for c := lo; c < hi; c++ {
-		acc := accBuf[c*nOut:][:nOut]
-		plus, minus := q.wcSp.row(c)
-		gatherPlanesI8W(acc, hidB, plus, minus, nOut)
-		q.requantChannel8(out[c*nOut:][:nOut], acc, c)
+		acc := accBuf[c*pa:][:pa]
+		q.outRowQ8(c, out[c*os:][:nOut], acc, hidB, pa)
 	}
 }
 
@@ -491,17 +509,67 @@ func dwGatherTap(hacc []int32, img []int8, ki, kj, h, w, outH, outW, stride, pad
 // (the naive path computes them and then discards the result). Channels are
 // processed serially: per-channel work is tiny and the standard-conv stages
 // dominate.
-func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int, pol Policy) {
+func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int, pol Policy, inStride, outStride int) {
 	kw := int(q.KW)
 	stride := int(q.Stride)
 	padH, padW := int(q.PadH), int(q.PadW)
 	nOut := outH * outW
+	pa := pad8(nOut)
 	r := int(q.R)
 	acc := a.acc[:nOut]
-	hacc := a.acc[nOut:][:nOut]
+	hacc := a.acc[pa:][:pa]
 	act8 := pol == PolicyInt8
+	// The column-lane walk (collane.go) serves callers at the compiled
+	// padded stride; dense-stride callers keep the scalar tap gather. The
+	// edge-shifted loads of the fused path need one full word per plane.
+	useCol := q.dwCol && outStride == q.dwColNG<<3
+	fuse1 := useCol && r == 1 && h*w >= 8
 	for ch := 0; ch < int(q.Cin); ch++ {
-		img := x[ch*h*w:][:h*w]
+		img := x[ch*inStride:]
+		if fuse1 {
+			// One hidden unit per channel: the whole chain fuses into a
+			// single pass (dwColQ8/dwColQ16), no int32 round-trips.
+			var hm, om Mult
+			if act8 {
+				hm, om = q.hidMul8[ch], q.outMul8[ch]
+			} else {
+				hm, om = q.HidMul[ch], q.OutMul[ch]
+			}
+			if !satMult(hm) && !satMult(om) {
+				dst := out[ch*outStride:][:nOut]
+				if wcv := q.wc[ch]; wcv == 0 {
+					// The unit is pruned: the channel requantises a zero
+					// accumulator, a constant.
+					var lo int32 = -128
+					if q.ReLU {
+						lo = 0
+					}
+					half := int64(1) << (om.Shift - 1)
+					v0 := q8(0, int64(om.Mant), half, om.Shift, q.OutBias[ch], lo)
+					for j := range dst {
+						dst[j] = v0
+					}
+				} else {
+					s := int32(1)
+					if wcv < 0 {
+						s = -1
+					}
+					plus, minus := q.wbSp.row(ch)
+					if act8 {
+						q.dwColQ8(dst, i8Bytes(img), plus, minus, hm, s, om, q.OutBias[ch], q.ReLU)
+					} else {
+						q.dwColQ16(dst, i8Bytes(img), plus, minus, hm, s, om, q.OutBias[ch], q.ReLU)
+					}
+				}
+				continue
+			}
+		}
+		var imgB []byte
+		if useCol {
+			imgB = i8Bytes(img)
+		} else {
+			img = img[:h*w]
+		}
 		for j := range acc {
 			acc[j] = 0
 		}
@@ -511,44 +579,40 @@ func (q *QConv) dwSparse(a *arena, x, out []int8, h, w, outH, outW int, pol Poli
 			if wcv == 0 {
 				continue
 			}
-			for j := range hacc {
-				hacc[j] = 0
-			}
 			plus, minus := q.wbSp.row(hu)
-			for _, p := range plus {
-				dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, 1)
-			}
-			for _, p := range minus {
-				dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, -1)
-			}
-			if act8 {
-				m := q.hidMul8[hu]
-				if wcv > 0 {
-					for j, v := range hacc {
-						acc[j] += int32(clampI8(m.Apply(v)))
-					}
-				} else {
-					for j, v := range hacc {
-						acc[j] -= int32(clampI8(m.Apply(v)))
-					}
+			if useCol {
+				gLo, gHi := q.dwColUnit(hacc, imgB, plus, minus)
+				for j := 0; j < gLo<<3 && j < nOut; j++ {
+					hacc[j] = dwColScalarPos(img, plus, minus, h, w, outW, kw, padH, padW, j)
+				}
+				for j := gHi << 3; j < nOut; j++ {
+					hacc[j] = dwColScalarPos(img, plus, minus, h, w, outW, kw, padH, padW, j)
 				}
 			} else {
-				m := q.HidMul[hu]
-				if wcv > 0 {
-					for j, v := range hacc {
-						acc[j] += int32(clampI16(m.Apply(v)))
-					}
-				} else {
-					for j, v := range hacc {
-						acc[j] -= int32(clampI16(m.Apply(v)))
-					}
+				for j := 0; j < nOut; j++ {
+					hacc[j] = 0
 				}
+				for _, p := range plus {
+					dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, 1)
+				}
+				for _, p := range minus {
+					dwGatherTap(hacc, img, int(p)/kw, int(p)%kw, h, w, outH, outW, stride, padH, padW, -1)
+				}
+			}
+			s := int32(1)
+			if wcv < 0 {
+				s = -1
+			}
+			if act8 {
+				foldRowI8(acc, hacc[:nOut], q.hidMul8[hu], s)
+			} else {
+				foldRowI16(acc, hacc[:nOut], q.HidMul[hu], s)
 			}
 		}
 		if act8 {
-			q.requantChannel8(out[ch*nOut:][:nOut], acc, ch)
+			q.requantChannel8(out[ch*outStride:][:nOut], acc, ch)
 		} else {
-			q.requantChannel(out[ch*nOut:][:nOut], acc, ch)
+			q.requantChannel(out[ch*outStride:][:nOut], acc, ch)
 		}
 	}
 }

@@ -31,6 +31,7 @@ package deploy
 import (
 	"encoding/binary"
 	"math"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -71,11 +72,14 @@ func gatherLaneI8(acc []int32, cols []byte, chunks []laneChunk, laneW int) {
 			for _, sp := range ch.plus {
 				off := int(sp.start)*laneW + base
 				for k := int32(0); k < sp.n; k++ {
-					src := cols[off:]
+					// One 32-byte subslice bounds the strip; the compiler
+					// proves the constant-offset loads and drops their
+					// checks.
+					src := cols[off : off+32]
 					w0 := binary.LittleEndian.Uint64(src) ^ biasI8
-					w1 := binary.LittleEndian.Uint64(src[8:]) ^ biasI8
-					w2 := binary.LittleEndian.Uint64(src[16:]) ^ biasI8
-					w3 := binary.LittleEndian.Uint64(src[24:]) ^ biasI8
+					w1 := binary.LittleEndian.Uint64(src[8:16]) ^ biasI8
+					w2 := binary.LittleEndian.Uint64(src[16:24]) ^ biasI8
+					w3 := binary.LittleEndian.Uint64(src[24:32]) ^ biasI8
 					e0 += w0 & laneMaskE8
 					o0 += (w0 >> 8) & laneMaskE8
 					e1 += w1 & laneMaskE8
@@ -90,11 +94,11 @@ func gatherLaneI8(acc []int32, cols []byte, chunks []laneChunk, laneW int) {
 			for _, sp := range ch.minus {
 				off := int(sp.start)*laneW + base
 				for k := int32(0); k < sp.n; k++ {
-					src := cols[off:]
+					src := cols[off : off+32]
 					w0 := binary.LittleEndian.Uint64(src) ^ biasI8Neg
-					w1 := binary.LittleEndian.Uint64(src[8:]) ^ biasI8Neg
-					w2 := binary.LittleEndian.Uint64(src[16:]) ^ biasI8Neg
-					w3 := binary.LittleEndian.Uint64(src[24:]) ^ biasI8Neg
+					w1 := binary.LittleEndian.Uint64(src[8:16]) ^ biasI8Neg
+					w2 := binary.LittleEndian.Uint64(src[16:24]) ^ biasI8Neg
+					w3 := binary.LittleEndian.Uint64(src[24:32]) ^ biasI8Neg
 					e0 += w0 & laneMaskE8
 					o0 += (w0 >> 8) & laneMaskE8
 					e1 += w1 & laneMaskE8
@@ -356,28 +360,20 @@ func (q *QConv) stdLane(a *laneArena, cols, out []int8, nOut int, pol Policy) {
 	if pol == PolicyInt8 {
 		hidden8 := a.hidden8[:r*laneW]
 		for i := 0; i < r; i++ {
-			gatherLaneI8(acc, colsB, q.wbSpan.chunks[i], laneW)
-			m := q.hidMul8[i]
-			dst := hidden8[i*laneW:][:laneW]
-			for j, v := range acc {
-				dst[j] = clampI8(m.Apply(v))
-			}
+			q.gatherWbRow(i, acc, colsB, laneW)
+			requantRowHid8(hidden8[i*laneW:][:laneW], acc, q.hidMul8[i])
 		}
 		hidB := i8Bytes(hidden8)
 		for c := 0; c < cout; c++ {
-			gatherLaneI8(acc, hidB, q.wcSpan.chunks[c], laneW)
+			q.gatherWcRow(c, acc, hidB, laneW)
 			q.requantChannel8(out[c*laneW:][:laneW], acc, c)
 		}
 		return
 	}
 	hidden := a.hidden[:r*laneW]
 	for i := 0; i < r; i++ {
-		gatherLaneI8(acc, colsB, q.wbSpan.chunks[i], laneW)
-		m := q.HidMul[i]
-		dst := hidden[i*laneW:][:laneW]
-		for j, v := range acc {
-			dst[j] = clampI16(m.Apply(v))
-		}
+		q.gatherWbRow(i, acc, colsB, laneW)
+		requantRowHid16(hidden[i*laneW:][:laneW], acc, q.HidMul[i])
 	}
 	// The int16 hidden combine keeps the unrolled index gather (as the
 	// single-frame path does): the planes are int16, so byte-lane packing
@@ -608,12 +604,13 @@ func (t *QTree) forwardLane(a *laneArena, xLane []int8, n int, dst []BatchResult
 }
 
 // runLane classifies one lane's worth of frames (1–8) into dst. Full, valid
-// lanes take the frame-major fast path; short lanes, wrong-length frames,
-// the naive oracle and the telemetry-observed path fall back to the
+// lanes take the frame-major fast path — observed through the instrumented
+// lane pipeline when telemetry is attached, no longer demoted to scalar;
+// short lanes, wrong-length frames and the naive oracle fall back to the
 // per-frame scalar kernels, and a panic escaping the lane path is retried
 // per frame so only the faulting frame reports an error.
 func (e *Engine) runLane(xs [][]float32, dst []BatchResult) {
-	if len(xs) >= laneMinFrames && !e.Naive && e.obs == nil {
+	if len(xs) >= laneMinFrames && !e.Naive {
 		want := int(e.Frames) * int(e.Coeffs)
 		ok := true
 		for _, x := range xs {
@@ -644,6 +641,10 @@ func (e *Engine) laneInfer(xs [][]float32, dst []BatchResult) (ok bool) {
 			ok = false
 		}
 	}()
+	if e.obs != nil {
+		e.laneInferObserved(a, xs, dst)
+		return true
+	}
 	pol := a.pol
 	want := int(e.Frames) * int(e.Coeffs)
 	e.quantizeLane(a.imgA[:want*laneFrames], xs)
@@ -658,4 +659,49 @@ func (e *Engine) laneInfer(xs [][]float32, dst []BatchResult) (ok bool) {
 	ph, pw := poolLaneInto(a.pooled, img, c, h, w, int(e.PoolK), int(e.PoolS))
 	e.Tree.forwardLane(a, a.pooled[:c*ph*pw*laneFrames], len(xs), dst)
 	return true
+}
+
+// laneInferObserved is laneInfer's body with per-layer attribution, the lane
+// counterpart of inferArenaObserved: a span and a latency observation around
+// every stage (each covering all frames of the lane), the whole-lane latency
+// in InferNs, and the lane/frame/span work counters. Kept separate so the
+// unobserved lane path retains its exact instruction stream.
+func (e *Engine) laneInferObserved(a *laneArena, xs [][]float32, dst []BatchResult) {
+	o := e.obs
+	root := o.tracer.Span("engine.lane")
+	t0 := time.Now()
+	pol := a.pol
+	want := int(e.Frames) * int(e.Coeffs)
+	e.quantizeLane(a.imgA[:want*laneFrames], xs)
+	img, next := a.imgA, a.imgB
+	h, w := int(e.Frames), int(e.Coeffs)
+	for i, conv := range e.Convs {
+		sp := root.Child(o.LayerNames[i])
+		tl := time.Now()
+		oh, ow := conv.forwardLane(a, img[:int(conv.Cin)*h*w*laneFrames], next, h, w, pol)
+		o.LayerNs[i].ObserveSince(tl)
+		sp.End()
+		img, next = next, img
+		h, w = oh, ow
+	}
+	nLayers := len(e.Convs)
+	c := int(e.Convs[nLayers-1].Cout)
+	sp := root.Child("pool")
+	tl := time.Now()
+	ph, pw := poolLaneInto(a.pooled, img, c, h, w, int(e.PoolK), int(e.PoolS))
+	o.LayerNs[nLayers].ObserveSince(tl)
+	sp.End()
+	sp = root.Child("tree")
+	tl = time.Now()
+	e.Tree.forwardLane(a, a.pooled[:c*ph*pw*laneFrames], len(xs), dst)
+	o.LayerNs[nLayers+1].ObserveSince(tl)
+	sp.End()
+	o.InferNs.ObserveSince(t0)
+	n := int64(len(xs))
+	o.Infers.Add(n)
+	o.Gathers.Add(o.gathersPerInfer * n)
+	o.LaneLanes.Inc()
+	o.LaneFrames.Add(n)
+	o.Spans.Add(o.spansPerLane)
+	root.End()
 }

@@ -34,19 +34,21 @@ func randMults(rng *rand.Rand, n int) []Mult {
 // property-tested without a full engine.
 func arenaForConv(q *QConv, h, w int) *arena {
 	oh, ow := q.outSize(h, w)
-	nOut := oh * ow
+	// Internal plane and accumulator slots live at the column-lane padded
+	// stride even when the caller's input/output strides are dense.
+	pa := pad8(oh * ow)
 	rows := int(q.R)
 	if q.Kind == kindStandard && int(q.Cout) > rows {
 		rows = int(q.Cout)
 	}
-	acc := rows * nOut
+	acc := rows * pa
 	if q.Kind == kindDepthwise {
-		acc = 2 * nOut
+		acc = 2 * pa
 	}
 	return &arena{
-		cols:    make([]int8, int(q.Cin)*int(q.KH)*int(q.KW)*nOut),
-		hidden:  make([]int16, int(q.R)*nOut),
-		hidden8: make([]int8, int(q.R)*nOut),
+		cols:    make([]int8, int(q.Cin)*int(q.KH)*int(q.KW)*pa),
+		hidden:  make([]int16, int(q.R)*pa),
+		hidden8: make([]int8, int(q.R)*pa),
 		acc:     make([]int32, acc),
 	}
 }
@@ -112,7 +114,7 @@ func TestSparseConvMatchesNaive(t *testing.T) {
 		got := make([]int8, int(q.Cout)*oh*ow)
 		for _, pol := range []Policy{PolicyMixed, PolicyInt8} {
 			want, _, _ := q.forwardRef(x, h, w, pol)
-			q.forwardInto(a, x, got, h, w, pol)
+			q.forwardInto(a, x, got, h, w, pol, h*w, oh*ow)
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("seed %d kind %q pol %v: sparse[%d]=%d naive=%d", seed, q.Kind, pol, i, got[i], want[i])

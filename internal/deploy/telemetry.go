@@ -24,8 +24,16 @@ type Observer struct {
 	Gathers    *telemetry.Counter // gather-add visits (compiled nonzero work)
 	ArenaBytes *telemetry.Gauge   // high-water scratch bytes across all arenas
 
+	// Batch lane-path accounting (lane.go): attaching an observer no longer
+	// demotes lanes to the scalar path, it routes them through the observed
+	// lane pipeline, which feeds these.
+	LaneLanes  *telemetry.Counter // lane dispatches taken by InferBatch
+	LaneFrames *telemetry.Counter // frames classified on the lane path
+	Spans      *telemetry.Counter // span sweeps decoded by lane gathers
+
 	tracer          *telemetry.Tracer
 	gathersPerInfer int64
+	spansPerLane    int64
 }
 
 // EnableTelemetry compiles the engine's kernels and attaches an observer
@@ -40,6 +48,9 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 		InferNs:    reg.LatencyHistogram("engine.infer.ns"),
 		Gathers:    reg.Counter("engine.gather.visits"),
 		ArenaBytes: reg.Gauge("engine.arena.bytes.highwater"),
+		LaneLanes:  reg.Counter("engine.lane.lanes"),
+		LaneFrames: reg.Counter("engine.lane.frames"),
+		Spans:      reg.Counter("engine.lane.spans"),
 		tracer:     tracer,
 	}
 	h, w := int(e.Frames), int(e.Coeffs)
@@ -60,8 +71,37 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 		reg.LatencyHistogram("engine.pool.ns"),
 		reg.LatencyHistogram("engine.tree.ns"))
 	o.gathersPerInfer += e.Tree.gatherVisits()
+	o.spansPerLane = e.spansPerLane()
 	e.obs = o
 	return o
+}
+
+// spansPerLane counts the span sweeps one batch lane decodes: every compiled
+// span of every row the lane path walks at the engine's current policy (the
+// int16 hidden combine under the mixed policy keeps the index gather, so its
+// wcSpan rows are excluded).
+func (e *Engine) spansPerLane() int64 {
+	countSpans := func(s *spanRows) int64 {
+		var n int64
+		for _, chs := range s.chunks {
+			for _, ch := range chs {
+				n += int64(len(ch.plus) + len(ch.minus))
+			}
+		}
+		return n
+	}
+	var n int64
+	for _, q := range e.Convs {
+		if q.Kind != kindStandard {
+			continue
+		}
+		n += countSpans(&q.wbSpan)
+		if e.Policy == PolicyInt8 {
+			n += countSpans(&q.wcSpan)
+		}
+	}
+	n += countSpans(&e.Tree.Z.wbSpan)
+	return n
 }
 
 // gatherVisits counts one inference's gather-add work through this conv:
@@ -114,21 +154,25 @@ func (e *Engine) inferArenaObserved(a *arena, x []float32, pol Policy) ([]int32,
 	e.quantizeInto(a.imgA[:len(x)], x)
 	img, next := a.imgA, a.imgB
 	h, w := int(e.Frames), int(e.Coeffs)
+	st := h * w
 	for i, conv := range e.Convs {
 		sp := root.Child(o.LayerNames[i])
 		tl := time.Now()
-		oh, ow := conv.forwardInto(a, img[:int(conv.Cin)*h*w], next, h, w, pol)
+		oh, ow := conv.outSize(h, w)
+		ost := pad8(oh * ow)
+		conv.forwardInto(a, img[:int(conv.Cin)*st], next, h, w, pol, st, ost)
 		o.LayerNs[i].ObserveSince(tl)
 		sp.End()
 		img, next = next, img
 		h, w = oh, ow
+		st = ost
 	}
 	nLayers := len(e.Convs)
 	c := int(e.Convs[nLayers-1].Cout)
 	sp := root.Child("pool")
 	tl := time.Now()
 	pooled := a.pooled
-	ph, pw := poolInto(pooled, img, c, h, w, int(e.PoolK), int(e.PoolS))
+	ph, pw := poolInto(pooled, img, c, h, w, int(e.PoolK), int(e.PoolS), st)
 	o.LayerNs[nLayers].ObserveSince(tl)
 	sp.End()
 	sp = root.Child("tree")

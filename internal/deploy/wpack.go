@@ -1,0 +1,186 @@
+package deploy
+
+// Two-bit-packed weight walks.
+//
+// The index-list (kernels.go) and span (span.go) row forms visit only the
+// nonzero taps of a ternary row, which is the right trade at the densities
+// TWN usually produces — but each visit pays data-dependent control flow:
+// the next plane base comes from a load of the index list, so a row whose
+// nonzeros are dense and fragmented (many length-1 spans of alternating
+// sign) stalls on branches and index traffic. This file re-encodes such rows
+// as packed weight words — 2 bits per tap, 32 taps per 64-bit word, the same
+// 01→+1 / 10→−1 codes as the serialized PackTernary form — and walks every
+// tap branchlessly with mask-select adds:
+//
+//	pm   = −(code & 1)        all-ones when the tap is +1
+//	mm   = −(code >> 1)       all-ones when the tap is −1
+//	zm   = pm | mm            select mask: zero taps contribute nothing
+//	bsel = biasI8 ^ mm        +1 bias word, flipped to biasI8Neg for −1
+//	t    = (x ^ bsel) & zm    the tap's SWAR contribution
+//
+// because biasI8Neg = ^biasI8, one XOR turns the +1 identity v⊕0x80 = v+128
+// into the −1 identity v⊕0x7f = 127−v (bitplane.go). A zero tap masks to an
+// exact zero, so the per-chunk bias correction counts only the nonzero taps
+// and the walk stays bit-identical to the scalar gathers: every 16-bit lane
+// holds at most 256·255 < 2¹⁶ before its fold, and int32 addition commutes
+// mod 2³². The inner loop has no data-dependent branches at all — the only
+// bounds are shape-derived (the ragged last word of a row walks taps%32
+// codes). The compile-time cost model (cost.go) decides per row whether the
+// zero-visiting packed walk beats the nonzero-only span walk.
+
+import "encoding/binary"
+
+// packedTapsPerWord is how many 2-bit ternary codes one weight word carries.
+const packedTapsPerWord = 32
+
+// packedRows is a ternary matrix in two-bit-packed row form: per row,
+// ⌈taps/32⌉ weight words and one bias correction per fold chunk of 8 words
+// (256 taps, the SWAR fold budget).
+type packedRows struct {
+	words []uint64 // [rows · nw] 2-bit tap codes, 32 per word
+	corr  []int32  // [rows · nc] per-chunk corrections 128·n₊ + 127·n₋
+	nw    int      // weight words per row
+	nc    int      // fold chunks per row
+	taps  int      // taps per row (the plane count)
+}
+
+// compilePackedRows builds the two-bit-packed form of a dense ternary matrix
+// [rows, taps].
+func compilePackedRows(w []int8, rows, taps int) packedRows {
+	nw := (taps + packedTapsPerWord - 1) / packedTapsPerWord
+	nc := (nw + 7) >> 3
+	if nc == 0 {
+		nc = 1
+	}
+	p := packedRows{
+		words: make([]uint64, rows*nw),
+		corr:  make([]int32, rows*nc),
+		nw:    nw,
+		nc:    nc,
+		taps:  taps,
+	}
+	for r := 0; r < rows; r++ {
+		row := w[r*taps : (r+1)*taps]
+		for c, v := range row {
+			if v == 0 {
+				continue
+			}
+			code := uint64(0b01)
+			bias := int32(128)
+			if v < 0 {
+				code = 0b10
+				bias = 127
+			}
+			p.words[r*nw+c/packedTapsPerWord] |= code << (2 * (c % packedTapsPerWord))
+			p.corr[r*p.nc+(c>>8)] += bias
+		}
+	}
+	return p
+}
+
+// gatherRow accumulates row r's ternary plane combination into acc:
+// acc[j] = Σ₊ cols[p·stride+j] − Σ₋ cols[m·stride+j] for j in [0, stride),
+// walking every tap (zeros included) through the branchless mask-select. The
+// column tiling mirrors gatherLaneI8: four 8-wide groups per tile with the
+// tap walk innermost, so the eight lane accumulators stay in registers for a
+// whole fold chunk. Positions past the last full group run scalar — the
+// engine's padded strides never have such a tail, but property tests do.
+func (p *packedRows) gatherRow(r int, acc []int32, cols []byte, stride int) {
+	nG := stride >> 3
+	acc = acc[:stride]
+	words := p.words[r*p.nw : (r+1)*p.nw]
+	corrs := p.corr[r*p.nc : (r+1)*p.nc]
+	for j := nG << 3; j < stride; j++ {
+		var s int32
+		for wi, cw := range words {
+			off := wi * packedTapsPerWord * stride
+			for ; cw != 0; cw >>= 2 {
+				if cw&1 != 0 {
+					s += int32(int8(cols[off+j]))
+				} else if cw&2 != 0 {
+					s -= int32(int8(cols[off+j]))
+				}
+				off += stride
+			}
+		}
+		acc[j] = s
+	}
+	if nG == 0 {
+		return
+	}
+	for ci, corr := range corrs {
+		wlo := ci << 3
+		whi := wlo + 8
+		if whi > p.nw {
+			whi = p.nw
+		}
+		first := ci == 0
+		g := 0
+		for ; g+3 < nG; g += 4 {
+			base := g << 3
+			var e0, o0, e1, o1, e2, o2, e3, o3 uint64
+			off := wlo * packedTapsPerWord * stride
+			tap := wlo * packedTapsPerWord
+			for wi := wlo; wi < whi; wi++ {
+				cw := words[wi]
+				kMax := p.taps - tap
+				if kMax > packedTapsPerWord {
+					kMax = packedTapsPerWord
+				}
+				for k := 0; k < kMax; k++ {
+					mm := -(cw >> 1 & 1)
+					zm := (-(cw & 1)) | mm
+					bsel := biasI8 ^ mm
+					cw >>= 2
+					// One 32-byte subslice bounds the strip; the compiler
+					// proves the constant-offset loads and drops their
+					// checks.
+					src := cols[off+base : off+base+32]
+					w0 := (binary.LittleEndian.Uint64(src) ^ bsel) & zm
+					w1 := (binary.LittleEndian.Uint64(src[8:16]) ^ bsel) & zm
+					w2 := (binary.LittleEndian.Uint64(src[16:24]) ^ bsel) & zm
+					w3 := (binary.LittleEndian.Uint64(src[24:32]) ^ bsel) & zm
+					e0 += w0 & laneMaskE8
+					o0 += (w0 >> 8) & laneMaskE8
+					e1 += w1 & laneMaskE8
+					o1 += (w1 >> 8) & laneMaskE8
+					e2 += w2 & laneMaskE8
+					o2 += (w2 >> 8) & laneMaskE8
+					e3 += w3 & laneMaskE8
+					o3 += (w3 >> 8) & laneMaskE8
+					off += stride
+				}
+				tap += packedTapsPerWord
+			}
+			spreadLanes(acc[base:], e0, o0, corr, first)
+			spreadLanes(acc[base+8:], e1, o1, corr, first)
+			spreadLanes(acc[base+16:], e2, o2, corr, first)
+			spreadLanes(acc[base+24:], e3, o3, corr, first)
+		}
+		for ; g < nG; g++ {
+			base := g << 3
+			var ev, od uint64
+			off := wlo * packedTapsPerWord * stride
+			tap := wlo * packedTapsPerWord
+			for wi := wlo; wi < whi; wi++ {
+				cw := words[wi]
+				kMax := p.taps - tap
+				if kMax > packedTapsPerWord {
+					kMax = packedTapsPerWord
+				}
+				for k := 0; k < kMax; k++ {
+					mm := -(cw >> 1 & 1)
+					zm := (-(cw & 1)) | mm
+					bsel := biasI8 ^ mm
+					cw >>= 2
+					w := (binary.LittleEndian.Uint64(cols[off+base:]) ^ bsel) & zm
+					ev += w & laneMaskE8
+					od += (w >> 8) & laneMaskE8
+					off += stride
+				}
+				tap += packedTapsPerWord
+			}
+			spreadLanes(acc[base:], ev, od, corr, first)
+		}
+	}
+}

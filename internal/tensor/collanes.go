@@ -1,0 +1,39 @@
+package tensor
+
+// Column-lane ("padded-stride") layout helpers.
+//
+// The deploy engine's single-frame column-lane kernels keep one frame's
+// activations in plane-major order but round every plane's stride up to the
+// SWAR group width, so a 64-bit load always reads eight in-plane columns and
+// no kernel needs a scalar tail. These helpers transpose between the dense
+// row-major form and the padded-stride form; the pad columns carry garbage
+// by design (the consuming kernels are position-wise, so pad lanes can never
+// leak into real outputs).
+
+// ColGroup is the number of columns one 64-bit SWAR load covers; padded
+// strides are multiples of it.
+const ColGroup = 8
+
+// PadStride returns the column-lane stride for a row of n elements: n
+// rounded up to the next multiple of ColGroup.
+func PadStride(n int) int { return (n + ColGroup - 1) &^ (ColGroup - 1) }
+
+// PadCols8 spreads a dense row-major matrix [rows × cols] into dst at the
+// padded stride, returning the stride. dst must hold rows·PadStride(cols)
+// elements; the pad columns are left untouched.
+func PadCols8[T any](dst, src []T, rows, cols int) int {
+	stride := PadStride(cols)
+	for r := 0; r < rows; r++ {
+		copy(dst[r*stride:r*stride+cols], src[r*cols:(r+1)*cols])
+	}
+	return stride
+}
+
+// UnpadCols8 gathers the real columns of a padded-stride matrix back into
+// dense row-major form: dst[r·cols+c] = src[r·PadStride(cols)+c].
+func UnpadCols8[T any](dst, src []T, rows, cols int) {
+	stride := PadStride(cols)
+	for r := 0; r < rows; r++ {
+		copy(dst[r*cols:(r+1)*cols], src[r*stride:r*stride+cols])
+	}
+}

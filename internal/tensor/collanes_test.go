@@ -1,0 +1,46 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPadColsRoundTrip: spreading a dense matrix to the padded column-lane
+// stride and gathering it back must be the identity for every ragged width,
+// and must never touch the pad columns.
+func TestPadColsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, cols := range []int{1, 2, 7, 8, 9, 15, 16, 25, 125} {
+		rows := 1 + rng.Intn(5)
+		stride := PadStride(cols)
+		if stride%ColGroup != 0 || stride < cols || stride-cols >= ColGroup {
+			t.Fatalf("PadStride(%d) = %d: not the next multiple of %d", cols, stride, ColGroup)
+		}
+		src := make([]int8, rows*cols)
+		for i := range src {
+			src[i] = int8(rng.Intn(256) - 128)
+		}
+		padded := make([]int8, rows*stride)
+		const sentinel = 99
+		for i := range padded {
+			padded[i] = sentinel
+		}
+		if got := PadCols8(padded, src, rows, cols); got != stride {
+			t.Fatalf("PadCols8 stride = %d, want %d", got, stride)
+		}
+		for r := 0; r < rows; r++ {
+			for c := cols; c < stride; c++ {
+				if padded[r*stride+c] != sentinel {
+					t.Fatalf("cols=%d row %d: pad column %d overwritten", cols, r, c)
+				}
+			}
+		}
+		back := make([]int8, rows*cols)
+		UnpadCols8(back, padded, rows, cols)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("cols=%d: round trip diverges at %d: %d != %d", cols, i, back[i], src[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Forced-layout benchmarks: the single-frame int8 path with every standard
+// conv row pinned to one compiled form, isolating the per-layout kernels the
+// cost model (internal/deploy cost.go) arbitrates between. kws-bench v4
+// reports the same split as speedup_int8_vs_float per layout.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+)
+
+func benchEngineInt8Layout(b *testing.B, k deploy.LayoutKind) {
+	e := deploy.SyntheticEngine(9, 0.35)
+	e.Policy = deploy.PolicyInt8
+	x := benchEngineInput(e, 10)
+	e.InferInt(x) // warm up: compile + arena
+	e.SetForceLayout(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.InferInt(x)
+	}
+}
+
+func BenchmarkEngineInferInt8Runs(b *testing.B) {
+	benchEngineInt8Layout(b, deploy.LayoutRuns)
+}
+
+func BenchmarkEngineInferInt8Spans(b *testing.B) {
+	benchEngineInt8Layout(b, deploy.LayoutSpans)
+}
+
+func BenchmarkEngineInferInt8Packed2b(b *testing.B) {
+	benchEngineInt8Layout(b, deploy.LayoutPacked2b)
+}
