@@ -84,6 +84,24 @@ grep -q '"batch_parity_1000_frames": true' "$BDIR/bench-engine.json"
 grep -q '"telemetry_parity_1000_frames": true' "$BDIR/bench-engine.json"
 rm -rf "$BDIR"
 
+# Observability gauntlet (unit layer).
+# (1) Prometheus text-exposition golden file: the rendered /metrics?format=prom
+#     output for a deterministic registry must match testdata byte-for-byte
+#     (regenerate with `go test ./internal/telemetry -run Golden -update`).
+go test -count=1 -run='TestWritePrometheusGolden|TestWritePrometheusFormat' ./internal/telemetry
+# (2) Flight-recorder and hop-trace concurrency properties under the race
+#     detector: concurrent writers vs dumpers, wraparound ordering, torn-entry
+#     invariants, and the histogram snapshot-consistency hammer.
+go test -race -count=1 \
+    -run='TestFlightRecorder|TestTraceStore|TestHistogramSnapshotConsistency' \
+    ./internal/telemetry
+# (3) Hot-path cost gates: recording a flight event and opening/committing a
+#     hop trace must both run allocation-free — the flight recorder sits on
+#     the session close/breaker/shed paths and the tracer on every chunk.
+BENCH_OBS="$(go test -run='^$' -bench='^Benchmark(FlightRecord|TraceBeginCommit)$' -benchmem -benchtime=100x ./internal/telemetry)"
+echo "$BENCH_OBS"
+[ "$(echo "$BENCH_OBS" | grep -c ' 0 allocs/op')" -eq 2 ]
+
 # Telemetry-server smoke: a live kws-stream must answer /healthz with an ok
 # status and expose non-empty stream counters on /metrics while it holds.
 TDIR="$(mktemp -d)"
@@ -146,6 +164,21 @@ curl -sf http://127.0.0.1:19471/healthz | grep -q '"status": "ok"'
 curl -sf http://127.0.0.1:19471/metrics > "$SDIR/serve-metrics.txt"
 grep -q '^serve\.sessions\.opened [1-9]' "$SDIR/serve-metrics.txt"
 grep -q '^serve\.chunks [1-9]' "$SDIR/serve-metrics.txt"
+# Observability endpoints on the live daemon: Prometheus exposition must
+# carry the serve counters and the hop-latency histogram, /slo must report
+# all three objectives with the budget intact after a clean drive, and the
+# flight recorder must hold session open/close events from the drive.
+curl -sf 'http://127.0.0.1:19471/metrics?format=prom' > "$SDIR/serve-prom.txt"
+grep -q '^serve_sessions_opened_total [1-9]' "$SDIR/serve-prom.txt"
+grep -q '^serve_hop_e2e_ns_bucket' "$SDIR/serve-prom.txt"
+grep -q '^serve_sessions_closed_client_close_total [1-9]' "$SDIR/serve-prom.txt"
+curl -sf http://127.0.0.1:19471/slo > "$SDIR/serve-slo.txt"
+grep -q '"name": "hop-p99"' "$SDIR/serve-slo.txt"
+grep -q '"name": "clean-close"' "$SDIR/serve-slo.txt"
+grep -q '"name": "event-delivery"' "$SDIR/serve-slo.txt"
+curl -sf http://127.0.0.1:19471/debug/flight > "$SDIR/serve-flight.json"
+grep -q '"kind": "session.open"' "$SDIR/serve-flight.json"
+grep -q '"kind": "session.close"' "$SDIR/serve-flight.json"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 rm -rf "$SDIR"

@@ -46,16 +46,50 @@ type serveReport struct {
 	HopP95Ns int64 `json:"hop_p95_ns"`
 	HopP99Ns int64 `json:"hop_p99_ns"`
 
+	// HopE2EP99Ns is the end-to-end hop pipeline latency (ingress → lane →
+	// infer → done) from the tracing layer attached to the main run.
+	HopE2EP99Ns int64 `json:"hop_e2e_p99_ns"`
+
 	// Absorbed counts every fault the server ate without letting it out of
 	// its session, by kind.
 	Absorbed map[string]int64 `json:"absorbed"`
+
+	// FlightEvents is how many structured events the flight recorder logged
+	// over the run (admissions, trips, quarantines, sheds, drain phases).
+	FlightEvents uint64 `json:"flight_events"`
 
 	DrainSessions  int   `json:"drain_sessions"`
 	DrainForced    int   `json:"drain_forced"`
 	DrainLeaked    int   `json:"drain_leaked"`
 	DrainElapsedMs int64 `json:"drain_elapsed_ms"`
 
+	// TelemetryOverhead compares a fully observed serving run (registry +
+	// flight recorder + hop tracing + engine lane counters) against a
+	// detached run of the same load. The gate: attached throughput within
+	// 10% of detached, and the engine must still take the SWAR lane path
+	// (attaching telemetry must not demote batches to scalar).
+	TelemetryOverhead overheadReport `json:"telemetry_overhead"`
+
 	Note string `json:"note,omitempty"`
+}
+
+// overheadReport is the telemetry-overhead row: detached vs attached
+// throughput on an identical clean load, best of two runs each.
+type overheadReport struct {
+	Sessions              int     `json:"sessions"`
+	DetachedSamplesPerSec float64 `json:"detached_samples_per_sec"`
+	AttachedSamplesPerSec float64 `json:"attached_samples_per_sec"`
+	// OverheadFrac = 1 - attached/detached, clamped at 0.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// LaneBatches counts lane dispatches the serve layer coalesced;
+	// EngineLaneFrames counts frames the engine classified on the SWAR lane
+	// path. LanePathRetained requires frames on the lane path whenever
+	// batches were dispatched.
+	LaneBatches      int64 `json:"lane_batches"`
+	EngineLaneFrames int64 `json:"engine_lane_frames"`
+	LanePathRetained bool  `json:"lane_path_retained"`
+	// Pass gates the row: overhead <= 10% and the lane path retained.
+	Pass bool `json:"pass"`
 }
 
 // benchServe drives the serving core with cfgSessions concurrent sessions
@@ -70,6 +104,8 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 		lanes = 1
 	}
 	const laneBatch = 16
+	flight := telemetry.NewFlightRecorder(1 << 14)
+	traces := telemetry.NewTraceStore(1 << 12)
 	srv, err := serve.New(serve.Config{
 		Engine:          eng,
 		SampleRate:      4000,
@@ -79,6 +115,8 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 		Lanes:           lanes,
 		LaneBatch:       laneBatch,
 		Registry:        reg,
+		Flight:          flight,
+		Traces:          traces,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kws-bench:", err)
@@ -130,8 +168,9 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 	cancel()
 
 	hop := reg.LatencyHistogram("stream.hop.ns").Snapshot(false)
+	hopE2E := reg.LatencyHistogram("serve.hop.e2e.ns").Snapshot(false)
 	rep := serveReport{
-		Schema:         "kws-serve-bench/v1",
+		Schema:         "kws-serve-bench/v2",
 		Generated:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
@@ -148,6 +187,8 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 		HopP50Ns:       hop.P50,
 		HopP95Ns:       hop.P95,
 		HopP99Ns:       hop.P99,
+		HopE2EP99Ns:    hopE2E.P99,
+		FlightEvents:   flight.Total(),
 		Absorbed: map[string]int64{
 			"scrubbed_samples":   reg.Counter("stream.faults.scrubbed").Value(),
 			"clipped_samples":    reg.Counter("stream.faults.clipped").Value(),
@@ -170,6 +211,7 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 	if rep.NumCPU == 1 {
 		rep.Note = "single-CPU host: all sessions timeslice one core, so hop latency reflects queueing, not engine speed"
 	}
+	rep.TelemetryOverhead = benchTelemetryOverhead(seed, density)
 
 	if load.CleanSessionsLost > 0 {
 		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: %d clean sessions lost under fault load\n", load.CleanSessionsLost)
@@ -178,10 +220,102 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: only %d/%d sessions sustained (headline: >=1000)\n",
 			load.SessionsSustained, sessions)
 	}
+	if !rep.TelemetryOverhead.Pass {
+		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: telemetry overhead %.1f%% (gate 10%%), lane path retained=%v\n",
+			rep.TelemetryOverhead.OverheadFrac*100, rep.TelemetryOverhead.LanePathRetained)
+	}
 
 	writeReport(rep, out)
-	fmt.Printf("kws-bench: serve %d sessions (%d faulty, peak %d concurrent), %d sustained, %d clean lost, hop p50 %.2fms p99 %.2fms, drain %dms -> %s\n",
+	fmt.Printf("kws-bench: serve %d sessions (%d faulty, peak %d concurrent), %d sustained, %d clean lost, hop p50 %.2fms p99 %.2fms, telemetry overhead %.1f%%, drain %dms -> %s\n",
 		load.Sessions, load.FaultySessions, rep.PeakConcurrent, load.SessionsSustained,
 		load.CleanSessionsLost, float64(rep.HopP50Ns)/1e6, float64(rep.HopP99Ns)/1e6,
-		rep.DrainElapsedMs, out)
+		rep.TelemetryOverhead.OverheadFrac*100, rep.DrainElapsedMs, out)
+}
+
+// overheadSessions sizes the detached/attached comparison runs: enough load
+// to coalesce real lane batches, short enough to run twice per mode.
+const overheadSessions = 200
+
+// benchTelemetryOverhead measures what the full observability stack costs:
+// an identical clean load is slammed through the serving core detached (no
+// registry, no flight recorder, no tracing) and attached (all of it, plus
+// engine lane counters), best of two runs each, and the throughput delta is
+// the overhead. The attached run also proves the engine still took the SWAR
+// lane path — attaching telemetry must not demote batches to scalar.
+func benchTelemetryOverhead(seed int64, density float64) overheadReport {
+	best := func(attached bool) (sps float64, batches, frames int64) {
+		for i := 0; i < 2; i++ {
+			s, b, f := overheadRun(seed+int64(i), density, attached)
+			if s > sps {
+				sps, batches, frames = s, b, f
+			}
+		}
+		return
+	}
+	detached, _, _ := best(false)
+	attached, laneBatches, laneFrames := best(true)
+
+	rep := overheadReport{
+		Sessions:              overheadSessions,
+		DetachedSamplesPerSec: detached,
+		AttachedSamplesPerSec: attached,
+		LaneBatches:           laneBatches,
+		EngineLaneFrames:      laneFrames,
+		LanePathRetained:      laneBatches == 0 || laneFrames > 0,
+	}
+	if detached > 0 && attached < detached {
+		rep.OverheadFrac = 1 - attached/detached
+	}
+	rep.Pass = rep.OverheadFrac <= 0.10 && rep.LanePathRetained
+	return rep
+}
+
+// overheadRun drives one clean in-process load and reports its sustained
+// sample throughput. Attached runs carry the registry, flight recorder, hop
+// tracing, and engine telemetry; detached runs none of it.
+func overheadRun(seed int64, density float64, attached bool) (samplesPerSec float64, laneBatches, laneFrames int64) {
+	eng := deploy.SyntheticEngine(seed, density)
+	lanes := runtime.NumCPU() / 2
+	if lanes < 1 {
+		lanes = 1
+	}
+	cfg := serve.Config{
+		Engine:          eng,
+		SampleRate:      4000,
+		MaxSessions:     overheadSessions + 64,
+		IdleTimeout:     60 * time.Second,
+		ClassifyTimeout: 30 * time.Second,
+		Lanes:           lanes,
+		LaneBatch:       16,
+	}
+	var reg *telemetry.Registry
+	if attached {
+		reg = telemetry.NewRegistry()
+		eng.EnableTelemetry(reg, nil)
+		cfg.Registry = reg
+		cfg.Flight = telemetry.NewFlightRecorder(1 << 13)
+		cfg.Traces = telemetry.NewTraceStore(1 << 12)
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+		os.Exit(1)
+	}
+	load := serve.RunLoad(serve.DirectTarget{Srv: srv}, serve.LoadConfig{
+		Sessions:    overheadSessions,
+		Seconds:     1,
+		ChunkMs:     250,
+		Seed:        seed + 2,
+		PushRetries: 400,
+		RetryEvery:  5 * time.Millisecond,
+		WaitClose:   60 * time.Second,
+	})
+	dctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	srv.Drain(dctx)
+	cancel()
+	if attached {
+		laneBatches = reg.Histogram("serve.lane.batch_frames", nil).Snapshot(false).Count
+		laneFrames = reg.Counter("engine.lane.frames").Value()
+	}
+	return load.SamplesPerSec, laneBatches, laneFrames
 }

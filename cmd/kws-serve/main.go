@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,11 @@ func main() {
 	featMean := flag.Float64("feat-mean", 0, "feature normalisation mean (must match training)")
 	featStd := flag.Float64("feat-std", 1, "feature normalisation std (must match training)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	flightEvents := flag.Int("flight-events", 4096, "flight-recorder ring capacity in events (0 disables)")
+	traceCap := flag.Int("trace-cap", 4096, "hop-trace store capacity in traces (0 disables)")
+	sloHopP99 := flag.Duration("slo-hop-p99", 50*time.Millisecond, "hop-latency SLO: 99% of hops must finish within this")
+	sloWindows := flag.String("slo-windows", "30s,2m,10m", "comma-separated SLO burn-rate windows, shortest first")
+	sloAdaptive := flag.Bool("slo-adaptive", false, "tighten the session cap while the error budget burns (budget-aware degradation)")
 
 	drive := flag.String("drive", "", "run as a load generator against this kws-serve address instead of serving")
 	sessions := flag.Int("sessions", 100, "drive: concurrent sessions")
@@ -97,6 +103,19 @@ func main() {
 		dcfg.IgnoreClass2 = speechcmd.UnknownClass
 	}
 
+	var flight *telemetry.FlightRecorder
+	if *flightEvents > 0 {
+		flight = telemetry.NewFlightRecorder(*flightEvents)
+	}
+	var traces *telemetry.TraceStore
+	if *traceCap > 0 {
+		traces = telemetry.NewTraceStore(*traceCap)
+	}
+	windows, err := parseWindows(*sloWindows)
+	if err != nil {
+		fatal(log, err)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Engine:       eng,
 		Detector:     dcfg,
@@ -110,7 +129,14 @@ func main() {
 		LaneBatch:    *laneBatch,
 		SoftMemLimit: *memLimit,
 		Registry:     reg,
-		Logger:       log,
+		Flight:       flight,
+		Traces:       traces,
+		SLO: serve.SLOConfig{
+			HopP99Target: *sloHopP99,
+			Windows:      windows,
+			Adaptive:     *sloAdaptive,
+		},
+		Logger: log,
 	})
 	if err != nil {
 		fatal(log, err)
@@ -128,6 +154,13 @@ func main() {
 		tsrv = telemetry.NewServer(reg, nil)
 		tsrv.AddCheck("engine", eng.Validate)
 		tsrv.AddCheck("serve", srv.Health)
+		if flight != nil {
+			tsrv.Handle("/debug/flight", flight)
+		}
+		if traces != nil {
+			tsrv.Handle("/debug/trace", traces)
+		}
+		tsrv.Handle("/slo", srv.SLO())
 		taddr, err := tsrv.Start(*telemetryAddr)
 		if err != nil {
 			fatal(log, err)
@@ -137,9 +170,21 @@ func main() {
 
 	// SIGTERM/SIGINT → graceful drain: finish in-flight hops, close every
 	// session with a bye, flush telemetry, exit 0 inside the drain budget.
+	// SIGQUIT → dump the flight recorder to stderr and keep serving, the
+	// kill -QUIT incident workflow.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	s := <-sig
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGQUIT)
+	var s os.Signal
+	for s = range sig {
+		if s == syscall.SIGQUIT {
+			log.Info("SIGQUIT: dumping flight recorder to stderr")
+			if err := flight.WriteJSON(os.Stderr); err != nil {
+				log.Error("flight dump failed", "err", err.Error())
+			}
+			continue
+		}
+		break
+	}
 	log.Info("draining", "signal", s.String(), "budget", drainTimeout.String())
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -198,6 +243,23 @@ func runDrive(log *telemetry.Logger, addr string, sessions int, faultFrac, secon
 			"sustained", rep.SessionsSustained, "sessions", rep.Sessions)
 		os.Exit(1)
 	}
+}
+
+// parseWindows parses "30s,2m,10m" into durations.
+func parseWindows(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo-windows entry %q: %w", part, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 func fatal(log *telemetry.Logger, err error) {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // inferReq is one frame waiting for a shared lane. reply has capacity 1 and
@@ -14,9 +15,15 @@ import (
 // requester-owned score buffer the lane copies results into; a requester
 // that times out must abandon its buffer (see laneClassifier), because the
 // lane may still be about to write it.
+//
+// tr is the chunk's hop trace, carried across the goroutine boundary a
+// Tracer span cannot cross: the channel send hands write ownership of the
+// stamp array to the lane, the reply hands it back. Like dst, a timed-out
+// requester must orphan tr — the lane may stamp it late.
 type inferReq struct {
 	x     []float32
 	dst   []int32
+	tr    *telemetry.HopTrace
 	reply chan laneResp
 }
 
@@ -37,6 +44,7 @@ type lanes struct {
 	batch      int
 	workersPer int
 	obs        *obsSet
+	trs        *telemetry.TraceStore // hop-trace clock for lane-side stamps
 
 	wg       sync.WaitGroup
 	stopOnce sync.Once
@@ -90,9 +98,24 @@ func (l *lanes) run() {
 		}
 		l.obs.laneDepth.Set(int64(len(l.ch)))
 		l.obs.laneBatch.Observe(int64(len(reqs)))
+		if l.trs != nil {
+			now := l.trs.Now()
+			for _, r := range reqs {
+				if r.tr != nil {
+					r.tr.Stamp[telemetry.HopLaneCollect] = now
+				}
+			}
+		}
 
 		res = l.eng.InferBatchCappedInto(res, xs, l.workersPer)
+		var inferDone int64
+		if l.trs != nil {
+			inferDone = l.trs.Now()
+		}
 		for i, r := range reqs {
+			if r.tr != nil {
+				r.tr.Stamp[telemetry.HopInferDone] = inferDone
+			}
 			r.reply <- laneResp{scores: append(r.dst[:0], res[i].Scores...), err: res[i].Err}
 		}
 	}
@@ -113,8 +136,11 @@ func (l *lanes) stop() {
 // caller treats it as one discarded hop, not a session failure — but after
 // a timeout the caller must stop using dst, since the lane may write it
 // late.
-func (l *lanes) infer(x []float32, dst []int32, timeout time.Duration) ([]int32, error) {
-	req := inferReq{x: x, dst: dst, reply: make(chan laneResp, 1)}
+func (l *lanes) infer(x []float32, dst []int32, tr *telemetry.HopTrace, timeout time.Duration) ([]int32, error) {
+	req := inferReq{x: x, dst: dst, tr: tr, reply: make(chan laneResp, 1)}
+	if tr != nil {
+		tr.Stamp[telemetry.HopLaneSubmit] = l.trs.Now()
+	}
 
 	select {
 	case l.ch <- req: // fast path: queue has room right now
@@ -132,6 +158,9 @@ func (l *lanes) infer(x []float32, dst []int32, timeout time.Duration) ([]int32,
 	defer t.Stop()
 	select {
 	case resp := <-req.reply:
+		if tr != nil {
+			tr.Stamp[telemetry.HopReply] = l.trs.Now()
+		}
 		return resp.scores, resp.err
 	case <-t.C:
 		return nil, ErrLaneTimeout
@@ -143,25 +172,45 @@ func (l *lanes) infer(x []float32, dst []int32, timeout time.Duration) ([]int32,
 // probs/scores scratch needs no locking. A lane error returns nil
 // probabilities — the detector counts the hop as a bad posterior and its
 // breaker logic takes it from there.
+//
+// It also owns the session's hop-trace lifecycle: one HopTrace per detector
+// hop, anchored at the chunk's socket ingress, stamped through the lane
+// (see inferReq.tr), committed on hop completion, with the end-to-end
+// latency observed into serve.hop.e2e.ns carrying the trace ID as an
+// exemplar — so the slowest histogram buckets link to concrete traces.
 type laneClassifier struct {
 	lanes   *lanes
+	srv     *Server
+	sessID  string
 	wScale  float64
 	classes int
 	timeout time.Duration
 	obs     *obsSet
 	probs   []float32
 	scores  []int32 // session-owned lane result buffer; abandoned on timeout
+
+	hop       *telemetry.HopTrace // reused across hops; orphaned on lane timeout
+	hopOpen   bool
+	ingressNs int64 // current chunk's stamps, in the trace store's timebase
+	dequeueNs int64
 }
 
 func (c *laneClassifier) Classify(features []float32) []float32 {
+	c.beginHop()
 	t0 := time.Now()
-	scores, err := c.lanes.infer(features, c.scores, c.timeout)
+	scores, err := c.lanes.infer(features, c.scores, c.hopTrace(), c.timeout)
 	c.obs.laneWait.ObserveSince(t0)
 	if err != nil {
 		if err == ErrLaneTimeout {
 			// The lane may still hold our buffer and write it late; orphan
 			// it so the stale write lands in memory no future hop reads.
+			// The hop trace travelled with the request, so it is orphaned
+			// the same way — never committed, reallocated next hop.
 			c.scores = nil
+			c.abandonHop()
+			c.obs.laneStalls.Inc()
+			c.srv.flight.Record(telemetry.FlightLaneStall, c.sessID, 0,
+				c.timeout.Nanoseconds(), 0, "lane-timeout")
 		}
 		return nil
 	}
@@ -171,3 +220,96 @@ func (c *laneClassifier) Classify(features []float32) []float32 {
 }
 
 func (c *laneClassifier) NumClasses() int { return c.classes }
+
+// tracing reports whether hop tracing is active for this session.
+func (c *laneClassifier) tracing() bool {
+	return c != nil && c.srv != nil && c.srv.traces != nil
+}
+
+// hopTrace returns the open hop's trace, or nil when tracing is off.
+func (c *laneClassifier) hopTrace() *telemetry.HopTrace {
+	if !c.hopOpen {
+		return nil
+	}
+	return c.hop
+}
+
+// beginChunk anchors the chunk's hop traces: ingress is when the audio was
+// read off the socket, dequeue is now (the pump picked it up). Called from
+// Session.process; nil-safe for sessions with a custom classifier.
+func (c *laneClassifier) beginChunk(ingress time.Time) {
+	if !c.tracing() {
+		return
+	}
+	c.closeHop()
+	ts := c.srv.traces
+	if ingress.IsZero() {
+		c.ingressNs = ts.Now()
+	} else {
+		c.ingressNs = ts.At(ingress)
+	}
+	c.dequeueNs = ts.Now()
+}
+
+// beginHop opens a fresh trace for one detector hop, closing the previous
+// hop of the same chunk if one is still open.
+func (c *laneClassifier) beginHop() {
+	if !c.tracing() {
+		return
+	}
+	c.closeHop()
+	if c.hop == nil { // first hop, or the previous trace was orphaned
+		c.hop = new(telemetry.HopTrace)
+	}
+	ts := c.srv.traces
+	ts.Begin(c.hop, c.sessID)
+	c.hop.Stamp[telemetry.HopIngress] = c.ingressNs
+	c.hop.Stamp[telemetry.HopDequeue] = c.dequeueNs
+	c.hop.Stamp[telemetry.HopClassify] = ts.Now()
+	c.hopOpen = true
+}
+
+// closeHop commits the open hop (if any) and feeds its end-to-end latency —
+// last stamp minus socket ingress — into the e2e histogram with the trace
+// ID as exemplar.
+func (c *laneClassifier) closeHop() {
+	if !c.hopOpen {
+		return
+	}
+	c.hopOpen = false
+	tr := c.hop
+	ts := c.srv.traces
+	if tr.Stamp[telemetry.HopDone] == 0 {
+		tr.Stamp[telemetry.HopDone] = ts.Now()
+	}
+	ts.Commit(tr)
+	var last int64
+	for _, v := range tr.Stamp {
+		if v > last {
+			last = v
+		}
+	}
+	c.obs.hopE2E.ObserveTrace(last-tr.Stamp[telemetry.HopIngress], tr.ID)
+}
+
+// abandonHop orphans the current trace after a lane timeout: the lane may
+// stamp it late, so it is never committed and never reused.
+func (c *laneClassifier) abandonHop() {
+	c.hopOpen = false
+	c.hop = nil
+}
+
+// finishChunk closes the chunk's last hop, stamping event emission first if
+// the chunk produced delivered events. Called from Session.process;
+// nil-safe for sessions with a custom classifier.
+func (c *laneClassifier) finishChunk(emitted bool) {
+	if c == nil || !c.hopOpen {
+		return
+	}
+	ts := c.srv.traces
+	if emitted {
+		c.hop.Stamp[telemetry.HopEventEmit] = ts.Now()
+	}
+	c.hop.Stamp[telemetry.HopDone] = ts.Now()
+	c.closeHop()
+}

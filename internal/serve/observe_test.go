@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// observeConfig is testConfig plus the full observability stack.
+func observeConfig(t *testing.T) Config {
+	cfg := testConfig(t)
+	cfg.Flight = telemetry.NewFlightRecorder(1024)
+	cfg.Traces = telemetry.NewTraceStore(1024)
+	return cfg
+}
+
+func flightKinds(evs []telemetry.FlightEvent) map[telemetry.FlightKind]int {
+	m := make(map[telemetry.FlightKind]int)
+	for _, ev := range evs {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+// TestFlightSessionLifecycle checks the recorder captures server start,
+// session open, and session close with the reason note.
+func TestFlightSessionLifecycle(t *testing.T) {
+	cfg := observeConfig(t)
+	srv := mustServer(t, cfg)
+
+	sess, err := srv.Open(OpenOptions{ID: "flighty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	<-sess.Done()
+
+	evs := cfg.Flight.Snapshot()
+	kinds := flightKinds(evs)
+	if kinds[telemetry.FlightServerStart] != 1 {
+		t.Fatalf("server.start events = %d", kinds[telemetry.FlightServerStart])
+	}
+	if kinds[telemetry.FlightSessionOpen] != 1 || kinds[telemetry.FlightSessionClose] != 1 {
+		t.Fatalf("open/close events = %d/%d",
+			kinds[telemetry.FlightSessionOpen], kinds[telemetry.FlightSessionClose])
+	}
+	for _, ev := range evs {
+		if ev.Kind == telemetry.FlightSessionClose {
+			if ev.Session != "flighty" || ev.Note != string(ReasonClientClose) {
+				t.Fatalf("close event: %+v", ev)
+			}
+		}
+	}
+}
+
+// TestFlightQuarantineIncident drives a session into breaker exhaustion and
+// checks the trigger events are present, causally ordered, and frozen into
+// an incident that survives ring wraparound.
+func TestFlightQuarantineIncident(t *testing.T) {
+	cfg := observeConfig(t)
+	srv := mustServer(t, cfg)
+
+	sess, err := srv.Open(OpenOptions{
+		ID:         "victim",
+		Classifier: panicClassifier{classes: int(cfg.Engine.Tree.NumClasses)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The breaker needs a trip, a ridden-out cooldown (50ms), then another
+	// trip; pace the chunks slowly enough to get through both phases.
+	wave := synthSeconds(7, 8)
+	for off := 0; off+1000 <= len(wave) && sess.Reason() == ""; off += 1000 {
+		sess.Push(append([]float64(nil), wave[off:off+1000]...))
+		time.Sleep(10 * time.Millisecond)
+	}
+	sess.Terminate(ReasonClientAbort) // no-op if the breaker already closed it
+	<-sess.Done()
+	if sess.Reason() != ReasonQuarantine {
+		t.Fatalf("session reason = %q, want quarantined", sess.Reason())
+	}
+
+	// The incident must hold trips strictly before the quarantine trigger.
+	incs := cfg.Flight.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("no incident captured at quarantine")
+	}
+	inc := incs[len(incs)-1]
+	if inc.Trigger != "session.quarantine" || inc.Session != "victim" {
+		t.Fatalf("incident header: %+v", inc)
+	}
+	var sawTrip, sawQuarantine bool
+	var lastSeq uint64
+	for _, ev := range inc.Events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("incident events not causally ordered at seq %d", ev.Seq)
+		}
+		lastSeq = ev.Seq
+		if ev.Session != "victim" {
+			continue
+		}
+		switch ev.Kind {
+		case telemetry.FlightBreakerTrip:
+			if sawQuarantine {
+				t.Fatal("breaker trip recorded after the quarantine trigger")
+			}
+			sawTrip = true
+		case telemetry.FlightQuarantine:
+			sawQuarantine = true
+		}
+	}
+	if !sawTrip || !sawQuarantine {
+		t.Fatalf("incident missing trigger chain: trip=%v quarantine=%v", sawTrip, sawQuarantine)
+	}
+}
+
+// TestHopTraceEndToEnd pushes real audio through the shared lanes and
+// verifies a latency exemplar resolves to a complete, monotonically ordered
+// ingress→lane→infer→done trace.
+func TestHopTraceEndToEnd(t *testing.T) {
+	cfg := observeConfig(t)
+	srv := mustServer(t, cfg)
+
+	sess, err := srv.Open(OpenOptions{ID: "traced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pushAll(sess, synthSeconds(11, 2), 1000) {
+		t.Fatal("pushAll failed")
+	}
+	sess.Close()
+	<-sess.Done()
+
+	h := cfg.Registry.LatencyHistogram("serve.hop.e2e.ns")
+	snap := h.Snapshot(true)
+	if snap.Count == 0 {
+		t.Fatal("no end-to-end hop latencies observed")
+	}
+	if len(snap.Exemplars) == 0 {
+		t.Fatal("no exemplars attached to the e2e histogram")
+	}
+	var traceID uint64
+	for _, ex := range snap.Exemplars {
+		if ex != 0 {
+			traceID = ex
+			break
+		}
+	}
+	if traceID == 0 {
+		t.Fatal("all exemplar slots zero")
+	}
+
+	tr, ok := cfg.Traces.Get(traceID)
+	if !ok {
+		t.Fatalf("exemplar trace %d not resolvable", traceID)
+	}
+	if tr.Session != "traced" {
+		t.Fatalf("trace session = %q", tr.Session)
+	}
+	// Every pipeline stage must be stamped, in order.
+	order := []telemetry.HopStage{
+		telemetry.HopIngress, telemetry.HopDequeue, telemetry.HopClassify,
+		telemetry.HopLaneSubmit, telemetry.HopLaneCollect,
+		telemetry.HopInferDone, telemetry.HopReply, telemetry.HopDone,
+	}
+	prev := int64(0)
+	for _, st := range order {
+		v := tr.Stamp[st]
+		if v == 0 {
+			t.Fatalf("stage %s not stamped: %+v", st, tr.Stamp)
+		}
+		if v < prev {
+			t.Fatalf("stage %s out of order (%d < %d): %+v", st, v, prev, tr.Stamp)
+		}
+		prev = v
+	}
+}
+
+// TestAdaptiveBudget checks the SLO→admission feedback loop: a burning hop
+// objective tightens the session cap (rejecting with cause slo-budget), and
+// a recovered budget restores it.
+func TestAdaptiveBudget(t *testing.T) {
+	cfg := observeConfig(t)
+	cfg.MaxSessions = 50
+	cfg.MaintInterval = time.Hour // drive ticks by hand
+	cfg.SLO = SLOConfig{
+		HopP99Target: 50 * time.Millisecond,
+		Windows:      []time.Duration{2 * time.Second, 4 * time.Second},
+		Resolution:   time.Second,
+		Adaptive:     true,
+		MinSessions:  2,
+	}
+	srv := mustServer(t, cfg)
+
+	classes := int(cfg.Engine.Tree.NumClasses)
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Open(OpenOptions{Classifier: confidentClassifier{classes: classes}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Burn the hop-latency budget: every hop 2x over target.
+	t0 := time.Now()
+	srv.slo.Tick(t0) // prime
+	for i := 0; i < 100; i++ {
+		srv.obs.hopE2E.Observe((100 * time.Millisecond).Nanoseconds())
+	}
+	srv.slo.Tick(t0.Add(1 * time.Second))
+	srv.slo.Tick(t0.Add(2 * time.Second))
+	if !srv.slo.Burning() {
+		t.Fatal("hop objective should be burning")
+	}
+
+	srv.adaptBudget()
+	if got := srv.capLimit(); got != 9 { // 10 sessions * 9/10
+		t.Fatalf("tightened cap = %d, want 9", got)
+	}
+	_, err := srv.Open(OpenOptions{Classifier: confidentClassifier{classes: classes}})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Cause != "slo-budget" {
+		t.Fatalf("open under tightened cap: err=%v", err)
+	}
+
+	// Recovery: advance past both windows with no new bad hops.
+	srv.slo.Tick(t0.Add(10 * time.Second))
+	if srv.slo.Burning() {
+		t.Fatal("objective should have recovered")
+	}
+	for i := 0; i < 30 && srv.capLimit() != cfg.MaxSessions; i++ {
+		srv.adaptBudget()
+	}
+	if got := srv.capLimit(); got != cfg.MaxSessions {
+		t.Fatalf("cap not restored: %d", got)
+	}
+	if _, err := srv.Open(OpenOptions{Classifier: confidentClassifier{classes: classes}}); err != nil {
+		t.Fatalf("open after restore: %v", err)
+	}
+
+	// The feedback decisions themselves are on the flight record.
+	kinds := flightKinds(cfg.Flight.Snapshot())
+	if kinds[telemetry.FlightSLO] < 2 {
+		t.Fatalf("expected tighten+restore slo.budget events, got %d", kinds[telemetry.FlightSLO])
+	}
+}
+
+// TestServeSLOObjectives checks the server registers its three objectives
+// and serves them over /slo.
+func TestServeSLOObjectives(t *testing.T) {
+	cfg := observeConfig(t)
+	srv := mustServer(t, cfg)
+	st := srv.SLO().Status()
+	if len(st) != 3 {
+		t.Fatalf("objectives = %d, want 3", len(st))
+	}
+	names := map[string]bool{}
+	for _, o := range st {
+		names[o.Name] = true
+	}
+	for _, want := range []string{"hop-p99", "clean-close", "event-delivery"} {
+		if !names[want] {
+			t.Fatalf("missing objective %q (have %v)", want, names)
+		}
+	}
+	// The burn gauges must be pre-registered on the server's registry.
+	if cfg.Registry.FloatGauge("slo.hop-p99.burn.30s") == nil {
+		t.Fatal("burn gauge not registered")
+	}
+}

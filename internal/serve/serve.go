@@ -102,8 +102,46 @@ type Config struct {
 	// no-ops).
 	Registry *telemetry.Registry
 
+	// Flight receives structured serve-plane events (opens, closes,
+	// breaker trips, quarantines, sheds, backpressure, lane stalls, drain
+	// phases) for post-hoc forensics; nil disables flight recording.
+	Flight *telemetry.FlightRecorder
+
+	// Traces records per-chunk hop traces (TCP ingress → lane → batched
+	// inference → event emission) resolvable by the trace IDs attached to
+	// latency-histogram exemplars; nil disables hop tracing.
+	Traces *telemetry.TraceStore
+
+	// SLO configures the server's objective engine and, optionally,
+	// budget-aware admission control.
+	SLO SLOConfig
+
 	// Logger receives lifecycle logs; nil disables logging.
 	Logger *telemetry.Logger
+}
+
+// SLOConfig tunes the server's SLO engine. The engine itself always runs
+// (it is cheap: one sample per objective per maintenance tick); only the
+// admission feedback is gated behind Adaptive.
+type SLOConfig struct {
+	// HopP99Target is the end-to-end hop latency objective: 99% of hops
+	// must complete within it (default 50ms).
+	HopP99Target time.Duration
+	// Windows are the rolling evaluation windows, shortest first (default
+	// 30s, 2m, 10m).
+	Windows []time.Duration
+	// Resolution is the delta-ring bucket width (default 1s).
+	Resolution time.Duration
+	// BurnAlert is the burn-rate threshold above which an objective is
+	// Burning on the two fastest windows (default 2).
+	BurnAlert float64
+	// Adaptive feeds Burning() back into admission control: while any
+	// objective burns, the session cap tightens 10% per maintenance tick
+	// (never below MinSessions), and relaxes back once the burn clears.
+	// Off by default — an operator opts in.
+	Adaptive bool
+	// MinSessions is the adaptive cap's floor (default 16).
+	MinSessions int
 }
 
 // BreakerConfig tunes the per-session circuit breaker. Each processed chunk
@@ -164,6 +202,14 @@ var ErrSessionClosed = fmt.Errorf("serve: session closed")
 // one bad-posterior hop; it is never fatal by itself.
 var ErrLaneTimeout = fmt.Errorf("serve: inference lane timeout")
 
+// allCloseReasons enumerates every CloseReason so the per-reason close
+// counters can be pre-registered at newObsSet time — the close path then
+// never touches the registry maps (or allocates a name string).
+var allCloseReasons = []CloseReason{
+	ReasonClientClose, ReasonClientAbort, ReasonIdle, ReasonReadTimeout,
+	ReasonQuarantine, ReasonShed, ReasonDrain, ReasonForced, ReasonProtocol,
+}
+
 // obsSet bundles the server's aggregate instruments; every field is nil-safe
 // so a Config without a Registry costs pointer compares only.
 type obsSet struct {
@@ -174,15 +220,19 @@ type obsSet struct {
 	discards                 *telemetry.Counter
 	faults, panics, trips    *telemetry.Counter
 	quarantined, shed        *telemetry.Counter
+	eventFail                *telemetry.Counter
 	laneDepth                *telemetry.Gauge
 	laneBatch                *telemetry.Histogram
 	laneWait                 *telemetry.Histogram
+	laneStalls               *telemetry.Counter
+	hopE2E                   *telemetry.Histogram
 	heap, goroutines         *telemetry.Gauge
+	closedReasons            map[CloseReason]*telemetry.Counter
 	reg                      *telemetry.Registry
 }
 
 func newObsSet(reg *telemetry.Registry) obsSet {
-	return obsSet{
+	o := obsSet{
 		opened:      reg.Counter("serve.sessions.opened"),
 		rejected:    reg.Counter("serve.sessions.rejected"),
 		closed:      reg.Counter("serve.sessions.closed"),
@@ -198,28 +248,48 @@ func newObsSet(reg *telemetry.Registry) obsSet {
 		trips:       reg.Counter("serve.breaker.trips"),
 		quarantined: reg.Counter("serve.sessions.quarantined"),
 		shed:        reg.Counter("serve.sessions.shed"),
+		eventFail:   reg.Counter("serve.events.delivery_failed"),
 		laneDepth:   reg.Gauge("serve.lane.queue_depth"),
 		laneBatch:   reg.Histogram("serve.lane.batch_frames", []int64{1, 2, 4, 8, 16, 32, 64, 128}),
 		laneWait:    reg.LatencyHistogram("serve.lane.wait.ns"),
+		laneStalls:  reg.Counter("serve.lane.stalls"),
+		hopE2E:      reg.LatencyHistogram("serve.hop.e2e.ns"),
 		heap:        reg.Gauge("serve.mem.heap_bytes"),
 		goroutines:  reg.Gauge("serve.goroutines"),
 		reg:         reg,
 	}
+	o.closedReasons = make(map[CloseReason]*telemetry.Counter, len(allCloseReasons))
+	for _, r := range allCloseReasons {
+		o.closedReasons[r] = reg.Counter("serve.sessions.closed." + string(r))
+	}
+	return o
 }
 
 // closedBy counts a close under its reason, e.g. serve.sessions.closed.idle.
+// Known reasons hit the pre-registered handles; the registry fallback only
+// exists for a CloseReason minted outside this package.
 func (o *obsSet) closedBy(reason CloseReason) {
 	o.closed.Inc()
+	if c, ok := o.closedReasons[reason]; ok {
+		c.Inc()
+		return
+	}
 	o.reg.Counter("serve.sessions.closed." + string(reason)).Inc()
 }
 
 // Server multiplexes sessions over one shared engine. All methods are safe
 // for concurrent use.
 type Server struct {
-	cfg   Config
-	log   *telemetry.Logger
-	obs   obsSet
-	lanes *lanes
+	cfg    Config
+	log    *telemetry.Logger
+	obs    obsSet
+	lanes  *lanes
+	flight *telemetry.FlightRecorder
+	traces *telemetry.TraceStore
+	slo    *telemetry.SLOEngine
+
+	// adaptiveCap is the SLO-tightened session cap (0 = MaxSessions rules).
+	adaptiveCap atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -302,19 +372,81 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaintInterval <= 0 {
 		cfg.MaintInterval = 250 * time.Millisecond
 	}
+	if cfg.SLO.HopP99Target <= 0 {
+		cfg.SLO.HopP99Target = 50 * time.Millisecond
+	}
+	if len(cfg.SLO.Windows) == 0 {
+		cfg.SLO.Windows = []time.Duration{30 * time.Second, 2 * time.Minute, 10 * time.Minute}
+	}
+	if cfg.SLO.Resolution <= 0 {
+		cfg.SLO.Resolution = time.Second
+	}
+	if cfg.SLO.BurnAlert <= 0 {
+		cfg.SLO.BurnAlert = 2
+	}
+	if cfg.SLO.MinSessions <= 0 {
+		cfg.SLO.MinSessions = 16
+	}
 
 	s := &Server{
 		cfg:       cfg,
 		log:       cfg.Logger,
 		obs:       newObsSet(cfg.Registry),
+		flight:    cfg.Flight,
+		traces:    cfg.Traces,
 		sessions:  make(map[string]*Session),
 		forceCh:   make(chan struct{}),
 		maintStop: make(chan struct{}),
 	}
 	s.lanes = newLanes(cfg.Engine, cfg.Lanes, cfg.LaneBatch, cfg.LaneQueue, cfg.LaneWorkersPerCall, &s.obs)
+	s.lanes.trs = s.traces
+
+	s.slo = telemetry.NewSLOEngine(cfg.SLO.Windows, cfg.SLO.Resolution, cfg.SLO.BurnAlert)
+	s.slo.Add(telemetry.Objective{
+		Name:        "hop-p99",
+		Description: fmt.Sprintf("99%% of hops complete end to end within %v", cfg.SLO.HopP99Target),
+		Goal:        0.99,
+		Source:      telemetry.HistogramTargetSource(s.obs.hopE2E, cfg.SLO.HopP99Target.Nanoseconds()),
+	}, cfg.Registry)
+	s.slo.Add(telemetry.Objective{
+		Name:        "clean-close",
+		Description: "99% of sessions end without being quarantined, shed, force-drained, or protocol-faulted",
+		Goal:        0.99,
+		Source: telemetry.SumFailureSource(s.obs.closed,
+			s.obs.closedReasons[ReasonQuarantine], s.obs.closedReasons[ReasonShed],
+			s.obs.closedReasons[ReasonForced], s.obs.closedReasons[ReasonProtocol]),
+	}, cfg.Registry)
+	s.slo.Add(telemetry.Objective{
+		Name:        "event-delivery",
+		Description: "99.9% of keyword events reach their subscriber without a callback fault",
+		Goal:        0.999,
+		Source:      telemetry.CounterFailureSource(s.obs.eventFail, s.obs.events),
+	}, cfg.Registry)
+
+	s.flight.Record(telemetry.FlightServerStart, "", 0, int64(cfg.MaxSessions), int64(cfg.Lanes), "")
 	s.maintWG.Add(1)
 	go s.maintain()
 	return s, nil
+}
+
+// Flight returns the server's flight recorder (nil when disabled).
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
+
+// Traces returns the server's hop-trace store (nil when disabled).
+func (s *Server) Traces() *telemetry.TraceStore { return s.traces }
+
+// SLO returns the server's objective engine; it is always non-nil and
+// serves /slo directly as an http.Handler.
+func (s *Server) SLO() *telemetry.SLOEngine { return s.slo }
+
+// capLimit is the effective session cap: MaxSessions, tightened by the
+// adaptive SLO budget when that is active and lower.
+func (s *Server) capLimit() int {
+	limit := s.cfg.MaxSessions
+	if c := s.adaptiveCap.Load(); c > 0 && int(c) < limit {
+		limit = int(c)
+	}
+	return limit
 }
 
 // OpenOptions parameterise one session.
@@ -344,20 +476,24 @@ type OpenOptions struct {
 func (s *Server) Open(opt OpenOptions) (*Session, error) {
 	if err := s.admit(opt.ID); err != nil {
 		s.obs.rejected.Inc()
+		s.recordReject(opt.ID, err)
 		return nil, err
 	}
 
 	// Detector construction (MFCC tables, the one-second ring) happens
 	// outside the lock; admission is re-checked at insert.
 	cls := opt.Classifier
+	var lc *laneClassifier
 	if cls == nil {
-		cls = &laneClassifier{
+		lc = &laneClassifier{
 			lanes:   s.lanes,
+			srv:     s,
 			wScale:  float64(s.cfg.Engine.Tree.WScale),
 			classes: int(s.cfg.Engine.Tree.NumClasses),
 			timeout: s.cfg.ClassifyTimeout,
 			obs:     &s.obs,
 		}
+		cls = lc
 	}
 	det := stream.NewDetector(s.cfg.Detector, cls, s.cfg.FeatMean, s.cfg.FeatStd)
 	det.AttachTelemetry(s.obs.reg)
@@ -378,22 +514,32 @@ func (s *Server) Open(opt OpenOptions) (*Session, error) {
 	if sess.id == "" {
 		sess.id = "s" + strconv.FormatInt(s.nextID.Add(1), 10)
 	}
+	if lc != nil {
+		lc.sessID = sess.id
+		sess.cls = lc
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.obs.rejected.Inc()
-		return nil, &RejectedError{Cause: "draining", RetryAfter: s.cfg.RetryAfter}
+		err := &RejectedError{Cause: "draining", RetryAfter: s.cfg.RetryAfter}
+		s.recordReject(sess.id, err)
+		return nil, err
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
+	if limit := s.capLimit(); len(s.sessions) >= limit {
 		s.mu.Unlock()
 		s.obs.rejected.Inc()
-		return nil, &RejectedError{Cause: "at capacity", RetryAfter: s.cfg.RetryAfter}
+		err := &RejectedError{Cause: capCause(limit, s.cfg.MaxSessions), RetryAfter: s.cfg.RetryAfter}
+		s.recordReject(sess.id, err)
+		return nil, err
 	}
 	if _, dup := s.sessions[sess.id]; dup {
 		s.mu.Unlock()
 		s.obs.rejected.Inc()
-		return nil, &RejectedError{Cause: "duplicate session id " + sess.id, RetryAfter: s.cfg.RetryAfter}
+		err := &RejectedError{Cause: "duplicate session id " + sess.id, RetryAfter: s.cfg.RetryAfter}
+		s.recordReject(sess.id, err)
+		return nil, err
 	}
 	s.sessions[sess.id] = sess
 	s.pumps.Add(1)
@@ -401,9 +547,31 @@ func (s *Server) Open(opt OpenOptions) (*Session, error) {
 
 	s.obs.opened.Inc()
 	s.obs.active.Add(1)
+	s.flight.Record(telemetry.FlightSessionOpen, sess.id, 0, int64(sess.priority), 0, "")
 	s.log.Debug("session opened", "id", sess.id, "priority", sess.priority)
 	go sess.pump()
 	return sess, nil
+}
+
+// capCause distinguishes a hard capacity reject from an adaptive SLO-budget
+// tightening, so clients and the flight recorder see which limit bit.
+func capCause(limit, maxSessions int) string {
+	if limit < maxSessions {
+		return "slo-budget"
+	}
+	return "at capacity"
+}
+
+// recordReject logs an admission rejection to the flight recorder.
+func (s *Server) recordReject(id string, err error) {
+	if s.flight == nil {
+		return
+	}
+	cause := "error"
+	if rej, ok := err.(*RejectedError); ok {
+		cause = rej.Cause
+	}
+	s.flight.Record(telemetry.FlightAdmissionReject, id, 0, 0, 0, cause)
 }
 
 // admit is the cheap first-pass admission check, before the detector is
@@ -414,8 +582,8 @@ func (s *Server) admit(string) error {
 	if s.draining {
 		return &RejectedError{Cause: "draining", RetryAfter: s.cfg.RetryAfter}
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		return &RejectedError{Cause: "at capacity", RetryAfter: s.cfg.RetryAfter}
+	if limit := s.capLimit(); len(s.sessions) >= limit {
+		return &RejectedError{Cause: capCause(limit, s.cfg.MaxSessions), RetryAfter: s.cfg.RetryAfter}
 	}
 	return nil
 }
@@ -427,6 +595,7 @@ func (s *Server) remove(sess *Session, reason CloseReason) {
 	s.mu.Unlock()
 	s.obs.active.Add(-1)
 	s.obs.closedBy(reason)
+	s.flight.Record(telemetry.FlightSessionClose, sess.id, 0, sess.chunks.Load(), sess.faults.Load(), string(reason))
 	s.log.Debug("session closed", "id", sess.id, "reason", string(reason))
 }
 
@@ -472,6 +641,10 @@ func (s *Server) maintain() {
 			if s.cfg.SoftMemLimit > 0 && ms.HeapAlloc > uint64(s.cfg.SoftMemLimit) {
 				s.shedOne()
 			}
+			s.slo.Tick(time.Now())
+			if s.cfg.SLO.Adaptive {
+				s.adaptBudget()
+			}
 		}
 	}
 }
@@ -498,7 +671,41 @@ func (s *Server) shedOne() {
 	}
 	victim.terminate(ReasonShed)
 	s.obs.shed.Inc()
+	s.flight.Record(telemetry.FlightShed, victim.id, 0, int64(victim.priority), 0, "memory-pressure")
+	s.flight.SnapshotIncident(telemetry.FlightShed, victim.id)
 	s.log.Warn("session shed under memory pressure", "id", victim.id, "priority", victim.priority)
+}
+
+// adaptBudget is the budget-aware degradation loop (cfg.SLO.Adaptive): while
+// any objective burns, the effective session cap tightens to 90% of the
+// current session count per tick (floored at MinSessions), shedding load
+// before the per-session breakers have to; once the burn clears the cap
+// relaxes by MaxSessions/20 per tick until it restores to MaxSessions.
+func (s *Server) adaptBudget() {
+	cur := s.adaptiveCap.Load()
+	if s.slo.Burning() {
+		target := int64(s.SessionCount()) * 9 / 10
+		if min := int64(s.cfg.SLO.MinSessions); target < min {
+			target = min
+		}
+		if cur == 0 || target < cur {
+			s.adaptiveCap.Store(target)
+			s.flight.Record(telemetry.FlightSLO, "", 0, target, cur, "budget-tighten")
+			s.log.Warn("SLO budget burning: tightening session cap", "cap", target)
+		}
+		return
+	}
+	if cur == 0 {
+		return
+	}
+	next := cur + int64(s.cfg.MaxSessions/20) + 1
+	if next >= int64(s.cfg.MaxSessions) {
+		s.adaptiveCap.Store(0)
+		s.flight.Record(telemetry.FlightSLO, "", 0, int64(s.cfg.MaxSessions), cur, "budget-restore")
+		s.log.Info("SLO budget recovered: session cap restored")
+		return
+	}
+	s.adaptiveCap.Store(next)
 }
 
 // DrainStats reports what a Drain did.
@@ -526,6 +733,7 @@ func (s *Server) Drain(ctx context.Context) DrainStats {
 		open = append(open, sess)
 	}
 	s.mu.Unlock()
+	s.flight.Record(telemetry.FlightDrainPhase, "", 0, int64(len(open)), 0, "drain-start")
 	s.log.Info("drain started", "sessions", len(open))
 
 	for _, sess := range open {
@@ -543,6 +751,7 @@ func (s *Server) Drain(ctx context.Context) DrainStats {
 	case <-pumpsDone:
 	case <-ctx.Done():
 		st.Forced = s.SessionCount()
+		s.flight.Record(telemetry.FlightDrainPhase, "", 0, int64(st.Forced), 0, "drain-forced")
 		s.forceOnce.Do(func() { close(s.forceCh) })
 		// Forced pumps discard their queues and exit promptly; a pump
 		// wedged inside a hostile classifier is all that can remain, and
@@ -566,6 +775,7 @@ func (s *Server) Drain(ctx context.Context) DrainStats {
 		s.lanes.stop()
 	}
 	st.Elapsed = time.Since(start)
+	s.flight.Record(telemetry.FlightDrainPhase, "", 0, int64(st.Graceful), int64(st.Forced), "drain-finished")
 	s.log.Info("drain finished", "graceful", st.Graceful, "forced", st.Forced,
 		"leaked", st.Leaked, "elapsed_ms", st.Elapsed.Milliseconds())
 	return st

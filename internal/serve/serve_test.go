@@ -528,7 +528,7 @@ func TestLanesMatchEngine(t *testing.T) {
 		wg.Add(1)
 		go func(x []float32, want []int32) {
 			defer wg.Done()
-			got, err := l.infer(x, nil, 5*time.Second)
+			got, err := l.infer(x, nil, nil, 5*time.Second)
 			if err != nil {
 				t.Errorf("lane infer: %v", err)
 				return
@@ -544,10 +544,10 @@ func TestLanesMatchEngine(t *testing.T) {
 	wg.Wait()
 
 	// A malformed frame errors through the lane without breaking it.
-	if _, err := l.infer(make([]float32, 7), nil, 5*time.Second); err == nil {
+	if _, err := l.infer(make([]float32, 7), nil, nil, 5*time.Second); err == nil {
 		t.Fatal("short frame produced no error")
 	}
-	if _, err := l.infer(make([]float32, dim), nil, 5*time.Second); err != nil {
+	if _, err := l.infer(make([]float32, dim), nil, nil, 5*time.Second); err != nil {
 		t.Fatalf("lane broken after malformed frame: %v", err)
 	}
 }

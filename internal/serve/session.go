@@ -6,13 +6,17 @@ import (
 	"time"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // chunk is one unit of session input: either samples or a gap (dropped
-// audio the detector should conceal).
+// audio the detector should conceal). ingress is when the chunk entered the
+// process (e.g. read off the TCP socket), anchoring the hop trace's first
+// stage; the zero value means "stamp at enqueue".
 type chunk struct {
 	samples []float64
 	gap     int
+	ingress time.Time
 }
 
 // Session states, in sess.state.
@@ -45,6 +49,7 @@ type Session struct {
 	priority int
 	srv      *Server
 	det      *stream.Detector
+	cls      *laneClassifier // nil when OpenOptions injected a custom classifier
 	onEvent  func(stream.Event)
 	onClose  func(CloseReason)
 
@@ -110,6 +115,14 @@ func (s *Session) Push(samples []float64) error {
 	return s.enqueue(chunk{samples: samples})
 }
 
+// PushAt is Push with an explicit ingress timestamp — the moment the audio
+// entered the process (e.g. was read off the socket) — so hop traces and the
+// end-to-end latency SLO measure from true ingress rather than from
+// enqueue.
+func (s *Session) PushAt(samples []float64, ingress time.Time) error {
+	return s.enqueue(chunk{samples: samples, ingress: ingress})
+}
+
 // PushGap reports n samples of dropped audio; the detector conceals them.
 func (s *Session) PushGap(n int) error {
 	if n <= 0 {
@@ -119,6 +132,9 @@ func (s *Session) PushGap(n int) error {
 }
 
 func (s *Session) enqueue(c chunk) error {
+	if s.srv.traces != nil && c.ingress.IsZero() {
+		c.ingress = time.Now()
+	}
 	// The lock orders the closed-check against closeIntake: after
 	// closeIntake returns, no new send can start, so closing s.in is safe.
 	s.mu.Lock()
@@ -134,6 +150,7 @@ func (s *Session) enqueue(c chunk) error {
 		s.mu.Unlock()
 		s.bpDrops.Add(1)
 		s.srv.obs.bpDrops.Inc()
+		s.srv.flight.Record(telemetry.FlightBackpressure, s.id, 0, int64(len(s.in)), 0, "queue-full")
 		return &BackpressureError{RetryAfter: s.srv.cfg.RetryAfter}
 	}
 }
@@ -260,6 +277,10 @@ func (s *Session) process(c chunk) {
 		s.srv.obs.samples.Add(n)
 	}
 
+	// Hop tracing: the lane classifier opens one trace per detector hop;
+	// beginChunk anchors them all at this chunk's socket ingress time.
+	s.cls.beginChunk(c.ingress)
+
 	before := s.det.Stats()
 	events, panicked := s.runDetector(c)
 
@@ -284,16 +305,24 @@ func (s *Session) process(c chunk) {
 	if s.br.observe(score) {
 		s.trips.Add(1)
 		s.srv.obs.trips.Inc()
+		s.srv.flight.Record(telemetry.FlightBreakerTrip, s.id, 0, int64(s.br.trips), int64(score), "")
 		if s.br.trips >= s.srv.cfg.Breaker.MaxTrips {
 			s.srv.obs.quarantined.Inc()
+			// Record the trigger first, then freeze the incident buffer, so
+			// the quarantine event and everything leading up to it survive
+			// ring wraparound together.
+			s.srv.flight.Record(telemetry.FlightQuarantine, s.id, 0, int64(s.br.trips), int64(score), "breaker-exhausted")
+			s.srv.flight.SnapshotIncident(telemetry.FlightQuarantine, s.id)
 			s.srv.log.Warn("session closed: breaker exhausted",
 				"id", s.id, "trips", s.br.trips)
+			s.cls.finishChunk(false)
 			s.closeIntake(ReasonQuarantine, true)
 			return
 		}
 		s.state.Store(stateQuarantined)
 		s.srv.log.Warn("session quarantined", "id", s.id,
 			"trip", s.br.trips, "cooldown_ms", s.srv.cfg.Breaker.Cooldown.Milliseconds())
+		s.cls.finishChunk(false)
 		return
 	}
 
@@ -302,6 +331,7 @@ func (s *Session) process(c chunk) {
 		s.srv.obs.events.Inc()
 		s.deliver(ev)
 	}
+	s.cls.finishChunk(len(events) > 0)
 }
 
 // runDetector pushes one chunk through the detector, converting any panic —
@@ -330,6 +360,7 @@ func (s *Session) deliver(ev stream.Event) {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
 			s.srv.obs.panics.Inc()
+			s.srv.obs.eventFail.Inc()
 			s.srv.log.Error("event callback panic recovered", "id", s.id, "panic", r)
 		}
 	}()

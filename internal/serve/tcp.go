@@ -224,6 +224,7 @@ func (f *TCPFront) readChunks(br *bufio.Reader, conn net.Conn, w *connWriter, se
 			return
 		}
 		v := binary.LittleEndian.Uint32(hdr[:])
+		ingress := time.Now() // header off the socket: the chunk's true ingress
 		switch {
 		case v == 0:
 			sess.Close()
@@ -235,7 +236,7 @@ func (f *TCPFront) readChunks(br *bufio.Reader, conn net.Conn, w *connWriter, se
 				sess.Terminate(ReasonProtocol)
 				return
 			}
-			f.push(w, sess, nil, n)
+			f.push(w, sess, nil, n, ingress)
 		default:
 			n := int(v)
 			if n > MaxChunkSamples {
@@ -257,7 +258,7 @@ func (f *TCPFront) readChunks(br *bufio.Reader, conn net.Conn, w *connWriter, se
 			for i := 0; i < n; i++ {
 				samples[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
 			}
-			f.push(w, sess, samples, 0)
+			f.push(w, sess, samples, 0, ingress)
 		}
 		if sess.Reason() != "" { // closed from the server side mid-read
 			return
@@ -268,12 +269,12 @@ func (f *TCPFront) readChunks(br *bufio.Reader, conn net.Conn, w *connWriter, se
 // push forwards one chunk, translating backpressure into a throttle line
 // (the chunk is dropped on the wire — the client resends) and a closed
 // session into returning to the caller's loop, which notices via Reason.
-func (f *TCPFront) push(w *connWriter, sess *Session, samples []float64, gap int) {
+func (f *TCPFront) push(w *connWriter, sess *Session, samples []float64, gap int, ingress time.Time) {
 	var err error
 	if gap > 0 {
 		err = sess.PushGap(gap)
 	} else {
-		err = sess.Push(samples)
+		err = sess.PushAt(samples, ingress)
 	}
 	var bp *BackpressureError
 	if errors.As(err, &bp) {

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expo.go renders a Registry in the Prometheus text exposition format
+// (version 0.0.4), so a stock Prometheus server can scrape /metrics
+// directly — alongside the repository's own text and JSON formats.
+//
+// Mapping rules, applied deterministically so the output is golden-file
+// testable:
+//
+//   - metric names are sanitised to [a-zA-Z0-9_:] (dots become underscores);
+//   - counters are exported with a _total suffix and TYPE counter;
+//   - gauges and float gauges are TYPE gauge;
+//   - histograms are TYPE histogram with cumulative _bucket{le="..."} rows
+//     (the repository's inclusive upper bounds map directly onto le), a
+//     +Inf bucket, and _sum/_count rows — all read from one
+//     generation-consistent snapshot, so sum, count and buckets agree.
+//
+// Exemplars are not emitted (the classic text format has no syntax for
+// them); they remain available on the JSON view and via /debug/flight.
+
+// promName sanitises a metric name for Prometheus: every character outside
+// [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus clients conventionally do.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format. Output is sorted by exported metric name, histograms
+// rendered from generation-consistent snapshots.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.snap(true)
+
+	type family struct{ text string }
+	fams := make(map[string]family, len(s.Counters)+len(s.Gauges)+len(s.FloatG)+len(s.Histograms))
+
+	for n, v := range s.Counters {
+		pn := promName(n) + "_total"
+		fams[pn] = family{fmt.Sprintf("# TYPE %s counter\n%s %d\n", pn, pn, v)}
+	}
+	for n, v := range s.Gauges {
+		pn := promName(n)
+		fams[pn] = family{fmt.Sprintf("# TYPE %s gauge\n%s %d\n", pn, pn, v)}
+	}
+	for n, v := range s.FloatG {
+		pn := promName(n)
+		fams[pn] = family{fmt.Sprintf("# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(v))}
+	}
+	for n, h := range s.Histograms {
+		pn := promName(n)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(float64(bound)), cum)
+		}
+		if len(h.Buckets) > 0 {
+			cum += h.Buckets[len(h.Buckets)-1]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+		fams[pn] = family{b.String()}
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := io.WriteString(w, fams[n].text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

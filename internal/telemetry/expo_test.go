@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden renders a deterministic registry and compares
+// byte-for-byte against testdata/prometheus.golden (regenerate with
+// `go test ./internal/telemetry -run Golden -update`).
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.sessions.opened").Add(42)
+	reg.Counter("serve.sessions.closed.client-close").Add(40)
+	reg.Gauge("serve.sessions.active").Set(2)
+	reg.FloatGauge("slo.hop-p99.burn.30s").Set(0.25)
+	h := reg.Histogram("serve.hop.e2e.ns", []int64{1000, 10000, 100000})
+	h.Observe(500)
+	h.Observe(5000)
+	h.Observe(5000)
+	h.Observe(50000)
+	h.Observe(2_000_000) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prometheus exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusFormat spot-checks structural invariants independent of
+// the golden file: name sanitisation, cumulative buckets, count/sum
+// consistency.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b-c").Inc()
+	reg.Counter("0lead").Inc()
+	h := reg.Histogram("lat.ns", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE a_b_c_total counter\na_b_c_total 1\n",
+		"_0lead_total 1\n",
+		"lat_ns_bucket{le=\"10\"} 1\n",
+		"lat_ns_bucket{le=\"100\"} 2\n",
+		"lat_ns_bucket{le=\"+Inf\"} 3\n",
+		"lat_ns_sum 5055\n",
+		"lat_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic: two renders must be identical.
+	var buf2 bytes.Buffer
+	reg.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.hop.e2e.ns": "serve_hop_e2e_ns",
+		"a-b":              "a_b",
+		"9to5":             "_9to5",
+		"ok_name:x":        "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder is the serve-plane's forensic event log: a fixed-size,
+// allocation-free, concurrent ring of structured events (session open/close
+// with reason, breaker trips, quarantines, sheds, backpressure drops, lane
+// stalls, drain phases), each stamped with a session ID, an optional trace
+// ID and monotonic time. It answers "what happened around 14:02" after the
+// fact, without a debugger attached and without rerunning the load.
+//
+// Writers claim a slot with one atomic increment and copy the event in
+// under that slot's mutex — no allocation, no global lock, bounded memory
+// forever. Dumps copy slot by slot and sort by sequence number, so a dump
+// taken mid-write is always in event order with no torn entries (a slot
+// only ever moves forward in sequence).
+//
+// Because the ring wraps, the events *leading up to* a fault would
+// eventually be overwritten; SnapshotIncident freezes the recent tail into
+// a bounded per-incident buffer at the moment a session is quarantined or
+// shed, so incident forensics survive arbitrarily long uptimes.
+//
+// A nil *FlightRecorder is fully disabled: Record and SnapshotIncident are
+// no-ops costing one pointer compare.
+type FlightRecorder struct {
+	start     time.Time
+	startUnix int64
+	seq       atomic.Uint64
+	slots     []flightSlot
+	mask      uint64
+
+	imu       sync.Mutex
+	incidents []FlightIncident
+}
+
+type flightSlot struct {
+	mu sync.Mutex
+	ev FlightEvent
+}
+
+// FlightKind enumerates the event types the recorder understands.
+type FlightKind uint8
+
+const (
+	FlightServerStart FlightKind = iota
+	FlightSessionOpen
+	FlightSessionClose
+	FlightAdmissionReject
+	FlightBackpressure
+	FlightBreakerTrip
+	FlightQuarantine
+	FlightShed
+	FlightLaneStall
+	FlightDrainPhase
+	FlightSLO
+	numFlightKinds
+)
+
+var flightKindNames = [numFlightKinds]string{
+	"server.start",
+	"session.open",
+	"session.close",
+	"admission.reject",
+	"backpressure.drop",
+	"breaker.trip",
+	"session.quarantine",
+	"session.shed",
+	"lane.stall",
+	"drain.phase",
+	"slo.budget",
+}
+
+// String names the kind as it appears in dumps.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return "unknown"
+}
+
+// FlightEvent is one recorded event. A and B carry kind-specific integers
+// (trip number and fault score for breaker trips, queue depth for
+// backpressure, the tightened cap for SLO actions); Note is a static
+// detail string (close reason, drain phase) — callers pass constants so
+// recording never allocates.
+type FlightEvent struct {
+	Seq     uint64     `json:"seq"`
+	TNs     int64      `json:"t_ns"` // monotonic ns since recorder start
+	Kind    FlightKind `json:"-"`
+	Session string     `json:"session,omitempty"`
+	Trace   uint64     `json:"trace,omitempty"`
+	A       int64      `json:"a,omitempty"`
+	B       int64      `json:"b,omitempty"`
+	Note    string     `json:"note,omitempty"`
+}
+
+// flightEventJSON is the dump schema: Kind rendered as its name.
+type flightEventJSON struct {
+	FlightEvent
+	KindName string `json:"kind"`
+}
+
+// FlightIncident is a frozen tail of the ring captured when a session
+// faulted, so its trigger events survive ring wraparound.
+type FlightIncident struct {
+	Seq     uint64        `json:"seq"`  // sequence of the triggering event
+	TNs     int64         `json:"t_ns"` // capture time, monotonic ns
+	Trigger string        `json:"trigger"`
+	Session string        `json:"session"`
+	Events  []FlightEvent `json:"-"`
+}
+
+const (
+	// flightIncidentTail is how many trailing events an incident freezes.
+	flightIncidentTail = 256
+	// flightMaxIncidents bounds the incident buffer; older incidents drop.
+	flightMaxIncidents = 32
+)
+
+// NewFlightRecorder returns a recorder retaining the most recent `capacity`
+// events (rounded up to a power of two; <= 0 selects 4096).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	now := time.Now()
+	return &FlightRecorder{
+		start:     now,
+		startUnix: now.UnixNano(),
+		slots:     make([]flightSlot, n),
+		mask:      uint64(n - 1),
+	}
+}
+
+// Now returns the recorder's monotonic clock reading in nanoseconds (0 on a
+// nil recorder).
+func (f *FlightRecorder) Now() int64 {
+	if f == nil {
+		return 0
+	}
+	return int64(time.Since(f.start))
+}
+
+// Record appends one event. It never allocates and never takes a lock
+// shared with another slot: one atomic add claims a sequence number, one
+// short per-slot critical section publishes the event. Safe from any
+// goroutine; a nil recorder is a no-op.
+func (f *FlightRecorder) Record(kind FlightKind, session string, trace uint64, a, b int64, note string) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1)
+	t := int64(time.Since(f.start))
+	s := &f.slots[seq&f.mask]
+	s.mu.Lock()
+	// A slow writer that claimed an old sequence must not clobber a newer
+	// event that already wrapped onto this slot.
+	if seq > s.ev.Seq {
+		s.ev = FlightEvent{Seq: seq, TNs: t, Kind: kind, Session: session, Trace: trace, A: a, B: b, Note: note}
+	}
+	s.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded; Total minus the dump
+// length is how many wrapped out of the ring.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Snapshot copies the live ring, ordered by sequence number. Entries are
+// never torn (each is copied under its slot lock); under concurrent writes
+// the dump is a consistent sample — strictly increasing sequence numbers,
+// possibly with gaps where a writer wrapped past the dump cursor.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		ev := s.ev
+		s.mu.Unlock()
+		if ev.Seq != 0 {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// SnapshotIncident freezes the most recent flightIncidentTail events into
+// the incident buffer. Call it right after recording the triggering event
+// (quarantine, shed) so the trigger and everything leading up to it are
+// captured together.
+func (f *FlightRecorder) SnapshotIncident(trigger FlightKind, session string) {
+	if f == nil {
+		return
+	}
+	evs := f.Snapshot()
+	if len(evs) > flightIncidentTail {
+		evs = evs[len(evs)-flightIncidentTail:]
+	}
+	inc := FlightIncident{
+		Seq:     f.seq.Load(),
+		TNs:     int64(time.Since(f.start)),
+		Trigger: trigger.String(),
+		Session: session,
+		Events:  evs,
+	}
+	f.imu.Lock()
+	f.incidents = append(f.incidents, inc)
+	if len(f.incidents) > flightMaxIncidents {
+		f.incidents = f.incidents[len(f.incidents)-flightMaxIncidents:]
+	}
+	f.imu.Unlock()
+}
+
+// Incidents returns the frozen incident buffers, oldest first.
+func (f *FlightRecorder) Incidents() []FlightIncident {
+	if f == nil {
+		return nil
+	}
+	f.imu.Lock()
+	defer f.imu.Unlock()
+	return append([]FlightIncident(nil), f.incidents...)
+}
+
+// flightDump is the /debug/flight JSON schema.
+type flightDump struct {
+	StartUnixNs int64                `json:"start_unix_ns"` // t_ns values are relative to this
+	NowNs       int64                `json:"now_ns"`
+	Capacity    int                  `json:"capacity"`
+	EventsTotal uint64               `json:"events_total"`
+	Events      []flightEventJSON    `json:"events"`
+	Incidents   []flightIncidentJSON `json:"incidents"`
+}
+
+type flightIncidentJSON struct {
+	FlightIncident
+	Events []flightEventJSON `json:"events"`
+}
+
+func eventsJSON(evs []FlightEvent) []flightEventJSON {
+	out := make([]flightEventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = flightEventJSON{FlightEvent: ev, KindName: ev.Kind.String()}
+	}
+	return out
+}
+
+// WriteJSON dumps the ring and the incident buffers as indented JSON.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	d := flightDump{
+		Events:    []flightEventJSON{},
+		Incidents: []flightIncidentJSON{},
+	}
+	if f != nil {
+		d.StartUnixNs = f.startUnix
+		d.NowNs = int64(time.Since(f.start))
+		d.Capacity = len(f.slots)
+		d.EventsTotal = f.seq.Load()
+		d.Events = eventsJSON(f.Snapshot())
+		for _, inc := range f.Incidents() {
+			d.Incidents = append(d.Incidents, flightIncidentJSON{
+				FlightIncident: inc,
+				Events:         eventsJSON(inc.Events),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ServeHTTP exposes the dump at /debug/flight.
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	f.WriteJSON(w)
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderBasics checks recording, ordering, and the JSON dump
+// shape on a small ring.
+func TestFlightRecorderBasics(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(FlightSessionOpen, "s1", 0, 0, 0, "")
+	f.Record(FlightBreakerTrip, "s1", 0, 1, 250, "")
+	f.Record(FlightSessionClose, "s1", 0, 0, 0, "client-close")
+
+	evs := f.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot length = %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if evs[1].Kind != FlightBreakerTrip || evs[1].A != 1 || evs[1].B != 250 {
+		t.Fatalf("breaker event mismatch: %+v", evs[1])
+	}
+	if evs[2].Note != "client-close" {
+		t.Fatalf("close note = %q", evs[2].Note)
+	}
+	if got := f.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump struct {
+		Capacity int `json:"capacity"`
+		Events   []struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	if dump.Capacity != 8 || len(dump.Events) != 3 {
+		t.Fatalf("dump capacity=%d events=%d", dump.Capacity, len(dump.Events))
+	}
+	if dump.Events[1].Kind != "breaker.trip" {
+		t.Fatalf("kind name = %q", dump.Events[1].Kind)
+	}
+}
+
+// TestFlightRecorderWraparound is the ordering property test: after heavy
+// wraparound, a dump is strictly increasing in sequence and every entry is
+// internally consistent (no torn entries). Payload fields are derived from
+// the sequence number so a torn entry — one field from an old event, one
+// from a new — is detectable.
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const total = 10_000
+	for i := 0; i < total; i++ {
+		// A = seq-to-be, B = 2*A: a torn entry breaks the invariant.
+		a := int64(i + 1)
+		f.Record(FlightSessionOpen, "w", uint64(a), a, 2*a, "")
+	}
+	evs := f.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("snapshot length = %d, want full ring 64", len(evs))
+	}
+	for i, ev := range evs {
+		if i > 0 && evs[i-1].Seq >= ev.Seq {
+			t.Fatalf("dump out of order at %d: %d then %d", i, evs[i-1].Seq, ev.Seq)
+		}
+		if ev.A != int64(ev.Seq) || ev.B != 2*ev.A || ev.Trace != ev.Seq {
+			t.Fatalf("torn entry: seq=%d a=%d b=%d trace=%d", ev.Seq, ev.A, ev.B, ev.Trace)
+		}
+	}
+	if evs[len(evs)-1].Seq != total {
+		t.Fatalf("newest seq = %d, want %d", evs[len(evs)-1].Seq, total)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers N writer goroutines against
+// concurrent dumps under -race, checking every dump for ordering and torn
+// entries.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(128)
+	const writers = 8
+	const perWriter = 2000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(FlightKind(i%int(numFlightKinds)), "sess", 7, int64(i), int64(2*i), "note")
+				if i%100 == 0 {
+					f.SnapshotIncident(FlightQuarantine, "sess")
+				}
+			}
+		}(w)
+	}
+
+	var dumps sync.WaitGroup
+	for d := 0; d < 4; d++ {
+		dumps.Add(1)
+		go func() {
+			defer dumps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := f.Snapshot()
+				for i := 1; i < len(evs); i++ {
+					if evs[i-1].Seq >= evs[i].Seq {
+						t.Errorf("concurrent dump out of order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+						return
+					}
+				}
+				for _, ev := range evs {
+					if ev.B != 2*ev.A {
+						t.Errorf("torn entry under concurrency: a=%d b=%d", ev.A, ev.B)
+						return
+					}
+				}
+				var buf bytes.Buffer
+				f.WriteJSON(&buf)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	dumps.Wait()
+
+	if got := f.Total(); got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+	if incs := f.Incidents(); len(incs) != flightMaxIncidents {
+		t.Fatalf("incidents = %d, want bounded at %d", len(incs), flightMaxIncidents)
+	}
+}
+
+// TestFlightRecorderIncident checks that an incident freezes the trigger's
+// surrounding events and survives subsequent wraparound of the live ring.
+func TestFlightRecorderIncident(t *testing.T) {
+	f := NewFlightRecorder(32)
+	f.Record(FlightSessionOpen, "victim", 0, 0, 0, "")
+	f.Record(FlightBreakerTrip, "victim", 0, 3, 900, "")
+	f.Record(FlightQuarantine, "victim", 0, 3, 900, "")
+	f.SnapshotIncident(FlightQuarantine, "victim")
+
+	// Wrap the live ring completely; the incident must retain the trigger.
+	for i := 0; i < 100; i++ {
+		f.Record(FlightSessionOpen, "other", 0, 0, 0, "")
+	}
+	live := f.Snapshot()
+	for _, ev := range live {
+		if ev.Session == "victim" {
+			t.Fatalf("victim events should have wrapped out of the live ring")
+		}
+	}
+
+	incs := f.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	inc := incs[0]
+	if inc.Trigger != "session.quarantine" || inc.Session != "victim" {
+		t.Fatalf("incident header mismatch: %+v", inc)
+	}
+	var kinds []FlightKind
+	for i, ev := range inc.Events {
+		if i > 0 && inc.Events[i-1].Seq >= ev.Seq {
+			t.Fatalf("incident events out of order")
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []FlightKind{FlightSessionOpen, FlightBreakerTrip, FlightQuarantine}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("incident kinds = %v, want %v", kinds, want)
+	}
+}
+
+// TestFlightRecorderNil confirms a nil recorder is a total no-op, including
+// its HTTP and JSON surfaces.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightShed, "s", 0, 0, 0, "")
+	f.SnapshotIncident(FlightShed, "s")
+	if f.Snapshot() != nil || f.Incidents() != nil || f.Total() != 0 || f.Now() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil ServeHTTP status = %d", rec.Code)
+	}
+}
+
+// BenchmarkFlightRecord measures the hot recording path; it must not
+// allocate.
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlightRecorder(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightBackpressure, "bench", 42, int64(i), 0, "drop")
+	}
+}

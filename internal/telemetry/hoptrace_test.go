@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestTraceStoreRoundTrip commits a trace and resolves it by ID.
+func TestTraceStoreRoundTrip(t *testing.T) {
+	ts := NewTraceStore(16)
+	var tr HopTrace
+	ts.Begin(&tr, "sess-1")
+	if tr.ID != 1 {
+		t.Fatalf("first ID = %d", tr.ID)
+	}
+	tr.Stamp[HopIngress] = 10
+	tr.Stamp[HopLaneSubmit] = 20
+	tr.Stamp[HopInferDone] = 30
+	tr.Stamp[HopEventEmit] = 40
+	ts.Commit(&tr)
+
+	got, ok := ts.Get(1)
+	if !ok || got.Session != "sess-1" || got.Stamp[HopInferDone] != 30 {
+		t.Fatalf("Get(1) = %+v, %v", got, ok)
+	}
+	if _, ok := ts.Get(999); ok {
+		t.Fatal("uncommitted ID resolved")
+	}
+}
+
+// TestTraceStoreEviction: after wraparound, old IDs report evicted rather
+// than returning another trace's data.
+func TestTraceStoreEviction(t *testing.T) {
+	ts := NewTraceStore(8)
+	var tr HopTrace
+	for i := 0; i < 20; i++ {
+		ts.Begin(&tr, "s")
+		tr.Stamp[HopIngress] = int64(i + 1)
+		ts.Commit(&tr)
+	}
+	if _, ok := ts.Get(1); ok {
+		t.Fatal("evicted trace resolved")
+	}
+	got, ok := ts.Get(20)
+	if !ok || got.Stamp[HopIngress] != 20 {
+		t.Fatalf("latest trace: %+v, %v", got, ok)
+	}
+}
+
+// TestTraceStoreConcurrent hammers Begin/Commit/Get from many goroutines
+// under -race. Each goroutine owns its HopTrace between Begin and Commit,
+// mirroring how the serve plane hands a trace across channel boundaries.
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tr HopTrace
+			for i := 0; i < 2000; i++ {
+				ts.Begin(&tr, "w")
+				tr.Stamp[HopIngress] = int64(tr.ID)
+				tr.Stamp[HopDone] = int64(tr.ID) * 2
+				ts.Commit(&tr)
+				if got, ok := ts.Get(tr.ID); ok {
+					if got.Stamp[HopDone] != got.Stamp[HopIngress]*2 {
+						t.Errorf("torn trace: %+v", got)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTraceStoreHTTP checks /debug/trace resolution by ID and the recent
+// listing.
+func TestTraceStoreHTTP(t *testing.T) {
+	ts := NewTraceStore(16)
+	var tr HopTrace
+	ts.Begin(&tr, "http-sess")
+	tr.Stamp[HopIngress] = 100
+	tr.Stamp[HopReply] = 700
+	ts.Commit(&tr)
+
+	rec := httptest.NewRecorder()
+	ts.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=1", nil))
+	var one struct {
+		ID      uint64           `json:"id"`
+		Session string           `json:"session"`
+		Stages  map[string]int64 `json:"stages_ns"`
+		E2ENs   int64            `json:"e2e_ns"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if one.Session != "http-sess" || one.Stages["reply"] != 700 || one.E2ENs != 600 {
+		t.Fatalf("trace body: %+v", one)
+	}
+	if _, ok := one.Stages["lane_submit"]; ok {
+		t.Fatal("unreached stage should be omitted")
+	}
+
+	rec = httptest.NewRecorder()
+	ts.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=42", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace status = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	ts.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	var list struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("bad list JSON: %v", err)
+	}
+	if len(list.Traces) != 1 {
+		t.Fatalf("recent traces = %d, want 1", len(list.Traces))
+	}
+}
+
+// TestTraceStoreNil confirms the disabled path costs nothing and panics
+// nowhere.
+func TestTraceStoreNil(t *testing.T) {
+	var ts *TraceStore
+	var tr HopTrace
+	ts.Begin(&tr, "s")
+	ts.Commit(&tr)
+	if tr.ID != 0 {
+		t.Fatal("nil store assigned an ID")
+	}
+	if _, ok := ts.Get(1); ok {
+		t.Fatal("nil store resolved a trace")
+	}
+	if ts.Now() != 0 {
+		t.Fatal("nil store Now != 0")
+	}
+}
+
+// BenchmarkTraceBeginCommit measures the per-chunk tracing cost; it must
+// not allocate.
+func BenchmarkTraceBeginCommit(b *testing.B) {
+	ts := NewTraceStore(4096)
+	var tr HopTrace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.Begin(&tr, "bench")
+		tr.Stamp[HopIngress] = int64(i)
+		ts.Commit(&tr)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -114,14 +115,33 @@ func (g *FloatGauge) Value() float64 {
 
 // Histogram is a fixed-bucket distribution of int64 observations. Bounds
 // are inclusive upper limits in ascending order; one implicit overflow
-// bucket catches everything beyond the last bound. All mutation is atomic;
-// Observe never allocates and never locks.
+// bucket catches everything beyond the last bound. Observe never allocates
+// and never locks.
+//
+// Reads are generation-consistent: snapshots see count, sum and every
+// bucket from one instant, never a mid-update mix. Internally observations
+// land in one of two banks selected by the high bit of countAndHot (the low
+// 63 bits count observations ever initiated). A snapshot flips the hot
+// bank, waits for the writers still in flight on the now-cold bank — each
+// bumps its bank's done counter as its last store — reads the quiescent
+// cold bank, folds it back into the hot bank and zeroes it. Writers stay
+// lock-free and wait-free throughout; only snapshots serialise (snapMu).
 type Histogram struct {
-	bounds []int64
+	bounds      []int64
+	countAndHot atomic.Uint64 // bit 63: hot bank index; bits 0..62: observations initiated
+	banks       [2]histBank
+	ex          []atomic.Uint64 // per-bucket exemplar trace ID (last observation to land there)
+	snapMu      sync.Mutex
+}
+
+// histBank is one of the histogram's two accumulation banks.
+type histBank struct {
 	counts []atomic.Int64 // len(bounds)+1
 	sum    atomic.Int64
-	count  atomic.Int64
+	done   atomic.Uint64 // observations fully recorded here (cumulative after folds)
 }
+
+const hotBit = uint64(1) << 63
 
 // LatencyBuckets returns the default nanosecond bounds used for duration
 // histograms: a 1–2.5–5 ladder from 100 ns to 10 s (23 buckets plus
@@ -139,16 +159,16 @@ func LatencyBuckets() []int64 {
 func newHistogram(bounds []int64) *Histogram {
 	h := &Histogram{
 		bounds: append([]int64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		ex:     make([]atomic.Uint64, len(bounds)+1),
+	}
+	for b := range h.banks {
+		h.banks[b].counts = make([]atomic.Int64, len(bounds)+1)
 	}
 	return h
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v int64) {
-	if h == nil {
-		return
-	}
+// bucket returns the index of the bucket v falls into.
+func (h *Histogram) bucket(v int64) int {
 	// Binary search beats linear scan only past ~64 buckets; the default
 	// ladder has 24, and the loop is branch-predictable for clustered
 	// latencies.
@@ -156,9 +176,37 @@ func (h *Histogram) Observe(v int64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.count.Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	n := h.countAndHot.Add(1)
+	b := &h.banks[n>>63]
+	b.counts[h.bucket(v)].Add(1)
+	b.sum.Add(v)
+	b.done.Add(1)
+}
+
+// ObserveTrace records one value and stamps its bucket's exemplar with the
+// given trace ID, so a latency spike in a top bucket links to a concrete
+// trace (see TraceStore). A zero ID leaves the exemplar untouched.
+func (h *Histogram) ObserveTrace(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	n := h.countAndHot.Add(1)
+	b := &h.banks[n>>63]
+	i := h.bucket(v)
+	b.counts[i].Add(1)
+	b.sum.Add(v)
+	if traceID != 0 {
+		h.ex[i].Store(traceID)
+	}
+	b.done.Add(1)
 }
 
 // ObserveSince records the nanoseconds elapsed since t0.
@@ -168,30 +216,62 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	}
 }
 
-// Count returns the number of observations.
+// read returns a generation-consistent copy of the histogram's cumulative
+// state: buckets, sum and count all from the same instant. It briefly spins
+// waiting for writers in flight on the cold bank (each finishes in a few
+// instructions), folds the cold bank into the hot one, and leaves totals
+// unchanged.
+func (h *Histogram) read(buckets []int64) (out []int64, sum, count int64) {
+	h.snapMu.Lock()
+	defer h.snapMu.Unlock()
+
+	n := h.countAndHot.Add(hotBit) // flip the hot bank
+	count = int64(n &^ hotBit)     // observations initiated ever
+	hot := &h.banks[n>>63]
+	cold := &h.banks[(n>>63)^1]
+	for cold.done.Load() != uint64(count) {
+		runtime.Gosched() // writers drain in a handful of instructions
+	}
+
+	// The cold bank is quiescent and cumulative: copy it out.
+	sum = cold.sum.Load()
+	out = buckets[:0]
+	for i := range cold.counts {
+		out = append(out, cold.counts[i].Load())
+	}
+
+	// Fold cold into hot (new observations land there) and zero it, so the
+	// next flip starts from a clean bank while totals stay cumulative.
+	hot.sum.Add(sum)
+	for i := range cold.counts {
+		hot.counts[i].Add(out[i])
+		cold.counts[i].Store(0)
+	}
+	cold.sum.Store(0)
+	cold.done.Store(0)
+	hot.done.Add(uint64(count))
+	return out, sum, count
+}
+
+// Count returns the number of observations initiated (exact, lock-free).
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.count.Load()
+	return int64(h.countAndHot.Load() &^ hotBit)
 }
 
-// Sum returns the sum of all observed values.
+// Sum returns the sum of all observed values, read consistently.
 func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum.Load()
+	_, sum, _ := h.read(make([]int64, 0, len(h.bounds)+1))
+	return sum
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1):
-// the bound of the first bucket at which the cumulative count reaches
-// q·total. Observations in the overflow bucket report the largest bound.
-func (h *Histogram) Quantile(q float64) int64 {
-	if h == nil {
-		return 0
-	}
-	total := h.count.Load()
+// quantileFrom computes the q-quantile over an already-copied bucket set.
+func (h *Histogram) quantileFrom(buckets []int64, total int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
@@ -200,8 +280,8 @@ func (h *Histogram) Quantile(q float64) int64 {
 		target = 1
 	}
 	var cum int64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
+	for i := range buckets {
+		cum += buckets[i]
 		if cum >= target {
 			if i < len(h.bounds) {
 				return h.bounds[i]
@@ -212,9 +292,21 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// HistogramSnapshot is a consistent-enough copy of a histogram for export:
-// buckets are read once each, so totals can drift by in-flight observations
-// but never go backwards.
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1):
+// the bound of the first bucket at which the cumulative count reaches
+// q·total. Observations in the overflow bucket report the largest bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	buckets, _, count := h.read(make([]int64, 0, len(h.bounds)+1))
+	return h.quantileFrom(buckets, count, q)
+}
+
+// HistogramSnapshot is a generation-consistent copy of a histogram for
+// export: count, sum and buckets are captured from one instant, so a
+// /metrics scrape racing Observe calls never shows sum and count from
+// different moments.
 type HistogramSnapshot struct {
 	Count   int64   `json:"count"`
 	Sum     int64   `json:"sum"`
@@ -224,28 +316,39 @@ type HistogramSnapshot struct {
 	P99     int64   `json:"p99"`
 	Bounds  []int64 `json:"bounds,omitempty"`
 	Buckets []int64 `json:"buckets,omitempty"`
+	// Exemplars holds, per bucket, the trace ID of the last ObserveTrace
+	// that landed there (0 = none); same length as Buckets when present.
+	Exemplars []uint64 `json:"exemplars,omitempty"`
 }
 
-// Snapshot captures the histogram's current shape.
+// Snapshot captures the histogram's current shape in one generation.
 func (h *Histogram) Snapshot(withBuckets bool) HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
+	buckets, sum, count := h.read(make([]int64, 0, len(h.bounds)+1))
 	s := HistogramSnapshot{
-		Count: h.count.Load(),
-		Sum:   h.sum.Load(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		Count: count,
+		Sum:   sum,
+		P50:   h.quantileFrom(buckets, count, 0.50),
+		P95:   h.quantileFrom(buckets, count, 0.95),
+		P99:   h.quantileFrom(buckets, count, 0.99),
 	}
 	if s.Count > 0 {
 		s.MeanNs = float64(s.Sum) / float64(s.Count)
 	}
 	if withBuckets {
 		s.Bounds = append([]int64(nil), h.bounds...)
-		s.Buckets = make([]int64, len(h.counts))
-		for i := range h.counts {
-			s.Buckets[i] = h.counts[i].Load()
+		s.Buckets = buckets
+		var any bool
+		exs := make([]uint64, len(h.ex))
+		for i := range h.ex {
+			if exs[i] = h.ex[i].Load(); exs[i] != 0 {
+				any = true
+			}
+		}
+		if any {
+			s.Exemplars = exs
 		}
 	}
 	return s

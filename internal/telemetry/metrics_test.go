@@ -164,3 +164,85 @@ func TestRegistryConcurrentLookup(t *testing.T) {
 		t.Fatalf("shared counter = %d, want 1600", got)
 	}
 }
+
+// TestHistogramSnapshotConsistency is the satellite-2 hammer: writers
+// observe a fixed value while readers snapshot concurrently; every snapshot
+// must be internally consistent — sum == count*v and the bucket totals must
+// equal the count — which only holds if count, sum and buckets come from
+// one generation.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	const v = 50
+	const writers = 4
+	const perWriter = 20000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(v)
+			}
+		}()
+	}
+
+	var readers sync.WaitGroup
+	for rdr := 0; rdr < 3; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot(true)
+				if s.Sum != s.Count*v {
+					t.Errorf("inconsistent snapshot: count=%d sum=%d (want %d)", s.Count, s.Sum, s.Count*v)
+					return
+				}
+				var bt int64
+				for _, b := range s.Buckets {
+					bt += b
+				}
+				if bt != s.Count {
+					t.Errorf("bucket total %d != count %d", bt, s.Count)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	final := h.Snapshot(true)
+	if final.Count != writers*perWriter || final.Sum != int64(writers*perWriter*v) {
+		t.Fatalf("final snapshot: %+v", final)
+	}
+}
+
+// TestHistogramExemplars checks ObserveTrace attaches trace IDs to the
+// right buckets and the JSON snapshot carries them.
+func TestHistogramExemplars(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	h.ObserveTrace(5, 101)    // bucket 0
+	h.ObserveTrace(500, 202)  // bucket 2
+	h.ObserveTrace(5000, 303) // overflow bucket
+	h.ObserveTrace(7, 0)      // zero trace ID: must not clobber
+
+	s := h.Snapshot(true)
+	if len(s.Exemplars) != len(s.Buckets) {
+		t.Fatalf("exemplars len %d, buckets len %d", len(s.Exemplars), len(s.Buckets))
+	}
+	want := []uint64{101, 0, 202, 303}
+	for i, w := range want {
+		if s.Exemplars[i] != w {
+			t.Errorf("exemplar[%d] = %d, want %d", i, s.Exemplars[i], w)
+		}
+	}
+}

@@ -30,6 +30,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	checks map[string]func() error
+	extra  map[string]http.Handler
 
 	ln   net.Listener
 	http *http.Server
@@ -52,11 +53,29 @@ func (s *Server) AddCheck(name string, fn func() error) {
 	s.checks[name] = fn
 }
 
+// Handle mounts an extra handler on the server's route table (e.g. a
+// FlightRecorder at /debug/flight, an SLOEngine at /slo). Call before
+// Start/Handler; later registrations are not picked up by an already-built
+// mux.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
+}
+
 // Handler returns the server's route table, usable directly in tests via
 // net/http/httptest.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
+	s.mu.Lock()
+	for p, h := range s.extra {
+		mux.Handle(p, h)
+	}
+	s.mu.Unlock()
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -108,6 +127,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	accept := r.Header.Get("Accept")
+	if r.URL.Query().Get("format") == "prom" ||
+		strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+		return
+	}
 	if r.URL.Query().Get("format") == "json" ||
 		strings.Contains(r.Header.Get("Accept"), "application/json") {
 		w.Header().Set("Content-Type", "application/json")

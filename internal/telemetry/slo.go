@@ -1,0 +1,344 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SLOEngine evaluates declarative service-level objectives over rolling
+// windows using multi-window burn rates, the standard SRE construction: an
+// objective declares a goal (e.g. 99% of hops under target), the engine
+// samples each objective's cumulative good/total counters on a fixed tick,
+// buckets the deltas into a time ring, and reports per-window burn rates
+//
+//	burn = badRatio / (1 - goal)
+//
+// so burn 1.0 consumes the error budget exactly at the rate the goal
+// allows, and burn 14 on a short window means the budget will be gone
+// within hours. An objective is Burning when the burn rate exceeds the
+// alert threshold on BOTH the fastest window and the next one up — the
+// two-window condition keeps one bad second from paging while still
+// resetting quickly once the condition clears.
+//
+// Status is exposed at /slo (the engine is an http.Handler), and as gauges
+// on the registry (slo.<name>.ratio.<window>, slo.<name>.burn.<window>,
+// slo.<name>.burning) so burn rates are scrapeable alongside everything
+// else. serve.Server can optionally feed Burning() back into admission
+// control (budget-aware degradation).
+//
+// A nil *SLOEngine is inert: Tick and Burning are no-ops.
+
+// GoodTotal samples an objective's cumulative good and total event counts.
+// Both must be monotonically non-decreasing; the engine works on deltas.
+type GoodTotal func() (good, total int64)
+
+// HistogramTargetSource treats an observation at or under targetNs as good.
+// Good is the cumulative histogram count through the first bucket whose
+// upper bound is >= targetNs, read from one generation-consistent snapshot.
+func HistogramTargetSource(h *Histogram, targetNs int64) GoodTotal {
+	return func() (int64, int64) {
+		if h == nil {
+			return 0, 0
+		}
+		buckets, _, count := h.read(nil)
+		var good int64
+		for i, b := range h.bounds {
+			good += buckets[i]
+			if b >= targetNs {
+				return good, count
+			}
+		}
+		return count, count // target beyond the last bound: everything is good
+	}
+}
+
+// CounterRatioSource reads good and total counters directly.
+func CounterRatioSource(good, total *Counter) GoodTotal {
+	return func() (int64, int64) {
+		return good.Value(), total.Value()
+	}
+}
+
+// CounterFailureSource derives good = total - bad from a failure counter.
+func CounterFailureSource(bad, total *Counter) GoodTotal {
+	return func() (int64, int64) {
+		t := total.Value()
+		g := t - bad.Value()
+		if g < 0 {
+			g = 0
+		}
+		return g, t
+	}
+}
+
+// SumFailureSource derives goodness from several failure counters against a
+// single total (e.g. lossy close reasons vs. sessions opened).
+func SumFailureSource(total *Counter, bad ...*Counter) GoodTotal {
+	return func() (int64, int64) {
+		t := total.Value()
+		g := t
+		for _, b := range bad {
+			g -= b.Value()
+		}
+		if g < 0 {
+			g = 0
+		}
+		return g, t
+	}
+}
+
+// Objective is one declared SLO.
+type Objective struct {
+	Name        string
+	Description string
+	Goal        float64 // target good ratio in (0,1), e.g. 0.99
+	Source      GoodTotal
+}
+
+// WindowBurn is one window's view of an objective.
+type WindowBurn struct {
+	Window   time.Duration `json:"-"`
+	WindowS  float64       `json:"window_s"`
+	Good     int64         `json:"good"`
+	Total    int64         `json:"total"`
+	BadRatio float64       `json:"bad_ratio"`
+	Burn     float64       `json:"burn"`
+}
+
+// ObjectiveStatus is one objective's full evaluation at the latest tick.
+type ObjectiveStatus struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Goal        float64      `json:"goal"`
+	Windows     []WindowBurn `json:"windows"`
+	Burning     bool         `json:"burning"`
+}
+
+type sloBucket struct {
+	good, total int64
+}
+
+// sloObjective is the engine's per-objective state: last cumulative sample
+// plus a time-bucketed delta ring covering the longest window.
+type sloObjective struct {
+	obj                 Objective
+	lastGood, lastTotal int64
+	primed              bool
+	ring                []sloBucket // one bucket per resolution step
+	head                int         // ring index of the current bucket
+	ratioG, burnG       []*FloatGauge
+	burningG            *Gauge
+	status              ObjectiveStatus
+}
+
+// SLOEngine holds the objectives and their rolling state. Tick is expected
+// on a fixed cadence (Resolution); the serve maintenance loop drives it.
+type SLOEngine struct {
+	windows    []time.Duration
+	resolution time.Duration
+	alert      float64
+
+	mu   sync.Mutex
+	objs []*sloObjective
+	last time.Time
+}
+
+// NewSLOEngine builds an engine evaluating over the given windows (sorted
+// shortest-first by the caller; e.g. 30s, 2m, 10m) at the given tick
+// resolution. burnAlert is the burn-rate threshold for Burning (a common
+// choice is 2: budget consumed at twice the sustainable rate). Gauges are
+// registered on reg if non-nil.
+func NewSLOEngine(windows []time.Duration, resolution time.Duration, burnAlert float64) *SLOEngine {
+	if len(windows) == 0 {
+		windows = []time.Duration{30 * time.Second, 2 * time.Minute, 10 * time.Minute}
+	}
+	if resolution <= 0 {
+		resolution = time.Second
+	}
+	if burnAlert <= 0 {
+		burnAlert = 2
+	}
+	return &SLOEngine{windows: windows, resolution: resolution, alert: burnAlert}
+}
+
+// Windows returns the engine's evaluation windows.
+func (e *SLOEngine) Windows() []time.Duration {
+	if e == nil {
+		return nil
+	}
+	return e.windows
+}
+
+// Add declares an objective. Gauge handles are resolved once here so Tick
+// never touches the registry maps. reg may be nil (no metric export).
+func (e *SLOEngine) Add(obj Objective, reg *Registry) {
+	if e == nil {
+		return
+	}
+	longest := e.windows[len(e.windows)-1]
+	n := int(longest/e.resolution) + 1
+	so := &sloObjective{
+		obj:  obj,
+		ring: make([]sloBucket, n),
+	}
+	so.status = ObjectiveStatus{
+		Name:        obj.Name,
+		Description: obj.Description,
+		Goal:        obj.Goal,
+		Windows:     make([]WindowBurn, len(e.windows)),
+	}
+	for i, w := range e.windows {
+		so.status.Windows[i] = WindowBurn{Window: w, WindowS: w.Seconds()}
+	}
+	if reg != nil {
+		for _, w := range e.windows {
+			ws := w.String()
+			so.ratioG = append(so.ratioG, reg.FloatGauge("slo."+obj.Name+".bad_ratio."+ws))
+			so.burnG = append(so.burnG, reg.FloatGauge("slo."+obj.Name+".burn."+ws))
+		}
+		so.burningG = reg.Gauge("slo." + obj.Name + ".burning")
+	} else {
+		for range e.windows {
+			so.ratioG = append(so.ratioG, nil)
+			so.burnG = append(so.burnG, nil)
+		}
+	}
+	e.mu.Lock()
+	e.objs = append(e.objs, so)
+	e.mu.Unlock()
+}
+
+// Tick samples every objective's source, advances the delta rings, and
+// recomputes per-window burn rates. Call on the Resolution cadence; ticks
+// arriving faster fold into the current bucket, a late tick advances the
+// ring by however many buckets elapsed (zero-filling the gap).
+func (e *SLOEngine) Tick(now time.Time) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	steps := 1
+	if !e.last.IsZero() {
+		steps = int(now.Sub(e.last) / e.resolution)
+		if steps < 0 {
+			steps = 0
+		}
+	}
+	if steps > 0 {
+		e.last = now
+	}
+
+	for _, so := range e.objs {
+		good, total := so.obj.Source()
+		var dGood, dTotal int64
+		if so.primed {
+			dGood, dTotal = good-so.lastGood, total-so.lastTotal
+			if dGood < 0 {
+				dGood = 0
+			}
+			if dTotal < 0 {
+				dTotal = 0
+			}
+		}
+		so.lastGood, so.lastTotal, so.primed = good, total, true
+
+		for s := 0; s < steps && s < len(so.ring); s++ {
+			so.head = (so.head + 1) % len(so.ring)
+			so.ring[so.head] = sloBucket{}
+		}
+		so.ring[so.head].good += dGood
+		so.ring[so.head].total += dTotal
+
+		burningFast, burningSlow := false, false
+		for wi, w := range e.windows {
+			buckets := int(w / e.resolution)
+			if buckets < 1 {
+				buckets = 1
+			}
+			var g, t int64
+			for b := 0; b < buckets && b < len(so.ring); b++ {
+				idx := (so.head - b + len(so.ring)) % len(so.ring)
+				g += so.ring[idx].good
+				t += so.ring[idx].total
+			}
+			wb := &so.status.Windows[wi]
+			wb.Good, wb.Total = g, t
+			wb.BadRatio, wb.Burn = 0, 0
+			if t > 0 {
+				wb.BadRatio = float64(t-g) / float64(t)
+				if so.obj.Goal < 1 {
+					wb.Burn = wb.BadRatio / (1 - so.obj.Goal)
+				}
+			}
+			if wb.Burn > e.alert {
+				if wi == 0 {
+					burningFast = true
+				} else if wi == 1 {
+					burningSlow = true
+				}
+			}
+			so.ratioG[wi].Set(wb.BadRatio)
+			so.burnG[wi].Set(wb.Burn)
+		}
+		so.status.Burning = burningFast && (len(e.windows) < 2 || burningSlow)
+		if so.burningG != nil {
+			if so.status.Burning {
+				so.burningG.Set(1)
+			} else {
+				so.burningG.Set(0)
+			}
+		}
+	}
+}
+
+// Burning reports whether any objective is currently burning its budget
+// faster than the alert threshold on the two fastest windows.
+func (e *SLOEngine) Burning() bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, so := range e.objs {
+		if so.status.Burning {
+			return true
+		}
+	}
+	return false
+}
+
+// Status returns a copy of every objective's latest evaluation.
+func (e *SLOEngine) Status() []ObjectiveStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ObjectiveStatus, len(e.objs))
+	for i, so := range e.objs {
+		st := so.status
+		st.Windows = append([]WindowBurn(nil), so.status.Windows...)
+		out[i] = st
+	}
+	return out
+}
+
+// ServeHTTP exposes the engine at /slo.
+func (e *SLOEngine) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	st := e.Status()
+	if st == nil {
+		st = []ObjectiveStatus{}
+	}
+	burning := e.Burning()
+	enc.Encode(struct {
+		Burning    bool              `json:"burning"`
+		Objectives []ObjectiveStatus `json:"objectives"`
+	}{Burning: burning, Objectives: st})
+}

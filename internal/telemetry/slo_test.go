@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// sloTestClock drives deterministic ticks.
+func sloTicks(e *SLOEngine, start time.Time, n int, step time.Duration) time.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		now = now.Add(step)
+		e.Tick(now)
+	}
+	return now
+}
+
+// TestSLOBurnRates drives a counter-backed objective through healthy and
+// burning phases and checks the window math.
+func TestSLOBurnRates(t *testing.T) {
+	reg := NewRegistry()
+	bad := reg.Counter("test.bad")
+	total := reg.Counter("test.total")
+
+	e := NewSLOEngine([]time.Duration{10 * time.Second, 30 * time.Second}, time.Second, 2)
+	e.Add(Objective{
+		Name:   "clean",
+		Goal:   0.99,
+		Source: CounterFailureSource(bad, total),
+	}, reg)
+
+	start := time.Unix(1000, 0)
+	e.Tick(start) // priming tick
+
+	// Healthy phase: 100 events/s, none bad.
+	now := start
+	for i := 0; i < 10; i++ {
+		total.Add(100)
+		now = sloTicks(e, now, 1, time.Second)
+	}
+	st := e.Status()
+	if len(st) != 1 {
+		t.Fatalf("objectives = %d", len(st))
+	}
+	if st[0].Burning {
+		t.Fatal("healthy phase should not burn")
+	}
+	if w := st[0].Windows[0]; w.Total != 1000 || w.Good != 1000 || w.Burn != 0 {
+		t.Fatalf("healthy window: %+v", w)
+	}
+
+	// Burning phase: 10%% bad — burn = 0.10/0.01 = 10 > alert on both windows.
+	for i := 0; i < 12; i++ {
+		total.Add(100)
+		bad.Add(10)
+		now = sloTicks(e, now, 1, time.Second)
+	}
+	st = e.Status()
+	if !st[0].Burning {
+		t.Fatalf("burning phase not detected: %+v", st[0].Windows)
+	}
+	w0 := st[0].Windows[0]
+	if w0.BadRatio < 0.09 || w0.BadRatio > 0.11 {
+		t.Fatalf("fast-window bad ratio = %v, want ~0.10", w0.BadRatio)
+	}
+	if w0.Burn < 9 || w0.Burn > 11 {
+		t.Fatalf("fast-window burn = %v, want ~10", w0.Burn)
+	}
+	// Exported gauges must agree.
+	if g := reg.FloatGauge("slo.clean.burn.10s").Value(); g != w0.Burn {
+		t.Fatalf("burn gauge = %v, status = %v", g, w0.Burn)
+	}
+	if reg.Gauge("slo.clean.burning").Value() != 1 {
+		t.Fatal("burning gauge not set")
+	}
+	if !e.Burning() {
+		t.Fatal("engine-level Burning() false")
+	}
+
+	// Recovery: clean traffic pushes the fast window back under the alert.
+	for i := 0; i < 12; i++ {
+		total.Add(100)
+		now = sloTicks(e, now, 1, time.Second)
+	}
+	st = e.Status()
+	if st[0].Burning {
+		t.Fatalf("should have recovered: %+v", st[0].Windows)
+	}
+	if e.Burning() {
+		t.Fatal("engine-level Burning() stuck")
+	}
+}
+
+// TestSLOTwoWindowGate: a one-second spike trips the fast window but not
+// the slower one, so the objective must NOT report burning.
+func TestSLOTwoWindowGate(t *testing.T) {
+	reg := NewRegistry()
+	bad := reg.Counter("g.bad")
+	total := reg.Counter("g.total")
+	e := NewSLOEngine([]time.Duration{2 * time.Second, 30 * time.Second}, time.Second, 2)
+	e.Add(Objective{Name: "gate", Goal: 0.99, Source: CounterFailureSource(bad, total)}, reg)
+
+	start := time.Unix(2000, 0)
+	e.Tick(start)
+	now := start
+	// 28s of clean traffic to dilute the slow window.
+	for i := 0; i < 28; i++ {
+		total.Add(1000)
+		now = sloTicks(e, now, 1, time.Second)
+	}
+	// One bad second.
+	total.Add(1000)
+	bad.Add(500)
+	now = sloTicks(e, now, 1, time.Second)
+
+	st := e.Status()
+	if w := st[0].Windows[0]; w.Burn <= 2 {
+		t.Fatalf("fast window should exceed alert, burn = %v", w.Burn)
+	}
+	if st[0].Burning {
+		t.Fatal("single-window spike must not set Burning (two-window gate)")
+	}
+}
+
+// TestSLOHistogramSource checks HistogramTargetSource counts observations
+// at or under the target as good.
+func TestSLOHistogramSource(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	src := HistogramTargetSource(h, 100)
+	for i := 0; i < 90; i++ {
+		h.Observe(50) // good
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // bad
+	}
+	good, total := src()
+	if good != 90 || total != 100 {
+		t.Fatalf("good=%d total=%d, want 90/100", good, total)
+	}
+	// Target beyond the last bound: everything counts as good.
+	all := HistogramTargetSource(h, 1_000_000)
+	good, total = all()
+	if good != 100 || total != 100 {
+		t.Fatalf("beyond-last-bound: good=%d total=%d", good, total)
+	}
+}
+
+// TestSLOServeHTTP checks the /slo JSON shape.
+func TestSLOServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(nil, time.Second, 2)
+	e.Add(Objective{Name: "o", Description: "d", Goal: 0.999,
+		Source: CounterFailureSource(reg.Counter("b"), reg.Counter("t"))}, reg)
+	e.Tick(time.Unix(3000, 0))
+
+	rec := httptest.NewRecorder()
+	e.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	var body struct {
+		Burning    bool `json:"burning"`
+		Objectives []struct {
+			Name    string  `json:"name"`
+			Goal    float64 `json:"goal"`
+			Windows []struct {
+				WindowS float64 `json:"window_s"`
+			} `json:"windows"`
+		} `json:"objectives"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /slo JSON: %v", err)
+	}
+	if len(body.Objectives) != 1 || body.Objectives[0].Name != "o" {
+		t.Fatalf("objectives: %+v", body.Objectives)
+	}
+	if n := len(body.Objectives[0].Windows); n != 3 {
+		t.Fatalf("default windows = %d, want 3", n)
+	}
+	if body.Objectives[0].Windows[0].WindowS != 30 {
+		t.Fatalf("fastest window = %v s", body.Objectives[0].Windows[0].WindowS)
+	}
+}
+
+// TestSLONil confirms a nil engine is inert.
+func TestSLONil(t *testing.T) {
+	var e *SLOEngine
+	e.Tick(time.Now())
+	e.Add(Objective{}, nil)
+	if e.Burning() || e.Status() != nil || e.Windows() != nil {
+		t.Fatal("nil engine leaked state")
+	}
+}

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,4 +157,210 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// ---------------------------------------------------------------------------
+// Hop traces: cross-goroutine, per-chunk trace contexts.
+//
+// Tracer spans are positional and single-goroutine; a chunk in the serve
+// plane crosses three goroutines (session pump → lane coalescer → pump) and
+// a span cannot follow it. A HopTrace can: it is a flat array of stage
+// timestamps carried by pointer through the lane's request/reply channels,
+// which give the necessary happens-before edges, then committed to a
+// fixed-size TraceStore keyed by trace ID. Latency-histogram exemplars
+// carry these IDs, so a p99 spike resolves to a concrete
+// ingress→lane→infer→event timeline via /debug/trace?id=N.
+// ---------------------------------------------------------------------------
+
+// HopStage indexes the stamp array of a HopTrace; stages are stamped in
+// pipeline order as a chunk moves from TCP ingress to event emission.
+type HopStage uint8
+
+const (
+	HopIngress     HopStage = iota // chunk bytes read off the socket
+	HopDequeue                     // session pump picked the chunk up
+	HopClassify                    // detector handed the window to the classifier
+	HopLaneSubmit                  // request enqueued on the shared lane
+	HopLaneCollect                 // lane coalescer picked the request into a batch
+	HopInferDone                   // batched SWAR inference returned
+	HopReply                       // reply received back on the session pump
+	HopDone                        // detector finished scoring the chunk
+	HopEventEmit                   // keyword event delivered to the subscriber
+	NumHopStages
+)
+
+var hopStageNames = [NumHopStages]string{
+	"ingress", "dequeue", "classify", "lane_submit", "lane_collect",
+	"infer_done", "reply", "done", "event_emit",
+}
+
+// String names the stage as it appears in /debug/trace output.
+func (s HopStage) String() string {
+	if int(s) < len(hopStageNames) {
+		return hopStageNames[s]
+	}
+	return "unknown"
+}
+
+// HopTrace is one chunk's journey: a stamp (ns since TraceStore start) per
+// stage, 0 meaning the stage was not reached. It is carried by pointer and
+// mutated by whichever goroutine currently owns the chunk; ownership is
+// handed over through channels, so no stamp write races another.
+type HopTrace struct {
+	ID      uint64
+	Session string
+	Stamp   [NumHopStages]int64
+}
+
+type traceSlot struct {
+	mu sync.Mutex
+	tr HopTrace
+}
+
+// TraceStore retains the most recent committed hop traces in a fixed-size
+// ring keyed by trace ID. Begin and Commit are allocation-free; a nil
+// *TraceStore disables tracing at the cost of a pointer compare.
+type TraceStore struct {
+	start  time.Time
+	nextID atomic.Uint64
+	slots  []traceSlot
+	mask   uint64
+}
+
+// NewTraceStore returns a store retaining the most recent `capacity`
+// committed traces (rounded up to a power of two; <= 0 selects 4096).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceStore{start: time.Now(), slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// Now returns the store's monotonic clock in nanoseconds; stamps use this
+// timebase. Returns 0 on a nil store.
+func (ts *TraceStore) Now() int64 {
+	if ts == nil {
+		return 0
+	}
+	return int64(time.Since(ts.start))
+}
+
+// At converts an absolute time into the store's timebase (for stamping a
+// stage with a time captured earlier, e.g. socket ingress).
+func (ts *TraceStore) At(t time.Time) int64 {
+	if ts == nil {
+		return 0
+	}
+	return int64(t.Sub(ts.start))
+}
+
+// Begin initialises tr for a fresh chunk: assigns the next trace ID, zeroes
+// the stamps. The caller owns tr until Commit.
+func (ts *TraceStore) Begin(tr *HopTrace, session string) {
+	if ts == nil {
+		return
+	}
+	tr.ID = ts.nextID.Add(1)
+	tr.Session = session
+	clear(tr.Stamp[:])
+}
+
+// Commit publishes a finished trace into the ring. Slow commits never
+// clobber a newer trace that already wrapped onto the slot.
+func (ts *TraceStore) Commit(tr *HopTrace) {
+	if ts == nil || tr.ID == 0 {
+		return
+	}
+	s := &ts.slots[tr.ID&ts.mask]
+	s.mu.Lock()
+	if tr.ID > s.tr.ID {
+		s.tr = *tr
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the committed trace with the given ID, or ok=false if it was
+// never committed or has been evicted by ring wraparound.
+func (ts *TraceStore) Get(id uint64) (HopTrace, bool) {
+	if ts == nil || id == 0 {
+		return HopTrace{}, false
+	}
+	s := &ts.slots[id&ts.mask]
+	s.mu.Lock()
+	tr := s.tr
+	s.mu.Unlock()
+	return tr, tr.ID == id
+}
+
+// hopTraceJSON is the /debug/trace schema: stamps keyed by stage name,
+// omitting unreached stages, plus the end-to-end duration.
+type hopTraceJSON struct {
+	ID      uint64           `json:"id"`
+	Session string           `json:"session"`
+	Stages  map[string]int64 `json:"stages_ns"`
+	E2ENs   int64            `json:"e2e_ns"`
+}
+
+func hopJSON(tr HopTrace) hopTraceJSON {
+	out := hopTraceJSON{ID: tr.ID, Session: tr.Session, Stages: make(map[string]int64, NumHopStages)}
+	var first, last int64
+	for i, v := range tr.Stamp {
+		if v == 0 {
+			continue
+		}
+		out.Stages[HopStage(i).String()] = v
+		if first == 0 || v < first {
+			first = v
+		}
+		if v > last {
+			last = v
+		}
+	}
+	out.E2ENs = last - first
+	return out
+}
+
+// ServeHTTP exposes the store at /debug/trace: ?id=N resolves one trace
+// (404 if evicted); with no id, the most recent committed traces are
+// returned newest-first (bounded by ?limit, default 64).
+func (ts *TraceStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		tr, ok := ts.Get(id)
+		if !ok {
+			http.Error(w, "trace not found (never committed or evicted)", http.StatusNotFound)
+			return
+		}
+		enc.Encode(hopJSON(tr))
+		return
+	}
+	limit := 64
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		if n, err := strconv.Atoi(ls); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var traces []hopTraceJSON
+	if ts != nil {
+		latest := ts.nextID.Load()
+		for id := latest; id > 0 && len(traces) < limit && id+uint64(len(ts.slots)) > latest; id-- {
+			if tr, ok := ts.Get(id); ok {
+				traces = append(traces, hopJSON(tr))
+			}
+		}
+	}
+	enc.Encode(struct {
+		Traces []hopTraceJSON `json:"traces"`
+	}{Traces: traces})
 }
