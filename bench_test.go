@@ -230,6 +230,50 @@ func BenchmarkEngineInferInt8(b *testing.B) {
 	}
 }
 
+// benchEngineHop drives the incremental hop path at the default 250 ms hop
+// (12 stride-aligned frames of the 49-frame window) over a long strip of
+// overlapping windows — the steady-state streaming-session shape. Must
+// report 0 allocs/op (pinned by TestInferHopZeroAllocs and gated in ci.sh);
+// kws-bench gates its speedup over the full-window single-frame path.
+func benchEngineHop(b *testing.B, pol deploy.Policy, float bool) {
+	const hop = 12
+	const hops = 512
+	e := deploy.SyntheticEngine(9, 0.35)
+	e.Policy = pol
+	rng := rand.New(rand.NewSource(10))
+	strip := make([]float32, (int(e.Frames)+hop*hops)*int(e.Coeffs))
+	for i := range strip {
+		strip[i] = float32(rng.NormFloat64())
+	}
+	window := func(i int) []float32 {
+		return strip[i*hop*int(e.Coeffs):][:int(e.Frames)*int(e.Coeffs)]
+	}
+	infer := e.InferHopInt
+	if float {
+		infer = e.InferHopFloat
+	}
+	hs := e.NewHopState()
+	defer hs.Release()
+	infer(hs, window(0), int(e.Frames)) // warm up: cold full recompute
+	i := 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i >= hops {
+			// The strip loops: re-seed the cache outside the timed cost of a
+			// steady-state hop as rarely as the strip allows (1/511 hops).
+			i = 1
+			infer(hs, window(0), int(e.Frames))
+		}
+		infer(hs, window(i), hop)
+		i++
+	}
+}
+
+func BenchmarkEngineInferHopFloat(b *testing.B) { benchEngineHop(b, deploy.PolicyMixed, true) }
+func BenchmarkEngineInferHopMixed(b *testing.B) { benchEngineHop(b, deploy.PolicyMixed, false) }
+func BenchmarkEngineInferHopInt8(b *testing.B)  { benchEngineHop(b, deploy.PolicyInt8, false) }
+
 func BenchmarkEngineInferBatch(b *testing.B) {
 	const batch = 64
 	e := deploy.SyntheticEngine(9, 0.35)

@@ -71,18 +71,46 @@ go test -count=1 -short \
 #     leans on.
 go test -race -count=1 -run='TestMixedSingleBatchConcurrent' ./internal/deploy
 # (4) Multi-core batch smoke: the worker-scaling sweep must clear the
-#     kws-bench v4 gates — single-frame int8 at least 2.5x faster than the
+#     kws-bench v5 gates — single-frame int8 at least 2.5x faster than the
 #     float baseline, batch ns/frame at workers=1 within 1.5x of
 #     single-frame (the column-lane kernels win at one worker by design),
 #     1000 frames of batch output matching the scalar NaiveInt oracle under
-#     both policies, and the same oracle holding with a telemetry observer
-#     attached — kws-bench exits nonzero on any failure.
+#     both policies, the same oracle holding with a telemetry observer
+#     attached, 1000 consecutive hops of InferHop matching full-window
+#     InferInt byte-for-byte, and the incremental streaming pipeline
+#     (featurise + infer per hop) at least 2x faster than full-window
+#     recompute — kws-bench exits nonzero on any failure.
 BDIR="$(mktemp -d)"
 go build -o "$BDIR/kws-bench" ./cmd/kws-bench
 "$BDIR/kws-bench" -workers 1,2,4 -reps 3 -o "$BDIR/bench-engine.json"
 grep -q '"batch_parity_1000_frames": true' "$BDIR/bench-engine.json"
 grep -q '"telemetry_parity_1000_frames": true' "$BDIR/bench-engine.json"
+grep -q '"hop_parity_1000_hops": true' "$BDIR/bench-engine.json"
 rm -rf "$BDIR"
+
+# Incremental-hop gauntlet (temporal caching across overlapping windows).
+# (1) 0-alloc gate for the per-hop entry points: a warm hop under each
+#     policy (float reference, mixed, int8) must run without allocating —
+#     the steady-state contract the streaming pipeline leans on.
+BENCH_HOP="$(go test -run='^$' -bench='^BenchmarkEngineInferHop(Float|Mixed|Int8)$' -benchmem -benchtime=100x .)"
+echo "$BENCH_HOP"
+[ "$(echo "$BENCH_HOP" | grep -c ' 0 allocs/op')" -eq 3 ]
+# (2) Bit-exactness smoke: InferHop must agree byte-for-byte with the
+#     full-window path across shifts, invalidations, ragged arrivals, and
+#     both activation policies.
+go test -count=1 -run='TestInferHop' ./internal/deploy
+# (3) Gap/reset parity under the race detector: an incremental detector
+#     interleaving gap concealment and resets must stay event-identical to
+#     a full-window detector while another goroutine polls its stats, the
+#     hop snap rule must hold at every sample rate, and the cache ledger
+#     must account every hop as a hit, miss, or invalidation.
+go test -race -count=1 \
+    -run='TestIncrementalGapResetParity|TestIncrementalCacheAccounting|TestIncrementalHopSnapping' \
+    ./internal/stream
+# (4) End-to-end incremental serving: a session opened under
+#     Config.Incremental must deliver exactly the events of a standalone
+#     incremental detector fed the same chunks and gap.
+go test -count=1 -run='TestIncrementalServing' ./internal/serve
 
 # Observability gauntlet (unit layer).
 # (1) Prometheus text-exposition golden file: the rendered /metrics?format=prom

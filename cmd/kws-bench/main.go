@@ -68,6 +68,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/dsp"
 	"repro/internal/speechcmd"
 	"repro/internal/telemetry"
 	"repro/internal/train"
@@ -75,7 +76,7 @@ import (
 
 type result struct {
 	Name        string  `json:"name"`
-	Workers     int     `json:"workers,omitempty"`      // batch rows: GOMAXPROCS the row ran under
+	Workers     int     `json:"workers,omitempty"` // batch rows: GOMAXPROCS the row ran under
 	NsPerOp     float64 `json:"ns_per_op"`
 	NsPerFrame  float64 `json:"ns_per_frame,omitempty"` // batch rows: ns_per_op / batch size
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -83,23 +84,23 @@ type result struct {
 }
 
 type report struct {
-	Schema            string   `json:"schema"`
-	Generated         string   `json:"generated"`
-	GoVersion         string   `json:"go_version"`
-	GOOS              string   `json:"goos"`
-	GOARCH            string   `json:"goarch"`
-	GOMAXPROCS        int      `json:"gomaxprocs"`
-	NumCPU            int      `json:"num_cpu"`
-	Shape             string   `json:"shape"`
-	Density           float64  `json:"density"`
-	DensityMeasured   float64  `json:"density_measured"`
-	Seed              int64    `json:"seed"`
-	BatchSize         int      `json:"batch_size"`
-	Reps              int      `json:"reps"`
-	ModelFileBytes    int64    `json:"model_file_bytes"`
-	ScratchBytesFloat int64    `json:"scratch_bytes_float"`
-	ScratchBytesMixed int64    `json:"scratch_bytes_mixed"`
-	ScratchBytesInt8  int64    `json:"scratch_bytes_int8"`
+	Schema            string                `json:"schema"`
+	Generated         string                `json:"generated"`
+	GoVersion         string                `json:"go_version"`
+	GOOS              string                `json:"goos"`
+	GOARCH            string                `json:"goarch"`
+	GOMAXPROCS        int                   `json:"gomaxprocs"`
+	NumCPU            int                   `json:"num_cpu"`
+	Shape             string                `json:"shape"`
+	Density           float64               `json:"density"`
+	DensityMeasured   float64               `json:"density_measured"`
+	Seed              int64                 `json:"seed"`
+	BatchSize         int                   `json:"batch_size"`
+	Reps              int                   `json:"reps"`
+	ModelFileBytes    int64                 `json:"model_file_bytes"`
+	ScratchBytesFloat int64                 `json:"scratch_bytes_float"`
+	ScratchBytesMixed int64                 `json:"scratch_bytes_mixed"`
+	ScratchBytesInt8  int64                 `json:"scratch_bytes_int8"`
 	WorkerCounts      []int                 `json:"worker_counts"`
 	LayerLayouts      []deploy.LayerLayouts `json:"layer_layouts"`
 	Results           []result              `json:"results"`
@@ -113,6 +114,12 @@ type report struct {
 	BatchNsFrameFloat float64               `json:"batch_ns_per_frame_float"`
 	BatchNsFrameMixed float64               `json:"batch_ns_per_frame_mixed"`
 	BatchNsFrameInt8  float64               `json:"batch_ns_per_frame_int8"`
+	HopFrames         int                   `json:"hop_frames"`           // new frames per incremental hop
+	HopEffectiveMs    int                   `json:"hop_effective_ms"`     // 250 ms snapped to the 20 ms stride grid
+	StreamSampleRate  int                   `json:"stream_sample_rate"`   // rate of the streaming-pipeline rows
+	HopParity         bool                  `json:"hop_parity_1000_hops"` // InferHop == full-window InferInt, both policies
+	HopEngineSpeedups map[string]float64    `json:"hop_engine_speedup_by_policy"`
+	SpeedupHopVsFull  float64               `json:"speedup_hop_vs_full"` // streaming per-hop pipeline (featurise+infer), gated
 	CPUWarning        string                `json:"cpu_warning,omitempty"`
 	Note              string                `json:"note,omitempty"`
 }
@@ -160,6 +167,7 @@ func main() {
 	workers := flag.String("workers", "1,2,4,8", "comma-separated GOMAXPROCS values for the batch worker-scaling sweep")
 	gateBatch := flag.Bool("gate-batch", true, "exit nonzero if batch ns/frame at workers=1 exceeds 1.5x single-frame ns/op")
 	minSpeedup := flag.Float64("min-speedup", 2.5, "exit nonzero if single-frame int8 speedup vs float falls below this (0 disables)")
+	minHopSpeedup := flag.Float64("min-hop-speedup", 2.0, "exit nonzero if the streaming per-hop pipeline (featurise+infer) speedup of incremental over full-window falls below this (0 disables)")
 	reps := flag.Int("reps", 3, "benchmark repetitions; the fastest is kept")
 	trainMode := flag.Bool("train", false, "benchmark training throughput instead of the inference engine")
 	serveMode := flag.Bool("serve", false, "benchmark the serving daemon core under concurrent fault-injected sessions")
@@ -187,7 +195,7 @@ func main() {
 	if *out == "" {
 		*out = "BENCH_engine.json"
 	}
-	benchEngine(*out, *seed, *density, *batch, *reps, parseWorkers(*workers), *gateBatch, *minSpeedup)
+	benchEngine(*out, *seed, *density, *batch, *reps, parseWorkers(*workers), *gateBatch, *minSpeedup, *minHopSpeedup)
 }
 
 // parseWorkers turns the -workers flag ("1,2,4,8") into a sorted-as-given
@@ -215,7 +223,7 @@ func parseWorkers(s string) []int {
 	return ws
 }
 
-func benchEngine(out string, seed int64, density float64, batch, reps int, workerCounts []int, gateBatch bool, minSpeedup float64) {
+func benchEngine(out string, seed int64, density float64, batch, reps int, workerCounts []int, gateBatch bool, minSpeedup, minHopSpeedup float64) {
 	e := deploy.SyntheticEngine(seed, density)
 	rng := rand.New(rand.NewSource(seed + 1))
 	x := make([]float32, e.Frames*e.Coeffs)
@@ -232,7 +240,7 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	}
 
 	rep := report{
-		Schema:    "kws-bench/v4",
+		Schema:    "kws-bench/v5",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -246,12 +254,15 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 		WorkerCounts:    workerCounts,
 		Reps:            reps,
 		ModelFileBytes:  e.Size(),
-		Note: "schema v4: layer_layouts records the cost model's per-row layout choices and " +
-			"EngineInferInt8Forced* rows measure each layout in isolation (SetForceLayout); " +
-			"the v3 batch-beats-single gate at workers=1 is retired — the column-lane " +
-			"single-frame kernels beat the batch lane path at one worker by design, so v4 " +
-			"bounds batch overhead at 1.5x instead; batch rows are per-policy and swept " +
-			"across worker counts, each measured under GOMAXPROCS=workers",
+		Note: "schema v5 adds the incremental streaming rows: EngineInferHop* time the " +
+			"engine's temporal-cache hop path (12 new frames per 240 ms hop, 0 allocs), " +
+			"StreamHopFull/StreamHopIncremental time the whole per-hop streaming pipeline " +
+			"(MFCC featurisation + inference) at 16 kHz, and speedup_hop_vs_full gates the " +
+			"pipeline ratio — featurisation dominates the full path, while pad erosion " +
+			"caps the engine-only hop reuse near 1.8x (hop_engine_speedup_by_policy). " +
+			"v4 carry-overs: layer_layouts + EngineInferInt8Forced* audit the layout cost " +
+			"model; batch overhead at workers=1 is bounded at 1.5x of single-frame; batch " +
+			"rows are per-policy under GOMAXPROCS=workers",
 	}
 
 	// Footprints per policy (the paper's Table 6 size story). Restore the
@@ -389,6 +400,51 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	}
 	e.Policy = deploy.PolicyMixed
 
+	// Incremental hop rows (schema v5): the temporal-cache streaming path at
+	// the default cadence — 250 ms snapped to the MFCC stride grid is 240 ms,
+	// i.e. 12 new frames of the 49-frame window per hop.
+	const hopFrames = 12
+	rep.HopFrames = hopFrames
+	rep.HopEffectiveMs = 240
+	hopRows := map[string]result{}
+	for _, pc := range []struct {
+		pol   deploy.Policy
+		name  string
+		float bool
+	}{
+		{deploy.PolicyMixed, "EngineInferHopFloat", true},
+		{deploy.PolicyMixed, "EngineInferHopMixed", false},
+		{deploy.PolicyInt8, "EngineInferHopInt8", false},
+	} {
+		e.Policy = pc.pol
+		r := benchHop(e, pc.float, hopFrames, reps)
+		r.Name = pc.name
+		rep.Results = append(rep.Results, r)
+		hopRows[pc.name] = r
+	}
+	e.Policy = deploy.PolicyMixed
+	rep.HopEngineSpeedups = map[string]float64{
+		"float": flt.NsPerOp / hopRows["EngineInferHopFloat"].NsPerOp,
+		"mixed": mixed.NsPerOp / hopRows["EngineInferHopMixed"].NsPerOp,
+		"int8":  int8r.NsPerOp / hopRows["EngineInferHopInt8"].NsPerOp,
+	}
+	rep.HopParity = hopParityCheck(e, seed+5, 1000, hopFrames)
+
+	// Streaming per-hop pipeline rows: what one hop of a streaming session
+	// actually costs — featurisation plus inference. The full-window pipeline
+	// re-featurises the whole one-second window (49 FFT/mel/DCT frames at
+	// 16 kHz) and re-infers it; the incremental pipeline featurises only the
+	// hop's 12 new frames through the streaming frontend and shifts the
+	// engine's activation cache. Featurisation dominates the full path, which
+	// is why the headline speedup gate lives here rather than on the
+	// engine-only rows (pad erosion caps engine-only reuse near 1.8x).
+	rep.StreamSampleRate = 16000
+	streamFull, streamInc := benchStreamHop(e, rep.StreamSampleRate, hopFrames, reps)
+	streamFull.Name = "StreamHopFull"
+	streamInc.Name = "StreamHopIncremental"
+	rep.Results = append(rep.Results, streamFull, streamInc)
+	rep.SpeedupHopVsFull = streamFull.NsPerOp / streamInc.NsPerOp
+
 	rep.SpeedupVsNaive = naive.NsPerOp / mixed.NsPerOp
 	rep.SpeedupIntVsFloat = flt.NsPerOp / int8r.NsPerOp
 	rep.IntFloatParity = parityCheck(e, seed+2, 1000)
@@ -408,7 +464,9 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	}
 
 	fail := false
-	allocRows := append([]result{mixed, int8r, batAt1[deploy.PolicyMixed], batAt1[deploy.PolicyInt8]}, forcedRows...)
+	allocRows := append([]result{mixed, int8r, batAt1[deploy.PolicyMixed], batAt1[deploy.PolicyInt8],
+		hopRows["EngineInferHopFloat"], hopRows["EngineInferHopMixed"], hopRows["EngineInferHopInt8"],
+		streamInc}, forcedRows...)
 	for _, r := range allocRows {
 		if r.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: %s allocates %d objects/op, want 0\n", r.Name, r.AllocsPerOp)
@@ -418,6 +476,15 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	if minSpeedup > 0 && rep.SpeedupIntVsFloat < minSpeedup {
 		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: int8 speedup %.2fx below the %.2fx gate\n",
 			rep.SpeedupIntVsFloat, minSpeedup)
+		fail = true
+	}
+	if minHopSpeedup > 0 && rep.SpeedupHopVsFull < minHopSpeedup {
+		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: streaming hop pipeline speedup %.2fx below the %.2fx gate\n",
+			rep.SpeedupHopVsFull, minHopSpeedup)
+		fail = true
+	}
+	if !rep.HopParity {
+		fmt.Fprintln(os.Stderr, "kws-bench: REGRESSION: InferHop disagrees with full-window InferInt")
 		fail = true
 	}
 	if !rep.IntFloatParity {
@@ -456,14 +523,154 @@ func benchEngine(out string, seed int64, density float64, batch, reps int, worke
 	}
 
 	writeReport(rep, out)
-	fmt.Printf("kws-bench: naive %.0f ns/op, float %.0f ns/op, mixed %.0f ns/op, int8 %.0f ns/op (%.2fx vs float, %d allocs/op), forced runs/spans/packed2b %.2fx/%.2fx/%.2fx, batch mixed %.0f / int8 %.0f ns/frame @ workers=1 -> %s\n",
+	fmt.Printf("kws-bench: naive %.0f ns/op, float %.0f ns/op, mixed %.0f ns/op, int8 %.0f ns/op (%.2fx vs float, %d allocs/op), forced runs/spans/packed2b %.2fx/%.2fx/%.2fx, batch mixed %.0f / int8 %.0f ns/frame @ workers=1, hop mixed %.0f / int8 %.0f ns/hop, stream hop %.0f vs full %.0f ns (%.2fx) -> %s\n",
 		naive.NsPerOp, flt.NsPerOp, mixed.NsPerOp, int8r.NsPerOp,
 		rep.SpeedupIntVsFloat, int8r.AllocsPerOp,
 		rep.LayoutSpeedups["runs"], rep.LayoutSpeedups["spans"], rep.LayoutSpeedups["packed2b"],
-		rep.BatchNsFrameMixed, rep.BatchNsFrameInt8, out)
+		rep.BatchNsFrameMixed, rep.BatchNsFrameInt8,
+		hopRows["EngineInferHopMixed"].NsPerOp, hopRows["EngineInferHopInt8"].NsPerOp,
+		streamInc.NsPerOp, streamFull.NsPerOp, rep.SpeedupHopVsFull, out)
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// benchHop times the engine's incremental hop path in steady state: a long
+// strip of overlapping windows advanced hopFrames rows per call, with the
+// cache re-seeded (a full recompute) only when the strip wraps — 1/255 of
+// timed hops, matching a streaming session that almost never discontinues.
+func benchHop(e *deploy.Engine, float bool, hopFrames, reps int) result {
+	const hops = 256
+	rng := rand.New(rand.NewSource(17))
+	coeffs := int(e.Coeffs)
+	frames := int(e.Frames)
+	strip := make([]float32, (frames+hopFrames*hops)*coeffs)
+	for i := range strip {
+		strip[i] = float32(rng.NormFloat64())
+	}
+	window := func(i int) []float32 {
+		return strip[i*hopFrames*coeffs:][:frames*coeffs]
+	}
+	infer := e.InferHopInt
+	if float {
+		infer = e.InferHopFloat
+	}
+	hs := e.NewHopState()
+	defer hs.Release()
+	infer(hs, window(0), frames) // warm up: cold full recompute
+	i := 1
+	return best(reps, func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if i >= hops {
+				i = 1
+				infer(hs, window(0), frames)
+			}
+			infer(hs, window(i), hopFrames)
+			i++
+		}
+	})
+}
+
+// benchStreamHop times one hop of the streaming pipeline both ways over the
+// same audio strip. Full: batch-featurise the trailing one-second window
+// (dsp.MFCC.Compute) and run full-window InferInt — the per-hop work of the
+// non-incremental detector. Incremental: push only the hop's samples through
+// the streaming frontend (which featurises just the newly completed frames)
+// and run the cached hop path. Both run the engine's default mixed policy.
+func benchStreamHop(e *deploy.Engine, rate, hopFrames, reps int) (full, inc result) {
+	const hops = 64
+	mfccCfg := dsp.DefaultMFCCConfig(rate)
+	hopSamples := hopFrames * mfccCfg.Stride()
+	rng := rand.New(rand.NewSource(18))
+	strip := make([]float64, rate+hopSamples*hops)
+	for i := range strip {
+		strip[i] = 0.4 * rng.NormFloat64()
+	}
+
+	m := dsp.NewMFCC(mfccCfg)
+	fi := 0
+	full = best(reps, func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			f := m.Compute(strip[fi*hopSamples:][:rate])
+			e.InferInt(f.Data)
+			fi++
+			if fi >= hops {
+				fi = 0
+			}
+		}
+	})
+
+	frames := int(e.Frames)
+	fe := dsp.NewFrontend(mfccCfg, frames)
+	feat := make([]float32, frames*int(e.Coeffs))
+	hs := e.NewHopState()
+	defer hs.Release()
+	seed := func() int {
+		fe.Reset()
+		hs.Invalidate()
+		fe.Push(strip[:rate])
+		fe.Window(feat)
+		e.InferHopInt(hs, feat, frames)
+		return rate
+	}
+	pos := seed()
+	inc = best(reps, func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if pos+hopSamples > len(strip) {
+				// Strip wrap: re-anchor with a timed full recompute, 1/64 of
+				// hops — a conservative penalty on the incremental side.
+				pos = seed()
+			}
+			fe.Push(strip[pos : pos+hopSamples])
+			fe.Window(feat)
+			e.InferHopInt(hs, feat, hopFrames)
+			pos += hopSamples
+		}
+	})
+	return full, inc
+}
+
+// hopParityCheck verifies the incremental headline exactness claim on the
+// shipped binary: n consecutive hops through the temporal cache must agree
+// byte-for-byte with full-window InferInt on the same windows, under both
+// activation policies.
+func hopParityCheck(e *deploy.Engine, seed int64, n, hopFrames int) bool {
+	rng := rand.New(rand.NewSource(seed))
+	coeffs := int(e.Coeffs)
+	frames := int(e.Frames)
+	strip := make([]float32, (frames+hopFrames*n)*coeffs)
+	for i := range strip {
+		strip[i] = float32(rng.NormFloat64()) * 2
+	}
+	defer func(p deploy.Policy) { e.Policy = p }(e.Policy)
+	for _, pol := range []deploy.Policy{deploy.PolicyMixed, deploy.PolicyInt8} {
+		e.Policy = pol
+		hs := e.NewHopState()
+		for i := 0; i < n; i++ {
+			w := strip[i*hopFrames*coeffs:][:frames*coeffs]
+			nNew := hopFrames
+			if i == 0 {
+				nNew = frames
+			}
+			hsc, hcl := e.InferHopInt(hs, w, nNew)
+			wsc, wcl := e.InferInt(w)
+			if hcl != wcl {
+				hs.Release()
+				return false
+			}
+			for j := range hsc {
+				if hsc[j] != wsc[j] {
+					hs.Release()
+					return false
+				}
+			}
+		}
+		hs.Release()
+	}
+	return true
 }
 
 // telemetryParityCheck rebuilds the synthetic engine, attaches a live

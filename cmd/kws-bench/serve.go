@@ -70,6 +70,11 @@ type serveReport struct {
 	// (attaching telemetry must not demote batches to scalar).
 	TelemetryOverhead overheadReport `json:"telemetry_overhead"`
 
+	// Incremental reruns a fault-injected load with Config.Incremental —
+	// per-session engine hop caches instead of the shared lanes — and
+	// reports the hop-cache hit rate alongside throughput.
+	Incremental incrementalReport `json:"incremental"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -90,6 +95,81 @@ type overheadReport struct {
 	LanePathRetained bool  `json:"lane_path_retained"`
 	// Pass gates the row: overhead <= 10% and the lane path retained.
 	Pass bool `json:"pass"`
+}
+
+// incrementalReport is the temporal-cache serving row: the same load
+// generator with Config.Incremental on, so each session hops through its own
+// engine hop cache. Gaps from the fault injector's dropped chunks invalidate
+// caches mid-stream, so the hit rate below is a faulted-load figure, not a
+// best case. Pass requires no clean session lost and a majority hit rate.
+type incrementalReport struct {
+	Sessions              int     `json:"sessions"`
+	FaultFraction         float64 `json:"fault_fraction"`
+	SamplesPerSec         float64 `json:"samples_per_sec"`
+	CleanSessionsLost     int     `json:"clean_sessions_lost"`
+	HopCacheHits          int64   `json:"hop_cache_hits"`
+	HopCacheMisses        int64   `json:"hop_cache_misses"`
+	HopCacheInvalidations int64   `json:"hop_cache_invalidations"`
+	HitRate               float64 `json:"hit_rate"`
+	HopP50Ns              int64   `json:"hop_p50_ns"`
+	HopP99Ns              int64   `json:"hop_p99_ns"`
+	Pass                  bool    `json:"pass"`
+}
+
+// benchIncremental drives a fault-injected load through the incremental
+// serving pipeline and reads the cache ledger off the run's registry.
+func benchIncremental(seed int64, density float64, sessions int, faultFrac float64) incrementalReport {
+	reg := telemetry.NewRegistry()
+	eng := deploy.SyntheticEngine(seed, density)
+	srv, err := serve.New(serve.Config{
+		Engine:          eng,
+		SampleRate:      4000,
+		Incremental:     true,
+		MaxSessions:     sessions + 64,
+		IdleTimeout:     60 * time.Second,
+		ClassifyTimeout: 30 * time.Second,
+		Registry:        reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kws-bench:", err)
+		os.Exit(1)
+	}
+	load := serve.RunLoad(serve.DirectTarget{Srv: srv}, serve.LoadConfig{
+		Sessions:      sessions,
+		FaultFraction: faultFrac,
+		Seconds:       2,
+		ChunkMs:       250,
+		Seed:          seed + 3,
+		PushRetries:   400,
+		RetryEvery:    5 * time.Millisecond,
+		WaitClose:     120 * time.Second,
+		Fault: faultinject.StreamConfig{
+			PNaNBurst: 0.1, PClip: 0.05, PTruncate: 0.05, PDropChunk: 0.05,
+			PSwap: 0.05, PStall: 0.02, PAbort: 0.02,
+			StallMin: time.Millisecond, StallMax: 10 * time.Millisecond,
+		},
+	})
+	dctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	srv.Drain(dctx)
+	cancel()
+
+	hop := reg.LatencyHistogram("stream.hop.ns").Snapshot(false)
+	rep := incrementalReport{
+		Sessions:              sessions,
+		FaultFraction:         faultFrac,
+		SamplesPerSec:         load.SamplesPerSec,
+		CleanSessionsLost:     load.CleanSessionsLost,
+		HopCacheHits:          reg.Counter("stream.hop.cache.hits").Value(),
+		HopCacheMisses:        reg.Counter("stream.hop.cache.misses").Value(),
+		HopCacheInvalidations: reg.Counter("stream.hop.cache.invalidations").Value(),
+		HopP50Ns:              hop.P50,
+		HopP99Ns:              hop.P99,
+	}
+	if total := rep.HopCacheHits + rep.HopCacheMisses; total > 0 {
+		rep.HitRate = float64(rep.HopCacheHits) / float64(total)
+	}
+	rep.Pass = rep.CleanSessionsLost == 0 && rep.HitRate >= 0.5
+	return rep
 }
 
 // benchServe drives the serving core with cfgSessions concurrent sessions
@@ -170,7 +250,7 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 	hop := reg.LatencyHistogram("stream.hop.ns").Snapshot(false)
 	hopE2E := reg.LatencyHistogram("serve.hop.e2e.ns").Snapshot(false)
 	rep := serveReport{
-		Schema:         "kws-serve-bench/v2",
+		Schema:         "kws-serve-bench/v3",
 		Generated:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
@@ -212,6 +292,7 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 		rep.Note = "single-CPU host: all sessions timeslice one core, so hop latency reflects queueing, not engine speed"
 	}
 	rep.TelemetryOverhead = benchTelemetryOverhead(seed, density)
+	rep.Incremental = benchIncremental(seed, density, 200, faultFrac)
 
 	if load.CleanSessionsLost > 0 {
 		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: %d clean sessions lost under fault load\n", load.CleanSessionsLost)
@@ -224,12 +305,16 @@ func benchServe(out string, seed int64, density float64, sessions int, faultFrac
 		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: telemetry overhead %.1f%% (gate 10%%), lane path retained=%v\n",
 			rep.TelemetryOverhead.OverheadFrac*100, rep.TelemetryOverhead.LanePathRetained)
 	}
+	if !rep.Incremental.Pass {
+		fmt.Fprintf(os.Stderr, "kws-bench: REGRESSION: incremental serving hit rate %.0f%% (gate 50%%), clean lost %d\n",
+			rep.Incremental.HitRate*100, rep.Incremental.CleanSessionsLost)
+	}
 
 	writeReport(rep, out)
-	fmt.Printf("kws-bench: serve %d sessions (%d faulty, peak %d concurrent), %d sustained, %d clean lost, hop p50 %.2fms p99 %.2fms, telemetry overhead %.1f%%, drain %dms -> %s\n",
+	fmt.Printf("kws-bench: serve %d sessions (%d faulty, peak %d concurrent), %d sustained, %d clean lost, hop p50 %.2fms p99 %.2fms, telemetry overhead %.1f%%, incremental hit rate %.0f%%, drain %dms -> %s\n",
 		load.Sessions, load.FaultySessions, rep.PeakConcurrent, load.SessionsSustained,
 		load.CleanSessionsLost, float64(rep.HopP50Ns)/1e6, float64(rep.HopP99Ns)/1e6,
-		rep.TelemetryOverhead.OverheadFrac*100, rep.DrainElapsedMs, out)
+		rep.TelemetryOverhead.OverheadFrac*100, rep.Incremental.HitRate*100, rep.DrainElapsedMs, out)
 }
 
 // overheadSessions sizes the detached/attached comparison runs: enough load

@@ -51,6 +51,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 15*time.Second, "per-chunk TCP read deadline")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM")
 	memLimit := flag.Int64("mem-limit", 0, "soft heap limit in bytes; above it the lowest-priority session is shed (0 disables)")
+	incremental := flag.Bool("incremental", false, "temporal-cache pipeline: featurise and infer only what each hop changed (bit-identical posteriors; hop snaps 250 ms -> 240 ms)")
 	threshold := flag.Float64("threshold", 0.6, "smoothed-posterior detection threshold")
 	featMean := flag.Float64("feat-mean", 0, "feature normalisation mean (must match training)")
 	featStd := flag.Float64("feat-std", 1, "feature normalisation std (must match training)")
@@ -120,6 +121,7 @@ func main() {
 		Engine:       eng,
 		Detector:     dcfg,
 		SampleRate:   4000,
+		Incremental:  *incremental,
 		FeatMean:     float32(*featMean),
 		FeatStd:      float32(*featStd),
 		MaxSessions:  *maxSessions,

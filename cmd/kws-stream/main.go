@@ -42,6 +42,7 @@ func main() {
 	engine := flag.String("engine", "", "classify with this packed integer model (.thnt) instead of training a float model")
 	int8Pol := flag.Bool("int8", false, "run the packed engine fully 8-bit (PolicyInt8), overriding the model's stored policy")
 	mixedPol := flag.Bool("mixed", false, "pin the packed engine to the mixed 8/16-bit policy, overriding the model's stored policy")
+	incremental := flag.Bool("incremental", false, "temporal-cache pipeline: featurise and infer only what each hop changed (bit-identical posteriors; hop snaps down to the 20 ms frame stride, 250 ms -> 240 ms)")
 	faultAt := flag.Float64("fault-at", -1, "inject a fault window starting at this second (demo; <0 disables)")
 	faultMs := flag.Int("fault-ms", 500, "fault window duration in milliseconds")
 	faultKind := flag.String("fault", "nan", "fault kind: nan|dropout|dc|spike")
@@ -179,6 +180,7 @@ func main() {
 	dcfg.IgnoreClass = speechcmd.SilenceClass
 	dcfg.IgnoreClass2 = speechcmd.UnknownClass
 	dcfg.Threshold = float32(*threshold)
+	dcfg.Incremental = *incremental
 	det := stream.NewDetector(dcfg, cls, ds.FeatMean, ds.FeatStd)
 	det.AttachTelemetry(reg)
 

@@ -453,6 +453,7 @@ type Engine struct {
 	arena       *arena      // resident arena for Infer/InferSafe
 	arenas      sync.Pool   // spare arenas for the per-frame batch fallback
 	laneArenas  sync.Pool   // spare frame-major lane arenas (lane.go)
+	hopStates   sync.Pool   // released HopStates for streaming sessions (hop.go)
 	farena      *floatArena // resident scratch for InferFloat
 
 	// Persistent batch worker pool (batch.go): fixed-size, started lazily on

@@ -1,0 +1,930 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Incremental hop inference: temporal caching across overlapping streaming
+// windows.
+//
+// A streaming detector re-classifies a sliding one-second window every hop,
+// but consecutive windows share all rows except the hop stride: at the
+// default 250 ms hop, ~75% of the 49×10 MFCC image — and therefore most of
+// every convolution output — is the previous window's content shifted up.
+// A HopState caches the quantised input image and every conv layer's output
+// image between calls. Each hop it:
+//
+//  1. shifts every cached image up by the layer's row shift (the input
+//     moves nNew rows, a stride-s conv's output moves nNew/s rows), and
+//  2. recomputes only the output rows the shift cannot preserve — the
+//     top band whose receptive field straddles the (moving) zero-pad
+//     boundary and the bottom band that sees the new frames — before
+//  3. re-running pooling and the tree head in full (they are ~2% of the
+//     per-hop cost).
+//
+// Shift rule. Let [a, b) be the clean interval of a layer's input: the rows
+// whose values equal the previous input shifted up by s rows. Output row j
+// of a stride-st, height-kh, pad-p conv reads input rows [j·st−p, j·st−p+kh).
+// The cached (shifted) output row is reusable iff that whole window lies in
+// [a, b): no pad coordinate is read (the old computation read real rows
+// there) and every row read is itself clean. Hence rows
+//
+//	aOut = ⌈(a+p)/st⌉ … bOut = ⌊(b+p−kh)/st⌋ + 1
+//
+// are kept, [0,aOut) and [bOut,outH) are recomputed, and [aOut,bOut)
+// becomes the next layer's clean interval. A shift that is not a multiple
+// of the conv stride (or an empty clean interval) degrades that layer and
+// everything downstream to a full recompute — the band machinery runs the
+// whole output as one segment, so the fallback shares every instruction
+// with the incremental path.
+//
+// Exactness. The band kernels are the same compiled row kernels the
+// full-window path runs (collane.go), fed a band-local im2col matrix at the
+// padded stride pad8(nBand). Every kernel is position-wise exact — int32
+// accumulation is associative mod 2³², and each output position's sum walks
+// the same compiled nonzero indices in the same order regardless of which
+// other positions share the dispatch — so a recomputed band row is
+// bit-identical to the same row of a full-window InferInt, and a reused row
+// is bit-identical by induction. The float variant mirrors InferFloat's
+// float64 accumulation order per position and is bit-identical to it for
+// the same reason. TestInferHopMatchesFullStream and the property suite in
+// hop_test.go pin both claims over long streams.
+//
+// A HopState owns all mutable scratch (a serial arena plus the cached
+// images), so any number of HopStates may run concurrently on one engine —
+// the same contract as InferBatch. A single HopState is not safe for
+// concurrent use. Steady-state hops allocate nothing.
+
+// hopGeom is one conv layer's spatial geometry and channel strides as the
+// hop path caches it: int8 images live at the column-lane padded stride
+// pad8(outH·outW), float images at the dense stride.
+type hopGeom struct {
+	h, w       int // input spatial size
+	oh, ow     int // output spatial size
+	inStride   int // input channel stride (dense for the first layer)
+	outStride  int // output channel stride, pad8(oh·ow)
+	fInStride  int // float-path input channel stride (dense)
+	fOutStride int // float-path output channel stride (dense)
+}
+
+// HopStats counts a HopState's work since construction.
+type HopStats struct {
+	Hops            int64 // InferHop* calls completed
+	FullRecomputes  int64 // hops that ran the cold/invalid full path
+	ColumnsComputed int64 // conv output positions recomputed across all layers
+}
+
+// HopState is the per-stream temporal cache for incremental hop inference.
+// Obtain one with Engine.NewHopState, feed it consecutive windows through
+// Engine.InferHop/InferHopInt/InferHopFloat, and Release it when the stream
+// closes. Invalidate discards the cache (the next hop recomputes in full) —
+// callers must do that whenever the stream discontinues (gap concealment,
+// seek, reset), since the caller contract is that each window's leading
+// rows equal the previous window's trailing rows.
+type HopState struct {
+	e   *Engine
+	a   *arena
+	pol Policy
+
+	geom []hopGeom
+
+	// Integer cache: quantised input image plus one output image per conv.
+	in       []int8
+	imgs     [][]int8
+	intValid bool
+
+	// Float cache, built lazily on the first InferHopFloat.
+	fa         *floatArena
+	fin        []float32
+	fimgs      [][]float32
+	floatValid bool
+
+	// Band scratch. cols is the hop path's own im2col storage: unlike the
+	// arena's it is also sized for pointwise convs, whose band input must
+	// be copied to the band stride (the full path aliases the image, but a
+	// band slice at the image stride would let the full-word SWAR loads
+	// read past the plane). row stages one channel's requantised band
+	// before it is scattered back into the cached image's segments.
+	cols  []int8
+	row   []int8
+	fcols []float32
+	frow  []float32
+	segs  [][2]int
+
+	lastFull bool
+	stats    HopStats
+}
+
+// newHopState sizes every cache and scratch buffer from the engine's
+// compiled shapes.
+func newHopState(e *Engine) *HopState {
+	hs := &HopState{
+		e:    e,
+		a:    newArena(e, false),
+		pol:  e.Policy,
+		segs: make([][2]int, 0, 2),
+	}
+	h, w := int(e.Frames), int(e.Coeffs)
+	hs.in = make([]int8, h*w)
+	inStride := h * w
+	fInStride := h * w
+	maxCols, maxNOut := 0, 0
+	for _, q := range e.Convs {
+		oh, ow := q.outSize(h, w)
+		nOut := oh * ow
+		if nOut > maxNOut {
+			maxNOut = nOut
+		}
+		if q.Kind == kindStandard {
+			if c := int(q.Cin) * int(q.KH) * int(q.KW) * pad8(nOut); c > maxCols {
+				maxCols = c
+			}
+		}
+		g := hopGeom{
+			h: h, w: w, oh: oh, ow: ow,
+			inStride: inStride, outStride: pad8(nOut),
+			fInStride: fInStride, fOutStride: nOut,
+		}
+		hs.geom = append(hs.geom, g)
+		hs.imgs = append(hs.imgs, make([]int8, int(q.Cout)*g.outStride))
+		h, w = oh, ow
+		inStride, fInStride = g.outStride, nOut
+	}
+	hs.cols = make([]int8, maxCols)
+	hs.row = make([]int8, pad8(maxNOut))
+	return hs
+}
+
+// ensureFloat builds the float-path cache on first use.
+func (hs *HopState) ensureFloat() {
+	if hs.fa != nil {
+		return
+	}
+	e := hs.e
+	hs.fa = newFloatArena(e)
+	hs.fin = make([]float32, int(e.Frames)*int(e.Coeffs))
+	maxCols, maxNOut := 0, 0
+	for i, q := range e.Convs {
+		g := hs.geom[i]
+		nOut := g.oh * g.ow
+		if nOut > maxNOut {
+			maxNOut = nOut
+		}
+		if q.Kind == kindStandard {
+			if c := int(q.Cin) * int(q.KH) * int(q.KW) * nOut; c > maxCols {
+				maxCols = c
+			}
+		}
+		hs.fimgs = append(hs.fimgs, make([]float32, int(q.Cout)*nOut))
+	}
+	hs.fcols = make([]float32, maxCols)
+	hs.frow = make([]float32, maxNOut)
+}
+
+// Invalidate discards all cached temporal state. The next hop on this state
+// recomputes the full window. Call on any stream discontinuity.
+func (hs *HopState) Invalidate() {
+	hs.intValid = false
+	hs.floatValid = false
+}
+
+// LastFull reports whether the most recent hop fell back to a full-window
+// recompute (cold cache, invalidation, policy change, or nNew ≥ Frames).
+func (hs *HopState) LastFull() bool { return hs.lastFull }
+
+// Stats returns the state's work counters.
+func (hs *HopState) Stats() HopStats { return hs.stats }
+
+// NewHopState returns a hop state for incremental streaming inference on
+// this engine, reusing a released one when available. States may be used
+// concurrently with each other and with InferBatch; a single state must not
+// be shared between goroutines.
+func (e *Engine) NewHopState() *HopState {
+	e.ensureCompiled()
+	if v := e.hopStates.Get(); v != nil {
+		hs := v.(*HopState)
+		hs.Invalidate()
+		return hs
+	}
+	return newHopState(e)
+}
+
+// Release invalidates the state and returns it to the engine's pool.
+func (hs *HopState) Release() {
+	hs.Invalidate()
+	hs.e.hopStates.Put(hs)
+}
+
+// InferHop classifies one hop of a sliding window through the integer path
+// at the engine's current policy. x is the full current window (Frames ×
+// Coeffs); nNew is how many trailing frame rows are new since the previous
+// call — the caller guarantees x's leading Frames−nNew rows equal the
+// previous window's trailing rows. The scores slice is state-owned, valid
+// until the next hop on hs.
+func (e *Engine) InferHop(hs *HopState, x []float32, nNew int) (scores []int32, class int) {
+	return e.InferHopInt(hs, x, nNew)
+}
+
+// InferHopInt is InferHop's explicit integer entry point: bit-exact with a
+// full-window InferInt on the same window, at a fraction of the work.
+func (e *Engine) InferHopInt(hs *HopState, x []float32, nNew int) ([]int32, int) {
+	hs.check(e, x)
+	return hs.inferInt(x, nNew)
+}
+
+// InferHopFloat is the incremental form of the float32 reference
+// simulation, bit-exact with a full-window InferFloat on the same window.
+func (e *Engine) InferHopFloat(hs *HopState, x []float32, nNew int) ([]int32, int) {
+	hs.check(e, x)
+	return hs.inferFloat(x, nNew)
+}
+
+func (hs *HopState) check(e *Engine, x []float32) {
+	if hs.e != e {
+		panic("deploy: HopState used with a different engine")
+	}
+	if len(x) != int(e.Frames*e.Coeffs) {
+		panic(fmt.Sprintf("deploy: input length %d, want %d", len(x), e.Frames*e.Coeffs))
+	}
+}
+
+// syncPolicy rebuilds the arena and poisons both caches when the engine's
+// policy changed since the last hop (cached activations are policy-specific).
+func (hs *HopState) syncPolicy() {
+	if pol := hs.e.Policy; pol != hs.pol {
+		hs.a = newArena(hs.e, false)
+		hs.pol = pol
+		hs.intValid = false
+		hs.floatValid = false
+	}
+}
+
+// bandSegs assembles the recompute segments for one layer: the pad-touching
+// top band [0,aOut) and the new-data bottom band [bOut,outH).
+func (hs *HopState) bandSegs(aOut, bOut, outH int) [][2]int {
+	segs := hs.segs[:0]
+	if aOut > 0 {
+		segs = append(segs, [2]int{0, aOut})
+	}
+	if bOut < outH {
+		segs = append(segs, [2]int{bOut, outH})
+	}
+	return segs
+}
+
+// cleanOut propagates a clean input interval [aIn,bIn) whose rows moved up
+// by shift through one conv, returning the reusable output interval and the
+// output shift. ok is false when nothing is reusable — the caller runs the
+// layer as a full recompute.
+func cleanOut(q *QConv, g hopGeom, aIn, bIn, shift int) (aOut, bOut, sOut int, ok bool) {
+	st, kh, padH := int(q.Stride), int(q.KH), int(q.PadH)
+	if bIn <= aIn || shift%st != 0 {
+		return 0, 0, 0, false
+	}
+	sOut = shift / st
+	aOut = (aIn + padH + st - 1) / st
+	bOut = (bIn+padH-kh)/st + 1
+	if bOut > g.oh {
+		bOut = g.oh
+	}
+	if bOut <= aOut {
+		return 0, 0, 0, false
+	}
+	return aOut, bOut, sOut, true
+}
+
+// inferInt runs one integer hop. See the package comment for the algorithm.
+func (hs *HopState) inferInt(x []float32, nNew int) ([]int32, int) {
+	e := hs.e
+	hs.syncPolicy()
+	h0, w0 := int(e.Frames), int(e.Coeffs)
+	full := !hs.intValid || nNew < 0 || nNew >= h0
+	warm := hs.intValid
+	hs.intValid = false // poisoned until the hop completes
+	pol := hs.pol
+
+	var colsComputed int64
+	if warm && !full && nNew == 0 {
+		// Identical window: every cached image is exactly current.
+	} else if full {
+		e.quantizeInto(hs.in, x)
+		img := hs.in
+		for i, conv := range e.Convs {
+			g := hs.geom[i]
+			colsComputed += int64(hs.runBandInt(conv, g, img, hs.imgs[i], hs.bandSegs(g.oh, g.oh, g.oh), pol))
+			img = hs.imgs[i]
+		}
+	} else {
+		// Shift the input cache up nNew rows and quantise the new tail.
+		// The retained prefix is bit-identical to re-quantising x's leading
+		// rows: quantisation is position-wise and the caller guarantees the
+		// values match.
+		n := h0 * w0
+		copy(hs.in[:n-nNew*w0], hs.in[nNew*w0:])
+		e.quantizeInto(hs.in[(h0-nNew)*w0:], x[(h0-nNew)*w0:])
+		aIn, bIn, shift := 0, h0-nNew, nNew
+		img := hs.in
+		for i, conv := range e.Convs {
+			g := hs.geom[i]
+			out := hs.imgs[i]
+			aOut, bOut, sOut, ok := cleanOut(conv, g, aIn, bIn, shift)
+			if !ok {
+				colsComputed += int64(hs.runBandInt(conv, g, img, out, hs.bandSegs(g.oh, g.oh, g.oh), pol))
+				aIn, bIn, shift = 0, 0, 0
+				img = out
+				continue
+			}
+			if sOut > 0 && !(conv.Kind == kindDepthwise && 2*segN(hs.bandSegs(aOut, bOut, g.oh), g.ow) >= g.oh*g.ow) {
+				// A depthwise band above the half-plane heuristic is about to
+				// be recomputed in full — skip the shift it would overwrite.
+				for c := 0; c < int(conv.Cout); c++ {
+					p := out[c*g.outStride:]
+					copy(p[:(g.oh-sOut)*g.ow], p[sOut*g.ow:g.oh*g.ow])
+				}
+			}
+			if segs := hs.bandSegs(aOut, bOut, g.oh); len(segs) > 0 {
+				colsComputed += int64(hs.runBandInt(conv, g, img, out, segs, pol))
+			}
+			aIn, bIn, shift = aOut, bOut, sOut
+			img = out
+		}
+	}
+
+	last := len(e.Convs) - 1
+	g := hs.geom[last]
+	c := int(e.Convs[last].Cout)
+	a := hs.a
+	ph, pw := poolInto(a.pooled, hs.imgs[last], c, g.oh, g.ow, int(e.PoolK), int(e.PoolS), g.outStride)
+	sc := e.Tree.forwardInto(a, a.pooled[:c*ph*pw])
+	hs.intValid = true
+	hs.noteHop(full, colsComputed)
+	return sc, argmax(sc)
+}
+
+// inferFloat is inferInt through the float32 reference simulation, caching
+// dense float images.
+func (hs *HopState) inferFloat(x []float32, nNew int) ([]int32, int) {
+	e := hs.e
+	hs.syncPolicy()
+	hs.ensureFloat()
+	h0, w0 := int(e.Frames), int(e.Coeffs)
+	full := !hs.floatValid || nNew < 0 || nNew >= h0
+	warm := hs.floatValid
+	hs.floatValid = false
+	pol := hs.pol
+	fa := hs.fa
+
+	snap := func(dst []float32, src []float32) {
+		inv := 1 / e.InScale
+		for i, v := range src {
+			dst[i] = float32(clampI8(int32(math.Round(float64(v * inv)))))
+		}
+	}
+	var colsComputed int64
+	if warm && !full && nNew == 0 {
+		// Identical window: caches already current.
+	} else if full {
+		snap(hs.fin, x)
+		img := hs.fin
+		for i, conv := range e.Convs {
+			g := hs.geom[i]
+			hs.runBandFloat(conv, g, img, hs.fimgs[i], hs.bandSegs(g.oh, g.oh, g.oh), pol)
+			colsComputed += int64(g.oh * g.ow)
+			img = hs.fimgs[i]
+		}
+	} else {
+		n := h0 * w0
+		copy(hs.fin[:n-nNew*w0], hs.fin[nNew*w0:])
+		snap(hs.fin[(h0-nNew)*w0:], x[(h0-nNew)*w0:])
+		aIn, bIn, shift := 0, h0-nNew, nNew
+		img := hs.fin
+		for i, conv := range e.Convs {
+			g := hs.geom[i]
+			out := hs.fimgs[i]
+			aOut, bOut, sOut, ok := cleanOut(conv, g, aIn, bIn, shift)
+			if !ok {
+				hs.runBandFloat(conv, g, img, out, hs.bandSegs(g.oh, g.oh, g.oh), pol)
+				colsComputed += int64(g.oh * g.ow)
+				aIn, bIn, shift = 0, 0, 0
+				img = out
+				continue
+			}
+			if sOut > 0 {
+				for c := 0; c < int(conv.Cout); c++ {
+					p := out[c*g.fOutStride:]
+					copy(p[:(g.oh-sOut)*g.ow], p[sOut*g.ow:g.oh*g.ow])
+				}
+			}
+			if segs := hs.bandSegs(aOut, bOut, g.oh); len(segs) > 0 {
+				hs.runBandFloat(conv, g, img, out, segs, pol)
+				colsComputed += int64((aOut + g.oh - bOut) * g.ow)
+			}
+			aIn, bIn, shift = aOut, bOut, sOut
+			img = out
+		}
+	}
+
+	last := len(e.Convs) - 1
+	g := hs.geom[last]
+	c := int(e.Convs[last].Cout)
+	ph, pw := poolIntoF(fa.pooled, hs.fimgs[last], c, g.oh, g.ow, int(e.PoolK), int(e.PoolS))
+	sc := e.Tree.forwardFloat(fa, fa.pooled[:c*ph*pw])
+	hs.floatValid = true
+	hs.noteHop(full, colsComputed)
+	return sc, argmax(sc)
+}
+
+// noteHop updates the state's counters and, when telemetry is attached, the
+// engine's hop counters. The hop kernels themselves are identical with and
+// without an observer — these are plain atomic adds after the fact — so
+// telemetry cannot perturb hop results.
+func (hs *HopState) noteHop(full bool, colsComputed int64) {
+	hs.lastFull = full
+	hs.stats.Hops++
+	hs.stats.ColumnsComputed += colsComputed
+	if full {
+		hs.stats.FullRecomputes++
+	}
+	if o := hs.e.obs; o != nil {
+		o.HopInfers.Inc()
+		o.HopColumns.Add(colsComputed)
+		if full {
+			o.HopFull.Inc()
+		}
+	}
+}
+
+// segN counts the output positions a segment list covers.
+func segN(segs [][2]int, ow int) int {
+	n := 0
+	for _, s := range segs {
+		n += (s[1] - s[0]) * ow
+	}
+	return n
+}
+
+// runBandInt recomputes the listed output-row segments of one conv from the
+// current input image, writing them into the cached output image, and
+// returns the number of output positions it computed. All segments share
+// one kernel dispatch: the band im2col concatenates their rows into a
+// band-local plane at stride pad8(nBand), the compiled row kernels run once
+// over the nBand positions, and the requantised rows are scattered back
+// segment by segment (written in place when there is only one segment).
+func (hs *HopState) runBandInt(q *QConv, g hopGeom, x, out []int8, segs [][2]int, pol Policy) int {
+	nBand := segN(segs, g.ow)
+	if nBand == 0 {
+		return 0
+	}
+	if q.Kind == kindDepthwise {
+		// The fused column-lane depthwise path beats the scalar tap gather
+		// per position by enough that recomputing the whole plane wins once
+		// the band covers about half of it. A full recompute leaves the
+		// clean rows bit-identical, so the caller's interval propagation is
+		// unaffected.
+		if 2*nBand >= g.oh*g.ow {
+			q.dwSparse(hs.a, x[:int(q.Cin)*g.inStride], out, g.h, g.w, g.oh, g.ow, pol, g.inStride, g.outStride)
+			return g.oh * g.ow
+		}
+		hs.dwBandInt(q, g, x, out, segs, nBand, pol)
+		return nBand
+	}
+	kh, kw := int(q.KH), int(q.KW)
+	pb := pad8(nBand)
+	cols := hs.cols[:int(q.Cin)*kh*kw*pb]
+	if kh == 1 && kw == 1 && q.Stride == 1 && q.PadH == 0 && q.PadW == 0 {
+		// Pointwise: each band plane is the input plane's segment rows,
+		// contiguous — copy them straight across (the generic lowering
+		// walks 1-element taps) and zero only the pad tail the full-word
+		// kernels read past nBand.
+		for ch := 0; ch < int(q.Cin); ch++ {
+			dst := cols[ch*pb:]
+			base := 0
+			for _, s := range segs {
+				n := (s[1] - s[0]) * g.ow
+				copy(dst[base:base+n], x[ch*g.inStride+s[0]*g.ow:][:n])
+				base += n
+			}
+			for i := base; i < pb; i++ {
+				dst[i] = 0
+			}
+		}
+	} else {
+		im2colBandI8(cols, x, int(q.Cin), g.h, g.w, kh, kw, int(q.Stride),
+			int(q.PadH), int(q.PadW), g.inStride, pb, g.ow, segs)
+	}
+
+	a := hs.a
+	r, cout := int(q.R), int(q.Cout)
+	direct := len(segs) == 1
+	base0 := segs[0][0] * g.ow
+	if pol == PolicyInt8 {
+		hidden8 := a.hidden8[:r*pb]
+		q.stdHiddenRows8(cols, hidden8, a.acc, nBand, pb, 0, r)
+		if direct {
+			q.stdOutRows8(hidden8, a.acc, out[base0:], nBand, g.outStride, 0, cout)
+			return nBand
+		}
+		hidB := i8Bytes(hidden8)
+		for c := 0; c < cout; c++ {
+			acc := a.acc[:pb]
+			q.outRowQ8(c, hs.row[:nBand], acc, hidB, pb)
+			hs.scatterInt(out[c*g.outStride:], segs, g.ow)
+		}
+		return nBand
+	}
+	hidden := a.hidden[:r*pb]
+	q.stdHiddenRows(cols, hidden, a.acc, nBand, pb, 0, r)
+	if direct {
+		q.stdOutRows(hidden, a.acc, out[base0:], nBand, g.outStride, 0, cout)
+		return nBand
+	}
+	for c := 0; c < cout; c++ {
+		acc := a.acc[:pb]
+		plus, minus := q.wcSp.row(c)
+		gatherI16(acc, hidden, plus, minus, pb)
+		q.requantChannel(hs.row[:nBand], acc, c)
+		hs.scatterInt(out[c*g.outStride:], segs, g.ow)
+	}
+	return nBand
+}
+
+// scatterInt copies hs.row's band rows back into one channel plane's
+// segments.
+func (hs *HopState) scatterInt(plane []int8, segs [][2]int, ow int) {
+	base := 0
+	for _, s := range segs {
+		n := (s[1] - s[0]) * ow
+		copy(plane[s[0]*ow:][:n], hs.row[base:base+n])
+		base += n
+	}
+}
+
+// dwBandInt is the depthwise band kernel: the scalar tap gather of dwSparse
+// restricted to the band rows. The fused column-lane depthwise path is not
+// worth a band variant — depthwise is a few percent of the stack — and the
+// scalar taps are its bit-exact oracle.
+func (hs *HopState) dwBandInt(q *QConv, g hopGeom, x, out []int8, segs [][2]int, nBand int, pol Policy) {
+	a := hs.a
+	kw := int(q.KW)
+	stride, padH, padW := int(q.Stride), int(q.PadH), int(q.PadW)
+	r := int(q.R)
+	acc := a.acc[:nBand]
+	hacc := a.acc[pad8(nBand):][:nBand]
+	act8 := pol == PolicyInt8
+	direct := len(segs) == 1
+	for ch := 0; ch < int(q.Cin); ch++ {
+		img := x[ch*g.inStride:][:g.h*g.w]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for u := 0; u < r; u++ {
+			hu := ch*r + u
+			wcv := q.wc[hu]
+			if wcv == 0 {
+				continue
+			}
+			for j := range hacc {
+				hacc[j] = 0
+			}
+			plus, minus := q.wbSp.row(hu)
+			for _, p := range plus {
+				dwGatherTapBand(hacc, img, int(p)/kw, int(p)%kw, g.h, g.w, g.oh, g.ow, stride, padH, padW, 1, segs)
+			}
+			for _, p := range minus {
+				dwGatherTapBand(hacc, img, int(p)/kw, int(p)%kw, g.h, g.w, g.oh, g.ow, stride, padH, padW, -1, segs)
+			}
+			s := int32(1)
+			if wcv < 0 {
+				s = -1
+			}
+			if act8 {
+				foldRowI8(acc, hacc, q.hidMul8[hu], s)
+			} else {
+				foldRowI16(acc, hacc, q.HidMul[hu], s)
+			}
+		}
+		dst := hs.row[:nBand]
+		if direct {
+			dst = out[ch*g.outStride+segs[0][0]*g.ow:][:nBand]
+		}
+		if act8 {
+			q.requantChannel8(dst, acc, ch)
+		} else {
+			q.requantChannel(dst, acc, ch)
+		}
+		if !direct {
+			hs.scatterInt(out[ch*g.outStride:], segs, g.ow)
+		}
+	}
+}
+
+// dwGatherTapBand is dwGatherTap over a band: hacc is band-local (segment
+// rows concatenated), img is the full input plane.
+func dwGatherTapBand(hacc []int32, img []int8, ki, kj, h, w, outH, outW, stride, padH, padW int, sign int32, segs [][2]int) {
+	oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
+	ojLo, ojHi := colRuns(w, kj, stride, padW, outW)
+	if ojHi <= ojLo {
+		return
+	}
+	base := 0
+	for _, seg := range segs {
+		lo, hi := seg[0], seg[1]
+		if lo < oiLo {
+			lo = oiLo
+		}
+		if hi > oiHi {
+			hi = oiHi
+		}
+		for oi := lo; oi < hi; oi++ {
+			si := oi*stride + ki - padH
+			sj := ojLo*stride + kj - padW
+			dst := hacc[base+(oi-seg[0])*outW+ojLo : base+(oi-seg[0])*outW+ojHi]
+			if stride == 1 {
+				src := img[si*w+sj:][:len(dst)]
+				if sign > 0 {
+					for j, v := range src {
+						dst[j] += int32(v)
+					}
+				} else {
+					for j, v := range src {
+						dst[j] -= int32(v)
+					}
+				}
+			} else {
+				src := img[si*w:]
+				for j := range dst {
+					dst[j] += sign * int32(src[sj])
+					sj += stride
+				}
+			}
+		}
+		base += (seg[1] - seg[0]) * outW
+	}
+}
+
+// im2colBandI8 lowers the listed output-row segments into band-local column
+// storage: segment rows are concatenated, so position (oi,oj) of segment k
+// lands at segBase(k)+(oi−seg.lo)·outW+oj of each kh·kw·Cin plane. dstP is
+// the band plane stride (pad8(nBand)); dst is zeroed, pad positions
+// included, exactly as im2colI8Into zeroes the full matrix. Pointwise convs
+// route through here too (kh=kw=1): the hop path must copy their band to
+// the band stride rather than alias the image.
+func im2colBandI8(dst []int8, x []int8, c, h, w, kh, kw, stride, padH, padW, srcCh, dstP, outW int, segs [][2]int) {
+	outH := (h+2*padH-kh)/stride + 1
+	for i := range dst {
+		dst[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		img := x[ch*srcCh:][:h*w]
+		for ki := 0; ki < kh; ki++ {
+			oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
+			for kj := 0; kj < kw; kj++ {
+				ojLo, ojHi := colRuns(w, kj, stride, padW, outW)
+				if ojHi <= ojLo {
+					continue
+				}
+				row := dst[((ch*kh+ki)*kw+kj)*dstP:]
+				base := 0
+				for _, seg := range segs {
+					lo, hi := seg[0], seg[1]
+					if lo < oiLo {
+						lo = oiLo
+					}
+					if hi > oiHi {
+						hi = oiHi
+					}
+					for oi := lo; oi < hi; oi++ {
+						si := oi*stride + ki - padH
+						sj := ojLo*stride + kj - padW
+						drow := row[base+(oi-seg[0])*outW+ojLo : base+(oi-seg[0])*outW+ojHi]
+						if stride == 1 {
+							copy(drow, img[si*w+sj:])
+						} else {
+							src := img[si*w:]
+							j := 0
+							for ; j+1 < len(drow); j += 2 {
+								drow[j] = src[sj]
+								drow[j+1] = src[sj+stride]
+								sj += 2 * stride
+							}
+							for ; j < len(drow); j++ {
+								drow[j] = src[sj]
+								sj += stride
+							}
+						}
+					}
+					base += (seg[1] - seg[0]) * outW
+				}
+			}
+		}
+	}
+}
+
+// im2colBandF32 is im2colBandI8 over float32 planes at the dense band
+// stride.
+func im2colBandF32(dst []float32, x []float32, c, h, w, kh, kw, stride, padH, padW, srcCh, dstP, outW int, segs [][2]int) {
+	outH := (h+2*padH-kh)/stride + 1
+	for i := range dst {
+		dst[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		img := x[ch*srcCh:][:h*w]
+		for ki := 0; ki < kh; ki++ {
+			oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
+			for kj := 0; kj < kw; kj++ {
+				ojLo, ojHi := colRuns(w, kj, stride, padW, outW)
+				if ojHi <= ojLo {
+					continue
+				}
+				row := dst[((ch*kh+ki)*kw+kj)*dstP:]
+				base := 0
+				for _, seg := range segs {
+					lo, hi := seg[0], seg[1]
+					if lo < oiLo {
+						lo = oiLo
+					}
+					if hi > oiHi {
+						hi = oiHi
+					}
+					for oi := lo; oi < hi; oi++ {
+						si := oi*stride + ki - padH
+						sj := ojLo*stride + kj - padW
+						drow := row[base+(oi-seg[0])*outW+ojLo : base+(oi-seg[0])*outW+ojHi]
+						if stride == 1 {
+							copy(drow, img[si*w+sj:])
+						} else {
+							src := img[si*w:]
+							for j := range drow {
+								drow[j] = src[sj]
+								sj += stride
+							}
+						}
+					}
+					base += (seg[1] - seg[0]) * outW
+				}
+			}
+		}
+	}
+}
+
+// runBandFloat is runBandInt through the float32 simulation: the same
+// band-local lowering with forwardFloat's per-position float64 accumulation
+// and requantisation, so each band position is bit-identical to the same
+// position of a full InferFloat.
+func (hs *HopState) runBandFloat(q *QConv, g hopGeom, x, out []float32, segs [][2]int, pol Policy) {
+	nBand := segN(segs, g.ow)
+	if nBand == 0 {
+		return
+	}
+	if q.Kind == kindDepthwise {
+		hs.dwBandFloat(q, g, x, out, segs, nBand, pol)
+		return
+	}
+	kh, kw := int(q.KH), int(q.KW)
+	cols := hs.fcols[:int(q.Cin)*kh*kw*nBand]
+	if kh == 1 && kw == 1 && q.Stride == 1 && q.PadH == 0 && q.PadW == 0 {
+		for ch := 0; ch < int(q.Cin); ch++ {
+			dst := cols[ch*nBand:]
+			base := 0
+			for _, s := range segs {
+				n := (s[1] - s[0]) * g.ow
+				copy(dst[base:base+n], x[ch*g.fInStride+s[0]*g.ow:][:n])
+				base += n
+			}
+		}
+	} else {
+		im2colBandF32(cols, x, int(q.Cin), g.h, g.w, kh, kw, int(q.Stride),
+			int(q.PadH), int(q.PadW), g.fInStride, nBand, g.ow, segs)
+	}
+
+	fa := hs.fa
+	r, cout := int(q.R), int(q.Cout)
+	hidden := fa.hidden[:r*nBand]
+	acc := fa.acc[:nBand]
+	for i := 0; i < r; i++ {
+		plus, minus := q.wbSp.row(i)
+		gatherF32(acc, cols, plus, minus, nBand)
+		dst := hidden[i*nBand:][:nBand]
+		if pol == PolicyInt8 {
+			mf := q.hidMul8[i].Float()
+			for j, v := range acc {
+				dst[j] = float32(clampF(math.Round(v*mf), -128, 127))
+			}
+		} else {
+			mf := q.HidMul[i].Float()
+			for j, v := range acc {
+				dst[j] = float32(clampF(math.Round(v*mf), -32768, 32767))
+			}
+		}
+	}
+	direct := len(segs) == 1
+	for c := 0; c < cout; c++ {
+		plus, minus := q.wcSp.row(c)
+		gatherF32(acc, hidden, plus, minus, nBand)
+		if direct {
+			q.requantFloat(out[c*g.fOutStride+segs[0][0]*g.ow:][:nBand], acc, c, pol)
+			continue
+		}
+		q.requantFloat(hs.frow[:nBand], acc, c, pol)
+		hs.scatterFloat(out[c*g.fOutStride:], segs, g.ow)
+	}
+}
+
+// scatterFloat copies hs.frow's band rows back into one channel plane's
+// segments.
+func (hs *HopState) scatterFloat(plane []float32, segs [][2]int, ow int) {
+	base := 0
+	for _, s := range segs {
+		n := (s[1] - s[0]) * ow
+		copy(plane[s[0]*ow:][:n], hs.frow[base:base+n])
+		base += n
+	}
+}
+
+// dwBandFloat is dwFloat restricted to the band rows.
+func (hs *HopState) dwBandFloat(q *QConv, g hopGeom, x, out []float32, segs [][2]int, nBand int, pol Policy) {
+	fa := hs.fa
+	kw := int(q.KW)
+	stride, padH, padW := int(q.Stride), int(q.PadH), int(q.PadW)
+	r := int(q.R)
+	acc := fa.acc[:nBand]
+	hacc := fa.acc[nBand:][:nBand]
+	act8 := pol == PolicyInt8
+	direct := len(segs) == 1
+	for ch := 0; ch < int(q.Cin); ch++ {
+		img := x[ch*g.fInStride:][:g.h*g.w]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for u := 0; u < r; u++ {
+			hu := ch*r + u
+			wcv := q.wc[hu]
+			if wcv == 0 {
+				continue
+			}
+			for j := range hacc {
+				hacc[j] = 0
+			}
+			plus, minus := q.wbSp.row(hu)
+			for _, p := range plus {
+				dwGatherTapBandF(hacc, img, int(p)/kw, int(p)%kw, g.h, g.w, g.oh, g.ow, stride, padH, padW, 1, segs)
+			}
+			for _, p := range minus {
+				dwGatherTapBandF(hacc, img, int(p)/kw, int(p)%kw, g.h, g.w, g.oh, g.ow, stride, padH, padW, -1, segs)
+			}
+			var mf, lim float64
+			if act8 {
+				mf, lim = q.hidMul8[hu].Float(), 127
+			} else {
+				mf, lim = q.HidMul[hu].Float(), 32767
+			}
+			if q.wc[hu] > 0 {
+				for j, v := range hacc {
+					acc[j] += clampF(math.Round(v*mf), -lim-1, lim)
+				}
+			} else {
+				for j, v := range hacc {
+					acc[j] -= clampF(math.Round(v*mf), -lim-1, lim)
+				}
+			}
+		}
+		if direct {
+			q.requantFloat(out[ch*g.fOutStride+segs[0][0]*g.ow:][:nBand], acc, ch, pol)
+			continue
+		}
+		q.requantFloat(hs.frow[:nBand], acc, ch, pol)
+		hs.scatterFloat(out[ch*g.fOutStride:], segs, g.ow)
+	}
+}
+
+// dwGatherTapBandF is dwGatherTapBand over float32 planes with a float64
+// accumulator.
+func dwGatherTapBandF(hacc []float64, img []float32, ki, kj, h, w, outH, outW, stride, padH, padW int, sign float64, segs [][2]int) {
+	oiLo, oiHi := colRuns(h, ki, stride, padH, outH)
+	ojLo, ojHi := colRuns(w, kj, stride, padW, outW)
+	if ojHi <= ojLo {
+		return
+	}
+	base := 0
+	for _, seg := range segs {
+		lo, hi := seg[0], seg[1]
+		if lo < oiLo {
+			lo = oiLo
+		}
+		if hi > oiHi {
+			hi = oiHi
+		}
+		for oi := lo; oi < hi; oi++ {
+			si := oi*stride + ki - padH
+			sj := ojLo*stride + kj - padW
+			dst := hacc[base+(oi-seg[0])*outW+ojLo : base+(oi-seg[0])*outW+ojHi]
+			src := img[si*w:]
+			for j := range dst {
+				dst[j] += sign * float64(src[sj])
+				sj += stride
+			}
+		}
+		base += (seg[1] - seg[0]) * outW
+	}
+}

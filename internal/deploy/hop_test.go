@@ -1,0 +1,320 @@
+package deploy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// hopStream generates a stream of overlapping windows sharing storage: one
+// long feature strip where window i is strip[i·hop·coeffs:][:frames·coeffs],
+// so consecutive windows satisfy the InferHop caller contract by
+// construction.
+type hopStream struct {
+	strip          []float32
+	frames, coeffs int
+	hop            int
+}
+
+func newHopStream(rng *rand.Rand, frames, coeffs, hop, hops int) *hopStream {
+	strip := make([]float32, (frames+hop*hops)*coeffs)
+	for i := range strip {
+		strip[i] = float32(rng.NormFloat64())
+	}
+	return &hopStream{strip: strip, frames: frames, coeffs: coeffs, hop: hop}
+}
+
+func (s *hopStream) window(i int) []float32 {
+	return s.strip[i*s.hop*s.coeffs:][:s.frames*s.coeffs]
+}
+
+func (s *hopStream) hops() int {
+	return (len(s.strip)/s.coeffs - s.frames) / s.hop
+}
+
+// TestInferHopMatchesFullStream is the acceptance property: over 1000+
+// consecutive hops of a paper-shape stream at the default 250 ms hop
+// (12 stride-aligned frames), InferHopInt must be bit-exact with a
+// full-window InferInt on every window, under both policies, with and
+// without a telemetry observer attached.
+func TestInferHopMatchesFullStream(t *testing.T) {
+	const hop = 12
+	hops := 1000
+	if testing.Short() {
+		hops = 200
+	}
+	for _, withObs := range []bool{false, true} {
+		for _, pol := range []Policy{PolicyMixed, PolicyInt8} {
+			e := SyntheticEngine(21, 0.35)
+			e.Policy = pol
+			if withObs {
+				e.EnableTelemetry(telemetry.NewRegistry(), nil)
+			}
+			rng := rand.New(rand.NewSource(77))
+			s := newHopStream(rng, int(e.Frames), int(e.Coeffs), hop, hops)
+			hs := e.NewHopState()
+			for i := 0; i < hops; i++ {
+				x := s.window(i)
+				nNew := hop
+				if i == 0 {
+					nNew = int(e.Frames) // cold start
+				}
+				gotSc, gotCls := e.InferHopInt(hs, x, nNew)
+				wantSc, wantCls := e.InferInt(x)
+				if gotCls != wantCls {
+					t.Fatalf("pol %v obs %v hop %d: class %d vs full %d", pol, withObs, i, gotCls, wantCls)
+				}
+				for j := range wantSc {
+					if gotSc[j] != wantSc[j] {
+						t.Fatalf("pol %v obs %v hop %d: score[%d]=%d vs full %d",
+							pol, withObs, i, j, gotSc[j], wantSc[j])
+					}
+				}
+			}
+			if st := hs.Stats(); st.Hops != int64(hops) || st.FullRecomputes != 1 {
+				t.Fatalf("pol %v obs %v: stats %+v, want %d hops / 1 full", pol, withObs, st, hops)
+			}
+			if withObs {
+				if got := e.obs.HopInfers.Value(); got != int64(hops) {
+					t.Fatalf("pol %v: engine.hop.infers=%d want %d", pol, got, hops)
+				}
+				if e.obs.HopColumns.Value() <= 0 {
+					t.Fatalf("pol %v: engine.hop.columns_computed not counted", pol)
+				}
+			}
+			hs.Release()
+		}
+	}
+}
+
+// TestInferHopFloatMatchesFullStream pins the float hop path against
+// full-window InferFloat the same way.
+func TestInferHopFloatMatchesFullStream(t *testing.T) {
+	const hop = 12
+	hops := 300
+	if testing.Short() {
+		hops = 60
+	}
+	for _, pol := range []Policy{PolicyMixed, PolicyInt8} {
+		e := SyntheticEngine(21, 0.35)
+		e.Policy = pol
+		rng := rand.New(rand.NewSource(78))
+		s := newHopStream(rng, int(e.Frames), int(e.Coeffs), hop, hops)
+		hs := e.NewHopState()
+		for i := 0; i < hops; i++ {
+			x := s.window(i)
+			nNew := hop
+			if i == 0 {
+				nNew = int(e.Frames)
+			}
+			gotSc, gotCls := e.InferHopFloat(hs, x, nNew)
+			wantSc, wantCls := e.InferFloat(x)
+			if gotCls != wantCls {
+				t.Fatalf("pol %v hop %d: class %d vs full %d", pol, i, gotCls, wantCls)
+			}
+			for j := range wantSc {
+				if gotSc[j] != wantSc[j] {
+					t.Fatalf("pol %v hop %d: score[%d]=%d vs full %d", pol, i, j, gotSc[j], wantSc[j])
+				}
+			}
+		}
+		hs.Release()
+	}
+}
+
+// TestInferHopProperty sweeps random engine shapes, random (including
+// ragged and oversized) hop sizes, cold restarts, invalidations and policy
+// flips: every hop must stay bit-exact with the full-window path at the
+// engine's then-current policy.
+func TestInferHopProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(9100 + seed))
+		e := randSmallEngine(rng)
+		e.Calib = e.calibTable()
+		if err := e.Validate(); err != nil {
+			t.Fatalf("seed %d: random engine invalid: %v", seed, err)
+		}
+		frames, coeffs := int(e.Frames), int(e.Coeffs)
+		hs := e.NewHopState()
+		win := make([]float32, frames*coeffs)
+		for i := range win {
+			win[i] = float32(rng.NormFloat64())
+		}
+		useFloat := seed%3 == 2
+		for hop := 0; hop < 60; hop++ {
+			switch rng.Intn(10) {
+			case 0:
+				hs.Invalidate()
+			case 1:
+				if e.Policy == PolicyMixed {
+					e.Policy = PolicyInt8
+				} else {
+					e.Policy = PolicyMixed
+				}
+			}
+			// Shift the window by a random number of frames (0 = repeat, up
+			// to frames+2 = complete replacement, possibly overshooting).
+			nNew := rng.Intn(frames + 3)
+			shift := nNew
+			if shift > frames {
+				shift = frames
+			}
+			copy(win, win[shift*coeffs:])
+			tail := win[(frames-shift)*coeffs:]
+			for i := range tail {
+				tail[i] = float32(rng.NormFloat64())
+			}
+			var gotSc, wantSc []int32
+			var gotCls, wantCls int
+			if useFloat {
+				gotSc, gotCls = e.InferHopFloat(hs, win, nNew)
+				wantSc, wantCls = e.InferFloat(win)
+			} else {
+				gotSc, gotCls = e.InferHopInt(hs, win, nNew)
+				wantSc, wantCls = e.InferInt(win)
+			}
+			if gotCls != wantCls {
+				t.Fatalf("seed %d hop %d (nNew=%d pol=%v float=%v): class %d vs full %d",
+					seed, hop, nNew, e.Policy, useFloat, gotCls, wantCls)
+			}
+			for j := range wantSc {
+				if gotSc[j] != wantSc[j] {
+					t.Fatalf("seed %d hop %d (nNew=%d pol=%v float=%v): score[%d]=%d vs full %d",
+						seed, hop, nNew, e.Policy, useFloat, j, gotSc[j], wantSc[j])
+				}
+			}
+		}
+		hs.Release()
+	}
+}
+
+// TestInferHopZeroAllocs pins the steady-state hop path at zero allocations
+// for both integer policies and the float simulation.
+func TestInferHopZeroAllocs(t *testing.T) {
+	const hop = 12
+	for _, tc := range []struct {
+		name  string
+		pol   Policy
+		float bool
+	}{
+		{"mixed", PolicyMixed, false},
+		{"int8", PolicyInt8, false},
+		{"float", PolicyMixed, true},
+	} {
+		e := SyntheticEngine(9, 0.35)
+		e.Policy = tc.pol
+		rng := rand.New(rand.NewSource(5))
+		s := newHopStream(rng, int(e.Frames), int(e.Coeffs), hop, 64)
+		hs := e.NewHopState()
+		infer := e.InferHopInt
+		if tc.float {
+			infer = e.InferHopFloat
+		}
+		infer(hs, s.window(0), int(e.Frames)) // warm up: cold full recompute
+		i := 1
+		allocs := testing.AllocsPerRun(40, func() {
+			if i >= s.hops() {
+				i = 1 // restart mid-strip; window 1 vs window N is a plain miss
+				infer(hs, s.window(0), int(e.Frames))
+			}
+			infer(hs, s.window(i), hop)
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: steady-state hop allocates %.1f/op, want 0", tc.name, allocs)
+		}
+		hs.Release()
+	}
+}
+
+// TestInferHopStateReuse exercises the engine-level hop-state pool: a
+// released state must come back invalidated and survive a policy change
+// between checkouts.
+func TestInferHopStateReuse(t *testing.T) {
+	e := SyntheticEngine(9, 0.35)
+	rng := rand.New(rand.NewSource(6))
+	s := newHopStream(rng, int(e.Frames), int(e.Coeffs), 12, 8)
+	hs := e.NewHopState()
+	e.InferHopInt(hs, s.window(0), int(e.Frames))
+	hs.Release()
+
+	e.Policy = PolicyInt8
+	hs2 := e.NewHopState()
+	if hs2.intValid {
+		t.Fatal("pooled hop state came back with a valid cache")
+	}
+	got, _ := e.InferHopInt(hs2, s.window(1), 12)
+	want, _ := e.InferInt(s.window(1))
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("pooled state after policy flip: score[%d]=%d want %d", j, got[j], want[j])
+		}
+	}
+	if !hs2.LastFull() {
+		t.Fatal("first hop on a pooled state must be a full recompute")
+	}
+	hs2.Release()
+}
+
+// TestInferHopConcurrent runs several hop states on one shared engine while
+// another goroutine hammers InferBatch — the serving contract. Run with
+// -race in ci.sh.
+func TestInferHopConcurrent(t *testing.T) {
+	e := SyntheticEngine(9, 0.35)
+	const sessions = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, sessions+1)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			str := newHopStream(rng, int(e.Frames), int(e.Coeffs), 12, 40)
+			hs := e.NewHopState()
+			defer hs.Release()
+			ref := e.NewHopState() // full-window oracle without the resident arena
+			defer ref.Release()
+			for i := 0; i < str.hops(); i++ {
+				nNew := 12
+				if i == 0 {
+					nNew = int(e.Frames)
+				}
+				got, _ := e.InferHopInt(hs, str.window(i), nNew)
+				want, _ := e.InferHopInt(ref, str.window(i), int(e.Frames))
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- "hop/full divergence under concurrency"
+						return
+					}
+				}
+			}
+		}(int64(s))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(200))
+		xs := make([][]float32, 8)
+		for i := range xs {
+			xs[i] = make([]float32, int(e.Frames)*int(e.Coeffs))
+			for j := range xs[i] {
+				xs[i][j] = float32(rng.NormFloat64())
+			}
+		}
+		for k := 0; k < 20; k++ {
+			for _, r := range e.InferBatch(xs) {
+				if r.Err != nil {
+					errs <- r.Err.Error()
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

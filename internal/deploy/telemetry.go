@@ -31,6 +31,13 @@ type Observer struct {
 	LaneFrames *telemetry.Counter // frames classified on the lane path
 	Spans      *telemetry.Counter // span sweeps decoded by lane gathers
 
+	// Incremental hop-path accounting (hop.go). HopColumns is the number of
+	// conv output positions actually recomputed — against Infers·(total
+	// positions) it quantifies what temporal caching saves.
+	HopInfers  *telemetry.Counter // InferHop* calls completed
+	HopFull    *telemetry.Counter // hops that fell back to a full recompute
+	HopColumns *telemetry.Counter // conv output positions recomputed by hops
+
 	tracer          *telemetry.Tracer
 	gathersPerInfer int64
 	spansPerLane    int64
@@ -51,6 +58,9 @@ func (e *Engine) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Trac
 		LaneLanes:  reg.Counter("engine.lane.lanes"),
 		LaneFrames: reg.Counter("engine.lane.frames"),
 		Spans:      reg.Counter("engine.lane.spans"),
+		HopInfers:  reg.Counter("engine.hop.infers"),
+		HopFull:    reg.Counter("engine.hop.full_recomputes"),
+		HopColumns: reg.Counter("engine.hop.columns_computed"),
 		tracer:     tracer,
 	}
 	h, w := int(e.Frames), int(e.Coeffs)

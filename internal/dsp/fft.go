@@ -71,20 +71,31 @@ func NextPow2(n int) int {
 // PowerSpectrum returns the one-sided power spectrum |X[k]|² for
 // k = 0..n/2 of the real signal frame, zero-padded to fftSize.
 func PowerSpectrum(frame []float64, fftSize int) []float64 {
-	buf := make([]complex128, fftSize)
-	for i, v := range frame {
-		if i >= fftSize {
-			break
-		}
-		buf[i] = complex(v, 0)
+	out := make([]float64, fftSize/2+1)
+	powerSpectrumInto(out, make([]complex128, fftSize), frame)
+	return out
+}
+
+// powerSpectrumInto is PowerSpectrum into caller scratch: buf (len fftSize)
+// is the FFT workspace, dst (len fftSize/2+1) receives the spectrum. The
+// streaming Frontend reuses both across frames so a steady stream does not
+// allocate; the arithmetic is identical to PowerSpectrum.
+func powerSpectrumInto(dst []float64, buf []complex128, frame []float64) {
+	n := len(frame)
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = complex(frame[i], 0)
+	}
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
 	}
 	FFT(buf)
-	out := make([]float64, fftSize/2+1)
-	for k := range out {
+	for k := range dst {
 		re, im := real(buf[k]), imag(buf[k])
-		out[k] = re*re + im*im
+		dst[k] = re*re + im*im
 	}
-	return out
 }
 
 // HannWindow returns an n-point periodic Hann window.

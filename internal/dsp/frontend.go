@@ -1,0 +1,186 @@
+package dsp
+
+import "math"
+
+// Frontend is the incremental MFCC featuriser for streaming inference: it
+// consumes audio samples as they arrive and computes MFCC features only for
+// each newly completed analysis frame, instead of re-featurising a whole
+// sliding window every hop. At the paper's 40 ms/20 ms framing a 250 ms hop
+// completes ~12 frames, so the frontend does ~4x less FFT/mel/DCT work than
+// the batch path — and featurisation dominates the per-hop cost of the
+// streaming pipeline (one frame's MFCC costs an order of magnitude more than
+// the engine's incremental hop).
+//
+// Frames are anchored to the absolute stream position: frame k covers
+// samples [k·stride, k·stride+frameLen). A batch MFCC.Compute over a window
+// whose start is a multiple of the stride produces exactly these frames, so
+// the frontend's feature ring is bit-identical to batch featurisation for
+// stride-aligned windows (TestFrontendMatchesBatch pins this over random
+// chunkings). Callers that hop on a non-stride-aligned cadence would sample
+// a different frame grid; the streaming Detector therefore snaps its hop to
+// the stride grid in incremental mode.
+//
+// A Frontend is single-stream state and not safe for concurrent use.
+// Steady-state pushes allocate nothing.
+type Frontend struct {
+	cfg       MFCCConfig
+	fftSize   int
+	window    []float64
+	fbank     [][]float64
+	dctCos    [][]float64 // [coeff][mel] DCT-II basis, same math.Cos values DCT2 computes
+	dctScale  []float64
+	winFrames int
+
+	ring       []float64 // last frameLen samples
+	rpos       int       // next ring write index
+	untilFrame int       // samples until the next frame completes
+
+	feats []float32 // feature ring, winFrames × numCoeffs
+	total int64     // frames completed since construction or Reset
+
+	// Per-frame scratch.
+	frame []float64
+	buf   []complex128
+	spec  []float64
+	mel   []float64
+}
+
+// NewFrontend builds an incremental featuriser whose feature ring holds
+// winFrames frames — the classifier window (49 for the paper's one-second
+// window).
+func NewFrontend(cfg MFCCConfig, winFrames int) *Frontend {
+	fl := cfg.FrameLen()
+	fftSize := NextPow2(fl)
+	n := cfg.NumMel
+	dctCos := make([][]float64, cfg.NumCoeffs)
+	dctScale := make([]float64, cfg.NumCoeffs)
+	for k := range dctCos {
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = math.Cos(math.Pi * float64(k) * (float64(i) + 0.5) / float64(n))
+		}
+		dctCos[k] = row
+		if k == 0 {
+			dctScale[k] = math.Sqrt(1 / float64(n))
+		} else {
+			dctScale[k] = math.Sqrt(2 / float64(n))
+		}
+	}
+	return &Frontend{
+		cfg:        cfg,
+		fftSize:    fftSize,
+		window:     HannWindow(fl),
+		fbank:      MelFilterbank(cfg, fftSize),
+		dctCos:     dctCos,
+		dctScale:   dctScale,
+		winFrames:  winFrames,
+		ring:       make([]float64, fl),
+		untilFrame: fl,
+		feats:      make([]float32, winFrames*cfg.NumCoeffs),
+		frame:      make([]float64, fl),
+		buf:        make([]complex128, fftSize),
+		spec:       make([]float64, fftSize/2+1),
+		mel:        make([]float64, cfg.NumMel),
+	}
+}
+
+// Config returns the frontend's MFCC configuration.
+func (f *Frontend) Config() MFCCConfig { return f.cfg }
+
+// WindowFrames returns the feature ring's capacity in frames.
+func (f *Frontend) WindowFrames() int { return f.winFrames }
+
+// PushSample consumes one sample and reports whether it completed a frame
+// (whose features are now the newest ring entry).
+func (f *Frontend) PushSample(s float64) bool {
+	f.ring[f.rpos] = s
+	f.rpos++
+	if f.rpos == len(f.ring) {
+		f.rpos = 0
+	}
+	f.untilFrame--
+	if f.untilFrame > 0 {
+		return false
+	}
+	f.untilFrame = f.cfg.Stride()
+	f.completeFrame()
+	return true
+}
+
+// Push consumes a chunk of samples and returns how many frames it completed.
+func (f *Frontend) Push(samples []float64) int {
+	n := 0
+	for _, s := range samples {
+		if f.PushSample(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalFrames returns the number of frames completed since construction or
+// the last Reset. The difference between two calls is the nNew a hop should
+// pass to the incremental engine path.
+func (f *Frontend) TotalFrames() int64 { return f.total }
+
+// Window copies the most recent winFrames frames, oldest first, into dst
+// (len winFrames·numCoeffs) — the classifier's input layout. It returns
+// false while fewer than winFrames frames exist.
+func (f *Frontend) Window(dst []float32) bool {
+	if f.total < int64(f.winFrames) {
+		return false
+	}
+	c := f.cfg.NumCoeffs
+	for i := 0; i < f.winFrames; i++ {
+		slot := int((f.total + int64(i)) % int64(f.winFrames))
+		copy(dst[i*c:(i+1)*c], f.feats[slot*c:(slot+1)*c])
+	}
+	return true
+}
+
+// Reset discards all stream state: the next frame completes a full frameLen
+// after the first post-reset sample, anchored at stream position zero.
+func (f *Frontend) Reset() {
+	f.rpos = 0
+	f.untilFrame = len(f.ring)
+	f.total = 0
+	for i := range f.ring {
+		f.ring[i] = 0
+	}
+}
+
+// completeFrame featurises the frameLen samples ending at the current
+// position into the next feature-ring slot. The arithmetic — Hann window,
+// zero-padded FFT power spectrum, mel integration skipping zero filter
+// weights, log(e+1e-10), DCT-II — matches MFCC.Compute operation for
+// operation, so each frame is bit-identical to the batch pipeline's.
+func (f *Frontend) completeFrame() {
+	fl := len(f.ring)
+	n1 := fl - f.rpos
+	for i := 0; i < n1; i++ {
+		f.frame[i] = f.ring[f.rpos+i] * f.window[i]
+	}
+	for i := n1; i < fl; i++ {
+		f.frame[i] = f.ring[i-n1] * f.window[i]
+	}
+	powerSpectrumInto(f.spec, f.buf, f.frame)
+	for b, row := range f.fbank {
+		var e float64
+		for k, w := range row {
+			if w != 0 {
+				e += w * f.spec[k]
+			}
+		}
+		f.mel[b] = math.Log(e + 1e-10)
+	}
+	slot := int(f.total % int64(f.winFrames))
+	out := f.feats[slot*f.cfg.NumCoeffs:]
+	for k, row := range f.dctCos {
+		var s float64
+		for i, v := range f.mel {
+			s += v * row[i]
+		}
+		out[k] = float32(s * f.dctScale[k])
+	}
+	f.total++
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestIncrementalServing runs a session through the temporal-cache pipeline
+// end to end: events must match a standalone incremental detector fed the
+// same chunk sequence (gap included), the per-session cache ledger must show
+// reuse and exactly the gap's invalidation, and the cache counters must be
+// visible in the server's registry.
+func TestIncrementalServing(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Incremental = true
+	srv := mustServer(t, cfg)
+
+	var mu sync.Mutex
+	var got []stream.Event
+	sess, err := srv.Open(OpenOptions{
+		ID: "inc",
+		OnEvent: func(ev stream.Event) {
+			mu.Lock()
+			got = append(got, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const chunkSize = 1000
+	wave := synthSeconds(11, 3)
+	split := len(wave) / 2
+	if !pushAll(sess, wave[:split], chunkSize) {
+		t.Fatal("failed to push first half")
+	}
+	gapOK := false
+	for i := 0; i < 500; i++ {
+		if err := sess.PushGap(500); err == nil {
+			gapOK = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !gapOK {
+		t.Fatal("failed to push gap")
+	}
+	if !pushAll(sess, wave[split:], chunkSize) {
+		t.Fatal("failed to push second half")
+	}
+	sess.Close()
+	<-sess.Done()
+
+	// A standalone incremental detector over the same engine and chunk
+	// sequence must see exactly the same events: the serving layer adds
+	// isolation, not behaviour.
+	dcfg := stream.DefaultConfig(cfg.SampleRate)
+	dcfg.Incremental = true
+	d := stream.NewDetector(dcfg, stream.NewEngineClassifier(cfg.Engine), cfg.FeatMean, cfg.FeatStd)
+	var want []stream.Event
+	for off := 0; off < split; off += chunkSize {
+		end := off + chunkSize
+		if end > split {
+			end = split
+		}
+		want = append(want, d.Push(wave[off:end])...)
+	}
+	want = append(want, d.ConcealGap(500)...)
+	for off := split; off < len(wave); off += chunkSize {
+		end := off + chunkSize
+		if end > len(wave) {
+			end = len(wave)
+		}
+		want = append(want, d.Push(wave[off:end])...)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("session delivered %d events, standalone detector %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: session %+v, standalone %+v", i, got[i], want[i])
+		}
+	}
+
+	st := sess.Stats()
+	if st.HopCache.Hits == 0 {
+		t.Fatalf("no hop-cache hits: %+v", st.HopCache)
+	}
+	if st.HopCache.Misses < 1 {
+		t.Fatalf("expected at least the cold-start miss: %+v", st.HopCache)
+	}
+	if st.HopCache.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1 (the gap)", st.HopCache.Invalidations)
+	}
+	if v := cfg.Registry.Counter("stream.hop.cache.hits").Value(); v != st.HopCache.Hits {
+		t.Fatalf("registry hits %d, session hits %d", v, st.HopCache.Hits)
+	}
+
+	// A non-incremental server keeps the ledger at zero.
+	plain := mustServer(t, testConfig(t))
+	ps, err := plain.Open(OpenOptions{ID: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pushAll(ps, wave[:2*cfg.SampleRate], chunkSize) {
+		t.Fatal("failed to push to plain session")
+	}
+	ps.Close()
+	<-ps.Done()
+	if hc := ps.Stats().HopCache; hc != (stream.HopCacheStats{}) {
+		t.Fatalf("plain session recorded hop-cache stats: %+v", hc)
+	}
+}

@@ -52,6 +52,20 @@ type Config struct {
 	// synthetic corpus).
 	SampleRate int
 
+	// Incremental switches every session to the temporal-cache pipeline:
+	// the detector's streaming frontend featurises only newly arrived
+	// frames, and each session owns a stream.EngineClassifier whose hop
+	// state shifts the engine's activation cache across overlapping
+	// windows instead of re-inferring the whole second. Hops then run
+	// single-frame on the session's own pump goroutine — they bypass the
+	// shared batch lanes (and their hop traces), trading lane coalescing
+	// for ~4x less per-hop work. Posteriors are bit-identical to the
+	// full-window pipeline at the same cadence; the hop snaps down to the
+	// MFCC stride grid (250 ms → 240 ms). Cache behaviour is visible on
+	// /metrics as stream.hop.cache.{hits,misses,invalidations} and per
+	// session in SessionStats.HopCache.
+	Incremental bool
+
 	// FeatMean/FeatStd standardise features exactly as the engine's
 	// training corpus was normalised (FeatStd 0 selects 1).
 	FeatMean, FeatStd float32
@@ -324,6 +338,9 @@ func New(cfg Config) (*Server, error) {
 			cfg.Detector.SampleRate = cfg.SampleRate
 		}
 	}
+	if cfg.Incremental {
+		cfg.Detector.Incremental = true
+	}
 	if cfg.FeatStd == 0 {
 		cfg.FeatStd = 1
 	}
@@ -484,6 +501,14 @@ func (s *Server) Open(opt OpenOptions) (*Session, error) {
 	// outside the lock; admission is re-checked at insert.
 	cls := opt.Classifier
 	var lc *laneClassifier
+	var hc *stream.EngineClassifier
+	if cls == nil && s.cfg.Incremental {
+		// Incremental mode: the session owns an engine hop state (pooled,
+		// released at finish) and infers single-frame on its own pump,
+		// bypassing the shared lanes.
+		hc = stream.NewEngineClassifier(s.cfg.Engine)
+		cls = hc
+	}
 	if cls == nil {
 		lc = &laneClassifier{
 			lanes:   s.lanes,
@@ -518,6 +543,7 @@ func (s *Server) Open(opt OpenOptions) (*Session, error) {
 		lc.sessID = sess.id
 		sess.cls = lc
 	}
+	sess.hopCls = hc
 
 	s.mu.Lock()
 	if s.draining {

@@ -38,6 +38,7 @@ type SessionStats struct {
 	QuarantineDrops   int64 // chunks discarded while quarantined or terminating
 	BreakerTrips      int64
 	Detector          stream.Stats
+	HopCache          stream.HopCacheStats // incremental-mode cache ledger (zeros otherwise)
 }
 
 // Session is one client's stream. Push/PushGap/Close/Terminate are safe to
@@ -49,7 +50,8 @@ type Session struct {
 	priority int
 	srv      *Server
 	det      *stream.Detector
-	cls      *laneClassifier // nil when OpenOptions injected a custom classifier
+	cls      *laneClassifier          // nil when OpenOptions injected a custom classifier
+	hopCls   *stream.EngineClassifier // incremental mode: session-owned hop cache, nil otherwise
 	onEvent  func(stream.Event)
 	onClose  func(CloseReason)
 
@@ -103,6 +105,7 @@ func (s *Session) Stats() SessionStats {
 		QuarantineDrops:   s.qDrops.Load(),
 		BreakerTrips:      s.trips.Load(),
 		Detector:          s.det.Stats(),
+		HopCache:          s.det.HopCacheStats(),
 	}
 }
 
@@ -371,6 +374,11 @@ func (s *Session) deliver(ev stream.Event) {
 // drained: it deregisters the session, signals Done, and fires OnClose.
 func (s *Session) finish() {
 	s.state.Store(stateClosed)
+	if s.hopCls != nil {
+		// Return the incremental hop state to the engine's pool; the pump is
+		// the only goroutine that ever touched it.
+		s.hopCls.Close()
+	}
 	s.mu.Lock()
 	if !s.intakeClosed { // pump died without a close (recovered panic path)
 		s.intakeClosed = true

@@ -30,6 +30,22 @@ type Classifier interface {
 	NumClasses() int
 }
 
+// HopClassifier is a Classifier that can exploit temporal overlap between
+// consecutive windows. ClassifyHop receives the full current window plus how
+// many trailing frame rows are new since the previous call, under the
+// incremental caller contract (the window's leading rows equal the previous
+// window's trailing rows bit for bit); it must return exactly the posteriors
+// Classify would for the same window. incremental reports whether cached
+// temporal state was actually reused — false means the call recomputed the
+// window in full (cold cache, invalidation, nNew ≥ window). InvalidateHop
+// discards all cached temporal state; the Detector calls it on every stream
+// discontinuity (Reset, gap concealment).
+type HopClassifier interface {
+	Classifier
+	ClassifyHop(features []float32, nNew int) (probs []float32, incremental bool)
+	InvalidateHop()
+}
+
 // ModelClassifier adapts an nn.Layer (float model) into a Classifier by
 // applying a softmax to its logits.
 type ModelClassifier struct {
@@ -69,6 +85,7 @@ type EngineClassifier struct {
 	batch [][]float32
 	res   []deploy.BatchResult
 	probs []float32
+	hs    *deploy.HopState // lazy incremental hop cache (ClassifyHop)
 }
 
 // NewEngineClassifier wraps a validated engine.
@@ -88,6 +105,49 @@ func (c *EngineClassifier) Classify(features []float32) []float32 {
 	}
 	c.probs = ScoresToProbs(c.res[0].Scores, float64(c.Engine.Tree.WScale), c.probs)
 	return c.probs
+}
+
+// ClassifyHop is the incremental form of Classify: it routes the window
+// through Engine.InferHopInt, which shifts the per-session activation cache
+// by the hop stride and recomputes only the bands the shift cannot preserve.
+// InferHopInt is bit-exact with full-window InferInt, and the batch path
+// Classify uses runs the same integer kernels, so hop and full posteriors
+// are identical. The first call (or the first after InvalidateHop) allocates
+// the hop state from the engine's pool and recomputes in full.
+func (c *EngineClassifier) ClassifyHop(features []float32, nNew int) ([]float32, bool) {
+	if c.hs == nil {
+		c.hs = c.Engine.NewHopState()
+	}
+	sc, _ := c.Engine.InferHopInt(c.hs, features, nNew)
+	c.probs = ScoresToProbs(sc, float64(c.Engine.Tree.WScale), c.probs)
+	return c.probs, !c.hs.LastFull()
+}
+
+// InvalidateHop discards the cached activation rings; the next ClassifyHop
+// recomputes the full window.
+func (c *EngineClassifier) InvalidateHop() {
+	if c.hs != nil {
+		c.hs.Invalidate()
+	}
+}
+
+// HopStats returns the hop cache's work counters (zero before the first
+// ClassifyHop).
+func (c *EngineClassifier) HopStats() deploy.HopStats {
+	if c.hs == nil {
+		return deploy.HopStats{}
+	}
+	return c.hs.Stats()
+}
+
+// Close releases the hop state back to the engine's pool. The serving layer
+// calls it when a session finishes; an EngineClassifier must not be used
+// after Close.
+func (c *EngineClassifier) Close() {
+	if c.hs != nil {
+		c.hs.Release()
+		c.hs = nil
+	}
 }
 
 // ScoresToProbs turns integer tree scores into softmax posteriors, writing
@@ -149,6 +209,28 @@ type Config struct {
 	// default). A stuck ring otherwise never recovers from a transient
 	// numeric fault.
 	WatchdogHops int
+
+	// Incremental switches the detector to the temporal-cache pipeline: a
+	// streaming MFCC frontend featurises only newly arrived frames, and a
+	// HopClassifier (EngineClassifier qualifies) reuses its activation cache
+	// across hops. Posteriors are bit-identical to the full-window pipeline
+	// at the same cadence. The hop is snapped down to the MFCC stride grid
+	// (20 ms; 250 ms → 240 ms) so streaming frames land on the same anchors
+	// batch featurisation would use — HopMs multiples of 40 ms additionally
+	// keep the conv caches aligned through the stride-2 layer and maximise
+	// reuse.
+	Incremental bool
+}
+
+// HopCacheStats counts the incremental pipeline's cache behaviour. A hit is
+// a hop that reused cached temporal state end to end; a miss recomputed the
+// window (cold start, post-discontinuity, or a classifier-reported full
+// recompute); invalidations counts explicit discards (Reset, ConcealGap).
+// All zero when Config.Incremental is off.
+type HopCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
 }
 
 // Stats counts the faults the detector has absorbed. All counters are
@@ -196,6 +278,20 @@ type Detector struct {
 	// corpus was normalised.
 	featMean, featStd float32
 
+	// Incremental pipeline state (Config.Incremental). frontend featurises
+	// newly completed frames as samples arrive; hopCls is cls when it also
+	// implements HopClassifier. pendingInval forces the next hop to treat
+	// the whole window as new — set by Reset/ConcealGap, the invalidation
+	// contract every stream discontinuity must honour.
+	frontend     *dsp.Frontend
+	hopCls       HopClassifier
+	featWin      []float32 // current window features, normalised per hop
+	lastTotal    int64     // frontend frame count at the previous hop
+	pendingInval bool
+	frames       int           // window height in frames
+	hopSamples   int           // per-hop sample count (stride-snapped when incremental)
+	hopStats     HopCacheStats // mutated atomically; see HopCacheStats
+
 	stats     Stats     // mutated atomically; see Stats
 	lastProbs []float32 // previous hop's accepted posterior, for the watchdog
 	stuckHops int64     // consecutive stuck/saturated hops (atomic: Health reads it)
@@ -220,6 +316,13 @@ type detObs struct {
 	badPosteriors  *telemetry.Counter
 	watchdogResets *telemetry.Counter
 	hopNs          *telemetry.Histogram
+
+	// Incremental hop-cache counters, pre-registered at attach time so
+	// dashboards see explicit zeros even before the first hop (or when the
+	// detector runs the full-window pipeline).
+	hopHits   *telemetry.Counter
+	hopMisses *telemetry.Counter
+	hopInvals *telemetry.Counter
 }
 
 // AttachTelemetry registers the detector's counters and its detection-
@@ -237,6 +340,9 @@ func (d *Detector) AttachTelemetry(reg *telemetry.Registry) {
 		badPosteriors:  reg.Counter("stream.faults.bad_posteriors"),
 		watchdogResets: reg.Counter("stream.faults.watchdog_resets"),
 		hopNs:          reg.LatencyHistogram("stream.hop.ns"),
+		hopHits:        reg.Counter("stream.hop.cache.hits"),
+		hopMisses:      reg.Counter("stream.hop.cache.misses"),
+		hopInvals:      reg.Counter("stream.hop.cache.invalidations"),
 	}
 }
 
@@ -262,19 +368,70 @@ func NewDetector(cfg Config, cls Classifier, featMean, featStd float32) *Detecto
 	if featStd == 0 {
 		featStd = 1
 	}
+	mfccCfg := dsp.DefaultMFCCConfig(cfg.SampleRate)
 	d := &Detector{
 		cfg:      cfg,
 		cls:      cls,
-		mfcc:     dsp.NewMFCC(dsp.DefaultMFCCConfig(cfg.SampleRate)),
+		mfcc:     dsp.NewMFCC(mfccCfg),
 		window:   make([]float64, cfg.SampleRate),
 		lastFire: make([]int, cls.NumClasses()),
 		featMean: featMean,
 		featStd:  featStd,
 	}
+	d.hopSamples = cfg.SampleRate * cfg.HopMs / 1000
+	if cfg.Incremental {
+		// Snap the hop to the MFCC stride grid: every hop position is then
+		// a multiple of the frame stride, so the streaming frontend's frame
+		// anchors coincide with the ones batch featurisation of the hop's
+		// window would use — the precondition for bit-exact feature reuse.
+		st := mfccCfg.Stride()
+		if d.hopSamples >= st {
+			d.hopSamples -= d.hopSamples % st
+		} else {
+			d.hopSamples = st
+		}
+		d.frames = mfccCfg.NumFrames(cfg.SampleRate)
+		d.frontend = dsp.NewFrontend(mfccCfg, d.frames)
+		d.featWin = make([]float32, d.frames*mfccCfg.NumCoeffs)
+		if hc, ok := cls.(HopClassifier); ok {
+			d.hopCls = hc
+		}
+	}
 	for i := range d.lastFire {
 		d.lastFire[i] = -1 << 30
 	}
 	return d
+}
+
+// EffectiveHop returns the detector's hop in samples — Config.HopMs snapped
+// down to the MFCC stride grid when the incremental pipeline is on.
+func (d *Detector) EffectiveHop() int { return d.hopSamples }
+
+// HopCacheStats returns a snapshot of the incremental pipeline's cache
+// counters. Safe to call from any goroutine.
+func (d *Detector) HopCacheStats() HopCacheStats {
+	return HopCacheStats{
+		Hits:          atomic.LoadInt64(&d.hopStats.Hits),
+		Misses:        atomic.LoadInt64(&d.hopStats.Misses),
+		Invalidations: atomic.LoadInt64(&d.hopStats.Invalidations),
+	}
+}
+
+// invalidateHop discards all incremental state: the hop classifier's
+// activation rings immediately, and the feature window's reuse at the next
+// hop (which will treat every frame as new). Every stream discontinuity
+// must route through here — a cache carried across a discontinuity would
+// silently classify stale activations.
+func (d *Detector) invalidateHop() {
+	if d.frontend == nil {
+		return
+	}
+	d.pendingInval = true
+	if d.hopCls != nil {
+		d.hopCls.InvalidateHop()
+	}
+	atomic.AddInt64(&d.hopStats.Invalidations, 1)
+	d.obs.hopInvals.Inc()
 }
 
 // Push consumes audio samples and returns any detections they trigger.
@@ -284,7 +441,7 @@ func NewDetector(cfg Config, cls Classifier, featMean, featStd float32) *Detecto
 // even when the underlying classifier does.
 func (d *Detector) Push(samples []float64) []Event {
 	var events []Event
-	hop := d.cfg.SampleRate * d.cfg.HopMs / 1000
+	hop := d.hopSamples
 	d.obs.samples.Add(int64(len(samples)))
 	for _, s := range samples {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
@@ -301,6 +458,9 @@ func (d *Detector) Push(samples []float64) []Event {
 			d.obs.clipped.Inc()
 		}
 		d.window[d.pos%len(d.window)] = s
+		if d.frontend != nil {
+			d.frontend.PushSample(s)
+		}
 		d.pos++
 		if d.buffered < len(d.window) {
 			d.buffered++
@@ -330,10 +490,19 @@ func (d *Detector) Push(samples []float64) []Event {
 // hop cadence consistent when a capture buffer is lost. Conceals are counted
 // in Stats; the zero window may still trigger classifications, which the
 // smoothing history absorbs.
+//
+// A gap is a stream discontinuity, so all incremental state is invalidated
+// before the zeros are pushed: the hop classifier's activation rings are
+// discarded and the next hop re-featurises and re-infers the whole window.
+// The streaming frontend does consume the concealment zeros — they are the
+// stream's official reconstruction, and skipping them would shift every
+// later frame off the stride grid — so post-gap windows stay bit-identical
+// to full-window featurisation of the same zero-filled stream.
 func (d *Detector) ConcealGap(n int) []Event {
 	if n <= 0 {
 		return nil
 	}
+	d.invalidateHop()
 	events := d.Push(make([]float64, n))
 	atomic.AddInt64(&d.stats.Concealed, int64(n))
 	d.obs.concealed.Add(int64(n))
@@ -420,10 +589,49 @@ func (d *Detector) watchdog(probs []float32) {
 	}
 }
 
-// classify featurises the current window, smooths posteriors and applies
-// the firing rule.
-func (d *Detector) classify() (Event, bool) {
-	// Unroll the ring into chronological order.
+// safeClassifyHop is safeClassify through the incremental entry point. A
+// panic mid-hop leaves the classifier's cache self-poisoned (HopState
+// invalidates itself on any interrupted update), so the hop after a fault
+// recomputes in full rather than trusting half-written state.
+func (d *Detector) safeClassifyHop(feat []float32, nNew int) (probs []float32, incremental, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			probs, incremental, ok = nil, false, false
+		}
+	}()
+	probs, incremental = d.hopCls.ClassifyHop(feat, nNew)
+	if len(probs) != d.hopCls.NumClasses() {
+		return nil, false, false
+	}
+	for _, p := range probs {
+		if math.IsNaN(float64(p)) || math.IsInf(float64(p), 0) {
+			return nil, false, false
+		}
+	}
+	return probs, incremental, true
+}
+
+// hopFeatures produces the current window's normalised features. The
+// incremental path copies the frontend's cached frames (only newly
+// completed frames were featurised this hop) and reports how many trailing
+// frames are new; the full path re-featurises the whole window ring.
+func (d *Detector) hopFeatures() (feat []float32, nNew int, incremental bool) {
+	if d.frontend != nil && d.frontend.Window(d.featWin) {
+		total := d.frontend.TotalFrames()
+		nNew = int(total - d.lastTotal)
+		d.lastTotal = total
+		if d.pendingInval || nNew < 0 || nNew > d.frames {
+			nNew = d.frames
+		}
+		d.pendingInval = false
+		for i, v := range d.featWin {
+			d.featWin[i] = (v - d.featMean) / d.featStd
+		}
+		return d.featWin, nNew, nNew < d.frames
+	}
+
+	// Full-window path: unroll the ring into chronological order and
+	// featurise all of it.
 	n := len(d.window)
 	if len(d.wave) != n {
 		d.wave = make([]float64, n)
@@ -433,11 +641,36 @@ func (d *Detector) classify() (Event, bool) {
 	copy(wave, d.window[start:])
 	copy(wave[n-start:], d.window[:start])
 
-	feat := d.mfcc.Compute(wave)
-	for i, v := range feat.Data {
-		feat.Data[i] = (v - d.featMean) / d.featStd
+	f := d.mfcc.Compute(wave)
+	for i, v := range f.Data {
+		f.Data[i] = (v - d.featMean) / d.featStd
 	}
-	probs, ok := d.safeClassify(feat.Data)
+	return f.Data, len(f.Data), false
+}
+
+// classify featurises the current window, smooths posteriors and applies
+// the firing rule.
+func (d *Detector) classify() (Event, bool) {
+	feat, nNew, featReuse := d.hopFeatures()
+	var probs []float32
+	var ok bool
+	hit := featReuse
+	if d.frontend != nil && d.hopCls != nil {
+		var incremental bool
+		probs, incremental, ok = d.safeClassifyHop(feat, nNew)
+		hit = featReuse && incremental
+	} else {
+		probs, ok = d.safeClassify(feat)
+	}
+	if d.frontend != nil {
+		if hit {
+			atomic.AddInt64(&d.hopStats.Hits, 1)
+			d.obs.hopHits.Inc()
+		} else {
+			atomic.AddInt64(&d.hopStats.Misses, 1)
+			d.obs.hopMisses.Inc()
+		}
+	}
 	if !ok {
 		atomic.AddInt64(&d.stats.BadPosteriors, 1)
 		d.obs.badPosteriors.Inc()
@@ -492,8 +725,14 @@ func (d *Detector) classify() (Event, bool) {
 }
 
 // Reset clears the detector's audio and posterior state, including the
-// fault counters and watchdog state.
+// fault counters and watchdog state. All incremental state is invalidated
+// and the streaming frontend re-anchors at stream position zero.
 func (d *Detector) Reset() {
+	d.invalidateHop()
+	if d.frontend != nil {
+		d.frontend.Reset()
+		d.lastTotal = 0
+	}
 	d.pos = 0
 	d.buffered = 0
 	d.sinceHop = 0
@@ -501,6 +740,7 @@ func (d *Detector) Reset() {
 	for _, p := range []*int64{
 		&d.stats.Scrubbed, &d.stats.Clipped, &d.stats.Concealed,
 		&d.stats.BadPosteriors, &d.stats.WatchdogResets, &d.stuckHops,
+		&d.hopStats.Hits, &d.hopStats.Misses, &d.hopStats.Invalidations,
 	} {
 		atomic.StoreInt64(p, 0)
 	}
